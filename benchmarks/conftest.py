@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+pytest-benchmark timer measures the *harness* (code generation +
+cost-modelled execution on the VM); the paper-comparable numbers —
+modelled execution seconds, improvement percentages — are attached to
+``benchmark.extra_info`` and printed to stdout (run with ``-s``).
+"""
+
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.compiler import CLANG, GCC
+
+
+@pytest.fixture(scope="session")
+def arm():
+    return ARM_A72
+
+
+@pytest.fixture(scope="session")
+def intel():
+    return INTEL_I7_8700
+
+
+@pytest.fixture(scope="session")
+def gcc():
+    return GCC
+
+
+@pytest.fixture(scope="session")
+def clang():
+    return CLANG

@@ -1,0 +1,63 @@
+"""Algorithm 1 adaptivity map: which Conv implementation wins where.
+
+The Fig. 1 premise generalised to convolution: the winning
+implementation depends on the actor's data sizes, and HCG's
+pre-calculation finds the crossover without being told.  This bench
+sweeps the (signal length, tap count) grid and prints the selection
+matrix plus the measured crossover row.
+"""
+
+import pytest
+
+from repro.arch import ARM_A72
+from repro.codegen.hcg.history import SelectionHistory
+from repro.codegen.hcg.intensive import IntensiveSynthesizer
+from repro.dtypes import DataType
+from repro.kernels import default_library
+from repro.model.actor_defs import create_actor
+
+SIGNALS = (64, 256, 1024)
+TAPS = (4, 16, 64, 256, 1024)
+
+
+def _selection_grid():
+    synth = IntensiveSynthesizer(
+        default_library(), ARM_A72.cost, ARM_A72.instruction_set, SelectionHistory()
+    )
+    grid = {}
+    for n in SIGNALS:
+        for m in TAPS:
+            if m > n:
+                continue
+            actor = create_actor("c", "Conv", DataType.F32, {"n": n, "m": m})
+            grid[(n, m)] = synth.select(actor).kernel_id
+    return grid
+
+
+def test_conv_adaptivity(benchmark):
+    grid = benchmark.pedantic(_selection_grid, rounds=1, iterations=1)
+    print("\n=== Algorithm 1 selection map for Conv(n, m) ===")
+    corner = "n / m"
+    header = f"{corner:>8s}" + "".join(f"{m:>18d}" for m in TAPS)
+    print(header)
+    for n in SIGNALS:
+        cells = []
+        for m in TAPS:
+            kernel_id = grid.get((n, m), "-")
+            cells.append(f"{kernel_id.replace('conv.', ''):>18s}")
+        print(f"{n:8d}" + "".join(cells))
+
+    # shape claims: direct wins thin kernels, FFT wins thick ones,
+    # and the crossover moves with the signal length
+    assert all("direct" in grid[(n, 4)] for n in SIGNALS)
+    assert "fft" in grid[(1024, 1024)]
+    assert "fft" in grid[(256, 256)]
+    crossovers = {}
+    for n in SIGNALS:
+        for m in TAPS:
+            if (n, m) in grid and "fft" in grid[(n, m)]:
+                crossovers[n] = m
+                break
+    print(f"first FFT-winning tap count per n: {crossovers}")
+    benchmark.extra_info["crossovers"] = crossovers
+    assert crossovers, "FFT convolution never won anywhere"

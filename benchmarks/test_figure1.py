@@ -1,0 +1,85 @@
+"""Figure 1: time cost of different FFT implementations vs input length.
+
+The paper plots Mix-FFT, Rad-2 FFT and Galois FFT over input data
+lengths and observes that "no one implementation can always perform
+better than the others" — Mix-FFT wins large scales but loses small
+ones.  Our library adds the naive DFT and radix-4 to the sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.bench import render_figure1
+from repro.kernels.base import OpCounts
+from repro.kernels.fft import (
+    FftBluestein,
+    FftMixed,
+    FftNaive,
+    FftRadix2,
+    FftRadix4,
+    FftSplitRadix,
+)
+
+LENGTHS = [2, 3, 4, 8, 16, 30, 64, 100, 256, 480, 1000, 1024, 2048, 4096]
+
+IMPLEMENTATIONS = {
+    "naive-dft": FftNaive(inverse=False),
+    "rad2-fft": FftRadix2(inverse=False),
+    "rad4-fft": FftRadix4(inverse=False),
+    "split-radix": FftSplitRadix(inverse=False),
+    "mix-fft": FftMixed(inverse=False),
+    "galois(bluestein)": FftBluestein(inverse=False),
+}
+
+
+def _sweep():
+    series = {}
+    for name, kernel in IMPLEMENTATIONS.items():
+        curve = {}
+        for n in LENGTHS:
+            if not kernel._supports_length(n):
+                continue
+            counts = OpCounts()
+            kernel.execute([np.zeros(n)], {"n": n}, counts)
+            curve[n] = counts.cycles(ARM_A72.cost)
+        series[name] = curve
+    return series
+
+
+def test_figure1(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\n=== Figure 1 (reproduced): FFT implementation cost by length ===")
+    print(render_figure1(series))
+
+    def winner(n):
+        eligible = {name: curve[n] for name, curve in series.items() if n in curve}
+        return min(eligible, key=eligible.get)
+
+    # shape claims from the paper's figure:
+    # 1. no single implementation wins everywhere
+    winners = {winner(n) for n in LENGTHS}
+    assert len(winners) > 1
+    # 2. Mix-FFT best on large (composite, non-2^k) scales ...
+    assert winner(1000) == "mix-fft"
+    # 3. ... but not on the smallest scales
+    assert winner(2) != "mix-fft" and winner(3) != "mix-fft"
+    # 4. the dedicated pow2 kernels win their exact power-of-two sizes
+    assert winner(1024) in ("rad4-fft", "rad2-fft", "split-radix")
+    # 4b. split-radix achieves the lowest multiply count at 2^k
+    import numpy as np
+    from repro.kernels.base import OpCounts
+
+    def mults(kernel, n):
+        counts = OpCounts()
+        kernel.execute([np.zeros(n)], {"n": n}, counts)
+        return counts.mul
+
+    assert mults(IMPLEMENTATIONS["split-radix"], 1024) < mults(
+        IMPLEMENTATIONS["rad4-fft"], 1024
+    )
+    # 5. the naive DFT explodes quadratically at scale
+    assert series["naive-dft"][4096] > 50 * series["mix-fft"][4096]
+
+    for name, curve in series.items():
+        benchmark.extra_info[f"{name}@1024"] = curve.get(1024)

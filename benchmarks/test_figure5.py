@@ -1,0 +1,78 @@
+"""Figure 5: the six models on {ARM, Intel} x {GCC, Clang}.
+
+Paper observations reproduced here:
+
+* HCG's code is the fastest in every panel;
+* panel (b) — Intel + GCC — is "quite different from the others" for
+  the batch models, because Simulink Coder's scattered SIMD makes
+  memory latency the bottleneck under GCC;
+* Clang recovers most of that loss (panel d), because it keeps the
+  scattered values in vector registers.
+"""
+
+import pytest
+
+from repro.bench import (
+    benchmark_suite,
+    compare_generators,
+    render_figure5,
+    render_figure5_bars,
+    results_to_csv,
+)
+
+BATCH_MODELS = ("HighPass", "LowPass")
+
+
+def _run_panels(arm, intel, gcc, clang):
+    suite = benchmark_suite()
+    panels = {}
+    for label, arch, compiler in (
+        ("(a) ARM + GCC", arm, gcc),
+        ("(b) Intel + GCC", intel, gcc),
+        ("(c) ARM + Clang", arm, clang),
+        ("(d) Intel + Clang", intel, clang),
+    ):
+        panels[label] = {
+            name: compare_generators(model, arch, compiler, steps=2)
+            for name, model in suite.items()
+        }
+    return panels
+
+
+def test_figure5(benchmark, arm, intel, gcc, clang):
+    panels = benchmark.pedantic(
+        _run_panels, args=(arm, intel, gcc, clang), rounds=1, iterations=1
+    )
+    print("\n=== Figure 5 (reproduced) ===")
+    print(render_figure5(panels))
+    print(render_figure5_bars(panels))
+    for label, rows in panels.items():
+        benchmark.extra_info.setdefault("csv", {})[label] = results_to_csv(rows)
+
+    # HCG fastest in every cell of every panel
+    for label, rows in panels.items():
+        for name, results in rows.items():
+            hcg = results["hcg"].seconds
+            assert hcg < results["simulink_coder"].seconds, (label, name)
+            assert hcg < results["dfsynth"].seconds, (label, name)
+
+    # the Fig. 5(b) anomaly: for batch models, Simulink-Coder code is
+    # relatively much worse on Intel+GCC than on Intel+Clang
+    for name in BATCH_MODELS:
+        gcc_ratio = (
+            panels["(b) Intel + GCC"][name]["simulink_coder"].seconds
+            / panels["(b) Intel + GCC"][name]["hcg"].seconds
+        )
+        clang_ratio = (
+            panels["(d) Intel + Clang"][name]["simulink_coder"].seconds
+            / panels["(d) Intel + Clang"][name]["hcg"].seconds
+        )
+        assert gcc_ratio > clang_ratio, name
+        benchmark.extra_info[f"{name}_intel_gcc_ratio"] = round(gcc_ratio, 2)
+        benchmark.extra_info[f"{name}_intel_clang_ratio"] = round(clang_ratio, 2)
+
+    # on ARM the two compilers behave almost identically
+    for name in panels["(a) ARM + GCC"]:
+        a = panels["(a) ARM + GCC"][name]["hcg"].seconds
+        c = panels["(c) ARM + Clang"][name]["hcg"].seconds
+        assert abs(a - c) / a < 0.15, name

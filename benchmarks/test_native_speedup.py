@@ -1,0 +1,101 @@
+"""A real-hardware experiment: the generated code timed on the host CPU.
+
+The paper's headline claim is that HCG's SIMD-synthesised code runs
+substantially faster than the baselines' scalar / scattered code.  The
+cost VM models that; when the host is an x86 machine with AVX2 (true
+for the paper's own Intel target class), we can also *measure* it: this
+benchmark compiles the DFSynth-style scalar code and HCG's AVX2 code
+with the host GCC at -O2 and times both over many iterations.
+
+Fairness note: the scalar baseline is compiled with vectorisation
+disabled (``-fno-tree-vectorize``), because the question is what the
+*generator* emitted — the paper's GCC-auto-vectorisation effects are
+modelled separately (Fig. 5).  A second measurement leaves GCC's
+auto-vectoriser on, showing how much of the gap a modern compiler can
+recover on its own.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.arch import INTEL_I7_8700
+from repro.bench.models import benchmark_inputs, fir_model, highpass_model, lowpass_model
+from repro.codegen import DfsynthGenerator, HcgGenerator
+from repro.ir.cemit import emit_c, emit_timing_harness
+
+GCC = shutil.which("gcc")
+
+
+def _cpu_supports(flag: str) -> bool:
+    try:
+        return flag in Path("/proc/cpuinfo").read_text()
+    except OSError:
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    GCC is None or not _cpu_supports("avx2"),
+    reason="needs host GCC and an AVX2 CPU",
+)
+
+ITERATIONS = 40_000
+
+
+def _time_native(model, generator, tmp_path, tag, flags):
+    inputs = benchmark_inputs(model)
+    program = generator.generate(model)
+    source = emit_c(program, INTEL_I7_8700.instruction_set)
+    source += "\n" + emit_timing_harness(program, inputs, ITERATIONS)
+    c_file = tmp_path / f"{tag}.c"
+    c_file.write_text(source)
+    binary = tmp_path / tag
+    completed = subprocess.run(
+        [GCC, "-O2", "-std=gnu99", *flags, str(c_file), "-o", str(binary), "-lm"],
+        capture_output=True, text=True,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    best = None
+    for _ in range(3):  # best-of-three to tame scheduler noise
+        run = subprocess.run([str(binary)], capture_output=True, text=True, timeout=120)
+        assert run.returncode == 0
+        ns = int(run.stdout.split()[1])
+        best = ns if best is None else min(best, ns)
+    return best
+
+
+def test_native_speedup(benchmark, tmp_path):
+    def run():
+        rows = {}
+        for factory in (fir_model, highpass_model, lowpass_model):
+            model = factory(1024)
+            scalar = _time_native(
+                model, DfsynthGenerator(INTEL_I7_8700), tmp_path,
+                f"{model.name}_scalar", ("-fno-tree-vectorize",),
+            )
+            scalar_auto = _time_native(
+                model, DfsynthGenerator(INTEL_I7_8700), tmp_path,
+                f"{model.name}_scalar_auto", ("-O3", "-mavx2", "-mfma"),
+            )
+            hcg = _time_native(
+                model, HcgGenerator(INTEL_I7_8700), tmp_path,
+                f"{model.name}_hcg", ("-mavx2", "-mfma"),
+            )
+            rows[model.name] = {"scalar": scalar, "scalar_autovec": scalar_auto,
+                                "hcg_avx2": hcg}
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== native x86 timing, {ITERATIONS:,} iterations, best of 3 ===")
+    print(f"{'Model':10s} {'scalar':>12s} {'scalar -O3':>12s} {'HCG AVX2':>12s} "
+          f"{'speedup':>8s}")
+    for name, row in rows.items():
+        speedup = row["scalar"] / row["hcg_avx2"]
+        print(f"{name:10s} {row['scalar'] / 1e6:10.1f}ms {row['scalar_autovec'] / 1e6:10.1f}ms "
+              f"{row['hcg_avx2'] / 1e6:10.1f}ms {speedup:7.2f}x")
+        benchmark.extra_info[name] = {k: v / 1e6 for k, v in row.items()}
+        # the paper's direction, on real silicon: HCG's generated SIMD
+        # beats the baseline's scalar loops
+        assert row["hcg_avx2"] < row["scalar"], name

@@ -1,0 +1,75 @@
+"""§4.3's scaling claim: "for the Simulink models with more intensive
+and batch computing actors, we can achieve higher improvements."
+
+This benchmark grows a batch-actor chain (2, 4, 8, 16 elementwise
+actors over 1024-wide signals) and a bank of intensive actors (1, 2, 4
+FFTs) and measures HCG's improvement over the Simulink-Coder baseline
+at each size.
+"""
+
+import pytest
+
+from repro.arch import ARM_A72
+from repro.bench import benchmark_inputs, compare_generators, improvement
+from repro.compiler import GCC
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+
+
+def chain_model(depth: int, n: int = 1024):
+    """x -> Mul(c0) -> Add(x) -> Mul(c1) -> Add(x) -> ... (depth ops)."""
+    b = ModelBuilder(f"chain{depth}", default_dtype=DataType.F32)
+    x = b.inport("x", shape=n)
+    current = x
+    for index in range(depth):
+        if index % 2 == 0:
+            coeffs = b.const(f"c{index}", value=[0.5 + index * 0.01] * n)
+            current = b.add_actor("Mul", f"op{index}", current, coeffs)
+        else:
+            current = b.add_actor("Add", f"op{index}", current, x)
+    b.outport("y", current)
+    return b.build()
+
+
+def fft_bank_model(count: int, n: int = 256):
+    """Several independent FFT actors fed by one signal."""
+    b = ModelBuilder(f"bank{count}", default_dtype=DataType.F32)
+    x = b.inport("x", shape=n)
+    for index in range(count):
+        scaled = b.add_actor("Gain", f"g{index}", x, gain=1.0 + index)
+        spectrum = b.add_actor("FFT", f"fft{index}", scaled, n=n)
+        b.outport(f"y{index}", spectrum)
+    return b.build()
+
+
+def _improvement(model):
+    results = compare_generators(model, ARM_A72, GCC)
+    return improvement(results["simulink_coder"].seconds, results["hcg"].seconds)
+
+
+def test_scaling_with_batch_chain_depth(benchmark):
+    def run():
+        return {depth: _improvement(chain_model(depth)) for depth in (2, 4, 8, 16)}
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== §4.3 scaling: improvement vs batch-chain depth ===")
+    for depth, value in rows.items():
+        print(f"  {depth:3d} batch actors: {value:5.1f}% improvement")
+        benchmark.extra_info[f"depth{depth}"] = round(value, 1)
+    # monotone-ish growth: deeper chains fuse more work into registers
+    assert rows[16] > rows[2]
+    assert rows[8] > rows[2]
+
+
+def test_scaling_with_intensive_count(benchmark):
+    def run():
+        return {count: _improvement(fft_bank_model(count)) for count in (1, 2, 4)}
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== §4.3 scaling: improvement vs intensive-actor count ===")
+    for count, value in rows.items():
+        print(f"  {count} FFT actor(s): {value:5.1f}% improvement")
+        benchmark.extra_info[f"count{count}"] = round(value, 1)
+    # every size shows a strong win; the share of optimisable work is
+    # already ~100%, so the curve saturates rather than grows
+    assert all(value > 40.0 for value in rows.values())

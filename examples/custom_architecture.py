@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Cross-architecture extension (§3.3 / §4.2).
+
+The paper: "we can simply expand it to other architectures by replacing
+the corresponding SIMD instruction set in Algorithm 2" — the instruction
+set is an external file of ``Graph: ... ; Code: ...`` records.  This
+example defines a small RISC-V-Vector-flavoured 128-bit instruction set
+at runtime, registers it, builds an Architecture around it, and lets
+HCG synthesise code for it without touching any generator internals.
+"""
+
+import numpy as np
+
+from repro.arch import Architecture, CostTable
+from repro.codegen import HcgGenerator
+from repro.dtypes import DataType
+from repro.ir.cemit import emit_c
+from repro.isa import parse_instruction_set, register_instruction_set
+from repro.model import ModelBuilder, ModelEvaluator
+from repro.vm import Machine
+
+RVV_SI = """
+# A minimal RISC-V Vector flavoured set (VLEN = 128), written in the
+# paper's external instruction-description format.
+arch: rvv128
+vector_bits: 128
+
+Ins: vadd_vv_i32 ; Graph: Add,i32,4,I1,I2,O1 ; Code: O1 = __riscv_vadd_vv_i32m1(I1, I2, 4) ; Cost: 1
+Ins: vsub_vv_i32 ; Graph: Sub,i32,4,I1,I2,O1 ; Code: O1 = __riscv_vsub_vv_i32m1(I1, I2, 4) ; Cost: 1
+Ins: vmul_vv_i32 ; Graph: Mul,i32,4,I1,I2,O1 ; Code: O1 = __riscv_vmul_vv_i32m1(I1, I2, 4) ; Cost: 2
+Ins: vmin_vv_i32 ; Graph: Min,i32,4,I1,I2,O1 ; Code: O1 = __riscv_vmin_vv_i32m1(I1, I2, 4) ; Cost: 1
+Ins: vmax_vv_i32 ; Graph: Max,i32,4,I1,I2,O1 ; Code: O1 = __riscv_vmax_vv_i32m1(I1, I2, 4) ; Cost: 1
+Ins: vsra_vi_i32 ; Graph: Shr,i32,4,I1,#imm,O1 ; Code: O1 = __riscv_vsra_vx_i32m1(I1, #imm, 4) ; Cost: 1
+# RVV has a true integer multiply-accumulate, unlike x86:
+Ins: vmacc_vv_i32 ; Graph: Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1 ; Code: O1 = __riscv_vmacc_vv_i32m1(I3, I1, I2, 4) ; Cost: 2
+"""
+
+
+def main() -> None:
+    iset = parse_instruction_set(RVV_SI, source="rvv128.si")
+    register_instruction_set(iset)
+    print(f"registered {len(iset.instructions)} instructions for arch {iset.arch!r}")
+
+    rvv_board = Architecture(
+        name="rvv_devboard",
+        isa_name="rvv128",
+        clock_ghz=1.0,
+        cost=CostTable(simd_load=6.0, simd_store=2.0, loop_overhead=2.0),
+    )
+
+    b = ModelBuilder("macc_demo", default_dtype=DataType.I32)
+    x = b.inport("x", shape=16)
+    h = b.const("h", value=list(range(1, 17)))
+    acc = b.inport("acc", shape=16)
+    weighted = b.add_actor("Mul", "weighted", x, h)
+    summed = b.add_actor("Add", "summed", weighted, acc)
+    clamped = b.add_actor("Min", "clamped", summed, b.const("cap", value=[10_000] * 16))
+    b.outport("y", clamped)
+    model = b.build()
+
+    generator = HcgGenerator(rvv_board)
+    program = generator.generate(model)
+
+    print("\n--- instructions selected by Algorithm 2 on the new target ---")
+    for match in generator.last_batch.matches:
+        members = ", ".join(sorted(match.subgraph.members))
+        print(f"  {match.spec.name:16s} covers [{members}]")
+
+    print("\n--- generated C (RVV intrinsics from the .si templates) ---")
+    print(emit_c(program, iset))
+
+    rng = np.random.default_rng(5)
+    inputs = {
+        "x": rng.integers(-100, 100, 16).astype(np.int32),
+        "acc": rng.integers(-100, 100, 16).astype(np.int32),
+    }
+    got = Machine(program, rvv_board, instruction_set=iset).run(inputs).outputs["y"]
+    want = ModelEvaluator(model).step(inputs)["y"]
+    assert np.array_equal(got, want)
+    print("outputs match the model reference on the custom target")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro — a reproduction of HCG (DAC 2022).
+
+HCG optimizes embedded code generation for Simulink models with SIMD
+instruction synthesis: adaptive pre-calculated implementation selection
+for intensive computing actors (Algorithm 1) and iterative dataflow-graph
+mapping onto SIMD instructions for batch computing actors (Algorithm 2).
+
+Public entry points:
+
+* :mod:`repro.model` — build or parse Simulink-like models.
+* :mod:`repro.codegen` — the three generators (HCG, Simulink-Coder-like
+  baseline, DFSynth-like baseline).
+* :mod:`repro.arch` — architecture and compiler presets (ARM Cortex-A72,
+  Intel i7-8700; GCC, Clang).
+* :mod:`repro.vm` — execute generated programs under a cost model.
+* :mod:`repro.bench` — the paper's benchmark models and harness.
+"""
+
+__version__ = "1.0.0"

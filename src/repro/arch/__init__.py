@@ -1,0 +1,22 @@
+"""Architecture descriptors, cost tables and evaluation presets."""
+
+from repro.arch.arch import Architecture
+from repro.arch.cost import CostBreakdown, CostTable
+from repro.arch.presets import (
+    ARM_A72,
+    INTEL_I7_8700,
+    INTEL_I7_8700_SSE4,
+    get_architecture,
+    preset_names,
+)
+
+__all__ = [
+    "ARM_A72",
+    "Architecture",
+    "CostBreakdown",
+    "CostTable",
+    "INTEL_I7_8700",
+    "INTEL_I7_8700_SSE4",
+    "get_architecture",
+    "preset_names",
+]

@@ -1,0 +1,34 @@
+"""Architecture descriptors: ISA + clock + cost table."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch.cost import CostTable
+from repro.isa.registry import load_builtin
+from repro.isa.spec import InstructionSet
+
+
+@dataclasses.dataclass(frozen=True)
+class Architecture:
+    """One deployment target (e.g. an ARM Cortex-A72 board)."""
+
+    name: str
+    isa_name: str
+    clock_ghz: float
+    cost: CostTable
+    #: whether the vendor toolchain setup vectorises float batch actors in
+    #: the Simulink-Coder-like baseline ("scattered SIMD", §4.2)
+    baseline_scattered_simd: bool = False
+
+    @property
+    def instruction_set(self) -> InstructionSet:
+        return load_builtin(self.isa_name)
+
+    @property
+    def vector_bits(self) -> int:
+        return self.instruction_set.vector_bits
+
+    def cycles_to_seconds(self, cycles: float, iterations: int = 1) -> float:
+        """Convert modelled cycles for one step into wall-clock seconds."""
+        return cycles * iterations / (self.clock_ghz * 1e9)

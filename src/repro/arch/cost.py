@@ -1,0 +1,116 @@
+"""Cost tables: how many cycles each IR construct costs on a target.
+
+The reproduction cannot execute NEON/SSE binaries, so "execution time"
+is defined as *modelled cycles*: the VM walks the generated program and
+charges each operation according to the active :class:`CostTable`.
+Values are calibrated against public instruction tables (Cortex-A72
+software optimisation guide, Agner Fog's x86 tables) at the granularity
+that matters for the paper's comparisons — relative costs of scalar ALU
+ops, vector ops, memory accesses and loop overhead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+from repro import ops
+from repro.isa.spec import InstructionSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTable:
+    """Per-architecture cycle costs (before compiler adjustments)."""
+
+    #: multiplier on the op table's ``base_cost`` for scalar ALU ops
+    scalar_scale: float = 1.0
+    #: per-op overrides (cycles), e.g. integer division latency
+    scalar_overrides: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    #: scalar L1 load / store cost
+    scalar_load: float = 4.0
+    scalar_store: float = 1.0
+    #: vector register load / store / broadcast cost
+    simd_load: float = 5.0
+    simd_store: float = 2.0
+    simd_broadcast: float = 2.0
+    #: extra stall when a vector load reads a buffer vector-stored earlier
+    #: in the same step (store-to-load forwarding limits); this is what
+    #: makes scattered SIMD expensive on Intel+GCC (§4.2, Fig. 5(b))
+    simd_reload_stall: float = 0.0
+    #: multiplier on an instruction spec's ``cost`` field
+    simd_scale: float = 1.0
+    #: per-iteration loop bookkeeping (increment + compare + branch)
+    loop_overhead: float = 2.0
+    #: taken-branch / select cost
+    branch: float = 2.0
+    #: call + return + register save for a library kernel call
+    call_overhead: float = 12.0
+    #: global multiplier modelling issue width / superscalar execution
+    #: (lower = wider core retiring more ops per cycle)
+    throughput_factor: float = 1.0
+
+    def scalar_op(self, op_name: str) -> float:
+        """Cycles for one scalar elementwise op."""
+        if op_name in self.scalar_overrides:
+            return self.scalar_overrides[op_name]
+        return ops.op_info(op_name).base_cost * self.scalar_scale
+
+    def simd_op(self, spec: InstructionSpec) -> float:
+        """Cycles for one SIMD instruction."""
+        return spec.cost * self.simd_scale
+
+    def scaled(self, cycles: float) -> float:
+        """Apply the global throughput factor to raw cycle counts."""
+        return cycles * self.throughput_factor
+
+
+@dataclasses.dataclass
+class CostBreakdown:
+    """Mutable accumulator the VM fills while executing a program."""
+
+    scalar_ops: float = 0.0
+    scalar_mem: float = 0.0
+    simd_ops: float = 0.0
+    simd_mem: float = 0.0
+    loop: float = 0.0
+    branch: float = 0.0
+    kernel: float = 0.0
+    call: float = 0.0
+
+    #: raw event counts, for reports and tests
+    counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def charge(self, category: str, cycles: float, event: Optional[str] = None) -> None:
+        setattr(self, category, getattr(self, category) + cycles)
+        if event is not None:
+            self.counts[event] = self.counts.get(event, 0) + 1
+
+    @property
+    def total(self) -> float:
+        return (
+            self.scalar_ops + self.scalar_mem + self.simd_ops + self.simd_mem
+            + self.loop + self.branch + self.kernel + self.call
+        )
+
+    def merged(self, other: "CostBreakdown") -> "CostBreakdown":
+        result = CostBreakdown()
+        for field in ("scalar_ops", "scalar_mem", "simd_ops", "simd_mem",
+                      "loop", "branch", "kernel", "call"):
+            setattr(result, field, getattr(self, field) + getattr(other, field))
+        result.counts = dict(self.counts)
+        for key, value in other.counts.items():
+            result.counts[key] = result.counts.get(key, 0) + value
+        return result
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "scalar_ops": self.scalar_ops,
+            "scalar_mem": self.scalar_mem,
+            "simd_ops": self.simd_ops,
+            "simd_mem": self.simd_mem,
+            "loop": self.loop,
+            "branch": self.branch,
+            "kernel": self.kernel,
+            "call": self.call,
+            "total": self.total,
+        }

@@ -1,0 +1,91 @@
+"""The evaluation targets of the paper, as architecture presets.
+
+* ``ARM_A72`` — the paper's embedded board (Debian 10, ARM Cortex-A72),
+  NEON 128-bit.  In-order-ish modest core: throughput factor 1.0.
+* ``INTEL_I7_8700`` — the paper's desktop (Arch Linux, i7-8700), AVX2
+  256-bit.  Wide out-of-order core: much lower effective cycles per op,
+  higher clock; the paper ran 10x the iterations on it to compensate.
+* ``INTEL_I7_8700_SSE4`` — the same core restricted to 128-bit SSE4,
+  for ablations.
+
+Calibration sources: ARM Cortex-A72 Software Optimisation Guide and
+Agner Fog's instruction tables (Skylake).  Only *relative* magnitudes
+matter for reproducing the paper's comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arch.arch import Architecture
+from repro.arch.cost import CostTable
+
+ARM_A72 = Architecture(
+    name="arm_a72",
+    isa_name="neon",
+    clock_ghz=1.5,
+    cost=CostTable(
+        scalar_scale=1.0,
+        scalar_overrides={"Div": 20.0, "Recp": 20.0, "Sqrt": 24.0, "Mul": 3.0},
+        scalar_load=4.0,
+        scalar_store=1.0,
+        simd_load=7.0,
+        simd_store=3.0,
+        simd_broadcast=2.0,
+        simd_scale=1.0,
+        simd_reload_stall=2.0,
+        loop_overhead=2.0,
+        branch=2.0,
+        call_overhead=12.0,
+        throughput_factor=1.0,
+    ),
+    baseline_scattered_simd=False,
+)
+
+INTEL_I7_8700 = Architecture(
+    name="intel_i7_8700",
+    isa_name="avx2",
+    clock_ghz=3.2,
+    cost=CostTable(
+        scalar_scale=0.8,
+        scalar_overrides={"Div": 14.0, "Recp": 14.0, "Sqrt": 15.0, "Mul": 2.4},
+        scalar_load=4.0,
+        scalar_store=1.0,
+        simd_load=6.0,
+        simd_store=3.0,
+        simd_broadcast=2.0,
+        simd_scale=1.0,
+        simd_reload_stall=14.0,
+        loop_overhead=1.6,
+        branch=1.6,
+        call_overhead=10.0,
+        throughput_factor=0.55,
+    ),
+    baseline_scattered_simd=True,
+)
+
+INTEL_I7_8700_SSE4 = Architecture(
+    name="intel_i7_8700_sse4",
+    isa_name="sse4",
+    clock_ghz=3.2,
+    cost=INTEL_I7_8700.cost,
+    baseline_scattered_simd=True,
+)
+
+_PRESETS: Dict[str, Architecture] = {
+    a.name: a for a in (ARM_A72, INTEL_I7_8700, INTEL_I7_8700_SSE4)
+}
+
+
+def get_architecture(name: str) -> Architecture:
+    """Look up a preset by name (``arm_a72``, ``intel_i7_8700``, ...)."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; presets: {sorted(_PRESETS)}"
+        ) from None
+
+
+def preset_names() -> Tuple[str, ...]:
+    return tuple(sorted(_PRESETS))

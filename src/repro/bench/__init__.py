@@ -1,0 +1,59 @@
+"""Benchmark models and harness reproducing the paper's evaluation."""
+
+from repro.bench.models import (
+    BENCHMARK_MODELS,
+    benchmark_inputs,
+    benchmark_suite,
+    conv_model,
+    dct_model,
+    fft_model,
+    fir_model,
+    highpass_model,
+    lowpass_model,
+)
+from repro.bench.runner import (
+    ARM_ITERATIONS,
+    GENERATORS,
+    INTEL_ITERATIONS,
+    RunResult,
+    compare_generators,
+    improvement,
+    iterations_for,
+    make_generator,
+    run_generator,
+)
+from repro.bench.report import (
+    render_figure1,
+    render_figure5,
+    render_figure5_bars,
+    render_table2,
+    results_to_csv,
+    summarize_improvements,
+)
+
+__all__ = [
+    "ARM_ITERATIONS",
+    "BENCHMARK_MODELS",
+    "GENERATORS",
+    "INTEL_ITERATIONS",
+    "RunResult",
+    "benchmark_inputs",
+    "benchmark_suite",
+    "compare_generators",
+    "conv_model",
+    "dct_model",
+    "fft_model",
+    "fir_model",
+    "highpass_model",
+    "improvement",
+    "iterations_for",
+    "lowpass_model",
+    "make_generator",
+    "render_figure1",
+    "render_figure5",
+    "render_figure5_bars",
+    "render_table2",
+    "results_to_csv",
+    "run_generator",
+    "summarize_improvements",
+]

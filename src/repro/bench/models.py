@@ -1,0 +1,149 @@
+"""The six benchmark models of the paper's evaluation (§4).
+
+FFT, DCT and Conv contain intensive computing actors; HighPass,
+LowPass and FIR contain batch computing actors (batch Add / Sub / Mul
+...).  Widths default to the paper's scales (1024-element signals,
+i32*1024 for FIR); every constructor takes the size as a parameter so
+tests and ablations can scale them down or up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+
+def fft_model(n: int = 1024, dtype: DataType = DataType.F32) -> Model:
+    """1-D fast Fourier transform of an ``n``-point float signal."""
+    b = ModelBuilder("FFT", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    spectrum = b.add_actor("FFT", "fft", x, n=n)
+    b.outport("y", spectrum)
+    return b.build()
+
+
+def dct_model(n: int = 1024, dtype: DataType = DataType.F32) -> Model:
+    """1-D discrete cosine transform of an ``n``-point float signal."""
+    b = ModelBuilder("DCT", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    coeffs = b.add_actor("DCT", "dct", x, n=n)
+    b.outport("y", coeffs)
+    return b.build()
+
+
+def conv_model(n: int = 1024, m: int = 64, dtype: DataType = DataType.F32) -> Model:
+    """1-D convolution of an ``n``-point signal with ``m`` filter taps."""
+    b = ModelBuilder("Conv", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    rng = np.random.default_rng(7)
+    taps = b.const("h", value=rng.normal(scale=0.2, size=m).tolist())
+    out = b.add_actor("Conv", "conv", x, taps, n=n, m=m)
+    b.outport("y", out)
+    return b.build()
+
+
+def highpass_model(n: int = 1024, dtype: DataType = DataType.F32) -> Model:
+    """First-order high-pass filter with a bypass switch.
+
+    A low-pass state ``lp = b*x + a*lp_prev`` is tracked with batch Mul
+    and Add actors (fusing into ``vmla``); the high-pass output is
+    ``x - lp``; a scalar control signal selects filtered output or raw
+    bypass.  The Switch exercises the generators' branch handling
+    (DFSynth's structured control flow vs per-element selects).
+    """
+    b = ModelBuilder("HighPass", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    ctrl = b.inport("ctrl")
+    a = b.const("a", value=[0.82] * n)
+    one_minus_a = b.const("b", value=[0.18] * n)
+    prev = b.add_actor("UnitDelay", "prev", dtype=dtype, shape=n, initial=0)
+    term_new = b.add_actor("Mul", "term_new", one_minus_a, x)
+    term_old = b.add_actor("Mul", "term_old", a, prev)
+    lp = b.add_actor("Add", "lp", term_new, term_old)
+    hp = b.add_actor("Sub", "hp", x, lp)
+    switch = b.add_actor("Switch", "bypass", hp, dtype=dtype, shape=n, threshold=0.5)
+    b.connect(ctrl, switch, "ctrl")
+    b.connect(x, switch, "in2")
+    b.outport("y", switch)
+    b.connect(lp, prev, "in1")
+    return b.build()
+
+
+def lowpass_model(n: int = 1024, dtype: DataType = DataType.F32) -> Model:
+    """First-order low-pass filter with output clamping.
+
+    ``y = clamp(a*x + (1-a)*y_prev, lo, hi)`` — a chain of batch Mul,
+    Mul, Add, Min and Max actors over ``n``-element float signals with
+    a feedback UnitDelay.  The Mul + Add pair fuses into ``vmla``.
+    """
+    b = ModelBuilder("LowPass", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    a = b.const("a", value=[0.3] * n)
+    one_minus_a = b.const("b", value=[0.7] * n)
+    hi = b.const("hi", value=[0.95] * n)
+    lo = b.const("lo", value=[-0.95] * n)
+    prev = b.add_actor("UnitDelay", "prev", dtype=dtype, shape=n, initial=0)
+    term_new = b.add_actor("Mul", "term_new", a, x)
+    term_old = b.add_actor("Mul", "term_old", one_minus_a, prev)
+    mixed = b.add_actor("Add", "mixed", term_new, term_old)
+    clipped_hi = b.add_actor("Min", "clip_hi", mixed, hi)
+    y = b.add_actor("Max", "clip_lo", clipped_hi, lo)
+    b.outport("y", y)
+    b.connect(y, prev, "in1")
+    return b.build()
+
+
+def fir_model(n: int = 1024, dtype: DataType = DataType.I32) -> Model:
+    """Integer FIR stage: batch Mul (i32*1024) then batch Add (i32*1024).
+
+    This is the paper's §4.1 example of the model Simulink Coder fails
+    to vectorise ("two connected batch computing actors, batch Mul
+    (i32*1024) and batch Add (i32*1024)").
+    """
+    b = ModelBuilder("FIR", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    rng = np.random.default_rng(11)
+    coeffs = b.const("h", value=rng.integers(-8, 9, size=n).tolist())
+    delayed = b.add_actor("UnitDelay", "delayed", dtype=dtype, shape=n, initial=0)
+    weighted = b.add_actor("Mul", "weighted", x, coeffs)
+    acc = b.add_actor("Add", "acc", weighted, delayed)
+    b.outport("y", acc)
+    b.connect(x, delayed, "in1")
+    return b.build()
+
+
+#: model name -> constructor with paper-scale defaults
+BENCHMARK_MODELS: Dict[str, Callable[[], Model]] = {
+    "FFT": fft_model,
+    "DCT": dct_model,
+    "Conv": conv_model,
+    "HighPass": highpass_model,
+    "LowPass": lowpass_model,
+    "FIR": fir_model,
+}
+
+
+def benchmark_suite() -> Dict[str, Model]:
+    """All six benchmark models at the paper's scales."""
+    return {name: make() for name, make in BENCHMARK_MODELS.items()}
+
+
+def benchmark_inputs(model: Model, seed: int = 2022) -> Dict[str, np.ndarray]:
+    """Deterministic pseudo-random step inputs for a benchmark model."""
+    rng = np.random.default_rng(seed)
+    inputs: Dict[str, np.ndarray] = {}
+    for inport in model.inports:
+        port = inport.output("out")
+        shape = port.shape or ()
+        if inport.name == "ctrl":
+            inputs[inport.name] = np.asarray(1.0, dtype=port.dtype.numpy_dtype)
+        elif port.dtype.is_float:
+            inputs[inport.name] = rng.uniform(-1.0, 1.0, size=shape).astype(port.dtype.numpy_dtype)
+        else:
+            inputs[inport.name] = rng.integers(-1000, 1000, size=shape).astype(port.dtype.numpy_dtype)
+    return inputs

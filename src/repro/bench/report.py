@@ -1,0 +1,113 @@
+"""Text rendering of the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.bench.runner import RunResult, improvement
+
+
+def render_table2(rows: Mapping[str, Mapping[str, RunResult]]) -> str:
+    """Render Table 2: per-model execution times plus HCG improvement.
+
+    ``rows`` maps model name -> generator name -> result.
+    """
+    lines = [
+        f"{'Model':10s} {'Simulink':>10s} {'DFSynth':>10s} {'HCG':>10s} "
+        f"{'vs Simulink':>12s} {'vs DFSynth':>11s}"
+    ]
+    for model, results in rows.items():
+        simulink = results["simulink_coder"].seconds
+        dfsynth = results["dfsynth"].seconds
+        hcg = results["hcg"].seconds
+        lines.append(
+            f"{model:10s} {simulink:9.3f}s {dfsynth:9.3f}s {hcg:9.3f}s "
+            f"{improvement(simulink, hcg):11.1f}% {improvement(dfsynth, hcg):10.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_figure5(
+    panels: Mapping[str, Mapping[str, Mapping[str, RunResult]]]
+) -> str:
+    """Render Figure 5: one panel per (arch, compiler) combination.
+
+    ``panels`` maps panel label -> model -> generator -> result.
+    """
+    blocks: List[str] = []
+    for label, rows in panels.items():
+        blocks.append(f"--- {label} ---")
+        blocks.append(render_table2(rows))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def render_figure1(series: Mapping[str, Mapping[int, float]]) -> str:
+    """Render Figure 1: FFT implementation cost per input length.
+
+    ``series`` maps implementation name -> {input length: cost}.
+    """
+    lengths = sorted({n for curve in series.values() for n in curve})
+    header = f"{'n':>6s} " + " ".join(f"{name:>16s}" for name in series)
+    lines = [header]
+    for n in lengths:
+        cells = []
+        for name in series:
+            value = series[name].get(n)
+            cells.append(f"{value:16.0f}" if value is not None else f"{'-':>16s}")
+        lines.append(f"{n:6d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure5_bars(
+    panels: Mapping[str, Mapping[str, Mapping[str, RunResult]]],
+    width: int = 40,
+) -> str:
+    """ASCII bar charts, one panel per (arch, compiler) — the visual
+    shape of the paper's Figure 5."""
+    blocks: List[str] = []
+    for label, rows in panels.items():
+        blocks.append(f"--- {label} ---")
+        peak = max(r.seconds for results in rows.values() for r in results.values())
+        for model, results in rows.items():
+            blocks.append(f"{model}:")
+            for generator in ("simulink_coder", "dfsynth", "hcg"):
+                seconds = results[generator].seconds
+                bar = "#" * max(int(round(seconds / peak * width)), 1)
+                blocks.append(f"  {generator:15s} {bar} {seconds:.3f}s")
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def results_to_csv(rows: Mapping[str, Mapping[str, RunResult]]) -> str:
+    """Comma-separated export of a result table for external plotting."""
+    lines = [
+        "model,generator,arch,compiler,seconds,cycles_per_step,iterations,"
+        "codegen_seconds,data_bytes"
+    ]
+    for model, results in rows.items():
+        for generator, run in results.items():
+            lines.append(
+                f"{model},{generator},{run.arch},{run.compiler},"
+                f"{run.seconds:.6f},{run.cycles_per_step:.1f},{run.iterations},"
+                f"{run.codegen_seconds:.4f},{run.data_bytes}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def summarize_improvements(
+    rows: Mapping[str, Mapping[str, RunResult]]
+) -> Dict[str, float]:
+    """Min/max improvement of HCG over each baseline across models."""
+    vs_simulink = [
+        improvement(r["simulink_coder"].seconds, r["hcg"].seconds) for r in rows.values()
+    ]
+    vs_dfsynth = [
+        improvement(r["dfsynth"].seconds, r["hcg"].seconds) for r in rows.values()
+    ]
+    return {
+        "simulink_min": min(vs_simulink),
+        "simulink_max": max(vs_simulink),
+        "dfsynth_min": min(vs_dfsynth),
+        "dfsynth_max": max(vs_dfsynth),
+    }

@@ -1,0 +1,158 @@
+"""Benchmark harness: generate, compile, execute, compare.
+
+One :func:`run_generator` call does what the paper's evaluation did for
+one (model, tool, architecture, compiler) cell: generate code, compile
+it, run it on the target and report execution time — except the target
+is the cost-modelled VM, so "execution time" is modelled seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.arch import Architecture
+from repro.bench.models import benchmark_inputs
+from repro.codegen.dfsynth import DfsynthGenerator
+from repro.codegen.hcg.generator import HcgGenerator
+from repro.codegen.simulink_coder import SimulinkCoderGenerator
+from repro.compiler.toolchain import Compiler
+from repro.errors import ReproError
+from repro.ir.program import Program
+from repro.model.graph import Model
+from repro.model.semantics import ModelEvaluator
+from repro.vm.machine import Machine
+
+GENERATORS = ("simulink_coder", "dfsynth", "hcg")
+
+#: iterations the paper used per target (Intel ran 10x the ARM count)
+ARM_ITERATIONS = 10_000
+INTEL_ITERATIONS = 100_000
+
+
+def make_generator(name: str, arch: Architecture, **kwargs):
+    if name == "simulink_coder":
+        return SimulinkCoderGenerator(arch, **kwargs)
+    if name == "dfsynth":
+        return DfsynthGenerator(arch, **kwargs)
+    if name == "hcg":
+        return HcgGenerator(arch, **kwargs)
+    raise ReproError(f"unknown generator {name!r}; choose from {GENERATORS}")
+
+
+def iterations_for(arch: Architecture) -> int:
+    return INTEL_ITERATIONS if arch.name.startswith("intel") else ARM_ITERATIONS
+
+
+@dataclasses.dataclass
+class RunResult:
+    """One evaluation cell."""
+
+    model: str
+    generator: str
+    arch: str
+    compiler: str
+    cycles_per_step: float
+    seconds: float
+    iterations: int
+    outputs: Dict[str, np.ndarray]
+    codegen_seconds: float
+    data_bytes: int
+    program: Program
+
+
+def run_generator(
+    model: Model,
+    generator_name: str,
+    arch: Architecture,
+    compiler: Compiler,
+    inputs: Optional[Mapping[str, Any]] = None,
+    iterations: Optional[int] = None,
+    steps: int = 1,
+    **generator_kwargs: Any,
+) -> RunResult:
+    """Generate code with one tool and execute it on the VM."""
+    if inputs is None:
+        inputs = benchmark_inputs(model)
+    if iterations is None:
+        iterations = iterations_for(arch)
+
+    generator = make_generator(generator_name, arch, **generator_kwargs)
+    started = time.perf_counter()
+    program = generator.generate(model)
+    codegen_seconds = time.perf_counter() - started
+
+    compiled = compiler.compile(program)
+    machine = Machine(compiled, arch, cost=compiler.effective_cost(arch))
+    result = None
+    for _ in range(max(steps, 1)):
+        result = machine.run(inputs)
+    assert result is not None
+    return RunResult(
+        model=model.name,
+        generator=generator_name,
+        arch=arch.name,
+        compiler=compiler.name,
+        cycles_per_step=result.cycles,
+        seconds=result.seconds(arch, iterations),
+        iterations=iterations,
+        outputs=result.outputs,
+        codegen_seconds=codegen_seconds,
+        data_bytes=compiled.data_bytes(),
+        program=compiled,
+    )
+
+
+def compare_generators(
+    model: Model,
+    arch: Architecture,
+    compiler: Compiler,
+    generators: Sequence[str] = GENERATORS,
+    inputs: Optional[Mapping[str, Any]] = None,
+    check_consistency: bool = True,
+    steps: int = 1,
+    **generator_kwargs: Any,
+) -> Dict[str, RunResult]:
+    """Run every generator on one model; verify the outputs agree.
+
+    The paper reports that "their computation results of each execution
+    are consistent"; we assert it.
+    """
+    if inputs is None:
+        inputs = benchmark_inputs(model)
+    results = {
+        name: run_generator(
+            model, name, arch, compiler, inputs=inputs, steps=steps, **generator_kwargs
+        )
+        for name in generators
+    }
+    if check_consistency and len(results) > 1:
+        reference = ModelEvaluator(model)
+        expected = None
+        for _ in range(max(steps, 1)):
+            expected = reference.step(inputs)
+        assert expected is not None
+        for name, run in results.items():
+            for out_name, value in expected.items():
+                got = run.outputs[out_name].reshape(value.shape)
+                if value.dtype.kind in "fc":
+                    if not np.allclose(got, value, rtol=1e-4, atol=1e-4, equal_nan=True):
+                        raise ReproError(
+                            f"{name} output {out_name!r} diverges from the model "
+                            f"reference (max err {np.abs(got - value).max():g})"
+                        )
+                elif not np.array_equal(got, value):
+                    raise ReproError(
+                        f"{name} output {out_name!r} diverges from the model reference"
+                    )
+    return results
+
+
+def improvement(baseline_seconds: float, hcg_seconds: float) -> float:
+    """The paper's improvement metric: time reduction in percent."""
+    if baseline_seconds <= 0:
+        return 0.0
+    return (baseline_seconds - hcg_seconds) / baseline_seconds * 100.0

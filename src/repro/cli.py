@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the paper's tool is used:
+
+* ``generate`` — model XML in, C source out, for a chosen generator and
+  architecture;
+* ``run``      — execute a model's generated code on the cost VM and
+  report outputs and modelled cycles;
+* ``bench``    — regenerate Table 2 (or one model) on a chosen target;
+* ``inspect``  — dispatch report: how HCG classifies a model's actors;
+* ``isa``      — list or dump the built-in instruction sets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.presets import get_architecture, preset_names
+from repro.bench.models import BENCHMARK_MODELS, benchmark_inputs
+from repro.bench.report import render_table2, summarize_improvements
+from repro.bench.runner import GENERATORS, compare_generators, make_generator
+from repro.codegen.hcg.dispatch import dispatch
+from repro.compiler.toolchain import compiler_names, get_compiler
+from repro.errors import ReproError
+from repro.ir.cemit import emit_c
+from repro.ir.printer import format_program
+from repro.isa.parser import dump_instruction_set
+from repro.isa.registry import builtin_names, load_builtin
+from repro.model.xml_io import read_model
+from repro.schedule.scheduler import compute_schedule
+from repro.vm.machine import Machine
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--width", type=int, default=1, dest="mdl_width",
+        help="default Inport width when loading classic .mdl models",
+    )
+
+
+def _add_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch", default="arm_a72", choices=preset_names(),
+        help="target architecture preset",
+    )
+    parser.add_argument(
+        "--compiler", default="gcc", choices=compiler_names(),
+        help="toolchain model applied to the generated code",
+    )
+
+
+def _load_model(args: argparse.Namespace):
+    if args.model in BENCHMARK_MODELS:
+        return BENCHMARK_MODELS[args.model]()
+    if str(args.model).endswith(".mdl"):
+        from repro.model.mdl_io import read_mdl
+
+        width = getattr(args, "mdl_width", 1) or 1
+        return read_mdl(args.model, default_width=width)
+    return read_model(args.model)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    arch = get_architecture(args.arch)
+    generator = make_generator(args.generator, arch)
+    program = generator.generate(model)
+    if args.project:
+        from pathlib import Path
+
+        from repro.ir.project import emit_project
+
+        directory = Path(args.project)
+        directory.mkdir(parents=True, exist_ok=True)
+        for filename, contents in emit_project(program, arch.instruction_set).items():
+            (directory / filename).write_text(contents)
+            print(f"wrote {directory / filename}")
+        return 0
+    if args.ir:
+        text = format_program(program)
+    else:
+        text = emit_c(program, arch.instruction_set)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    arch = get_architecture(args.arch)
+    compiler = get_compiler(args.compiler)
+    generator = make_generator(args.generator, arch)
+    program = compiler.compile(generator.generate(model))
+    machine = Machine(program, arch, cost=compiler.effective_cost(arch))
+    inputs = benchmark_inputs(model, seed=args.seed)
+    result = None
+    for _ in range(args.steps):
+        result = machine.run(inputs)
+    assert result is not None
+    for name, value in result.outputs.items():
+        flat = np.asarray(value).ravel()
+        preview = ", ".join(f"{v:g}" for v in flat[:8])
+        suffix = ", ..." if flat.size > 8 else ""
+        print(f"{name}: [{preview}{suffix}]  ({flat.size} elements)")
+    print(f"modelled cycles/step: {result.cycles:,.1f}")
+    if args.profile:
+        from repro.vm.profile import profile_report
+
+        print(profile_report(result, arch))
+    else:
+        print(f"cost breakdown: {json.dumps(result.cost.as_dict(), indent=2)}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    arch = get_architecture(args.arch)
+    compiler = get_compiler(args.compiler)
+    names = [args.model] if args.model else list(BENCHMARK_MODELS)
+    rows = {}
+    for name in names:
+        if name not in BENCHMARK_MODELS:
+            raise ReproError(
+                f"unknown benchmark model {name!r}; choose from {sorted(BENCHMARK_MODELS)}"
+            )
+        rows[name] = compare_generators(BENCHMARK_MODELS[name](), arch, compiler, steps=2)
+    print(f"target: {arch.name} + {compiler.name}")
+    print(render_table2(rows))
+    if len(rows) > 1:
+        summary = summarize_improvements(rows)
+        print(
+            f"HCG improvement: vs Simulink {summary['simulink_min']:.1f}-"
+            f"{summary['simulink_max']:.1f}%, vs DFSynth {summary['dfsynth_min']:.1f}-"
+            f"{summary['dfsynth_max']:.1f}%"
+        )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    model = _load_model(args)
+    arch = get_architecture(args.arch)
+    schedule = compute_schedule(model)
+    result = dispatch(model, schedule, arch.instruction_set)
+    print(f"model {model.name}: {len(model.actors)} actors, "
+          f"{len(model.connections)} connections")
+    print(f"schedule: {' -> '.join(schedule.order)}")
+    print(f"intensive computing actors: {list(result.intensive) or 'none'}")
+    if result.groups:
+        for index, group in enumerate(result.groups):
+            lanes = arch.instruction_set.vector_bits // group.bit_width
+            print(f"batch group {index}: {list(group.members)} "
+                  f"(width {group.width}, {group.bit_width}-bit elements, "
+                  f"{lanes} lanes/register)")
+    else:
+        print("batch groups: none")
+    classified = set(result.intensive) | {m for g in result.groups for m in g.members}
+    basic = [a.name for a in model.actors if a.name not in classified]
+    print(f"conventional (basic) actors: {basic}")
+    return 0
+
+
+def cmd_isa(args: argparse.Namespace) -> int:
+    if not args.name:
+        for name in builtin_names():
+            iset = load_builtin(name)
+            compound = sum(1 for i in iset.instructions if i.node_count > 1)
+            print(f"{name:8s} {iset.vector_bits:4d}-bit  "
+                  f"{len(iset.instructions):3d} instructions "
+                  f"({compound} compound)")
+        return 0
+    print(dump_instruction_set(load_builtin(args.name)), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HCG reproduction: Simulink-style code generation with "
+                    "SIMD instruction synthesis (DAC 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate C (or IR) for a model")
+    p.add_argument("model", help="model XML path, or a benchmark name (FFT, FIR, ...)")
+    p.add_argument("--generator", default="hcg", choices=GENERATORS)
+    p.add_argument("--output", "-o", help="write to a file instead of stdout")
+    p.add_argument("--ir", action="store_true", help="print the IR instead of C")
+    p.add_argument("--project", metavar="DIR",
+                   help="write a deployable project (source + header + README)")
+    _add_model_args(p)
+    _add_target_args(p)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("run", help="execute generated code on the cost VM")
+    p.add_argument("model")
+    p.add_argument("--generator", default="hcg", choices=GENERATORS)
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument("--seed", type=int, default=2022)
+    p.add_argument("--profile", action="store_true",
+                   help="print a profiler view of the cycle budget")
+    _add_model_args(p)
+    _add_target_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("bench", help="regenerate Table 2 on a target")
+    p.add_argument("--model", help="single benchmark model (default: all six)")
+    _add_target_args(p)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("inspect", help="show HCG's actor dispatch for a model")
+    p.add_argument("model")
+    _add_model_args(p)
+    _add_target_args(p)
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("isa", help="list or dump instruction sets")
+    p.add_argument("name", nargs="?", help="dump this set as .si text")
+    p.set_defaults(func=cmd_isa)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Code generators: HCG and the two baselines."""
+
+from repro.codegen.dfsynth import DfsynthGenerator
+from repro.codegen.hcg import HcgGenerator
+from repro.codegen.simulink_coder import SimulinkCoderGenerator
+
+__all__ = ["DfsynthGenerator", "HcgGenerator", "SimulinkCoderGenerator"]

@@ -1,0 +1,386 @@
+"""Shared code-generation machinery.
+
+Every generator follows the paper's four steps: ① model parse,
+② schedule analysis, ③ per-actor code synthesis, ④ composition.  This
+module holds the parts all three share:
+
+* the signal-buffer layout (one flat buffer per materialised output
+  port; inputs/consts/state/outputs have fixed kinds);
+* *expression folding* — Simulink Coder's core optimization — realised
+  as a recursive element-expression builder that folds single-consumer
+  elementwise chains into one expression;
+* the conventional scalar translation (unrolled below a width
+  threshold, a ``for`` loop above it), which Simulink-Coder-style
+  generation uses everywhere and HCG uses for basic actors (§3's
+  "conventional translation method of the built-in Simulink Coder").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import CodegenError, UnsupportedActorError
+from repro.dtypes import DataType
+from repro.ir.expr import Cmp, Const, Expr, Load, ScalarOp, Select, Var, const_i
+from repro.ir.program import NameAllocator, Program
+from repro.ir.stmt import CopyBuffer, For, KernelCall, Stmt, Store
+from repro.ir.types import BufferDecl, BufferKind
+from repro.model.actor import Actor
+from repro.model.actor_defs import ActorKind, actor_def
+from repro.model.graph import Model
+from repro.schedule.scheduler import Schedule, compute_schedule
+
+#: Ports of an actor's output are foldable when the actor is one of these.
+FOLDABLE_TYPES_EXTRA = frozenset({"Gain", "Switch"})
+
+#: Simulink Coder unrolls elementwise code at or below this width (the
+#: Fig. 2 sample, width 4, is emitted unrolled).
+UNROLL_LIMIT = 8
+
+_IDENT_RE = re.compile(r"[^0-9a-zA-Z_]")
+
+
+def sanitize(name: str) -> str:
+    """Make a model name safe as a C identifier."""
+    cleaned = _IDENT_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+PortKey = Tuple[str, str]  # (actor name, output port name)
+
+
+class CodegenContext:
+    """Mutable state shared by one generation run."""
+
+    def __init__(self, model: Model, program_name: str, generator: str) -> None:
+        model.validate()
+        self.model = model
+        self.schedule: Schedule = compute_schedule(model)
+        self.program = Program(name=program_name, generator=generator)
+        self.names = NameAllocator()
+        self._buffers: Dict[PortKey, str] = {}
+        #: output ports that own a written buffer
+        self.materialized: Set[PortKey] = set()
+        #: Outport actors whose buffer is already written by generated
+        #: code (e.g. a batch group storing straight into the output),
+        #: so composition must not emit a copy for them
+        self.satisfied_sinks: Set[str] = set()
+        self._setup_fixed_buffers()
+
+    # ------------------------------------------------------------------
+    # Buffer layout
+    # ------------------------------------------------------------------
+    def _setup_fixed_buffers(self) -> None:
+        for actor in self.model.actors:
+            kind = actor_def(actor.actor_type).kind
+            if actor.actor_type == "Inport":
+                self._declare(actor, actor.output("out"), BufferKind.INPUT, name=sanitize(actor.name))
+            elif actor.actor_type == "Const":
+                value = np.asarray(actor.params["value"]).ravel()
+                self._declare(
+                    actor, actor.output("out"), BufferKind.CONST,
+                    init=tuple(float(v) for v in value),
+                )
+            elif actor.actor_type == "UnitDelay":
+                port = actor.output("out")
+                initial = np.broadcast_to(
+                    np.asarray(actor.params.get("initial", 0), dtype=port.dtype.numpy_dtype),
+                    port.shape or (1,),
+                ).ravel()
+                self._declare(
+                    actor, port, BufferKind.STATE,
+                    init=tuple(float(v) for v in initial),
+                )
+            elif kind is ActorKind.SINK:
+                port = actor.input("in1")
+                name = self.names.reserve(sanitize(actor.name))
+                self.program.add_buffer(
+                    BufferDecl(name, port.dtype, port.width, BufferKind.OUTPUT, port.shape)
+                )
+
+    def _declare(self, actor: Actor, port, kind: BufferKind,
+                 init: Optional[Tuple[float, ...]] = None, name: Optional[str] = None) -> str:
+        buffer_name = self.names.reserve(name or sanitize(f"{actor.name}__{port.name}"))
+        self.program.add_buffer(
+            BufferDecl(buffer_name, port.dtype, port.width, kind, port.shape, init)
+        )
+        self._buffers[(actor.name, port.name)] = buffer_name
+        self.materialized.add((actor.name, port.name))
+        return buffer_name
+
+    def ensure_local(self, actor_name: str, port_name: str) -> str:
+        """The LOCAL buffer of an output port, created on first use."""
+        key = (actor_name, port_name)
+        if key in self._buffers:
+            return self._buffers[key]
+        actor = self.model.actor(actor_name)
+        port = actor.output(port_name)
+        buffer_name = self.names.reserve(sanitize(f"{actor_name}__{port_name}"))
+        self.program.add_buffer(
+            BufferDecl(buffer_name, port.dtype, port.width, BufferKind.LOCAL, port.shape)
+        )
+        self._buffers[key] = buffer_name
+        return buffer_name
+
+    def alias_port(self, actor_name: str, port_name: str, buffer_name: str) -> None:
+        """Make an output port write directly into an existing buffer
+        (used to store batch-group results straight into an Outport)."""
+        self._buffers[(actor_name, port_name)] = buffer_name
+        self.materialized.add((actor_name, port_name))
+
+    def buffer_of(self, actor_name: str, port_name: str) -> str:
+        try:
+            return self._buffers[(actor_name, port_name)]
+        except KeyError:
+            raise CodegenError(
+                f"no buffer declared for port {actor_name}.{port_name}"
+            ) from None
+
+    def outport_buffer(self, actor_name: str) -> str:
+        return sanitize(actor_name)
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+    def driver(self, actor_name: str, in_port: str) -> PortKey:
+        connection = self.model.driver_of(actor_name, in_port)
+        assert connection is not None, "validated models have driven inputs"
+        return (connection.src_actor, connection.src_port)
+
+    def consumers(self, actor_name: str, out_port: str):
+        return self.model.consumers_of(actor_name, out_port)
+
+
+# ---------------------------------------------------------------------------
+# Expression folding
+# ---------------------------------------------------------------------------
+
+def is_foldable(actor: Actor) -> bool:
+    """Whether this actor's output can fold into a consumer expression."""
+    kind = actor_def(actor.actor_type).kind
+    return kind is ActorKind.ELEMENTWISE or actor.actor_type in FOLDABLE_TYPES_EXTRA
+
+
+def element_expr(ctx: CodegenContext, key: PortKey, index: Expr) -> Expr:
+    """The scalar expression for element ``index`` of an output port.
+
+    Materialised ports load from their buffer; foldable unmaterialised
+    producers are folded in recursively (Simulink Coder's expression
+    folding).
+    """
+    actor_name, port_name = key
+    if key in ctx.materialized:
+        return Load(ctx.buffer_of(actor_name, port_name), index)
+
+    actor = ctx.model.actor(actor_name)
+    defn = actor_def(actor.actor_type)
+    if not is_foldable(actor):
+        raise CodegenError(
+            f"port {actor_name}.{port_name} is neither materialised nor foldable"
+        )
+
+    out_port = actor.output(port_name)
+
+    def input_elem(in_port_name: str, elem_index: Expr) -> Expr:
+        return element_expr(ctx, ctx.driver(actor_name, in_port_name), elem_index)
+
+    if actor.actor_type == "Gain":
+        gain = Const(_scalar_param(actor.params["gain"], out_port.dtype), out_port.dtype)
+        return ScalarOp("Mul", (input_elem("in1", index), gain), out_port.dtype)
+    if actor.actor_type == "Switch":
+        threshold = Const(_scalar_param(actor.params["threshold"], out_port.dtype), out_port.dtype)
+        condition = Cmp(">=", input_elem("ctrl", const_i(0)), threshold)
+        return Select(condition, input_elem("in1", index), input_elem("in2", index))
+    if defn.kind is ActorKind.ELEMENTWISE:
+        from repro import ops
+
+        info = ops.op_info(defn.op_name)
+        args = tuple(input_elem(f"in{i + 1}", index) for i in range(info.arity))
+        imm = int(actor.params["shift"]) if info.needs_imm else None
+        return ScalarOp(defn.op_name, args, out_port.dtype, imm)
+    raise UnsupportedActorError(f"cannot fold actor type {actor.actor_type!r}")
+
+
+def _scalar_param(value, dtype: DataType):
+    scalar = np.asarray(value, dtype=dtype.numpy_dtype)
+    if scalar.ndim != 0 and scalar.size != 1:
+        raise CodegenError(f"expected scalar parameter, got shape {scalar.shape}")
+    return scalar.reshape(()).item()
+
+
+# ---------------------------------------------------------------------------
+# Conventional scalar synthesis
+# ---------------------------------------------------------------------------
+
+def store_elements(
+    ctx: CodegenContext,
+    dest_buffer: str,
+    width: int,
+    make_expr,
+    unroll_limit: int = UNROLL_LIMIT,
+    loop_var_hint: str = "i",
+) -> List[Stmt]:
+    """Emit ``dest[i] = make_expr(i)`` for all ``width`` elements.
+
+    Below ``unroll_limit`` the stores are unrolled (Fig. 2's style);
+    otherwise a ``for`` loop with a symbolic index is produced.
+    """
+    if width <= unroll_limit:
+        return [
+            Store(dest_buffer, const_i(i), make_expr(const_i(i)))
+            for i in range(width)
+        ]
+    loop_var = ctx.names.fresh(loop_var_hint)
+    body = (Store(dest_buffer, Var(loop_var), make_expr(Var(loop_var))),)
+    return [For(loop_var, const_i(0), const_i(width), 1, body)]
+
+
+def materialize_port(
+    ctx: CodegenContext,
+    key: PortKey,
+    unroll_limit: int = UNROLL_LIMIT,
+) -> List[Stmt]:
+    """Compute a foldable port into its own (local) buffer."""
+    actor_name, port_name = key
+    actor = ctx.model.actor(actor_name)
+    width = actor.output(port_name).width
+    buffer_name = ctx.ensure_local(actor_name, port_name)
+
+    # Temporarily un-materialise so the folded expression recurses into
+    # this actor's own computation instead of loading the target buffer.
+    ctx.materialized.discard(key)
+    statements = store_elements(
+        ctx, buffer_name, width, lambda idx: element_expr(ctx, key, idx), unroll_limit
+    )
+    ctx.materialized.add(key)
+    return statements
+
+
+def emit_outport(ctx: CodegenContext, actor: Actor, unroll_limit: int = UNROLL_LIMIT) -> List[Stmt]:
+    """Write the folded driver expression into the OUTPUT buffer."""
+    driver_key = ctx.driver(actor.name, "in1")
+    width = actor.input("in1").width
+    dest = ctx.outport_buffer(actor.name)
+    if driver_key in ctx.materialized:
+        source = ctx.buffer_of(*driver_key)
+        return [CopyBuffer(dest, const_i(0), source, const_i(0), width)]
+    return store_elements(
+        ctx, dest, width, lambda idx: element_expr(ctx, driver_key, idx), unroll_limit
+    )
+
+
+def emit_state_updates(ctx: CodegenContext, unroll_limit: int = UNROLL_LIMIT) -> List[Stmt]:
+    """End-of-step commits of every UnitDelay's input into its state."""
+    statements: List[Stmt] = []
+    for actor in ctx.model.actors:
+        if actor.actor_type != "UnitDelay":
+            continue
+        driver_key = ctx.driver(actor.name, "in1")
+        width = actor.output("out").width
+        state_buffer = ctx.buffer_of(actor.name, "out")
+        if driver_key in ctx.materialized:
+            source = ctx.buffer_of(*driver_key)
+            statements.append(CopyBuffer(state_buffer, const_i(0), source, const_i(0), width))
+        else:
+            statements.extend(
+                store_elements(
+                    ctx, state_buffer, width,
+                    lambda idx: element_expr(ctx, driver_key, idx), unroll_limit,
+                )
+            )
+    return statements
+
+
+# ---------------------------------------------------------------------------
+# Intensive actor plumbing shared by the generators
+# ---------------------------------------------------------------------------
+
+def kernel_call_for(
+    ctx: CodegenContext,
+    actor: Actor,
+    kernel_id: str,
+) -> KernelCall:
+    """Build the KernelCall statement for an intensive actor.
+
+    All of the actor's input drivers must already be materialised
+    (generators mark them as materialisation points).
+    """
+    inputs = []
+    in_shapes = []
+    for port in actor.inputs:
+        key = ctx.driver(actor.name, port.name)
+        if key not in ctx.materialized:
+            raise CodegenError(
+                f"intensive actor {actor.name!r}: input {port.name} driver not materialised"
+            )
+        inputs.append(ctx.buffer_of(*key))
+        in_shapes.append(tuple(port.shape or (1,)))
+    outputs = []
+    out_shapes = []
+    for port in actor.outputs:
+        outputs.append(ctx.ensure_local(actor.name, port.name))
+        ctx.materialized.add((actor.name, port.name))
+        out_shapes.append(tuple(port.shape or (1,)))
+    params = dict(actor.params)
+    params["in_shapes"] = tuple(in_shapes)
+    params["out_shapes"] = tuple(out_shapes)
+    return KernelCall(
+        kernel_id=kernel_id,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        params=tuple(sorted(params.items(), key=lambda kv: kv[0])),
+    )
+
+
+#: basic actors translated as buffer copies (Simulink Selector/Concatenate)
+COPY_ACTOR_TYPES = frozenset({"Slice", "Concat"})
+
+
+def mark_buffer_required_inputs(ctx: CodegenContext, extra_points: Set[PortKey]) -> None:
+    """Collect ports that must be materialised because a consumer needs a
+    real buffer: intensive-actor inputs (kernel calls read memory) and
+    copy-actor inputs (memcpy sources)."""
+    for actor in ctx.model.actors:
+        kind = actor_def(actor.actor_type).kind
+        if kind is ActorKind.INTENSIVE or actor.actor_type in COPY_ACTOR_TYPES:
+            for port in actor.inputs:
+                extra_points.add(ctx.driver(actor.name, port.name))
+
+
+def emit_copy_actor(ctx: CodegenContext, actor: Actor) -> List[Stmt]:
+    """Translate a Slice/Concat actor as buffer copies."""
+    out_buffer = ctx.ensure_local(actor.name, "out")
+    ctx.materialized.add((actor.name, "out"))
+    if actor.actor_type == "Slice":
+        source = ctx.buffer_of(*ctx.driver(actor.name, "in1"))
+        offset = int(actor.params["offset"])
+        length = int(actor.params["length"])
+        return [CopyBuffer(out_buffer, const_i(0), source, const_i(offset), length)]
+    if actor.actor_type == "Concat":
+        first = ctx.buffer_of(*ctx.driver(actor.name, "in1"))
+        second = ctx.buffer_of(*ctx.driver(actor.name, "in2"))
+        first_len = actor.input("in1").width
+        second_len = actor.input("in2").width
+        return [
+            CopyBuffer(out_buffer, const_i(0), first, const_i(0), first_len),
+            CopyBuffer(out_buffer, const_i(first_len), second, const_i(0), second_len),
+        ]
+    raise UnsupportedActorError(f"{actor.actor_type!r} is not a copy actor")
+
+
+def fanout_materialization_points(ctx: CodegenContext) -> Set[PortKey]:
+    """Foldable ports with more than one consumer (Simulink materialises
+    multi-use signals instead of recomputing them)."""
+    points: Set[PortKey] = set()
+    for actor in ctx.model.actors:
+        if not is_foldable(actor):
+            continue
+        for port in actor.outputs:
+            if len(ctx.consumers(actor.name, port.name)) != 1:
+                points.add((actor.name, port.name))
+    return points

@@ -1,0 +1,52 @@
+"""HCG: actor dispatch + SIMD instruction synthesis (the paper's core)."""
+
+from repro.codegen.hcg.batch import BatchSynthesizer
+from repro.codegen.hcg.dfg import Dfg, DfgNode, ExtInput, NodeInput, build_dfg
+from repro.codegen.hcg.dispatch import (
+    BatchGroup,
+    DispatchResult,
+    dispatch,
+    is_batch_actor,
+    is_intensive_actor,
+    single_node_instruction,
+)
+from repro.codegen.hcg.generator import HcgGenerator
+from repro.codegen.hcg.history import SelectionHistory, SelectionKey, size_signature
+from repro.codegen.hcg.intensive import IntensiveSynthesizer, generate_test_input
+from repro.codegen.hcg.subgraphs import (
+    Match,
+    Subgraph,
+    extend_subgraphs,
+    is_convex,
+    is_independent,
+    match_instruction,
+    top_left_node,
+)
+
+__all__ = [
+    "BatchGroup",
+    "BatchSynthesizer",
+    "Dfg",
+    "DfgNode",
+    "DispatchResult",
+    "ExtInput",
+    "HcgGenerator",
+    "IntensiveSynthesizer",
+    "Match",
+    "NodeInput",
+    "SelectionHistory",
+    "SelectionKey",
+    "Subgraph",
+    "build_dfg",
+    "dispatch",
+    "extend_subgraphs",
+    "generate_test_input",
+    "is_batch_actor",
+    "is_convex",
+    "is_independent",
+    "is_intensive_actor",
+    "match_instruction",
+    "single_node_instruction",
+    "size_signature",
+    "top_left_node",
+]

@@ -1,0 +1,214 @@
+"""Algorithm 2: SIMD synthesis for batch computing actors.
+
+Given a batch group's dataflow graph, emit:
+
+* a prologue of scalar *remainder* code for the ``DataLength %
+  BatchSize`` leading elements (added in front of the loop, as in the
+  paper);
+* SIMD data-load statements for every external input;
+* one SIMD instruction per mapped subgraph, chosen by iterative
+  largest-first graph mapping;
+* SIMD stores only for values consumed outside the group — everything
+  else stays in vector registers.
+
+When the input does not fill one vector register (``BatchCount < 1``)
+— or is below the optional profitability threshold of §4.3 — the group
+falls back to the conventional scalar translation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.codegen.common import (
+    CodegenContext,
+    UNROLL_LIMIT,
+    materialize_port,
+    sanitize,
+)
+from repro.codegen.hcg.dfg import Dfg, ExtInput, NodeInput, build_dfg
+from repro.codegen.hcg.dispatch import BatchGroup
+from repro.codegen.hcg.subgraphs import (
+    Match,
+    extend_subgraphs,
+    match_instruction,
+    top_left_node,
+)
+from repro.errors import CodegenError
+from repro.ir.expr import Expr, Load, ScalarOp, Var, const_i
+from repro.ir.stmt import AssignVar, Comment, For, SimdLoad, SimdOp, SimdStore, Stmt, Store
+from repro.isa.spec import InstructionSet
+
+
+class BatchSynthesizer:
+    """Algorithm 2, bound to one generation context."""
+
+    def __init__(
+        self,
+        ctx: CodegenContext,
+        iset: InstructionSet,
+        unroll_limit: int = UNROLL_LIMIT,
+        simd_threshold: int = 0,
+    ) -> None:
+        self.ctx = ctx
+        self.iset = iset
+        self.unroll_limit = unroll_limit
+        #: minimum signal width for SIMD synthesis to be considered
+        #: profitable (§4.3 discussion); 0 reproduces the paper's
+        #: always-vectorise behaviour
+        self.simd_threshold = simd_threshold
+        #: trace of emitted matches, for tests and reports
+        self.matches: List[Match] = []
+
+    # ------------------------------------------------------------------
+    def synthesize(self, group: BatchGroup) -> List[Stmt]:
+        batch_size = self.iset.vector_bits // group.bit_width
+        length = group.width
+        batch_count = length // batch_size
+        # Lines 3-4 (plus the §4.3 threshold): conventional fallback.
+        if batch_count < 1 or length < self.simd_threshold:
+            return self._conventional(group)
+
+        dfg = build_dfg(self.ctx, group)
+        offset = length % batch_size
+
+        # Declare output buffers for every stored value.  A value whose
+        # only consumer is an Outport is stored straight into the output
+        # buffer, skipping the composition copy (variable reuse).
+        for node in dfg.stored_nodes:
+            target = self._direct_outport(node)
+            if target is not None:
+                self.ctx.alias_port(node.name, "out", self.ctx.outport_buffer(target))
+                self.ctx.satisfied_sinks.add(target)
+            else:
+                self.ctx.ensure_local(node.name, "out")
+        statements: List[Stmt] = [
+            Comment(
+                f"batch group [{', '.join(group.members)}]: "
+                f"{batch_count} x {batch_size} lanes + {offset} remainder"
+            )
+        ]
+
+        # Lines 24-26: the remainder has the same computation logic and
+        # goes in front of the loop code.
+        if offset:
+            statements.extend(self._remainder_code(dfg, offset))
+
+        # Lines 5-23: the SIMD body, looped when BatchCount >= 2.
+        if batch_count >= 2:
+            loop_var = self.ctx.names.fresh("i")
+            body = self._simd_body(dfg, Var(loop_var), batch_size)
+            statements.append(
+                For(loop_var, const_i(offset), const_i(length), batch_size, tuple(body))
+            )
+        else:
+            statements.extend(self._simd_body(dfg, const_i(offset), batch_size))
+
+        for node in dfg.nodes:
+            if node.needs_store:
+                self.ctx.materialized.add((node.name, "out"))
+        return statements
+
+    # ------------------------------------------------------------------
+    def _direct_outport(self, node) -> Optional[str]:
+        """The Outport this node can write directly, if it is the sole
+        consumer of the node's value."""
+        consumers = self.ctx.consumers(node.name, "out")
+        if len(consumers) != 1 or node.internal_consumers:
+            return None
+        sink = self.ctx.model.actor(consumers[0].dst_actor)
+        if sink.actor_type != "Outport" or sink.name in self.ctx.satisfied_sinks:
+            return None
+        return sink.name
+
+    # ------------------------------------------------------------------
+    def _simd_body(self, dfg: Dfg, index: Expr, batch_size: int) -> List[Stmt]:
+        """One batch worth of loads, mapped instructions and stores."""
+        body: List[Stmt] = []
+        registers: Dict[object, str] = {}
+
+        # Line 9: data-preparation variables for the external inputs,
+        # e.g. ``int32x4_t a_batch = vld1q_s32(a);``
+        for ext in dfg.external_inputs:
+            buffer = self.ctx.buffer_of(*ext.key)
+            register = self.ctx.names.fresh(f"{sanitize(ext.key[0])}_batch")
+            body.append(SimdLoad(register, buffer, index, ext.dtype, batch_size))
+            registers[ext] = register
+
+        # Lines 10-22: iterative mapping.
+        mapped: set = set()
+        while True:
+            seed = top_left_node(dfg, mapped)
+            if seed is None:
+                break
+            candidates = extend_subgraphs(
+                dfg, seed, mapped, self.iset.max_node_count, self.iset.max_depth
+            )
+            match: Optional[Match] = None
+            for subgraph in candidates:
+                match = match_instruction(dfg, subgraph, self.iset, mapped)
+                if match is not None:
+                    break
+            if match is None:
+                raise CodegenError(
+                    f"no instruction matches node {seed!r}; dispatch should have "
+                    f"excluded unsupported batch actors"
+                )
+            sink = dfg.node(match.subgraph.sink)
+            destination = self.ctx.names.fresh(f"{sanitize(sink.name)}_batch")
+            args = tuple(registers[ref] for ref in match.args)
+            imm = match.imm if match.spec.has_wildcard_imm else None
+            body.append(
+                SimdOp(destination, match.spec.name, args, sink.dtype, batch_size, imm)
+            )
+            registers[NodeInput(sink.name)] = destination
+            mapped |= match.subgraph.members
+            self.matches.append(match)
+            # Line 23: store only what leaves the group.
+            if sink.needs_store:
+                buffer = self.ctx.buffer_of(sink.name, "out")
+                body.append(SimdStore(buffer, index, destination, sink.dtype, batch_size))
+        return body
+
+    # ------------------------------------------------------------------
+    def _remainder_code(self, dfg: Dfg, offset: int) -> List[Stmt]:
+        """Scalar computation of elements [0, offset)."""
+        statements: List[Stmt] = [Comment(f"remainder: {offset} scalar element(s)")]
+        for element in range(offset):
+            index = const_i(element)
+            temps: Dict[str, str] = {}
+            for node in dfg.nodes:
+                args = []
+                for ref in node.inputs:
+                    if isinstance(ref, NodeInput):
+                        args.append(Var(temps[ref.node]))
+                    else:
+                        assert isinstance(ref, ExtInput)
+                        args.append(Load(self.ctx.buffer_of(*ref.key), index))
+                temp = self.ctx.names.fresh(f"r_{sanitize(node.name)}_")
+                temps[node.name] = temp
+                statements.append(
+                    AssignVar(temp, ScalarOp(node.op, tuple(args), node.dtype, node.imm), node.dtype)
+                )
+            for node in dfg.stored_nodes:
+                statements.append(
+                    Store(self.ctx.buffer_of(node.name, "out"), index, Var(temps[node.name]))
+                )
+        return statements
+
+    # ------------------------------------------------------------------
+    def _conventional(self, group: BatchGroup) -> List[Stmt]:
+        """Simulink-Coder-style scalar translation of the group."""
+        statements: List[Stmt] = [
+            Comment(f"batch group [{', '.join(group.members)}]: conventional (too narrow)")
+        ]
+        members = set(group.members)
+        for name in group.members:
+            actor = self.ctx.model.actor(name)
+            consumers = self.ctx.consumers(name, "out")
+            external = [c for c in consumers if c.dst_actor not in members]
+            if external or len(consumers) != 1 or not consumers:
+                statements.extend(
+                    materialize_port(self.ctx, (name, "out"), self.unroll_limit)
+                )
+        return statements

@@ -1,0 +1,128 @@
+"""The directed dataflow graph of a batch group (§3.2.2, Fig. 4(b)).
+
+Each node is one batch computing actor; node inputs are either other
+nodes' outputs or *external* values (signal buffers produced outside
+the group — inports, constants, earlier units).  Nodes also remember
+whether anything *outside* the group consumes their output: those
+values must be stored back to memory, everything else lives entirely
+in vector registers (the paper's key efficiency claim).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.dtypes import DataType
+from repro.codegen.common import CodegenContext, PortKey
+from repro.codegen.hcg.dispatch import BatchGroup
+from repro.model.actor_defs import actor_def
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtInput:
+    """A value entering the group from outside: a signal buffer."""
+
+    key: PortKey
+    dtype: DataType
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeInput:
+    """A value produced by another node of the group."""
+
+    node: str  # node (= actor) name
+
+
+ValueRef = object  # ExtInput | NodeInput
+
+
+@dataclasses.dataclass
+class DfgNode:
+    """One batch actor inside the group's dataflow graph."""
+
+    name: str
+    op: str
+    dtype: DataType
+    inputs: Tuple[ValueRef, ...]
+    imm: Optional[int] = None
+    #: group-internal consumers (node names)
+    internal_consumers: Tuple[str, ...] = ()
+    #: True when a non-group actor (or nothing at all) uses the output,
+    #: so the value must be stored to its signal buffer
+    needs_store: bool = False
+    #: for Cast nodes: the operand dtype
+    src_dtype: Optional[DataType] = None
+
+
+class Dfg:
+    """The group's dataflow graph, nodes in schedule order."""
+
+    def __init__(self, nodes: List[DfgNode]) -> None:
+        self.nodes = nodes
+        self._by_name = {node.name: node for node in nodes}
+
+    def node(self, name: str) -> DfgNode:
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def external_inputs(self) -> Tuple[ExtInput, ...]:
+        """Distinct external inputs, in first-use order."""
+        seen: List[ExtInput] = []
+        for node in self.nodes:
+            for ref in node.inputs:
+                if isinstance(ref, ExtInput) and ref not in seen:
+                    seen.append(ref)
+        return tuple(seen)
+
+    @property
+    def stored_nodes(self) -> Tuple[DfgNode, ...]:
+        return tuple(node for node in self.nodes if node.needs_store)
+
+
+def build_dfg(ctx: CodegenContext, group: BatchGroup) -> Dfg:
+    """Construct the dataflow graph for one batch group."""
+    from repro import ops as op_table
+
+    members = set(group.members)
+    nodes: List[DfgNode] = []
+    consumers: Dict[str, List[str]] = {name: [] for name in group.members}
+
+    for name in group.members:
+        actor = ctx.model.actor(name)
+        defn = actor_def(actor.actor_type)
+        info = op_table.op_info(defn.op_name)
+        refs: List[ValueRef] = []
+        for position in range(info.arity):
+            source = ctx.driver(name, f"in{position + 1}")
+            src_actor, _src_port = source
+            if src_actor in members:
+                refs.append(NodeInput(src_actor))
+                consumers[src_actor].append(name)
+            else:
+                src_dtype = ctx.model.actor(src_actor).output(_src_port).dtype
+                refs.append(ExtInput(source, src_dtype))
+        imm = int(actor.params["shift"]) if info.needs_imm else None
+        src_dtype = actor.inputs[0].dtype if defn.op_name == "Cast" else None
+        nodes.append(
+            DfgNode(
+                name=name,
+                op=defn.op_name,
+                dtype=actor.output("out").dtype,
+                inputs=tuple(refs),
+                imm=imm,
+                src_dtype=src_dtype,
+            )
+        )
+
+    for node in nodes:
+        outside = [
+            c for c in ctx.consumers(node.name, "out") if c.dst_actor not in members
+        ]
+        node.internal_consumers = tuple(consumers[node.name])
+        node.needs_store = bool(outside) or not consumers[node.name]
+
+    return Dfg(nodes)

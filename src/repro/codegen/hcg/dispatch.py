@@ -1,0 +1,227 @@
+"""Actor dispatch (§3.1): classify and group the model's actors.
+
+* **Intensive computing actors** — array in/out, outputs depend on many
+  inputs (FFT, DCT, Conv, Mat*).  Identified by actor kind.
+* **Batch computing actors** — elementwise with an array input,
+  identified by type + input scale, *and* expressible in the target
+  instruction set (an op with no vector instruction for its dtype — e.g.
+  integer division — is translated conventionally).
+* **Basic actors** — everything else, handled by the conventional
+  Simulink-Coder-style translation.
+
+Connected batch actors with the same I/O scale and element bit-width
+form a *batch group* (the unit Algorithm 2 maps).  Groups are made
+schedulable as units: if fusing a group would create a cycle through
+outside actors, the group is split until the condensed graph is acyclic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.dtypes import DataType
+from repro.errors import CodegenError
+from repro.isa.spec import InstructionSet, InstructionSpec
+from repro.model.actor import Actor
+from repro.model.actor_defs import ActorKind, actor_def
+from repro.model.graph import Model
+from repro.schedule.scheduler import Schedule
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchGroup:
+    """A connected set of batch actors mapped together by Algorithm 2."""
+
+    members: Tuple[str, ...]      # in schedule order
+    width: int                    # elements per signal
+    bit_width: int                # element bit width (uniform; Casts keep it)
+
+    def __contains__(self, actor_name: str) -> bool:
+        return actor_name in self.members
+
+
+#: One schedulable unit: a plain actor or a whole batch group.
+Unit = Union[str, BatchGroup]
+
+
+@dataclasses.dataclass
+class DispatchResult:
+    """The classification of one model."""
+
+    intensive: Tuple[str, ...]
+    groups: Tuple[BatchGroup, ...]
+    #: every unit (actor name or group) in a valid execution order
+    units: Tuple[Unit, ...]
+
+
+def single_node_instruction(
+    iset: InstructionSet, op_name: str, dtype: DataType,
+    src_dtype: Optional[DataType] = None,
+) -> Optional[InstructionSpec]:
+    """A 1-node instruction computing ``op_name`` on ``dtype``, if any."""
+    for spec in iset.instructions:
+        if spec.node_count != 1 or spec.root.op != op_name or spec.dtype is not dtype:
+            continue
+        if op_name == "Cast" and src_dtype is not None:
+            if spec.root.operand_dtype(0) is not src_dtype:
+                continue
+        return spec
+    return None
+
+
+def is_batch_actor(model: Model, actor: Actor, iset: InstructionSet) -> bool:
+    """§3.1's batch identification, plus ISA expressibility."""
+    defn = actor_def(actor.actor_type)
+    if defn.kind is not ActorKind.ELEMENTWISE:
+        return False
+    if not actor.has_array_input:
+        return False
+    port = actor.output("out")
+    if iset.vector_bits % port.dtype.bit_width != 0:
+        return False
+    src_dtype = actor.inputs[0].dtype if defn.op_name == "Cast" else None
+    return single_node_instruction(iset, defn.op_name, port.dtype, src_dtype) is not None
+
+
+def is_intensive_actor(actor: Actor) -> bool:
+    return actor_def(actor.actor_type).kind is ActorKind.INTENSIVE
+
+
+def _connected_groups(
+    model: Model,
+    schedule: Schedule,
+    batch_names: Set[str],
+    branch_info: Optional[Dict[str, object]] = None,
+) -> List[List[str]]:
+    """Connected components of batch actors with equal width + bit width.
+
+    With ``branch_info`` (actor name -> branch key), actors must also
+    carry the *same branch information* to group — the extra constraint
+    §4.3 describes for extending HCG to Ptolemy-style models, and the
+    one branch-aware generation needs so a group's code lands inside a
+    single branch.
+    """
+    def compatible(a: str, b: str) -> bool:
+        pa = model.actor(a).output("out")
+        pb = model.actor(b).output("out")
+        if pa.width != pb.width or pa.dtype.bit_width != pb.dtype.bit_width:
+            return False
+        if branch_info is not None and branch_info.get(a) != branch_info.get(b):
+            return False
+        return True
+
+    adjacency: Dict[str, Set[str]] = {n: set() for n in batch_names}
+    for connection in model.connections:
+        a, b = connection.src_actor, connection.dst_actor
+        if a in batch_names and b in batch_names and compatible(a, b):
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+
+    seen: Set[str] = set()
+    components: List[List[str]] = []
+    for name in sorted(batch_names, key=schedule.position):
+        if name in seen:
+            continue
+        stack, component = [name], []
+        seen.add(name)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        components.append(sorted(component, key=schedule.position))
+    return components
+
+
+def _order_units(
+    model: Model, schedule: Schedule, groups: Sequence[BatchGroup]
+) -> Optional[List[Unit]]:
+    """Topological order of the condensed graph, or None if fusing a
+    group created a cycle."""
+    cluster_of: Dict[str, int] = {}
+    units: List[Unit] = []
+    for group in groups:
+        index = len(units)
+        units.append(group)
+        for member in group.members:
+            cluster_of[member] = index
+    for actor in model.actors:
+        if actor.name not in cluster_of:
+            cluster_of[actor.name] = len(units)
+            units.append(actor.name)
+
+    n = len(units)
+    edges: List[Set[int]] = [set() for _ in range(n)]
+    indegree = [0] * n
+    for connection in model.connections:
+        if model.actor(connection.dst_actor).actor_type == "UnitDelay":
+            continue  # delay inputs are end-of-step, not same-step edges
+        src = cluster_of[connection.src_actor]
+        dst = cluster_of[connection.dst_actor]
+        if src != dst and dst not in edges[src]:
+            edges[src].add(dst)
+            indegree[dst] += 1
+
+    def priority(unit_index: int) -> int:
+        unit = units[unit_index]
+        if isinstance(unit, BatchGroup):
+            return min(schedule.position(m) for m in unit.members)
+        return schedule.position(unit)
+
+    ready = sorted((i for i in range(n) if indegree[i] == 0), key=priority)
+    ordered: List[Unit] = []
+    while ready:
+        index = ready.pop(0)
+        ordered.append(units[index])
+        freed = []
+        for nxt in edges[index]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                freed.append(nxt)
+        ready.extend(freed)
+        ready.sort(key=priority)
+    if len(ordered) != n:
+        return None
+    return ordered
+
+
+def dispatch(
+    model: Model,
+    schedule: Schedule,
+    iset: InstructionSet,
+    branch_info: Optional[Dict[str, object]] = None,
+) -> DispatchResult:
+    """Classify actors and produce schedulable units."""
+    batch_names = {
+        a.name for a in model.actors if is_batch_actor(model, a, iset)
+    }
+    intensive = tuple(
+        a.name for a in model.actors if is_intensive_actor(a)
+    )
+
+    components = _connected_groups(model, schedule, batch_names, branch_info)
+    groups: List[BatchGroup] = []
+    for component in components:
+        port = model.actor(component[0]).output("out")
+        groups.append(BatchGroup(tuple(component), port.width, port.dtype.bit_width))
+
+    # Split groups until the condensed graph is acyclic (fusing a group
+    # that has an external path through a non-member would otherwise
+    # deadlock the schedule).
+    for _ in range(sum(len(g.members) for g in groups) + 1):
+        ordered = _order_units(model, schedule, groups)
+        if ordered is not None:
+            return DispatchResult(intensive=intensive, groups=tuple(groups), units=tuple(ordered))
+        # split the largest group (last member becomes its own group)
+        splittable = [g for g in groups if len(g.members) > 1]
+        if not splittable:
+            raise CodegenError("condensed schedule is cyclic even with singleton groups")
+        victim = max(splittable, key=lambda g: len(g.members))
+        groups.remove(victim)
+        head = BatchGroup(victim.members[:-1], victim.width, victim.bit_width)
+        tail = BatchGroup(victim.members[-1:], victim.width, victim.bit_width)
+        groups.extend([head, tail])
+    raise CodegenError("group splitting failed to converge")

@@ -1,0 +1,294 @@
+"""HCG: the paper's generator (Fig. 3's pipeline).
+
+Model parse → actor dispatch → SIMD instruction synthesis:
+
+* intensive computing actors go through Algorithm 1 (adaptive
+  pre-calculated implementation selection, with history);
+* batch computing actors are grouped and mapped onto SIMD instructions
+  by Algorithm 2 (iterative dataflow-graph mapping);
+* remaining basic actors use the conventional Simulink-Coder-style
+  translation (expression folding, unrolled/looped scalar code).
+
+``branch_aware=True`` enables the §4.3 extension: DFSynth's structured
+branch scheduling is integrated into HCG.  Actors (and whole batch
+groups) that exclusively feed one side of a Switch are generated inside
+that branch, and group construction requires members to carry the same
+branch information — the extra constraint the paper describes for
+Ptolemy-style models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.arch.arch import Architecture
+from repro.arch.cost import CostTable
+from repro.codegen.common import (
+    COPY_ACTOR_TYPES,
+    CodegenContext,
+    PortKey,
+    UNROLL_LIMIT,
+    element_expr,
+    emit_copy_actor,
+    emit_outport,
+    emit_state_updates,
+    fanout_materialization_points,
+    is_foldable,
+    kernel_call_for,
+    mark_buffer_required_inputs,
+    materialize_port,
+    store_elements,
+)
+from repro.codegen.hcg.batch import BatchSynthesizer
+from repro.codegen.hcg.dispatch import BatchGroup, DispatchResult, Unit, dispatch
+from repro.codegen.hcg.history import SelectionHistory
+from repro.codegen.hcg.intensive import IntensiveSynthesizer
+from repro.errors import CodegenError
+from repro.ir.expr import Cmp, Const, Load, const_i
+from repro.ir.program import Program
+from repro.ir.stmt import Comment, If, Stmt
+from repro.isa.spec import InstructionSet
+from repro.kernels.library import CodeLibrary, default_library
+from repro.model.actor import Actor
+from repro.model.actor_defs import ActorKind, actor_def
+from repro.model.graph import Model
+from repro.schedule.regions import find_branch_regions, region_membership
+
+#: branch key: (switch actor name, data port name)
+BranchKey = Tuple[str, str]
+
+
+class HcgGenerator:
+    """The paper's contribution: SIMD instruction synthesis for Simulink."""
+
+    name = "hcg"
+
+    def __init__(
+        self,
+        arch: Architecture,
+        library: Optional[CodeLibrary] = None,
+        history: Optional[SelectionHistory] = None,
+        instruction_set: Optional[InstructionSet] = None,
+        cost: Optional[CostTable] = None,
+        unroll_limit: int = UNROLL_LIMIT,
+        simd_threshold: int = 0,
+        branch_aware: bool = False,
+        variable_reuse: bool = True,
+    ) -> None:
+        self.arch = arch
+        self.library = library if library is not None else default_library()
+        self.history = history if history is not None else SelectionHistory()
+        self.iset = instruction_set if instruction_set is not None else arch.instruction_set
+        self.cost = cost if cost is not None else arch.cost
+        self.unroll_limit = unroll_limit
+        self.simd_threshold = simd_threshold
+        self.branch_aware = branch_aware
+        self.variable_reuse = variable_reuse
+        #: populated by the last generate() call, for reports/tests
+        self.last_dispatch: Optional[DispatchResult] = None
+        self.last_intensive: Optional[IntensiveSynthesizer] = None
+        self.last_batch: Optional[BatchSynthesizer] = None
+
+    # ------------------------------------------------------------------
+    def generate(self, model: Model) -> Program:
+        ctx = CodegenContext(model, f"{model.name}_step", self.name)
+        ctx.program.arch = self.arch.name
+
+        branch_of: Dict[str, BranchKey] = {}
+        if self.branch_aware:
+            membership = region_membership(find_branch_regions(model))
+            branch_of = {
+                name: (region.switch, region.port)
+                for name, region in membership.items()
+            }
+
+        result = dispatch(model, ctx.schedule, self.iset, branch_of or None)
+        result = self._demote_unprofitable_groups(result)
+        self.last_dispatch = result
+        grouped: Set[str] = {m for g in result.groups for m in g.members}
+
+        intensive = IntensiveSynthesizer(self.library, self.cost, self.iset, self.history)
+        self.last_intensive = intensive
+        batch = BatchSynthesizer(ctx, self.iset, self.unroll_limit, self.simd_threshold)
+        self.last_batch = batch
+
+        points = fanout_materialization_points(ctx)
+        mark_buffer_required_inputs(ctx, points)
+        # Batch groups read their external inputs with SIMD loads, so
+        # those signals need real buffers.
+        for group in result.groups:
+            members = set(group.members)
+            for name in group.members:
+                actor = ctx.model.actor(name)
+                for port in actor.inputs:
+                    source = ctx.driver(name, port.name)
+                    if source[0] not in members:
+                        points.add(source)
+        if self.branch_aware:
+            # Switch conditions are hoisted out of any folding, so their
+            # control signals need buffers too.
+            for actor in model.actors:
+                if actor.actor_type == "Switch":
+                    points.add(ctx.driver(actor.name, "ctrl"))
+
+        # Units exclusively feeding one Switch side are deferred into
+        # that branch (branch-aware mode only).
+        deferred: Dict[BranchKey, List[Unit]] = {}
+
+        def branch_key_of(unit: Unit) -> Optional[BranchKey]:
+            if not self.branch_aware:
+                return None
+            if isinstance(unit, BatchGroup):
+                keys = {branch_of.get(member) for member in unit.members}
+                assert len(keys) == 1, "grouping must respect branch info"
+                return keys.pop()
+            return branch_of.get(unit)
+
+        self._deferred = deferred
+        body: List[Stmt] = []
+        for unit in result.units:
+            key = branch_key_of(unit)
+            if key is not None:
+                deferred.setdefault(key, []).append(unit)
+                continue
+            body.extend(self._emit_unit(ctx, unit, batch, intensive, grouped, points))
+
+        body.extend(emit_state_updates(ctx, self.unroll_limit))
+        ctx.program.body = body
+        if self.variable_reuse:
+            from repro.codegen.reuse import reuse_local_buffers
+
+            shared, _ = reuse_local_buffers(ctx.program)
+            return shared
+        return ctx.program
+
+    # ------------------------------------------------------------------
+    def _emit_unit(
+        self,
+        ctx: CodegenContext,
+        unit: Unit,
+        batch: BatchSynthesizer,
+        intensive: IntensiveSynthesizer,
+        grouped: Set[str],
+        points: Set[PortKey],
+    ) -> List[Stmt]:
+        if isinstance(unit, BatchGroup):
+            return batch.synthesize(unit)
+        actor = ctx.model.actor(unit)
+        kind = actor_def(actor.actor_type).kind
+        if actor.actor_type in ("Inport", "Const", "UnitDelay"):
+            return []
+        if self.branch_aware and actor.actor_type == "Switch":
+            # nested switches recurse: their own deferred units emit
+            # inside their branches
+            return self._emit_branchy_switch(
+                ctx, actor, self._deferred, batch, grouped, points
+            )
+        if actor.actor_type in COPY_ACTOR_TYPES:
+            return emit_copy_actor(ctx, actor)
+        if kind is ActorKind.SINK:
+            if actor.name in ctx.satisfied_sinks:
+                return []
+            return emit_outport(ctx, actor, self.unroll_limit)
+        if kind is ActorKind.INTENSIVE:
+            kernel = intensive.select(actor)
+            return [
+                Comment(f"{actor.name}: selected {kernel.kernel_id}"),
+                kernel_call_for(ctx, actor, kernel.kernel_id),
+            ]
+        if unit in grouped:
+            raise CodegenError("group member leaked into the unit list")
+        key = (unit, "out")
+        if is_foldable(actor):
+            if key in points:
+                return materialize_port(ctx, key, self.unroll_limit)
+            return []  # folded into its single consumer
+        raise CodegenError(f"HCG cannot translate actor type {actor.actor_type!r}")
+
+    # ------------------------------------------------------------------
+    def _emit_branchy_switch(
+        self,
+        ctx: CodegenContext,
+        actor: Actor,
+        deferred: Dict[BranchKey, List[Unit]],
+        batch: BatchSynthesizer,
+        grouped: Set[str],
+        points: Set[PortKey],
+    ) -> List[Stmt]:
+        """DFSynth-style structured switch with its regions inside."""
+        port = actor.output("out")
+        consumers = ctx.consumers(actor.name, "out")
+        sole_sink = (
+            ctx.model.actor(consumers[0].dst_actor)
+            if len(consumers) == 1 else None
+        )
+        if (
+            sole_sink is not None
+            and sole_sink.actor_type == "Outport"
+            and sole_sink.name not in ctx.satisfied_sinks
+        ):
+            # write the selected value straight into the output buffer
+            out_buffer = ctx.outport_buffer(sole_sink.name)
+            ctx.alias_port(actor.name, "out", out_buffer)
+            ctx.satisfied_sinks.add(sole_sink.name)
+        else:
+            out_buffer = ctx.ensure_local(actor.name, "out")
+            ctx.materialized.add((actor.name, "out"))
+
+        ctrl_buffer = ctx.buffer_of(*ctx.driver(actor.name, "ctrl"))
+        threshold = np.asarray(
+            actor.params.get("threshold", 0), dtype=port.dtype.numpy_dtype
+        ).reshape(()).item()
+        condition = Cmp(
+            ">=", Load(ctrl_buffer, const_i(0)), Const(threshold, port.dtype)
+        )
+
+        def side(port_name: str) -> Tuple[Stmt, ...]:
+            statements: List[Stmt] = []
+            for unit in deferred.get((actor.name, port_name), []):
+                statements.extend(
+                    self._emit_unit(ctx, unit, batch, self.last_intensive, grouped, points)
+                )
+            driver_key = ctx.driver(actor.name, port_name)
+            statements.extend(
+                store_elements(
+                    ctx, out_buffer, port.width,
+                    lambda idx: element_expr(ctx, driver_key, idx),
+                    self.unroll_limit,
+                )
+            )
+            return tuple(statements)
+
+        return [If(condition, side("in1"), side("in2"))]
+
+    # ------------------------------------------------------------------
+    def _demote_unprofitable_groups(self, result: DispatchResult) -> DispatchResult:
+        """Drop groups that cannot (or should not) be vectorised.
+
+        Groups narrower than one vector register fall back per Algorithm
+        2 lines 3-4; groups below the §4.3 profitability threshold fall
+        back too.  Demoted members become ordinary foldable actors, so
+        the conventional translation can fold straight through them
+        without forcing their inputs into buffers.
+        """
+        demoted: Set[str] = set()
+        kept = []
+        for group in result.groups:
+            batch_size = self.iset.vector_bits // group.bit_width
+            if group.width // batch_size < 1 or group.width < self.simd_threshold:
+                demoted.update(group.members)
+            else:
+                kept.append(group)
+        if not demoted:
+            return result
+        units: List[Unit] = []
+        for unit in result.units:
+            if isinstance(unit, BatchGroup) and set(unit.members) <= demoted:
+                units.extend(unit.members)
+            else:
+                units.append(unit)
+        return DispatchResult(
+            intensive=result.intensive, groups=tuple(kept), units=tuple(units)
+        )

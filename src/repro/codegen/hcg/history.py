@@ -1,0 +1,92 @@
+"""The selection history of Algorithm 1 (lines 1-6 and 18).
+
+Pre-calculation is expensive (every candidate implementation runs on
+test data), so HCG caches decisions keyed by (actor type, data type,
+data size) and answers repeats from the history.  The history can
+persist to JSON so repeated tool invocations skip pre-calculation too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.dtypes import DataType
+
+#: parameters that define an intensive actor's "data size"
+_SIZE_PARAM_NAMES = ("n", "m", "rows", "cols", "krows", "kcols")
+
+
+def size_signature(params: Dict[str, Any]) -> Tuple[Tuple[str, int], ...]:
+    """The canonical size key of an intensive actor's parameters."""
+    return tuple(
+        (name, int(params[name])) for name in _SIZE_PARAM_NAMES if name in params
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectionKey:
+    """Identity of one Algorithm 1 decision."""
+
+    actor_key: str
+    dtype: DataType
+    size: Tuple[Tuple[str, int], ...]
+
+    def to_str(self) -> str:
+        size = ",".join(f"{k}={v}" for k, v in self.size)
+        return f"{self.actor_key}|{self.dtype.value}|{size}"
+
+    @classmethod
+    def from_str(cls, text: str) -> "SelectionKey":
+        actor_key, dtype_name, size_text = text.split("|")
+        size = tuple(
+            (k, int(v)) for k, v in (part.split("=") for part in size_text.split(",") if part)
+        )
+        return cls(actor_key, DataType.from_name(dtype_name), size)
+
+
+class SelectionHistory:
+    """In-memory (optionally file-backed) implementation selections."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self._entries: Dict[SelectionKey, str] = {}
+        self.hits = 0
+        self.misses = 0
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: SelectionKey) -> Optional[str]:
+        """Lines 3-6: return the cached kernel id, if any."""
+        kernel_id = self._entries.get(key)
+        if kernel_id is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return kernel_id
+
+    def store(self, key: SelectionKey, kernel_id: str) -> None:
+        """Line 18: record the decision (and persist when file-backed)."""
+        self._entries[key] = kernel_id
+        if self.path is not None:
+            self.save(self.path)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {key.to_str(): kernel_id for key, kernel_id in self._entries.items()}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    def load(self, path: Union[str, Path]) -> None:
+        payload = json.loads(Path(path).read_text())
+        for key_text, kernel_id in payload.items():
+            self._entries[SelectionKey.from_str(key_text)] = kernel_id

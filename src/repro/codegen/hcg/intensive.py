@@ -1,0 +1,120 @@
+"""Algorithm 1: implementation selection for intensive computing actors.
+
+For each intensive actor, HCG adaptively pre-calculates: it runs every
+library implementation that can handle the actor's (data type, data
+size) on randomly generated test input, measures the cost, and keeps
+the cheapest.  Decisions are cached in the selection history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.cost import CostTable
+from repro.dtypes import DataType
+from repro.errors import KernelDomainError
+from repro.codegen.hcg.history import SelectionHistory, SelectionKey, size_signature
+from repro.isa.spec import InstructionSet
+from repro.kernels.base import Kernel
+from repro.kernels.library import CodeLibrary
+from repro.model.actor import Actor
+from repro.model.actor_defs import actor_def
+
+
+@dataclasses.dataclass
+class SelectionRecord:
+    """Trace of one Algorithm 1 run (for reports and tests)."""
+
+    key: SelectionKey
+    chosen: str
+    from_history: bool
+    measured: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+
+def generate_test_input(actor: Actor, seed: int) -> List[np.ndarray]:
+    """Line 10's ``generateTestInput``: random data of the actor's shapes.
+
+    Matrix-inversion inputs are made diagonally dominant so the probe
+    run does not hit a singular matrix.
+    """
+    rng = np.random.default_rng(seed)
+    arrays: List[np.ndarray] = []
+    for port in actor.inputs:
+        shape = port.shape or (1,)
+        data = rng.uniform(-1.0, 1.0, size=shape)
+        if actor.actor_type in ("MatInv",) and len(shape) == 2 and shape[0] == shape[1]:
+            data = data + np.eye(shape[0]) * shape[0]
+        if port.dtype.is_integer:
+            data = np.round(data * 100)
+        arrays.append(data.astype(port.dtype.numpy_dtype))
+    return arrays
+
+
+class IntensiveSynthesizer:
+    """Algorithm 1, parameterised by library, cost table and history."""
+
+    def __init__(
+        self,
+        library: CodeLibrary,
+        cost: CostTable,
+        instruction_set: InstructionSet,
+        history: Optional[SelectionHistory] = None,
+    ) -> None:
+        self.library = library
+        self.cost = cost
+        self.iset = instruction_set
+        self.history = history if history is not None else SelectionHistory()
+        self.records: List[SelectionRecord] = []
+
+    # ------------------------------------------------------------------
+    def select(self, actor: Actor) -> Kernel:
+        """Return the optimal implementation for this actor instance."""
+        defn = actor_def(actor.actor_type)
+        assert defn.kernel_key is not None, "select() requires an intensive actor"
+        dtype = actor.outputs[0].dtype
+        key = SelectionKey(defn.kernel_key, dtype, size_signature(actor.params))
+
+        # Lines 3-6: history short-circuit.
+        cached = self.history.lookup(key)
+        if cached is not None:
+            self.records.append(SelectionRecord(key, cached, from_history=True))
+            return self.library.by_id(cached)
+
+        # Lines 7-9: load the library, default to the general impl.
+        implementations = self.library.implementations(defn.kernel_key)
+        best = self.library.general_implementation(defn.kernel_key)
+        min_cost = float("inf")
+        lanes = self._lanes(dtype)
+
+        # Line 10: random test input sized like the actor's ports.
+        seed = abs(hash(key.to_str())) % (2 ** 32)
+        test_input = generate_test_input(actor, seed)
+
+        record = SelectionRecord(key, best.kernel_id, from_history=False)
+        # Lines 11-17: filter, run, keep the cheapest.
+        for impl in implementations:
+            if not impl.can_handle(dtype, actor.params):
+                continue
+            try:
+                cost = impl.measure_cycles(test_input, actor.params, dtype, self.cost, lanes)
+            except KernelDomainError:
+                continue
+            record.measured[impl.kernel_id] = cost
+            if cost < min_cost:
+                best = impl
+                min_cost = cost
+
+        # Line 18: persist the decision.
+        self.history.store(key, best.kernel_id)
+        record.chosen = best.kernel_id
+        self.records.append(record)
+        return best
+
+    # ------------------------------------------------------------------
+    def _lanes(self, dtype: DataType) -> int:
+        if self.iset.vector_bits % dtype.bit_width != 0:
+            return 1
+        return self.iset.lanes_for(dtype)

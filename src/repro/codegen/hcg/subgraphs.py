@@ -1,0 +1,295 @@
+"""Subgraph enumeration and instruction matching for Algorithm 2.
+
+From the topmost-leftmost unmapped node, HCG extends candidate
+subgraphs (bounded by the instruction set's maximum pattern size and
+depth), keeps only *convex*, *independent*, single-result candidates,
+orders them by computational cost (largest first), and searches the
+instruction set for a pattern-isomorphic SIMD instruction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro import ops
+from repro.codegen.hcg.dfg import Dfg, DfgNode, ExtInput, NodeInput
+from repro.isa.spec import InstructionSet, InstructionSpec, PatternNode
+
+
+@dataclasses.dataclass(frozen=True)
+class Subgraph:
+    """A candidate set of nodes.
+
+    ``sink`` is the single member whose value escapes the set, or
+    ``None`` when several values escape — such candidates are
+    enumerated (the paper's Fig. 4 lists Sub-Mul even though Sub's
+    value is needed elsewhere) but can never match a one-output SIMD
+    instruction, so matching discards them.
+    """
+
+    members: FrozenSet[str]
+    sink: Optional[str]
+    cost: float
+
+
+@dataclasses.dataclass
+class Match:
+    """A successful instruction match for a subgraph."""
+
+    spec: InstructionSpec
+    subgraph: Subgraph
+    #: value source per spec input token, in ``spec.input_tokens`` order
+    args: Tuple[object, ...]
+    imm: Optional[int]
+
+
+# ---------------------------------------------------------------------------
+# Node selection and enumeration
+# ---------------------------------------------------------------------------
+
+def top_left_node(dfg: Dfg, mapped: Set[str]) -> Optional[str]:
+    """Line 12: the topmost-leftmost (earliest unmapped) node."""
+    for node in dfg.nodes:
+        if node.name not in mapped:
+            return node.name
+    return None
+
+
+def _escapes(dfg: Dfg, name: str, members: FrozenSet[str]) -> bool:
+    """Whether a member's value is needed outside the candidate set."""
+    node = dfg.node(name)
+    if node.needs_store:
+        return True
+    return any(consumer not in members for consumer in node.internal_consumers)
+
+
+def _depth(dfg: Dfg, members: FrozenSet[str]) -> int:
+    memo: Dict[str, int] = {}
+
+    def depth_of(name: str) -> int:
+        if name in memo:
+            return memo[name]
+        node = dfg.node(name)
+        best = 0
+        for ref in node.inputs:
+            if isinstance(ref, NodeInput) and ref.node in members:
+                best = max(best, depth_of(ref.node))
+        memo[name] = best + 1
+        return best + 1
+
+    return max(depth_of(name) for name in members)
+
+
+def is_convex(dfg: Dfg, members: FrozenSet[str]) -> bool:
+    """No member depends, through outside nodes, on another member."""
+    for start in members:
+        frontier = [c for c in dfg.node(start).internal_consumers if c not in members]
+        seen: Set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for consumer in dfg.node(current).internal_consumers:
+                if consumer in members:
+                    return False
+                frontier.append(consumer)
+    return True
+
+
+def is_independent(dfg: Dfg, members: FrozenSet[str], mapped: Set[str]) -> bool:
+    """Line 15: every input is already generated (external buffer or a
+    previously mapped node's register) or produced inside the set."""
+    for name in members:
+        for ref in dfg.node(name).inputs:
+            if isinstance(ref, NodeInput):
+                if ref.node not in members and ref.node not in mapped:
+                    return False
+    return True
+
+
+def subgraph_cost(dfg: Dfg, members: FrozenSet[str]) -> float:
+    return sum(ops.op_info(dfg.node(name).op).base_cost for name in members)
+
+
+def extend_subgraphs(
+    dfg: Dfg,
+    seed: str,
+    mapped: Set[str],
+    max_nodes: int,
+    max_depth: int,
+) -> List[Subgraph]:
+    """Line 13: candidate subgraphs grown from the seed, largest first."""
+    # enumerate connected supersets of {seed} over unmapped nodes
+    all_sets: Set[FrozenSet[str]] = set()
+    frontier: List[FrozenSet[str]] = [frozenset([seed])]
+    while frontier:
+        current = frontier.pop()
+        if current in all_sets:
+            continue
+        all_sets.add(current)
+        if len(current) >= max_nodes:
+            continue
+        neighbours: Set[str] = set()
+        for name in current:
+            node = dfg.node(name)
+            for ref in node.inputs:
+                if isinstance(ref, NodeInput) and ref.node not in mapped:
+                    neighbours.add(ref.node)
+            for consumer in node.internal_consumers:
+                if consumer not in mapped:
+                    neighbours.add(consumer)
+        for neighbour in neighbours - current:
+            frontier.append(current | {neighbour})
+
+    candidates: List[Subgraph] = []
+    for members in all_sets:
+        if _depth(dfg, members) > max_depth:
+            continue
+        if not is_convex(dfg, members):
+            continue
+        if not is_independent(dfg, members, mapped):
+            continue
+        escaping = [name for name in members if _escapes(dfg, name, members)]
+        sink = escaping[0] if len(escaping) == 1 else None
+        candidates.append(
+            Subgraph(members=members, sink=sink, cost=subgraph_cost(dfg, members))
+        )
+    # largest computational cost first; deterministic tie-break
+    candidates.sort(key=lambda s: (-s.cost, tuple(sorted(s.members))))
+    return candidates
+
+
+# ---------------------------------------------------------------------------
+# Instruction matching
+# ---------------------------------------------------------------------------
+
+def match_instruction(
+    dfg: Dfg,
+    subgraph: Subgraph,
+    iset: InstructionSet,
+    mapped: Set[str],
+) -> Optional[Match]:
+    """Line 17: find a pattern-isomorphic instruction for the subgraph.
+
+    Among all matching instructions the cheapest wins.  Candidates with
+    more than one escaping value (``sink is None``) never match: a SIMD
+    instruction materialises exactly one result register.
+    """
+    if subgraph.sink is None:
+        return None
+    sink = dfg.node(subgraph.sink)
+    lanes = iset.lanes_for(sink.dtype)
+    best: Optional[Match] = None
+    for spec in iset.instructions:
+        if spec.node_count != len(subgraph.members):
+            continue
+        if spec.dtype is not sink.dtype or spec.lanes != lanes:
+            continue
+        binding = _try_match(dfg, subgraph, spec, mapped)
+        if binding is None:
+            continue
+        args_map, imm = binding
+        args = tuple(args_map[token] for token in spec.input_tokens)
+        candidate = Match(spec=spec, subgraph=subgraph, args=args, imm=imm)
+        if best is None or spec.cost < best.spec.cost:
+            best = candidate
+    return best
+
+
+def _try_match(
+    dfg: Dfg,
+    subgraph: Subgraph,
+    spec: InstructionSpec,
+    mapped: Set[str],
+):
+    """Backtracking tree match of the pattern rooted at O1 against the
+    subgraph rooted at its sink.  Returns (input binding, imm) or None."""
+    members = subgraph.members
+
+    def match_node(
+        pattern: PatternNode,
+        node: DfgNode,
+        binding: Dict[str, object],
+        used: Set[str],
+        imm: Optional[int],
+    ):
+        if pattern.op != node.op or pattern.dtype is not node.dtype:
+            return None
+        if node.op == "Cast" and node.src_dtype is not None:
+            if pattern.operand_dtype(0) is not node.src_dtype:
+                return None
+        new_imm = imm
+        if pattern.imm_token is not None:
+            if pattern.imm_token == "#imm":
+                if imm is not None and imm != node.imm:
+                    return None
+                new_imm = node.imm
+            elif int(pattern.imm_token[1:]) != node.imm:
+                return None
+
+        value_tokens = pattern.value_inputs
+        orders = [tuple(node.inputs)]
+        info = ops.op_info(node.op)
+        if info.commutative and len(node.inputs) == 2:
+            orders.append((node.inputs[1], node.inputs[0]))
+
+        for operand_order in orders:
+            trial_binding = dict(binding)
+            trial_used = set(used)
+            trial_imm = new_imm
+            ok = True
+            for position, (token, ref) in enumerate(zip(value_tokens, operand_order)):
+                if token.startswith("T"):
+                    producer = spec.producer_of(token)
+                    assert producer is not None
+                    if not isinstance(ref, NodeInput) or ref.node not in members:
+                        ok = False
+                        break
+                    if ref.node in trial_used:
+                        ok = False
+                        break
+                    trial_used.add(ref.node)
+                    result = match_node(
+                        producer, dfg.node(ref.node), trial_binding, trial_used, trial_imm
+                    )
+                    if result is None:
+                        ok = False
+                        break
+                    trial_binding, trial_used, trial_imm = result
+                else:  # I* token: must be an already-available value
+                    if isinstance(ref, NodeInput):
+                        if ref.node in members or ref.node not in mapped:
+                            ok = False
+                            break
+                    expected = pattern.operand_dtype(position)
+                    actual = _value_dtype(dfg, ref)
+                    if expected is not actual:
+                        ok = False
+                        break
+                    if token in trial_binding:
+                        if trial_binding[token] != ref:
+                            ok = False
+                            break
+                    else:
+                        trial_binding[token] = ref
+            if ok:
+                return trial_binding, trial_used, trial_imm
+        return None
+
+    sink = dfg.node(subgraph.sink)
+    result = match_node(spec.root, sink, {}, {subgraph.sink}, None)
+    if result is None:
+        return None
+    binding, used, imm = result
+    if used != set(members):
+        return None  # pattern did not cover the whole subgraph
+    return binding, imm
+
+
+def _value_dtype(dfg: Dfg, ref) :
+    if isinstance(ref, NodeInput):
+        return dfg.node(ref.node).dtype
+    assert isinstance(ref, ExtInput)
+    return ref.dtype

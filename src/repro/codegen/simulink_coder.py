@@ -1,0 +1,218 @@
+"""The Simulink-Coder-like baseline generator.
+
+Reproduces the behaviour the paper attributes to the built-in Simulink
+Coder:
+
+* **expression folding** — single-consumer elementwise chains become one
+  expression; multi-use signals are materialised once (variable reuse);
+* **unrolled scalar code** for small widths (Fig. 2), scalar loops
+  otherwise;
+* **generic library functions** for intensive computing actors — it
+  never adapts the implementation to the input scale;
+* on targets whose toolchain setup vectorises float code
+  (``arch.baseline_scattered_simd``), *scattered* SIMD for float
+  elementwise actors: each actor gets its own load / single-instruction
+  / store loop, with intermediates round-tripping through memory
+  (§4.2's description of the Intel results).  Integer batch actors are
+  not identified (the paper's FIR observation) and stay scalar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.arch.arch import Architecture
+from repro.codegen.common import (
+    COPY_ACTOR_TYPES,
+    CodegenContext,
+    PortKey,
+    UNROLL_LIMIT,
+    element_expr,
+    emit_copy_actor,
+    emit_outport,
+    emit_state_updates,
+    fanout_materialization_points,
+    is_foldable,
+    kernel_call_for,
+    mark_buffer_required_inputs,
+    materialize_port,
+)
+from repro.errors import CodegenError
+from repro.ir.expr import Var, const_i
+from repro.ir.program import Program
+from repro.ir.stmt import Comment, For, SimdLoad, SimdOp, SimdStore, Stmt, Store
+from repro.kernels.library import CodeLibrary, default_library
+from repro.model.actor import Actor
+from repro.model.actor_defs import ActorKind, actor_def
+from repro.model.graph import Model
+
+
+class SimulinkCoderGenerator:
+    """Baseline #1: folding + variable reuse + generic kernels."""
+
+    name = "simulink_coder"
+
+    def __init__(
+        self,
+        arch: Architecture,
+        library: Optional[CodeLibrary] = None,
+        unroll_limit: int = UNROLL_LIMIT,
+        variable_reuse: bool = True,
+    ) -> None:
+        self.arch = arch
+        self.library = library if library is not None else default_library()
+        self.unroll_limit = unroll_limit
+        self.variable_reuse = variable_reuse
+
+    # ------------------------------------------------------------------
+    def generate(self, model: Model) -> Program:
+        ctx = CodegenContext(model, f"{model.name}_step", self.name)
+        ctx.program.arch = self.arch.name
+
+        scattered = self._scattered_actors(ctx) if self.arch.baseline_scattered_simd else set()
+        points = fanout_materialization_points(ctx)
+        mark_buffer_required_inputs(ctx, points)
+        # Scattered-SIMD actors and their elementwise feeders need buffers.
+        for actor_name in scattered:
+            actor = ctx.model.actor(actor_name)
+            points.add((actor_name, "out"))
+            for port in actor.inputs:
+                points.add(ctx.driver(actor_name, port.name))
+
+        body: List[Stmt] = []
+        pending_scattered: List[Actor] = []
+
+        def flush_scattered() -> None:
+            if pending_scattered:
+                body.extend(self._emit_scattered_fused(ctx, list(pending_scattered)))
+                pending_scattered.clear()
+
+        for actor_name in ctx.schedule.order:
+            actor = ctx.model.actor(actor_name)
+            kind = actor_def(actor.actor_type).kind
+            if actor.actor_type in ("Inport", "Const", "UnitDelay"):
+                continue  # fixed buffers; delay updates run at step end
+            if actor_name in scattered:
+                if pending_scattered and (
+                    pending_scattered[0].output("out").width != actor.output("out").width
+                ):
+                    flush_scattered()
+                pending_scattered.append(actor)
+                continue
+            flush_scattered()
+            if actor.actor_type in COPY_ACTOR_TYPES:
+                body.extend(emit_copy_actor(ctx, actor))
+                continue
+            if kind is ActorKind.SINK:
+                body.extend(emit_outport(ctx, actor, self.unroll_limit))
+                continue
+            if kind is ActorKind.INTENSIVE:
+                kernel = self.library.general_implementation(
+                    actor_def(actor.actor_type).kernel_key
+                )
+                body.append(Comment(f"{actor.name}: generic {kernel.kernel_id}"))
+                body.append(kernel_call_for(ctx, actor, kernel.kernel_id))
+                continue
+            key = (actor_name, "out")
+            if key in points and is_foldable(actor):
+                body.extend(materialize_port(ctx, key, self.unroll_limit))
+                continue
+            if not is_foldable(actor):
+                raise CodegenError(
+                    f"Simulink-Coder baseline cannot translate actor type "
+                    f"{actor.actor_type!r}"
+                )
+            # single-consumer foldable actor: folded into its consumer
+
+        flush_scattered()
+        body.extend(emit_state_updates(ctx, self.unroll_limit))
+        ctx.program.body = body
+        if self.variable_reuse:
+            from repro.codegen.reuse import reuse_local_buffers
+
+            shared, _ = reuse_local_buffers(ctx.program)
+            return shared
+        return ctx.program
+
+    # ------------------------------------------------------------------
+    def _scattered_actors(self, ctx: CodegenContext) -> Set[str]:
+        """Float elementwise array actors the vendor toolchain vectorises.
+
+        One single-instruction loop per actor; integer actors are missed
+        (the paper's FIR example), as are ops with no single-node
+        instruction for the dtype.
+        """
+        iset = self.arch.instruction_set
+        chosen: Set[str] = set()
+        for actor in ctx.model.actors:
+            defn = actor_def(actor.actor_type)
+            if defn.kind is not ActorKind.ELEMENTWISE or defn.op_name == "Cast":
+                continue
+            port = actor.output("out")
+            if not port.dtype.is_float or not actor.has_array_input:
+                continue
+            lanes = iset.lanes_for(port.dtype)
+            if port.width < lanes:
+                continue
+            if self._single_node_instruction(iset, defn.op_name, port.dtype) is None:
+                continue
+            chosen.add(actor.name)
+        return chosen
+
+    @staticmethod
+    def _single_node_instruction(iset, op_name: str, dtype):
+        for spec in iset.instructions:
+            if spec.node_count == 1 and spec.root.op == op_name and spec.dtype is dtype:
+                return spec
+        return None
+
+    def _emit_scattered_fused(self, ctx: CodegenContext, actors: List[Actor]) -> List[Stmt]:
+        """One loop holding each actor's load / single-vop / store triple.
+
+        The actors share the loop but not registers: every intermediate
+        round-trips through its signal buffer, which is exactly the
+        "scattered SIMD" code the paper observed from Simulink Coder on
+        Intel.  A compiler with vector store-load forwarding (Clang) can
+        clean it up; GCC pays the memory traffic.
+        """
+        from repro import ops as op_table
+
+        iset = self.arch.instruction_set
+        width = actors[0].output("out").width
+        lanes = iset.lanes_for(actors[0].output("out").dtype)
+        main = (width // lanes) * lanes
+
+        names = ", ".join(a.name for a in actors)
+        statements: List[Stmt] = [Comment(f"scattered SIMD loop: {names}")]
+        loop_var = ctx.names.fresh("i")
+        body: List[Stmt] = []
+        for actor in actors:
+            defn = actor_def(actor.actor_type)
+            port = actor.output("out")
+            spec = self._single_node_instruction(iset, defn.op_name, port.dtype)
+            assert spec is not None, "actor pre-filtered by _scattered_actors"
+            info = op_table.op_info(defn.op_name)
+            imm = int(actor.params["shift"]) if info.needs_imm else None
+            out_buffer = ctx.ensure_local(actor.name, "out")
+            reg_args = []
+            for position, in_port in enumerate(actor.inputs):
+                src = ctx.buffer_of(*ctx.driver(actor.name, in_port.name))
+                reg = ctx.names.fresh(f"v{position}_")
+                body.append(SimdLoad(reg, src, Var(loop_var), port.dtype, lanes))
+                reg_args.append(reg)
+            dest_reg = ctx.names.fresh("vr_")
+            body.append(SimdOp(dest_reg, spec.name, tuple(reg_args), port.dtype, lanes, imm))
+            body.append(SimdStore(out_buffer, Var(loop_var), dest_reg, port.dtype, lanes))
+        statements.append(For(loop_var, const_i(0), const_i(main), lanes, tuple(body)))
+
+        # scalar tail for the remainder elements, one actor at a time
+        for actor in actors:
+            out_buffer = ctx.buffer_of(actor.name, "out")
+            ctx.materialized.discard((actor.name, "out"))
+            for index in range(main, width):
+                statements.append(
+                    Store(out_buffer, const_i(index),
+                          element_expr(ctx, (actor.name, "out"), const_i(index)))
+                )
+            ctx.materialized.add((actor.name, "out"))
+        return statements

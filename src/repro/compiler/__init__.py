@@ -1,0 +1,33 @@
+"""The C-compiler model: optimization passes and GCC/Clang presets."""
+
+from repro.compiler.passes import (
+    PassConfig,
+    constant_folding,
+    optimize_program,
+    scalar_forwarding,
+    vector_dse,
+    vector_forwarding,
+)
+from repro.compiler.toolchain import (
+    CLANG,
+    GCC,
+    PERFECT,
+    Compiler,
+    compiler_names,
+    get_compiler,
+)
+
+__all__ = [
+    "CLANG",
+    "Compiler",
+    "GCC",
+    "PERFECT",
+    "PassConfig",
+    "compiler_names",
+    "constant_folding",
+    "get_compiler",
+    "optimize_program",
+    "scalar_forwarding",
+    "vector_dse",
+    "vector_forwarding",
+]

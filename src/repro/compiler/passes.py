@@ -1,0 +1,586 @@
+"""Compiler optimization passes over the IR.
+
+The paper's evaluation (§4.2) hinges on what the C compiler does with
+the generated code: GCC "cannot organize these [scattered Intel SIMD]
+instructions together, which results in frequent data exchange between
+memory and vector registers", whereas Clang does better.  We model the
+compilers as pass pipelines over the IR:
+
+* **constant folding** — fold constant scalar expressions;
+* **scalar store-load forwarding** — inside one straight-line block, a
+  load from a location just stored is replaced by the stored value;
+* **vector store-load forwarding** — the same for SIMD load/store
+  (Clang: on; GCC: off — the Fig. 5(b) mechanism);
+* **vector dead-store elimination** — drop SIMD stores to local scratch
+  buffers that are never read again (needs alias analysis; off for both
+  by default, on for the idealised "perfect compiler" ablation).
+
+Passes are semantics-preserving: every transformed program must produce
+the same outputs (tested property-style in ``tests/compiler``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.expr import Cmp, Const, Expr, Load, ScalarOp, Select, Var
+from repro.ir.program import Program
+from repro.ir.stmt import (
+    AssignVar,
+    CopyBuffer,
+    For,
+    If,
+    KernelCall,
+    SimdBroadcast,
+    SimdLoad,
+    SimdOp,
+    SimdStore,
+    Stmt,
+    Store,
+)
+from repro.ir.types import BufferKind
+from repro import ops
+
+
+@dataclasses.dataclass(frozen=True)
+class PassConfig:
+    """Which optimizations a compiler performs on the generated code."""
+
+    fold_constants: bool = True
+    scalar_forwarding: bool = True
+    #: hoist loop-invariant constant-index loads out of loops
+    licm: bool = True
+    #: pull loop-invariant select conditions out of loops (-O3)
+    unswitch: bool = True
+    vector_forwarding: bool = False
+    vector_dse: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers
+# ---------------------------------------------------------------------------
+
+def fold_expr(expr: Expr) -> Expr:
+    """Recursively fold constant sub-expressions."""
+    if isinstance(expr, ScalarOp):
+        args = tuple(fold_expr(a) for a in expr.args)
+        if all(isinstance(a, Const) for a in args):
+            import numpy as np
+
+            values = [np.asarray(a.value, dtype=expr.dtype.numpy_dtype) for a in args]
+            if expr.op == "Cast":
+                values = [np.asarray(args[0].value)]
+            try:
+                result = ops.apply_op(expr.op, expr.dtype, values, expr.imm)
+            except (ValueError, ZeroDivisionError):
+                return ScalarOp(expr.op, args, expr.dtype, expr.imm)
+            scalar = result.item() if hasattr(result, "item") else result
+            return Const(scalar, expr.dtype)
+        return ScalarOp(expr.op, args, expr.dtype, expr.imm)
+    if isinstance(expr, Load):
+        return Load(expr.buffer, fold_expr(expr.index))
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, fold_expr(expr.lhs), fold_expr(expr.rhs))
+    if isinstance(expr, Select):
+        return Select(fold_expr(expr.cond), fold_expr(expr.if_true), fold_expr(expr.if_false))
+    return expr
+
+
+def _map_exprs(stmt: Stmt, fn) -> Stmt:
+    """Rebuild a statement with ``fn`` applied to its scalar expressions."""
+    if isinstance(stmt, AssignVar):
+        return AssignVar(stmt.name, fn(stmt.expr), stmt.dtype)
+    if isinstance(stmt, Store):
+        return Store(stmt.buffer, fn(stmt.index), fn(stmt.expr))
+    if isinstance(stmt, For):
+        return For(stmt.var, fn(stmt.start), fn(stmt.stop), stmt.step,
+                   tuple(_map_exprs(s, fn) for s in stmt.body))
+    if isinstance(stmt, If):
+        return If(fn(stmt.cond),
+                  tuple(_map_exprs(s, fn) for s in stmt.then_body),
+                  tuple(_map_exprs(s, fn) for s in stmt.else_body))
+    if isinstance(stmt, SimdLoad):
+        return SimdLoad(stmt.dest, stmt.buffer, fn(stmt.index), stmt.dtype, stmt.lanes)
+    if isinstance(stmt, SimdStore):
+        return SimdStore(stmt.buffer, fn(stmt.index), stmt.src, stmt.dtype, stmt.lanes)
+    if isinstance(stmt, SimdBroadcast):
+        return SimdBroadcast(stmt.dest, fn(stmt.scalar), stmt.dtype, stmt.lanes)
+    if isinstance(stmt, CopyBuffer):
+        return CopyBuffer(stmt.dst, fn(stmt.dst_offset), stmt.src, fn(stmt.src_offset), stmt.count)
+    return stmt
+
+
+def constant_folding(body: Sequence[Stmt]) -> List[Stmt]:
+    return [_map_exprs(stmt, fold_expr) for stmt in body]
+
+
+# ---------------------------------------------------------------------------
+# Store-load forwarding
+# ---------------------------------------------------------------------------
+
+def _loads_in(expr: Expr) -> List[Load]:
+    found: List[Load] = []
+    if isinstance(expr, Load):
+        found.append(expr)
+    for child in expr.children():
+        found.extend(_loads_in(child))
+    return found
+
+
+def _replace_load(expr: Expr, key: Tuple[str, Expr], replacement: Expr) -> Expr:
+    if isinstance(expr, Load) and (expr.buffer, expr.index) == key:
+        return replacement
+    if isinstance(expr, ScalarOp):
+        return ScalarOp(
+            expr.op,
+            tuple(_replace_load(a, key, replacement) for a in expr.args),
+            expr.dtype,
+            expr.imm,
+        )
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, _replace_load(expr.lhs, key, replacement),
+                   _replace_load(expr.rhs, key, replacement))
+    if isinstance(expr, Select):
+        return Select(
+            _replace_load(expr.cond, key, replacement),
+            _replace_load(expr.if_true, key, replacement),
+            _replace_load(expr.if_false, key, replacement),
+        )
+    return expr
+
+
+def _expr_reads_var(expr: Expr, name: str) -> bool:
+    if isinstance(expr, Var) and expr.name == name:
+        return True
+    return any(_expr_reads_var(c, name) for c in expr.children())
+
+
+def scalar_forwarding(body: Sequence[Stmt]) -> List[Stmt]:
+    """Forward scalar stores to later loads inside each straight-line block.
+
+    Only stores of *cheap* expressions (variables, constants) are
+    forwarded, matching what a compiler does without rematerialisation.
+    Invalidations are conservative: any store to the same buffer kills
+    the recorded value; assigning a variable kills values that read it.
+    """
+    out: List[Stmt] = []
+    available: Dict[Tuple[str, Expr], Expr] = {}
+
+    def forward(expr: Expr) -> Expr:
+        result = expr
+        for key, value in available.items():
+            result = _replace_load(result, key, value)
+        return result
+
+    for stmt in body:
+        if isinstance(stmt, (For, If)):
+            # Recurse into nested blocks with a fresh window; a block
+            # boundary invalidates everything (the compiler cannot know
+            # iteration counts in general).
+            if isinstance(stmt, For):
+                new_stmt: Stmt = For(stmt.var, stmt.start, stmt.stop, stmt.step,
+                                     tuple(scalar_forwarding(stmt.body)))
+            else:
+                new_stmt = If(forward(stmt.cond),
+                              tuple(scalar_forwarding(stmt.then_body)),
+                              tuple(scalar_forwarding(stmt.else_body)))
+            available.clear()
+            out.append(new_stmt)
+            continue
+
+        stmt = _map_exprs(stmt, forward)
+
+        if isinstance(stmt, Store):
+            # Invalidate previous knowledge about this buffer.
+            for key in [k for k in available if k[0] == stmt.buffer]:
+                del available[key]
+            if isinstance(stmt.expr, (Var, Const)):
+                available[(stmt.buffer, stmt.index)] = stmt.expr
+        elif isinstance(stmt, AssignVar):
+            # A reassigned variable invalidates forwarded values using it.
+            for key in [
+                k for k, v in available.items()
+                if _expr_reads_var(v, stmt.name)
+                or _expr_reads_var(k[1], stmt.name)
+            ]:
+                del available[key]
+        elif isinstance(stmt, (SimdStore, CopyBuffer, KernelCall)):
+            # Conservative: vector/bulk writes invalidate scalar knowledge
+            # of the touched buffers.
+            touched = set()
+            if isinstance(stmt, SimdStore):
+                touched.add(stmt.buffer)
+            elif isinstance(stmt, CopyBuffer):
+                touched.add(stmt.dst)
+            else:
+                touched.update(stmt.outputs)
+            for key in [k for k in available if k[0] in touched]:
+                del available[key]
+
+        out.append(stmt)
+    return out
+
+
+def vector_forwarding(body: Sequence[Stmt]) -> List[Stmt]:
+    """Forward SIMD stores to later SIMD loads inside straight-line blocks.
+
+    ``vst1q(&buf[i], r); ... x = vld1q(&buf[i]);`` becomes a register
+    copy: the load is removed and ``x`` is renamed to ``r`` downstream.
+    This is the pass GCC lacks for scattered vendor intrinsics in the
+    paper's Fig. 5(b) observation.
+    """
+
+    def run_block(block: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        stored: Dict[Tuple[str, Expr], str] = {}
+        rename: Dict[str, str] = {}
+
+        def resolve(name: str) -> str:
+            seen = set()
+            while name in rename and name not in seen:
+                seen.add(name)
+                name = rename[name]
+            return name
+
+        for stmt in block:
+            if isinstance(stmt, For):
+                out.append(For(stmt.var, stmt.start, stmt.stop, stmt.step,
+                               tuple(run_block(stmt.body))))
+                stored.clear()
+                continue
+            if isinstance(stmt, If):
+                out.append(If(stmt.cond, tuple(run_block(stmt.then_body)),
+                              tuple(run_block(stmt.else_body))))
+                stored.clear()
+                continue
+
+            if isinstance(stmt, SimdOp):
+                stmt = SimdOp(stmt.dest, stmt.instruction,
+                              tuple(resolve(a) for a in stmt.args),
+                              stmt.dtype, stmt.lanes, stmt.imm)
+                # Writing a register invalidates stored records built on it
+                # (registers are single-assignment in generated code, but
+                # stay safe under reuse).
+                for key in [k for k, v in stored.items() if resolve(v) == stmt.dest]:
+                    del stored[key]
+                out.append(stmt)
+                continue
+
+            if isinstance(stmt, SimdStore):
+                src = resolve(stmt.src)
+                stmt = SimdStore(stmt.buffer, stmt.index, src, stmt.dtype, stmt.lanes)
+                for key in [k for k in stored if k[0] == stmt.buffer]:
+                    del stored[key]
+                stored[(stmt.buffer, stmt.index)] = src
+                out.append(stmt)
+                continue
+
+            if isinstance(stmt, SimdLoad):
+                key = (stmt.buffer, stmt.index)
+                if key in stored:
+                    rename[stmt.dest] = stored[key]
+                    continue  # load eliminated
+                out.append(stmt)
+                continue
+
+            if isinstance(stmt, (Store, CopyBuffer, KernelCall)):
+                touched = set()
+                if isinstance(stmt, Store):
+                    touched.add(stmt.buffer)
+                elif isinstance(stmt, CopyBuffer):
+                    touched.add(stmt.dst)
+                else:
+                    touched.update(stmt.outputs)
+                for key in [k for k in stored if k[0] in touched]:
+                    del stored[key]
+            out.append(stmt)
+        return out
+
+    return run_block(body)
+
+
+# ---------------------------------------------------------------------------
+# Loop-invariant code motion
+# ---------------------------------------------------------------------------
+
+def _written_buffer_names(block: Sequence[Stmt]) -> set:
+    from repro.ir.stmt import walk
+
+    written = set()
+    for stmt in walk(list(block)):
+        if isinstance(stmt, Store):
+            written.add(stmt.buffer)
+        elif isinstance(stmt, SimdStore):
+            written.add(stmt.buffer)
+        elif isinstance(stmt, CopyBuffer):
+            written.add(stmt.dst)
+        elif isinstance(stmt, KernelCall):
+            written.update(stmt.outputs)
+    return written
+
+
+def loop_invariant_code_motion(program: Program, body: Sequence[Stmt]) -> List[Stmt]:
+    """Hoist constant-index loads of loop-unmodified buffers out of loops.
+
+    ``ctrl[0]`` read inside a 1024-iteration select loop becomes one
+    load before the loop — every real compiler does this at -O2.
+    """
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"licm_{counter[0]}"
+
+    def hoist_in(expr: Expr, written: set, hoisted: Dict[Tuple[str, object], Tuple[str, Expr]]) -> Expr:
+        if isinstance(expr, Load) and isinstance(expr.index, Const) and expr.buffer not in written:
+            key = (expr.buffer, expr.index.value)
+            if key not in hoisted:
+                hoisted[key] = (fresh(), expr)
+            return Var(hoisted[key][0])
+        if isinstance(expr, ScalarOp):
+            return ScalarOp(
+                expr.op,
+                tuple(hoist_in(a, written, hoisted) for a in expr.args),
+                expr.dtype, expr.imm,
+            )
+        if isinstance(expr, Cmp):
+            return Cmp(expr.op, hoist_in(expr.lhs, written, hoisted),
+                       hoist_in(expr.rhs, written, hoisted))
+        if isinstance(expr, Select):
+            return Select(
+                hoist_in(expr.cond, written, hoisted),
+                hoist_in(expr.if_true, written, hoisted),
+                hoist_in(expr.if_false, written, hoisted),
+            )
+        if isinstance(expr, Load):
+            return Load(expr.buffer, hoist_in(expr.index, written, hoisted))
+        return expr
+
+    def run_block(block: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in block:
+            if isinstance(stmt, If):
+                out.append(If(stmt.cond, tuple(run_block(stmt.then_body)),
+                              tuple(run_block(stmt.else_body))))
+                continue
+            if not isinstance(stmt, For):
+                out.append(stmt)
+                continue
+            inner = run_block(stmt.body)
+            written = _written_buffer_names(inner)
+            hoisted: Dict[Tuple[str, object], Tuple[str, Expr]] = {}
+            new_body = [
+                _map_exprs(s, lambda e: hoist_in(e, written, hoisted)) for s in inner
+            ]
+            for name, load in hoisted.values():
+                dtype = program.buffer(load.buffer).dtype
+                out.append(AssignVar(name, load, dtype))
+            out.append(For(stmt.var, stmt.start, stmt.stop, stmt.step, tuple(new_body)))
+        return out
+
+    return run_block(list(body))
+
+
+# ---------------------------------------------------------------------------
+# Loop unswitching
+# ---------------------------------------------------------------------------
+
+def _expr_vars(expr: Expr) -> set:
+    names = set()
+    if isinstance(expr, Var):
+        names.add(expr.name)
+    for child in expr.children():
+        names |= _expr_vars(child)
+    return names
+
+
+def _expr_load_buffers(expr: Expr) -> set:
+    return {load.buffer for load in _loads_in(expr)}
+
+
+def _resolve_selects(expr: Expr, cond: Expr, take_true: bool) -> Expr:
+    if isinstance(expr, Select) and expr.cond == cond:
+        chosen = expr.if_true if take_true else expr.if_false
+        return _resolve_selects(chosen, cond, take_true)
+    if isinstance(expr, ScalarOp):
+        return ScalarOp(expr.op,
+                        tuple(_resolve_selects(a, cond, take_true) for a in expr.args),
+                        expr.dtype, expr.imm)
+    if isinstance(expr, Select):
+        return Select(_resolve_selects(expr.cond, cond, take_true),
+                      _resolve_selects(expr.if_true, cond, take_true),
+                      _resolve_selects(expr.if_false, cond, take_true))
+    if isinstance(expr, Cmp):
+        return Cmp(expr.op, _resolve_selects(expr.lhs, cond, take_true),
+                   _resolve_selects(expr.rhs, cond, take_true))
+    if isinstance(expr, Load):
+        return Load(expr.buffer, _resolve_selects(expr.index, cond, take_true))
+    return expr
+
+
+def _find_invariant_select_cond(loop: For) -> Optional[Expr]:
+    """The condition of a Select in the loop body that cannot change
+    across iterations, if any."""
+    assigned = {loop.var}
+    from repro.ir.stmt import walk
+
+    for stmt in walk(list(loop.body)):
+        if isinstance(stmt, AssignVar):
+            assigned.add(stmt.name)
+        elif isinstance(stmt, For):
+            assigned.add(stmt.var)
+    written = _written_buffer_names(loop.body)
+
+    def selects_in(expr: Expr) -> List[Select]:
+        found = [expr] if isinstance(expr, Select) else []
+        for child in expr.children():
+            found.extend(selects_in(child))
+        return found
+
+    for stmt in walk(list(loop.body)):
+        exprs: List[Expr] = []
+        if isinstance(stmt, Store):
+            exprs = [stmt.expr, stmt.index]
+        elif isinstance(stmt, AssignVar):
+            exprs = [stmt.expr]
+        for expr in exprs:
+            for select in selects_in(expr):
+                cond = select.cond
+                if _expr_vars(cond) & assigned:
+                    continue
+                if _expr_load_buffers(cond) & written:
+                    continue
+                return cond
+    return None
+
+
+def loop_unswitching(body: Sequence[Stmt]) -> List[Stmt]:
+    """Pull loop-invariant select conditions out of loops.
+
+    ``for i: out[i] = c ? a[i] : b[i]`` with ``c`` invariant becomes
+    ``if (c) for i: out[i] = a[i]; else for i: out[i] = b[i];`` — a
+    standard -O3 transformation on both GCC and Clang, and the reason a
+    scalar Switch over an array does not cost a branch per element.
+    """
+
+    def run_block(block: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in block:
+            if isinstance(stmt, If):
+                out.append(If(stmt.cond, tuple(run_block(stmt.then_body)),
+                              tuple(run_block(stmt.else_body))))
+                continue
+            if not isinstance(stmt, For):
+                out.append(stmt)
+                continue
+            loop = For(stmt.var, stmt.start, stmt.stop, stmt.step,
+                       tuple(run_block(stmt.body)))
+            cond = _find_invariant_select_cond(loop)
+            if cond is None:
+                out.append(loop)
+                continue
+            then_loop = For(loop.var, loop.start, loop.stop, loop.step,
+                            tuple(_map_exprs(s, lambda e: _resolve_selects(e, cond, True))
+                                  for s in loop.body))
+            else_loop = For(loop.var, loop.start, loop.stop, loop.step,
+                            tuple(_map_exprs(s, lambda e: _resolve_selects(e, cond, False))
+                                  for s in loop.body))
+            unswitched = If(cond, tuple(run_block([then_loop])), tuple(run_block([else_loop])))
+            out.append(unswitched)
+        return out
+
+    return run_block(list(body))
+
+
+# ---------------------------------------------------------------------------
+# Dead store elimination
+# ---------------------------------------------------------------------------
+
+def _buffers_read(body: Sequence[Stmt]) -> set:
+    read = set()
+    from repro.ir.stmt import walk
+
+    def scan_expr(expr: Expr) -> None:
+        for load in _loads_in(expr):
+            read.add(load.buffer)
+
+    for stmt in walk(list(body)):
+        if isinstance(stmt, AssignVar):
+            scan_expr(stmt.expr)
+        elif isinstance(stmt, Store):
+            scan_expr(stmt.index)
+            scan_expr(stmt.expr)
+        elif isinstance(stmt, SimdLoad):
+            read.add(stmt.buffer)
+            scan_expr(stmt.index)
+        elif isinstance(stmt, SimdStore):
+            scan_expr(stmt.index)
+        elif isinstance(stmt, SimdBroadcast):
+            scan_expr(stmt.scalar)
+        elif isinstance(stmt, If):
+            scan_expr(stmt.cond)
+        elif isinstance(stmt, For):
+            scan_expr(stmt.start)
+            scan_expr(stmt.stop)
+        elif isinstance(stmt, KernelCall):
+            read.update(stmt.inputs)
+        elif isinstance(stmt, CopyBuffer):
+            read.add(stmt.src)
+            scan_expr(stmt.src_offset)
+            scan_expr(stmt.dst_offset)
+    return read
+
+
+def vector_dse(program: Program) -> List[Stmt]:
+    """Drop SIMD stores into LOCAL buffers that no statement ever reads."""
+    read = _buffers_read(program.body)
+    local_names = {b.name for b in program.buffers if b.kind is BufferKind.LOCAL}
+    dead = local_names - read
+
+    def run_block(block: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in block:
+            if isinstance(stmt, SimdStore) and stmt.buffer in dead:
+                continue
+            if isinstance(stmt, For):
+                out.append(For(stmt.var, stmt.start, stmt.stop, stmt.step,
+                               tuple(run_block(stmt.body))))
+                continue
+            if isinstance(stmt, If):
+                out.append(If(stmt.cond, tuple(run_block(stmt.then_body)),
+                              tuple(run_block(stmt.else_body))))
+                continue
+            out.append(stmt)
+        return out
+
+    return run_block(program.body)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline
+# ---------------------------------------------------------------------------
+
+def optimize_program(program: Program, config: PassConfig) -> Program:
+    """Apply the configured passes, returning a new program."""
+    body: List[Stmt] = list(program.body)
+    if config.fold_constants:
+        body = constant_folding(body)
+    if config.scalar_forwarding:
+        body = scalar_forwarding(body)
+    if config.licm:
+        body = loop_invariant_code_motion(program, body)
+    if config.unswitch:
+        body = loop_unswitching(body)
+    if config.vector_forwarding:
+        body = vector_forwarding(body)
+    result = Program(
+        name=program.name,
+        buffers=list(program.buffers),
+        body=body,
+        generator=program.generator,
+        arch=program.arch,
+    )
+    if config.vector_dse:
+        result.body = vector_dse(result)
+    return result

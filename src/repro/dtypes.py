@@ -1,0 +1,122 @@
+"""Scalar element data types used throughout the model, IR and VM.
+
+The paper's instruction-set format names element types ``i8 .. i64``,
+``u8 .. u64``, ``f32`` and ``f64``; the same names are used in model
+files, in IR value types and in ``.si`` instruction descriptions, so they
+live here at the bottom of the dependency graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+
+class DataType(enum.Enum):
+    """An element data type, named as in the paper's ISA files."""
+
+    I8 = "i8"
+    U8 = "u8"
+    I16 = "i16"
+    U16 = "u16"
+    I32 = "i32"
+    U32 = "u32"
+    I64 = "i64"
+    U64 = "u64"
+    F32 = "f32"
+    F64 = "f64"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Return the type named ``name`` (e.g. ``"i32"``).
+
+        Raises ``ValueError`` with the list of valid names on a miss, so
+        parser error messages stay readable.
+        """
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            valid = ", ".join(t.value for t in cls)
+            raise ValueError(f"unknown data type {name!r}; expected one of: {valid}") from None
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def bit_width(self) -> int:
+        """Width of one element in bits (8/16/32/64)."""
+        return int(self.value[1:])
+
+    @property
+    def byte_width(self) -> int:
+        """Width of one element in bytes."""
+        return self.bit_width // 8
+
+    @property
+    def is_float(self) -> bool:
+        return self.value[0] == "f"
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float
+
+    @property
+    def is_signed(self) -> bool:
+        """True for signed integers and floats."""
+        return self.value[0] in ("i", "f")
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The equivalent numpy dtype (used by the reference semantics and VM)."""
+        return np.dtype(_NUMPY_NAMES[self])
+
+    # ------------------------------------------------------------------
+    # Value domain helpers
+    # ------------------------------------------------------------------
+    @property
+    def min_value(self) -> Union[int, float]:
+        if self.is_float:
+            return float(np.finfo(self.numpy_dtype).min)
+        return int(np.iinfo(self.numpy_dtype).min)
+
+    @property
+    def max_value(self) -> Union[int, float]:
+        if self.is_float:
+            return float(np.finfo(self.numpy_dtype).max)
+        return int(np.iinfo(self.numpy_dtype).max)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_NUMPY_NAMES = {
+    DataType.I8: "int8",
+    DataType.U8: "uint8",
+    DataType.I16: "int16",
+    DataType.U16: "uint16",
+    DataType.I32: "int32",
+    DataType.U32: "uint32",
+    DataType.I64: "int64",
+    DataType.U64: "uint64",
+    DataType.F32: "float32",
+    DataType.F64: "float64",
+}
+
+#: Types commonly used by the benchmark models.
+INTEGER_TYPES = tuple(t for t in DataType if t.is_integer)
+FLOAT_TYPES = (DataType.F32, DataType.F64)
+SIGNED_INTEGER_TYPES = tuple(t for t in INTEGER_TYPES if t.is_signed)
+
+
+def c_type_name(dtype: DataType) -> str:
+    """The C99 type name the C emitter prints for ``dtype``."""
+    if dtype is DataType.F32:
+        return "float"
+    if dtype is DataType.F64:
+        return "double"
+    return f"{'u' if not dtype.is_signed else ''}int{dtype.bit_width}_t"

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the HCG reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.  Sub-hierarchies
+mirror the package layout: model construction, scheduling, ISA parsing,
+code generation and VM execution each have their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ModelError(ReproError):
+    """A Simulink-like model is structurally invalid."""
+
+
+class PortError(ModelError):
+    """A port reference is missing, duplicated, or incompatible."""
+
+
+class ConnectionError_(ModelError):
+    """A connection between ports is invalid (types, widths, fan-in)."""
+
+
+class ModelParseError(ModelError):
+    """A model XML file could not be parsed."""
+
+
+class ScheduleError(ReproError):
+    """The model cannot be scheduled (e.g. it contains an algebraic loop)."""
+
+
+class IsaError(ReproError):
+    """An instruction-set description is malformed or inconsistent."""
+
+
+class IsaParseError(IsaError):
+    """A ``.si`` instruction-set file could not be parsed."""
+
+
+class CodegenError(ReproError):
+    """Code generation failed."""
+
+
+class UnsupportedActorError(CodegenError):
+    """A generator met an actor type it cannot translate."""
+
+
+class KernelError(ReproError):
+    """An intensive-computing kernel was misused."""
+
+
+class KernelDomainError(KernelError):
+    """A kernel was invoked on a (dtype, size) it cannot handle."""
+
+
+class VmError(ReproError):
+    """The virtual machine hit an invalid program or state."""
+
+
+class VmTypeError(VmError):
+    """A VM operand had an unexpected type or shape."""

@@ -1,0 +1,425 @@
+"""C source emitter: print a generated program as deployable C99.
+
+The VM executes the IR directly; this module renders the *same* IR as
+the C a user would compile for the real board — NEON intrinsics for the
+ARM targets, SSE/AVX intrinsics for the Intel targets, plain C99 for
+scalar code.  Intensive-actor kernel calls are emitted as calls into
+the (external) kernel library, with a prototype block at the top.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.dtypes import DataType, c_type_name
+from repro.errors import CodegenError
+from repro.ir.expr import Cmp, Const, Expr, Load, ScalarOp, Select, Var
+from repro.ir.program import Program
+from repro.ir.stmt import (
+    AssignVar,
+    Comment,
+    CopyBuffer,
+    For,
+    If,
+    KernelCall,
+    SimdBroadcast,
+    SimdLoad,
+    SimdOp,
+    SimdStore,
+    Stmt,
+    Store,
+)
+from repro.ir.types import BufferKind
+from repro.isa.spec import InstructionSet
+
+
+_NEON_SUFFIX = {
+    DataType.I8: "s8", DataType.I16: "s16", DataType.I32: "s32", DataType.I64: "s64",
+    DataType.U8: "u8", DataType.U16: "u16", DataType.U32: "u32", DataType.U64: "u64",
+    DataType.F32: "f32", DataType.F64: "f64",
+}
+
+
+def _neon_vector_type(dtype: DataType, lanes: int) -> str:
+    base = _NEON_SUFFIX[dtype]
+    scalar = {"s": "int", "u": "uint", "f": "float"}[base[0]]
+    return f"{scalar}{dtype.bit_width}x{lanes}_t"
+
+
+def _x86_vector_type(dtype: DataType, bits: int) -> str:
+    if dtype.is_float:
+        if dtype is DataType.F32:
+            return "__m128" if bits == 128 else "__m256"
+        return "__m128d" if bits == 128 else "__m256d"
+    return "__m128i" if bits == 128 else "__m256i"
+
+
+class CEmitter:
+    """Renders one :class:`Program` as a C compilation unit."""
+
+    def __init__(self, program: Program, instruction_set: Optional[InstructionSet] = None) -> None:
+        self.program = program
+        self.iset = instruction_set
+        self._isa_family = instruction_set.arch if instruction_set is not None else ""
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def expr(self, node: Expr) -> str:
+        if isinstance(node, Const):
+            if node.dtype.is_float:
+                suffix = "f" if node.dtype is DataType.F32 else ""
+                return f"{float(node.value)!r}{suffix}".replace("'", "")
+            return str(int(node.value))
+        if isinstance(node, Var):
+            return node.name
+        if isinstance(node, Load):
+            return f"{node.buffer}[{self.expr(node.index)}]"
+        if isinstance(node, Cmp):
+            return f"({self.expr(node.lhs)} {node.op} {self.expr(node.rhs)})"
+        if isinstance(node, Select):
+            return (
+                f"({self.expr(node.cond)} ? {self.expr(node.if_true)}"
+                f" : {self.expr(node.if_false)})"
+            )
+        if isinstance(node, ScalarOp):
+            return self._scalar_op(node)
+        raise CodegenError(f"cannot emit expression node {type(node).__name__}")
+
+    def _scalar_op(self, node: ScalarOp) -> str:
+        args = [self.expr(a) for a in node.args]
+        is_f32 = node.dtype is DataType.F32
+        infix = {
+            "Add": "+", "Sub": "-", "Mul": "*", "Div": "/",
+            "BitAnd": "&", "BitOr": "|", "BitXor": "^",
+        }
+        if node.op in infix:
+            return f"({args[0]} {infix[node.op]} {args[1]})"
+        if node.op == "Shr":
+            return f"({args[0]} >> {node.imm})"
+        if node.op == "Shl":
+            return f"({args[0]} << {node.imm})"
+        if node.op == "BitNot":
+            return f"(~{args[0]})"
+        if node.op == "Neg":
+            return f"(-{args[0]})"
+        if node.op == "Min":
+            if node.dtype.is_float:
+                fn = "fminf" if is_f32 else "fmin"
+                return f"{fn}({args[0]}, {args[1]})"
+            return f"(({args[0]} < {args[1]}) ? {args[0]} : {args[1]})"
+        if node.op == "Max":
+            if node.dtype.is_float:
+                fn = "fmaxf" if is_f32 else "fmax"
+                return f"{fn}({args[0]}, {args[1]})"
+            return f"(({args[0]} > {args[1]}) ? {args[0]} : {args[1]})"
+        if node.op == "Abs":
+            if node.dtype.is_float:
+                return f"{'fabsf' if is_f32 else 'fabs'}({args[0]})"
+            return f"(({args[0]} < 0) ? -{args[0]} : {args[0]})"
+        if node.op == "Abd":
+            if node.dtype.is_float:
+                return f"{'fabsf' if is_f32 else 'fabs'}({args[0]} - {args[1]})"
+            return (
+                f"((({args[0]} > {args[1]}) ? {args[0]} : {args[1]})"
+                f" - (({args[0]} < {args[1]}) ? {args[0]} : {args[1]}))"
+            )
+        if node.op == "Recp":
+            one = "1.0f" if is_f32 else "1.0"
+            return f"({one} / {args[0]})"
+        if node.op == "Sqrt":
+            return f"{'sqrtf' if is_f32 else 'sqrt'}({args[0]})"
+        if node.op == "Cast":
+            return f"(({c_type_name(node.dtype)}){args[0]})"
+        raise CodegenError(f"cannot emit scalar op {node.op!r}")
+
+    # ------------------------------------------------------------------
+    # SIMD helpers
+    # ------------------------------------------------------------------
+    def vector_type(self, dtype: DataType, lanes: int) -> str:
+        if self._isa_family == "neon":
+            return _neon_vector_type(dtype, lanes)
+        bits = dtype.bit_width * lanes
+        return _x86_vector_type(dtype, bits)
+
+    def _vload(self, stmt: SimdLoad) -> str:
+        address = f"&{stmt.buffer}[{self.expr(stmt.index)}]"
+        vtype = self.vector_type(stmt.dtype, stmt.lanes)
+        if self._isa_family == "neon":
+            return f"{vtype} {stmt.dest} = vld1q_{_NEON_SUFFIX[stmt.dtype]}({address});"
+        bits = stmt.dtype.bit_width * stmt.lanes
+        prefix = "_mm" if bits == 128 else "_mm256"
+        if stmt.dtype is DataType.F32:
+            return f"{vtype} {stmt.dest} = {prefix}_loadu_ps({address});"
+        if stmt.dtype is DataType.F64:
+            return f"{vtype} {stmt.dest} = {prefix}_loadu_pd({address});"
+        integer_type = "__m128i" if bits == 128 else "__m256i"
+        suffix = "si128" if bits == 128 else "si256"
+        return f"{vtype} {stmt.dest} = {prefix}_loadu_{suffix}(({integer_type} const*){address});"
+
+    def _vstore(self, stmt: SimdStore) -> str:
+        address = f"&{stmt.buffer}[{self.expr(stmt.index)}]"
+        if self._isa_family == "neon":
+            return f"vst1q_{_NEON_SUFFIX[stmt.dtype]}({address}, {stmt.src});"
+        bits = stmt.dtype.bit_width * stmt.lanes
+        prefix = "_mm" if bits == 128 else "_mm256"
+        if stmt.dtype is DataType.F32:
+            return f"{prefix}_storeu_ps({address}, {stmt.src});"
+        if stmt.dtype is DataType.F64:
+            return f"{prefix}_storeu_pd({address}, {stmt.src});"
+        integer_type = "__m128i" if bits == 128 else "__m256i"
+        suffix = "si128" if bits == 128 else "si256"
+        return f"{prefix}_storeu_{suffix}(({integer_type}*){address}, {stmt.src});"
+
+    def _vdup(self, stmt: SimdBroadcast) -> str:
+        vtype = self.vector_type(stmt.dtype, stmt.lanes)
+        value = self.expr(stmt.scalar)
+        if self._isa_family == "neon":
+            return f"{vtype} {stmt.dest} = vdupq_n_{_NEON_SUFFIX[stmt.dtype]}({value});"
+        bits = stmt.dtype.bit_width * stmt.lanes
+        prefix = "_mm" if bits == 128 else "_mm256"
+        if stmt.dtype is DataType.F32:
+            return f"{vtype} {stmt.dest} = {prefix}_set1_ps({value});"
+        if stmt.dtype is DataType.F64:
+            return f"{vtype} {stmt.dest} = {prefix}_set1_pd({value});"
+        return f"{vtype} {stmt.dest} = {prefix}_set1_epi{stmt.dtype.bit_width}({value});"
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def stmt(self, node: Stmt, indent: int) -> List[str]:
+        pad = "    " * indent
+        if isinstance(node, Comment):
+            return [f"{pad}/* {node.text} */"]
+        if isinstance(node, AssignVar):
+            return [f"{pad}{c_type_name(node.dtype)} {node.name} = {self.expr(node.expr)};"]
+        if isinstance(node, Store):
+            return [f"{pad}{node.buffer}[{self.expr(node.index)}] = {self.expr(node.expr)};"]
+        if isinstance(node, For):
+            head = (
+                f"{pad}for (int32_t {node.var} = {self.expr(node.start)}; "
+                f"{node.var} < {self.expr(node.stop)}; {node.var} += {node.step}) {{"
+            )
+            lines = [head]
+            for inner in node.body:
+                lines.extend(self.stmt(inner, indent + 1))
+            lines.append(f"{pad}}}")
+            return lines
+        if isinstance(node, If):
+            lines = [f"{pad}if {self.expr(node.cond)} {{"]
+            for inner in node.then_body:
+                lines.extend(self.stmt(inner, indent + 1))
+            if node.else_body:
+                lines.append(f"{pad}}} else {{")
+                for inner in node.else_body:
+                    lines.extend(self.stmt(inner, indent + 1))
+            lines.append(f"{pad}}}")
+            return lines
+        if isinstance(node, SimdLoad):
+            return [pad + self._vload(node)]
+        if isinstance(node, SimdStore):
+            return [pad + self._vstore(node)]
+        if isinstance(node, SimdBroadcast):
+            return [pad + self._vdup(node)]
+        if isinstance(node, SimdOp):
+            if self.iset is None:
+                raise CodegenError("emitting SIMD code requires an instruction set")
+            spec = self.iset.by_name(node.instruction)
+            inputs = {token: arg for token, arg in zip(spec.input_tokens, node.args)}
+            vtype = self.vector_type(node.dtype, node.lanes)
+            return [f"{pad}{vtype} {spec.render_code(node.dest, inputs, node.imm)};"]
+        if isinstance(node, KernelCall):
+            from repro.kernels.c_sources import specialized_name
+
+            fn = specialized_name(node.kernel_id, node.params_dict())
+            args = ", ".join(list(node.inputs) + list(node.outputs))
+            return [f"{pad}{fn}({args});"]
+        if isinstance(node, CopyBuffer):
+            dtype = self.program.buffer(node.dst).dtype
+            return [
+                f"{pad}memcpy(&{node.dst}[{self.expr(node.dst_offset)}], "
+                f"&{node.src}[{self.expr(node.src_offset)}], "
+                f"{node.count} * sizeof({c_type_name(dtype)}));"
+            ]
+        raise CodegenError(f"cannot emit statement node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Kernel library section
+    # ------------------------------------------------------------------
+    def _kernel_section(self) -> List[str]:
+        """Definitions (or typed prototypes) for every kernel call site."""
+        from repro.kernels.c_sources import kernel_c_source, specialized_name
+
+        seen: Set[str] = set()
+        definitions: List[str] = []
+        prototypes: List[str] = []
+        for stmt in self.program.all_statements():
+            if not isinstance(stmt, KernelCall):
+                continue
+            params = stmt.params_dict()
+            name = specialized_name(stmt.kernel_id, params)
+            if name in seen:
+                continue
+            seen.add(name)
+            dtype = self.program.buffer(
+                (stmt.inputs or stmt.outputs)[0]
+            ).dtype
+            source = kernel_c_source(stmt.kernel_id, params, dtype)
+            if source is not None:
+                definitions.append(source)
+            else:
+                ctype = c_type_name(dtype)
+                args = [f"const {ctype}* in{i}" for i in range(len(stmt.inputs))]
+                args += [f"{ctype}* out{i}" for i in range(len(stmt.outputs))]
+                prototypes.append(
+                    f"void {name}({', '.join(args)}); "
+                    f"/* provided by the {stmt.kernel_id} library build */"
+                )
+        lines: List[str] = []
+        if prototypes:
+            lines.append("/* intensive-actor kernels linked from the code library */")
+            lines.extend(prototypes)
+            lines.append("")
+        if definitions:
+            lines.append("/* intensive-actor kernel definitions */")
+            for definition in definitions:
+                lines.append(definition)
+                lines.append("")
+        return lines
+
+    # ------------------------------------------------------------------
+    # Whole unit
+    # ------------------------------------------------------------------
+    def emit(self) -> str:
+        lines: List[str] = [
+            f"/* Generated by repro/{self.program.generator or 'unknown'} "
+            f"for {self.program.arch or 'generic C'} */",
+            "#include <stdint.h>",
+            "#include <string.h>",
+            "#include <math.h>",
+        ]
+        uses_simd = any(
+            isinstance(stmt, (SimdLoad, SimdStore, SimdBroadcast, SimdOp))
+            for stmt in self.program.all_statements()
+        )
+        if uses_simd and self._isa_family == "neon":
+            lines.append("#include <arm_neon.h>")
+        elif uses_simd and self._isa_family:
+            lines.append("#include <immintrin.h>")
+        lines.append("")
+
+        lines.extend(self._kernel_section())
+
+        for decl in self.program.buffers:
+            ctype = c_type_name(decl.dtype)
+            qualifier = {
+                BufferKind.INPUT: "",
+                BufferKind.OUTPUT: "",
+                BufferKind.STATE: "static ",
+                BufferKind.CONST: "static const ",
+                BufferKind.LOCAL: "static ",
+            }[decl.kind]
+            init = ""
+            if decl.init is not None:
+                rendered = ", ".join(
+                    f"{v:g}" if decl.dtype.is_float else str(int(v)) for v in decl.init
+                )
+                init = f" = {{{rendered}}}"
+            lines.append(f"{qualifier}{ctype} {decl.name}[{decl.length}]{init}; "
+                         f"/* {decl.kind.value} */")
+        lines.append("")
+        lines.append(f"void {self.program.name}(void) {{")
+        for stmt in self.program.body:
+            lines.extend(self.stmt(stmt, 1))
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def emit_c(program: Program, instruction_set: Optional[InstructionSet] = None) -> str:
+    """Render ``program`` as a C compilation unit."""
+    return CEmitter(program, instruction_set).emit()
+
+
+def emit_timing_harness(program: Program, inputs, iterations: int) -> str:
+    """A ``main()`` that runs the step function ``iterations`` times and
+    prints the elapsed nanoseconds plus an output checksum.
+
+    Appended to :func:`emit_c` output this measures the generated code
+    on the *host* CPU — a real-hardware counterpart to the cost model.
+    The checksum accumulates across iterations so the loop cannot be
+    optimised away.
+    """
+    import numpy as np
+
+    lines: List[str] = ["#include <stdio.h>", "#include <time.h>", "",
+                        "int main(void) {"]
+    for decl in program.inputs:
+        values = np.asarray(inputs.get(decl.name, 0))
+        flat = np.broadcast_to(values, (decl.length,)) if values.ndim == 0 \
+            else values.ravel()
+        ctype = c_type_name(decl.dtype)
+        rendered = ", ".join(
+            f"{float(v)!r}".rstrip("0").rstrip(".") if decl.dtype.is_float
+            else str(int(v))
+            for v in flat
+        )
+        lines.append(f"    static const {ctype} {decl.name}_init[{decl.length}] = "
+                     f"{{{rendered}}};")
+        lines.append(f"    memcpy({decl.name}, {decl.name}_init, sizeof({decl.name}_init));")
+    lines.append("    struct timespec t0, t1;")
+    lines.append("    double checksum = 0.0;")
+    lines.append("    clock_gettime(CLOCK_MONOTONIC, &t0);")
+    lines.append(f"    for (long it = 0; it < {int(iterations)}L; ++it) {{")
+    lines.append(f"        {program.name}();")
+    if program.outputs:
+        first = program.outputs[0]
+        lines.append(f"        checksum += (double){first.name}[it % {first.length}];")
+    lines.append("    }")
+    lines.append("    clock_gettime(CLOCK_MONOTONIC, &t1);")
+    lines.append("    long long ns = (long long)(t1.tv_sec - t0.tv_sec) * 1000000000LL"
+                 " + (t1.tv_nsec - t0.tv_nsec);")
+    lines.append('    printf("ns %lld\\n", ns);')
+    lines.append('    printf("checksum %.9g\\n", checksum);')
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def emit_test_harness(program: Program, inputs) -> str:
+    """A ``main()`` that loads fixed inputs, runs one step and prints
+    every output element as ``<buffer> <index> <value>`` lines.
+
+    Appended to :func:`emit_c` output this gives a self-contained,
+    compilable executable whose stdout the tests compare against the
+    VM's execution of the very same program.
+    """
+    import numpy as np
+
+    lines: List[str] = ["#include <stdio.h>", "", "int main(void) {"]
+    for decl in program.inputs:
+        values = np.asarray(inputs.get(decl.name, 0))
+        flat = np.broadcast_to(values, (decl.length,)) if values.ndim == 0 \
+            else values.ravel()
+        ctype = c_type_name(decl.dtype)
+        rendered = ", ".join(
+            f"{float(v)!r}".rstrip("0").rstrip(".") if decl.dtype.is_float
+            else str(int(v))
+            for v in flat
+        )
+        lines.append(f"    static const {ctype} {decl.name}_init[{decl.length}] = "
+                     f"{{{rendered}}};")
+        lines.append(f"    memcpy({decl.name}, {decl.name}_init, sizeof({decl.name}_init));")
+    lines.append(f"    {program.name}();")
+    for decl in program.outputs:
+        if decl.dtype.is_float:
+            fmt, cast = "%.9g", "(double)"
+        else:
+            fmt, cast = "%lld", "(long long)"
+        lines.append(f"    for (int i = 0; i < {decl.length}; ++i) {{")
+        lines.append(
+            f'        printf("{decl.name} %d {fmt}\\n", i, {cast}{decl.name}[i]);'
+        )
+        lines.append("    }")
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

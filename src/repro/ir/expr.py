@@ -1,0 +1,133 @@
+"""Scalar expression nodes of the IR.
+
+Expressions are immutable trees.  Arithmetic uses the shared op table in
+:mod:`repro.ops`, so VM evaluation agrees with the model's reference
+semantics by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple, Union
+
+from repro.dtypes import DataType
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    #: child expressions, for generic traversal
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Const(Expr):
+    """A literal scalar constant."""
+
+    value: Union[int, float]
+    dtype: DataType
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclasses.dataclass(frozen=True)
+class Var(Expr):
+    """Read of a scalar temporary (or loop index)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class Load(Expr):
+    """Read one element from a buffer: ``buffer[index]``."""
+
+    buffer: str
+    index: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.index,)
+
+    def __str__(self) -> str:
+        return f"{self.buffer}[{self.index}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalarOp(Expr):
+    """An elementwise op from :mod:`repro.ops` applied to scalars.
+
+    ``imm`` carries the immediate for shift ops; ``dtype`` is the result
+    type (also the type the operands are assumed to have, except Cast).
+    """
+
+    op: str
+    args: Tuple[Expr, ...]
+    dtype: DataType
+    imm: Optional[int] = None
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        if self.imm is not None:
+            inner += f", #{self.imm}"
+        return f"{self.op}({inner})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Cmp(Expr):
+    """Comparison producing 0/1: ops are '<', '<=', '>', '>=', '==', '!='."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    _VALID = ("<", "<=", ">", ">=", "==", "!=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise ValueError(f"invalid comparison op {self.op!r}")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Select(Expr):
+    """C ternary: ``cond ? if_true : if_false``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def __str__(self) -> str:
+        return f"({self.cond} ? {self.if_true} : {self.if_false})"
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers used heavily by the generators
+# ---------------------------------------------------------------------------
+
+def const_i(value: int) -> Const:
+    """An i32 index/loop constant."""
+    return Const(int(value), DataType.I32)
+
+
+def add_index(base: Expr, offset: int) -> Expr:
+    """``base + offset`` with folding of constant bases and zero offsets."""
+    if offset == 0:
+        return base
+    if isinstance(base, Const):
+        return Const(int(base.value) + offset, base.dtype)
+    return ScalarOp("Add", (base, const_i(offset)), DataType.I32)

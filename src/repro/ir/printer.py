@@ -1,0 +1,75 @@
+"""Human-readable textual dump of IR programs (debugging, tests, docs)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import Program
+from repro.ir.stmt import (
+    AssignVar,
+    Comment,
+    CopyBuffer,
+    For,
+    If,
+    KernelCall,
+    SimdBroadcast,
+    SimdLoad,
+    SimdOp,
+    SimdStore,
+    Stmt,
+    Store,
+)
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    if isinstance(stmt, Comment):
+        return [f"{pad}// {stmt.text}"]
+    if isinstance(stmt, AssignVar):
+        return [f"{pad}{stmt.dtype} {stmt.name} = {stmt.expr}"]
+    if isinstance(stmt, Store):
+        return [f"{pad}{stmt.buffer}[{stmt.index}] = {stmt.expr}"]
+    if isinstance(stmt, For):
+        lines = [f"{pad}for {stmt.var} in [{stmt.start}, {stmt.stop}) step {stmt.step}:"]
+        for inner in stmt.body:
+            lines.extend(format_stmt(inner, indent + 1))
+        return lines
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {stmt.cond}:"]
+        for inner in stmt.then_body:
+            lines.extend(format_stmt(inner, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else:")
+            for inner in stmt.else_body:
+                lines.extend(format_stmt(inner, indent + 1))
+        return lines
+    if isinstance(stmt, SimdLoad):
+        return [f"{pad}{stmt.dtype}x{stmt.lanes} {stmt.dest} = vload({stmt.buffer}[{stmt.index}])"]
+    if isinstance(stmt, SimdStore):
+        return [f"{pad}vstore({stmt.buffer}[{stmt.index}], {stmt.src})"]
+    if isinstance(stmt, SimdBroadcast):
+        return [f"{pad}{stmt.dtype}x{stmt.lanes} {stmt.dest} = vdup({stmt.scalar})"]
+    if isinstance(stmt, SimdOp):
+        args = ", ".join(stmt.args)
+        imm = f", #{stmt.imm}" if stmt.imm is not None else ""
+        return [f"{pad}{stmt.dtype}x{stmt.lanes} {stmt.dest} = {stmt.instruction}({args}{imm})"]
+    if isinstance(stmt, KernelCall):
+        return [
+            f"{pad}{', '.join(stmt.outputs)} = kernel<{stmt.kernel_id}>({', '.join(stmt.inputs)})"
+        ]
+    if isinstance(stmt, CopyBuffer):
+        return [
+            f"{pad}memcpy({stmt.dst}[{stmt.dst_offset}], {stmt.src}[{stmt.src_offset}], {stmt.count})"
+        ]
+    return [f"{pad}<{type(stmt).__name__}>"]
+
+
+def format_program(program: Program) -> str:
+    lines = [f"program {program.name} (generator={program.generator}, arch={program.arch})"]
+    for decl in program.buffers:
+        init = " = {...}" if decl.init is not None else ""
+        lines.append(f"  buffer {decl.kind.value:6s} {decl.dtype} {decl.name}[{decl.length}]{init}")
+    lines.append("  body:")
+    for stmt in program.body:
+        lines.extend(format_stmt(stmt, 2))
+    return "\n".join(lines)

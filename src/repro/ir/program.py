@@ -1,0 +1,90 @@
+"""Program container: buffers + a body of statements.
+
+A :class:`Program` is the unit every generator emits: the fire code for
+one synchronous step of a model, operating over named input/output/
+state/const buffers (flattened model signals).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.errors import CodegenError
+from repro.ir.stmt import Stmt, walk
+from repro.ir.types import BufferDecl, BufferKind
+
+
+@dataclasses.dataclass
+class Program:
+    """One generated step function plus its memory layout."""
+
+    name: str
+    buffers: List[BufferDecl] = dataclasses.field(default_factory=list)
+    body: List[Stmt] = dataclasses.field(default_factory=list)
+    #: which generator produced this ("hcg", "simulink_coder", "dfsynth")
+    generator: str = ""
+    #: architecture the SIMD instructions target ("" = scalar only)
+    arch: str = ""
+
+    # ------------------------------------------------------------------
+    def add_buffer(self, decl: BufferDecl) -> BufferDecl:
+        if any(b.name == decl.name for b in self.buffers):
+            raise CodegenError(f"program {self.name!r}: duplicate buffer {decl.name!r}")
+        self.buffers.append(decl)
+        return decl
+
+    def buffer(self, name: str) -> BufferDecl:
+        for decl in self.buffers:
+            if decl.name == name:
+                return decl
+        raise CodegenError(f"program {self.name!r} has no buffer {name!r}")
+
+    def has_buffer(self, name: str) -> bool:
+        return any(b.name == name for b in self.buffers)
+
+    def buffers_of_kind(self, kind: BufferKind) -> Tuple[BufferDecl, ...]:
+        return tuple(b for b in self.buffers if b.kind is kind)
+
+    @property
+    def inputs(self) -> Tuple[BufferDecl, ...]:
+        return self.buffers_of_kind(BufferKind.INPUT)
+
+    @property
+    def outputs(self) -> Tuple[BufferDecl, ...]:
+        return self.buffers_of_kind(BufferKind.OUTPUT)
+
+    def all_statements(self) -> Tuple[Stmt, ...]:
+        """Every statement in the body, recursively (pre-order)."""
+        return walk(self.body)
+
+    def data_bytes(self) -> int:
+        """Total bytes of buffer storage the program declares.
+
+        This is the figure the paper's "memory usage within ±1%" claim
+        is checked against.
+        """
+        return sum(b.byte_size for b in self.buffers)
+
+
+class NameAllocator:
+    """Deterministic unique-name source for temporaries and registers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._taken: set = set()
+
+    def reserve(self, name: str) -> str:
+        """Mark an externally chosen name as taken."""
+        self._taken.add(name)
+        return name
+
+    def fresh(self, prefix: str) -> str:
+        """A new unique name with ``prefix`` (``t0``, ``t1``, ...)."""
+        while True:
+            index = self._counters.get(prefix, 0)
+            self._counters[prefix] = index + 1
+            candidate = f"{prefix}{index}"
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate

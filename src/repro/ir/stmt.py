@@ -1,0 +1,179 @@
+"""Statement nodes of the IR."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.ir.expr import Expr
+from repro.dtypes import DataType
+
+
+class Stmt:
+    """Base class for IR statements."""
+
+    def blocks(self) -> Tuple[Tuple["Stmt", ...], ...]:
+        """Nested statement blocks, for generic traversal."""
+        return ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Comment(Stmt):
+    """A generated-code comment; free for the cost model."""
+
+    text: str
+
+
+@dataclasses.dataclass(frozen=True)
+class AssignVar(Stmt):
+    """Declare-or-assign a scalar temporary: ``dtype name = expr;``."""
+
+    name: str
+    expr: Expr
+    dtype: DataType
+
+
+@dataclasses.dataclass(frozen=True)
+class Store(Stmt):
+    """Write one element to a buffer: ``buffer[index] = expr;``."""
+
+    buffer: str
+    index: Expr
+    expr: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class For(Stmt):
+    """``for (int var = start; var < stop; var += step) body``.
+
+    Bounds are expressions so generated loops can reference runtime
+    offsets; in practice the generators emit constant bounds.
+    """
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: int
+    body: Tuple[Stmt, ...]
+
+    def blocks(self) -> Tuple[Tuple[Stmt, ...], ...]:
+        return (self.body,)
+
+
+@dataclasses.dataclass(frozen=True)
+class If(Stmt):
+    """``if (cond) { then_body } else { else_body }``."""
+
+    cond: Expr
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...] = ()
+
+    def blocks(self) -> Tuple[Tuple[Stmt, ...], ...]:
+        return (self.then_body, self.else_body)
+
+
+# ---------------------------------------------------------------------------
+# SIMD statements
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class SimdLoad(Stmt):
+    """Load ``lanes`` consecutive elements into a vector register.
+
+    C form: ``int32x4_t dest = vld1q_s32(&buffer[index]);``
+    """
+
+    dest: str
+    buffer: str
+    index: Expr
+    dtype: DataType
+    lanes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SimdStore(Stmt):
+    """Store a vector register to ``lanes`` consecutive elements.
+
+    C form: ``vst1q_s32(&buffer[index], src);``
+    """
+
+    buffer: str
+    index: Expr
+    src: str
+    dtype: DataType
+    lanes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SimdBroadcast(Stmt):
+    """Fill all lanes of a vector register with one scalar.
+
+    C form: ``int32x4_t dest = vdupq_n_s32(x);``
+    """
+
+    dest: str
+    scalar: Expr
+    dtype: DataType
+    lanes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SimdOp(Stmt):
+    """Apply one SIMD instruction from the active instruction set.
+
+    ``instruction`` names an :class:`repro.isa.spec.InstructionSpec` in
+    the program's instruction set; ``args`` are vector register names in
+    the order of the instruction's inputs; ``imm`` carries a shift
+    amount when the instruction's pattern requires one.
+
+    C form: ``int32x4_t dest = vmlaq_s32(acc, a, b);``
+    """
+
+    dest: str
+    instruction: str
+    args: Tuple[str, ...]
+    dtype: DataType
+    lanes: int
+    imm: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCall(Stmt):
+    """Invoke an intensive-computing library kernel.
+
+    ``kernel_id`` identifies an implementation in the kernel code
+    library (e.g. ``"fft.radix4"``).  Inputs and outputs are buffer
+    names; ``params`` carries static configuration (sizes).
+    """
+
+    kernel_id: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclasses.dataclass(frozen=True)
+class CopyBuffer(Stmt):
+    """memcpy: copy ``count`` elements between buffers."""
+
+    dst: str
+    dst_offset: Expr
+    src: str
+    src_offset: Expr
+    count: int
+
+
+Block = Tuple[Stmt, ...]
+
+
+def walk(statements: Union[Block, list]) -> Tuple[Stmt, ...]:
+    """All statements in a block, recursively, in pre-order."""
+    out = []
+    for stmt in statements:
+        out.append(stmt)
+        for block in stmt.blocks():
+            out.extend(walk(block))
+    return tuple(out)

@@ -1,0 +1,79 @@
+"""Value types for the code-generation IR.
+
+The IR is a small C-like language: scalar temporaries, fixed-length
+memory buffers (the flattened model signals), and SIMD vector registers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Tuple
+
+from repro.dtypes import DataType
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalarType:
+    """A scalar temporary, e.g. ``int32_t``."""
+
+    dtype: DataType
+
+    def __str__(self) -> str:
+        return self.dtype.value
+
+
+@dataclasses.dataclass(frozen=True)
+class VectorType:
+    """A SIMD register value, e.g. ``int32x4_t`` (i32 x 4 lanes)."""
+
+    dtype: DataType
+    lanes: int
+
+    def __post_init__(self) -> None:
+        if self.lanes < 2:
+            raise ValueError(f"vector type needs >= 2 lanes, got {self.lanes}")
+
+    @property
+    def bit_width(self) -> int:
+        return self.dtype.bit_width * self.lanes
+
+    def __str__(self) -> str:
+        return f"{self.dtype.value}x{self.lanes}"
+
+
+class BufferKind(enum.Enum):
+    """Role of a memory buffer in a generated program."""
+
+    INPUT = "input"       # written by the environment before each step
+    OUTPUT = "output"     # read by the environment after each step
+    STATE = "state"       # persists across steps (UnitDelay)
+    CONST = "const"       # initialised once (Const actors, coefficients)
+    LOCAL = "local"       # scratch signal storage within a step
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferDecl:
+    """A fixed-length flat memory buffer (a model signal in C)."""
+
+    name: str
+    dtype: DataType
+    length: int
+    kind: BufferKind
+    #: Logical (possibly multi-dimensional) shape; flattened row-major.
+    shape: Tuple[int, ...] = ()
+    #: Initial contents for CONST / STATE buffers (flat tuple).
+    init: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"buffer {self.name!r}: length must be positive")
+        if self.init is not None and len(self.init) != self.length:
+            raise ValueError(
+                f"buffer {self.name!r}: init has {len(self.init)} elements, "
+                f"expected {self.length}"
+            )
+
+    @property
+    def byte_size(self) -> int:
+        return self.length * self.dtype.byte_width

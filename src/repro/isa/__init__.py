@@ -1,0 +1,29 @@
+"""SIMD instruction-set substrate: specs, the ``.si`` format, registry."""
+
+from repro.isa.parser import (
+    dump_instruction_set,
+    load_instruction_set,
+    parse_instruction_set,
+    parse_pattern,
+)
+from repro.isa.registry import (
+    builtin_names,
+    clear_custom,
+    load_builtin,
+    register_instruction_set,
+)
+from repro.isa.spec import InstructionSet, InstructionSpec, PatternNode
+
+__all__ = [
+    "InstructionSet",
+    "InstructionSpec",
+    "PatternNode",
+    "builtin_names",
+    "clear_custom",
+    "dump_instruction_set",
+    "load_builtin",
+    "load_instruction_set",
+    "parse_instruction_set",
+    "parse_pattern",
+    "register_instruction_set",
+]

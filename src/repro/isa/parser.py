@@ -1,0 +1,198 @@
+"""Parser for ``.si`` instruction-set description files.
+
+The format extends the paper's example
+(``Graph: Add, i32, 4, I1, I2, O1 ; Code: O1 = vaddq_s32(I1, I2);``)
+just enough to be a complete file format:
+
+.. code-block:: text
+
+    # ARM NEON, 128-bit registers
+    arch: neon
+    vector_bits: 128
+
+    Ins: vaddq_s32 ; Graph: Add,i32,4,I1,I2,O1 ; Code: O1 = vaddq_s32(I1, I2) ; Cost: 1
+    Ins: vmlaq_s32 ; Graph: Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1 ; Code: O1 = vmlaq_s32(I3, I1, I2) ; Cost: 2
+
+* blank lines and ``#`` comments are ignored;
+* header keys (``arch``, ``vector_bits``) precede the first record;
+* each record is one line of ``Key: value`` fields separated by ``;``
+  (the ``Code`` template therefore contains no semicolon — the C
+  emitter appends it);
+* a multi-node ``Graph`` separates nodes with ``|``, listed in
+  dependency order, last node producing ``O1``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import IsaParseError
+from repro.isa.spec import InstructionSet, InstructionSpec, PatternNode
+from repro.dtypes import DataType
+
+PathLike = Union[str, Path]
+
+
+def parse_pattern(text: str) -> Tuple[PatternNode, ...]:
+    """Parse a ``Graph`` field into pattern nodes."""
+    nodes: List[PatternNode] = []
+    for chunk in text.split("|"):
+        parts = [p.strip() for p in chunk.split(",")]
+        if len(parts) < 4:
+            raise IsaParseError(
+                f"pattern node {chunk.strip()!r} needs at least op,dtype,lanes,out"
+            )
+        op = parts[0]
+        try:
+            dtype = DataType.from_name(parts[1])
+        except ValueError as exc:
+            raise IsaParseError(str(exc)) from None
+        try:
+            lanes = int(parts[2])
+        except ValueError:
+            raise IsaParseError(f"pattern node {chunk.strip()!r}: bad lane count {parts[2]!r}") from None
+        operands: List[str] = []
+        value_dtypes: List = []
+        for token in parts[3:-1]:
+            if ":" in token:
+                bare, anno = token.split(":", 1)
+                operands.append(bare.strip())
+                try:
+                    value_dtypes.append(DataType.from_name(anno))
+                except ValueError as exc:
+                    raise IsaParseError(str(exc)) from None
+            else:
+                operands.append(token)
+                if not token.startswith("#"):
+                    value_dtypes.append(None)
+        output = parts[-1]
+        nodes.append(
+            PatternNode(op, dtype, lanes, tuple(operands), output, tuple(value_dtypes))
+        )
+    return tuple(nodes)
+
+
+def _parse_record(line: str, arch: str, line_no: int) -> InstructionSpec:
+    fields: Dict[str, str] = {}
+    for raw in line.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        if ":" not in raw:
+            raise IsaParseError(f"line {line_no}: field {raw!r} is not 'Key: value'")
+        key, value = raw.split(":", 1)
+        key = key.strip().lower()
+        if key in fields:
+            raise IsaParseError(f"line {line_no}: duplicate field {key!r}")
+        fields[key] = value.strip()
+
+    if "ins" not in fields and "code" in fields:
+        # The paper's §3.3 example omits an explicit name
+        # (``Graph: ... ; Code: O1 = vaddq_s32(I1, I2);``): derive it
+        # from the code template's function identifier.
+        match = re.search(r"=\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(", fields["code"])
+        if match:
+            fields["ins"] = match.group(1)
+
+    missing = [k for k in ("ins", "graph", "code") if k not in fields]
+    if missing:
+        raise IsaParseError(f"line {line_no}: record missing field(s) {missing}")
+
+    cost = 1.0
+    if "cost" in fields:
+        try:
+            cost = float(fields["cost"])
+        except ValueError:
+            raise IsaParseError(f"line {line_no}: bad cost {fields['cost']!r}") from None
+
+    try:
+        nodes = parse_pattern(fields["graph"])
+        return InstructionSpec(
+            name=fields["ins"],
+            arch=arch,
+            nodes=nodes,
+            code_template=fields["code"],
+            cost=cost,
+        )
+    except IsaParseError:
+        raise
+    except Exception as exc:  # spec validation errors get line context
+        raise IsaParseError(f"line {line_no}: {exc}") from exc
+
+
+def parse_instruction_set(text: str, source: str = "<string>") -> InstructionSet:
+    """Parse a complete ``.si`` document."""
+    arch = ""
+    vector_bits = 0
+    specs: List[InstructionSpec] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        lowered = line.lower()
+        if lowered.startswith("arch:"):
+            arch = line.split(":", 1)[1].strip()
+            continue
+        if lowered.startswith("vector_bits:"):
+            value = line.split(":", 1)[1].strip()
+            try:
+                vector_bits = int(value)
+            except ValueError:
+                raise IsaParseError(f"{source}:{line_no}: bad vector_bits {value!r}") from None
+            continue
+        if not arch or not vector_bits:
+            raise IsaParseError(
+                f"{source}:{line_no}: 'arch' and 'vector_bits' headers must precede records"
+            )
+        try:
+            specs.append(_parse_record(line, arch, line_no))
+        except IsaParseError as exc:
+            raise IsaParseError(f"{source}: {exc}") from None
+
+    if not arch or not vector_bits:
+        raise IsaParseError(f"{source}: missing 'arch'/'vector_bits' headers")
+    if not specs:
+        raise IsaParseError(f"{source}: instruction set contains no instructions")
+    return InstructionSet(arch=arch, vector_bits=vector_bits, instructions=tuple(specs))
+
+
+def load_instruction_set(path: PathLike) -> InstructionSet:
+    """Parse the ``.si`` file at ``path``."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise IsaParseError(f"cannot read {path}: {exc}") from None
+    return parse_instruction_set(text, source=str(path))
+
+
+def dump_instruction_set(iset: InstructionSet) -> str:
+    """Serialise an instruction set back to ``.si`` text (round-trips)."""
+    lines = [f"arch: {iset.arch}", f"vector_bits: {iset.vector_bits}", ""]
+
+    def node_tokens(node: PatternNode) -> List[str]:
+        tokens: List[str] = []
+        value_index = 0
+        for token in node.inputs:
+            if token.startswith("#"):
+                tokens.append(token)
+                continue
+            annotation = None
+            if value_index < len(node.input_dtypes):
+                annotation = node.input_dtypes[value_index]
+            tokens.append(f"{token}:{annotation}" if annotation else token)
+            value_index += 1
+        return tokens
+
+    for spec in iset.instructions:
+        graph = " | ".join(
+            f"{n.op},{n.dtype},{n.lanes},{','.join(node_tokens(n) + [n.output])}"
+            for n in spec.nodes
+        )
+        lines.append(
+            f"Ins: {spec.name} ; Graph: {graph} ; Code: {spec.code_template} ; Cost: {spec.cost:g}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,50 @@
+"""Registry of built-in and user-supplied instruction sets.
+
+§3.3: instruction-set information is kept in external files, so the
+synthesizer supports a new architecture by loading one more ``.si``
+file.  ``load_builtin("neon")`` loads and caches the packaged sets;
+:func:`register_instruction_set` adds custom ones at runtime.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.errors import IsaError
+from repro.isa.parser import load_instruction_set
+from repro.isa.spec import InstructionSet
+
+_DATA_DIR = Path(__file__).parent / "data"
+_CACHE: Dict[str, InstructionSet] = {}
+_CUSTOM: Dict[str, InstructionSet] = {}
+
+
+def builtin_names() -> Tuple[str, ...]:
+    """Names of the packaged instruction sets (``neon``, ``sse4``, ``avx2``)."""
+    return tuple(sorted(p.stem for p in _DATA_DIR.glob("*.si")))
+
+
+def load_builtin(name: str) -> InstructionSet:
+    """Load (and cache) a packaged instruction set by name."""
+    if name in _CUSTOM:
+        return _CUSTOM[name]
+    if name not in _CACHE:
+        path = _DATA_DIR / f"{name}.si"
+        if not path.exists():
+            raise IsaError(
+                f"no built-in instruction set {name!r}; available: "
+                f"{list(builtin_names()) + sorted(_CUSTOM)}"
+            )
+        _CACHE[name] = load_instruction_set(path)
+    return _CACHE[name]
+
+
+def register_instruction_set(iset: InstructionSet, name: str = "") -> None:
+    """Register a custom instruction set under ``name`` (default: its arch)."""
+    _CUSTOM[name or iset.arch] = iset
+
+
+def clear_custom() -> None:
+    """Remove runtime-registered sets (used by tests)."""
+    _CUSTOM.clear()

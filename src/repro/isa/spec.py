@@ -1,0 +1,321 @@
+"""SIMD instruction specifications and their computing graphs.
+
+§3.3 of the paper: *"the calculation graph and the code format of each
+SIMD instruction is defined as the following form:*
+``Graph: Add, i32, 4, I1, I2, O1 ; Code: O1 = vaddq_s32(I1, I2);``\\ *"*.
+
+An :class:`InstructionSpec` carries exactly that information: a small
+dataflow *pattern graph* over the shared elementwise ops, plus the C
+code template the emitter prints.  Compound instructions (``vmlaq``,
+``vhaddq``, ``vabaq`` ...) have multi-node graphs; Algorithm 2 prefers
+them because one instruction then covers several model actors.
+
+Operand tokens:
+
+* ``I1``, ``I2``, ... — external vector inputs;
+* ``T1``, ``T2``, ... — internal temporaries produced by earlier nodes;
+* ``O1``               — the single external output;
+* ``#3``               — a fixed immediate (must equal the actor's);
+* ``#imm``             — a wildcard immediate (bound during matching).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import ops
+from repro.errors import IsaError
+from repro.dtypes import DataType
+
+_INPUT_RE = re.compile(r"^I(\d+)$")
+_TEMP_RE = re.compile(r"^T(\d+)$")
+_IMM_RE = re.compile(r"^#(imm|\d+)$")
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternNode:
+    """One op node in an instruction's computing graph."""
+
+    op: str
+    dtype: DataType
+    lanes: int
+    #: operand tokens (``I*``/``T*``/``#*``), in op order
+    inputs: Tuple[str, ...]
+    #: result token (``T*`` or ``O1``)
+    output: str
+    #: optional per-operand dtype annotations (``I1:i32`` syntax); ``None``
+    #: entries default to the node dtype.  Needed by Cast patterns, whose
+    #: operand type differs from the result type.
+    input_dtypes: Tuple[Optional[DataType], ...] = ()
+
+    @property
+    def value_inputs(self) -> Tuple[str, ...]:
+        """Operands that are values (not immediates)."""
+        return tuple(t for t in self.inputs if not _IMM_RE.match(t))
+
+    def operand_dtype(self, position: int) -> DataType:
+        """Expected dtype of value operand ``position`` (op order)."""
+        if position < len(self.input_dtypes) and self.input_dtypes[position] is not None:
+            return self.input_dtypes[position]
+        return self.dtype
+
+    @property
+    def imm_token(self) -> Optional[str]:
+        """The immediate operand token, if the op takes one."""
+        for token in self.inputs:
+            if _IMM_RE.match(token):
+                return token
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class InstructionSpec:
+    """A SIMD instruction: name, pattern graph, code template, cost."""
+
+    name: str
+    arch: str
+    nodes: Tuple[PatternNode, ...]
+    code_template: str
+    #: issue cost in cycles on the home architecture
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.nodes:
+            raise IsaError(f"instruction {self.name!r}: empty pattern graph")
+        produced: set = set()
+        outputs = [n.output for n in self.nodes]
+        if outputs.count("O1") != 1 or outputs[-1] != "O1":
+            raise IsaError(
+                f"instruction {self.name!r}: pattern must end with exactly one O1 node"
+            )
+        for node in self.nodes:
+            info = ops.op_info(node.op)  # raises on unknown op
+            if len(node.value_inputs) != info.arity:
+                raise IsaError(
+                    f"instruction {self.name!r}: op {node.op} expects {info.arity} "
+                    f"value operand(s), got {node.value_inputs}"
+                )
+            if info.needs_imm and node.imm_token is None:
+                raise IsaError(
+                    f"instruction {self.name!r}: op {node.op} requires an immediate"
+                )
+            if not info.needs_imm and node.imm_token is not None:
+                raise IsaError(
+                    f"instruction {self.name!r}: op {node.op} takes no immediate"
+                )
+            for token in node.inputs:
+                if _TEMP_RE.match(token) and token not in produced:
+                    raise IsaError(
+                        f"instruction {self.name!r}: {token} used before it is produced"
+                    )
+                if not (_INPUT_RE.match(token) or _TEMP_RE.match(token) or _IMM_RE.match(token)):
+                    raise IsaError(
+                        f"instruction {self.name!r}: invalid operand token {token!r}"
+                    )
+            if node.output != "O1":
+                if not _TEMP_RE.match(node.output):
+                    raise IsaError(
+                        f"instruction {self.name!r}: invalid output token {node.output!r}"
+                    )
+                if node.output in produced:
+                    raise IsaError(
+                        f"instruction {self.name!r}: {node.output} produced twice"
+                    )
+                produced.add(node.output)
+            if node.lanes != self.lanes or node.dtype is not self.dtype:
+                # Cast nodes may change type/lanes; others must be uniform.
+                if node.op != "Cast":
+                    raise IsaError(
+                        f"instruction {self.name!r}: mixed dtype/lanes in pattern "
+                        f"(only Cast nodes may differ)"
+                    )
+
+    @property
+    def root(self) -> PatternNode:
+        """The node producing ``O1``."""
+        return self.nodes[-1]
+
+    @property
+    def dtype(self) -> DataType:
+        return self.nodes[-1].dtype
+
+    @property
+    def lanes(self) -> int:
+        return self.nodes[-1].lanes
+
+    @property
+    def vector_bits(self) -> int:
+        return self.dtype.bit_width * self.lanes
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def input_tokens(self) -> Tuple[str, ...]:
+        """Distinct ``I*`` tokens in first-use order."""
+        seen: List[str] = []
+        for node in self.nodes:
+            for token in node.value_inputs:
+                if _INPUT_RE.match(token) and token not in seen:
+                    seen.append(token)
+        return tuple(seen)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_tokens)
+
+    def producer_of(self, token: str) -> Optional[PatternNode]:
+        """The node producing a ``T*``/``O1`` token, or None for inputs."""
+        for node in self.nodes:
+            if node.output == token:
+                return node
+        return None
+
+    @property
+    def depth(self) -> int:
+        """Longest producer chain in the pattern graph."""
+        memo: Dict[str, int] = {}
+
+        def depth_of(node: PatternNode) -> int:
+            if node.output in memo:
+                return memo[node.output]
+            best = 0
+            for token in node.value_inputs:
+                producer = self.producer_of(token)
+                if producer is not None:
+                    best = max(best, depth_of(producer))
+            memo[node.output] = best + 1
+            return best + 1
+
+        return depth_of(self.root)
+
+    @property
+    def has_wildcard_imm(self) -> bool:
+        return any(n.imm_token == "#imm" for n in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        inputs: Dict[str, np.ndarray],
+        imm: Optional[int] = None,
+    ) -> np.ndarray:
+        """Run the pattern graph on lane arrays.
+
+        ``inputs`` maps ``I*`` tokens to arrays of ``lanes`` elements.
+        Returns the ``O1`` array.  This is the instruction's executable
+        semantics; the VM calls it for every :class:`~repro.ir.stmt.SimdOp`.
+        """
+        env: Dict[str, np.ndarray] = dict(inputs)
+        missing = [t for t in self.input_tokens if t not in env]
+        if missing:
+            raise IsaError(f"instruction {self.name!r}: missing inputs {missing}")
+        result: Optional[np.ndarray] = None
+        for node in self.nodes:
+            args = [env[token] for token in node.value_inputs]
+            node_imm: Optional[int] = None
+            if node.imm_token is not None:
+                if node.imm_token == "#imm":
+                    if imm is None:
+                        raise IsaError(
+                            f"instruction {self.name!r} requires an immediate value"
+                        )
+                    node_imm = int(imm)
+                else:
+                    node_imm = int(node.imm_token[1:])
+            value = ops.apply_op(node.op, node.dtype, args, node_imm)
+            env[node.output] = value
+            if node.output == "O1":
+                result = value
+        assert result is not None, "validated patterns always produce O1"
+        return result
+
+    # ------------------------------------------------------------------
+    # Code rendering
+    # ------------------------------------------------------------------
+    def render_code(
+        self,
+        output: str,
+        inputs: Dict[str, str],
+        imm: Optional[int] = None,
+    ) -> str:
+        """Instantiate the C template with concrete variable names."""
+        text = self.code_template
+        # Longest tokens first, so I10 is not clobbered by I1.
+        for token in sorted(inputs, key=len, reverse=True):
+            text = text.replace(token, inputs[token])
+        text = text.replace("O1", output)
+        if "#imm" in text:
+            if imm is None:
+                raise IsaError(f"instruction {self.name!r}: template needs an immediate")
+            text = text.replace("#imm", str(int(imm)))
+        return text
+
+    def __str__(self) -> str:
+        graph = " | ".join(
+            f"{n.op},{n.dtype},{n.lanes},{','.join(n.inputs)},{n.output}"
+            for n in self.nodes
+        )
+        return f"{self.name}: Graph: {graph} ; Code: {self.code_template} ; Cost: {self.cost}"
+
+
+@dataclasses.dataclass(frozen=True)
+class InstructionSet:
+    """A named collection of instructions for one architecture."""
+
+    arch: str
+    vector_bits: int
+    instructions: Tuple[InstructionSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [i.name for i in self.instructions]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise IsaError(f"instruction set {self.arch!r}: duplicate names {sorted(dupes)}")
+        for spec in self.instructions:
+            if spec.vector_bits != self.vector_bits:
+                raise IsaError(
+                    f"instruction {spec.name!r}: {spec.vector_bits}-bit pattern in a "
+                    f"{self.vector_bits}-bit instruction set"
+                )
+
+    def by_name(self, name: str) -> InstructionSpec:
+        for spec in self.instructions:
+            if spec.name == name:
+                return spec
+        raise IsaError(f"instruction set {self.arch!r} has no instruction {name!r}")
+
+    def for_dtype(self, dtype: DataType) -> Tuple[InstructionSpec, ...]:
+        return tuple(i for i in self.instructions if i.dtype is dtype)
+
+    def lanes_for(self, dtype: DataType) -> int:
+        """How many ``dtype`` elements one vector register holds."""
+        return self.vector_bits // dtype.bit_width
+
+    @property
+    def max_node_count(self) -> int:
+        return max(i.node_count for i in self.instructions)
+
+    @property
+    def max_depth(self) -> int:
+        return max(i.depth for i in self.instructions)
+
+    def restricted(self, max_nodes: int) -> "InstructionSet":
+        """A copy keeping only patterns of at most ``max_nodes`` nodes.
+
+        Used by the ISA ablation benchmark (basic-only vs compound).
+        """
+        kept = tuple(i for i in self.instructions if i.node_count <= max_nodes)
+        return InstructionSet(self.arch, self.vector_bits, kept)

@@ -1,0 +1,21 @@
+"""Intensive-actor implementation library (the paper's code library)."""
+
+from repro.kernels.base import (
+    Kernel,
+    KernelRun,
+    OpCounts,
+    SimdVariant,
+    kernel_cycles,
+)
+from repro.kernels.library import CodeLibrary, build_default_library, default_library
+
+__all__ = [
+    "CodeLibrary",
+    "Kernel",
+    "KernelRun",
+    "OpCounts",
+    "SimdVariant",
+    "build_default_library",
+    "default_library",
+    "kernel_cycles",
+]

@@ -1,0 +1,193 @@
+"""Kernel ABC and cost accounting for intensive computing actors.
+
+The paper's code library (§3.2.1) holds many C implementations per
+intensive actor (e.g. Mix-FFT, Radix-2 FFT, Radix-4 FFT ...), some of
+them SIMD-accelerated.  Here each implementation is a :class:`Kernel`
+that
+
+* computes the *real* result (with numpy doing the arithmetic), and
+* fills an :class:`OpCounts` with the operation counts the equivalent C
+  implementation would execute — derived from the algorithm's structure
+  (butterfly counts, stage counts, loop bookkeeping), not guessed.
+
+Modelled cycles are then ``counts x architecture cost table``, with a
+lane-speedup applied to the vectorizable fraction of SIMD kernels.
+This is what Algorithm 1's pre-calculation measures when it "runs" an
+implementation on test input.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.arch.cost import CostTable
+from repro.dtypes import DataType
+from repro.errors import KernelDomainError
+
+
+@dataclasses.dataclass
+class OpCounts:
+    """Operation counts for one kernel invocation (floating/int ops)."""
+
+    add: float = 0.0      # additions / subtractions
+    mul: float = 0.0      # multiplications
+    div: float = 0.0      # divisions / reciprocals
+    sqrt: float = 0.0
+    load: float = 0.0     # scalar-element loads (including table reads)
+    store: float = 0.0    # scalar-element stores
+    misc: float = 0.0     # index arithmetic, compares, bookkeeping
+
+    def scale(self, factor: float) -> "OpCounts":
+        return OpCounts(*(getattr(self, f.name) * factor for f in dataclasses.fields(self)))
+
+    def merge(self, other: "OpCounts") -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
+
+    @property
+    def arithmetic(self) -> float:
+        return self.add + self.mul + self.div + self.sqrt
+
+    def cycles(self, cost: CostTable) -> float:
+        """Scalar cycle estimate under a cost table."""
+        return (
+            self.add * cost.scalar_op("Add")
+            + self.mul * cost.scalar_op("Mul")
+            + self.div * cost.scalar_op("Div")
+            + self.sqrt * cost.scalar_op("Sqrt")
+            + self.load * cost.scalar_load
+            + self.store * cost.scalar_store
+            + self.misc * cost.scalar_scale
+        )
+
+
+#: Extra issue overhead of a vector op vs the ideal lanes-fold speedup
+#: (shuffles, alignment, tail handling).
+SIMD_EFFICIENCY_OVERHEAD = 1.6
+
+
+def kernel_cycles(
+    counts: OpCounts,
+    cost: CostTable,
+    simd: bool,
+    lanes: int,
+    vectorizable_fraction: float,
+) -> float:
+    """Cycles for a kernel run: scalar estimate, lane-sped-up if SIMD."""
+    scalar = counts.cycles(cost)
+    if not simd or lanes <= 1 or vectorizable_fraction <= 0.0:
+        return scalar + cost.call_overhead
+    vf = min(vectorizable_fraction, 1.0)
+    vectorized = scalar * ((1.0 - vf) + vf * SIMD_EFFICIENCY_OVERHEAD / lanes)
+    return vectorized + cost.call_overhead
+
+
+class Kernel(abc.ABC):
+    """One implementation of one intensive computing actor type."""
+
+    #: unique id, e.g. ``"fft.radix4"``
+    kernel_id: str = ""
+    #: the actor library key this implements, e.g. ``"fft"``
+    actor_key: str = ""
+    #: human-readable description for reports
+    description: str = ""
+    #: True when the implementation uses SIMD intrinsics
+    simd: bool = False
+    #: fraction of the work that vectorises (0..1), for SIMD kernels
+    vectorizable_fraction: float = 0.0
+    #: True for the safe implementation every tool can fall back to;
+    #: exactly one per actor key (Algorithm 1's getGeneralImplementation)
+    general: bool = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        """Whether this implementation supports the (dtype, size) domain."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        """Compute the result and accumulate operation counts."""
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        dtype: DataType,
+    ) -> "KernelRun":
+        """Execute with domain checking; returns outputs plus counts."""
+        if not self.can_handle(dtype, params):
+            raise KernelDomainError(
+                f"kernel {self.kernel_id!r} cannot handle dtype={dtype} params={params}"
+            )
+        counts = OpCounts()
+        outputs = self.execute(inputs, params, counts)
+        return KernelRun(outputs=outputs, counts=counts)
+
+    def measure_cycles(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        dtype: DataType,
+        cost: CostTable,
+        lanes: int,
+    ) -> float:
+        """Modelled cycles of one invocation (Algorithm 1's cost probe)."""
+        run = self.run(inputs, params, dtype)
+        return kernel_cycles(run.counts, cost, self.simd, lanes, self.vectorizable_fraction)
+
+    def __repr__(self) -> str:
+        tag = " simd" if self.simd else ""
+        return f"<Kernel {self.kernel_id}{tag}>"
+
+
+class SimdVariant(Kernel):
+    """A SIMD-accelerated build of a scalar kernel.
+
+    The C library the paper deploys contains intrinsics versions of the
+    structured FFT/DCT/Conv kernels; their arithmetic structure (and so
+    the op counts) matches the scalar algorithm, and the vectorizable
+    fraction of the work retires ``lanes`` elements per op.
+    """
+
+    def __init__(self, base: "Kernel", vectorizable_fraction: float) -> None:
+        self.base = base
+        self.kernel_id = f"{base.kernel_id}_simd"
+        self.actor_key = base.actor_key
+        self.description = f"{base.description} (SIMD intrinsics)"
+        self.simd = True
+        self.vectorizable_fraction = vectorizable_fraction
+        self.general = False
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return self.base.can_handle(dtype, params)
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        return self.base.execute(inputs, params, counts)
+
+
+@dataclasses.dataclass
+class KernelRun:
+    """Result of one kernel invocation."""
+
+    outputs: List[np.ndarray]
+    counts: OpCounts
+
+
+def as_float64(arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Working copies in f64, the precision C kernels accumulate in."""
+    return [np.asarray(a, dtype=np.float64) for a in arrays]

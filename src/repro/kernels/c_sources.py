@@ -1,0 +1,337 @@
+"""C source bodies for the kernel code library.
+
+The deployable output of the generators calls into the intensive-actor
+code library.  This module renders those library functions as C99,
+specialised to the actor's concrete sizes (the way an embedded build
+bakes the FFT length into the kernel).  Every emitted body implements
+the same algorithm the Python kernel models — the same loop structure
+whose operations the cost model counts.
+
+Kernels without a C body here (the SIMD intrinsics builds, the
+recursive mixed-radix/Bluestein variants) are emitted as extern
+prototypes; their scalar reference body can be requested instead via
+``fallback_scalar=True``.
+
+Complex (2, n) signals are laid out as ``out[0..n)`` = real plane,
+``out[n..2n)`` = imaginary plane, matching the flat buffer layout the
+generated step function uses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.dtypes import DataType, c_type_name
+
+
+def specialized_name(kernel_id: str, params: Dict[str, Any]) -> str:
+    """Function name with the actor's sizes baked in, e.g.
+    ``fft_radix2_n1024``."""
+    base = kernel_id.replace(".", "_")
+    sizes = "_".join(
+        f"{key}{int(params[key])}"
+        for key in ("n", "m", "rows", "cols", "krows", "kcols")
+        if key in params
+    )
+    return f"{base}_{sizes}" if sizes else base
+
+
+def _sig(name: str, dtype: DataType, ins: int, outs: int) -> str:
+    ctype = c_type_name(dtype)
+    args = [f"const {ctype}* in{i}" for i in range(ins)]
+    args += [f"{ctype}* out{i}" for i in range(outs)]
+    return f"void {name}({', '.join(args)})"
+
+
+# ---------------------------------------------------------------------------
+# Individual kernel bodies
+# ---------------------------------------------------------------------------
+
+def _conv_direct(name: str, dtype: DataType, params: Dict[str, Any]) -> str:
+    n, m = int(params["n"]), int(params["m"])
+    ctype = c_type_name(dtype)
+    acc = "double" if dtype.is_float else "int64_t"
+    return f"""{_sig(name, dtype, 2, 1)} {{
+    /* direct O(n*m) convolution, full output ({n}+{m}-1 taps) */
+    for (int k = 0; k < {n + m - 1}; ++k) {{
+        {acc} acc = 0;
+        int lo = k - {m - 1} > 0 ? k - {m - 1} : 0;
+        int hi = k < {n - 1} ? k : {n - 1};
+        for (int j = lo; j <= hi; ++j) {{
+            acc += ({acc})in0[j] * in1[k - j];
+        }}
+        out0[k] = ({ctype})acc;
+    }}
+}}"""
+
+
+def _matmul_naive(name: str, dtype: DataType, params: Dict[str, Any]) -> str:
+    n = int(params["n"])
+    ctype = c_type_name(dtype)
+    acc = "double" if dtype.is_float else "int64_t"
+    return f"""{_sig(name, dtype, 2, 1)} {{
+    /* triple-loop {n}x{n} matrix multiply */
+    for (int i = 0; i < {n}; ++i) {{
+        for (int j = 0; j < {n}; ++j) {{
+            {acc} acc = 0;
+            for (int k = 0; k < {n}; ++k) {{
+                acc += ({acc})in0[i * {n} + k] * in1[k * {n} + j];
+            }}
+            out0[i * {n} + j] = ({ctype})acc;
+        }}
+    }}
+}}"""
+
+
+def _matmul_unrolled(name: str, dtype: DataType, params: Dict[str, Any]) -> str:
+    n = int(params["n"])
+    ctype = c_type_name(dtype)
+    lines = [f"{_sig(name, dtype, 2, 1)} {{",
+             f"    /* fully unrolled {n}x{n} multiply */"]
+    for i in range(n):
+        for j in range(n):
+            terms = " + ".join(
+                f"in0[{i * n + k}] * in1[{k * n + j}]" for k in range(n)
+            )
+            lines.append(f"    out0[{i * n + j}] = ({ctype})({terms});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _matdet_cofactor(name: str, dtype: DataType, params: Dict[str, Any]) -> Optional[str]:
+    n = int(params["n"])
+    ctype = c_type_name(dtype)
+    if n == 1:
+        body = "    out0[0] = in0[0];"
+    elif n == 2:
+        body = "    out0[0] = in0[0] * in0[3] - in0[1] * in0[2];"
+    elif n == 3:
+        body = (
+            "    out0[0] = in0[0] * (in0[4] * in0[8] - in0[5] * in0[7])\n"
+            "            - in0[1] * (in0[3] * in0[8] - in0[5] * in0[6])\n"
+            "            + in0[2] * (in0[3] * in0[7] - in0[4] * in0[6]);"
+        )
+    else:
+        return None  # n == 4 expansion is long; keep it in the library
+    return f"{_sig(name, dtype, 1, 1)} {{\n{body}\n}}"
+
+
+def _matinv_cofactor(name: str, dtype: DataType, params: Dict[str, Any]) -> Optional[str]:
+    n = int(params["n"])
+    ctype = c_type_name(dtype)
+    one = "1.0f" if dtype is DataType.F32 else "1.0"
+    if n == 1:
+        return f"""{_sig(name, dtype, 1, 1)} {{
+    out0[0] = {one} / in0[0];
+}}"""
+    if n == 2:
+        return f"""{_sig(name, dtype, 1, 1)} {{
+    {ctype} det = in0[0] * in0[3] - in0[1] * in0[2];
+    {ctype} rdet = {one} / det;
+    out0[0] =  in0[3] * rdet;
+    out0[1] = -in0[1] * rdet;
+    out0[2] = -in0[2] * rdet;
+    out0[3] =  in0[0] * rdet;
+}}"""
+    if n == 3:
+        return f"""{_sig(name, dtype, 1, 1)} {{
+    {ctype} c00 =  (in0[4] * in0[8] - in0[5] * in0[7]);
+    {ctype} c01 = -(in0[3] * in0[8] - in0[5] * in0[6]);
+    {ctype} c02 =  (in0[3] * in0[7] - in0[4] * in0[6]);
+    {ctype} c10 = -(in0[1] * in0[8] - in0[2] * in0[7]);
+    {ctype} c11 =  (in0[0] * in0[8] - in0[2] * in0[6]);
+    {ctype} c12 = -(in0[0] * in0[7] - in0[1] * in0[6]);
+    {ctype} c20 =  (in0[1] * in0[5] - in0[2] * in0[4]);
+    {ctype} c21 = -(in0[0] * in0[5] - in0[2] * in0[3]);
+    {ctype} c22 =  (in0[0] * in0[4] - in0[1] * in0[3]);
+    {ctype} rdet = {one} / (in0[0] * c00 + in0[1] * c01 + in0[2] * c02);
+    out0[0] = c00 * rdet; out0[1] = c10 * rdet; out0[2] = c20 * rdet;
+    out0[3] = c01 * rdet; out0[4] = c11 * rdet; out0[5] = c21 * rdet;
+    out0[6] = c02 * rdet; out0[7] = c12 * rdet; out0[8] = c22 * rdet;
+}}"""
+    return None
+
+
+def _matinv_gauss(name: str, dtype: DataType, params: Dict[str, Any]) -> str:
+    n = int(params["n"])
+    ctype = c_type_name(dtype)
+    return f"""{_sig(name, dtype, 1, 1)} {{
+    /* Gauss-Jordan on the [A | I] tableau, partial pivoting */
+    {ctype} a[{n}][{2 * n}];
+    for (int i = 0; i < {n}; ++i) {{
+        for (int j = 0; j < {n}; ++j) a[i][j] = in0[i * {n} + j];
+        for (int j = 0; j < {n}; ++j) a[i][{n} + j] = (i == j) ? 1 : 0;
+    }}
+    for (int col = 0; col < {n}; ++col) {{
+        int pivot = col;
+        for (int r = col + 1; r < {n}; ++r) {{
+            if ((a[r][col] < 0 ? -a[r][col] : a[r][col]) >
+                (a[pivot][col] < 0 ? -a[pivot][col] : a[pivot][col])) pivot = r;
+        }}
+        for (int j = 0; j < {2 * n}; ++j) {{
+            {ctype} tmp = a[col][j]; a[col][j] = a[pivot][j]; a[pivot][j] = tmp;
+        }}
+        {ctype} rp = 1 / a[col][col];
+        for (int j = 0; j < {2 * n}; ++j) a[col][j] *= rp;
+        for (int r = 0; r < {n}; ++r) {{
+            if (r == col) continue;
+            {ctype} f = a[r][col];
+            for (int j = 0; j < {2 * n}; ++j) a[r][j] -= f * a[col][j];
+        }}
+    }}
+    for (int i = 0; i < {n}; ++i)
+        for (int j = 0; j < {n}; ++j) out0[i * {n} + j] = a[i][{n} + j];
+}}"""
+
+
+def _dct_naive(name: str, dtype: DataType, params: Dict[str, Any]) -> str:
+    n = int(params["n"])
+    ctype = c_type_name(dtype)
+    cos = "cosf" if dtype is DataType.F32 else "cos"
+    pi = "3.14159265358979323846"
+    return f"""{_sig(name, dtype, 1, 1)} {{
+    /* direct O(n^2) unnormalised DCT-II, basis evaluated on the fly */
+    for (int k = 0; k < {n}; ++k) {{
+        double acc = 0.0;
+        for (int i = 0; i < {n}; ++i) {{
+            acc += (double)in0[i] * {cos}({pi} * (2 * i + 1) * k / (2.0 * {n}));
+        }}
+        out0[k] = ({ctype})acc;
+    }}
+}}"""
+
+
+def _fft_naive(name: str, dtype: DataType, params: Dict[str, Any]) -> str:
+    n = int(params["n"])
+    ctype = c_type_name(dtype)
+    pi = "3.14159265358979323846"
+    return f"""{_sig(name, dtype, 1, 1)} {{
+    /* direct O(n^2) DFT; out0[0..{n}) = Re, out0[{n}..{2 * n}) = Im */
+    for (int k = 0; k < {n}; ++k) {{
+        double re = 0.0, im = 0.0;
+        for (int j = 0; j < {n}; ++j) {{
+            double angle = -2.0 * {pi} * j * k / {n};
+            re += (double)in0[j] * cos(angle);
+            im += (double)in0[j] * sin(angle);
+        }}
+        out0[k] = ({ctype})re;
+        out0[{n} + k] = ({ctype})im;
+    }}
+}}"""
+
+
+def _fft_radix2(name: str, dtype: DataType, params: Dict[str, Any]) -> Optional[str]:
+    n = int(params["n"])
+    if n & (n - 1):
+        return None
+    stages = max(int(math.log2(n)), 1)
+    ctype = c_type_name(dtype)
+    pi = "3.14159265358979323846"
+    return f"""{_sig(name, dtype, 1, 1)} {{
+    /* iterative radix-2 Cooley-Tukey, n = {n} = 2^{stages};
+       out0[0..{n}) = Re, out0[{n}..{2 * n}) = Im */
+    double re[{n}], im[{n}];
+    for (int i = 0; i < {n}; ++i) {{
+        unsigned r = 0, v = (unsigned)i;
+        for (int b = 0; b < {stages}; ++b) {{ r = (r << 1) | (v & 1u); v >>= 1; }}
+        re[r] = (double)in0[i];
+        im[r] = 0.0;
+    }}
+    for (int half = 1; half < {n}; half <<= 1) {{
+        int span = half << 1;
+        for (int start = 0; start < {n}; start += span) {{
+            for (int k = 0; k < half; ++k) {{
+                double angle = -{pi} * k / half;
+                double wr = cos(angle), wi = sin(angle);
+                int top = start + k, bot = top + half;
+                double tr = re[bot] * wr - im[bot] * wi;
+                double ti = re[bot] * wi + im[bot] * wr;
+                re[bot] = re[top] - tr; im[bot] = im[top] - ti;
+                re[top] = re[top] + tr; im[top] = im[top] + ti;
+            }}
+        }}
+    }}
+    for (int i = 0; i < {n}; ++i) {{
+        out0[i] = ({ctype})re[i];
+        out0[{n} + i] = ({ctype})im[i];
+    }}
+}}"""
+
+
+def _conv2d_direct(name: str, dtype: DataType, params: Dict[str, Any]) -> str:
+    rows, cols = int(params["rows"]), int(params["cols"])
+    krows, kcols = int(params["krows"]), int(params["kcols"])
+    out_rows, out_cols = rows + krows - 1, cols + kcols - 1
+    ctype = c_type_name(dtype)
+    return f"""{_sig(name, dtype, 2, 1)} {{
+    /* direct full 2-D convolution: {rows}x{cols} (*) {krows}x{kcols} */
+    for (int i = 0; i < {out_rows * out_cols}; ++i) out0[i] = 0;
+    for (int kr = 0; kr < {krows}; ++kr) {{
+        for (int kc = 0; kc < {kcols}; ++kc) {{
+            {ctype} w = in1[kr * {kcols} + kc];
+            for (int r = 0; r < {rows}; ++r) {{
+                for (int c = 0; c < {cols}; ++c) {{
+                    out0[(r + kr) * {out_cols} + (c + kc)] += w * in0[r * {cols} + c];
+                }}
+            }}
+        }}
+    }}
+}}"""
+
+
+_EMITTERS = {
+    "conv.direct": _conv_direct,
+    "matmul.naive": _matmul_naive,
+    "matmul.unrolled": _matmul_unrolled,
+    "matdet.cofactor": _matdet_cofactor,
+    "matinv.cofactor": _matinv_cofactor,
+    "matinv.gauss": _matinv_gauss,
+    "dct.naive": _dct_naive,
+    "fft.naive": _fft_naive,
+    "fft.radix2": _fft_radix2,
+    "conv2d.direct": _conv2d_direct,
+}
+
+#: SIMD builds whose scalar reference body can stand in, with a note.
+_SCALAR_FALLBACKS = {
+    "conv.direct_simd": "conv.direct",
+    "matmul.unrolled_simd": "matmul.unrolled",
+    "matmul.naive_simd": "matmul.naive",
+    "matinv.cofactor_simd": "matinv.cofactor",
+    "conv2d.direct_simd": "conv2d.direct",
+    "fft.radix2_simd": "fft.radix2",
+}
+
+
+def kernel_c_source(
+    kernel_id: str,
+    params: Dict[str, Any],
+    dtype: DataType,
+    fallback_scalar: bool = True,
+) -> Optional[str]:
+    """The C definition for one kernel call site, or None.
+
+    ``fallback_scalar=True`` renders the scalar reference body for SIMD
+    library builds (annotated), so emitted units stay self-contained;
+    the production library would link the intrinsics build instead.
+    """
+    name = specialized_name(kernel_id, params)
+    emitter = _EMITTERS.get(kernel_id)
+    note = ""
+    if emitter is None and fallback_scalar and kernel_id in _SCALAR_FALLBACKS:
+        emitter = _EMITTERS[_SCALAR_FALLBACKS[kernel_id]]
+        note = (
+            f"/* scalar reference body for {kernel_id}; the shipped library\n"
+            f"   provides an intrinsics build of the same algorithm. */\n"
+        )
+    if emitter is None:
+        return None
+    body = emitter(name, dtype, params)
+    if body is None:
+        return None
+    return note + body
+
+
+def has_c_source(kernel_id: str, params: Dict[str, Any]) -> bool:
+    return kernel_c_source(kernel_id, params, DataType.F32) is not None

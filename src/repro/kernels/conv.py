@@ -1,0 +1,108 @@
+"""1-D convolution kernels.
+
+* ``direct``   — the O(n*m) multiply-accumulate loop (generic fallback;
+  also the only integer-capable implementation);
+* ``fft``      — frequency-domain convolution over zero-padded 2^k FFTs
+  (wins when both operands are long);
+* SIMD variants of both.
+
+Algorithm 1's pre-calculation picks ``fft`` over ``direct`` exactly
+where the O(n*m) / O(N log N) curves cross for the actor's sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.kernels.base import Kernel, OpCounts, SimdVariant
+from repro.kernels.fft import FftRadix2
+
+
+class ConvDirect(Kernel):
+    """Sliding multiply-accumulate, the textbook C implementation."""
+
+    actor_key = "conv"
+    kernel_id = "conv.direct"
+    description = "direct O(n*m) convolution"
+    general = True
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float or dtype is DataType.I32
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        signal, taps = inputs
+        n, m = len(signal), len(taps)
+        dtype = np.asarray(signal).dtype
+        if np.issubdtype(dtype, np.floating):
+            out = np.convolve(
+                np.asarray(signal, dtype=np.float64), np.asarray(taps, dtype=np.float64)
+            ).astype(dtype)
+        else:
+            out = np.convolve(
+                np.asarray(signal, dtype=np.int64), np.asarray(taps, dtype=np.int64)
+            ).astype(dtype)
+        # inner loop body: one load of each operand, one mul, one add
+        macs = float(n * m)
+        counts.mul += macs
+        counts.add += macs
+        counts.load += 2.0 * macs
+        counts.store += float(n + m - 1)
+        counts.misc += 2.0 * macs
+        return [out]
+
+
+class ConvFft(Kernel):
+    """Frequency-domain convolution via zero-padded radix-2 FFTs."""
+
+    actor_key = "conv"
+    kernel_id = "conv.fft"
+    description = "FFT-based convolution (floats)"
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        signal = np.asarray(inputs[0], dtype=np.float64)
+        taps = np.asarray(inputs[1], dtype=np.float64)
+        n, m = len(signal), len(taps)
+        out_len = n + m - 1
+        size = 1 << max(out_len - 1, 1).bit_length()
+        padded_a = np.zeros(size, dtype=np.complex128)
+        padded_a[:n] = signal
+        padded_b = np.zeros(size, dtype=np.complex128)
+        padded_b[:m] = taps
+        counts.load += float(n + m)
+        counts.store += 2.0 * size
+        fft = FftRadix2(inverse=False)
+        fa = fft._transform(padded_a, counts)
+        fb = fft._transform(padded_b, counts)
+        product = fa * fb
+        counts.mul += 4.0 * size
+        counts.add += 2.0 * size
+        counts.load += 4.0 * size
+        counts.store += 2.0 * size
+        spectrum = np.conj(fft._transform(np.conj(product), counts)) / size
+        counts.mul += 2.0 * size
+        out = spectrum[:out_len].real
+        counts.store += float(out_len)
+        return [out.astype(np.asarray(inputs[0]).dtype)]
+
+
+def make_conv_kernels() -> List[Kernel]:
+    kernels: List[Kernel] = [ConvDirect(), ConvFft()]
+    kernels.append(SimdVariant(ConvDirect(), vectorizable_fraction=0.95))
+    kernels.append(SimdVariant(ConvFft(), vectorizable_fraction=0.8))
+    return kernels

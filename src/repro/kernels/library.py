@@ -1,0 +1,100 @@
+"""The code library: every implementation per intensive actor type.
+
+Algorithm 1's ``loadCodeLibrary(ActorType)`` resolves here.  The library
+is a one-to-many mapping from actor key (``"fft"``, ``"dct"``, ...) to
+implementations, each of which can filter itself by data type and size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import KernelError
+from repro.kernels.base import Kernel
+from repro.kernels.conv import make_conv_kernels
+from repro.kernels.dct import make_dct_kernels, make_idct_kernels
+from repro.kernels.fft import make_fft_kernels
+from repro.kernels.matrix import (
+    make_matdet_kernels,
+    make_matinv_kernels,
+    make_matmul_kernels,
+)
+from repro.kernels.transforms2d import (
+    make_conv2d_kernels,
+    make_dct2d_kernels,
+    make_fft2d_kernels,
+    make_idct2d_kernels,
+)
+
+
+class CodeLibrary:
+    """All registered intensive-actor implementations, by actor key."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, List[Kernel]] = {}
+        self._by_id: Dict[str, Kernel] = {}
+
+    def register(self, kernel: Kernel) -> None:
+        if kernel.kernel_id in self._by_id:
+            raise KernelError(f"kernel id {kernel.kernel_id!r} registered twice")
+        self._by_id[kernel.kernel_id] = kernel
+        self._by_key.setdefault(kernel.actor_key, []).append(kernel)
+
+    def implementations(self, actor_key: str) -> Tuple[Kernel, ...]:
+        """Algorithm 1's ``loadCodeLibrary``: all impls for an actor type."""
+        try:
+            return tuple(self._by_key[actor_key])
+        except KeyError:
+            raise KernelError(
+                f"no implementations registered for actor key {actor_key!r}; "
+                f"known keys: {sorted(self._by_key)}"
+            ) from None
+
+    def general_implementation(self, actor_key: str) -> Kernel:
+        """The safe fallback (``ImplList.getGeneralImplementation()``)."""
+        for kernel in self.implementations(actor_key):
+            if kernel.general:
+                return kernel
+        raise KernelError(f"actor key {actor_key!r} has no general implementation")
+
+    def by_id(self, kernel_id: str) -> Kernel:
+        try:
+            return self._by_id[kernel_id]
+        except KeyError:
+            raise KernelError(f"unknown kernel id {kernel_id!r}") from None
+
+    def actor_keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._by_key))
+
+
+def build_default_library() -> CodeLibrary:
+    """The full shipped library (every Table 1(a) actor)."""
+    library = CodeLibrary()
+    for kernel in (
+        make_fft_kernels(inverse=False)
+        + make_fft_kernels(inverse=True)
+        + make_dct_kernels()
+        + make_idct_kernels()
+        + make_conv_kernels()
+        + make_matmul_kernels()
+        + make_matinv_kernels()
+        + make_matdet_kernels()
+        + make_fft2d_kernels(inverse=False)
+        + make_fft2d_kernels(inverse=True)
+        + make_dct2d_kernels()
+        + make_idct2d_kernels()
+        + make_conv2d_kernels()
+    ):
+        library.register(kernel)
+    return library
+
+
+_DEFAULT: CodeLibrary = None  # type: ignore[assignment]
+
+
+def default_library() -> CodeLibrary:
+    """The process-wide default code library (built lazily)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = build_default_library()
+    return _DEFAULT

@@ -1,0 +1,229 @@
+"""Small-matrix kernels: multiplication, inversion, determinant.
+
+The paper's Table 1 lists 2x2/3x3/4x4 matrix actors.  Each has a
+general loop implementation plus fixed-size fully-unrolled / analytic
+implementations, which is exactly the situation Algorithm 1's
+pre-calculation arbitrates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.kernels.base import Kernel, OpCounts, SimdVariant
+
+
+class MatMulNaive(Kernel):
+    """Triple loop i-j-k multiply."""
+
+    actor_key = "matmul"
+    kernel_id = "matmul.naive"
+    description = "triple-loop matrix multiply (any n)"
+    general = True
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float or dtype is DataType.I32
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        a, b = inputs
+        n = a.shape[0]
+        dtype = np.asarray(a).dtype
+        if np.issubdtype(dtype, np.floating):
+            out = (np.asarray(a, np.float64) @ np.asarray(b, np.float64)).astype(dtype)
+        else:
+            out = (np.asarray(a, np.int64) @ np.asarray(b, np.int64)).astype(dtype)
+        flops = float(n ** 3)
+        counts.mul += flops
+        counts.add += flops
+        counts.load += 2.0 * flops
+        counts.store += float(n * n)
+        counts.misc += 3.0 * flops  # three nested loop counters
+        return [out]
+
+
+class MatMulUnrolled(Kernel):
+    """Fully unrolled multiply for n <= 4: no loop bookkeeping, operands
+    stay in registers (each A row loaded once)."""
+
+    actor_key = "matmul"
+    kernel_id = "matmul.unrolled"
+    description = "fully unrolled multiply (n <= 4)"
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return (dtype.is_float or dtype is DataType.I32) and int(params["n"]) <= 4
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        a, b = inputs
+        n = a.shape[0]
+        dtype = np.asarray(a).dtype
+        if np.issubdtype(dtype, np.floating):
+            out = (np.asarray(a, np.float64) @ np.asarray(b, np.float64)).astype(dtype)
+        else:
+            out = (np.asarray(a, np.int64) @ np.asarray(b, np.int64)).astype(dtype)
+        flops = float(n ** 3)
+        counts.mul += flops
+        counts.add += flops
+        counts.load += 2.0 * n * n   # each element of A and B loaded once
+        counts.store += float(n * n)
+        return [out]
+
+
+class MatInvGauss(Kernel):
+    """Gauss-Jordan elimination with partial pivoting (any n)."""
+
+    actor_key = "matinv"
+    kernel_id = "matinv.gauss"
+    description = "Gauss-Jordan inversion (any n)"
+    general = True
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        a = np.asarray(inputs[0], dtype=np.float64)
+        n = a.shape[0]
+        out = np.linalg.inv(a)
+        # Gauss-Jordan on the [A | I] tableau: ~2n^3 multiply-adds,
+        # n divisions per pivot row, pivot search compares.
+        counts.mul += 2.0 * n ** 3
+        counts.add += 2.0 * n ** 3
+        counts.div += float(n * n)
+        counts.load += 4.0 * n ** 3
+        counts.store += 2.0 * n ** 3
+        counts.misc += 3.0 * n ** 3 + float(n * n)
+        return [out.astype(np.asarray(inputs[0]).dtype)]
+
+
+#: exact operation counts of the analytic adjugate formulas
+_COFACTOR_INV_COUNTS = {
+    1: dict(mul=1, add=0, div=1),
+    2: dict(mul=6, add=1, div=1),
+    3: dict(mul=30, add=14, div=1),
+    4: dict(mul=160, add=80, div=1),
+}
+
+_COFACTOR_DET_COUNTS = {
+    1: dict(mul=0, add=0),
+    2: dict(mul=2, add=1),
+    3: dict(mul=12, add=5),
+    4: dict(mul=40, add=23),
+}
+
+
+class MatInvCofactor(Kernel):
+    """Analytic adjugate/determinant inversion, unrolled for n <= 4."""
+
+    actor_key = "matinv"
+    kernel_id = "matinv.cofactor"
+    description = "analytic adjugate inversion (n <= 4)"
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float and int(params["n"]) <= 4
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        a = np.asarray(inputs[0], dtype=np.float64)
+        n = a.shape[0]
+        out = np.linalg.inv(a)
+        ops = _COFACTOR_INV_COUNTS[n]
+        counts.mul += ops["mul"] + float(n * n)  # adjugate * (1/det)
+        counts.add += ops["add"]
+        counts.div += ops["div"]
+        counts.load += 2.0 * n * n
+        counts.store += float(n * n)
+        return [out.astype(np.asarray(inputs[0]).dtype)]
+
+
+class MatDetLu(Kernel):
+    """Determinant through LU factorisation (any n)."""
+
+    actor_key = "matdet"
+    kernel_id = "matdet.lu"
+    description = "LU-based determinant (any n)"
+    general = True
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        a = np.asarray(inputs[0], dtype=np.float64)
+        n = a.shape[0]
+        out = np.linalg.det(a)
+        counts.mul += (2.0 / 3.0) * n ** 3 + float(n)
+        counts.add += (2.0 / 3.0) * n ** 3
+        counts.div += float(max(n - 1, 0))
+        counts.load += (4.0 / 3.0) * n ** 3
+        counts.store += (2.0 / 3.0) * n ** 3
+        counts.misc += float(n * n)
+        return [np.asarray(out, dtype=np.asarray(inputs[0]).dtype)]
+
+
+class MatDetCofactor(Kernel):
+    """Unrolled cofactor expansion for n <= 4."""
+
+    actor_key = "matdet"
+    kernel_id = "matdet.cofactor"
+    description = "unrolled cofactor determinant (n <= 4)"
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float and int(params["n"]) <= 4
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        a = np.asarray(inputs[0], dtype=np.float64)
+        n = a.shape[0]
+        out = np.linalg.det(a)
+        ops = _COFACTOR_DET_COUNTS[n]
+        counts.mul += ops["mul"]
+        counts.add += ops["add"]
+        counts.load += float(n * n)
+        counts.store += 1.0
+        return [np.asarray(out, dtype=np.asarray(inputs[0]).dtype)]
+
+
+def make_matmul_kernels() -> List[Kernel]:
+    kernels: List[Kernel] = [MatMulNaive(), MatMulUnrolled()]
+    kernels.append(SimdVariant(MatMulUnrolled(), vectorizable_fraction=0.85))
+    kernels.append(SimdVariant(MatMulNaive(), vectorizable_fraction=0.8))
+    return kernels
+
+
+def make_matinv_kernels() -> List[Kernel]:
+    kernels: List[Kernel] = [MatInvGauss(), MatInvCofactor()]
+    kernels.append(SimdVariant(MatInvCofactor(), vectorizable_fraction=0.6))
+    return kernels
+
+
+def make_matdet_kernels() -> List[Kernel]:
+    return [MatDetLu(), MatDetCofactor()]

@@ -1,0 +1,204 @@
+"""2-D transform kernels: row-column decompositions over the 1-D library.
+
+A 2-D FFT/DCT is rows x 1-D transforms followed by columns x 1-D
+transforms; operation counts are therefore the 1-D kernel's counts
+scaled by the number of rows/columns (1-D counts are deterministic per
+length, so one probe run per dimension suffices).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.kernels.base import Kernel, OpCounts, SimdVariant
+from repro.kernels.dct import DctLee, DctViaFft, IdctNaive, _dct2_matrix
+from repro.kernels.fft import FftKernel, FftMixed, FftRadix2
+
+
+def _probe_counts(kernel, n: int) -> OpCounts:
+    """Counts of one 1-D transform of length ``n`` (run on zeros)."""
+    counts = OpCounts()
+    kernel._transform(np.zeros(n, dtype=np.complex128), counts)
+    return counts
+
+
+def _probe_counts_real(kernel, n: int) -> OpCounts:
+    counts = OpCounts()
+    kernel._transform(np.zeros(n, dtype=np.float64), counts)
+    return counts
+
+
+class Fft2dRowCol(Kernel):
+    """Row-column 2-D (I)FFT over a 1-D algorithm."""
+
+    def __init__(self, inverse: bool, algorithm: str = "mixed") -> None:
+        self.inverse = inverse
+        self.algorithm = algorithm
+        self.actor_key = "ifft2d" if inverse else "fft2d"
+        self.kernel_id = f"{self.actor_key}.rowcol_{algorithm}"
+        self.description = f"row-column 2-D transform over 1-D {algorithm} FFT"
+        self.general = algorithm == "mixed"
+
+    def _inner(self) -> FftKernel:
+        if self.algorithm == "radix2":
+            return FftRadix2(inverse=False)
+        return FftMixed(inverse=False)
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        if not dtype.is_float:
+            return False
+        rows, cols = int(params["rows"]), int(params["cols"])
+        inner = self._inner()
+        return inner._supports_length(rows) and inner._supports_length(cols)
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        rows, cols = int(params["rows"]), int(params["cols"])
+        data = np.asarray(inputs[0], dtype=np.float64)
+        if self.inverse:
+            complex_in = data[0] + 1j * data[1]
+            result = np.fft.ifft2(complex_in)
+            counts.mul += 2.0 * rows * cols  # 1/(rows*cols) scaling
+        else:
+            result = np.fft.fft2(data)
+        inner = self._inner()
+        counts.merge(_probe_counts(inner, cols).scale(rows))
+        counts.merge(_probe_counts(inner, rows).scale(cols))
+        counts.load += 2.0 * rows * cols   # transpose traffic
+        counts.store += 2.0 * rows * cols
+        stacked = np.stack([result.real, result.imag])
+        return [stacked.astype(np.asarray(inputs[0]).dtype)]
+
+
+class Dct2dRowCol(Kernel):
+    """Row-column 2-D DCT over a 1-D algorithm."""
+
+    def __init__(self, algorithm: str = "fft") -> None:
+        self.algorithm = algorithm
+        self.actor_key = "dct2d"
+        self.kernel_id = f"dct2d.rowcol_{algorithm}"
+        self.description = f"row-column 2-D DCT over 1-D {algorithm}"
+        self.general = algorithm == "fft"
+
+    def _inner(self):
+        return DctLee() if self.algorithm == "lee" else DctViaFft()
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        if not dtype.is_float:
+            return False
+        rows, cols = int(params["rows"]), int(params["cols"])
+        inner = self._inner()
+        return inner._supports_length(rows) and inner._supports_length(cols)
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        rows, cols = int(params["rows"]), int(params["cols"])
+        data = np.asarray(inputs[0], dtype=np.float64)
+        out = _dct2_matrix(rows) @ data @ _dct2_matrix(cols).T
+        inner = self._inner()
+        counts.merge(_probe_counts_real(inner, cols).scale(rows))
+        counts.merge(_probe_counts_real(inner, rows).scale(cols))
+        counts.load += 2.0 * rows * cols
+        counts.store += 2.0 * rows * cols
+        return [out.astype(np.asarray(inputs[0]).dtype)]
+
+
+class Idct2dRowCol(Kernel):
+    """Row-column 2-D inverse DCT (naive 1-D inner, general)."""
+
+    actor_key = "idct2d"
+    kernel_id = "idct2d.rowcol_naive"
+    description = "row-column 2-D IDCT over naive 1-D"
+    general = True
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        rows, cols = int(params["rows"]), int(params["cols"])
+        data = np.asarray(inputs[0], dtype=np.float64)
+        coeffs = np.array(data, copy=True)
+        coeffs[0, :] *= 0.5
+        coeffs[:, 0] *= 0.5
+        out = (2.0 / rows) * (2.0 / cols) * (_dct2_matrix(rows).T @ coeffs @ _dct2_matrix(cols))
+        inner = IdctNaive()
+        counts.merge(_probe_counts_real(inner, cols).scale(rows))
+        counts.merge(_probe_counts_real(inner, rows).scale(cols))
+        counts.load += 2.0 * rows * cols
+        counts.store += 2.0 * rows * cols
+        return [out.astype(np.asarray(inputs[0]).dtype)]
+
+
+class Conv2dDirect(Kernel):
+    """Direct 2-D convolution (full output), the generic fallback."""
+
+    actor_key = "conv2d"
+    kernel_id = "conv2d.direct"
+    description = "direct 2-D convolution"
+    general = True
+
+    def can_handle(self, dtype: DataType, params: Dict[str, Any]) -> bool:
+        return dtype.is_float
+
+    def execute(
+        self,
+        inputs: Sequence[np.ndarray],
+        params: Dict[str, Any],
+        counts: OpCounts,
+    ) -> List[np.ndarray]:
+        a = np.asarray(inputs[0], dtype=np.float64)
+        k = np.asarray(inputs[1], dtype=np.float64)
+        out_rows = a.shape[0] + k.shape[0] - 1
+        out_cols = a.shape[1] + k.shape[1] - 1
+        out = np.zeros((out_rows, out_cols), dtype=np.float64)
+        for dr in range(k.shape[0]):
+            for dc in range(k.shape[1]):
+                out[dr : dr + a.shape[0], dc : dc + a.shape[1]] += k[dr, dc] * a
+        macs = float(a.size * k.size)
+        counts.mul += macs
+        counts.add += macs
+        counts.load += 2.0 * macs
+        counts.store += float(out_rows * out_cols)
+        counts.misc += 4.0 * macs
+        return [out.astype(np.asarray(inputs[0]).dtype)]
+
+
+def make_fft2d_kernels(inverse: bool) -> List[Kernel]:
+    kernels: List[Kernel] = [
+        Fft2dRowCol(inverse, "mixed"),
+        Fft2dRowCol(inverse, "radix2"),
+    ]
+    kernels.append(SimdVariant(Fft2dRowCol(inverse, "radix2"), vectorizable_fraction=0.85))
+    return kernels
+
+
+def make_dct2d_kernels() -> List[Kernel]:
+    kernels: List[Kernel] = [Dct2dRowCol("fft"), Dct2dRowCol("lee")]
+    kernels.append(SimdVariant(Dct2dRowCol("lee"), vectorizable_fraction=0.85))
+    return kernels
+
+
+def make_idct2d_kernels() -> List[Kernel]:
+    return [Idct2dRowCol()]
+
+
+def make_conv2d_kernels() -> List[Kernel]:
+    kernels: List[Kernel] = [Conv2dDirect()]
+    kernels.append(SimdVariant(Conv2dDirect(), vectorizable_fraction=0.9))
+    return kernels

@@ -1,0 +1,46 @@
+"""Simulink-like model substrate: actors, graphs, builder, XML I/O."""
+
+from repro.model.actor import Actor, Port, PortDirection
+from repro.model.actor_defs import (
+    ActorDef,
+    ActorKind,
+    actor_def,
+    create_actor,
+    registered_types,
+)
+from repro.model.builder import ActorRef, ModelBuilder
+from repro.dtypes import DataType, c_type_name
+from repro.model.graph import Connection, Model
+from repro.model.mdl_io import model_from_mdl, read_mdl
+from repro.model.semantics import ModelEvaluator, evaluate_model
+from repro.model.xml_io import (
+    model_from_string,
+    model_to_string,
+    read_model,
+    write_model,
+)
+
+__all__ = [
+    "Actor",
+    "ActorDef",
+    "ActorKind",
+    "ActorRef",
+    "Connection",
+    "DataType",
+    "Model",
+    "ModelBuilder",
+    "ModelEvaluator",
+    "Port",
+    "PortDirection",
+    "actor_def",
+    "c_type_name",
+    "create_actor",
+    "evaluate_model",
+    "model_from_mdl",
+    "model_from_string",
+    "model_to_string",
+    "read_mdl",
+    "read_model",
+    "registered_types",
+    "write_model",
+]

@@ -1,0 +1,138 @@
+"""Actors and ports — the building blocks of a Simulink-like model.
+
+An :class:`Actor` is one block in the model (an ``Add``, an ``FFT``, an
+``Inport`` ...).  It has typed, shaped :class:`Port` objects and a free-form
+parameter dictionary (gain value, shift amount, switch threshold, ...).
+The semantics of each actor *type* live in :mod:`repro.model.actor_defs`;
+this module only carries structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import PortError
+from repro.dtypes import DataType
+
+
+class PortDirection(enum.Enum):
+    IN = "in"
+    OUT = "out"
+
+
+@dataclasses.dataclass(frozen=True)
+class Port:
+    """One input or output port of an actor.
+
+    ``shape`` is the array shape carried by the port: ``()`` for a scalar,
+    ``(n,)`` for a vector, ``(r, c)`` for a matrix.  ``width`` is the total
+    element count, which is what the paper's algorithms key on.
+    """
+
+    name: str
+    direction: PortDirection
+    dtype: DataType
+    shape: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if any(d <= 0 for d in self.shape):
+            raise PortError(f"port {self.name!r}: shape {self.shape} has non-positive dims")
+
+    @property
+    def width(self) -> int:
+        """Total number of elements flowing through this port."""
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def is_array(self) -> bool:
+        """True when the port carries more than one element."""
+        return self.width > 1
+
+    def __str__(self) -> str:
+        shape = "x".join(str(d) for d in self.shape) if self.shape else "scalar"
+        return f"{self.name}:{self.dtype}[{shape}]"
+
+
+class Actor:
+    """One block instance in a model.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the model.
+    actor_type:
+        The type name, e.g. ``"Add"`` or ``"FFT"``.  Must be registered in
+        :mod:`repro.model.actor_defs` for the model to validate.
+    params:
+        Type-specific parameters (``{"gain": 3}``, ``{"shift": 2}``, ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        actor_type: str,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.actor_type = actor_type
+        self.params: Dict[str, Any] = dict(params or {})
+        self._inputs: Dict[str, Port] = {}
+        self._outputs: Dict[str, Port] = {}
+
+    # ------------------------------------------------------------------
+    # Port management
+    # ------------------------------------------------------------------
+    def add_port(self, port: Port) -> Port:
+        table = self._inputs if port.direction is PortDirection.IN else self._outputs
+        if port.name in table:
+            raise PortError(f"actor {self.name!r} already has a {port.direction.value} port {port.name!r}")
+        table[port.name] = port
+        return port
+
+    def add_input(self, name: str, dtype: DataType, shape: Tuple[int, ...] = ()) -> Port:
+        return self.add_port(Port(name, PortDirection.IN, dtype, shape))
+
+    def add_output(self, name: str, dtype: DataType, shape: Tuple[int, ...] = ()) -> Port:
+        return self.add_port(Port(name, PortDirection.OUT, dtype, shape))
+
+    def input(self, name: str) -> Port:
+        try:
+            return self._inputs[name]
+        except KeyError:
+            raise PortError(f"actor {self.name!r} has no input port {name!r}") from None
+
+    def output(self, name: str) -> Port:
+        try:
+            return self._outputs[name]
+        except KeyError:
+            raise PortError(f"actor {self.name!r} has no output port {name!r}") from None
+
+    @property
+    def inputs(self) -> Tuple[Port, ...]:
+        """Input ports in declaration order."""
+        return tuple(self._inputs.values())
+
+    @property
+    def outputs(self) -> Tuple[Port, ...]:
+        """Output ports in declaration order."""
+        return tuple(self._outputs.values())
+
+    # ------------------------------------------------------------------
+    # Convenience accessors used by classification and codegen
+    # ------------------------------------------------------------------
+    @property
+    def max_input_width(self) -> int:
+        return max((p.width for p in self.inputs), default=0)
+
+    @property
+    def has_array_input(self) -> bool:
+        return any(p.is_array for p in self.inputs)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+    def __repr__(self) -> str:
+        return f"Actor({self.name!r}, {self.actor_type!r})"

@@ -1,0 +1,521 @@
+"""The actor-type registry: structure and reference semantics per type.
+
+Each Simulink-like actor type the system understands is described by an
+:class:`ActorDef` that knows how to create the actor's ports from its
+parameters and how to evaluate the actor on numpy values.  The evaluator
+here is the *reference semantics* every code generator is tested against.
+
+Three families exist, mirroring §3.1 of the paper:
+
+* **elementwise** types (``Add``, ``Shr``, ``Recp``, ...) — classified as
+  *batch computing actors* when an input port carries an array;
+* **intensive** types (``FFT``, ``DCT``, ``Conv``, ``MatMul``, ...) —
+  array-in/array-out with cross-element data dependencies;
+* **basic** types (``Inport``, ``Const``, ``Switch``, ``UnitDelay``, ...)
+  — translated with the conventional method by every generator.
+
+Complex-valued signals (FFT/IFFT) are carried as a leading axis of size 2
+holding ``[real, imag]`` planes, matching how the generated embedded C
+stores split re/im arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import ops
+from repro.errors import ModelError
+from repro.model.actor import Actor
+from repro.dtypes import DataType
+
+
+class ActorKind(enum.Enum):
+    SOURCE = "source"
+    SINK = "sink"
+    BASIC = "basic"
+    ELEMENTWISE = "elementwise"
+    INTENSIVE = "intensive"
+
+
+EvalFn = Callable[[Actor, Dict[str, np.ndarray], Dict[str, Any]], Dict[str, np.ndarray]]
+BuildFn = Callable[[Actor, DataType, Dict[str, Any]], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class ActorDef:
+    """Static description of one actor type."""
+
+    type_name: str
+    kind: ActorKind
+    build_ports: BuildFn
+    evaluate: EvalFn
+    #: For elementwise types, the op name in :mod:`repro.ops`.
+    op_name: Optional[str] = None
+    #: For intensive types, the key into the kernel code library.
+    kernel_key: Optional[str] = None
+    #: True for actors that keep state across evaluation steps.
+    stateful: bool = False
+
+
+_REGISTRY: Dict[str, ActorDef] = {}
+
+
+def register(defn: ActorDef) -> ActorDef:
+    if defn.type_name in _REGISTRY:
+        raise ValueError(f"actor type {defn.type_name!r} registered twice")
+    _REGISTRY[defn.type_name] = defn
+    return defn
+
+
+def actor_def(type_name: str) -> ActorDef:
+    """Look up an actor type, with a readable error for unknown names."""
+    try:
+        return _REGISTRY[type_name]
+    except KeyError:
+        raise ModelError(
+            f"unknown actor type {type_name!r}; known types: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_types() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def _shape_param(params: Dict[str, Any]) -> Tuple[int, ...]:
+    shape = params.get("shape", ())
+    if isinstance(shape, int):
+        shape = (shape,)
+    return tuple(int(d) for d in shape)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ModelError(message)
+
+
+# ---------------------------------------------------------------------------
+# Source / sink / basic actors
+# ---------------------------------------------------------------------------
+
+def _build_inport(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    actor.add_output("out", dtype, _shape_param(params))
+
+
+def _eval_inport(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    # The environment injects the value under the reserved key "__external__".
+    value = inputs["__external__"]
+    return {"out": np.asarray(value, dtype=actor.output("out").dtype.numpy_dtype)}
+
+
+def _build_outport(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    actor.add_input("in1", dtype, _shape_param(params))
+
+
+def _eval_outport(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    return {"__sink__": inputs["in1"]}
+
+
+def _build_const(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require("value" in params, f"Const actor {actor.name!r} needs a 'value' parameter")
+    value = np.asarray(params["value"], dtype=dtype.numpy_dtype)
+    actor.params["value"] = value
+    actor.add_output("out", dtype, value.shape)
+
+
+def _eval_const(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    return {"out": np.array(actor.params["value"], copy=True)}
+
+
+def _build_gain(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require("gain" in params, f"Gain actor {actor.name!r} needs a 'gain' parameter")
+    shape = _shape_param(params)
+    actor.add_input("in1", dtype, shape)
+    actor.add_output("out", dtype, shape)
+
+
+def _eval_gain(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    gain = np.asarray(actor.params["gain"], dtype=dtype.numpy_dtype)
+    return {"out": ops.apply_op("Mul", dtype, [inputs["in1"], gain])}
+
+
+def _build_unit_delay(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    shape = _shape_param(params)
+    actor.params.setdefault("initial", 0)
+    actor.add_input("in1", dtype, shape)
+    actor.add_output("out", dtype, shape)
+
+
+def _eval_unit_delay(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    shape = actor.output("out").shape
+    if "value" not in state:
+        initial = np.broadcast_to(
+            np.asarray(actor.params["initial"], dtype=dtype.numpy_dtype), shape or ()
+        )
+        state["value"] = np.array(initial, copy=True)
+    out = np.array(state["value"], copy=True)
+    state["value"] = np.array(inputs["in1"], copy=True)
+    return {"out": out}
+
+
+def _build_switch(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    shape = _shape_param(params)
+    actor.params.setdefault("threshold", 0)
+    actor.add_input("in1", dtype, shape)
+    actor.add_input("ctrl", dtype, ())
+    actor.add_input("in2", dtype, shape)
+    actor.add_output("out", dtype, shape)
+
+
+def _eval_switch(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    threshold = actor.params["threshold"]
+    take_first = np.asarray(inputs["ctrl"]).item() >= threshold
+    chosen = inputs["in1"] if take_first else inputs["in2"]
+    return {"out": np.array(chosen, copy=True)}
+
+
+def _build_slice(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    """Simulink's Selector: take ``length`` elements from ``offset``."""
+    shape = _shape_param(params)
+    _require(len(shape) == 1, f"Slice actor {actor.name!r} needs a 1-D input shape")
+    offset = int(params.get("offset", 0))
+    length = int(params.get("length", shape[0] - offset))
+    _require(
+        0 <= offset and offset + length <= shape[0] and length >= 1,
+        f"Slice actor {actor.name!r}: [{offset}, {offset + length}) out of "
+        f"range for input of {shape[0]}",
+    )
+    actor.params.update(offset=offset, length=length)
+    actor.add_input("in1", dtype, shape)
+    actor.add_output("out", dtype, (length,))
+
+
+def _eval_slice(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    offset = int(actor.params["offset"])
+    length = int(actor.params["length"])
+    return {"out": np.array(inputs["in1"][offset : offset + length], copy=True)}
+
+
+def _build_concat(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    """Simulink's Vector Concatenate: join two 1-D signals."""
+    shape = _shape_param(params)
+    _require(len(shape) == 1, f"Concat actor {actor.name!r} needs a 1-D 'shape' (first input)")
+    second = params.get("shape2", shape)
+    if isinstance(second, int):
+        second = (second,)
+    second = tuple(int(d) for d in second)
+    _require(len(second) == 1, f"Concat actor {actor.name!r}: 'shape2' must be 1-D")
+    actor.params["shape2"] = second
+    actor.add_input("in1", dtype, shape)
+    actor.add_input("in2", dtype, second)
+    actor.add_output("out", dtype, (shape[0] + second[0],))
+
+
+def _eval_concat(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    return {"out": np.concatenate([inputs["in1"], inputs["in2"]])}
+
+
+# ---------------------------------------------------------------------------
+# Elementwise (batch-capable) actors
+# ---------------------------------------------------------------------------
+
+def _make_elementwise(op_name: str) -> ActorDef:
+    info = ops.op_info(op_name)
+
+    def build(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+        if not info.supports(dtype):
+            raise ModelError(f"actor type {op_name} does not support dtype {dtype}")
+        shape = _shape_param(params)
+        if info.needs_imm:
+            _require(
+                "shift" in params,
+                f"{op_name} actor {actor.name!r} needs a 'shift' parameter",
+            )
+            shift = int(params["shift"])
+            _require(
+                0 <= shift < dtype.bit_width,
+                f"{op_name} actor {actor.name!r}: shift {shift} out of range for {dtype}",
+            )
+        for index in range(info.arity):
+            actor.add_input(f"in{index + 1}", dtype, shape)
+        actor.add_output("out", dtype, shape)
+
+    def evaluate(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+        dtype = actor.output("out").dtype
+        args = [inputs[f"in{index + 1}"] for index in range(info.arity)]
+        imm = int(actor.params["shift"]) if info.needs_imm else None
+        return {"out": ops.apply_op(op_name, dtype, args, imm)}
+
+    return ActorDef(op_name, ActorKind.ELEMENTWISE, build, evaluate, op_name=op_name)
+
+
+def _build_cast(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require("from_dtype" in params, f"Cast actor {actor.name!r} needs a 'from_dtype' parameter")
+    src = params["from_dtype"]
+    src_dtype = src if isinstance(src, DataType) else DataType.from_name(src)
+    actor.params["from_dtype"] = src_dtype
+    shape = _shape_param(params)
+    actor.add_input("in1", src_dtype, shape)
+    actor.add_output("out", dtype, shape)
+
+
+def _eval_cast(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    return {"out": ops.apply_op("Cast", dtype, [inputs["in1"]])}
+
+
+# ---------------------------------------------------------------------------
+# Intensive computing actors
+# ---------------------------------------------------------------------------
+
+def _require_float(type_name: str, dtype: DataType) -> None:
+    _require(dtype.is_float, f"{type_name} requires a float dtype, got {dtype}")
+
+
+def _build_fft(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require_float(actor.actor_type, dtype)
+    n = int(params["n"])
+    _require(n >= 1, f"{actor.actor_type} length must be >= 1, got {n}")
+    actor.params["n"] = n
+    if actor.actor_type in ("FFT",):
+        actor.add_input("in1", dtype, (n,))
+    else:  # IFFT consumes complex data
+        actor.add_input("in1", dtype, (2, n))
+    actor.add_output("out", dtype, (2, n))
+
+
+def _eval_fft(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    data = np.asarray(inputs["in1"], dtype=np.float64)
+    if actor.actor_type == "FFT":
+        spectrum = np.fft.fft(data)
+    else:
+        spectrum = np.fft.ifft(data[0] + 1j * data[1])
+    stacked = np.stack([spectrum.real, spectrum.imag]).astype(dtype.numpy_dtype)
+    return {"out": stacked}
+
+
+def _build_fft2d(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require_float(actor.actor_type, dtype)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    _require(rows >= 1 and cols >= 1, f"{actor.actor_type} dims must be >= 1")
+    actor.params.update(rows=rows, cols=cols)
+    if actor.actor_type == "FFT2D":
+        actor.add_input("in1", dtype, (rows, cols))
+    else:
+        actor.add_input("in1", dtype, (2, rows, cols))
+    actor.add_output("out", dtype, (2, rows, cols))
+
+
+def _eval_fft2d(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    data = np.asarray(inputs["in1"], dtype=np.float64)
+    if actor.actor_type == "FFT2D":
+        spectrum = np.fft.fft2(data)
+    else:
+        spectrum = np.fft.ifft2(data[0] + 1j * data[1])
+    stacked = np.stack([spectrum.real, spectrum.imag]).astype(dtype.numpy_dtype)
+    return {"out": stacked}
+
+
+def _dct2_matrix(n: int) -> np.ndarray:
+    """The DCT-II basis matrix (unnormalised, matching the kernels)."""
+    k = np.arange(n)[:, None]
+    i = np.arange(n)[None, :]
+    return np.cos(np.pi * (2 * i + 1) * k / (2 * n))
+
+
+def _build_dct(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require_float(actor.actor_type, dtype)
+    n = int(params["n"])
+    _require(n >= 1, f"{actor.actor_type} length must be >= 1, got {n}")
+    actor.params["n"] = n
+    actor.add_input("in1", dtype, (n,))
+    actor.add_output("out", dtype, (n,))
+
+
+def _eval_dct(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    data = np.asarray(inputs["in1"], dtype=np.float64)
+    n = data.shape[0]
+    basis = _dct2_matrix(n)
+    if actor.actor_type == "DCT":
+        out = basis @ data
+    else:  # IDCT: inverse of the unnormalised DCT-II
+        # DCT-III scaled by 2/n, with the DC term halved.
+        coeffs = np.array(data, copy=True)
+        coeffs[0] *= 0.5
+        out = (2.0 / n) * (basis.T @ coeffs)
+    return {"out": out.astype(dtype.numpy_dtype)}
+
+
+def _build_dct2d(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require_float(actor.actor_type, dtype)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    _require(rows >= 1 and cols >= 1, f"{actor.actor_type} dims must be >= 1")
+    actor.params.update(rows=rows, cols=cols)
+    actor.add_input("in1", dtype, (rows, cols))
+    actor.add_output("out", dtype, (rows, cols))
+
+
+def _eval_dct2d(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    data = np.asarray(inputs["in1"], dtype=np.float64)
+    rows, cols = data.shape
+    row_basis = _dct2_matrix(rows)
+    col_basis = _dct2_matrix(cols)
+    if actor.actor_type == "DCT2D":
+        out = row_basis @ data @ col_basis.T
+    else:
+        coeffs = np.array(data, copy=True)
+        coeffs[0, :] *= 0.5
+        coeffs[:, 0] *= 0.5
+        out = (2.0 / rows) * (2.0 / cols) * (row_basis.T @ coeffs @ col_basis)
+    return {"out": out.astype(dtype.numpy_dtype)}
+
+
+def _build_conv(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require(
+        dtype.is_float or dtype is DataType.I32,
+        f"Conv supports f32/f64/i32, got {dtype}",
+    )
+    n, m = int(params["n"]), int(params["m"])
+    _require(n >= 1 and m >= 1, "Conv lengths must be >= 1")
+    actor.params.update(n=n, m=m)
+    actor.add_input("in1", dtype, (n,))
+    actor.add_input("in2", dtype, (m,))
+    actor.add_output("out", dtype, (n + m - 1,))
+
+
+def _eval_conv(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    if dtype.is_float:
+        out = np.convolve(
+            np.asarray(inputs["in1"], dtype=np.float64),
+            np.asarray(inputs["in2"], dtype=np.float64),
+        )
+        return {"out": out.astype(dtype.numpy_dtype)}
+    # Integer convolution with wrap-around accumulation.
+    a = np.asarray(inputs["in1"], dtype=np.int64)
+    b = np.asarray(inputs["in2"], dtype=np.int64)
+    out = np.convolve(a, b)
+    return {"out": out.astype(dtype.numpy_dtype)}
+
+
+def _build_conv2d(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require_float(actor.actor_type, dtype)
+    rows, cols = int(params["rows"]), int(params["cols"])
+    krows, kcols = int(params["krows"]), int(params["kcols"])
+    _require(min(rows, cols, krows, kcols) >= 1, "Conv2D dims must be >= 1")
+    actor.params.update(rows=rows, cols=cols, krows=krows, kcols=kcols)
+    actor.add_input("in1", dtype, (rows, cols))
+    actor.add_input("in2", dtype, (krows, kcols))
+    actor.add_output("out", dtype, (rows + krows - 1, cols + kcols - 1))
+
+
+def _eval_conv2d(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    a = np.asarray(inputs["in1"], dtype=np.float64)
+    k = np.asarray(inputs["in2"], dtype=np.float64)
+    out_rows = a.shape[0] + k.shape[0] - 1
+    out_cols = a.shape[1] + k.shape[1] - 1
+    out = np.zeros((out_rows, out_cols), dtype=np.float64)
+    for dr in range(k.shape[0]):
+        for dc in range(k.shape[1]):
+            out[dr : dr + a.shape[0], dc : dc + a.shape[1]] += k[dr, dc] * a
+    return {"out": out.astype(dtype.numpy_dtype)}
+
+
+def _build_matmul(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    n = int(params["n"])
+    _require(n >= 1, f"MatMul size must be >= 1, got {n}")
+    actor.params["n"] = n
+    actor.add_input("in1", dtype, (n, n))
+    actor.add_input("in2", dtype, (n, n))
+    actor.add_output("out", dtype, (n, n))
+
+
+def _eval_matmul(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    if dtype.is_float:
+        out = np.asarray(inputs["in1"], dtype=np.float64) @ np.asarray(inputs["in2"], dtype=np.float64)
+        return {"out": out.astype(dtype.numpy_dtype)}
+    a = np.asarray(inputs["in1"], dtype=np.int64)
+    b = np.asarray(inputs["in2"], dtype=np.int64)
+    return {"out": (a @ b).astype(dtype.numpy_dtype)}
+
+
+def _build_matinv(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require_float(actor.actor_type, dtype)
+    n = int(params["n"])
+    _require(n >= 1, f"MatInv size must be >= 1, got {n}")
+    actor.params["n"] = n
+    actor.add_input("in1", dtype, (n, n))
+    actor.add_output("out", dtype, (n, n))
+
+
+def _eval_matinv(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    out = np.linalg.inv(np.asarray(inputs["in1"], dtype=np.float64))
+    return {"out": out.astype(dtype.numpy_dtype)}
+
+
+def _build_matdet(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
+    _require_float(actor.actor_type, dtype)
+    n = int(params["n"])
+    _require(n >= 1, f"MatDet size must be >= 1, got {n}")
+    actor.params["n"] = n
+    actor.add_input("in1", dtype, (n, n))
+    actor.add_output("out", dtype, ())
+
+
+def _eval_matdet(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    dtype = actor.output("out").dtype
+    out = np.linalg.det(np.asarray(inputs["in1"], dtype=np.float64))
+    return {"out": np.asarray(out, dtype=dtype.numpy_dtype)}
+
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+register(ActorDef("Inport", ActorKind.SOURCE, _build_inport, _eval_inport))
+register(ActorDef("Outport", ActorKind.SINK, _build_outport, _eval_outport))
+register(ActorDef("Const", ActorKind.SOURCE, _build_const, _eval_const))
+register(ActorDef("Gain", ActorKind.BASIC, _build_gain, _eval_gain))
+register(ActorDef("UnitDelay", ActorKind.BASIC, _build_unit_delay, _eval_unit_delay, stateful=True))
+register(ActorDef("Switch", ActorKind.BASIC, _build_switch, _eval_switch))
+register(ActorDef("Slice", ActorKind.BASIC, _build_slice, _eval_slice))
+register(ActorDef("Concat", ActorKind.BASIC, _build_concat, _eval_concat))
+register(ActorDef("Cast", ActorKind.ELEMENTWISE, _build_cast, _eval_cast, op_name="Cast"))
+
+for _op in ("Add", "Sub", "Mul", "Div", "Shr", "Shl", "BitNot", "BitAnd",
+            "BitOr", "BitXor", "Min", "Max", "Abs", "Abd", "Recp", "Sqrt", "Neg"):
+    register(_make_elementwise(_op))
+
+register(ActorDef("FFT", ActorKind.INTENSIVE, _build_fft, _eval_fft, kernel_key="fft"))
+register(ActorDef("IFFT", ActorKind.INTENSIVE, _build_fft, _eval_fft, kernel_key="ifft"))
+register(ActorDef("FFT2D", ActorKind.INTENSIVE, _build_fft2d, _eval_fft2d, kernel_key="fft2d"))
+register(ActorDef("IFFT2D", ActorKind.INTENSIVE, _build_fft2d, _eval_fft2d, kernel_key="ifft2d"))
+register(ActorDef("DCT", ActorKind.INTENSIVE, _build_dct, _eval_dct, kernel_key="dct"))
+register(ActorDef("IDCT", ActorKind.INTENSIVE, _build_dct, _eval_dct, kernel_key="idct"))
+register(ActorDef("DCT2D", ActorKind.INTENSIVE, _build_dct2d, _eval_dct2d, kernel_key="dct2d"))
+register(ActorDef("IDCT2D", ActorKind.INTENSIVE, _build_dct2d, _eval_dct2d, kernel_key="idct2d"))
+register(ActorDef("Conv", ActorKind.INTENSIVE, _build_conv, _eval_conv, kernel_key="conv"))
+register(ActorDef("Conv2D", ActorKind.INTENSIVE, _build_conv2d, _eval_conv2d, kernel_key="conv2d"))
+register(ActorDef("MatMul", ActorKind.INTENSIVE, _build_matmul, _eval_matmul, kernel_key="matmul"))
+register(ActorDef("MatInv", ActorKind.INTENSIVE, _build_matinv, _eval_matinv, kernel_key="matinv"))
+register(ActorDef("MatDet", ActorKind.INTENSIVE, _build_matdet, _eval_matdet, kernel_key="matdet"))
+
+
+def create_actor(name: str, type_name: str, dtype: DataType, params: Optional[Dict[str, Any]] = None) -> Actor:
+    """Instantiate an actor of a registered type with its ports built."""
+    defn = actor_def(type_name)
+    actor = Actor(name, type_name, params)
+    defn.build_ports(actor, dtype, actor.params)
+    return actor

@@ -1,0 +1,120 @@
+"""A fluent builder for constructing models programmatically.
+
+Example
+-------
+>>> from repro.model import ModelBuilder, DataType
+>>> b = ModelBuilder("sample", default_dtype=DataType.I32)
+>>> a = b.inport("a", shape=4)
+>>> c = b.const("c", value=[1, 2, 3, 4])
+>>> s = b.add_actor("Add", "s", a, c)
+>>> _ = b.outport("y", s)
+>>> model = b.build()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Tuple, Union
+
+from repro.errors import ModelError
+from repro.model.actor import Actor
+from repro.model.actor_defs import create_actor
+from repro.dtypes import DataType
+from repro.model.graph import Model
+
+ShapeLike = Union[int, Tuple[int, ...]]
+
+
+@dataclasses.dataclass(frozen=True)
+class ActorRef:
+    """A handle to one output port of an actor inside a builder."""
+
+    actor: Actor
+    port: str = "out"
+
+    def __getitem__(self, port: str) -> "ActorRef":
+        """Select a different output port, e.g. ``ref["out2"]``."""
+        return ActorRef(self.actor, port)
+
+
+def _as_shape(shape: Optional[ShapeLike]) -> Tuple[int, ...]:
+    if shape is None:
+        return ()
+    if isinstance(shape, int):
+        return (shape,)
+    return tuple(shape)
+
+
+class ModelBuilder:
+    """Incrementally build a validated :class:`Model`."""
+
+    def __init__(self, name: str, default_dtype: DataType = DataType.F32) -> None:
+        self._model = Model(name)
+        self.default_dtype = default_dtype
+
+    # ------------------------------------------------------------------
+    # Generic actor creation
+    # ------------------------------------------------------------------
+    def add_actor(
+        self,
+        type_name: str,
+        name: str,
+        *inputs: ActorRef,
+        dtype: Optional[DataType] = None,
+        **params: Any,
+    ) -> ActorRef:
+        """Create an actor, inferring dtype/shape from ``inputs`` when omitted.
+
+        Positional ``inputs`` are wired to the actor's input ports in
+        declaration order.
+        """
+        if dtype is None:
+            dtype = inputs[0].actor.output(inputs[0].port).dtype if inputs else self.default_dtype
+        if "shape" in params:
+            params["shape"] = _as_shape(params["shape"])
+        elif inputs:
+            params["shape"] = inputs[0].actor.output(inputs[0].port).shape
+        actor = create_actor(name, type_name, dtype, params)
+        self._model.add_actor(actor)
+        in_ports = actor.inputs
+        if len(inputs) > len(in_ports):
+            raise ModelError(
+                f"actor {name!r} ({type_name}) has {len(in_ports)} input port(s), "
+                f"got {len(inputs)} argument(s)"
+            )
+        for ref, port in zip(inputs, in_ports):
+            self._model.connect(ref.actor.name, ref.port, name, port.name)
+        return ActorRef(actor)
+
+    def connect(self, src: ActorRef, dst: ActorRef, dst_port: str) -> None:
+        """Wire an extra connection, e.g. a Switch control input."""
+        self._model.connect(src.actor.name, src.port, dst.actor.name, dst_port)
+
+    # ------------------------------------------------------------------
+    # Shorthand constructors for common types
+    # ------------------------------------------------------------------
+    def inport(self, name: str, shape: Optional[ShapeLike] = None,
+               dtype: Optional[DataType] = None) -> ActorRef:
+        return self.add_actor("Inport", name, dtype=dtype, shape=_as_shape(shape))
+
+    def outport(self, name: str, src: ActorRef) -> ActorRef:
+        port = src.actor.output(src.port)
+        ref = self.add_actor("Outport", name, dtype=port.dtype, shape=port.shape)
+        self._model.connect(src.actor.name, src.port, name, "in1")
+        return ref
+
+    def const(self, name: str, value: Any, dtype: Optional[DataType] = None) -> ActorRef:
+        return self.add_actor("Const", name, dtype=dtype, value=value)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> Model:
+        if validate:
+            self._model.validate()
+        return self._model
+
+    @property
+    def model(self) -> Model:
+        """The model under construction (not yet validated)."""
+        return self._model

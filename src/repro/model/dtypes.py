@@ -1,0 +1,17 @@
+"""Compatibility re-export; the canonical module is :mod:`repro.dtypes`."""
+
+from repro.dtypes import (  # noqa: F401
+    DataType,
+    FLOAT_TYPES,
+    INTEGER_TYPES,
+    SIGNED_INTEGER_TYPES,
+    c_type_name,
+)
+
+__all__ = [
+    "DataType",
+    "FLOAT_TYPES",
+    "INTEGER_TYPES",
+    "SIGNED_INTEGER_TYPES",
+    "c_type_name",
+]

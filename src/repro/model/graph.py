@@ -1,0 +1,191 @@
+"""The model graph: actors wired together by typed connections."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConnectionError_, ModelError
+from repro.model.actor import Actor
+from repro.model.actor_defs import ActorKind, actor_def
+
+
+@dataclasses.dataclass(frozen=True)
+class Connection:
+    """A directed wire from an output port to an input port."""
+
+    src_actor: str
+    src_port: str
+    dst_actor: str
+    dst_port: str
+
+    def __str__(self) -> str:
+        return f"{self.src_actor}.{self.src_port} -> {self.dst_actor}.{self.dst_port}"
+
+
+class Model:
+    """A Simulink-like dataflow model.
+
+    A model is a set of named :class:`Actor` instances plus connections.
+    Each actor input port must be driven by exactly one output port;
+    output ports may fan out to any number of inputs.  ``validate()``
+    checks structural integrity and type/shape agreement; the code
+    generators require a validated model.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._actors: Dict[str, Actor] = {}
+        self._connections: List[Connection] = []
+        # dst (actor, port) -> Connection; an input has a single driver.
+        self._driver: Dict[Tuple[str, str], Connection] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_actor(self, actor: Actor) -> Actor:
+        if actor.name in self._actors:
+            raise ModelError(f"model {self.name!r} already contains an actor named {actor.name!r}")
+        self._actors[actor.name] = actor
+        return actor
+
+    def connect(self, src_actor: str, src_port: str, dst_actor: str, dst_port: str) -> Connection:
+        src = self.actor(src_actor).output(src_port)
+        dst = self.actor(dst_actor).input(dst_port)
+        key = (dst_actor, dst_port)
+        if key in self._driver:
+            raise ConnectionError_(
+                f"input {dst_actor}.{dst_port} already driven by {self._driver[key]}"
+            )
+        if src.dtype is not dst.dtype:
+            raise ConnectionError_(
+                f"dtype mismatch on {src_actor}.{src_port} -> {dst_actor}.{dst_port}: "
+                f"{src.dtype} vs {dst.dtype}"
+            )
+        if src.shape != dst.shape:
+            raise ConnectionError_(
+                f"shape mismatch on {src_actor}.{src_port} -> {dst_actor}.{dst_port}: "
+                f"{src.shape} vs {dst.shape}"
+            )
+        connection = Connection(src_actor, src_port, dst_actor, dst_port)
+        self._connections.append(connection)
+        self._driver[key] = connection
+        return connection
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def actor(self, name: str) -> Actor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise ModelError(f"model {self.name!r} has no actor named {name!r}") from None
+
+    @property
+    def actors(self) -> Tuple[Actor, ...]:
+        """Actors in insertion order."""
+        return tuple(self._actors.values())
+
+    @property
+    def connections(self) -> Tuple[Connection, ...]:
+        return tuple(self._connections)
+
+    def driver_of(self, dst_actor: str, dst_port: str) -> Optional[Connection]:
+        """The connection driving an input port, or None if undriven."""
+        return self._driver.get((dst_actor, dst_port))
+
+    def consumers_of(self, src_actor: str, src_port: str) -> Tuple[Connection, ...]:
+        """All connections fanning out from an output port."""
+        return tuple(
+            c for c in self._connections
+            if c.src_actor == src_actor and c.src_port == src_port
+        )
+
+    def predecessors(self, actor_name: str) -> Tuple[str, ...]:
+        """Names of actors feeding ``actor_name``, one per driven input."""
+        actor = self.actor(actor_name)
+        preds = []
+        for port in actor.inputs:
+            connection = self._driver.get((actor_name, port.name))
+            if connection is not None:
+                preds.append(connection.src_actor)
+        return tuple(preds)
+
+    def successors(self, actor_name: str) -> Tuple[str, ...]:
+        """Names of actors consuming any output of ``actor_name``."""
+        seen = []
+        for connection in self._connections:
+            if connection.src_actor == actor_name and connection.dst_actor not in seen:
+                seen.append(connection.dst_actor)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Filtered views
+    # ------------------------------------------------------------------
+    def actors_of_kind(self, kind: ActorKind) -> Tuple[Actor, ...]:
+        return tuple(a for a in self.actors if actor_def(a.actor_type).kind is kind)
+
+    @property
+    def inports(self) -> Tuple[Actor, ...]:
+        return tuple(a for a in self.actors if a.actor_type == "Inport")
+
+    @property
+    def outports(self) -> Tuple[Actor, ...]:
+        return tuple(a for a in self.actors if a.actor_type == "Outport")
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ModelError` if the model is structurally invalid."""
+        if not self._actors:
+            raise ModelError(f"model {self.name!r} is empty")
+        for actor in self.actors:
+            actor_def(actor.actor_type)  # raises on unknown types
+            for port in actor.inputs:
+                if (actor.name, port.name) not in self._driver:
+                    raise ModelError(
+                        f"input {actor.name}.{port.name} is not driven by any connection"
+                    )
+        self._check_no_zero_delay_cycle()
+
+    def _check_no_zero_delay_cycle(self) -> None:
+        """Detect algebraic loops: cycles not broken by a UnitDelay."""
+        # Edges that create a same-step dependency: every connection whose
+        # destination is not a UnitDelay input (a delay reads old state).
+        adjacency: Dict[str, List[str]] = {name: [] for name in self._actors}
+        for connection in self._connections:
+            dst = self._actors[connection.dst_actor]
+            if dst.actor_type == "UnitDelay":
+                continue
+            adjacency[connection.src_actor].append(connection.dst_actor)
+
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self._actors}
+
+        def visit(start: str) -> None:
+            stack = [(start, iter(adjacency[start]))]
+            color[start] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if color[nxt] == GRAY:
+                        raise ModelError(
+                            f"model {self.name!r} contains an algebraic loop through {nxt!r}"
+                        )
+                    if color[nxt] == WHITE:
+                        color[nxt] = GRAY
+                        stack.append((nxt, iter(adjacency[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+
+        for name in self._actors:
+            if color[name] == WHITE:
+                visit(name)
+
+    def __repr__(self) -> str:
+        return f"Model({self.name!r}, actors={len(self._actors)}, connections={len(self._connections)})"

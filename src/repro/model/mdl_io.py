@@ -1,0 +1,409 @@
+"""Reader for a subset of the classic Simulink ``.mdl`` text format.
+
+Before ``.slx`` (a zip of XML), Simulink stored models as a plain-text
+nested-brace format::
+
+    Model {
+      Name    "fir"
+      System {
+        Block {
+          BlockType  Inport
+          Name       "x"
+          Port       "1"
+        }
+        Block {
+          BlockType  Product
+          Name       "weighted"
+          Inputs     "2"
+        }
+        Line {
+          SrcBlock   "x"
+          SrcPort    1
+          DstBlock   "weighted"
+          DstPort    1
+        }
+      }
+    }
+
+This module parses that structure (tokenizer + recursive-descent over
+``Key { ... }`` sections and ``Key value`` fields, including repeated
+keys and ``Branch`` fan-outs) and converts a practical subset of block
+types into a :class:`repro.model.graph.Model`:
+
+====================  =======================================
+.mdl BlockType        repro actor type
+====================  =======================================
+``Inport``            ``Inport``
+``Outport``           ``Outport``
+``Constant``          ``Const`` (``Value`` parameter)
+``Gain``              ``Gain`` (``Gain`` parameter)
+``UnitDelay``         ``UnitDelay`` (``X0`` initial state)
+``Sum``               ``Add`` / ``Sub`` (from the ``Inputs`` signs)
+``Product``           ``Mul`` / ``Div`` (from the ``Inputs`` signs)
+``MinMax``            ``Min`` / ``Max`` (``Function`` parameter)
+``Abs``               ``Abs``
+``Sqrt``              ``Sqrt``
+``Math`` reciprocal   ``Recp``
+``Switch``            ``Switch`` (``Threshold`` parameter)
+``Selector``          ``Slice``
+====================  =======================================
+
+Because ``.mdl`` blocks carry no port dtype/width, the caller supplies
+the model-wide ``dtype`` and the width of each Inport (or one default
+width); widths then propagate through the elementwise blocks.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.dtypes import DataType
+from repro.errors import ModelParseError
+from repro.model.actor_defs import create_actor
+from repro.model.graph import Model
+
+PathLike = Union[str, Path]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<lbrace>\{) |
+        (?P<rbrace>\}) |
+        (?P<string>"(?:[^"\\]|\\.)*") |
+        (?P<word>[^\s{}"]+)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class MdlNode:
+    """One ``Key { ... }`` section: fields plus child sections."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.fields: Dict[str, str] = {}
+        self.children: List["MdlNode"] = []
+
+    def child(self, kind: str) -> Optional["MdlNode"]:
+        for node in self.children:
+            if node.kind == kind:
+                return node
+        return None
+
+    def all(self, kind: str) -> List["MdlNode"]:
+        return [node for node in self.children if node.kind == kind]
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MdlNode({self.kind!r}, fields={list(self.fields)}, children={len(self.children)})"
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0]
+        while stripped:
+            match = _TOKEN_RE.match(stripped)
+            if match is None or not match.group(0).strip():
+                break
+            if match.group("string") is not None:
+                tokens.append(match.group("string"))
+            elif match.group("word") is not None:
+                tokens.append(match.group("word"))
+            elif match.group("lbrace"):
+                tokens.append("{")
+            else:
+                tokens.append("}")
+            stripped = stripped[match.end():]
+    return tokens
+
+
+def _unquote(token: str) -> str:
+    if token.startswith('"') and token.endswith('"'):
+        return token[1:-1].replace('\\"', '"')
+    return token
+
+
+def parse_mdl(text: str) -> MdlNode:
+    """Parse ``.mdl`` text into a tree of :class:`MdlNode`."""
+    tokens = _tokenize(text)
+    root = MdlNode("__root__")
+    stack = [root]
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token == "}":
+            if len(stack) == 1:
+                raise ModelParseError("unbalanced '}' in .mdl input")
+            stack.pop()
+            index += 1
+            continue
+        if index + 1 < len(tokens) and tokens[index + 1] == "{":
+            node = MdlNode(token)
+            stack[-1].children.append(node)
+            stack.append(node)
+            index += 2
+            continue
+        if index + 1 >= len(tokens):
+            raise ModelParseError(f"dangling key {token!r} at end of .mdl input")
+        key, value = token, tokens[index + 1]
+        if value in ("{", "}"):
+            raise ModelParseError(f"key {key!r} has no value")
+        stack[-1].fields[key] = _unquote(value)
+        index += 2
+    if len(stack) != 1:
+        raise ModelParseError("unbalanced '{' in .mdl input: missing closers")
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Block conversion
+# ---------------------------------------------------------------------------
+
+def _parse_value_list(text: str) -> Any:
+    """Parse a Simulink value string: scalar or ``[a b c]`` / ``[a,b,c]``."""
+    cleaned = text.strip()
+    if cleaned.startswith("[") and cleaned.endswith("]"):
+        items = [v for v in re.split(r"[\s,;]+", cleaned[1:-1].strip()) if v]
+        return [float(v) for v in items]
+    try:
+        return float(cleaned)
+    except ValueError:
+        raise ModelParseError(f"cannot parse Constant value {text!r}") from None
+
+
+def _signs(inputs_field: Optional[str], default_arity: int = 2) -> str:
+    """Normalise a Sum/Product ``Inputs`` field to a sign string."""
+    if inputs_field is None:
+        return "+" * default_arity
+    cleaned = inputs_field.strip()
+    if cleaned.isdigit():
+        return "+" * int(cleaned)
+    return "".join(ch for ch in cleaned if ch in "+-*/")
+
+
+class _MdlConverter:
+    def __init__(
+        self,
+        system: MdlNode,
+        name: str,
+        dtype: DataType,
+        port_widths: Mapping[str, int],
+        default_width: int,
+    ) -> None:
+        self.system = system
+        self.model = Model(name)
+        self.dtype = dtype
+        self.port_widths = dict(port_widths)
+        self.default_width = default_width
+        #: block name -> width of its (first) output
+        self.widths: Dict[str, int] = {}
+        self._pending: List[MdlNode] = []
+
+    # --------------------------------------------------------------
+    def convert(self) -> Model:
+        blocks = self.system.all("Block")
+        lines = self.system.all("Line")
+        by_name = {block.get("Name", ""): block for block in blocks}
+        incoming = self._wires(lines)
+
+        # Convert in dependency order so widths propagate.  UnitDelay
+        # blocks break feedback cycles: when propagation stalls, a stuck
+        # delay takes its width from the resolved signals around it.
+        remaining = list(blocks)
+        while remaining:
+            progress = False
+            for block in list(remaining):
+                name = block.get("Name", "")
+                sources = [src for src, _sp, _dp in incoming.get(name, [])]
+                if all(src in self.widths for src in sources) or not sources:
+                    self._convert_block(block, incoming)
+                    remaining.remove(block)
+                    progress = True
+            if progress:
+                continue
+            delay = next(
+                (b for b in remaining if b.get("BlockType") == "UnitDelay"), None
+            )
+            if delay is None:
+                stuck = [b.get("Name") for b in remaining]
+                raise ModelParseError(f".mdl blocks form a same-step cycle: {stuck}")
+            self._convert_block(
+                delay, incoming, forced_width=self._neighbour_width(delay, incoming)
+            )
+            remaining.remove(delay)
+
+        for dst, wires in incoming.items():
+            dst_block = by_name.get(dst)
+            if dst_block is None:
+                raise ModelParseError(f"Line references unknown DstBlock {dst!r}")
+            for src, src_port, dst_port in wires:
+                self.model.connect(
+                    src, "out", dst, self._input_port_name(dst_block, dst_port)
+                )
+        self.model.validate()
+        return self.model
+
+    # --------------------------------------------------------------
+    def _wires(self, lines: List[MdlNode]) -> Dict[str, List[Tuple[str, int, int]]]:
+        """dst block -> [(src block, src port, dst port)], branches included."""
+        incoming: Dict[str, List[Tuple[str, int, int]]] = {}
+
+        def record(src: str, src_port: int, node: MdlNode) -> None:
+            dst = node.get("DstBlock")
+            if dst is not None:
+                dst_port = int(node.get("DstPort", "1"))
+                incoming.setdefault(dst, []).append((src, src_port, dst_port))
+            for branch in node.all("Branch"):
+                record(src, src_port, branch)
+
+        for line in lines:
+            src = line.get("SrcBlock")
+            if src is None:
+                raise ModelParseError("Line without SrcBlock in .mdl input")
+            record(src, int(line.get("SrcPort", "1")), line)
+        return incoming
+
+    def _width_of_inputs(self, name: str, incoming) -> int:
+        sources = [src for src, _sp, _dp in incoming.get(name, [])]
+        widths = [self.widths[s] for s in sources if self.widths.get(s, 1) > 1]
+        return max(widths, default=self.default_width if not sources else 1)
+
+    def _neighbour_width(self, block: MdlNode, incoming) -> int:
+        """Width guess for a feedback UnitDelay: the widest resolved
+        signal feeding any block this delay shares a consumer with."""
+        name = block.get("Name", "")
+        candidates = []
+        for dst, wires in incoming.items():
+            if any(src == name for src, _sp, _dp in wires):
+                for src, _sp, _dp in wires:
+                    if src in self.widths:
+                        candidates.append(self.widths[src])
+        return max(candidates, default=self.default_width)
+
+    def _input_port_name(self, block: MdlNode, dst_port: int) -> str:
+        if block.get("BlockType") == "Switch":
+            return {1: "in1", 2: "ctrl", 3: "in2"}[dst_port]
+        return f"in{dst_port}"
+
+    # --------------------------------------------------------------
+    def _convert_block(
+        self, block: MdlNode, incoming, forced_width: Optional[int] = None
+    ) -> None:
+        block_type = block.get("BlockType")
+        name = block.get("Name")
+        if not block_type or not name:
+            raise ModelParseError("Block requires BlockType and Name")
+        width = forced_width if forced_width is not None \
+            else self._width_of_inputs(name, incoming)
+        shape = (width,) if width > 1 else ()
+
+        def add(actor_type: str, **params: Any) -> None:
+            actor = create_actor(name, actor_type, self.dtype, params)
+            self.model.add_actor(actor)
+            outs = actor.outputs
+            self.widths[name] = outs[0].width if outs else 0
+
+        if block_type == "Inport":
+            in_width = self.port_widths.get(name, self.default_width)
+            add("Inport", shape=(in_width,) if in_width > 1 else ())
+        elif block_type == "Outport":
+            add("Outport", shape=shape)
+        elif block_type == "Constant":
+            value = _parse_value_list(block.get("Value", "0"))
+            if isinstance(value, float) and width > 1:
+                value = [value] * width
+            add("Const", value=value)
+        elif block_type == "Gain":
+            add("Gain", shape=shape, gain=float(block.get("Gain", "1")))
+        elif block_type == "UnitDelay":
+            add("UnitDelay", shape=shape, initial=float(block.get("X0", "0")))
+        elif block_type == "Sum":
+            signs = _signs(block.get("Inputs"))
+            if signs in ("++",):
+                add("Add", shape=shape)
+            elif signs in ("+-",):
+                add("Sub", shape=shape)
+            else:
+                raise ModelParseError(
+                    f"Sum block {name!r}: unsupported Inputs {block.get('Inputs')!r} "
+                    f"(two-input '++'/'+-' supported)"
+                )
+        elif block_type == "Product":
+            signs = _signs(block.get("Inputs"), default_arity=2)
+            if signs in ("**", "++"):
+                add("Mul", shape=shape)
+            elif signs == "*/":
+                add("Div", shape=shape)
+            else:
+                raise ModelParseError(
+                    f"Product block {name!r}: unsupported Inputs {block.get('Inputs')!r}"
+                )
+        elif block_type == "MinMax":
+            function = (block.get("Function") or "min").lower()
+            add("Min" if function == "min" else "Max", shape=shape)
+        elif block_type == "Abs":
+            add("Abs", shape=shape)
+        elif block_type == "Sqrt":
+            add("Sqrt", shape=shape)
+        elif block_type == "Math":
+            operator = (block.get("Operator") or "").lower()
+            if operator in ("reciprocal", "1/u"):
+                add("Recp", shape=shape)
+            else:
+                raise ModelParseError(f"Math block {name!r}: operator {operator!r} unsupported")
+        elif block_type == "Switch":
+            add("Switch", shape=shape, threshold=float(block.get("Threshold", "0")))
+        elif block_type == "Selector":
+            indices = block.get("Elements") or block.get("Indices") or "[1]"
+            values = _parse_value_list(indices)
+            if isinstance(values, float):
+                values = [values]
+            start = int(min(values)) - 1  # .mdl indices are 1-based
+            length = int(max(values)) - int(min(values)) + 1
+            add("Slice", shape=shape, offset=start, length=length)
+        else:
+            raise ModelParseError(
+                f"unsupported .mdl BlockType {block_type!r} (block {name!r})"
+            )
+
+
+def model_from_mdl(
+    text: str,
+    dtype: DataType = DataType.F64,
+    port_widths: Optional[Mapping[str, int]] = None,
+    default_width: int = 1,
+) -> Model:
+    """Convert ``.mdl`` text into a validated :class:`Model`."""
+    root = parse_mdl(text)
+    model_node = root.child("Model")
+    if model_node is None:
+        raise ModelParseError(".mdl input has no Model { } section")
+    system = model_node.child("System")
+    if system is None:
+        raise ModelParseError(".mdl Model has no System { } section")
+    name = model_node.get("Name") or system.get("Name") or "mdl_model"
+    converter = _MdlConverter(
+        system, name, dtype, port_widths or {}, default_width
+    )
+    return converter.convert()
+
+
+def read_mdl(
+    path: PathLike,
+    dtype: DataType = DataType.F64,
+    port_widths: Optional[Mapping[str, int]] = None,
+    default_width: int = 1,
+) -> Model:
+    """Read a classic Simulink ``.mdl`` file (supported subset)."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ModelParseError(f"cannot read {path}: {exc}") from None
+    return model_from_mdl(text, dtype, port_widths, default_width)

@@ -1,0 +1,125 @@
+"""Reference semantics: evaluate a model directly on numpy values.
+
+This evaluator defines *what a model means*.  Every code generator in
+the package is tested by checking that the program it emits — executed
+on the virtual machine — produces the same outputs as this evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.actor_defs import actor_def
+from repro.model.graph import Model
+from repro.schedule.scheduler import compute_schedule
+
+#: inport name -> value for one step
+StepInputs = Mapping[str, Any]
+#: outport name -> value for one step
+StepOutputs = Dict[str, np.ndarray]
+
+
+class ModelEvaluator:
+    """Stateful step-by-step evaluator for a validated model."""
+
+    def __init__(self, model: Model) -> None:
+        model.validate()
+        self.model = model
+        self.schedule = compute_schedule(model)
+        self._state: Dict[str, Dict[str, Any]] = {a.name: {} for a in model.actors}
+
+    def reset(self) -> None:
+        """Clear all actor state (UnitDelay contents, etc.)."""
+        for state in self._state.values():
+            state.clear()
+
+    def step(self, inputs: Optional[StepInputs] = None) -> StepOutputs:
+        """Evaluate one synchronous step of the model.
+
+        ``inputs`` maps inport names to values; missing inports default
+        to zeros.  Returns a dict of outport name -> produced value.
+        """
+        inputs = dict(inputs or {})
+        port_values: Dict[tuple, np.ndarray] = {}
+        outputs: StepOutputs = {}
+        delayed: List[str] = []
+
+        for actor_name in self.schedule.order:
+            actor = self.model.actor(actor_name)
+            defn = actor_def(actor.actor_type)
+            actor_inputs: Dict[str, np.ndarray] = {}
+
+            if actor.actor_type == "UnitDelay":
+                # Emit current state now; commit the new input at step end
+                # (the input may not be produced yet — delays break cycles).
+                port_values[(actor_name, "out")] = self._peek_delay(actor)
+                delayed.append(actor_name)
+                continue
+
+            if actor.actor_type == "Inport":
+                port = actor.output("out")
+                raw = inputs.pop(actor_name, None)
+                if raw is None:
+                    raw = np.zeros(port.shape or (), dtype=port.dtype.numpy_dtype)
+                value = np.asarray(raw, dtype=port.dtype.numpy_dtype)
+                if value.shape != (port.shape or ()):
+                    raise ModelError(
+                        f"inport {actor_name!r} expects shape {port.shape or ()}, "
+                        f"got {value.shape}"
+                    )
+                actor_inputs["__external__"] = value
+            else:
+                for port in actor.inputs:
+                    connection = self.model.driver_of(actor_name, port.name)
+                    assert connection is not None, "validated model has driven inputs"
+                    key = (connection.src_actor, connection.src_port)
+                    if key not in port_values:
+                        # Only delays may be read before firing: their
+                        # output is last step's state.
+                        src_actor = self.model.actor(connection.src_actor)
+                        if src_actor.actor_type != "UnitDelay":
+                            raise ModelError(
+                                f"schedule violation: {key} read before it was produced"
+                            )
+                        port_values[key] = self._peek_delay(src_actor)
+                    actor_inputs[port.name] = port_values[key]
+
+            result = defn.evaluate(actor, actor_inputs, self._state[actor_name])
+            if actor.actor_type == "Outport":
+                outputs[actor_name] = np.array(result["__sink__"], copy=True)
+            else:
+                for port_name, value in result.items():
+                    port_values[(actor_name, port_name)] = value
+
+        for actor_name in delayed:
+            actor = self.model.actor(actor_name)
+            connection = self.model.driver_of(actor_name, "in1")
+            assert connection is not None
+            new_value = port_values[(connection.src_actor, connection.src_port)]
+            self._state[actor_name]["value"] = np.array(new_value, copy=True)
+
+        return outputs
+
+    def _peek_delay(self, actor) -> np.ndarray:
+        """Current output of a UnitDelay without advancing its state."""
+        state = self._state[actor.name]
+        if "value" not in state:
+            port = actor.output("out")
+            initial = np.broadcast_to(
+                np.asarray(actor.params.get("initial", 0), dtype=port.dtype.numpy_dtype),
+                port.shape or (),
+            )
+            state["value"] = np.array(initial, copy=True)
+        return np.array(state["value"], copy=True)
+
+    def run(self, steps: Sequence[StepInputs]) -> List[StepOutputs]:
+        """Evaluate several steps in sequence, returning per-step outputs."""
+        return [self.step(s) for s in steps]
+
+
+def evaluate_model(model: Model, inputs: Optional[StepInputs] = None) -> StepOutputs:
+    """Evaluate a stateless model for a single step (convenience)."""
+    return ModelEvaluator(model).step(inputs)

@@ -1,0 +1,202 @@
+"""Read and write models as XML files.
+
+The paper's tool parses real Simulink ``.slx``/``.mdl`` files with Unzip
+and Tinyxml.  Those formats are proprietary, so this reproduction
+defines an equivalent open XML carrier for the same information —
+actors with types, dtypes and parameters, plus port-to-port connections:
+
+.. code-block:: xml
+
+    <model name="sample">
+      <actor name="a" type="Inport" dtype="i32">
+        <param name="shape" value="[4]"/>
+      </actor>
+      <actor name="s" type="Add" dtype="i32">
+        <param name="shape" value="[4]"/>
+      </actor>
+      <connection src="a.out" dst="s.in1"/>
+      ...
+    </model>
+
+Parameter values are JSON literals, so numbers, strings and (nested)
+lists round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.errors import ModelParseError
+from repro.model.actor_defs import create_actor
+from repro.dtypes import DataType
+from repro.model.graph import Model
+
+PathLike = Union[str, Path]
+
+
+def _param_to_text(value: Any) -> str:
+    if isinstance(value, DataType):
+        return json.dumps(value.value)
+    if isinstance(value, np.ndarray):
+        return json.dumps(value.tolist())
+    if isinstance(value, tuple):
+        return json.dumps(list(value))
+    if isinstance(value, (np.integer,)):
+        return json.dumps(int(value))
+    if isinstance(value, (np.floating,)):
+        return json.dumps(float(value))
+    return json.dumps(value)
+
+
+def _text_to_param(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelParseError(f"invalid parameter literal {text!r}: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+def model_to_element(model: Model) -> ET.Element:
+    """Serialise ``model`` into an XML element tree."""
+    root = ET.Element("model", {"name": model.name})
+    for actor in model.actors:
+        dtype = (actor.outputs or actor.inputs)[0].dtype
+        actor_el = ET.SubElement(
+            root, "actor", {"name": actor.name, "type": actor.actor_type, "dtype": dtype.value}
+        )
+        params = dict(actor.params)
+        # Reconstructable port shape: store the build-time shape parameter.
+        if "shape" not in params and actor.actor_type not in _SHAPELESS_TYPES:
+            primary = (actor.inputs or actor.outputs)[0]
+            params["shape"] = primary.shape
+        for key in sorted(params):
+            ET.SubElement(
+                actor_el, "param", {"name": key, "value": _param_to_text(params[key])}
+            )
+    for connection in model.connections:
+        ET.SubElement(
+            root,
+            "connection",
+            {
+                "src": f"{connection.src_actor}.{connection.src_port}",
+                "dst": f"{connection.dst_actor}.{connection.dst_port}",
+            },
+        )
+    return root
+
+
+#: Types whose ports are fully determined by their own parameters.
+_SHAPELESS_TYPES = frozenset(
+    {"Const", "FFT", "IFFT", "FFT2D", "IFFT2D", "DCT", "IDCT", "DCT2D",
+     "IDCT2D", "Conv", "Conv2D", "MatMul", "MatInv", "MatDet"}
+)
+
+
+def write_model(model: Model, path: PathLike) -> None:
+    """Write ``model`` to an XML file at ``path``."""
+    element = model_to_element(model)
+    _indent(element)
+    ET.ElementTree(element).write(str(path), encoding="unicode", xml_declaration=True)
+
+
+def model_to_string(model: Model) -> str:
+    element = model_to_element(model)
+    _indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def _indent(element: ET.Element, level: int = 0) -> None:
+    pad = "\n" + "  " * level
+    if len(element):
+        if not (element.text or "").strip():
+            element.text = pad + "  "
+        for child in element:
+            _indent(child, level + 1)
+            if not (child.tail or "").strip():
+                child.tail = pad + "  "
+        if not (element[-1].tail or "").strip():
+            element[-1].tail = pad
+    elif level and not (element.tail or "").strip():
+        element.tail = pad
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+def model_from_element(root: ET.Element) -> Model:
+    """Deserialise a model from an XML element tree."""
+    if root.tag != "model":
+        raise ModelParseError(f"expected <model> root element, got <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise ModelParseError("<model> element is missing a 'name' attribute")
+    model = Model(name)
+
+    for actor_el in root.findall("actor"):
+        actor_name = actor_el.get("name")
+        type_name = actor_el.get("type")
+        dtype_name = actor_el.get("dtype")
+        if not actor_name or not type_name or not dtype_name:
+            raise ModelParseError(
+                "<actor> elements require 'name', 'type' and 'dtype' attributes"
+            )
+        try:
+            dtype = DataType.from_name(dtype_name)
+        except ValueError as exc:
+            raise ModelParseError(str(exc)) from None
+        params: Dict[str, Any] = {}
+        for param_el in actor_el.findall("param"):
+            key = param_el.get("name")
+            raw = param_el.get("value")
+            if key is None or raw is None:
+                raise ModelParseError(
+                    f"actor {actor_name!r}: <param> requires 'name' and 'value'"
+                )
+            params[key] = _text_to_param(raw)
+        model.add_actor(create_actor(actor_name, type_name, dtype, params))
+
+    for conn_el in root.findall("connection"):
+        src = conn_el.get("src", "")
+        dst = conn_el.get("dst", "")
+        try:
+            src_actor, src_port = src.rsplit(".", 1)
+            dst_actor, dst_port = dst.rsplit(".", 1)
+        except ValueError:
+            raise ModelParseError(
+                f"connection endpoints must be 'actor.port', got src={src!r} dst={dst!r}"
+            ) from None
+        model.connect(src_actor, src_port, dst_actor, dst_port)
+
+    return model
+
+
+def read_model(path: PathLike) -> Model:
+    """Parse the model XML file at ``path``; the result is validated."""
+    try:
+        tree = ET.parse(str(path))
+    except ET.ParseError as exc:
+        raise ModelParseError(f"cannot parse {path}: {exc}") from None
+    except OSError as exc:
+        raise ModelParseError(f"cannot read {path}: {exc}") from None
+    model = model_from_element(tree.getroot())
+    model.validate()
+    return model
+
+
+def model_from_string(text: str) -> Model:
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ModelParseError(f"cannot parse model XML: {exc}") from None
+    model = model_from_element(root)
+    model.validate()
+    return model

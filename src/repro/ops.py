@@ -1,0 +1,204 @@
+"""Elementwise operation semantics shared by the whole system.
+
+The model reference evaluator, the instruction-set pattern graphs and the
+virtual machine all compute elementwise operations through this single
+table, so "the generated code computes the same thing as the model" holds
+by construction rather than by triplicated arithmetic.
+
+Semantics follow C on a typical embedded target:
+
+* integer add/sub/mul/shift-left wrap modulo 2^n;
+* integer division truncates toward zero, division by zero yields 0
+  (a defined stand-in for C's UB so programs stay comparable);
+* float division by zero yields ±inf (IEEE-754);
+* ``Shr`` is arithmetic for signed, logical for unsigned operands;
+* ``Abd`` (absolute difference) is ``max - min`` for integers (the NEON
+  ``vabd`` behaviour) and ``|a - b|`` for floats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtypes import DataType
+
+
+@dataclasses.dataclass(frozen=True)
+class OpInfo:
+    """Static description of one elementwise operation.
+
+    ``arity`` counts variable (tensor) operands only; operations such as
+    shifts additionally take a compile-time immediate (``needs_imm``).
+    """
+
+    name: str
+    arity: int
+    needs_imm: bool = False
+    int_only: bool = False
+    float_only: bool = False
+    commutative: bool = False
+    #: relative scalar-ALU weight used by cost models (1.0 = one add)
+    base_cost: float = 1.0
+
+    def supports(self, dtype: DataType) -> bool:
+        if self.int_only and not dtype.is_integer:
+            return False
+        if self.float_only and not dtype.is_float:
+            return False
+        return True
+
+
+def _wrap(dtype: DataType, value: np.ndarray) -> np.ndarray:
+    """Cast ``value`` back to ``dtype`` with C wrap-around semantics."""
+    return value.astype(dtype.numpy_dtype, copy=False)
+
+
+def _binop_wrapping(fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
+    def apply(dtype: DataType, args: Sequence[np.ndarray], imm: Optional[int]) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            return _wrap(dtype, fn(*args))
+
+    return apply
+
+
+def _apply_div(dtype: DataType, args: Sequence[np.ndarray], imm: Optional[int]) -> np.ndarray:
+    a, b = args
+    if dtype.is_float:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return _wrap(dtype, a / b)
+    # C integer division truncates toward zero; numpy's // floors.
+    zero = b == 0
+    safe_b = np.where(zero, np.ones_like(b), b)
+    wide = np.trunc(a.astype(np.float64) / safe_b.astype(np.float64))
+    out = wide.astype(dtype.numpy_dtype)
+    return np.where(zero, np.zeros_like(out), out)
+
+
+def _apply_shr(dtype: DataType, args: Sequence[np.ndarray], imm: Optional[int]) -> np.ndarray:
+    (a,) = args
+    assert imm is not None, "Shr requires an immediate shift amount"
+    return _wrap(dtype, a >> np.asarray(imm, dtype=a.dtype))
+
+
+def _apply_shl(dtype: DataType, args: Sequence[np.ndarray], imm: Optional[int]) -> np.ndarray:
+    (a,) = args
+    assert imm is not None, "Shl requires an immediate shift amount"
+    # Shift in the unsigned domain so sign bits wrap instead of raising.
+    unsigned = a.view(_unsigned_view(dtype)) if dtype.is_integer and dtype.is_signed else a
+    shifted = unsigned << np.asarray(imm, dtype=unsigned.dtype)
+    return shifted.view(dtype.numpy_dtype) if dtype.is_integer and dtype.is_signed else _wrap(dtype, shifted)
+
+
+def _unsigned_view(dtype: DataType) -> np.dtype:
+    return np.dtype(f"uint{dtype.bit_width}")
+
+
+def _apply_abd(dtype: DataType, args: Sequence[np.ndarray], imm: Optional[int]) -> np.ndarray:
+    a, b = args
+    if dtype.is_float:
+        return _wrap(dtype, np.abs(a - b))
+    return _wrap(dtype, np.maximum(a, b) - np.minimum(a, b))
+
+
+def _apply_recp(dtype: DataType, args: Sequence[np.ndarray], imm: Optional[int]) -> np.ndarray:
+    (a,) = args
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return _wrap(dtype, np.asarray(1.0, dtype=a.dtype) / a)
+
+
+def _apply_sqrt(dtype: DataType, args: Sequence[np.ndarray], imm: Optional[int]) -> np.ndarray:
+    (a,) = args
+    with np.errstate(invalid="ignore"):
+        return _wrap(dtype, np.sqrt(a))
+
+
+def _apply_cast(dtype: DataType, args: Sequence[np.ndarray], imm: Optional[int]) -> np.ndarray:
+    (a,) = args
+    return a.astype(dtype.numpy_dtype)
+
+
+_APPLY: Dict[str, Callable[[DataType, Sequence[np.ndarray], Optional[int]], np.ndarray]] = {
+    "Add": _binop_wrapping(np.add),
+    "Sub": _binop_wrapping(np.subtract),
+    "Mul": _binop_wrapping(np.multiply),
+    "Div": _apply_div,
+    "Shr": _apply_shr,
+    "Shl": _apply_shl,
+    "BitNot": _binop_wrapping(np.bitwise_not),
+    "BitAnd": _binop_wrapping(np.bitwise_and),
+    "BitOr": _binop_wrapping(np.bitwise_or),
+    "BitXor": _binop_wrapping(np.bitwise_xor),
+    "Min": _binop_wrapping(np.minimum),
+    "Max": _binop_wrapping(np.maximum),
+    "Abs": _binop_wrapping(np.abs),
+    "Abd": _apply_abd,
+    "Recp": _apply_recp,
+    "Sqrt": _apply_sqrt,
+    "Neg": _binop_wrapping(np.negative),
+    "Cast": _apply_cast,
+}
+
+#: Every elementwise op the system knows, keyed by name.  ``base_cost``
+#: is a scalar-ALU weight: division and square root are far slower than
+#: an add on both Cortex-A72 and Skylake.
+OPS: Dict[str, OpInfo] = {
+    info.name: info
+    for info in [
+        OpInfo("Add", 2, commutative=True, base_cost=1.0),
+        OpInfo("Sub", 2, base_cost=1.0),
+        OpInfo("Mul", 2, commutative=True, base_cost=3.0),
+        OpInfo("Div", 2, base_cost=18.0),
+        OpInfo("Shr", 1, needs_imm=True, int_only=True, base_cost=1.0),
+        OpInfo("Shl", 1, needs_imm=True, int_only=True, base_cost=1.0),
+        OpInfo("BitNot", 1, int_only=True, base_cost=1.0),
+        OpInfo("BitAnd", 2, int_only=True, commutative=True, base_cost=1.0),
+        OpInfo("BitOr", 2, int_only=True, commutative=True, base_cost=1.0),
+        OpInfo("BitXor", 2, int_only=True, commutative=True, base_cost=1.0),
+        OpInfo("Min", 2, commutative=True, base_cost=1.5),
+        OpInfo("Max", 2, commutative=True, base_cost=1.5),
+        OpInfo("Abs", 1, base_cost=1.5),
+        OpInfo("Abd", 2, base_cost=2.5),
+        OpInfo("Recp", 1, float_only=True, base_cost=14.0),
+        OpInfo("Sqrt", 1, float_only=True, base_cost=16.0),
+        OpInfo("Neg", 1, base_cost=1.0),
+        OpInfo("Cast", 1, base_cost=1.0),
+    ]
+}
+
+
+def op_info(name: str) -> OpInfo:
+    """Look up an op, raising ``KeyError`` with the valid names on a miss."""
+    try:
+        return OPS[name]
+    except KeyError:
+        raise KeyError(f"unknown elementwise op {name!r}; known ops: {sorted(OPS)}") from None
+
+
+def apply_op(
+    name: str,
+    dtype: DataType,
+    args: Sequence[np.ndarray],
+    imm: Optional[int] = None,
+) -> np.ndarray:
+    """Apply op ``name`` elementwise with C-on-embedded semantics.
+
+    ``args`` are numpy arrays already of ``dtype`` (except for ``Cast``,
+    whose argument may be any type and is converted *to* ``dtype``).
+    """
+    info = op_info(name)
+    if len(args) != info.arity:
+        raise ValueError(f"op {name} expects {info.arity} operand(s), got {len(args)}")
+    if not info.supports(dtype):
+        raise ValueError(f"op {name} does not support dtype {dtype}")
+    if info.needs_imm and imm is None:
+        raise ValueError(f"op {name} requires an immediate operand")
+    arrays = [np.asarray(a) for a in args]
+    return _APPLY[name](dtype, arrays, imm)
+
+
+def scalar_op_names() -> Tuple[str, ...]:
+    """All op names, in a stable order (used by hypothesis strategies)."""
+    return tuple(sorted(OPS))

@@ -1,0 +1,5 @@
+"""Schedule analysis for Simulink-like models."""
+
+from repro.schedule.scheduler import Schedule, compute_schedule
+
+__all__ = ["Schedule", "compute_schedule"]

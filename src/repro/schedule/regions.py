@@ -1,0 +1,93 @@
+"""Branch-region analysis (the DFSynth substrate).
+
+DFSynth's contribution is well-structured control flow: actors whose
+results are only needed on one side of a ``Switch`` are computed inside
+that branch, not unconditionally.  This module finds, for each Switch
+data input, the set of elementwise actors that *exclusively* feed it —
+every consumer path from the actor ends at that one Switch port (or at
+another member of the region).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from repro.model.actor_defs import ActorKind, actor_def
+from repro.model.graph import Model
+
+#: actor types that may move into a branch (pure, bufferless compute;
+#: Switches may nest, giving structured nested control flow)
+_MOVABLE_KINDS = (ActorKind.ELEMENTWISE,)
+_MOVABLE_EXTRA = frozenset({"Gain", "Switch"})
+
+
+@dataclasses.dataclass(frozen=True)
+class BranchRegion:
+    """Actors computed only when one side of a Switch is taken."""
+
+    switch: str
+    port: str                 # "in1" (then) or "in2" (else)
+    members: Tuple[str, ...]  # in schedule-compatible (model) order
+
+
+def _movable(model: Model, actor_name: str) -> bool:
+    actor = model.actor(actor_name)
+    defn = actor_def(actor.actor_type)
+    return defn.kind in _MOVABLE_KINDS or actor.actor_type in _MOVABLE_EXTRA
+
+
+def find_branch_regions(model: Model) -> List[BranchRegion]:
+    """All single-level exclusive branch regions in the model.
+
+    An actor joins the region of ``switch.port`` when every one of its
+    output connections goes either to that port or to another region
+    member.  Actors feeding both sides (or anything else) stay outside.
+    Regions of different switches are disjoint by construction: an actor
+    exclusively feeding two different switches is impossible.
+    """
+    regions: List[BranchRegion] = []
+    claimed: Set[str] = set()
+
+    # Model order processes upstream (inner) switches first: an inner
+    # switch claims its exclusive feeders, then a downstream switch may
+    # claim the inner switch itself — giving nested structured code.
+    for actor in model.actors:
+        if actor.actor_type != "Switch":
+            continue
+        for port in ("in1", "in2"):
+            members: Set[str] = set()
+            changed = True
+            while changed:
+                changed = False
+                for candidate in model.actors:
+                    name = candidate.name
+                    if name in members or name in claimed or not _movable(model, name):
+                        continue
+                    outgoing = [
+                        c for c in model.connections if c.src_actor == name
+                    ]
+                    if not outgoing:
+                        continue
+                    ok = all(
+                        (c.dst_actor == actor.name and c.dst_port == port)
+                        or c.dst_actor in members
+                        for c in outgoing
+                    )
+                    if ok:
+                        members.add(name)
+                        changed = True
+            if members:
+                order = [a.name for a in model.actors if a.name in members]
+                regions.append(BranchRegion(actor.name, port, tuple(order)))
+                claimed.update(members)
+    return regions
+
+
+def region_membership(regions: List[BranchRegion]) -> Dict[str, BranchRegion]:
+    """Map actor name -> its (unique) region."""
+    membership: Dict[str, BranchRegion] = {}
+    for region in regions:
+        for name in region.members:
+            membership[name] = region
+    return membership

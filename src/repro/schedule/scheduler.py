@@ -1,0 +1,79 @@
+"""Schedule analysis: a deterministic topological execution order.
+
+This is step ② of the generic code-generation pipeline the paper
+describes (model parse → schedule analysis → code synthesis → code
+composition).  All three generators share it.
+
+``UnitDelay`` actors break same-step dependencies: their output is the
+*previous* step's input, so within one step they behave as sources and
+their state update is deferred to the end of the step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.errors import ScheduleError
+from repro.model.graph import Model
+
+
+@dataclasses.dataclass(frozen=True)
+class Schedule:
+    """The execution order for one step of the model.
+
+    ``order`` lists every actor exactly once in a valid same-step
+    topological order; ``state_updates`` lists the stateful actors whose
+    state must be committed after all fire code has run.
+    """
+
+    order: Tuple[str, ...]
+    state_updates: Tuple[str, ...]
+
+    def position(self, actor_name: str) -> int:
+        """Index of an actor in the firing order."""
+        return self.order.index(actor_name)
+
+
+def compute_schedule(model: Model) -> Schedule:
+    """Compute a deterministic topological schedule for ``model``.
+
+    Kahn's algorithm with insertion-order tie-breaking, so the schedule —
+    and therefore all generated code — is stable across runs.
+    """
+    names = [a.name for a in model.actors]
+    indegree: Dict[str, int] = {n: 0 for n in names}
+    adjacency: Dict[str, List[str]] = {n: [] for n in names}
+
+    for connection in model.connections:
+        dst = model.actor(connection.dst_actor)
+        if dst.actor_type == "UnitDelay":
+            continue  # delay input is consumed at end of step
+        adjacency[connection.src_actor].append(connection.dst_actor)
+        indegree[connection.dst_actor] += 1
+
+    # Insertion-order priority queue: scan ``names`` for ready actors.
+    ready = [n for n in names if indegree[n] == 0]
+    order: List[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        freed = []
+        for nxt in adjacency[node]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                freed.append(nxt)
+        # Keep deterministic order: newly freed actors sorted by insertion.
+        ready.extend(sorted(freed, key=names.index))
+        ready.sort(key=names.index)
+
+    if len(order) != len(names):
+        stuck = sorted(set(names) - set(order))
+        raise ScheduleError(
+            f"model {model.name!r} has no valid schedule; actors in a cycle: {stuck}"
+        )
+
+    state_updates = tuple(
+        a.name for a in model.actors if a.actor_type == "UnitDelay"
+    )
+    return Schedule(order=tuple(order), state_updates=state_updates)

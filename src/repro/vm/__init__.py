@@ -1,0 +1,13 @@
+"""Virtual machine: execute generated programs under a cost model."""
+
+from repro.vm.machine import ExecutionResult, Machine, run_program
+from repro.vm.profile import compare_report, event_histogram, profile_report
+
+__all__ = [
+    "ExecutionResult",
+    "Machine",
+    "compare_report",
+    "event_histogram",
+    "profile_report",
+    "run_program",
+]

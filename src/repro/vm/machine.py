@@ -1,0 +1,340 @@
+"""The virtual machine: executes IR programs and accounts cycles.
+
+The VM is the reproduction's stand-in for running the generated C on a
+real board: it interprets the program over numpy storage (so outputs
+can be checked against the model's reference semantics bit-for-bit) and
+charges every operation to a :class:`~repro.arch.cost.CostBreakdown`
+according to the active architecture + compiler cost table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro import ops
+from repro.arch.arch import Architecture
+from repro.arch.cost import CostBreakdown, CostTable
+from repro.errors import VmError, VmTypeError
+from repro.ir.expr import Cmp, Const, Expr, Load, ScalarOp, Select, Var
+from repro.ir.program import Program
+from repro.ir.stmt import (
+    AssignVar,
+    Comment,
+    CopyBuffer,
+    For,
+    If,
+    KernelCall,
+    SimdBroadcast,
+    SimdLoad,
+    SimdOp,
+    SimdStore,
+    Stmt,
+    Store,
+)
+from repro.isa.spec import InstructionSet
+from repro.kernels.base import kernel_cycles
+from repro.kernels.library import CodeLibrary, default_library
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Outputs plus the cycle accounting of one program run."""
+
+    outputs: Dict[str, np.ndarray]
+    cost: CostBreakdown
+    #: raw modelled cycles (throughput factor applied)
+    cycles: float
+
+    def seconds(self, arch: Architecture, iterations: int = 1) -> float:
+        return arch.cycles_to_seconds(self.cycles, iterations)
+
+
+class Machine:
+    """Interprets one :class:`Program` for a given architecture."""
+
+    def __init__(
+        self,
+        program: Program,
+        arch: Architecture,
+        cost: Optional[CostTable] = None,
+        library: Optional[CodeLibrary] = None,
+        instruction_set: Optional[InstructionSet] = None,
+    ) -> None:
+        self.program = program
+        self.arch = arch
+        self.cost = cost if cost is not None else arch.cost
+        self.library = library if library is not None else default_library()
+        self.iset = instruction_set if instruction_set is not None else arch.instruction_set
+        # persistent storage (STATE buffers keep values across run() calls)
+        self.memory: Dict[str, np.ndarray] = {}
+        for decl in program.buffers:
+            data = np.zeros(decl.length, dtype=decl.dtype.numpy_dtype)
+            if decl.init is not None:
+                data[:] = np.asarray(decl.init, dtype=decl.dtype.numpy_dtype)
+            self.memory[decl.name] = data
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, inputs: Optional[Mapping[str, Any]] = None) -> ExecutionResult:
+        """Execute one step of the program."""
+        inputs = dict(inputs or {})
+        for decl in self.program.inputs:
+            if decl.name in inputs:
+                value = np.asarray(inputs.pop(decl.name), dtype=decl.dtype.numpy_dtype).ravel()
+                if value.size != decl.length:
+                    raise VmTypeError(
+                        f"input {decl.name!r}: expected {decl.length} elements, got {value.size}"
+                    )
+                self.memory[decl.name][:] = value
+        if inputs:
+            raise VmError(f"unknown input buffer(s): {sorted(inputs)}")
+
+        breakdown = CostBreakdown()
+        scalars: Dict[str, Any] = {}
+        vectors: Dict[str, np.ndarray] = {}
+        self._vector_written: set = set()
+        self._exec_block(self.program.body, scalars, vectors, breakdown)
+
+        outputs = {
+            decl.name: np.array(self.memory[decl.name].reshape(decl.shape or (decl.length,)), copy=True)
+            if decl.shape
+            else np.array(self.memory[decl.name], copy=True)
+            for decl in self.program.outputs
+        }
+        return ExecutionResult(
+            outputs=outputs,
+            cost=breakdown,
+            cycles=self.cost.scaled(breakdown.total),
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _eval(self, expr: Expr, scalars: Dict[str, Any], breakdown: CostBreakdown) -> Any:
+        if isinstance(expr, Const):
+            return np.asarray(expr.value, dtype=expr.dtype.numpy_dtype)[()]
+        if isinstance(expr, Var):
+            try:
+                return scalars[expr.name]
+            except KeyError:
+                raise VmError(f"read of undefined scalar {expr.name!r}") from None
+        if isinstance(expr, Load):
+            index = int(self._eval(expr.index, scalars, breakdown))
+            buffer = self._buffer(expr.buffer)
+            if not 0 <= index < buffer.size:
+                raise VmError(f"load out of bounds: {expr.buffer}[{index}] (size {buffer.size})")
+            breakdown.charge("scalar_mem", self.cost.scalar_load, "load")
+            return buffer[index]
+        if isinstance(expr, ScalarOp):
+            args = [self._eval(a, scalars, breakdown) for a in expr.args]
+            breakdown.charge("scalar_ops", self.cost.scalar_op(expr.op), f"op:{expr.op}")
+            arrays = [np.asarray(a) for a in args]
+            if expr.op != "Cast":
+                arrays = [a.astype(expr.dtype.numpy_dtype, copy=False) for a in arrays]
+            return ops.apply_op(expr.op, expr.dtype, arrays, expr.imm)[()]
+        if isinstance(expr, Cmp):
+            lhs = self._eval(expr.lhs, scalars, breakdown)
+            rhs = self._eval(expr.rhs, scalars, breakdown)
+            breakdown.charge("scalar_ops", self.cost.scalar_op("Add"), "cmp")
+            table = {
+                "<": lhs < rhs, "<=": lhs <= rhs, ">": lhs > rhs,
+                ">=": lhs >= rhs, "==": lhs == rhs, "!=": lhs != rhs,
+            }
+            return bool(table[expr.op])
+        if isinstance(expr, Select):
+            cond = self._eval(expr.cond, scalars, breakdown)
+            breakdown.charge("branch", self.cost.branch, "select")
+            # C ternary evaluates only the chosen side; the cost model
+            # charges the branch, and we evaluate lazily like hardware
+            # with a predicated select would.
+            chosen = expr.if_true if cond else expr.if_false
+            return self._eval(chosen, scalars, breakdown)
+        raise VmTypeError(f"cannot evaluate expression node {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _exec_block(
+        self,
+        block: Sequence[Stmt],
+        scalars: Dict[str, Any],
+        vectors: Dict[str, np.ndarray],
+        breakdown: CostBreakdown,
+    ) -> None:
+        for stmt in block:
+            self._exec(stmt, scalars, vectors, breakdown)
+
+    def _exec(
+        self,
+        stmt: Stmt,
+        scalars: Dict[str, Any],
+        vectors: Dict[str, np.ndarray],
+        breakdown: CostBreakdown,
+    ) -> None:
+        if isinstance(stmt, Comment):
+            return
+        if isinstance(stmt, AssignVar):
+            scalars[stmt.name] = np.asarray(
+                self._eval(stmt.expr, scalars, breakdown), dtype=stmt.dtype.numpy_dtype
+            )[()]
+            return
+        if isinstance(stmt, Store):
+            index = int(self._eval(stmt.index, scalars, breakdown))
+            value = self._eval(stmt.expr, scalars, breakdown)
+            buffer = self._buffer(stmt.buffer)
+            if not 0 <= index < buffer.size:
+                raise VmError(f"store out of bounds: {stmt.buffer}[{index}] (size {buffer.size})")
+            buffer[index] = value
+            breakdown.charge("scalar_mem", self.cost.scalar_store, "store")
+            return
+        if isinstance(stmt, For):
+            start = int(self._eval(stmt.start, scalars, breakdown))
+            stop = int(self._eval(stmt.stop, scalars, breakdown))
+            for i in range(start, stop, stmt.step):
+                scalars[stmt.var] = np.int32(i)
+                breakdown.charge("loop", self.cost.loop_overhead, "loop_iter")
+                self._exec_block(stmt.body, scalars, vectors, breakdown)
+            return
+        if isinstance(stmt, If):
+            cond = self._eval(stmt.cond, scalars, breakdown)
+            breakdown.charge("branch", self.cost.branch, "if")
+            self._exec_block(stmt.then_body if cond else stmt.else_body, scalars, vectors, breakdown)
+            return
+        if isinstance(stmt, SimdLoad):
+            index = int(self._eval(stmt.index, scalars, breakdown))
+            buffer = self._buffer(stmt.buffer)
+            if not (0 <= index and index + stmt.lanes <= buffer.size):
+                raise VmError(
+                    f"SIMD load out of bounds: {stmt.buffer}[{index}:{index + stmt.lanes}] "
+                    f"(size {buffer.size})"
+                )
+            vectors[stmt.dest] = np.array(buffer[index : index + stmt.lanes], copy=True)
+            cycles = self.cost.simd_load
+            if stmt.buffer in self._vector_written:
+                # store-to-load round trip through a freshly written buffer
+                cycles += self.cost.simd_reload_stall
+                breakdown.charge("simd_mem", 0.0, "vload_stall")
+            breakdown.charge("simd_mem", cycles, "vload")
+            return
+        if isinstance(stmt, SimdStore):
+            index = int(self._eval(stmt.index, scalars, breakdown))
+            buffer = self._buffer(stmt.buffer)
+            if not (0 <= index and index + stmt.lanes <= buffer.size):
+                raise VmError(
+                    f"SIMD store out of bounds: {stmt.buffer}[{index}:{index + stmt.lanes}] "
+                    f"(size {buffer.size})"
+                )
+            src = self._vector(vectors, stmt.src, stmt.lanes)
+            buffer[index : index + stmt.lanes] = src.astype(buffer.dtype, copy=False)
+            self._vector_written.add(stmt.buffer)
+            breakdown.charge("simd_mem", self.cost.simd_store, "vstore")
+            return
+        if isinstance(stmt, SimdBroadcast):
+            value = self._eval(stmt.scalar, scalars, breakdown)
+            vectors[stmt.dest] = np.full(stmt.lanes, value, dtype=stmt.dtype.numpy_dtype)
+            breakdown.charge("simd_ops", self.cost.simd_broadcast, "vdup")
+            return
+        if isinstance(stmt, SimdOp):
+            spec = self.iset.by_name(stmt.instruction)
+            named = {
+                token: self._vector(vectors, arg, spec.lanes)
+                for token, arg in zip(spec.input_tokens, stmt.args)
+            }
+            if len(stmt.args) != spec.n_inputs:
+                raise VmError(
+                    f"instruction {stmt.instruction}: expected {spec.n_inputs} args, "
+                    f"got {len(stmt.args)}"
+                )
+            vectors[stmt.dest] = spec.evaluate(named, imm=stmt.imm)
+            breakdown.charge("simd_ops", self.cost.simd_op(spec), f"vop:{stmt.instruction}")
+            return
+        if isinstance(stmt, KernelCall):
+            self._exec_kernel(stmt, breakdown)
+            return
+        if isinstance(stmt, CopyBuffer):
+            dst_off = int(self._eval(stmt.dst_offset, scalars, breakdown))
+            src_off = int(self._eval(stmt.src_offset, scalars, breakdown))
+            dst = self._buffer(stmt.dst)
+            src = self._buffer(stmt.src)
+            dst[dst_off : dst_off + stmt.count] = src[src_off : src_off + stmt.count].astype(
+                dst.dtype, copy=False
+            )
+            # memcpy moves cache lines, not scalar elements
+            breakdown.charge(
+                "scalar_mem",
+                stmt.count * (self.cost.scalar_load + self.cost.scalar_store) * 0.25,
+                "memcpy",
+            )
+            return
+        raise VmTypeError(f"cannot execute statement node {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    def _exec_kernel(self, stmt: KernelCall, breakdown: CostBreakdown) -> None:
+        params = stmt.params_dict()
+        kernel = self.library.by_id(stmt.kernel_id)
+        in_shapes = params.get("in_shapes")
+        out_shapes = params.get("out_shapes")
+        inputs: List[np.ndarray] = []
+        for position, name in enumerate(stmt.inputs):
+            flat = np.array(self._buffer(name), copy=True)
+            if in_shapes is not None:
+                shape = tuple(in_shapes[position])
+                count = int(np.prod(shape))
+                # shared (capacity-sized) buffers: the kernel sees the
+                # logical prefix, exactly like a C pointer would
+                flat = flat[:count].reshape(shape)
+            inputs.append(flat)
+        decl = self.program.buffer(stmt.inputs[0]) if stmt.inputs else self.program.buffer(stmt.outputs[0])
+        run = kernel.run(inputs, params, decl.dtype)
+        if len(run.outputs) != len(stmt.outputs):
+            raise VmError(
+                f"kernel {stmt.kernel_id}: produced {len(run.outputs)} outputs, "
+                f"statement expects {len(stmt.outputs)}"
+            )
+        for position, name in enumerate(stmt.outputs):
+            buffer = self._buffer(name)
+            flat = np.asarray(run.outputs[position]).ravel()
+            if flat.size > buffer.size:
+                raise VmError(
+                    f"kernel {stmt.kernel_id}: output {position} has {flat.size} elements, "
+                    f"buffer {name!r} holds only {buffer.size}"
+                )
+            buffer[: flat.size] = flat.astype(buffer.dtype, copy=False)
+        lanes = self.iset.lanes_for(decl.dtype) if decl.dtype.bit_width <= self.iset.vector_bits else 1
+        cycles = kernel_cycles(
+            run.counts, self.cost, kernel.simd, lanes, kernel.vectorizable_fraction
+        )
+        breakdown.charge("kernel", cycles, f"kernel:{stmt.kernel_id}")
+
+    # ------------------------------------------------------------------
+    def _buffer(self, name: str) -> np.ndarray:
+        try:
+            return self.memory[name]
+        except KeyError:
+            raise VmError(f"program has no buffer {name!r}") from None
+
+    def _vector(self, vectors: Dict[str, np.ndarray], name: str, lanes: int) -> np.ndarray:
+        try:
+            value = vectors[name]
+        except KeyError:
+            raise VmError(f"read of undefined vector register {name!r}") from None
+        if value.shape != (lanes,):
+            raise VmTypeError(
+                f"vector register {name!r} has {value.shape[0]} lanes, expected {lanes}"
+            )
+        return value
+
+
+def run_program(
+    program: Program,
+    arch: Architecture,
+    inputs: Optional[Mapping[str, Any]] = None,
+    cost: Optional[CostTable] = None,
+    library: Optional[CodeLibrary] = None,
+) -> ExecutionResult:
+    """One-shot convenience: build a machine and run one step."""
+    return Machine(program, arch, cost=cost, library=library).run(inputs)

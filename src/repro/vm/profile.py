@@ -1,0 +1,85 @@
+"""Profiling reports over VM execution results.
+
+Turns a :class:`~repro.arch.cost.CostBreakdown` into the kind of report
+an engineer would read after running the generated code under perf:
+where the cycles went, which instructions fired how often, and how two
+programs compare category by category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.arch.arch import Architecture
+from repro.vm.machine import ExecutionResult
+
+_CATEGORY_LABELS = {
+    "scalar_ops": "scalar ALU",
+    "scalar_mem": "scalar loads/stores",
+    "simd_ops": "SIMD ALU",
+    "simd_mem": "SIMD loads/stores",
+    "loop": "loop bookkeeping",
+    "branch": "branches/selects",
+    "kernel": "library kernels",
+    "call": "call overhead",
+}
+
+
+def profile_report(
+    result: ExecutionResult,
+    arch: Optional[Architecture] = None,
+    top_events: int = 8,
+) -> str:
+    """One run's cycle budget: per-category shares and hottest events."""
+    breakdown = result.cost
+    total = breakdown.total or 1.0
+    lines = [f"total modelled cycles: {result.cycles:,.1f}"]
+    if arch is not None:
+        lines[0] += f"  ({result.seconds(arch, 1) * 1e6:.2f} us/step on {arch.name})"
+    lines.append("by category:")
+    categories = sorted(
+        _CATEGORY_LABELS, key=lambda c: getattr(breakdown, c), reverse=True
+    )
+    for category in categories:
+        cycles = getattr(breakdown, category)
+        if cycles == 0:
+            continue
+        share = cycles / total * 100.0
+        bar = "#" * int(round(share / 4))
+        lines.append(
+            f"  {_CATEGORY_LABELS[category]:20s} {cycles:12,.1f}  {share:5.1f}% {bar}"
+        )
+    if breakdown.counts:
+        lines.append(f"top events (of {len(breakdown.counts)}):")
+        ranked = sorted(breakdown.counts.items(), key=lambda kv: kv[1], reverse=True)
+        for event, count in ranked[:top_events]:
+            lines.append(f"  {event:28s} x{count}")
+    return "\n".join(lines)
+
+
+def compare_report(results: Mapping[str, ExecutionResult]) -> str:
+    """Side-by-side category comparison of several runs (e.g. the three
+    generators on one model)."""
+    names = list(results)
+    header = f"{'category':20s} " + " ".join(f"{n:>15s}" for n in names)
+    lines = [header]
+    for category, label in _CATEGORY_LABELS.items():
+        values = [getattr(results[n].cost, category) for n in names]
+        if not any(values):
+            continue
+        lines.append(
+            f"{label:20s} " + " ".join(f"{v:15,.1f}" for v in values)
+        )
+    lines.append(
+        f"{'TOTAL':20s} " + " ".join(f"{results[n].cycles:15,.1f}" for n in names)
+    )
+    return "\n".join(lines)
+
+
+def event_histogram(result: ExecutionResult, prefix: str = "") -> Dict[str, int]:
+    """Event counts, optionally filtered by prefix (e.g. ``"vop:"``)."""
+    return {
+        event: count
+        for event, count in sorted(result.cost.counts.items())
+        if event.startswith(prefix)
+    }

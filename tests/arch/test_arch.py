@@ -1,0 +1,90 @@
+"""Tests for architecture descriptors and cost tables."""
+
+import pytest
+
+from repro.arch import (
+    ARM_A72,
+    Architecture,
+    CostBreakdown,
+    CostTable,
+    INTEL_I7_8700,
+    INTEL_I7_8700_SSE4,
+    get_architecture,
+    preset_names,
+)
+
+
+class TestCostTable:
+    def test_scalar_op_uses_base_cost(self):
+        table = CostTable(scalar_scale=2.0)
+        assert table.scalar_op("Add") == 2.0  # base 1.0 * 2
+
+    def test_scalar_override_wins(self):
+        table = CostTable(scalar_overrides={"Div": 42.0})
+        assert table.scalar_op("Div") == 42.0
+
+    def test_simd_op_scales_spec_cost(self):
+        spec = ARM_A72.instruction_set.by_name("vdivq_f32")
+        table = CostTable(simd_scale=2.0)
+        assert table.simd_op(spec) == spec.cost * 2.0
+
+    def test_scaled_applies_throughput(self):
+        table = CostTable(throughput_factor=0.5)
+        assert table.scaled(100.0) == 50.0
+
+
+class TestCostBreakdown:
+    def test_charge_and_total(self):
+        breakdown = CostBreakdown()
+        breakdown.charge("scalar_ops", 3.0, "op:Add")
+        breakdown.charge("simd_mem", 5.0, "vload")
+        assert breakdown.total == 8.0
+        assert breakdown.counts == {"op:Add": 1, "vload": 1}
+
+    def test_merged(self):
+        a = CostBreakdown()
+        a.charge("loop", 2.0, "loop_iter")
+        b = CostBreakdown()
+        b.charge("loop", 3.0, "loop_iter")
+        b.charge("kernel", 10.0)
+        merged = a.merged(b)
+        assert merged.loop == 5.0
+        assert merged.kernel == 10.0
+        assert merged.counts["loop_iter"] == 2
+
+    def test_as_dict_keys(self):
+        keys = set(CostBreakdown().as_dict())
+        assert "total" in keys and "simd_ops" in keys
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_architecture("arm_a72") is ARM_A72
+        assert set(preset_names()) == {"arm_a72", "intel_i7_8700", "intel_i7_8700_sse4"}
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown architecture"):
+            get_architecture("mips")
+
+    def test_instruction_sets_resolve(self):
+        assert ARM_A72.instruction_set.arch == "neon"
+        assert INTEL_I7_8700.instruction_set.arch == "avx2"
+        assert INTEL_I7_8700_SSE4.instruction_set.arch == "sse4"
+
+    def test_vector_bits(self):
+        assert ARM_A72.vector_bits == 128
+        assert INTEL_I7_8700.vector_bits == 256
+
+    def test_cycles_to_seconds(self):
+        seconds = ARM_A72.cycles_to_seconds(1.5e9, iterations=1)
+        assert seconds == pytest.approx(1.0)
+        assert ARM_A72.cycles_to_seconds(1.5e9, iterations=10) == pytest.approx(10.0)
+
+    def test_paper_setup_flags(self):
+        # §4.2: scattered-SIMD behaviour is an Intel toolchain trait
+        assert not ARM_A72.baseline_scattered_simd
+        assert INTEL_I7_8700.baseline_scattered_simd
+
+    def test_intel_runs_faster_per_cycle(self):
+        assert INTEL_I7_8700.cost.throughput_factor < ARM_A72.cost.throughput_factor
+        assert INTEL_I7_8700.clock_ghz > ARM_A72.clock_ghz

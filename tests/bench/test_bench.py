@@ -1,0 +1,150 @@
+"""Tests for the benchmark models, runner and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.bench import (
+    benchmark_inputs,
+    benchmark_suite,
+    compare_generators,
+    improvement,
+    iterations_for,
+    make_generator,
+    render_figure1,
+    render_table2,
+    run_generator,
+    summarize_improvements,
+)
+from repro.bench.models import (
+    conv_model,
+    dct_model,
+    fft_model,
+    fir_model,
+    highpass_model,
+    lowpass_model,
+)
+from repro.compiler import GCC
+from repro.dtypes import DataType
+from repro.errors import ReproError
+
+
+class TestModels:
+    def test_suite_contents(self):
+        suite = benchmark_suite()
+        assert set(suite) == {"FFT", "DCT", "Conv", "HighPass", "LowPass", "FIR"}
+
+    def test_paper_scales(self):
+        suite = benchmark_suite()
+        assert suite["FFT"].actor("fft").input("in1").width == 1024
+        fir = suite["FIR"]
+        assert fir.actor("weighted").output("out").dtype is DataType.I32
+        assert fir.actor("weighted").output("out").width == 1024
+
+    def test_models_scale_down(self):
+        for factory in (fft_model, dct_model, highpass_model, lowpass_model, fir_model):
+            model = factory(16)
+            model.validate()
+        conv_model(16, 4).validate()
+
+    def test_inputs_deterministic(self):
+        model = fir_model(32)
+        a = benchmark_inputs(model)
+        b = benchmark_inputs(model)
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_ctrl_input_takes_filter_path(self):
+        model = highpass_model(16)
+        inputs = benchmark_inputs(model)
+        assert float(inputs["ctrl"]) >= 0.5
+
+
+class TestRunner:
+    def test_make_generator(self):
+        assert make_generator("hcg", ARM_A72).name == "hcg"
+        with pytest.raises(ReproError, match="unknown generator"):
+            make_generator("gcc", ARM_A72)
+
+    def test_iterations_match_paper(self):
+        assert iterations_for(ARM_A72) == 10_000
+        assert iterations_for(INTEL_I7_8700) == 100_000
+
+    def test_run_generator_fields(self):
+        result = run_generator(fir_model(32), "hcg", ARM_A72, GCC)
+        assert result.model == "FIR"
+        assert result.cycles_per_step > 0
+        assert result.seconds > 0
+        assert result.codegen_seconds >= 0
+        assert result.data_bytes > 0
+        assert "y" in result.outputs
+
+    def test_compare_checks_consistency(self):
+        results = compare_generators(fir_model(32), ARM_A72, GCC)
+        assert set(results) == {"simulink_coder", "dfsynth", "hcg"}
+
+    def test_improvement_metric(self):
+        assert improvement(2.0, 1.0) == pytest.approx(50.0)
+        assert improvement(0.0, 1.0) == 0.0
+
+
+class TestReports:
+    def test_render_table2(self):
+        rows = {"FIR": compare_generators(fir_model(32), ARM_A72, GCC)}
+        text = render_table2(rows)
+        assert "FIR" in text and "vs Simulink" in text and "%" in text
+
+    def test_summaries(self):
+        rows = {"FIR": compare_generators(fir_model(64), ARM_A72, GCC)}
+        summary = summarize_improvements(rows)
+        assert summary["simulink_min"] == summary["simulink_max"]
+        assert summary["simulink_min"] > 0
+
+    def test_render_figure1(self):
+        series = {"radix2": {8: 100.0, 16: 250.0}, "naive": {8: 90.0}}
+        text = render_figure1(series)
+        assert "radix2" in text and "naive" in text
+        assert text.count("\n") == 2  # header + two lengths
+
+
+class TestShapeClaims:
+    """Scaled-down versions of the paper's headline claims."""
+
+    def test_hcg_wins_on_scaled_suite(self):
+        for factory, kwargs in (
+            (fft_model, {"n": 256}),
+            (dct_model, {"n": 256}),
+            (conv_model, {"n": 256, "m": 16}),
+            (highpass_model, {"n": 256}),
+            (lowpass_model, {"n": 256}),
+            (fir_model, {"n": 256}),
+        ):
+            model = factory(**kwargs)
+            results = compare_generators(model, ARM_A72, GCC)
+            hcg = results["hcg"].seconds
+            assert hcg < results["simulink_coder"].seconds, model.name
+            assert hcg < results["dfsynth"].seconds, model.name
+
+    def test_codegen_time_same_order(self):
+        """§4.1: all tools generate code in comparable time."""
+        results = compare_generators(fir_model(256), ARM_A72, GCC)
+        times = sorted(r.codegen_seconds for r in results.values())
+        assert times[-1] < 5.0  # seconds, like the paper's 1-2 s
+
+
+class TestExports:
+    def test_figure5_bars(self):
+        rows = {"FIR": compare_generators(fir_model(64), ARM_A72, GCC)}
+        from repro.bench import render_figure5_bars
+
+        text = render_figure5_bars({"(a) test": rows})
+        assert "#" in text and "hcg" in text and "FIR:" in text
+
+    def test_csv_export(self):
+        from repro.bench import results_to_csv
+
+        rows = {"FIR": compare_generators(fir_model(64), ARM_A72, GCC)}
+        csv = results_to_csv(rows)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("model,generator")
+        assert len(lines) == 4  # header + three generators
+        assert "FIR,hcg,arm_a72,gcc" in csv

@@ -1,0 +1,135 @@
+"""Behavioural tests for the two baseline generators."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.codegen import DfsynthGenerator, SimulinkCoderGenerator
+from repro.dtypes import DataType
+from repro.ir import For, If, KernelCall, SimdLoad, SimdOp, SimdStore, Store, walk
+from repro.model.builder import ModelBuilder
+from repro.model.semantics import ModelEvaluator
+from repro.vm import Machine
+
+
+def _chain(n=32, dtype=DataType.F32):
+    b = ModelBuilder("chain", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    y = b.inport("y", shape=n)
+    m = b.add_actor("Mul", "m", x, y)
+    a = b.add_actor("Add", "a", m, x)
+    b.outport("o", a)
+    return b.build()
+
+
+def _switch(n=16):
+    b = ModelBuilder("sw", default_dtype=DataType.F32)
+    x = b.inport("x", shape=n)
+    ctrl = b.inport("ctrl")
+    expensive = b.add_actor("Sqrt", "sq", x)
+    sw = b.add_actor("Switch", "sw", expensive, dtype=DataType.F32, shape=n)
+    b.connect(ctrl, sw, "ctrl")
+    b.connect(x, sw, "in2")
+    b.outport("y", sw)
+    return b.build()
+
+
+class TestSimulinkCoder:
+    def test_folding_single_loop_for_chain(self):
+        program = SimulinkCoderGenerator(ARM_A72).generate(_chain())
+        loops = [s for s in walk(program.body) if isinstance(s, For)]
+        # folded chain: one loop writing the outport, nothing else
+        assert len(loops) == 1
+        assert not any(isinstance(s, SimdOp) for s in walk(program.body))
+
+    def test_unrolls_small_widths(self):
+        program = SimulinkCoderGenerator(ARM_A72).generate(_chain(n=4))
+        assert not any(isinstance(s, For) for s in walk(program.body))
+        stores = [s for s in walk(program.body) if isinstance(s, Store)]
+        assert len(stores) == 4
+
+    def test_generic_kernel_for_intensive(self):
+        b = ModelBuilder("f", default_dtype=DataType.F32)
+        x = b.inport("x", shape=64)
+        f = b.add_actor("FFT", "fft", x, n=64)
+        b.outport("y", f)
+        program = SimulinkCoderGenerator(ARM_A72).generate(b.build())
+        calls = [s for s in walk(program.body) if isinstance(s, KernelCall)]
+        assert [c.kernel_id for c in calls] == ["fft.mixed"]  # general, not adaptive
+
+    def test_no_simd_on_arm(self):
+        program = SimulinkCoderGenerator(ARM_A72).generate(_chain(n=1024))
+        assert not any(isinstance(s, (SimdOp, SimdLoad)) for s in walk(program.body))
+
+    def test_scattered_simd_on_intel_floats(self):
+        program = SimulinkCoderGenerator(INTEL_I7_8700).generate(_chain(n=1024))
+        ops = [s for s in walk(program.body) if isinstance(s, SimdOp)]
+        assert ops, "Intel toolchain should vectorise float batch actors"
+        # scattered = every op is single-node; intermediates stored
+        stores = [s for s in walk(program.body) if isinstance(s, SimdStore)]
+        assert len(stores) >= 2
+
+    def test_integer_batch_not_vectorised_on_intel(self):
+        # the paper's FIR observation: i32 batch Mul/Add get no SIMD
+        program = SimulinkCoderGenerator(INTEL_I7_8700).generate(
+            _chain(n=1024, dtype=DataType.I32)
+        )
+        assert not any(isinstance(s, SimdOp) for s in walk(program.body))
+
+    def test_scattered_tail_handles_odd_width(self, rng):
+        model = _chain(n=1021)
+        inputs = {
+            "x": rng.uniform(-1, 1, 1021).astype(np.float32),
+            "y": rng.uniform(-1, 1, 1021).astype(np.float32),
+        }
+        ref = ModelEvaluator(model).step(inputs)["o"]
+        program = SimulinkCoderGenerator(INTEL_I7_8700).generate(model)
+        out = Machine(program, INTEL_I7_8700).run(inputs).outputs["o"]
+        assert np.allclose(out, ref, rtol=1e-6)
+
+
+class TestDfsynth:
+    def test_one_loop_per_actor(self):
+        program = DfsynthGenerator(ARM_A72).generate(_chain())
+        loops = [s for s in walk(program.body) if isinstance(s, For)]
+        assert len(loops) == 2  # Mul loop + Add loop (outport is a memcpy)
+
+    def test_never_emits_simd(self):
+        program = DfsynthGenerator(INTEL_I7_8700).generate(_chain(n=1024))
+        assert not any(isinstance(s, (SimdOp, SimdLoad)) for s in walk(program.body))
+
+    def test_branch_region_inside_if(self):
+        program = DfsynthGenerator(ARM_A72).generate(_switch())
+        ifs = [s for s in program.body if isinstance(s, If)]
+        assert len(ifs) == 1
+        then_loops = [s for s in walk(ifs[0].then_body) if isinstance(s, For)]
+        assert then_loops, "the Sqrt chain must be computed inside the branch"
+
+    def test_untaken_branch_costs_nothing_extra(self, rng):
+        model = _switch(n=64)
+        program = DfsynthGenerator(ARM_A72).generate(model)
+        machine = Machine(program, ARM_A72)
+        x = np.abs(rng.uniform(0.1, 1, 64)).astype(np.float32)
+        taken = machine.run({"x": x, "ctrl": 1.0})
+        machine2 = Machine(program, ARM_A72)
+        bypass = machine2.run({"x": x, "ctrl": -1.0})
+        assert bypass.cycles < taken.cycles  # Sqrt loop skipped
+
+    def test_intensive_args_staged(self):
+        b = ModelBuilder("f", default_dtype=DataType.F32)
+        x = b.inport("x", shape=64)
+        f = b.add_actor("FFT", "fft", x, n=64)
+        b.outport("y", f)
+        program = DfsynthGenerator(ARM_A72).generate(b.build())
+        calls = [s for s in walk(program.body) if isinstance(s, KernelCall)]
+        assert calls[0].inputs[0] != "x"  # staged copy, not the raw input
+
+    def test_correctness_both_branches(self, rng):
+        model = _switch(n=24)
+        program = DfsynthGenerator(ARM_A72).generate(model)
+        for ctrl in (1.0, -1.0):
+            inputs = {"x": np.abs(rng.uniform(0.1, 1, 24)).astype(np.float32),
+                      "ctrl": ctrl}
+            ref = ModelEvaluator(model).step(inputs)["y"]
+            out = Machine(program, ARM_A72).run(inputs).outputs["y"]
+            assert np.allclose(out, ref, rtol=1e-6)

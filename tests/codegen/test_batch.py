@@ -1,0 +1,204 @@
+"""Tests for Algorithm 2 (batch synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.codegen import HcgGenerator
+from repro.codegen.hcg.batch import BatchSynthesizer
+from repro.codegen.hcg.dispatch import dispatch
+from repro.codegen.common import CodegenContext
+from repro.dtypes import DataType
+from repro.ir import (
+    AssignVar,
+    For,
+    SimdLoad,
+    SimdOp,
+    SimdStore,
+    Store,
+    walk,
+)
+from repro.model.builder import ModelBuilder
+from repro.model.semantics import ModelEvaluator
+from repro.vm import Machine
+
+
+def _chain_model(n, dtype=DataType.I32):
+    b = ModelBuilder("chain", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    y = b.inport("y", shape=n)
+    m = b.add_actor("Mul", "m", x, y)
+    a = b.add_actor("Add", "a", m, x)
+    b.outport("o", a)
+    return b.build()
+
+
+def _generate(model, arch=ARM_A72, **kwargs):
+    generator = HcgGenerator(arch, **kwargs)
+    return generator, generator.generate(model)
+
+
+def _run_and_check(model, program, arch=ARM_A72, seed=9):
+    rng = np.random.default_rng(seed)
+    inputs = {}
+    for inport in model.inports:
+        port = inport.output("out")
+        if port.dtype.is_float:
+            inputs[inport.name] = rng.uniform(-2, 2, size=port.shape or ()).astype(
+                port.dtype.numpy_dtype)
+        else:
+            inputs[inport.name] = rng.integers(-99, 99, size=port.shape or ()).astype(
+                port.dtype.numpy_dtype)
+    ref = ModelEvaluator(model).step(inputs)
+    out = Machine(program, arch).run(inputs).outputs
+    for key, value in ref.items():
+        got = out[key].reshape(value.shape)
+        if value.dtype.kind == "f":
+            assert np.allclose(got, value, rtol=1e-5, equal_nan=True), key
+        else:
+            assert np.array_equal(got, value), key
+
+
+class TestLoopStructure:
+    def test_loop_emitted_for_multiple_batches(self):
+        _, program = _generate(_chain_model(64))
+        loops = [s for s in walk(program.body) if isinstance(s, For)]
+        assert len(loops) == 1 and loops[0].step == 4  # i32 x 4 on NEON
+
+    def test_single_batch_is_straight_line(self):
+        _, program = _generate(_chain_model(4))
+        assert not any(isinstance(s, For) for s in walk(program.body))
+        assert any(isinstance(s, SimdOp) for s in walk(program.body))
+
+    def test_remainder_in_front_of_loop(self):
+        _, program = _generate(_chain_model(10))  # 10 = 2 remainder + 2 batches
+        kinds = [type(s).__name__ for s in program.body]
+        first_scalar = next(i for i, s in enumerate(program.body) if isinstance(s, AssignVar))
+        first_loop = next(i for i, s in enumerate(program.body) if isinstance(s, For))
+        assert first_scalar < first_loop
+        loops = [s for s in walk(program.body) if isinstance(s, For)]
+        # loop starts at the offset
+        assert loops[0].start.value == 2
+
+    def test_remainder_correctness(self):
+        for n in (5, 6, 7, 9, 1027):
+            model = _chain_model(n)
+            _, program = _generate(model)
+            _run_and_check(model, program)
+
+    def test_too_narrow_falls_back_to_conventional(self):
+        gen, program = _generate(_chain_model(3))  # < 4 lanes
+        assert not any(isinstance(s, SimdOp) for s in walk(program.body))
+        _run_and_check(_chain_model(3), program)
+
+    def test_simd_threshold_option(self):
+        """§4.3: a profitability threshold can disable narrow groups."""
+        _, vectorised = _generate(_chain_model(8))
+        assert any(isinstance(s, SimdOp) for s in walk(vectorised.body))
+        _, thresholded = _generate(_chain_model(8), simd_threshold=64)
+        assert not any(isinstance(s, SimdOp) for s in walk(thresholded.body))
+        _run_and_check(_chain_model(8), thresholded)
+
+
+class TestStorePolicy:
+    def test_internal_values_stay_in_registers(self):
+        _, program = _generate(_chain_model(64))
+        stores = [s for s in walk(program.body) if isinstance(s, SimdStore)]
+        # only 'a' (the outport feed) is stored; 'm' stays in a register
+        assert len(stores) == 1
+
+    def test_fanout_to_outside_forces_store(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=16)
+        y = b.inport("y", shape=16)
+        m = b.add_actor("Mul", "m", x, y)
+        a = b.add_actor("Add", "a", m, x)
+        b.outport("o1", a)
+        b.outport("o2", m)  # m escapes the group
+        model = b.build()
+        _, program = _generate(model)
+        stores = [s for s in walk(program.body) if isinstance(s, SimdStore)]
+        assert len(stores) == 2
+        _run_and_check(model, program)
+
+
+class TestInstructionSelection:
+    def test_compound_preferred_over_singles(self):
+        gen, program = _generate(_chain_model(64))
+        names = [s.instruction for s in walk(program.body) if isinstance(s, SimdOp)]
+        assert names == ["vmlaq_s32"]  # Mul+Add fused
+
+    def test_every_node_mapped_exactly_once(self):
+        model = _chain_model(64)
+        gen, _ = _generate(model)
+        mapped = [m for match in gen.last_batch.matches for m in match.subgraph.members]
+        assert sorted(mapped) == ["a", "m"]
+
+    def test_basic_only_isa_uses_two_instructions(self):
+        basic = ARM_A72.instruction_set.restricted(max_nodes=1)
+        gen, program = _generate(_chain_model(64), instruction_set=basic)
+        names = [s.instruction for s in walk(program.body) if isinstance(s, SimdOp)]
+        assert sorted(names) == ["vaddq_s32", "vmulq_s32"]
+        _run_and_check(_chain_model(64), program)
+
+    def test_cast_chain_vectorised(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=16)
+        y = b.inport("y", shape=16)
+        s = b.add_actor("Add", "s", x, y)
+        c = b.add_actor("Cast", "c", s, dtype=DataType.F32, from_dtype="i32")
+        q = b.add_actor("Sqrt", "q", c)
+        b.outport("o", q)
+        model = b.build()
+        gen, program = _generate(model)
+        names = [s.instruction for s in walk(program.body) if isinstance(s, SimdOp)]
+        assert "vcvtq_f32_s32" in names and "vsqrtq_f32" in names
+        _run_and_check(model, program)
+
+    def test_wildcard_shift_amount_emitted(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=16)
+        s = b.add_actor("Shl", "s", x, shift=3)
+        b.outport("o", s)
+        model = b.build()
+        _, program = _generate(model)
+        op = next(s for s in walk(program.body) if isinstance(s, SimdOp))
+        assert op.instruction == "vshlq_n_s32" and op.imm == 3
+        _run_and_check(model, program)
+
+    def test_avx2_wider_batches(self):
+        model = _chain_model(64, dtype=DataType.F32)
+        _, program = _generate(model, arch=INTEL_I7_8700)
+        loops = [s for s in walk(program.body) if isinstance(s, For)]
+        assert loops[0].step == 8  # f32 x 8 on AVX2
+        names = [s.instruction for s in walk(program.body) if isinstance(s, SimdOp)]
+        assert names == ["vfmadd231ps"]
+        _run_and_check(model, program, arch=INTEL_I7_8700)
+
+    def test_integer_mla_missing_on_avx2(self):
+        """x86 has no integer multiply-add: two instructions needed."""
+        model = _chain_model(64, dtype=DataType.I32)
+        _, program = _generate(model, arch=INTEL_I7_8700)
+        names = [s.instruction for s in walk(program.body) if isinstance(s, SimdOp)]
+        assert sorted(names) == ["vpaddd", "vpmulld"]
+        _run_and_check(model, program, arch=INTEL_I7_8700)
+
+    def test_paper_listing1_names_style(self):
+        """Registers are named after actors, as in Listing 1."""
+        _, program = _generate(_chain_model(64))
+        op = next(s for s in walk(program.body) if isinstance(s, SimdOp))
+        assert "_batch" in op.dest
+
+
+class TestSixteenLanes:
+    def test_i8_uses_sixteen_lanes(self):
+        b = ModelBuilder("m", default_dtype=DataType.I8)
+        x = b.inport("x", shape=64)
+        y = b.inport("y", shape=64)
+        d = b.add_actor("Abd", "d", x, y)
+        b.outport("o", d)
+        model = b.build()
+        _, program = _generate(model)
+        loops = [s for s in walk(program.body) if isinstance(s, For)]
+        assert loops[0].step == 16
+        _run_and_check(model, program)

@@ -1,0 +1,184 @@
+"""Tests for branch-aware HCG (the §4.3 discussion extension)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.bench.models import benchmark_inputs, highpass_model
+from repro.codegen import HcgGenerator
+from repro.codegen.hcg.dispatch import BatchGroup
+from repro.compiler import GCC
+from repro.dtypes import DataType
+from repro.ir import For, If, SimdOp, walk
+from repro.model.builder import ModelBuilder
+from repro.model.semantics import ModelEvaluator
+from repro.vm import Machine
+
+
+def _branchy_batch_model(n=16):
+    """A batch chain exclusively feeding one side of a Switch."""
+    b = ModelBuilder("bb", default_dtype=DataType.F32)
+    x = b.inport("x", shape=n)
+    ctrl = b.inport("ctrl")
+    squared = b.add_actor("Mul", "squared", x, x)
+    negated = b.add_actor("Neg", "negated", squared)
+    sw = b.add_actor("Switch", "sw", negated, dtype=DataType.F32, shape=n,
+                     threshold=0.5)
+    b.connect(ctrl, sw, "ctrl")
+    b.connect(x, sw, "in2")
+    b.outport("y", sw)
+    return b.build()
+
+
+class TestStructure:
+    def test_switch_becomes_if(self):
+        program = HcgGenerator(ARM_A72, branch_aware=True).generate(_branchy_batch_model())
+        ifs = [s for s in program.body if isinstance(s, If)]
+        assert len(ifs) == 1
+
+    def test_exclusive_group_inside_branch(self):
+        program = HcgGenerator(ARM_A72, branch_aware=True).generate(_branchy_batch_model())
+        the_if = next(s for s in program.body if isinstance(s, If))
+        then_simd = [s for s in walk(the_if.then_body) if isinstance(s, SimdOp)]
+        assert then_simd, "the squared/negated group belongs in the then-branch"
+        outside_simd = [
+            s for s in walk([st for st in program.body if not isinstance(st, If)])
+            if isinstance(s, SimdOp)
+        ]
+        assert not outside_simd
+
+    def test_plain_mode_unchanged(self):
+        program = HcgGenerator(ARM_A72, branch_aware=False).generate(_branchy_batch_model())
+        assert not any(isinstance(s, If) for s in program.body)
+
+    def test_groups_split_by_branch_info(self):
+        """§4.3's Ptolemy constraint: same branch information required."""
+        model = highpass_model(16)
+        plain = HcgGenerator(ARM_A72, branch_aware=False)
+        plain.generate(model)
+        branchy = HcgGenerator(ARM_A72, branch_aware=True)
+        branchy.generate(model)
+        plain_sizes = sorted(len(g.members) for g in plain.last_dispatch.groups)
+        branchy_sizes = sorted(len(g.members) for g in branchy.last_dispatch.groups)
+        # plain fuses all four batch actors; branch-aware splits off 'hp'
+        assert plain_sizes == [4]
+        assert branchy_sizes == [1, 3]
+
+    def test_switch_writes_outport_directly(self):
+        program = HcgGenerator(ARM_A72, branch_aware=True).generate(_branchy_batch_model())
+        # no bypass local buffer: the If stores into 'y' directly
+        names = [b.name for b in program.buffers]
+        assert "y" in names
+        assert not any("sw" in n for n in names)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("ctrl", [0.0, 1.0])
+    def test_both_branches_match_reference(self, ctrl, rng):
+        model = _branchy_batch_model(20)  # odd batch count + remainder
+        program = GCC.compile(HcgGenerator(ARM_A72, branch_aware=True).generate(model))
+        inputs = {"x": rng.uniform(-2, 2, 20).astype(np.float32),
+                  "ctrl": np.float32(ctrl)}
+        want = ModelEvaluator(model).step(inputs)["y"]
+        got = Machine(program, ARM_A72, cost=GCC.effective_cost(ARM_A72)).run(inputs).outputs["y"]
+        assert np.allclose(got, want, rtol=1e-5)
+
+    @pytest.mark.parametrize("ctrl", [0.0, 1.0])
+    def test_stateful_model_multi_step(self, ctrl):
+        model = highpass_model(32)
+        inputs = benchmark_inputs(model)
+        inputs["ctrl"] = np.float32(ctrl)
+        program = HcgGenerator(ARM_A72, branch_aware=True).generate(model)
+        machine = Machine(program, ARM_A72)
+        reference = ModelEvaluator(model)
+        for step in range(4):
+            want = reference.step(inputs)["y"]
+            got = machine.run(inputs).outputs["y"]
+            assert np.allclose(got, want, rtol=1e-5), step
+
+    def test_untaken_branch_skipped(self, rng):
+        model = _branchy_batch_model(1024)
+        program = HcgGenerator(ARM_A72, branch_aware=True).generate(model)
+        machine = Machine(program, ARM_A72)
+        x = rng.uniform(-1, 1, 1024).astype(np.float32)
+        taken = machine.run({"x": x, "ctrl": 1.0}).cycles
+        bypass = machine.run({"x": x, "ctrl": 0.0}).cycles
+        assert bypass < taken * 0.8
+
+
+def _nested_switch_model(n=16):
+    """An inner Switch exclusively feeding the outer Switch's then-side."""
+    b = ModelBuilder("nested", default_dtype=DataType.F32)
+    x = b.inport("x", shape=n)
+    c_outer = b.inport("c_outer")
+    c_inner = b.inport("c_inner")
+    expensive = b.add_actor("Sqrt", "expensive", x)
+    doubled = b.add_actor("Add", "doubled", x, x)
+    inner = b.add_actor("Switch", "inner", expensive, dtype=DataType.F32,
+                        shape=n, threshold=0.5)
+    b.connect(c_inner, inner, "ctrl")
+    b.connect(doubled, inner, "in2")
+    outer = b.add_actor("Switch", "outer", inner, dtype=DataType.F32,
+                        shape=n, threshold=0.5)
+    b.connect(c_outer, outer, "ctrl")
+    b.connect(x, outer, "in2")
+    b.outport("y", outer)
+    return b.build()
+
+
+class TestNestedSwitches:
+    def test_regions_nest(self):
+        from repro.schedule.regions import find_branch_regions
+
+        regions = find_branch_regions(_nested_switch_model())
+        by_key = {(r.switch, r.port): set(r.members) for r in regions}
+        assert by_key[("inner", "in1")] == {"expensive"}
+        assert by_key[("inner", "in2")] == {"doubled"}
+        assert by_key[("outer", "in1")] == {"inner"}
+
+    def test_dfsynth_emits_nested_ifs(self):
+        from repro.codegen import DfsynthGenerator
+
+        program = DfsynthGenerator(ARM_A72).generate(_nested_switch_model())
+        outer_ifs = [s for s in program.body if isinstance(s, If)]
+        assert len(outer_ifs) == 1
+        inner_ifs = [s for s in walk(outer_ifs[0].then_body) if isinstance(s, If)]
+        assert len(inner_ifs) == 1
+
+    def test_hcg_branch_aware_emits_nested_ifs(self):
+        program = HcgGenerator(ARM_A72, branch_aware=True).generate(
+            _nested_switch_model()
+        )
+        outer_ifs = [s for s in program.body if isinstance(s, If)]
+        assert len(outer_ifs) == 1
+        inner_ifs = [s for s in walk(outer_ifs[0].then_body) if isinstance(s, If)]
+        assert len(inner_ifs) == 1
+
+    @pytest.mark.parametrize("c_outer", [0.0, 1.0])
+    @pytest.mark.parametrize("c_inner", [0.0, 1.0])
+    @pytest.mark.parametrize("generator_factory", [
+        lambda: HcgGenerator(ARM_A72, branch_aware=True),
+        lambda: HcgGenerator(ARM_A72),
+        lambda: __import__("repro.codegen", fromlist=["DfsynthGenerator"]).DfsynthGenerator(ARM_A72),
+    ])
+    def test_all_branch_combinations_correct(self, c_outer, c_inner,
+                                             generator_factory, rng):
+        model = _nested_switch_model(20)
+        program = generator_factory().generate(model)
+        inputs = {
+            "x": rng.uniform(0.1, 4.0, 20).astype(np.float32),
+            "c_outer": np.float32(c_outer),
+            "c_inner": np.float32(c_inner),
+        }
+        want = ModelEvaluator(model).step(inputs)["y"]
+        got = Machine(program, ARM_A72).run(inputs).outputs["y"]
+        assert np.allclose(got, want, rtol=1e-5)
+
+    def test_inner_work_skipped_when_outer_bypasses(self, rng):
+        model = _nested_switch_model(256)
+        program = HcgGenerator(ARM_A72, branch_aware=True).generate(model)
+        machine = Machine(program, ARM_A72)
+        x = rng.uniform(0.1, 4.0, 256).astype(np.float32)
+        full = machine.run({"x": x, "c_outer": 1.0, "c_inner": 1.0}).cycles
+        bypass = machine.run({"x": x, "c_outer": 0.0, "c_inner": 1.0}).cycles
+        assert bypass < full

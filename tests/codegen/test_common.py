@@ -1,0 +1,152 @@
+"""Tests for the shared codegen machinery (folding, materialisation)."""
+
+import pytest
+
+from repro.codegen.common import (
+    CodegenContext,
+    element_expr,
+    emit_outport,
+    fanout_materialization_points,
+    is_foldable,
+    materialize_port,
+    sanitize,
+    store_elements,
+)
+from repro.dtypes import DataType
+from repro.errors import CodegenError
+from repro.ir import For, Load, ScalarOp, Select, Store, const_i
+from repro.ir.types import BufferKind
+from repro.model.builder import ModelBuilder
+
+
+def _chain_model():
+    b = ModelBuilder("m", default_dtype=DataType.I32)
+    x = b.inport("x", shape=16)
+    a = b.add_actor("Abs", "a", x)
+    n = b.add_actor("Neg", "n", a)
+    b.outport("y", n)
+    return b.build()
+
+
+class TestSanitize:
+    def test_passthrough(self):
+        assert sanitize("foo_bar1") == "foo_bar1"
+
+    def test_specials_replaced(self):
+        assert sanitize("a-b c.d") == "a_b_c_d"
+
+    def test_leading_digit(self):
+        assert sanitize("1st") == "_1st"
+
+    def test_empty(self):
+        assert sanitize("") == "_"
+
+
+class TestContext:
+    def test_fixed_buffers(self):
+        ctx = CodegenContext(_chain_model(), "p", "test")
+        assert ctx.program.buffer("x").kind is BufferKind.INPUT
+        assert ctx.program.buffer("y").kind is BufferKind.OUTPUT
+
+    def test_ensure_local_idempotent(self):
+        ctx = CodegenContext(_chain_model(), "p", "test")
+        first = ctx.ensure_local("a", "out")
+        second = ctx.ensure_local("a", "out")
+        assert first == second
+        assert ctx.program.buffer(first).kind is BufferKind.LOCAL
+
+    def test_buffer_of_missing(self):
+        ctx = CodegenContext(_chain_model(), "p", "test")
+        with pytest.raises(CodegenError, match="no buffer"):
+            ctx.buffer_of("a", "out")
+
+    def test_const_buffer_init(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        c = b.const("c", value=[3, 1, 4])
+        b.outport("y", c)
+        ctx = CodegenContext(b.build(), "p", "test")
+        decl = ctx.program.buffer(ctx.buffer_of("c", "out"))
+        assert decl.kind is BufferKind.CONST
+        assert decl.init == (3.0, 1.0, 4.0)
+
+    def test_state_buffer_init(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=4)
+        d = b.add_actor("UnitDelay", "d", x, initial=7)
+        b.outport("y", d)
+        ctx = CodegenContext(b.build(), "p", "test")
+        decl = ctx.program.buffer(ctx.buffer_of("d", "out"))
+        assert decl.kind is BufferKind.STATE
+        assert decl.init == (7.0,) * 4
+
+
+class TestFolding:
+    def test_chain_folds_to_nested_expr(self):
+        ctx = CodegenContext(_chain_model(), "p", "test")
+        expr = element_expr(ctx, ("n", "out"), const_i(0))
+        # Neg(Abs(load x[0]))
+        assert isinstance(expr, ScalarOp) and expr.op == "Neg"
+        inner = expr.args[0]
+        assert isinstance(inner, ScalarOp) and inner.op == "Abs"
+        assert isinstance(inner.args[0], Load) and inner.args[0].buffer == "x"
+
+    def test_materialized_port_loads(self):
+        ctx = CodegenContext(_chain_model(), "p", "test")
+        materialize_port(ctx, ("a", "out"))
+        expr = element_expr(ctx, ("n", "out"), const_i(0))
+        assert isinstance(expr.args[0], Load)
+        assert expr.args[0].buffer == ctx.buffer_of("a", "out")
+
+    def test_switch_folds_to_select(self):
+        b = ModelBuilder("m", default_dtype=DataType.F32)
+        x = b.inport("x", shape=4)
+        ctrl = b.inport("c")
+        sw = b.add_actor("Switch", "sw", x, dtype=DataType.F32, shape=4, threshold=1.5)
+        b.connect(ctrl, sw, "ctrl")
+        b.connect(x, sw, "in2")
+        b.outport("y", sw)
+        ctx = CodegenContext(b.build(), "p", "test")
+        expr = element_expr(ctx, ("sw", "out"), const_i(2))
+        assert isinstance(expr, Select)
+
+    def test_gain_folds_to_mul_by_const(self):
+        b = ModelBuilder("m", default_dtype=DataType.F32)
+        x = b.inport("x", shape=4)
+        g = b.add_actor("Gain", "g", x, gain=2.5)
+        b.outport("y", g)
+        ctx = CodegenContext(b.build(), "p", "test")
+        expr = element_expr(ctx, ("g", "out"), const_i(0))
+        assert isinstance(expr, ScalarOp) and expr.op == "Mul"
+
+    def test_foldability(self):
+        model = _chain_model()
+        assert is_foldable(model.actor("a"))
+        assert not is_foldable(model.actor("x"))
+
+
+class TestStoreElements:
+    def test_unrolled_below_limit(self):
+        ctx = CodegenContext(_chain_model(), "p", "test")
+        stmts = store_elements(ctx, "x", 4, lambda i: Load("x", i), unroll_limit=8)
+        assert len(stmts) == 4 and all(isinstance(s, Store) for s in stmts)
+
+    def test_loop_above_limit(self):
+        ctx = CodegenContext(_chain_model(), "p", "test")
+        stmts = store_elements(ctx, "x", 100, lambda i: Load("x", i), unroll_limit=8)
+        assert len(stmts) == 1 and isinstance(stmts[0], For)
+
+
+class TestMaterializationPoints:
+    def test_fanout_detected(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=4)
+        a = b.add_actor("Abs", "a", x)
+        b.outport("y1", a)
+        b.outport("y2", a)
+        ctx = CodegenContext(b.build(), "p", "test")
+        assert ("a", "out") in fanout_materialization_points(ctx)
+
+    def test_single_consumer_not_a_point(self):
+        ctx = CodegenContext(_chain_model(), "p", "test")
+        points = fanout_materialization_points(ctx)
+        assert ("a", "out") not in points and ("n", "out") not in points

@@ -1,0 +1,208 @@
+"""Tests for the batch dataflow graph and subgraph matching (Alg. 2 internals)."""
+
+import pytest
+
+from repro.arch import ARM_A72
+from repro.codegen.common import CodegenContext
+from repro.codegen.hcg.dfg import ExtInput, NodeInput, build_dfg
+from repro.codegen.hcg.dispatch import dispatch
+from repro.codegen.hcg.subgraphs import (
+    extend_subgraphs,
+    is_convex,
+    is_independent,
+    match_instruction,
+    subgraph_cost,
+    top_left_node,
+    Subgraph,
+)
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+
+NEON = ARM_A72.instruction_set
+
+
+def _fig4_ctx():
+    """The paper's Fig. 4 model: Sub feeds both a halving-add chain and
+    a multiply-accumulate chain."""
+    b = ModelBuilder("fig4", default_dtype=DataType.I32)
+    a = b.inport("a", shape=8)
+    bb = b.inport("b", shape=8)
+    c = b.inport("c", shape=8)
+    d = b.inport("d", shape=8)
+    sub = b.add_actor("Sub", "sub", bb, c)
+    add1 = b.add_actor("Add", "add1", a, sub)
+    shr = b.add_actor("Shr", "shr", add1, shift=1)
+    mul = b.add_actor("Mul", "mul", sub, d)
+    add2 = b.add_actor("Add", "add2", sub, mul)
+    b.outport("shr_out", shr)
+    b.outport("add_out", add2)
+    model = b.build()
+    ctx = CodegenContext(model, "p", "test")
+    result = dispatch(model, ctx.schedule, NEON)
+    (group,) = result.groups
+    return ctx, build_dfg(ctx, group)
+
+
+class TestDfgConstruction:
+    def test_nodes_in_schedule_order(self):
+        _, dfg = _fig4_ctx()
+        assert [n.name for n in dfg.nodes] == ["sub", "add1", "shr", "mul", "add2"]
+
+    def test_external_inputs(self):
+        _, dfg = _fig4_ctx()
+        keys = [e.key[0] for e in dfg.external_inputs]
+        assert keys == ["b", "c", "a", "d"]  # first-use order
+
+    def test_internal_edges(self):
+        _, dfg = _fig4_ctx()
+        sub = dfg.node("sub")
+        assert set(sub.internal_consumers) == {"add1", "mul", "add2"}
+        add1 = dfg.node("add1")
+        assert any(isinstance(r, NodeInput) and r.node == "sub" for r in add1.inputs)
+
+    def test_needs_store_only_for_escaping_values(self):
+        _, dfg = _fig4_ctx()
+        stored = {n.name for n in dfg.stored_nodes}
+        assert stored == {"shr", "add2"}  # outport consumers only
+
+    def test_shift_imm_recorded(self):
+        _, dfg = _fig4_ctx()
+        assert dfg.node("shr").imm == 1
+
+
+class TestTopLeftAndEnumeration:
+    def test_top_left_is_earliest_unmapped(self):
+        _, dfg = _fig4_ctx()
+        assert top_left_node(dfg, set()) == "sub"
+        assert top_left_node(dfg, {"sub"}) == "add1"
+        assert top_left_node(dfg, {n.name for n in dfg.nodes}) is None
+
+    def test_paper_extension_example(self):
+        """§3.2.2: 'three subgraphs will be extended from the Sub node,
+        which are Sub-Mul, Sub-Add and Sub'."""
+        _, dfg = _fig4_ctx()
+        candidates = extend_subgraphs(dfg, "sub", set(), max_nodes=2, max_depth=2)
+        sets = {frozenset(s.members) for s in candidates}
+        assert frozenset({"sub"}) in sets
+        assert frozenset({"sub", "mul"}) in sets
+        assert frozenset({"sub", "add1"}) in sets
+
+    def test_sub_add2_rejected_nonconvex(self):
+        """{sub, add2} is not convex: the path sub -> mul -> add2 leaves
+        and re-enters the set."""
+        _, dfg = _fig4_ctx()
+        candidates = extend_subgraphs(dfg, "sub", set(), max_nodes=2, max_depth=2)
+        sets = {frozenset(s.members) for s in candidates}
+        assert frozenset({"sub", "add2"}) not in sets
+
+    def test_multi_escape_candidate_enumerated_but_unmatched(self):
+        """Sub-Mul is listed by the paper as an extension of Sub, but it
+        cannot be implemented: both Sub's and Mul's values are needed."""
+        _, dfg = _fig4_ctx()
+        candidates = extend_subgraphs(dfg, "sub", set(), max_nodes=2, max_depth=2)
+        sub_mul = next(s for s in candidates if s.members == frozenset({"sub", "mul"}))
+        assert sub_mul.sink is None
+        assert match_instruction(dfg, sub_mul, NEON, set()) is None
+
+    def test_sorted_by_cost_descending(self):
+        _, dfg = _fig4_ctx()
+        candidates = extend_subgraphs(dfg, "sub", set(), max_nodes=2, max_depth=2)
+        costs = [s.cost for s in candidates]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_mul_add_pair_after_sub_mapped(self):
+        _, dfg = _fig4_ctx()
+        candidates = extend_subgraphs(dfg, "add1", {"sub"}, max_nodes=2, max_depth=2)
+        sets = {frozenset(s.members) for s in candidates}
+        assert frozenset({"add1", "shr"}) in sets  # the vhadd pair
+
+
+class TestValidityPredicates:
+    def test_independence(self):
+        _, dfg = _fig4_ctx()
+        # {add2} depends on mul which is neither mapped nor a member
+        assert not is_independent(dfg, frozenset({"add2"}), set())
+        assert is_independent(dfg, frozenset({"add2"}), {"sub", "mul"})
+        assert is_independent(dfg, frozenset({"mul", "add2"}), {"sub"})
+
+    def test_convexity(self):
+        _, dfg = _fig4_ctx()
+        # {sub, add2}: path sub -> mul -> add2 passes outside the set
+        assert not is_convex(dfg, frozenset({"sub", "add2"}))
+        assert is_convex(dfg, frozenset({"sub", "mul", "add2"}))
+
+    def test_cost_sums_op_weights(self):
+        _, dfg = _fig4_ctx()
+        assert subgraph_cost(dfg, frozenset({"sub"})) == 1.0
+        assert subgraph_cost(dfg, frozenset({"sub", "mul"})) == 4.0
+
+
+class TestMatching:
+    def test_single_node_match(self):
+        _, dfg = _fig4_ctx()
+        sub = Subgraph(frozenset({"sub"}), "sub", 1.0)
+        match = match_instruction(dfg, sub, NEON, set())
+        assert match is not None and match.spec.name == "vsubq_s32"
+        # args in instruction-token order: I1=b, I2=c
+        assert [a.key[0] for a in match.args] == ["b", "c"]
+
+    def test_vhadd_compound_match(self):
+        _, dfg = _fig4_ctx()
+        pair = Subgraph(frozenset({"add1", "shr"}), "shr", 2.0)
+        match = match_instruction(dfg, pair, NEON, {"sub"})
+        assert match is not None and match.spec.name == "vhaddq_s32"
+
+    def test_vmla_compound_match_with_mapped_input(self):
+        _, dfg = _fig4_ctx()
+        pair = Subgraph(frozenset({"mul", "add2"}), "add2", 4.0)
+        match = match_instruction(dfg, pair, NEON, {"sub"})
+        assert match is not None and match.spec.name == "vmlaq_s32"
+
+    def test_no_match_without_mapped_producer(self):
+        _, dfg = _fig4_ctx()
+        pair = Subgraph(frozenset({"mul", "add2"}), "add2", 4.0)
+        # sub not yet mapped: the I tokens cannot bind to it
+        assert match_instruction(dfg, pair, NEON, set()) is None
+
+    def test_commutative_match(self):
+        # Add(ext, node) should match Add patterns regardless of operand order
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=8)
+        y = b.inport("y", shape=8)
+        m = b.add_actor("Mul", "m", x, y)
+        # note: node result is the SECOND operand here
+        a = b.add_actor("Add", "a", y, m)
+        b.outport("o", a)
+        model = b.build()
+        ctx = CodegenContext(model, "p", "t")
+        (group,) = dispatch(model, ctx.schedule, NEON).groups
+        dfg = build_dfg(ctx, group)
+        pair = Subgraph(frozenset({"m", "a"}), "a", 4.0)
+        match = match_instruction(dfg, pair, NEON, set())
+        assert match is not None and match.spec.name == "vmlaq_s32"
+
+    def test_wildcard_imm_bound(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=8)
+        s = b.add_actor("Shr", "s", x, shift=3)
+        b.outport("o", s)
+        model = b.build()
+        ctx = CodegenContext(model, "p", "t")
+        (group,) = dispatch(model, ctx.schedule, NEON).groups
+        dfg = build_dfg(ctx, group)
+        match = match_instruction(dfg, Subgraph(frozenset({"s"}), "s", 1.0), NEON, set())
+        assert match is not None
+        assert match.spec.name == "vshrq_n_s32"
+        assert match.imm == 3
+
+    def test_cheapest_match_wins(self):
+        """Among instructions matching the same subgraph, pick min cost."""
+        _, dfg = _fig4_ctx()
+        sub = Subgraph(frozenset({"sub"}), "sub", 1.0)
+        match = match_instruction(dfg, sub, NEON, set())
+        competitors = [
+            spec for spec in NEON.instructions
+            if spec.node_count == 1 and spec.root.op == "Sub"
+            and spec.dtype is dfg.node("sub").dtype
+        ]
+        assert match.spec.cost == min(s.cost for s in competitors)

@@ -1,0 +1,131 @@
+"""Tests for Algorithm 1 (intensive synthesis) and the selection history."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.codegen.hcg.history import SelectionHistory, SelectionKey, size_signature
+from repro.codegen.hcg.intensive import IntensiveSynthesizer, generate_test_input
+from repro.dtypes import DataType
+from repro.kernels import default_library
+from repro.model.actor_defs import create_actor
+
+
+def _fft_actor(n):
+    return create_actor("fft", "FFT", DataType.F32, {"n": n})
+
+
+def _synth(history=None):
+    return IntensiveSynthesizer(
+        default_library(), ARM_A72.cost, ARM_A72.instruction_set, history
+    )
+
+
+class TestSizeSignature:
+    def test_signature_contents(self):
+        assert size_signature({"n": 8, "other": "x"}) == (("n", 8),)
+        assert size_signature({"rows": 4, "cols": 8}) == (("rows", 4), ("cols", 8))
+
+    def test_key_round_trip(self):
+        key = SelectionKey("fft", DataType.F32, (("n", 1024),))
+        assert SelectionKey.from_str(key.to_str()) == key
+
+
+class TestSelectionHistory:
+    def test_miss_then_hit(self):
+        history = SelectionHistory()
+        key = SelectionKey("fft", DataType.F32, (("n", 8),))
+        assert history.lookup(key) is None
+        history.store(key, "fft.radix2")
+        assert history.lookup(key) == "fft.radix2"
+        assert history.hits == 1 and history.misses == 1
+
+    def test_persistence(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = SelectionHistory(path)
+        key = SelectionKey("dct", DataType.F64, (("n", 64),))
+        history.store(key, "dct.lee")
+        reloaded = SelectionHistory(path)
+        assert reloaded.lookup(key) == "dct.lee"
+
+    def test_clear(self):
+        history = SelectionHistory()
+        history.store(SelectionKey("fft", DataType.F32, ()), "fft.mixed")
+        history.clear()
+        assert len(history) == 0
+
+
+class TestGenerateTestInput:
+    def test_shapes_match_ports(self):
+        arrays = generate_test_input(_fft_actor(16), seed=1)
+        assert len(arrays) == 1 and arrays[0].shape == (16,)
+        assert arrays[0].dtype == np.float32
+
+    def test_matinv_input_invertible(self):
+        actor = create_actor("mi", "MatInv", DataType.F64, {"n": 4})
+        (matrix,) = generate_test_input(actor, seed=2)
+        assert abs(np.linalg.det(matrix.astype(np.float64))) > 1e-6
+
+    def test_integer_ports_get_integers(self):
+        actor = create_actor("c", "Conv", DataType.I32, {"n": 8, "m": 3})
+        arrays = generate_test_input(actor, seed=3)
+        assert arrays[0].dtype == np.int32
+
+
+class TestAlgorithm1:
+    def test_pow2_fft_selects_radix_simd(self):
+        synth = _synth()
+        kernel = synth.select(_fft_actor(1024))
+        assert kernel.kernel_id == "fft.radix4_simd"  # the paper's §3 example
+
+    def test_non_pow2_selects_mixed(self):
+        synth = _synth()
+        kernel = synth.select(_fft_actor(100))
+        assert kernel.kernel_id == "fft.mixed_simd"
+
+    def test_selection_is_argmin_of_measurements(self):
+        synth = _synth()
+        synth.select(_fft_actor(256))
+        record = synth.records[-1]
+        assert record.chosen == min(record.measured, key=record.measured.get)
+
+    def test_out_of_domain_impls_filtered(self):
+        synth = _synth()
+        synth.select(_fft_actor(100))
+        measured = synth.records[-1].measured
+        assert "fft.radix2" not in measured  # 100 is not a power of two
+        assert "fft.radix4" not in measured
+
+    def test_history_short_circuits(self):
+        history = SelectionHistory()
+        synth = _synth(history)
+        first = synth.select(_fft_actor(64))
+        again = synth.select(_fft_actor(64))
+        assert first.kernel_id == again.kernel_id
+        assert synth.records[-1].from_history
+        assert not synth.records[-1].measured  # no pre-calculation ran
+
+    def test_different_sizes_not_conflated(self):
+        history = SelectionHistory()
+        synth = _synth(history)
+        synth.select(_fft_actor(64))
+        synth.select(_fft_actor(100))
+        assert len(history) == 2
+
+    def test_conv_adaptivity(self):
+        """Direct conv wins short taps; FFT conv wins long-long."""
+        synth = _synth()
+        short = create_actor("c1", "Conv", DataType.F32, {"n": 256, "m": 4})
+        long = create_actor("c2", "Conv", DataType.F32, {"n": 1024, "m": 1024})
+        assert "direct" in synth.select(short).kernel_id
+        assert "fft" in synth.select(long).kernel_id
+
+    def test_matmul_small_selects_unrolled(self):
+        synth = _synth()
+        actor = create_actor("mm", "MatMul", DataType.F32, {"n": 4})
+        assert "unrolled" in synth.select(actor).kernel_id or "simd" in synth.select(actor).kernel_id
+
+    def test_deterministic_across_runs(self):
+        a = _synth().select(_fft_actor(512)).kernel_id
+        b = _synth().select(_fft_actor(512)).kernel_id
+        assert a == b

@@ -1,0 +1,107 @@
+"""Tests for the output-variable-reuse pass."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.bench.models import benchmark_inputs, benchmark_suite
+from repro.codegen import DfsynthGenerator, HcgGenerator, SimulinkCoderGenerator
+from repro.codegen.reuse import compute_live_intervals, reuse_local_buffers
+from repro.dtypes import DataType
+from repro.ir.types import BufferKind
+from repro.model.builder import ModelBuilder
+from repro.model.semantics import ModelEvaluator
+from repro.vm import Machine
+
+
+def _pipeline_model(n=32):
+    """A chain with fan-out at each stage, forcing several locals whose
+    lifetimes are sequential."""
+    b = ModelBuilder("pipe", default_dtype=DataType.F32)
+    x = b.inport("x", shape=n)
+    stage1 = b.add_actor("Abs", "s1", x)
+    b.outport("t1", stage1)           # fan-out: s1 must materialise
+    stage2 = b.add_actor("Mul", "s2", stage1, stage1)
+    b.outport("t2", stage2)
+    stage3 = b.add_actor("Sqrt", "s3", stage2)
+    b.outport("y", stage3)
+    return b.build()
+
+
+class TestIntervals:
+    def test_intervals_ordered(self):
+        generator = DfsynthGenerator(ARM_A72, variable_reuse=False)
+        program = generator.generate(_pipeline_model())
+        intervals = {iv.name: (iv.first, iv.last)
+                     for iv in compute_live_intervals(program)}
+        s1 = intervals["s1__out"]
+        s2 = intervals["s2__out"]
+        assert s1[0] < s2[0]          # s1 written first
+        assert s1[1] >= s2[0] - 1     # overlapping or adjacent
+
+
+class TestReusePass:
+    def test_dfsynth_staging_buffers_shared(self):
+        """DFSynth's sequential FFT/DCT arg-staging buffers can share."""
+        from repro.bench.models import conv_model
+
+        model = conv_model(64, 8)
+        raw = DfsynthGenerator(ARM_A72, variable_reuse=False).generate(model)
+        shared = DfsynthGenerator(ARM_A72, variable_reuse=True).generate(model)
+        assert shared.data_bytes() <= raw.data_bytes()
+
+    def test_semantics_preserved_across_suite(self):
+        for name, model in benchmark_suite().items():
+            inputs = benchmark_inputs(model)
+            reference = ModelEvaluator(model)
+            expected = [reference.step(inputs) for _ in range(2)]
+            for generator_cls in (SimulinkCoderGenerator, DfsynthGenerator, HcgGenerator):
+                program = generator_cls(ARM_A72, variable_reuse=True).generate(model)
+                machine = Machine(program, ARM_A72)
+                for step in range(2):
+                    got = machine.run(inputs).outputs
+                    for key, value in expected[step].items():
+                        assert np.allclose(
+                            got[key].reshape(value.shape), value,
+                            rtol=1e-4, atol=1e-4,
+                        ), (name, generator_cls.__name__, key)
+
+    def test_disjoint_lifetimes_share_storage(self):
+        model = _pipeline_model()
+        raw = DfsynthGenerator(ARM_A72, variable_reuse=False).generate(model)
+        shared = DfsynthGenerator(ARM_A72, variable_reuse=True).generate(model)
+        raw_locals = len(raw.buffers_of_kind(BufferKind.LOCAL))
+        shared_locals = len(shared.buffers_of_kind(BufferKind.LOCAL))
+        # s1 lives until s2 is computed; s3's buffer can reuse s1's slot
+        assert shared_locals <= raw_locals
+        inputs = {"x": np.linspace(0.5, 2.0, 32).astype(np.float32)}
+        want = Machine(raw, ARM_A72).run(inputs).outputs
+        got = Machine(shared, ARM_A72).run(inputs).outputs
+        for key in want:
+            assert np.allclose(got[key], want[key], rtol=1e-6)
+
+    def test_identity_when_nothing_to_share(self):
+        from repro.bench.models import fir_model
+
+        program = HcgGenerator(ARM_A72, variable_reuse=False).generate(fir_model(32))
+        result, rename = reuse_local_buffers(program)
+        assert rename == {}  # FIR has no local buffers at all
+
+    def test_dtypes_never_mixed(self):
+        b = ModelBuilder("mixed", default_dtype=DataType.I32)
+        x = b.inport("x", shape=16)
+        a = b.add_actor("Abs", "a", x)
+        b.outport("t", a)
+        cast = b.add_actor("Cast", "c", a, dtype=DataType.F32, from_dtype="i32")
+        s = b.add_actor("Sqrt", "s", cast)
+        b.outport("y", s)
+        model = b.build()
+        program = DfsynthGenerator(ARM_A72, variable_reuse=True).generate(model)
+        for decl in program.buffers_of_kind(BufferKind.LOCAL):
+            # any shared slot must hold exactly one dtype
+            assert decl.dtype in (DataType.I32, DataType.F32)
+        inputs = {"x": np.arange(1, 17, dtype=np.int32)}
+        want = ModelEvaluator(model).step(inputs)
+        got = Machine(program, ARM_A72).run(inputs).outputs
+        for key, value in want.items():
+            assert np.allclose(got[key], value, rtol=1e-5)

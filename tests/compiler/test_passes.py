@@ -1,0 +1,240 @@
+"""Tests for the compiler-model optimization passes."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.bench.models import benchmark_inputs, fir_model, highpass_model
+from repro.codegen import HcgGenerator, SimulinkCoderGenerator
+from repro.compiler.passes import (
+    PassConfig,
+    constant_folding,
+    fold_expr,
+    loop_invariant_code_motion,
+    loop_unswitching,
+    optimize_program,
+    scalar_forwarding,
+    vector_dse,
+    vector_forwarding,
+)
+from repro.dtypes import DataType
+from repro.ir import (
+    AssignVar,
+    BufferDecl,
+    BufferKind,
+    Cmp,
+    Const,
+    For,
+    Load,
+    Program,
+    ScalarOp,
+    Select,
+    SimdLoad,
+    SimdOp,
+    SimdStore,
+    Store,
+    Var,
+    const_i,
+    walk,
+)
+from repro.vm import Machine
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic(self):
+        expr = ScalarOp("Add", (Const(2, DataType.I32), Const(3, DataType.I32)), DataType.I32)
+        folded = fold_expr(expr)
+        assert isinstance(folded, Const) and folded.value == 5
+
+    def test_folds_nested(self):
+        inner = ScalarOp("Mul", (Const(2, DataType.I32), Const(4, DataType.I32)), DataType.I32)
+        outer = ScalarOp("Add", (inner, Const(1, DataType.I32)), DataType.I32)
+        folded = fold_expr(outer)
+        assert isinstance(folded, Const) and folded.value == 9
+
+    def test_leaves_variables(self):
+        expr = ScalarOp("Add", (Var("x"), Const(3, DataType.I32)), DataType.I32)
+        folded = fold_expr(expr)
+        assert isinstance(folded, ScalarOp)
+
+    def test_folds_inside_loops(self):
+        body = [For("i", const_i(0), const_i(4), 1,
+                    (Store("b", Var("i"),
+                           ScalarOp("Add", (Const(1, DataType.I32), Const(2, DataType.I32)),
+                                    DataType.I32)),))]
+        out = constant_folding(body)
+        store = out[0].body[0]
+        assert isinstance(store.expr, Const) and store.expr.value == 3
+
+
+class TestScalarForwarding:
+    def test_forward_store_to_load(self):
+        body = [
+            AssignVar("t", Const(7, DataType.I32), DataType.I32),
+            Store("buf", const_i(0), Var("t")),
+            AssignVar("u", Load("buf", const_i(0)), DataType.I32),
+        ]
+        out = scalar_forwarding(body)
+        assert isinstance(out[2].expr, Var) and out[2].expr.name == "t"
+
+    def test_other_store_invalidates(self):
+        body = [
+            Store("buf", const_i(0), Var("t")),
+            Store("buf", const_i(1), Var("q")),  # may alias index 0? no — diff idx,
+            AssignVar("u", Load("buf", const_i(0)), DataType.I32),
+        ]
+        out = scalar_forwarding(body)
+        # conservative invalidation: buffer-level, so the load stays
+        assert isinstance(out[2].expr, Load)
+
+    def test_variable_reassignment_invalidates(self):
+        body = [
+            Store("buf", const_i(0), Var("t")),
+            AssignVar("t", Const(0, DataType.I32), DataType.I32),
+            AssignVar("u", Load("buf", const_i(0)), DataType.I32),
+        ]
+        out = scalar_forwarding(body)
+        assert isinstance(out[2].expr, Load)
+
+    def test_loop_boundary_invalidates(self):
+        body = [
+            Store("buf", const_i(0), Var("t")),
+            For("i", const_i(0), const_i(2), 1, ()),
+            AssignVar("u", Load("buf", const_i(0)), DataType.I32),
+        ]
+        out = scalar_forwarding(body)
+        assert isinstance(out[2].expr, Load)
+
+
+def _scattered_vector_body():
+    return [
+        SimdLoad("va", "x", const_i(0), DataType.I32, 4),
+        SimdOp("vb", "vaddq_s32", ("va", "va"), DataType.I32, 4),
+        SimdStore("tmp", const_i(0), "vb", DataType.I32, 4),
+        SimdLoad("vc", "tmp", const_i(0), DataType.I32, 4),
+        SimdOp("vd", "vaddq_s32", ("vc", "va"), DataType.I32, 4),
+        SimdStore("out", const_i(0), "vd", DataType.I32, 4),
+    ]
+
+
+class TestVectorForwarding:
+    def test_reload_removed_and_renamed(self):
+        out = vector_forwarding(_scattered_vector_body())
+        loads = [s for s in out if isinstance(s, SimdLoad)]
+        assert len(loads) == 1  # the reload of tmp is gone
+        final_op = [s for s in out if isinstance(s, SimdOp)][-1]
+        assert final_op.args == ("vb", "va")
+
+    def test_store_to_other_index_invalidates(self):
+        body = _scattered_vector_body()
+        body.insert(3, SimdStore("tmp", const_i(4), "vb", DataType.I32, 4))
+        out = vector_forwarding(body)
+        loads = [s for s in out if isinstance(s, SimdLoad)]
+        assert len(loads) == 2  # reload kept: conservative on same buffer
+
+
+class TestVectorDse:
+    def test_dead_local_store_removed(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.I32, 4, BufferKind.INPUT))
+        program.add_buffer(BufferDecl("tmp", DataType.I32, 4, BufferKind.LOCAL))
+        program.add_buffer(BufferDecl("out", DataType.I32, 4, BufferKind.OUTPUT))
+        program.body = [
+            SimdLoad("va", "x", const_i(0), DataType.I32, 4),
+            SimdStore("tmp", const_i(0), "va", DataType.I32, 4),
+            SimdStore("out", const_i(0), "va", DataType.I32, 4),
+        ]
+        out = vector_dse(program)
+        stores = [s for s in out if isinstance(s, SimdStore)]
+        assert [s.buffer for s in stores] == ["out"]
+
+    def test_output_store_never_removed(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("out", DataType.I32, 4, BufferKind.OUTPUT))
+        program.body = [
+            SimdLoad("va", "out", const_i(0), DataType.I32, 4),
+            SimdStore("out", const_i(0), "va", DataType.I32, 4),
+        ]
+        assert any(isinstance(s, SimdStore) for s in vector_dse(program))
+
+
+class TestLicm:
+    def test_hoists_constant_index_load(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("ctrl", DataType.I32, 1, BufferKind.INPUT))
+        program.add_buffer(BufferDecl("out", DataType.I32, 8, BufferKind.OUTPUT))
+        loop = For("i", const_i(0), const_i(8), 1,
+                   (Store("out", Var("i"), Load("ctrl", const_i(0))),))
+        out = loop_invariant_code_motion(program, [loop])
+        assert isinstance(out[0], AssignVar)
+        assert isinstance(out[1], For)
+        assert isinstance(out[1].body[0].expr, Var)
+
+    def test_does_not_hoist_written_buffer(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("b", DataType.I32, 8, BufferKind.LOCAL))
+        loop = For("i", const_i(0), const_i(8), 1,
+                   (Store("b", const_i(0), Load("b", const_i(0))),))
+        out = loop_invariant_code_motion(program, [loop])
+        assert len(out) == 1 and isinstance(out[0], For)
+
+
+class TestUnswitching:
+    def test_invariant_select_pulled_out(self):
+        from repro.ir import If
+
+        cond = Cmp(">=", Var("c"), Const(0, DataType.I32))
+        loop = For("i", const_i(0), const_i(8), 1,
+                   (Store("out", Var("i"),
+                          Select(cond, Load("a", Var("i")), Load("b", Var("i")))),))
+        out = loop_unswitching([loop])
+        assert isinstance(out[0], If)
+        then_store = out[0].then_body[0].body[0]
+        assert isinstance(then_store.expr, Load) and then_store.expr.buffer == "a"
+        else_store = out[0].else_body[0].body[0]
+        assert else_store.expr.buffer == "b"
+
+    def test_variant_select_kept(self):
+        cond = Cmp(">=", Var("i"), Const(4, DataType.I32))  # depends on loop var
+        loop = For("i", const_i(0), const_i(8), 1,
+                   (Store("out", Var("i"),
+                          Select(cond, Load("a", Var("i")), Load("b", Var("i")))),))
+        out = loop_unswitching([loop])
+        assert isinstance(out[0], For)
+
+
+class TestSemanticsPreservation:
+    """Every pass pipeline must leave program outputs unchanged."""
+
+    @pytest.mark.parametrize("config", [
+        PassConfig(),
+        PassConfig(vector_forwarding=True),
+        PassConfig(vector_forwarding=True, vector_dse=True),
+        PassConfig(fold_constants=False, scalar_forwarding=False,
+                   licm=False, unswitch=False),
+    ])
+    @pytest.mark.parametrize("make_model,n", [(fir_model, 37), (highpass_model, 19)])
+    def test_pipelines_preserve_outputs(self, config, make_model, n):
+        model = make_model(n)
+        inputs = benchmark_inputs(model)
+        for arch, gen_cls in (
+            (ARM_A72, HcgGenerator),
+            (INTEL_I7_8700, SimulinkCoderGenerator),
+        ):
+            program = gen_cls(arch).generate(model)
+            baseline = Machine(program, arch).run(inputs).outputs
+            optimized = optimize_program(program, config)
+            outputs = Machine(optimized, arch).run(inputs).outputs
+            for key in baseline:
+                assert np.allclose(
+                    outputs[key], baseline[key], rtol=1e-5, atol=1e-5
+                ), (key, config)
+
+    def test_optimized_never_costs_more(self):
+        model = highpass_model(64)
+        inputs = benchmark_inputs(model)
+        program = SimulinkCoderGenerator(INTEL_I7_8700).generate(model)
+        raw = Machine(program, INTEL_I7_8700).run(inputs).cycles
+        optimized = optimize_program(program, PassConfig(vector_forwarding=True))
+        opt_cycles = Machine(optimized, INTEL_I7_8700).run(inputs).cycles
+        assert opt_cycles <= raw

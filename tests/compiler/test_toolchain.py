@@ -1,0 +1,51 @@
+"""Tests for the GCC/Clang compiler presets."""
+
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.compiler import CLANG, GCC, PERFECT, compiler_names, get_compiler
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_compiler("gcc") is GCC
+        assert get_compiler("clang") is CLANG
+        assert set(compiler_names()) == {"gcc", "clang", "perfect"}
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown compiler"):
+            get_compiler("icc")
+
+    def test_gcc_lacks_vector_forwarding(self):
+        # the §4.2 mechanism: GCC cannot organize scattered SIMD
+        assert not GCC.passes.vector_forwarding
+        assert CLANG.passes.vector_forwarding
+
+    def test_both_do_scalar_optimizations(self):
+        for compiler in (GCC, CLANG):
+            assert compiler.passes.fold_constants
+            assert compiler.passes.scalar_forwarding
+            assert compiler.passes.licm
+            assert compiler.passes.unswitch
+
+    def test_perfect_enables_everything(self):
+        assert PERFECT.passes.vector_forwarding and PERFECT.passes.vector_dse
+
+
+class TestEffectiveCost:
+    def test_clang_loop_overhead_lower(self):
+        gcc_cost = GCC.effective_cost(ARM_A72)
+        clang_cost = CLANG.effective_cost(ARM_A72)
+        assert clang_cost.loop_overhead < gcc_cost.loop_overhead
+
+    def test_scalar_factor_applied_to_overrides(self):
+        cost = CLANG.effective_cost(INTEL_I7_8700)
+        base = INTEL_I7_8700.cost
+        assert cost.scalar_overrides["Div"] == pytest.approx(
+            base.scalar_overrides["Div"] * CLANG.scalar_factor
+        )
+
+    def test_base_table_unchanged(self):
+        before = ARM_A72.cost.loop_overhead
+        CLANG.effective_cost(ARM_A72)
+        assert ARM_A72.cost.loop_overhead == before

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700, INTEL_I7_8700_SSE4
+from repro.compiler import CLANG, GCC, PERFECT
+from repro.kernels import default_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(params=["arm_a72", "intel_i7_8700", "intel_i7_8700_sse4"])
+def any_arch(request):
+    return {
+        "arm_a72": ARM_A72,
+        "intel_i7_8700": INTEL_I7_8700,
+        "intel_i7_8700_sse4": INTEL_I7_8700_SSE4,
+    }[request.param]
+
+
+@pytest.fixture(params=["gcc", "clang"])
+def any_compiler(request):
+    return {"gcc": GCC, "clang": CLANG}[request.param]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

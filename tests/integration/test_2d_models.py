@@ -1,0 +1,104 @@
+"""End-to-end tests for models with 2-D intensive actors (Table 1a)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.codegen import DfsynthGenerator, HcgGenerator, SimulinkCoderGenerator
+from repro.dtypes import DataType
+from repro.model import ModelBuilder, ModelEvaluator
+from repro.vm import Machine
+
+
+def _pipeline(size=16):
+    b = ModelBuilder("img", default_dtype=DataType.F32)
+    image = b.inport("image", shape=(size, size))
+    rng = np.random.default_rng(4)
+    taps = b.const("taps", value=rng.normal(scale=0.2, size=(3, 3)).tolist())
+    blur = b.add_actor("Conv2D", "blur", image, taps,
+                       rows=size, cols=size, krows=3, kcols=3)
+    b.outport("blurred", blur)
+    dct = b.add_actor("DCT2D", "dct", image, rows=size, cols=size)
+    b.outport("coeffs", dct)
+    fft = b.add_actor("FFT2D", "fft", image, rows=size, cols=size)
+    b.outport("spectrum", fft)
+    mat = b.inport("mat", shape=(3, 3))
+    inv = b.add_actor("MatInv", "inv", mat, n=3)
+    b.outport("inverse", inv)
+    det = b.add_actor("MatDet", "det", mat, n=3)
+    b.outport("determinant", det)
+    mm = b.add_actor("MatMul", "mm", mat, mat, n=3)
+    b.outport("product", mm)
+    return b.build()
+
+
+def _inputs(size=16):
+    rng = np.random.default_rng(5)
+    return {
+        "image": rng.uniform(-1, 1, (size, size)).astype(np.float32),
+        "mat": (rng.normal(size=(3, 3)) + 3 * np.eye(3)).astype(np.float32),
+    }
+
+
+class Test2dPipeline:
+    @pytest.mark.parametrize("generator_cls", [
+        SimulinkCoderGenerator, DfsynthGenerator, HcgGenerator,
+    ])
+    def test_all_generators_correct(self, generator_cls):
+        model = _pipeline()
+        inputs = _inputs()
+        reference = ModelEvaluator(model).step(inputs)
+        program = generator_cls(ARM_A72).generate(model)
+        result = Machine(program, ARM_A72).run(inputs)
+        for key, want in reference.items():
+            got = result.outputs[key].reshape(want.shape)
+            assert np.allclose(got, want, rtol=1e-3, atol=1e-3), (generator_cls.__name__, key)
+
+    def test_hcg_selects_2d_specialists(self):
+        model = _pipeline()
+        generator = HcgGenerator(ARM_A72)
+        generator.generate(model)
+        chosen = {r.key.actor_key: r.chosen for r in generator.last_intensive.records}
+        assert chosen["conv2d"] == "conv2d.direct_simd"
+        assert "lee" in chosen["dct2d"]          # 16 is a power of two
+        assert "radix2" in chosen["fft2d"]
+        assert "cofactor" in chosen["matinv"]
+
+    def test_hcg_beats_baseline(self):
+        model = _pipeline()
+        inputs = _inputs()
+        cycles = {}
+        for generator in (SimulinkCoderGenerator(ARM_A72), HcgGenerator(ARM_A72)):
+            program = generator.generate(model)
+            cycles[generator.name] = Machine(program, ARM_A72).run(inputs).cycles
+        assert cycles["hcg"] < cycles["simulink_coder"]
+
+    def test_non_pow2_dims_fall_back_to_mixed(self):
+        b = ModelBuilder("odd", default_dtype=DataType.F64)
+        image = b.inport("image", shape=(6, 10))
+        fft = b.add_actor("FFT2D", "fft", image, rows=6, cols=10)
+        b.outport("spectrum", fft)
+        model = b.build()
+        generator = HcgGenerator(INTEL_I7_8700)
+        program = generator.generate(model)
+        record = generator.last_intensive.records[-1]
+        assert "mixed" in record.chosen
+        rng = np.random.default_rng(6)
+        inputs = {"image": rng.normal(size=(6, 10))}
+        want = ModelEvaluator(model).step(inputs)["spectrum"]
+        got = Machine(program, INTEL_I7_8700).run(inputs).outputs["spectrum"]
+        assert np.allclose(got.reshape(want.shape), want, atol=1e-8)
+
+    def test_ifft2d_round_trip_through_codegen(self):
+        size = 8
+        b = ModelBuilder("rt", default_dtype=DataType.F64)
+        image = b.inport("image", shape=(size, size))
+        fwd = b.add_actor("FFT2D", "fwd", image, rows=size, cols=size)
+        back = b.add_actor("IFFT2D", "back", fwd, rows=size, cols=size)
+        b.outport("restored", back)
+        model = b.build()
+        program = HcgGenerator(ARM_A72).generate(model)
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=(size, size))
+        got = Machine(program, ARM_A72).run({"image": data}).outputs["restored"]
+        assert np.allclose(got.reshape(2, size, size)[0], data, atol=1e-8)

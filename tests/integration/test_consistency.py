@@ -1,0 +1,121 @@
+"""Property-based cross-generator consistency.
+
+The paper's key correctness statement is that all tools produce
+consistent results; here hypothesis builds random batch-actor models
+and checks Simulink-Coder-like, DFSynth-like and HCG code — compiled
+with both toolchains, on ARM and Intel — against the reference model
+semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.bench.runner import compare_generators
+from repro.compiler import CLANG, GCC
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+
+UNARY_INT = ["Abs", "Neg", "BitNot"]
+BINARY_INT = ["Add", "Sub", "Mul", "Min", "Max", "Abd", "BitAnd", "BitOr", "BitXor"]
+UNARY_FLOAT = ["Abs", "Neg", "Sqrt"]
+BINARY_FLOAT = ["Add", "Sub", "Mul", "Min", "Max", "Abd"]
+
+
+@st.composite
+def random_batch_model(draw):
+    dtype = draw(st.sampled_from([DataType.I32, DataType.F32, DataType.I16]))
+    width = draw(st.sampled_from([1, 2, 3, 4, 5, 7, 8, 12, 16, 33]))
+    n_ops = draw(st.integers(min_value=1, max_value=7))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+
+    b = ModelBuilder("prop", default_dtype=dtype)
+    values = [b.inport(f"x{i}", shape=width) for i in range(2)]
+    unary = UNARY_FLOAT if dtype.is_float else UNARY_INT
+    binary = BINARY_FLOAT if dtype.is_float else BINARY_INT
+    for index in range(n_ops):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            op = draw(st.sampled_from(unary))
+            ref = b.add_actor(op, f"n{index}", draw(st.sampled_from(values)))
+        elif kind == 1 and dtype.is_integer:
+            op = draw(st.sampled_from(["Shr", "Shl"]))
+            ref = b.add_actor(op, f"n{index}", draw(st.sampled_from(values)),
+                              shift=draw(st.integers(0, 3)))
+        else:
+            op = draw(st.sampled_from(binary))
+            ref = b.add_actor(op, f"n{index}", draw(st.sampled_from(values)),
+                              draw(st.sampled_from(values)))
+        values.append(ref)
+    b.outport("out_last", values[-1])
+    b.outport("out_mid", values[len(values) // 2])
+    model = b.build()
+
+    rng = np.random.default_rng(seed)
+    inputs = {}
+    for inport in model.inports:
+        port = inport.output("out")
+        if dtype.is_float:
+            inputs[inport.name] = rng.uniform(0.25, 4.0, size=port.shape).astype(
+                port.dtype.numpy_dtype)
+        else:
+            inputs[inport.name] = rng.integers(1, 60, size=port.shape).astype(
+                port.dtype.numpy_dtype)
+    return model, inputs
+
+
+class TestCrossGeneratorConsistency:
+    @given(random_batch_model())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_arm_gcc(self, case):
+        model, inputs = case
+        compare_generators(model, ARM_A72, GCC, inputs=inputs, iterations=1)
+
+    @given(random_batch_model())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_intel_clang(self, case):
+        model, inputs = case
+        compare_generators(model, INTEL_I7_8700, CLANG, inputs=inputs, iterations=1)
+
+    @given(random_batch_model())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_intel_gcc_scattered(self, case):
+        model, inputs = case
+        compare_generators(model, INTEL_I7_8700, GCC, inputs=inputs, iterations=1)
+
+
+class TestHcgInvariants:
+    @given(random_batch_model())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_batch_node_mapped_once(self, case):
+        from repro.codegen import HcgGenerator
+
+        model, _ = case
+        generator = HcgGenerator(ARM_A72)
+        generator.generate(model)
+        mapped = [
+            member
+            for match in generator.last_batch.matches
+            for member in match.subgraph.members
+        ]
+        assert len(mapped) == len(set(mapped))  # a partition, not a cover
+
+    @given(random_batch_model())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_emitted_subgraphs_convex_and_independent(self, case):
+        from repro.codegen import HcgGenerator
+        from repro.codegen.hcg.dfg import build_dfg
+        from repro.codegen.hcg.subgraphs import is_convex
+
+        model, _ = case
+        generator = HcgGenerator(ARM_A72)
+        generator.generate(model)
+        for match in generator.last_batch.matches:
+            assert match.subgraph.sink is not None

@@ -1,0 +1,141 @@
+"""Failure-injection tests: the system fails loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.dtypes import DataType
+from repro.errors import (
+    CodegenError,
+    IsaError,
+    KernelDomainError,
+    ModelError,
+    VmError,
+)
+from repro.ir import BufferDecl, BufferKind, KernelCall, Program, SimdOp, const_i
+from repro.isa import InstructionSet, load_builtin, parse_instruction_set
+from repro.kernels import default_library
+from repro.model.builder import ModelBuilder
+from repro.vm import Machine, run_program
+
+
+class TestVmFailures:
+    def test_unknown_simd_instruction(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.I32, 4, BufferKind.INPUT))
+        program.body = [SimdOp("v", "vquantumq_s32", (), DataType.I32, 4)]
+        with pytest.raises(IsaError, match="no instruction"):
+            run_program(program, ARM_A72)
+
+    def test_wrong_arg_count_for_instruction(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.I32, 4, BufferKind.INPUT))
+        program.body = [SimdOp("v", "vaddq_s32", (), DataType.I32, 4)]
+        with pytest.raises(VmError):
+            run_program(program, ARM_A72)
+
+    def test_unknown_kernel_id(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.F32, 8, BufferKind.INPUT))
+        program.add_buffer(BufferDecl("y", DataType.F32, 16, BufferKind.OUTPUT))
+        program.body = [KernelCall("fft.quantum", ("x",), ("y",),
+                                   (("n", 8), ("in_shapes", ((8,),)),))]
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError, match="unknown kernel id"):
+            run_program(program, ARM_A72)
+
+    def test_kernel_out_of_domain(self):
+        # radix2 on a non-power-of-two length must refuse, not mangle
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.F32, 12, BufferKind.INPUT))
+        program.add_buffer(BufferDecl("y", DataType.F32, 24, BufferKind.OUTPUT))
+        program.body = [KernelCall("fft.radix2", ("x",), ("y",),
+                                   (("n", 12), ("in_shapes", ((12,),)),))]
+        with pytest.raises(KernelDomainError):
+            run_program(program, ARM_A72)
+
+    def test_kernel_output_overflow(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.F32, 8, BufferKind.INPUT))
+        program.add_buffer(BufferDecl("y", DataType.F32, 4, BufferKind.OUTPUT))
+        program.body = [KernelCall("fft.radix2", ("x",), ("y",),
+                                   (("n", 8), ("in_shapes", ((8,),)),))]
+        with pytest.raises(VmError, match="holds only"):
+            run_program(program, ARM_A72)
+
+
+class TestCodegenFailures:
+    def test_hcg_refuses_unknown_actor_type(self):
+        from repro.codegen import HcgGenerator
+        from repro.model.actor import Actor
+        from repro.model.graph import Model
+
+        model = Model("bad")
+        actor = Actor("mystery", "Teleport")
+        actor.add_output("out", DataType.I32, (4,))
+        model.add_actor(actor)
+        with pytest.raises(ModelError, match="unknown actor type"):
+            HcgGenerator(ARM_A72).generate(model)
+
+    def test_corrupted_isa_rejected_at_parse(self):
+        with pytest.raises(IsaError):
+            parse_instruction_set(
+                "arch: broken\nvector_bits: 128\n"
+                "Ins: bad ; Graph: Add,i32,4,T9,I1,O1 ; Code: O1 = bad(I1)"
+            )
+
+    def test_batch_with_empty_isa_for_dtype_falls_back(self):
+        """An ISA with no f64 instructions: f64 batch actors translate
+        conventionally instead of crashing."""
+        neon = load_builtin("neon")
+        no_f64 = InstructionSet(
+            "neon", 128,
+            tuple(i for i in neon.instructions if i.dtype is not DataType.F64),
+        )
+        b = ModelBuilder("m", default_dtype=DataType.F64)
+        x = b.inport("x", shape=8)
+        y = b.inport("y", shape=8)
+        s = b.add_actor("Add", "s", x, y)
+        b.outport("o", s)
+        model = b.build()
+        from repro.codegen import HcgGenerator
+        from repro.ir import walk
+
+        generator = HcgGenerator(ARM_A72, instruction_set=no_f64)
+        program = generator.generate(model)
+        assert not any(isinstance(s, SimdOp) for s in walk(program.body))
+        out = Machine(program, ARM_A72, instruction_set=no_f64).run(
+            {"x": np.ones(8), "y": np.ones(8)}
+        ).outputs["o"]
+        assert list(out) == [2.0] * 8
+
+    def test_singular_matrix_probe_does_not_crash_selection(self):
+        """Algorithm 1's test-input generator avoids singular matrices."""
+        from repro.codegen.hcg.intensive import IntensiveSynthesizer
+        from repro.model.actor_defs import create_actor
+
+        synth = IntensiveSynthesizer(
+            default_library(), ARM_A72.cost, ARM_A72.instruction_set
+        )
+        actor = create_actor("inv", "MatInv", DataType.F64, {"n": 4})
+        kernel = synth.select(actor)
+        assert kernel.actor_key == "matinv"
+
+
+class TestModelFailures:
+    def test_width_zero_rejected(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        with pytest.raises(Exception):
+            b.inport("x", shape=0)
+
+    def test_self_loop_rejected(self):
+        from repro.model.actor_defs import create_actor
+        from repro.model.graph import Model
+
+        model = Model("loop")
+        model.add_actor(create_actor("a", "Add", DataType.I32, {"shape": (4,)}))
+        model.connect("a", "out", "a", "in1")
+        model.connect("a", "out", "a", "in2")
+        with pytest.raises(ModelError, match="algebraic loop"):
+            model.validate()

@@ -1,0 +1,38 @@
+"""The shipped models/ directory loads and matches the programmatic suite."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.bench.models import BENCHMARK_MODELS, benchmark_inputs
+from repro.codegen import HcgGenerator
+from repro.model.semantics import ModelEvaluator
+from repro.model.xml_io import read_model
+from repro.vm import Machine
+
+MODELS_DIR = Path(__file__).parents[2] / "models"
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARK_MODELS))
+def test_shipped_model_file_matches_programmatic(name):
+    from_file = read_model(MODELS_DIR / f"{name.lower()}.xml")
+    programmatic = BENCHMARK_MODELS[name]()
+    assert from_file.name == programmatic.name
+    assert len(from_file.actors) == len(programmatic.actors)
+    inputs = benchmark_inputs(programmatic)
+    want = ModelEvaluator(programmatic).step(inputs)
+    got = ModelEvaluator(from_file).step(inputs)
+    for key, value in want.items():
+        assert np.allclose(got[key], value, rtol=1e-5, atol=1e-6, equal_nan=True), key
+
+
+def test_file_model_generates_identically():
+    from_file = read_model(MODELS_DIR / "fir.xml")
+    programmatic = BENCHMARK_MODELS["FIR"]()
+    inputs = benchmark_inputs(programmatic)
+    a = Machine(HcgGenerator(ARM_A72).generate(from_file), ARM_A72).run(inputs)
+    b = Machine(HcgGenerator(ARM_A72).generate(programmatic), ARM_A72).run(inputs)
+    assert np.array_equal(a.outputs["y"], b.outputs["y"])
+    assert a.cycles == b.cycles

@@ -1,0 +1,86 @@
+"""Property: any buildable model round-trips through the XML format."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+from repro.model.semantics import ModelEvaluator
+from repro.model.xml_io import model_from_string, model_to_string
+
+UNARY = {"Abs": {}, "Neg": {}}
+BINARY = {"Add": {}, "Sub": {}, "Mul": {}, "Min": {}, "Max": {}}
+
+
+@st.composite
+def random_model_case(draw):
+    dtype = draw(st.sampled_from([DataType.I32, DataType.F32, DataType.I16,
+                                  DataType.F64, DataType.U8]))
+    width = draw(st.integers(1, 24))
+    b = ModelBuilder("prop_xml", default_dtype=dtype)
+    values = [b.inport("x0", shape=width)]
+    use_const = draw(st.booleans())
+    if use_const:
+        const_values = draw(
+            st.lists(st.integers(0, 50), min_size=width, max_size=width)
+        )
+        values.append(b.const("c0", value=const_values))
+    for index in range(draw(st.integers(1, 5))):
+        if draw(st.booleans()):
+            op = draw(st.sampled_from(sorted(UNARY)))
+            values.append(b.add_actor(op, f"n{index}", draw(st.sampled_from(values))))
+        elif dtype.is_integer and draw(st.booleans()):
+            values.append(
+                b.add_actor("Shr", f"n{index}", draw(st.sampled_from(values)),
+                            shift=draw(st.integers(0, 3)))
+            )
+        else:
+            op = draw(st.sampled_from(sorted(BINARY)))
+            values.append(
+                b.add_actor(op, f"n{index}", draw(st.sampled_from(values)),
+                            draw(st.sampled_from(values)))
+            )
+    if draw(st.booleans()):
+        delayed = b.add_actor("UnitDelay", "d0", values[-1],
+                              initial=draw(st.integers(0, 5)))
+        b.outport("y_delay", delayed)
+    b.outport("y", values[-1])
+    model = b.build()
+    seed = draw(st.integers(0, 2**31 - 1))
+    return model, seed
+
+
+class TestXmlRoundTripProperty:
+    @given(random_model_case())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_structure_and_semantics_survive(self, case):
+        model, seed = case
+        restored = model_from_string(model_to_string(model))
+        assert [a.name for a in restored.actors] == [a.name for a in model.actors]
+        assert len(restored.connections) == len(model.connections)
+
+        rng = np.random.default_rng(seed)
+        port = model.inports[0].output("out")
+        if port.dtype.is_float:
+            data = rng.uniform(-5, 5, size=port.shape).astype(port.dtype.numpy_dtype)
+        else:
+            data = rng.integers(0, 60, size=port.shape).astype(port.dtype.numpy_dtype)
+        inputs = {"x0": data}
+        original = ModelEvaluator(model)
+        copy = ModelEvaluator(restored)
+        for _ in range(2):  # delays must round-trip too
+            want = original.step(inputs)
+            got = copy.step(inputs)
+            for key, value in want.items():
+                assert np.array_equal(got[key], value), key
+
+    @given(random_model_case())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_double_round_trip_is_identical_text(self, case):
+        model, _ = case
+        once = model_to_string(model)
+        twice = model_to_string(model_from_string(once))
+        assert once == twice

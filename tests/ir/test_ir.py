@@ -1,0 +1,130 @@
+"""Tests for IR expressions, statements and program containers."""
+
+import pytest
+
+from repro.dtypes import DataType
+from repro.errors import CodegenError
+from repro.ir import (
+    AssignVar,
+    BufferDecl,
+    BufferKind,
+    Cmp,
+    Const,
+    For,
+    If,
+    Load,
+    NameAllocator,
+    Program,
+    ScalarOp,
+    Select,
+    Store,
+    Var,
+    VectorType,
+    add_index,
+    const_i,
+    walk,
+)
+
+
+class TestExpr:
+    def test_children_traversal(self):
+        expr = ScalarOp("Add", (Var("a"), Const(1, DataType.I32)), DataType.I32)
+        assert len(expr.children()) == 2
+
+    def test_cmp_validates_op(self):
+        with pytest.raises(ValueError, match="invalid comparison"):
+            Cmp("<>", Var("a"), Var("b"))
+
+    def test_add_index_folds_zero(self):
+        base = Var("i")
+        assert add_index(base, 0) is base
+
+    def test_add_index_folds_constants(self):
+        out = add_index(const_i(5), 3)
+        assert isinstance(out, Const) and out.value == 8
+
+    def test_add_index_builds_op(self):
+        out = add_index(Var("i"), 2)
+        assert isinstance(out, ScalarOp) and out.op == "Add"
+
+    def test_str_rendering(self):
+        expr = Select(Cmp(">=", Var("c"), const_i(0)), Var("a"), Load("buf", Var("i")))
+        text = str(expr)
+        assert "c >= 0" in text and "buf[i]" in text
+
+
+class TestStmt:
+    def test_walk_recurses_into_blocks(self):
+        inner = Store("b", Var("i"), Var("x"))
+        loop = For("i", const_i(0), const_i(4), 1, (inner,))
+        cond = If(Cmp("<", Var("a"), Var("b")), (loop,), (inner,))
+        flattened = walk([cond])
+        assert inner in flattened and loop in flattened and cond in flattened
+        assert len(flattened) == 4  # cond, loop, inner (x2 occurrences)
+
+
+class TestVectorType:
+    def test_bits(self):
+        assert VectorType(DataType.I32, 4).bit_width == 128
+        assert str(VectorType(DataType.F32, 8)) == "f32x8"
+
+    def test_min_lanes(self):
+        with pytest.raises(ValueError, match="lanes"):
+            VectorType(DataType.I32, 1)
+
+
+class TestBufferDecl:
+    def test_byte_size(self):
+        decl = BufferDecl("b", DataType.F64, 10, BufferKind.LOCAL)
+        assert decl.byte_size == 80
+
+    def test_init_length_checked(self):
+        with pytest.raises(ValueError, match="init"):
+            BufferDecl("b", DataType.I32, 4, BufferKind.CONST, init=(1.0, 2.0))
+
+    def test_positive_length(self):
+        with pytest.raises(ValueError, match="positive"):
+            BufferDecl("b", DataType.I32, 0, BufferKind.LOCAL)
+
+
+class TestProgram:
+    def test_buffer_lookup(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.I32, 4, BufferKind.INPUT))
+        assert program.buffer("x").length == 4
+        assert program.has_buffer("x") and not program.has_buffer("y")
+
+    def test_duplicate_buffer_rejected(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.I32, 4, BufferKind.INPUT))
+        with pytest.raises(CodegenError, match="duplicate"):
+            program.add_buffer(BufferDecl("x", DataType.I32, 4, BufferKind.LOCAL))
+
+    def test_missing_buffer_error(self):
+        with pytest.raises(CodegenError, match="no buffer"):
+            Program("p").buffer("ghost")
+
+    def test_kind_views(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.I32, 4, BufferKind.INPUT))
+        program.add_buffer(BufferDecl("y", DataType.I32, 4, BufferKind.OUTPUT))
+        assert [b.name for b in program.inputs] == ["x"]
+        assert [b.name for b in program.outputs] == ["y"]
+
+    def test_data_bytes(self):
+        program = Program("p")
+        program.add_buffer(BufferDecl("x", DataType.I32, 4, BufferKind.INPUT))
+        program.add_buffer(BufferDecl("y", DataType.F64, 2, BufferKind.LOCAL))
+        assert program.data_bytes() == 16 + 16
+
+
+class TestNameAllocator:
+    def test_fresh_unique(self):
+        names = NameAllocator()
+        assert names.fresh("t") == "t0"
+        assert names.fresh("t") == "t1"
+
+    def test_reserved_names_skipped(self):
+        names = NameAllocator()
+        names.reserve("t0")
+        assert names.fresh("t") == "t1"

@@ -1,0 +1,112 @@
+"""Tests for the IR printer and the C emitter."""
+
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700, INTEL_I7_8700_SSE4
+from repro.bench.models import benchmark_suite, fir_model, highpass_model
+from repro.codegen import DfsynthGenerator, HcgGenerator, SimulinkCoderGenerator
+from repro.dtypes import DataType
+from repro.ir.cemit import emit_c
+from repro.ir.printer import format_program
+
+
+def _balanced(source: str) -> bool:
+    depth = 0
+    for char in source:
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+class TestPrinter:
+    def test_dump_contains_structure(self):
+        program = HcgGenerator(ARM_A72).generate(fir_model(16))
+        text = format_program(program)
+        assert "program FIR_step" in text
+        assert "buffer input" in text
+        assert "vmlaq_s32" in text
+
+    def test_all_generators_printable(self):
+        model = highpass_model(32)
+        for generator in (SimulinkCoderGenerator(INTEL_I7_8700),
+                          DfsynthGenerator(ARM_A72),
+                          HcgGenerator(ARM_A72)):
+            assert format_program(generator.generate(model))
+
+
+class TestCEmitter:
+    def test_neon_includes_and_types(self):
+        program = HcgGenerator(ARM_A72).generate(fir_model(16))
+        source = emit_c(program, ARM_A72.instruction_set)
+        assert "#include <arm_neon.h>" in source
+        assert "int32x4_t" in source
+        assert "vld1q_s32" in source and "vst1q_s32" in source
+        assert _balanced(source)
+
+    def test_avx2_includes_and_types(self):
+        program = HcgGenerator(INTEL_I7_8700).generate(highpass_model(64))
+        source = emit_c(program, INTEL_I7_8700.instruction_set)
+        assert "#include <immintrin.h>" in source
+        assert "__m256" in source
+        assert "_mm256_loadu_ps" in source
+        assert _balanced(source)
+
+    def test_sse4_integer_casts(self):
+        from repro.model.builder import ModelBuilder
+
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=16)
+        y = b.inport("y", shape=16)
+        s = b.add_actor("Add", "s", x, y)
+        b.outport("o", s)
+        program = HcgGenerator(INTEL_I7_8700_SSE4).generate(b.build())
+        source = emit_c(program, INTEL_I7_8700_SSE4.instruction_set)
+        assert "_mm_loadu_si128" in source
+        assert "_mm_add_epi32" in source
+
+    def test_scalar_program_plain_c(self):
+        program = DfsynthGenerator(ARM_A72).generate(fir_model(16))
+        source = emit_c(program)
+        assert "immintrin" not in source and "arm_neon" not in source
+        assert "for (int32_t" in source
+        assert _balanced(source)
+
+    def test_const_buffer_initialisers(self):
+        program = HcgGenerator(ARM_A72).generate(fir_model(8))
+        source = emit_c(program, ARM_A72.instruction_set)
+        assert "static const int32_t" in source
+
+    def test_kernel_call_rendered(self):
+        model = benchmark_suite()["FFT"]
+        program = HcgGenerator(ARM_A72).generate(model)
+        source = emit_c(program, ARM_A72.instruction_set)
+        # size-specialised call plus a typed prototype for the library build
+        assert "fft_radix4_simd_n1024(x, fft__out);" in source
+        assert "void fft_radix4_simd_n1024(const float* in0, float* out0);" in source
+
+    def test_kernel_definitions_emitted_when_available(self):
+        model = benchmark_suite()["Conv"]
+        program = SimulinkCoderGenerator(ARM_A72).generate(model)
+        source = emit_c(program, ARM_A72.instruction_set)
+        assert "void conv_direct_n1024_m64(" in source
+        assert "direct O(n*m) convolution" in source
+
+    @pytest.mark.parametrize("name", ["FFT", "DCT", "Conv", "HighPass", "LowPass", "FIR"])
+    def test_every_benchmark_emits_balanced_c(self, name):
+        model = benchmark_suite()[name]
+        for arch in (ARM_A72, INTEL_I7_8700):
+            for generator in (SimulinkCoderGenerator(arch),
+                              DfsynthGenerator(arch),
+                              HcgGenerator(arch)):
+                source = emit_c(generator.generate(model), arch.instruction_set)
+                assert _balanced(source), (name, arch.name, generator.name)
+                assert f"void {model.name}_step(void)" in source
+
+    def test_switch_renders_if_or_ternary(self):
+        model = highpass_model(16)
+        source = emit_c(SimulinkCoderGenerator(ARM_A72).generate(model))
+        assert "?" in source or "if" in source

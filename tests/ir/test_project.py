@@ -1,0 +1,78 @@
+"""Tests for deployable project packaging."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700
+from repro.bench.models import fir_model, highpass_model
+from repro.codegen import DfsynthGenerator, HcgGenerator
+from repro.ir.project import emit_header, emit_project, emit_readme
+
+GCC = shutil.which("gcc")
+
+
+class TestHeader:
+    def test_io_buffers_and_step_declared(self):
+        program = HcgGenerator(ARM_A72).generate(fir_model(32))
+        header = emit_header(program)
+        assert "extern int32_t x[32];" in header
+        assert "extern int32_t y[32];" in header
+        assert "void FIR_step(void);" in header
+        assert "#ifndef FIR_STEP_H" in header
+
+    def test_internals_not_exposed(self):
+        program = HcgGenerator(ARM_A72).generate(fir_model(32))
+        header = emit_header(program)
+        assert "h__out" not in header        # const table stays internal
+        assert "delayed__out" not in header  # state stays internal
+
+
+class TestProject:
+    def test_file_set(self):
+        program = HcgGenerator(ARM_A72).generate(fir_model(32))
+        files = emit_project(program, ARM_A72.instruction_set)
+        assert set(files) == {"FIR_step.c", "FIR_step.h", "README.txt"}
+        assert '#include "FIR_step.h"' in files["FIR_step.c"]
+
+    def test_readme_mentions_flags_and_io(self):
+        program = HcgGenerator(INTEL_I7_8700).generate(highpass_model(32))
+        readme = emit_readme(program, INTEL_I7_8700.instruction_set)
+        assert "-mavx2" in readme
+        assert "x" in readme and "y" in readme
+
+    @pytest.mark.skipif(GCC is None, reason="no host C compiler")
+    def test_scalar_project_compiles_and_links(self, tmp_path):
+        program = DfsynthGenerator(ARM_A72).generate(fir_model(24))
+        files = emit_project(program)
+        for filename, contents in files.items():
+            (tmp_path / filename).write_text(contents)
+        main = tmp_path / "main.c"
+        main.write_text(
+            '#include "FIR_step.h"\n'
+            "#include <stdio.h>\n"
+            "int main(void) {\n"
+            "    for (int i = 0; i < 24; ++i) x[i] = i;\n"
+            "    FIR_step();\n"
+            '    printf("%d\\n", (int)y[0]);\n'
+            "    return 0;\n"
+            "}\n"
+        )
+        binary = tmp_path / "app"
+        completed = subprocess.run(
+            [GCC, "-O1", "-std=c99", str(tmp_path / "FIR_step.c"), str(main),
+             "-o", str(binary), "-lm"],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 0, completed.stderr[-1500:]
+        run = subprocess.run([str(binary)], capture_output=True, text=True, timeout=30)
+        assert run.returncode == 0
+
+    def test_cli_project_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["generate", "FIR", "--project", str(tmp_path / "proj")]) == 0
+        assert (tmp_path / "proj" / "FIR_step.c").exists()
+        assert (tmp_path / "proj" / "FIR_step.h").exists()
+        assert (tmp_path / "proj" / "README.txt").exists()

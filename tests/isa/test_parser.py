@@ -1,0 +1,138 @@
+"""Tests for the .si file format parser."""
+
+import pytest
+
+from repro.dtypes import DataType
+from repro.errors import IsaParseError
+from repro.isa.parser import (
+    dump_instruction_set,
+    load_instruction_set,
+    parse_instruction_set,
+    parse_pattern,
+)
+from repro.isa.registry import builtin_names, load_builtin
+
+GOOD = """
+# comment
+arch: neon
+vector_bits: 128
+
+Ins: vaddq_s32 ; Graph: Add,i32,4,I1,I2,O1 ; Code: O1 = vaddq_s32(I1, I2) ; Cost: 1
+Ins: vmlaq_s32 ; Graph: Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1 ; Code: O1 = vmlaq_s32(I3, I1, I2) ; Cost: 2
+"""
+
+
+class TestParsePattern:
+    def test_single_node(self):
+        nodes = parse_pattern("Add, i32, 4, I1, I2, O1")
+        assert len(nodes) == 1
+        assert nodes[0].op == "Add"
+        assert nodes[0].dtype is DataType.I32
+        assert nodes[0].inputs == ("I1", "I2")
+
+    def test_multi_node(self):
+        nodes = parse_pattern("Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1")
+        assert [n.output for n in nodes] == ["T1", "O1"]
+
+    def test_dtype_annotation(self):
+        nodes = parse_pattern("Cast,f32,4,I1:i32,O1")
+        assert nodes[0].operand_dtype(0) is DataType.I32
+
+    def test_too_few_fields(self):
+        with pytest.raises(IsaParseError, match="at least"):
+            parse_pattern("Add,i32")
+
+    def test_bad_dtype(self):
+        with pytest.raises(IsaParseError, match="unknown data type"):
+            parse_pattern("Add,q32,4,I1,I2,O1")
+
+    def test_bad_lanes(self):
+        with pytest.raises(IsaParseError, match="lane count"):
+            parse_pattern("Add,i32,four,I1,I2,O1")
+
+
+class TestParseDocument:
+    def test_good_document(self):
+        iset = parse_instruction_set(GOOD)
+        assert iset.arch == "neon"
+        assert iset.vector_bits == 128
+        assert len(iset.instructions) == 2
+        assert iset.by_name("vmlaq_s32").cost == 2
+
+    def test_headers_required_before_records(self):
+        with pytest.raises(IsaParseError, match="must precede"):
+            parse_instruction_set(
+                "Ins: x ; Graph: Add,i32,4,I1,I2,O1 ; Code: O1 = f(I1,I2)"
+            )
+
+    def test_empty_document(self):
+        with pytest.raises(IsaParseError, match="missing"):
+            parse_instruction_set("# nothing\n")
+
+    def test_no_instructions(self):
+        with pytest.raises(IsaParseError, match="no instructions"):
+            parse_instruction_set("arch: neon\nvector_bits: 128\n")
+
+    def test_missing_field(self):
+        with pytest.raises(IsaParseError, match="missing field"):
+            parse_instruction_set(
+                "arch: neon\nvector_bits: 128\nIns: x ; Code: O1 = f(I1)"
+            )
+
+    def test_bad_cost(self):
+        with pytest.raises(IsaParseError, match="bad cost"):
+            parse_instruction_set(
+                "arch: neon\nvector_bits: 128\n"
+                "Ins: x ; Graph: Add,i32,4,I1,I2,O1 ; Code: O1 = f(I1,I2) ; Cost: cheap"
+            )
+
+    def test_duplicate_field(self):
+        with pytest.raises(IsaParseError, match="duplicate field"):
+            parse_instruction_set(
+                "arch: neon\nvector_bits: 128\n"
+                "Ins: x ; Ins: y ; Graph: Add,i32,4,I1,I2,O1 ; Code: O1 = f(I1,I2)"
+            )
+
+    def test_bad_vector_bits(self):
+        with pytest.raises(IsaParseError, match="vector_bits"):
+            parse_instruction_set("arch: neon\nvector_bits: wide\n")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IsaParseError, match="cannot read"):
+            load_instruction_set(tmp_path / "nope.si")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["neon", "sse4", "avx2"])
+    def test_builtin_sets_round_trip(self, name):
+        original = load_builtin(name)
+        text = dump_instruction_set(original)
+        restored = parse_instruction_set(text, source=f"{name}-roundtrip")
+        assert restored.arch == original.arch
+        assert restored.vector_bits == original.vector_bits
+        assert len(restored.instructions) == len(original.instructions)
+        for before, after in zip(original.instructions, restored.instructions):
+            assert before == after
+
+
+class TestPaperCompatibility:
+    def test_verbatim_paper_record_parses(self):
+        """§3.3's exact example form: no Ins field, spaces around colons,
+        trailing semicolon — the name derives from the code template."""
+        text = (
+            "arch: neon\nvector_bits: 128\n"
+            "Graph : Add, i32, 4, I1, I2, O1 ; Code : O1 = vaddq_s32(I1, I2);\n"
+        )
+        iset = parse_instruction_set(text, source="paper")
+        (spec,) = iset.instructions
+        assert spec.name == "vaddq_s32"
+        assert spec.root.op == "Add"
+        assert spec.code_template.strip() == "O1 = vaddq_s32(I1, I2)"
+
+    def test_unnameable_record_still_errors(self):
+        text = (
+            "arch: neon\nvector_bits: 128\n"
+            "Graph: Add,i32,4,I1,I2,O1 ; Code: something weird\n"
+        )
+        with pytest.raises(IsaParseError, match="missing field"):
+            parse_instruction_set(text)

@@ -1,0 +1,36 @@
+"""Tests for the instruction-set registry."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.parser import parse_instruction_set
+from repro.isa.registry import (
+    builtin_names,
+    clear_custom,
+    load_builtin,
+    register_instruction_set,
+)
+
+
+class TestRegistry:
+    def test_unknown_set(self):
+        with pytest.raises(IsaError, match="no built-in"):
+            load_builtin("vliw9000")
+
+    def test_caching_returns_same_object(self):
+        assert load_builtin("neon") is load_builtin("neon")
+
+    def test_custom_registration_and_shadowing(self):
+        custom = parse_instruction_set(
+            "arch: rvv\nvector_bits: 128\n"
+            "Ins: vadd_vv ; Graph: Add,i32,4,I1,I2,O1 ; Code: O1 = vadd_vv(I1, I2)"
+        )
+        try:
+            register_instruction_set(custom)
+            assert load_builtin("rvv").arch == "rvv"
+            # custom sets can also shadow builtins by name
+            register_instruction_set(custom, name="neon")
+            assert load_builtin("neon").arch == "rvv"
+        finally:
+            clear_custom()
+        assert load_builtin("neon").arch == "neon"

@@ -1,0 +1,202 @@
+"""Tests for instruction specs and their computing graphs."""
+
+import numpy as np
+import pytest
+
+from repro import ops
+from repro.dtypes import DataType
+from repro.errors import IsaError
+from repro.isa.parser import parse_pattern
+from repro.isa.registry import builtin_names, load_builtin
+from repro.isa.spec import InstructionSet, InstructionSpec, PatternNode
+
+
+def _spec(graph: str, code: str = "O1 = f(I1)", name: str = "test", cost: float = 1.0):
+    return InstructionSpec(name=name, arch="neon", nodes=parse_pattern(graph),
+                           code_template=code, cost=cost)
+
+
+class TestValidation:
+    def test_empty_pattern(self):
+        with pytest.raises(IsaError, match="empty"):
+            InstructionSpec("x", "neon", (), "code")
+
+    def test_must_end_with_o1(self):
+        with pytest.raises(IsaError, match="O1"):
+            _spec("Add,i32,4,I1,I2,T1")
+
+    def test_temp_used_before_produced(self):
+        with pytest.raises(IsaError, match="used before"):
+            _spec("Add,i32,4,T1,I1,O1")
+
+    def test_arity_checked(self):
+        with pytest.raises(IsaError, match="operand"):
+            _spec("Add,i32,4,I1,O1")
+
+    def test_imm_required_for_shifts(self):
+        with pytest.raises(IsaError, match="immediate"):
+            _spec("Shr,i32,4,I1,O1")
+
+    def test_imm_rejected_for_add(self):
+        with pytest.raises(IsaError, match="no immediate"):
+            _spec("Add,i32,4,I1,I2,#2,O1")
+
+    def test_mixed_dtypes_rejected(self):
+        with pytest.raises(IsaError, match="mixed"):
+            _spec("Mul,i32,4,I1,I2,T1 | Add,i16,8,T1,I3,O1")
+
+    def test_cast_may_differ(self):
+        spec = _spec("Cast,f32,4,I1:i32,O1")
+        assert spec.nodes[0].operand_dtype(0) is DataType.I32
+
+
+class TestStructure:
+    def test_single_node_properties(self):
+        spec = _spec("Add,i32,4,I1,I2,O1")
+        assert spec.node_count == 1
+        assert spec.depth == 1
+        assert spec.n_inputs == 2
+        assert spec.lanes == 4
+        assert spec.dtype is DataType.I32
+        assert spec.vector_bits == 128
+
+    def test_compound_properties(self):
+        spec = _spec("Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1")
+        assert spec.node_count == 2
+        assert spec.depth == 2
+        assert spec.input_tokens == ("I1", "I2", "I3")
+        assert spec.root.op == "Add"
+        assert spec.producer_of("T1").op == "Mul"
+        assert spec.producer_of("I1") is None
+
+    def test_wildcard_imm_flag(self):
+        assert _spec("Shr,i32,4,I1,#imm,O1").has_wildcard_imm
+        assert not _spec("Shr,i32,4,I1,#1,O1").has_wildcard_imm
+
+
+class TestEvaluation:
+    def test_single_node(self):
+        spec = _spec("Add,i32,4,I1,I2,O1")
+        a = np.array([1, 2, 3, 4], np.int32)
+        b = np.array([10, 20, 30, 40], np.int32)
+        assert list(spec.evaluate({"I1": a, "I2": b})) == [11, 22, 33, 44]
+
+    def test_compound_vmla(self):
+        spec = _spec("Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1")
+        a = np.array([1, 2, 3, 4], np.int32)
+        b = np.array([2, 2, 2, 2], np.int32)
+        c = np.array([100, 100, 100, 100], np.int32)
+        assert list(spec.evaluate({"I1": a, "I2": b, "I3": c})) == [102, 104, 106, 108]
+
+    def test_fixed_imm(self):
+        spec = _spec("Add,i32,4,I1,I2,T1 | Shr,i32,4,T1,#1,O1")
+        a = np.array([3, 5, 7, 9], np.int32)
+        b = np.array([1, 1, 1, 1], np.int32)
+        assert list(spec.evaluate({"I1": a, "I2": b})) == [2, 3, 4, 5]
+
+    def test_wildcard_imm_required(self):
+        spec = _spec("Shr,i32,4,I1,#imm,O1")
+        a = np.array([8, 8, 8, 8], np.int32)
+        with pytest.raises(IsaError, match="immediate"):
+            spec.evaluate({"I1": a})
+        assert list(spec.evaluate({"I1": a}, imm=2)) == [2, 2, 2, 2]
+
+    def test_missing_input(self):
+        spec = _spec("Add,i32,4,I1,I2,O1")
+        with pytest.raises(IsaError, match="missing inputs"):
+            spec.evaluate({"I1": np.zeros(4, np.int32)})
+
+
+class TestRenderCode:
+    def test_substitution(self):
+        spec = _spec("Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1",
+                     code="O1 = vmlaq_s32(I3, I1, I2)")
+        text = spec.render_code("d", {"I1": "a", "I2": "b", "I3": "c"})
+        assert text == "d = vmlaq_s32(c, a, b)"
+
+    def test_imm_substitution(self):
+        spec = _spec("Shr,i32,4,I1,#imm,O1", code="O1 = vshrq_n_s32(I1, #imm)")
+        assert spec.render_code("y", {"I1": "x"}, imm=3) == "y = vshrq_n_s32(x, 3)"
+
+    def test_long_tokens_not_clobbered(self):
+        nodes = parse_pattern(
+            "Add,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,T2 | Add,i32,4,T2,I10,O1"
+        )
+        # synthetic 10-input style name check through render path
+        spec = InstructionSpec("t", "neon", nodes, "O1 = f(I1, I10)")
+        text = spec.render_code("o", {"I1": "first", "I2": "x", "I3": "x", "I10": "tenth"})
+        assert text == "o = f(first, tenth)"
+
+
+class TestBuiltinSets:
+    @pytest.mark.parametrize("name", ["neon", "sse4", "avx2"])
+    def test_loads(self, name):
+        iset = load_builtin(name)
+        assert iset.instructions
+        assert iset.vector_bits in (128, 256)
+
+    def test_builtin_names(self):
+        assert set(builtin_names()) >= {"neon", "sse4", "avx2"}
+
+    @pytest.mark.parametrize("name", ["neon", "sse4", "avx2"])
+    def test_every_instruction_evaluates_like_its_ops(self, name, rng):
+        """Property: an instruction's evaluate() equals composing the
+        shared op semantics over its pattern graph by hand."""
+        iset = load_builtin(name)
+        for spec in iset.instructions:
+            lanes = spec.lanes
+            inputs = {}
+            for position, token in enumerate(spec.input_tokens):
+                dtype = None
+                # find the annotated dtype for the operand
+                for node in spec.nodes:
+                    values = [t for t in node.inputs if not t.startswith("#")]
+                    if token in values:
+                        dtype = node.operand_dtype(values.index(token))
+                        break
+                assert dtype is not None
+                if dtype.is_float:
+                    data = rng.uniform(1.0, 4.0, size=lanes).astype(dtype.numpy_dtype)
+                else:
+                    data = rng.integers(1, 20, size=lanes).astype(dtype.numpy_dtype)
+                inputs[token] = data
+            imm = 1 if spec.has_wildcard_imm else None
+            out = spec.evaluate(dict(inputs), imm=imm)
+            # manual composition
+            env = dict(inputs)
+            for node in spec.nodes:
+                args = [env[t] for t in node.value_inputs]
+                node_imm = None
+                if node.imm_token == "#imm":
+                    node_imm = imm
+                elif node.imm_token is not None:
+                    node_imm = int(node.imm_token[1:])
+                env[node.output] = ops.apply_op(node.op, node.dtype, args, node_imm)
+            assert np.array_equal(out, env["O1"]), spec.name
+
+    def test_lanes_for(self):
+        neon = load_builtin("neon")
+        assert neon.lanes_for(DataType.I32) == 4
+        assert neon.lanes_for(DataType.I8) == 16
+        avx2 = load_builtin("avx2")
+        assert avx2.lanes_for(DataType.F32) == 8
+
+    def test_by_name_missing(self):
+        with pytest.raises(IsaError, match="no instruction"):
+            load_builtin("neon").by_name("vfrobq_s32")
+
+    def test_restricted_removes_compound(self):
+        neon = load_builtin("neon")
+        basic = neon.restricted(max_nodes=1)
+        assert basic.max_node_count == 1
+        assert len(basic.instructions) < len(neon.instructions)
+
+    def test_duplicate_names_rejected(self):
+        spec = _spec("Add,i32,4,I1,I2,O1", name="dup")
+        with pytest.raises(IsaError, match="duplicate"):
+            InstructionSet("neon", 128, (spec, spec))
+
+    def test_wrong_width_rejected(self):
+        spec = _spec("Add,i32,4,I1,I2,O1", name="narrow")
+        with pytest.raises(IsaError, match="128-bit pattern"):
+            InstructionSet("neon", 256, (spec,))

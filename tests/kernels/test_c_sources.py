@@ -1,0 +1,168 @@
+"""Validate the emitted kernel C bodies against the Python kernels.
+
+Each generated C function is compiled with the host compiler, run on
+random input, and compared with the corresponding Python kernel (which
+is itself tested against numpy).  Skips when no compiler is present.
+"""
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DataType
+from repro.kernels import default_library
+from repro.kernels.c_sources import has_c_source, kernel_c_source, specialized_name
+
+GCC = shutil.which("gcc")
+
+pytestmark = pytest.mark.skipif(GCC is None, reason="no host C compiler")
+
+
+def _run_kernel_c(kernel_id, params, dtype, inputs, out_length, tmp_path):
+    source = kernel_c_source(kernel_id, params, dtype)
+    assert source is not None
+    name = specialized_name(kernel_id, params)
+    ctype = {"f32": "float", "f64": "double", "i32": "int32_t"}[dtype.value]
+    fmt = "%.9g" if dtype.is_float else "%lld"
+    cast = "(double)" if dtype.is_float else "(long long)"
+
+    main_lines = ["#include <stdio.h>", "#include <stdint.h>", "#include <math.h>",
+                  "#include <string.h>", "", source, "", "int main(void) {"]
+    arg_names = []
+    for position, data in enumerate(inputs):
+        flat = np.asarray(data).ravel()
+        rendered = ", ".join(
+            f"{float(v)!r}" if dtype.is_float else str(int(v)) for v in flat
+        )
+        main_lines.append(
+            f"    static const {ctype} in{position}[{flat.size}] = {{{rendered}}};"
+        )
+        arg_names.append(f"in{position}")
+    main_lines.append(f"    static {ctype} out0[{out_length}];")
+    arg_names.append("out0")
+    main_lines.append(f"    {name}({', '.join(arg_names)});")
+    main_lines.append(f"    for (int i = 0; i < {out_length}; ++i) "
+                      f'printf("{fmt}\\n", {cast}out0[i]);')
+    main_lines.append("    return 0;\n}")
+
+    c_file = tmp_path / "kernel.c"
+    c_file.write_text("\n".join(main_lines))
+    binary = tmp_path / "kernel"
+    completed = subprocess.run(
+        [GCC, "-O1", "-std=c99", str(c_file), "-o", str(binary), "-lm"],
+        capture_output=True, text=True,
+    )
+    assert completed.returncode == 0, completed.stderr[-1500:]
+    run = subprocess.run([str(binary)], capture_output=True, text=True, timeout=30)
+    assert run.returncode == 0
+    return np.array([float(v) for v in run.stdout.split()])
+
+
+class TestSpecializedNames:
+    def test_name_includes_sizes(self):
+        assert specialized_name("fft.radix2", {"n": 64}) == "fft_radix2_n64"
+        assert specialized_name("conv2d.direct",
+                                {"rows": 4, "cols": 8, "krows": 2, "kcols": 2}
+                                ) == "conv2d_direct_rows4_cols8_krows2_kcols2"
+
+    def test_has_c_source(self):
+        assert has_c_source("conv.direct", {"n": 8, "m": 3})
+        assert has_c_source("fft.radix2", {"n": 16})
+        assert not has_c_source("fft.radix2", {"n": 12})   # not 2^k
+        assert not has_c_source("fft.bluestein", {"n": 12})
+        assert not has_c_source("matdet.cofactor", {"n": 4})  # kept in library
+
+
+class TestAgainstPythonKernels:
+    def _reference(self, kernel_id, inputs, params, dtype):
+        library = default_library()
+        return library.by_id(kernel_id).run(inputs, params, dtype).outputs[0]
+
+    def test_conv_direct(self, tmp_path, rng):
+        params = {"n": 20, "m": 5}
+        a = rng.normal(size=20)
+        b = rng.normal(size=5)
+        got = _run_kernel_c("conv.direct", params, DataType.F64, [a, b], 24, tmp_path)
+        want = self._reference("conv.direct", [a, b], params, DataType.F64)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_conv_direct_integer(self, tmp_path, rng):
+        params = {"n": 10, "m": 3}
+        a = rng.integers(-40, 40, 10).astype(np.int32)
+        b = rng.integers(-40, 40, 3).astype(np.int32)
+        got = _run_kernel_c("conv.direct", params, DataType.I32, [a, b], 12, tmp_path)
+        want = self._reference("conv.direct", [a, b], params, DataType.I32)
+        assert np.array_equal(got.astype(np.int64), want.astype(np.int64))
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_matmul_unrolled(self, n, tmp_path, rng):
+        a = rng.normal(size=(n, n))
+        b = rng.normal(size=(n, n))
+        got = _run_kernel_c("matmul.unrolled", {"n": n}, DataType.F64,
+                            [a, b], n * n, tmp_path)
+        assert np.allclose(got.reshape(n, n), a @ b, atol=1e-9)
+
+    def test_matmul_naive_large(self, tmp_path, rng):
+        n = 6
+        a = rng.normal(size=(n, n))
+        b = rng.normal(size=(n, n))
+        got = _run_kernel_c("matmul.naive", {"n": n}, DataType.F64,
+                            [a, b], n * n, tmp_path)
+        assert np.allclose(got.reshape(n, n), a @ b, atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_matinv_cofactor(self, n, tmp_path, rng):
+        a = rng.normal(size=(n, n)) + np.eye(n) * n
+        got = _run_kernel_c("matinv.cofactor", {"n": n}, DataType.F64,
+                            [a], n * n, tmp_path)
+        assert np.allclose(got.reshape(n, n) @ a, np.eye(n), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_matinv_gauss(self, n, tmp_path, rng):
+        a = rng.normal(size=(n, n)) + np.eye(n) * n
+        got = _run_kernel_c("matinv.gauss", {"n": n}, DataType.F64,
+                            [a], n * n, tmp_path)
+        assert np.allclose(got.reshape(n, n) @ a, np.eye(n), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_matdet_cofactor(self, n, tmp_path, rng):
+        a = rng.normal(size=(n, n))
+        got = _run_kernel_c("matdet.cofactor", {"n": n}, DataType.F64, [a], 1, tmp_path)
+        assert np.isclose(got[0], np.linalg.det(a))
+
+    def test_dct_naive(self, tmp_path, rng):
+        n = 16
+        x = rng.normal(size=n)
+        got = _run_kernel_c("dct.naive", {"n": n}, DataType.F64, [x], n, tmp_path)
+        want = self._reference("dct.naive", [x], {"n": n}, DataType.F64)
+        assert np.allclose(got, want, atol=1e-7)
+
+    def test_fft_naive(self, tmp_path, rng):
+        n = 12
+        x = rng.normal(size=n)
+        got = _run_kernel_c("fft.naive", {"n": n}, DataType.F64, [x], 2 * n, tmp_path)
+        ref = np.fft.fft(x)
+        assert np.allclose(got[:n] + 1j * got[n:], ref, atol=1e-7)
+
+    @pytest.mark.parametrize("n", [8, 64, 256])
+    def test_fft_radix2(self, n, tmp_path, rng):
+        x = rng.normal(size=n)
+        got = _run_kernel_c("fft.radix2", {"n": n}, DataType.F64, [x], 2 * n, tmp_path)
+        ref = np.fft.fft(x)
+        assert np.allclose(got[:n] + 1j * got[n:], ref, atol=1e-6)
+
+    def test_conv2d_direct(self, tmp_path, rng):
+        params = {"rows": 5, "cols": 6, "krows": 2, "kcols": 3}
+        a = rng.normal(size=(5, 6))
+        k = rng.normal(size=(2, 3))
+        got = _run_kernel_c("conv2d.direct", params, DataType.F64,
+                            [a, k], 6 * 8, tmp_path)
+        want = self._reference("conv2d.direct", [a, k], params, DataType.F64)
+        assert np.allclose(got.reshape(6, 8), want, atol=1e-9)
+
+    def test_simd_fallback_annotated(self):
+        source = kernel_c_source("conv.direct_simd", {"n": 8, "m": 3}, DataType.F32)
+        assert source is not None
+        assert "scalar reference body" in source

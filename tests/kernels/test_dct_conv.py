@@ -1,0 +1,120 @@
+"""Tests for DCT, IDCT and convolution kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ARM_A72
+from repro.dtypes import DataType
+from repro.kernels.base import OpCounts
+from repro.kernels.conv import ConvDirect, ConvFft, make_conv_kernels
+from repro.kernels.dct import (
+    DctLee,
+    DctNaive,
+    DctViaFft,
+    IdctNaive,
+    IdctViaDct,
+    make_dct_kernels,
+    make_idct_kernels,
+    _dct2_matrix,
+)
+
+
+class TestDctCorrectness:
+    @pytest.mark.parametrize("kernel", [DctNaive(), DctViaFft(), DctLee()],
+                             ids=lambda k: k.kernel_id)
+    @pytest.mark.parametrize("n", [1, 2, 8, 32, 64])
+    def test_matches_basis(self, kernel, n, rng):
+        if not kernel.can_handle(DataType.F64, {"n": n}):
+            pytest.skip("out of domain")
+        x = rng.normal(size=n)
+        out = kernel.run([x], {"n": n}, DataType.F64).outputs[0]
+        assert np.allclose(out, _dct2_matrix(n) @ x, atol=1e-8)
+
+    def test_via_fft_handles_non_pow2(self, rng):
+        x = rng.normal(size=12)
+        out = DctViaFft().run([x], {"n": 12}, DataType.F64).outputs[0]
+        assert np.allclose(out, _dct2_matrix(12) @ x, atol=1e-8)
+
+    def test_lee_pow2_only(self):
+        assert DctLee().can_handle(DataType.F32, {"n": 64})
+        assert not DctLee().can_handle(DataType.F32, {"n": 48})
+
+    @given(st.integers(2, 7))
+    @settings(max_examples=6, deadline=None)
+    def test_lee_recursion_every_pow2(self, k):
+        n = 2 ** k
+        rng = np.random.default_rng(k)
+        x = rng.normal(size=n)
+        out = DctLee().run([x], {"n": n}, DataType.F64).outputs[0]
+        assert np.allclose(out, _dct2_matrix(n) @ x, atol=1e-7)
+
+    def test_idct_inverts_dct(self, rng):
+        n = 16
+        x = rng.normal(size=n)
+        coeffs = DctNaive().run([x], {"n": n}, DataType.F64).outputs[0]
+        for kernel in (IdctNaive(), IdctViaDct()):
+            back = kernel.run([coeffs], {"n": n}, DataType.F64).outputs[0]
+            assert np.allclose(back, x, atol=1e-8), kernel.kernel_id
+
+    def test_library_sets(self):
+        dct = {k.kernel_id for k in make_dct_kernels()}
+        assert {"dct.naive", "dct.fft", "dct.lee", "dct.lee_simd"} <= dct
+        idct = {k.kernel_id for k in make_idct_kernels()}
+        assert "idct.naive" in idct
+
+    def test_lee_cheaper_than_naive_at_scale(self):
+        lee, naive = OpCounts(), OpCounts()
+        DctLee().execute([np.zeros(256)], {"n": 256}, lee)
+        DctNaive().execute([np.zeros(256)], {"n": 256}, naive)
+        assert lee.cycles(ARM_A72.cost) < naive.cycles(ARM_A72.cost) / 5
+
+    def test_lee_cheaper_than_fft_generic(self):
+        lee, generic = OpCounts(), OpCounts()
+        DctLee().execute([np.zeros(1024)], {"n": 1024}, lee)
+        DctViaFft().execute([np.zeros(1024)], {"n": 1024}, generic)
+        assert lee.cycles(ARM_A72.cost) < generic.cycles(ARM_A72.cost)
+
+
+class TestConvCorrectness:
+    @pytest.mark.parametrize("n,m", [(1, 1), (5, 3), (32, 8), (100, 17)])
+    def test_direct_matches_numpy(self, n, m, rng):
+        a = rng.normal(size=n)
+        b = rng.normal(size=m)
+        out = ConvDirect().run([a, b], {"n": n, "m": m}, DataType.F64).outputs[0]
+        assert np.allclose(out, np.convolve(a, b))
+
+    @pytest.mark.parametrize("n,m", [(5, 3), (32, 8), (100, 17)])
+    def test_fft_matches_numpy(self, n, m, rng):
+        a = rng.normal(size=n)
+        b = rng.normal(size=m)
+        out = ConvFft().run([a, b], {"n": n, "m": m}, DataType.F64).outputs[0]
+        assert np.allclose(out, np.convolve(a, b), atol=1e-8)
+
+    def test_integer_direct(self, rng):
+        a = rng.integers(-50, 50, size=10).astype(np.int32)
+        b = rng.integers(-50, 50, size=3).astype(np.int32)
+        out = ConvDirect().run([a, b], {"n": 10, "m": 3}, DataType.I32).outputs[0]
+        assert np.array_equal(out, np.convolve(a.astype(np.int64), b.astype(np.int64)).astype(np.int32))
+
+    def test_fft_rejects_integers(self):
+        assert not ConvFft().can_handle(DataType.I32, {"n": 8, "m": 3})
+        assert ConvDirect().can_handle(DataType.I32, {"n": 8, "m": 3})
+
+    def test_crossover_direct_vs_fft(self):
+        """Algorithm 1's raison d'etre: direct wins small taps, FFT wins
+        when both operands are long."""
+        def cycles(kernel, n, m):
+            counts = OpCounts()
+            kernel.execute([np.zeros(n), np.zeros(m)], {"n": n, "m": m}, counts)
+            return counts.cycles(ARM_A72.cost)
+
+        assert cycles(ConvDirect(), 64, 4) < cycles(ConvFft(), 64, 4)
+        assert cycles(ConvFft(), 1024, 1024) < cycles(ConvDirect(), 1024, 1024)
+
+    def test_library_set(self):
+        ids = {k.kernel_id for k in make_conv_kernels()}
+        assert {"conv.direct", "conv.fft", "conv.direct_simd", "conv.fft_simd"} == ids
+        generals = [k for k in make_conv_kernels() if k.general]
+        assert [k.kernel_id for k in generals] == ["conv.direct"]

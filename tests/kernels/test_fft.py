@@ -1,0 +1,147 @@
+"""Tests for the FFT kernel implementations (Fig. 1's code library)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ARM_A72
+from repro.dtypes import DataType
+from repro.errors import KernelDomainError
+from repro.kernels.base import OpCounts
+from repro.kernels.fft import (
+    FftBluestein,
+    FftMixed,
+    FftNaive,
+    FftRadix2,
+    FftRadix4,
+    make_fft_kernels,
+)
+
+
+ALL_FORWARD = {k.kernel_id: k for k in make_fft_kernels(inverse=False)}
+ALL_INVERSE = {k.kernel_id: k for k in make_fft_kernels(inverse=True)}
+
+
+class TestDomains:
+    def test_radix2_powers_of_two_only(self):
+        k = FftRadix2(inverse=False)
+        assert k.can_handle(DataType.F32, {"n": 64})
+        assert not k.can_handle(DataType.F32, {"n": 48})
+        assert not k.can_handle(DataType.I32, {"n": 64})
+
+    def test_radix4_powers_of_four_only(self):
+        k = FftRadix4(inverse=False)
+        assert k.can_handle(DataType.F64, {"n": 256})
+        assert not k.can_handle(DataType.F64, {"n": 128})
+
+    def test_general_implementations_handle_anything(self):
+        for k in (FftNaive(False), FftMixed(False), FftBluestein(False)):
+            for n in (1, 2, 3, 7, 12, 60, 100, 1000):
+                assert k.can_handle(DataType.F64, {"n": n}), (k.kernel_id, n)
+
+    def test_run_rejects_out_of_domain(self):
+        with pytest.raises(KernelDomainError):
+            FftRadix2(inverse=False).run([np.zeros(12)], {"n": 12}, DataType.F64)
+
+    def test_exactly_one_general(self):
+        generals = [k for k in ALL_FORWARD.values() if k.general]
+        assert len(generals) == 1 and generals[0].kernel_id == "fft.mixed"
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kernel_id", sorted(ALL_FORWARD))
+    @pytest.mark.parametrize("n", [1, 4, 16, 64, 12, 45, 97, 128])
+    def test_forward_matches_numpy(self, kernel_id, n, rng):
+        kernel = ALL_FORWARD[kernel_id]
+        if not kernel.can_handle(DataType.F64, {"n": n}):
+            pytest.skip("out of domain")
+        x = rng.normal(size=n)
+        run = kernel.run([x], {"n": n}, DataType.F64)
+        got = run.outputs[0][0] + 1j * run.outputs[0][1]
+        assert np.allclose(got, np.fft.fft(x), atol=1e-8), kernel_id
+
+    @pytest.mark.parametrize("kernel_id", sorted(ALL_INVERSE))
+    def test_inverse_matches_numpy(self, kernel_id, rng):
+        kernel = ALL_INVERSE[kernel_id]
+        n = 16
+        spectrum = rng.normal(size=(2, n))
+        run = kernel.run([spectrum], {"n": n}, DataType.F64)
+        got = run.outputs[0][0] + 1j * run.outputs[0][1]
+        ref = np.fft.ifft(spectrum[0] + 1j * spectrum[1])
+        assert np.allclose(got, ref, atol=1e-8), kernel_id
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_handles_every_length(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n)
+        run = FftMixed(inverse=False).run([x], {"n": n}, DataType.F64)
+        got = run.outputs[0][0] + 1j * run.outputs[0][1]
+        assert np.allclose(got, np.fft.fft(x), atol=1e-7)
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_bluestein_handles_every_length(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n)
+        run = FftBluestein(inverse=False).run([x], {"n": n}, DataType.F64)
+        got = run.outputs[0][0] + 1j * run.outputs[0][1]
+        assert np.allclose(got, np.fft.fft(x), atol=1e-7)
+
+
+class TestOperationCounts:
+    def _cycles(self, kernel, n):
+        counts = OpCounts()
+        kernel.execute([np.zeros(n)], {"n": n}, counts)
+        return counts.cycles(ARM_A72.cost)
+
+    def test_naive_is_quadratic(self):
+        small = self._cycles(FftNaive(False), 64)
+        big = self._cycles(FftNaive(False), 128)
+        assert 3.5 < big / small < 4.5
+
+    def test_radix2_is_n_log_n(self):
+        small = self._cycles(FftRadix2(False), 64)
+        big = self._cycles(FftRadix2(False), 128)
+        assert 2.0 < big / small < 2.7
+
+    def test_radix4_beats_radix2_at_powers_of_four(self):
+        assert self._cycles(FftRadix4(False), 1024) < self._cycles(FftRadix2(False), 1024)
+
+    def test_figure1_no_implementation_always_best(self):
+        """The paper's Fig. 1 premise: different winners at different n."""
+        def best_at(n):
+            candidates = {
+                "naive": FftNaive(False),
+                "mixed": FftMixed(False),
+                "bluestein": FftBluestein(False),
+            }
+            return min(candidates, key=lambda name: self._cycles(candidates[name], n))
+
+        winners = {best_at(n) for n in (2, 3, 480, 1000)}
+        assert len(winners) > 1, "one implementation dominated everywhere"
+
+    def test_mixed_overhead_hurts_small_sizes(self):
+        # at tiny n the naive DFT beats the mixed machinery
+        assert self._cycles(FftNaive(False), 3) < self._cycles(FftMixed(False), 3)
+
+    def test_mixed_wins_large_composite(self):
+        n = 960  # highly composite
+        assert self._cycles(FftMixed(False), n) < self._cycles(FftNaive(False), n)
+        assert self._cycles(FftMixed(False), n) < self._cycles(FftBluestein(False), n)
+
+    def test_simd_variant_counts_match_base(self):
+        base = OpCounts()
+        FftRadix2(False).execute([np.zeros(64)], {"n": 64}, base)
+        simd = OpCounts()
+        ALL_FORWARD["fft.radix2_simd"].execute([np.zeros(64)], {"n": 64}, simd)
+        assert base.mul == simd.mul and base.add == simd.add
+
+    def test_simd_variant_cheaper_under_lanes(self):
+        x = np.zeros(256)
+        scalar = FftRadix2(False).measure_cycles([x], {"n": 256}, DataType.F32, ARM_A72.cost, 4)
+        simd = ALL_FORWARD["fft.radix2_simd"].measure_cycles(
+            [x], {"n": 256}, DataType.F32, ARM_A72.cost, 4
+        )
+        assert simd < scalar

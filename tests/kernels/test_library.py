@@ -1,0 +1,93 @@
+"""Tests for the code library (Algorithm 1's loadCodeLibrary)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import CodeLibrary, build_default_library, default_library
+from repro.kernels.base import Kernel, kernel_cycles, OpCounts
+from repro.arch import ARM_A72
+
+
+class TestLibrary:
+    def test_every_table1_actor_covered(self, library):
+        expected = {"fft", "ifft", "fft2d", "ifft2d", "dct", "idct", "dct2d",
+                    "idct2d", "conv", "conv2d", "matmul", "matinv", "matdet"}
+        assert set(library.actor_keys()) == expected
+
+    def test_one_to_many(self, library):
+        assert len(library.implementations("fft")) >= 5
+
+    def test_exactly_one_general_per_key(self, library):
+        for key in library.actor_keys():
+            generals = [k for k in library.implementations(key) if k.general]
+            assert len(generals) == 1, key
+
+    def test_by_id(self, library):
+        assert library.by_id("fft.radix4").actor_key == "fft"
+        with pytest.raises(KernelError, match="unknown kernel id"):
+            library.by_id("fft.quantum")
+
+    def test_unknown_key(self, library):
+        with pytest.raises(KernelError, match="no implementations"):
+            library.implementations("blockchain")
+
+    def test_duplicate_registration_rejected(self, library):
+        lib = CodeLibrary()
+        kernel = library.by_id("fft.radix2")
+        lib.register(kernel)
+        with pytest.raises(KernelError, match="twice"):
+            lib.register(kernel)
+
+    def test_default_library_is_cached(self):
+        assert default_library() is default_library()
+
+    def test_build_makes_fresh(self):
+        assert build_default_library() is not default_library()
+
+    def test_unique_ids(self, library):
+        seen = set()
+        for key in library.actor_keys():
+            for kernel in library.implementations(key):
+                assert kernel.kernel_id not in seen
+                seen.add(kernel.kernel_id)
+
+
+class TestKernelCycles:
+    def test_scalar_path_includes_call_overhead(self):
+        counts = OpCounts(add=100)
+        cycles = kernel_cycles(counts, ARM_A72.cost, simd=False, lanes=4,
+                               vectorizable_fraction=0.0)
+        assert cycles == pytest.approx(100 + ARM_A72.cost.call_overhead)
+
+    def test_simd_path_cheaper(self):
+        counts = OpCounts(add=1000)
+        scalar = kernel_cycles(counts, ARM_A72.cost, False, 4, 0.0)
+        simd = kernel_cycles(counts, ARM_A72.cost, True, 4, 0.9)
+        assert simd < scalar
+
+    def test_more_lanes_cheaper(self):
+        counts = OpCounts(mul=1000)
+        four = kernel_cycles(counts, ARM_A72.cost, True, 4, 0.9)
+        eight = kernel_cycles(counts, ARM_A72.cost, True, 8, 0.9)
+        assert eight < four
+
+    def test_zero_vectorizable_is_scalar(self):
+        counts = OpCounts(add=100)
+        assert kernel_cycles(counts, ARM_A72.cost, True, 4, 0.0) == pytest.approx(
+            kernel_cycles(counts, ARM_A72.cost, False, 4, 0.0)
+        )
+
+
+class TestOpCounts:
+    def test_scale(self):
+        counts = OpCounts(add=2, mul=4, load=6)
+        doubled = counts.scale(2.0)
+        assert doubled.add == 4 and doubled.mul == 8 and doubled.load == 12
+
+    def test_merge(self):
+        a = OpCounts(add=1)
+        a.merge(OpCounts(add=2, div=3))
+        assert a.add == 3 and a.div == 3
+
+    def test_arithmetic_total(self):
+        assert OpCounts(add=1, mul=2, div=3, sqrt=4).arithmetic == 10

@@ -1,0 +1,125 @@
+"""Tests for matrix kernels and 2-D transform kernels."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.dtypes import DataType
+from repro.kernels.base import OpCounts
+from repro.kernels.matrix import (
+    MatDetCofactor,
+    MatDetLu,
+    MatInvCofactor,
+    MatInvGauss,
+    MatMulNaive,
+    MatMulUnrolled,
+)
+from repro.kernels.transforms2d import (
+    Conv2dDirect,
+    Dct2dRowCol,
+    Fft2dRowCol,
+    Idct2dRowCol,
+)
+
+
+class TestMatMul:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_results(self, n, rng):
+        a = rng.normal(size=(n, n))
+        b = rng.normal(size=(n, n))
+        for kernel in (MatMulNaive(), MatMulUnrolled()):
+            out = kernel.run([a, b], {"n": n}, DataType.F64).outputs[0]
+            assert np.allclose(out, a @ b), kernel.kernel_id
+
+    def test_integer_matmul_wraps(self):
+        a = np.full((2, 2), 2**20, dtype=np.int32)
+        out = MatMulNaive().run([a, a], {"n": 2}, DataType.I32).outputs[0]
+        ref = (a.astype(np.int64) @ a.astype(np.int64)).astype(np.int32)
+        assert np.array_equal(out, ref)
+
+    def test_unrolled_limited_to_4(self):
+        assert MatMulUnrolled().can_handle(DataType.F32, {"n": 4})
+        assert not MatMulUnrolled().can_handle(DataType.F32, {"n": 5})
+        assert MatMulNaive().can_handle(DataType.F32, {"n": 10})
+
+    def test_unrolled_cheaper(self):
+        a = np.zeros((4, 4))
+        naive, unrolled = OpCounts(), OpCounts()
+        MatMulNaive().execute([a, a], {"n": 4}, naive)
+        MatMulUnrolled().execute([a, a], {"n": 4}, unrolled)
+        assert unrolled.cycles(ARM_A72.cost) < naive.cycles(ARM_A72.cost)
+
+
+class TestMatInvDet:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_inversion(self, n, rng):
+        a = rng.normal(size=(n, n)) + np.eye(n) * n
+        for kernel in (MatInvGauss(), MatInvCofactor()):
+            out = kernel.run([a], {"n": n}, DataType.F64).outputs[0]
+            assert np.allclose(out @ a, np.eye(n), atol=1e-8), kernel.kernel_id
+
+    def test_gauss_handles_large(self, rng):
+        a = rng.normal(size=(8, 8)) + np.eye(8) * 8
+        out = MatInvGauss().run([a], {"n": 8}, DataType.F64).outputs[0]
+        assert np.allclose(out @ a, np.eye(8), atol=1e-7)
+
+    def test_cofactor_cheaper_small(self):
+        a = np.eye(3)
+        gauss, cofactor = OpCounts(), OpCounts()
+        MatInvGauss().execute([a], {"n": 3}, gauss)
+        MatInvCofactor().execute([a], {"n": 3}, cofactor)
+        assert cofactor.cycles(ARM_A72.cost) < gauss.cycles(ARM_A72.cost)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_determinant(self, n, rng):
+        a = rng.normal(size=(n, n))
+        for kernel in (MatDetLu(), MatDetCofactor()):
+            out = kernel.run([a], {"n": n}, DataType.F64).outputs[0]
+            assert np.isclose(float(out), np.linalg.det(a)), kernel.kernel_id
+
+
+class TestTransforms2d:
+    def test_fft2d(self, rng):
+        x = rng.normal(size=(8, 16))
+        kernel = Fft2dRowCol(inverse=False, algorithm="radix2")
+        out = kernel.run([x], {"rows": 8, "cols": 16}, DataType.F64).outputs[0]
+        ref = np.fft.fft2(x)
+        assert np.allclose(out[0] + 1j * out[1], ref)
+
+    def test_ifft2d_roundtrip(self, rng):
+        x = rng.normal(size=(4, 8))
+        fwd = Fft2dRowCol(inverse=False, algorithm="mixed")
+        spectrum = fwd.run([x], {"rows": 4, "cols": 8}, DataType.F64).outputs[0]
+        inv = Fft2dRowCol(inverse=True, algorithm="mixed")
+        back = inv.run([spectrum], {"rows": 4, "cols": 8}, DataType.F64).outputs[0]
+        assert np.allclose(back[0], x, atol=1e-8)
+
+    def test_radix2_2d_domain(self):
+        kernel = Fft2dRowCol(inverse=False, algorithm="radix2")
+        assert kernel.can_handle(DataType.F32, {"rows": 8, "cols": 16})
+        assert not kernel.can_handle(DataType.F32, {"rows": 12, "cols": 16})
+
+    def test_dct2d_idct2d_roundtrip(self, rng):
+        x = rng.normal(size=(8, 8))
+        coeffs = Dct2dRowCol("lee").run([x], {"rows": 8, "cols": 8}, DataType.F64).outputs[0]
+        back = Idct2dRowCol().run([coeffs], {"rows": 8, "cols": 8}, DataType.F64).outputs[0]
+        assert np.allclose(back, x, atol=1e-8)
+
+    def test_conv2d(self, rng):
+        a = rng.normal(size=(5, 7))
+        k = rng.normal(size=(3, 2))
+        out = Conv2dDirect().run([a, k], {"rows": 5, "cols": 7, "krows": 3, "kcols": 2},
+                                 DataType.F64).outputs[0]
+        # compare against scipy-free reference via explicit loops
+        ref = np.zeros((7, 8))
+        for i in range(3):
+            for j in range(2):
+                ref[i:i + 5, j:j + 7] += k[i, j] * a
+        assert np.allclose(out, ref)
+
+    def test_counts_scale_with_rows(self):
+        small, big = OpCounts(), OpCounts()
+        kernel = Fft2dRowCol(inverse=False, algorithm="radix2")
+        kernel.execute([np.zeros((4, 64))], {"rows": 4, "cols": 64}, small)
+        kernel.execute([np.zeros((8, 64))], {"rows": 8, "cols": 64}, big)
+        assert big.mul > 1.5 * small.mul

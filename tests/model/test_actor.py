@@ -1,0 +1,69 @@
+"""Tests for actors and ports."""
+
+import pytest
+
+from repro.dtypes import DataType
+from repro.errors import PortError
+from repro.model.actor import Actor, Port, PortDirection
+
+
+class TestPort:
+    def test_scalar_port(self):
+        port = Port("in1", PortDirection.IN, DataType.I32)
+        assert port.width == 1
+        assert not port.is_array
+        assert "scalar" in str(port)
+
+    def test_vector_port(self):
+        port = Port("out", PortDirection.OUT, DataType.F32, (8,))
+        assert port.width == 8
+        assert port.is_array
+
+    def test_matrix_port_width(self):
+        port = Port("out", PortDirection.OUT, DataType.F64, (3, 4))
+        assert port.width == 12
+
+    def test_invalid_shape(self):
+        with pytest.raises(PortError, match="non-positive"):
+            Port("p", PortDirection.IN, DataType.I32, (0,))
+
+
+class TestActor:
+    def test_add_ports_and_lookup(self):
+        actor = Actor("a", "Add")
+        actor.add_input("in1", DataType.I32, (4,))
+        actor.add_output("out", DataType.I32, (4,))
+        assert actor.input("in1").width == 4
+        assert actor.output("out").name == "out"
+
+    def test_duplicate_port_rejected(self):
+        actor = Actor("a", "Add")
+        actor.add_input("in1", DataType.I32)
+        with pytest.raises(PortError, match="already has"):
+            actor.add_input("in1", DataType.I32)
+
+    def test_missing_port_error_names_actor(self):
+        actor = Actor("my_actor", "Add")
+        with pytest.raises(PortError, match="my_actor"):
+            actor.input("nope")
+        with pytest.raises(PortError, match="my_actor"):
+            actor.output("nope")
+
+    def test_input_output_order_preserved(self):
+        actor = Actor("a", "Switch")
+        for name in ("in1", "ctrl", "in2"):
+            actor.add_input(name, DataType.F32)
+        assert [p.name for p in actor.inputs] == ["in1", "ctrl", "in2"]
+
+    def test_array_input_detection(self):
+        actor = Actor("a", "Add")
+        actor.add_input("in1", DataType.I32)
+        assert not actor.has_array_input
+        actor.add_input("in2", DataType.I32, (4,))
+        assert actor.has_array_input
+        assert actor.max_input_width == 4
+
+    def test_params_accessor(self):
+        actor = Actor("a", "Gain", {"gain": 3})
+        assert actor.param("gain") == 3
+        assert actor.param("missing", 7) == 7

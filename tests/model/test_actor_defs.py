@@ -1,0 +1,228 @@
+"""Per-type tests of the actor registry and reference semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DataType
+from repro.errors import ModelError
+from repro.model.actor_defs import (
+    ActorKind,
+    actor_def,
+    create_actor,
+    registered_types,
+)
+
+
+class TestRegistry:
+    def test_unknown_type(self):
+        with pytest.raises(ModelError, match="unknown actor type"):
+            actor_def("Quux")
+
+    def test_paper_table1_types_present(self):
+        types = set(registered_types())
+        # Table 1(a): intensive computing actors
+        assert {"MatMul", "MatInv", "MatDet", "FFT", "IFFT", "FFT2D",
+                "IFFT2D", "DCT", "IDCT", "DCT2D", "IDCT2D", "Conv",
+                "Conv2D"} <= types
+        # Table 1(b): batch computing actors
+        assert {"Add", "Sub", "Mul", "Div", "Shr", "Shl", "BitNot",
+                "BitAnd", "BitOr", "BitXor", "Min", "Max", "Abs", "Abd",
+                "Recp", "Sqrt"} <= types
+
+    def test_kinds(self):
+        assert actor_def("FFT").kind is ActorKind.INTENSIVE
+        assert actor_def("Add").kind is ActorKind.ELEMENTWISE
+        assert actor_def("Inport").kind is ActorKind.SOURCE
+        assert actor_def("Outport").kind is ActorKind.SINK
+        assert actor_def("Switch").kind is ActorKind.BASIC
+        assert actor_def("UnitDelay").stateful
+
+    def test_kernel_keys(self):
+        assert actor_def("FFT").kernel_key == "fft"
+        assert actor_def("Conv2D").kernel_key == "conv2d"
+        assert actor_def("Add").kernel_key is None
+
+
+def _evaluate(actor, inputs):
+    return actor_def(actor.actor_type).evaluate(actor, inputs, {})
+
+
+class TestElementwiseActors:
+    def test_add_ports(self):
+        actor = create_actor("a", "Add", DataType.I32, {"shape": (4,)})
+        assert len(actor.inputs) == 2
+        assert actor.output("out").shape == (4,)
+
+    def test_shr_requires_shift(self):
+        with pytest.raises(ModelError, match="shift"):
+            create_actor("s", "Shr", DataType.I32, {"shape": (4,)})
+
+    def test_shr_shift_range_checked(self):
+        with pytest.raises(ModelError, match="out of range"):
+            create_actor("s", "Shr", DataType.I8, {"shape": (4,), "shift": 9})
+
+    def test_bitand_rejects_float(self):
+        with pytest.raises(ModelError, match="does not support"):
+            create_actor("b", "BitAnd", DataType.F32, {"shape": (4,)})
+
+    def test_recp_rejects_int(self):
+        with pytest.raises(ModelError, match="does not support"):
+            create_actor("r", "Recp", DataType.I32, {"shape": (4,)})
+
+    def test_evaluate_elementwise(self):
+        actor = create_actor("m", "Mul", DataType.I16, {"shape": (3,)})
+        out = _evaluate(actor, {
+            "in1": np.array([1, 2, 3], np.int16),
+            "in2": np.array([4, 5, 6], np.int16),
+        })["out"]
+        assert list(out) == [4, 10, 18]
+
+    def test_cast_actor(self):
+        actor = create_actor("c", "Cast", DataType.F32,
+                             {"shape": (2,), "from_dtype": "i32"})
+        assert actor.input("in1").dtype is DataType.I32
+        out = _evaluate(actor, {"in1": np.array([1, 2], np.int32)})["out"]
+        assert out.dtype == np.float32
+
+
+class TestBasicActors:
+    def test_const_shape_from_value(self):
+        actor = create_actor("c", "Const", DataType.I32, {"value": [1, 2, 3]})
+        assert actor.output("out").shape == (3,)
+        assert list(_evaluate(actor, {})["out"]) == [1, 2, 3]
+
+    def test_const_requires_value(self):
+        with pytest.raises(ModelError, match="'value'"):
+            create_actor("c", "Const", DataType.I32, {})
+
+    def test_gain(self):
+        actor = create_actor("g", "Gain", DataType.F32, {"shape": (2,), "gain": 2.5})
+        out = _evaluate(actor, {"in1": np.array([2.0, 4.0], np.float32)})["out"]
+        assert list(out) == [5.0, 10.0]
+
+    def test_switch_takes_first_when_ctrl_ge_threshold(self):
+        actor = create_actor("s", "Switch", DataType.F32, {"shape": (2,), "threshold": 1.0})
+        first = np.array([1.0, 2.0], np.float32)
+        second = np.array([3.0, 4.0], np.float32)
+        chosen = _evaluate(actor, {"in1": first, "ctrl": np.float32(1.0), "in2": second})["out"]
+        assert list(chosen) == [1.0, 2.0]
+        chosen = _evaluate(actor, {"in1": first, "ctrl": np.float32(0.5), "in2": second})["out"]
+        assert list(chosen) == [3.0, 4.0]
+
+    def test_unit_delay_initial_and_update(self):
+        actor = create_actor("d", "UnitDelay", DataType.I32, {"shape": (2,), "initial": 9})
+        state = {}
+        defn = actor_def("UnitDelay")
+        out1 = defn.evaluate(actor, {"in1": np.array([1, 2], np.int32)}, state)["out"]
+        assert list(out1) == [9, 9]
+        out2 = defn.evaluate(actor, {"in1": np.array([3, 4], np.int32)}, state)["out"]
+        assert list(out2) == [1, 2]
+
+
+class TestIntensiveActors:
+    def test_fft_shapes(self):
+        actor = create_actor("f", "FFT", DataType.F32, {"n": 8})
+        assert actor.input("in1").shape == (8,)
+        assert actor.output("out").shape == (2, 8)
+
+    def test_fft_rejects_int(self):
+        with pytest.raises(ModelError, match="float"):
+            create_actor("f", "FFT", DataType.I32, {"n": 8})
+
+    def test_fft_semantics(self, rng):
+        actor = create_actor("f", "FFT", DataType.F64, {"n": 16})
+        x = rng.normal(size=16)
+        out = _evaluate(actor, {"in1": x})["out"]
+        ref = np.fft.fft(x)
+        assert np.allclose(out[0] + 1j * out[1], ref)
+
+    def test_ifft_round_trip(self, rng):
+        x = rng.normal(size=8)
+        fft = create_actor("f", "FFT", DataType.F64, {"n": 8})
+        spectrum = _evaluate(fft, {"in1": x})["out"]
+        ifft = create_actor("i", "IFFT", DataType.F64, {"n": 8})
+        back = _evaluate(ifft, {"in1": spectrum})["out"]
+        assert np.allclose(back[0], x)
+        assert np.allclose(back[1], 0.0, atol=1e-12)
+
+    def test_dct_idct_round_trip(self, rng):
+        x = rng.normal(size=16)
+        dct = create_actor("d", "DCT", DataType.F64, {"n": 16})
+        coeffs = _evaluate(dct, {"in1": x})["out"]
+        idct = create_actor("i", "IDCT", DataType.F64, {"n": 16})
+        back = _evaluate(idct, {"in1": coeffs})["out"]
+        assert np.allclose(back, x)
+
+    def test_conv_matches_numpy(self, rng):
+        actor = create_actor("c", "Conv", DataType.F64, {"n": 10, "m": 4})
+        a = rng.normal(size=10)
+        b = rng.normal(size=4)
+        out = _evaluate(actor, {"in1": a, "in2": b})["out"]
+        assert out.shape == (13,)
+        assert np.allclose(out, np.convolve(a, b))
+
+    def test_conv_integer_wraps(self):
+        actor = create_actor("c", "Conv", DataType.I32, {"n": 2, "m": 2})
+        a = np.array([2**30, 0], np.int32)
+        b = np.array([4, 0], np.int32)
+        out = _evaluate(actor, {"in1": a, "in2": b})["out"]
+        assert out[0] == 0  # wrapped
+
+    def test_matmul(self, rng):
+        actor = create_actor("m", "MatMul", DataType.F64, {"n": 3})
+        a = rng.normal(size=(3, 3))
+        b = rng.normal(size=(3, 3))
+        out = _evaluate(actor, {"in1": a, "in2": b})["out"]
+        assert np.allclose(out, a @ b)
+
+    def test_matinv(self, rng):
+        actor = create_actor("m", "MatInv", DataType.F64, {"n": 4})
+        a = rng.normal(size=(4, 4)) + 4 * np.eye(4)
+        out = _evaluate(actor, {"in1": a})["out"]
+        assert np.allclose(out @ a, np.eye(4), atol=1e-8)
+
+    def test_matdet_scalar_output(self, rng):
+        actor = create_actor("m", "MatDet", DataType.F64, {"n": 2})
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = _evaluate(actor, {"in1": a})["out"]
+        assert out.shape == ()
+        assert np.isclose(out, -2.0)
+
+    def test_fft2d_semantics(self, rng):
+        actor = create_actor("f", "FFT2D", DataType.F64, {"rows": 4, "cols": 8})
+        x = rng.normal(size=(4, 8))
+        out = _evaluate(actor, {"in1": x})["out"]
+        ref = np.fft.fft2(x)
+        assert np.allclose(out[0] + 1j * out[1], ref)
+
+    def test_dct2d_idct2d_round_trip(self, rng):
+        x = rng.normal(size=(4, 4))
+        dct = create_actor("d", "DCT2D", DataType.F64, {"rows": 4, "cols": 4})
+        coeffs = _evaluate(dct, {"in1": x})["out"]
+        idct = create_actor("i", "IDCT2D", DataType.F64, {"rows": 4, "cols": 4})
+        back = _evaluate(idct, {"in1": coeffs})["out"]
+        assert np.allclose(back, x)
+
+    def test_conv2d_full_output(self, rng):
+        actor = create_actor(
+            "c", "Conv2D", DataType.F64,
+            {"rows": 5, "cols": 6, "krows": 2, "kcols": 3},
+        )
+        a = rng.normal(size=(5, 6))
+        k = rng.normal(size=(2, 3))
+        out = _evaluate(actor, {"in1": a, "in2": k})["out"]
+        assert out.shape == (6, 8)
+        # spot-check one interior element against the definition
+        r, c = 3, 4
+        expected = sum(
+            k[i, j] * a[r - i, c - j]
+            for i in range(2) for j in range(3)
+            if 0 <= r - i < 5 and 0 <= c - j < 6
+        )
+        assert np.isclose(out[r, c], expected)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ModelError):
+            create_actor("f", "FFT", DataType.F32, {"n": 0})
+        with pytest.raises(ModelError):
+            create_actor("m", "MatMul", DataType.F32, {"n": -1})

@@ -1,0 +1,64 @@
+"""Tests for the fluent model builder."""
+
+import pytest
+
+from repro.dtypes import DataType
+from repro.errors import ModelError
+from repro.model.builder import ModelBuilder
+
+
+class TestBuilder:
+    def test_dtype_and_shape_inference_from_inputs(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=8, dtype=DataType.F32)
+        neg = b.add_actor("Neg", "n", x)
+        assert neg.actor.output("out").dtype is DataType.F32
+        assert neg.actor.output("out").shape == (8,)
+
+    def test_default_dtype_used_without_inputs(self):
+        b = ModelBuilder("m", default_dtype=DataType.I16)
+        x = b.inport("x", shape=4)
+        assert x.actor.output("out").dtype is DataType.I16
+
+    def test_too_many_inputs_rejected(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=4)
+        with pytest.raises(ModelError, match="input port"):
+            b.add_actor("Abs", "a", x, x)
+
+    def test_port_selection_getitem(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=4)
+        ref = x["out"]
+        assert ref.port == "out"
+        assert ref.actor is x.actor
+
+    def test_explicit_connect(self):
+        b = ModelBuilder("m", default_dtype=DataType.F32)
+        x = b.inport("x", shape=4)
+        ctrl = b.inport("c")
+        sw = b.add_actor("Switch", "sw", x, dtype=DataType.F32, shape=4)
+        b.connect(ctrl, sw, "ctrl")
+        b.connect(x, sw, "in2")
+        b.outport("y", sw)
+        model = b.build()
+        assert model.driver_of("sw", "ctrl").src_actor == "c"
+
+    def test_build_validates(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x", shape=4)
+        b.add_actor("Add", "s", x)  # in2 left undriven
+        with pytest.raises(ModelError, match="not driven"):
+            b.build()
+        # but can skip validation for staged construction
+        assert b.build(validate=False).name == "m"
+
+    def test_const_shorthand(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        c = b.const("c", value=[[1, 2], [3, 4]])
+        assert c.actor.output("out").shape == (2, 2)
+
+    def test_tuple_shape(self):
+        b = ModelBuilder("m", default_dtype=DataType.F64)
+        x = b.inport("x", shape=(2, 3))
+        assert x.actor.output("out").width == 6

@@ -1,0 +1,67 @@
+"""Tests for the DataType enum."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    DataType,
+    FLOAT_TYPES,
+    INTEGER_TYPES,
+    SIGNED_INTEGER_TYPES,
+    c_type_name,
+)
+
+
+class TestDataType:
+    def test_from_name(self):
+        assert DataType.from_name("i32") is DataType.I32
+        assert DataType.from_name(" F64 ") is DataType.F64
+
+    def test_from_name_invalid(self):
+        with pytest.raises(ValueError, match="unknown data type"):
+            DataType.from_name("i33")
+
+    @pytest.mark.parametrize("dtype,bits", [
+        (DataType.I8, 8), (DataType.U16, 16), (DataType.I32, 32),
+        (DataType.U64, 64), (DataType.F32, 32), (DataType.F64, 64),
+    ])
+    def test_bit_width(self, dtype, bits):
+        assert dtype.bit_width == bits
+        assert dtype.byte_width == bits // 8
+
+    def test_float_flags(self):
+        assert DataType.F32.is_float and not DataType.F32.is_integer
+        assert DataType.I32.is_integer and not DataType.I32.is_float
+
+    def test_signedness(self):
+        assert DataType.I8.is_signed
+        assert not DataType.U8.is_signed
+        assert DataType.F64.is_signed
+
+    def test_numpy_round_trip(self):
+        for dtype in DataType:
+            arr = np.zeros(2, dtype=dtype.numpy_dtype)
+            assert arr.itemsize == dtype.byte_width
+
+    def test_min_max_values(self):
+        assert DataType.I8.min_value == -128
+        assert DataType.I8.max_value == 127
+        assert DataType.U16.min_value == 0
+        assert DataType.U16.max_value == 65535
+        assert DataType.F32.max_value > 1e38
+
+    def test_groupings(self):
+        assert DataType.F32 in FLOAT_TYPES
+        assert DataType.I32 in INTEGER_TYPES
+        assert DataType.U32 not in SIGNED_INTEGER_TYPES
+        assert set(FLOAT_TYPES) | set(INTEGER_TYPES) == set(DataType)
+
+
+class TestCTypeName:
+    @pytest.mark.parametrize("dtype,name", [
+        (DataType.I8, "int8_t"), (DataType.U8, "uint8_t"),
+        (DataType.I32, "int32_t"), (DataType.U64, "uint64_t"),
+        (DataType.F32, "float"), (DataType.F64, "double"),
+    ])
+    def test_names(self, dtype, name):
+        assert c_type_name(dtype) == name

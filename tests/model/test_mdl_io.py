@@ -1,0 +1,216 @@
+"""Tests for the classic Simulink .mdl reader (subset)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.codegen import HcgGenerator
+from repro.dtypes import DataType
+from repro.errors import ModelParseError
+from repro.model.mdl_io import model_from_mdl, parse_mdl, read_mdl
+from repro.model.semantics import ModelEvaluator
+from repro.vm import Machine
+
+FIR_MDL = """
+Model {
+  Name  "fir_stage"
+  System {
+    Block {
+      BlockType  Inport
+      Name       "x"
+      Port       "1"
+    }
+    Block {
+      BlockType  Constant
+      Name       "h"
+      Value      "[3 -1 4 -1 5 -9 2 6]"
+    }
+    Block {
+      BlockType  Product
+      Name       "weighted"
+      Inputs     "2"
+    }
+    Block {
+      BlockType  UnitDelay
+      Name       "acc_state"
+      X0         "0"
+    }
+    Block {
+      BlockType  Sum
+      Name       "acc"
+      Inputs     "++"
+    }
+    Block {
+      BlockType  Outport
+      Name       "y"
+      Port       "1"
+    }
+    Line {
+      SrcBlock  "x"
+      SrcPort   1
+      DstBlock  "weighted"
+      DstPort   1
+    }
+    Line {
+      SrcBlock  "h"
+      SrcPort   1
+      DstBlock  "weighted"
+      DstPort   2
+    }
+    Line {
+      SrcBlock  "weighted"
+      SrcPort   1
+      DstBlock  "acc"
+      DstPort   1
+    }
+    Line {
+      SrcBlock  "acc_state"
+      SrcPort   1
+      DstBlock  "acc"
+      DstPort   2
+    }
+    Line {
+      SrcBlock  "acc"
+      SrcPort   1
+      Branch {
+        DstBlock  "y"
+        DstPort   1
+      }
+      Branch {
+        DstBlock  "acc_state"
+        DstPort   1
+      }
+    }
+  }
+}
+"""
+
+SWITCH_MDL = """
+Model {
+  Name "clipper"
+  System {
+    Block { BlockType Inport  Name "sig"  Port "1" }
+    Block { BlockType Inport  Name "sel"  Port "2" }
+    Block { BlockType Abs     Name "mag" }
+    Block {
+      BlockType Switch
+      Name      "pick"
+      Threshold "0.5"
+    }
+    Block { BlockType Outport Name "out" Port "1" }
+    Line { SrcBlock "sig" SrcPort 1
+      Branch { DstBlock "mag"  DstPort 1 }
+      Branch { DstBlock "pick" DstPort 3 }
+    }
+    Line { SrcBlock "mag" SrcPort 1 DstBlock "pick" DstPort 1 }
+    Line { SrcBlock "sel" SrcPort 1 DstBlock "pick" DstPort 2 }
+    Line { SrcBlock "pick" SrcPort 1 DstBlock "out" DstPort 1 }
+  }
+}
+"""
+
+
+class TestParser:
+    def test_tree_structure(self):
+        root = parse_mdl(FIR_MDL)
+        model = root.child("Model")
+        assert model.get("Name") == "fir_stage"
+        system = model.child("System")
+        assert len(system.all("Block")) == 6
+        assert len(system.all("Line")) == 5
+
+    def test_quoted_strings_unescaped(self):
+        root = parse_mdl('Model { Name "with \\"quotes\\"" }')
+        assert root.child("Model").get("Name") == 'with "quotes"'
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ModelParseError, match="unbalanced"):
+            parse_mdl("Model { System {")
+        with pytest.raises(ModelParseError, match="unbalanced"):
+            parse_mdl("Model { } }")
+
+    def test_missing_sections(self):
+        with pytest.raises(ModelParseError, match="no Model"):
+            model_from_mdl("NotAModel { }")
+        with pytest.raises(ModelParseError, match="no System"):
+            model_from_mdl("Model { Name \"m\" }")
+
+
+class TestConversion:
+    def test_fir_structure(self):
+        model = model_from_mdl(FIR_MDL, dtype=DataType.I32,
+                               port_widths={"x": 8})
+        assert model.name == "fir_stage"
+        assert model.actor("weighted").actor_type == "Mul"
+        assert model.actor("acc").actor_type == "Add"
+        assert model.actor("acc_state").actor_type == "UnitDelay"
+        assert model.actor("weighted").output("out").width == 8
+
+    def test_branch_fanout_wired(self):
+        model = model_from_mdl(FIR_MDL, dtype=DataType.I32, port_widths={"x": 8})
+        consumers = {c.dst_actor for c in model.consumers_of("acc", "out")}
+        assert consumers == {"y", "acc_state"}
+
+    def test_semantics_match_builder_equivalent(self):
+        model = model_from_mdl(FIR_MDL, dtype=DataType.I32, port_widths={"x": 8})
+        evaluator = ModelEvaluator(model)
+        h = np.array([3, -1, 4, -1, 5, -9, 2, 6], dtype=np.int32)
+        x = np.arange(8, dtype=np.int32)
+        first = evaluator.step({"x": x})["y"]
+        assert np.array_equal(first, x * h)            # delay still zero
+        second = evaluator.step({"x": x})["y"]
+        assert np.array_equal(second, 2 * x * h)       # accumulated once
+
+    def test_switch_port_mapping(self):
+        model = model_from_mdl(SWITCH_MDL, dtype=DataType.F32,
+                               port_widths={"sig": 4, "sel": 1})
+        pick = model.actor("pick")
+        assert pick.actor_type == "Switch"
+        assert model.driver_of("pick", "ctrl").src_actor == "sel"
+        out = ModelEvaluator(model).step(
+            {"sig": np.array([-1, 2, -3, 4], np.float32), "sel": 1.0}
+        )["out"]
+        assert list(out) == [1, 2, 3, 4]               # abs side taken
+
+    def test_mdl_model_generates_simd(self):
+        model = model_from_mdl(FIR_MDL, dtype=DataType.I32, port_widths={"x": 8})
+        generator = HcgGenerator(ARM_A72)
+        program = generator.generate(model)
+        from repro.ir import SimdOp, walk
+
+        names = [s.instruction for s in walk(program.body) if isinstance(s, SimdOp)]
+        assert names == ["vmlaq_s32"]  # the paper's FIR observation, from .mdl
+        x = np.arange(8, dtype=np.int32)
+        got = Machine(program, ARM_A72).run({"x": x}).outputs["y"]
+        want = ModelEvaluator(model).step({"x": x})["y"]
+        assert np.array_equal(got, want)
+
+    def test_file_reading(self, tmp_path):
+        path = tmp_path / "fir.mdl"
+        path.write_text(FIR_MDL)
+        model = read_mdl(path, dtype=DataType.I32, port_widths={"x": 8})
+        assert model.name == "fir_stage"
+        with pytest.raises(ModelParseError, match="cannot read"):
+            read_mdl(tmp_path / "missing.mdl")
+
+    def test_unsupported_block_type(self):
+        text = """
+        Model { Name "m" System {
+          Block { BlockType SFunction Name "magic" }
+        } }
+        """
+        with pytest.raises(ModelParseError, match="unsupported .mdl BlockType"):
+            model_from_mdl(text)
+
+    def test_sum_sign_validation(self):
+        text = """
+        Model { Name "m" System {
+          Block { BlockType Inport Name "a" }
+          Block { BlockType Sum Name "s" Inputs "+++" }
+          Block { BlockType Outport Name "o" }
+          Line { SrcBlock "a" SrcPort 1 DstBlock "s" DstPort 1 }
+          Line { SrcBlock "s" SrcPort 1 DstBlock "o" DstPort 1 }
+        } }
+        """
+        with pytest.raises(ModelParseError, match="unsupported Inputs"):
+            model_from_mdl(text)

@@ -1,0 +1,106 @@
+"""Tests for the XML model format."""
+
+import numpy as np
+import pytest
+
+from repro.bench.models import benchmark_suite
+from repro.dtypes import DataType
+from repro.errors import ModelParseError
+from repro.model.builder import ModelBuilder
+from repro.model.semantics import ModelEvaluator
+from repro.model.xml_io import (
+    model_from_string,
+    model_to_string,
+    read_model,
+    write_model,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["FFT", "DCT", "Conv", "HighPass", "LowPass", "FIR"])
+    def test_benchmark_models_round_trip(self, name, rng):
+        # scale down so evaluation is quick
+        from repro.bench import models as bm
+
+        factory = bm.BENCHMARK_MODELS[name]
+        model = factory()
+        text = model_to_string(model)
+        restored = model_from_string(text)
+        assert restored.name == model.name
+        assert len(restored.actors) == len(model.actors)
+        assert len(restored.connections) == len(model.connections)
+
+    def test_round_trip_preserves_semantics(self, rng):
+        b = ModelBuilder("rt", default_dtype=DataType.I32)
+        x = b.inport("x", shape=5)
+        c = b.const("c", value=[1, 2, 3, 4, 5])
+        s = b.add_actor("Sub", "s", x, c)
+        h = b.add_actor("Shr", "h", s, shift=1)
+        b.outport("y", h)
+        model = b.build()
+        restored = model_from_string(model_to_string(model))
+        inputs = {"x": rng.integers(-100, 100, size=5).astype(np.int32)}
+        out_a = ModelEvaluator(model).step(inputs)["y"]
+        out_b = ModelEvaluator(restored).step(inputs)["y"]
+        assert np.array_equal(out_a, out_b)
+
+    def test_file_round_trip(self, tmp_path):
+        b = ModelBuilder("f", default_dtype=DataType.F32)
+        x = b.inport("x", shape=4)
+        b.outport("y", x)
+        model = b.build()
+        path = tmp_path / "model.xml"
+        write_model(model, path)
+        restored = read_model(path)
+        assert restored.name == "f"
+
+    def test_cast_from_dtype_round_trips(self):
+        b = ModelBuilder("c", default_dtype=DataType.F32)
+        x = b.inport("x", shape=4, dtype=DataType.I32)
+        cast = b.add_actor("Cast", "cast", x, dtype=DataType.F32, from_dtype="i32")
+        b.outport("y", cast)
+        restored = model_from_string(model_to_string(b.build()))
+        assert restored.actor("cast").input("in1").dtype is DataType.I32
+
+
+class TestErrors:
+    def test_bad_xml(self):
+        with pytest.raises(ModelParseError, match="cannot parse"):
+            model_from_string("<model name='x'")
+
+    def test_wrong_root(self):
+        with pytest.raises(ModelParseError, match="expected <model>"):
+            model_from_string("<thing/>")
+
+    def test_missing_name(self):
+        with pytest.raises(ModelParseError, match="missing a 'name'"):
+            model_from_string("<model/>")
+
+    def test_actor_missing_attrs(self):
+        with pytest.raises(ModelParseError, match="require"):
+            model_from_string("<model name='m'><actor name='a'/></model>")
+
+    def test_bad_dtype(self):
+        with pytest.raises(ModelParseError, match="unknown data type"):
+            model_from_string(
+                "<model name='m'><actor name='a' type='Inport' dtype='i12'/></model>"
+            )
+
+    def test_bad_param_literal(self):
+        with pytest.raises(ModelParseError, match="invalid parameter"):
+            model_from_string(
+                "<model name='m'><actor name='a' type='Inport' dtype='i32'>"
+                "<param name='shape' value='[4'/></actor></model>"
+            )
+
+    def test_bad_connection_endpoint(self):
+        with pytest.raises(ModelParseError, match="actor.port"):
+            model_from_string(
+                "<model name='m'>"
+                "<actor name='a' type='Inport' dtype='i32'><param name='shape' value='[4]'/></actor>"
+                "<connection src='a' dst='b.in1'/></model>"
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelParseError, match="cannot"):
+            read_model(tmp_path / "nope.xml")

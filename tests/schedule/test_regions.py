@@ -1,0 +1,69 @@
+"""Tests for branch-region analysis (DFSynth substrate)."""
+
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+from repro.schedule.regions import find_branch_regions, region_membership
+
+
+def _switch_model(extra_consumer: bool = False):
+    b = ModelBuilder("m", default_dtype=DataType.F32)
+    x = b.inport("x", shape=8)
+    ctrl = b.inport("ctrl")
+    then_chain = b.add_actor("Sqrt", "sq", x)
+    then_top = b.add_actor("Neg", "ng", then_chain)
+    else_side = b.add_actor("Abs", "ab", x)
+    sw = b.add_actor("Switch", "sw", then_top, dtype=DataType.F32, shape=8)
+    b.connect(ctrl, sw, "ctrl")
+    b.connect(else_side, sw, "in2")
+    b.outport("y", sw)
+    if extra_consumer:
+        b.outport("debug", then_chain)
+    return b.build()
+
+
+class TestRegions:
+    def test_exclusive_chains_found(self):
+        regions = find_branch_regions(_switch_model())
+        by_port = {(r.switch, r.port): set(r.members) for r in regions}
+        assert by_port[("sw", "in1")] == {"sq", "ng"}
+        assert by_port[("sw", "in2")] == {"ab"}
+
+    def test_shared_actor_excluded(self):
+        # `sq` also feeds an outport -> it is not exclusive any more,
+        # and neither is anything upstream of it.
+        regions = find_branch_regions(_switch_model(extra_consumer=True))
+        by_port = {(r.switch, r.port): set(r.members) for r in regions}
+        assert ("sw", "in1") in by_port
+        assert by_port[("sw", "in1")] == {"ng"}
+
+    def test_inports_never_move(self):
+        regions = find_branch_regions(_switch_model())
+        members = {m for r in regions for m in r.members}
+        assert "x" not in members and "ctrl" not in members
+
+    def test_membership_map(self):
+        regions = find_branch_regions(_switch_model())
+        membership = region_membership(regions)
+        assert membership["sq"].port == "in1"
+        assert membership["ab"].port == "in2"
+
+    def test_no_switch_no_regions(self):
+        b = ModelBuilder("m", default_dtype=DataType.F32)
+        x = b.inport("x", shape=4)
+        b.outport("y", x)
+        assert find_branch_regions(b.build()) == []
+
+    def test_actor_feeding_both_sides_stays_out(self):
+        b = ModelBuilder("m", default_dtype=DataType.F32)
+        x = b.inport("x", shape=4)
+        ctrl = b.inport("ctrl")
+        shared = b.add_actor("Abs", "shared", x)
+        neg = b.add_actor("Neg", "neg", shared)
+        sw = b.add_actor("Switch", "sw", shared, dtype=DataType.F32, shape=4)
+        b.connect(ctrl, sw, "ctrl")
+        b.connect(neg, sw, "in2")
+        b.outport("y", sw)
+        regions = find_branch_regions(b.build())
+        members = {m for r in regions for m in r.members}
+        assert "shared" not in members
+        assert "neg" in members

@@ -1,0 +1,66 @@
+"""Tests for schedule analysis."""
+
+import pytest
+
+from repro.dtypes import DataType
+from repro.errors import ScheduleError
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+from repro.model.actor_defs import create_actor
+from repro.schedule.scheduler import compute_schedule
+
+
+def _chain():
+    b = ModelBuilder("m", default_dtype=DataType.I32)
+    x = b.inport("x", shape=4)
+    a = b.add_actor("Abs", "a", x)
+    n = b.add_actor("Neg", "n", a)
+    b.outport("y", n)
+    return b.build()
+
+
+class TestSchedule:
+    def test_topological_order(self):
+        schedule = compute_schedule(_chain())
+        assert schedule.position("x") < schedule.position("a")
+        assert schedule.position("a") < schedule.position("n")
+        assert schedule.position("n") < schedule.position("y")
+
+    def test_every_actor_scheduled_once(self):
+        model = _chain()
+        schedule = compute_schedule(model)
+        assert sorted(schedule.order) == sorted(a.name for a in model.actors)
+
+    def test_deterministic(self):
+        model = _chain()
+        assert compute_schedule(model).order == compute_schedule(model).order
+
+    def test_delay_acts_as_source(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        x = b.inport("x")
+        d = b.add_actor("UnitDelay", "d", dtype=DataType.I32)
+        s = b.add_actor("Add", "s", x, d)
+        b.connect(s, d, "in1")
+        b.outport("y", s)
+        schedule = compute_schedule(b.build())
+        # the delay's same-step position is unconstrained by its input
+        assert "d" in schedule.order
+        assert schedule.state_updates == ("d",)
+
+    def test_cycle_raises(self):
+        model = Model("cyc")
+        model.add_actor(create_actor("a", "Neg", DataType.I32, {"shape": (2,)}))
+        model.add_actor(create_actor("b", "Neg", DataType.I32, {"shape": (2,)}))
+        model.connect("a", "out", "b", "in1")
+        model.connect("b", "out", "a", "in1")
+        with pytest.raises(ScheduleError, match="cycle"):
+            compute_schedule(model)
+
+    def test_insertion_order_tiebreak(self):
+        b = ModelBuilder("m", default_dtype=DataType.I32)
+        first = b.inport("first", shape=2)
+        second = b.inport("second", shape=2)
+        b.outport("o1", first)
+        b.outport("o2", second)
+        schedule = compute_schedule(b.build())
+        assert schedule.position("first") < schedule.position("second")

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+from repro.model.xml_io import write_model
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    b = ModelBuilder("cli_model", default_dtype=DataType.I32)
+    x = b.inport("x", shape=16)
+    y = b.inport("y", shape=16)
+    m = b.add_actor("Mul", "m", x, y)
+    a = b.add_actor("Add", "a", m, x)
+    b.outport("o", a)
+    path = tmp_path / "model.xml"
+    write_model(b.build(), path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_c_to_stdout(self, model_file, capsys):
+        assert main(["generate", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "vmlaq_s32" in out and "#include <arm_neon.h>" in out
+
+    def test_ir_mode(self, model_file, capsys):
+        assert main(["generate", model_file, "--ir"]) == 0
+        assert "program cli_model_step" in capsys.readouterr().out
+
+    def test_output_file(self, model_file, tmp_path, capsys):
+        out_path = tmp_path / "out.c"
+        assert main(["generate", model_file, "-o", str(out_path)]) == 0
+        assert "vmlaq_s32" in out_path.read_text()
+
+    def test_benchmark_model_by_name(self, capsys):
+        assert main(["generate", "FIR", "--generator", "dfsynth"]) == 0
+        out = capsys.readouterr().out
+        assert "FIR_step" in out
+
+    def test_other_arch(self, model_file, capsys):
+        assert main(["generate", model_file, "--arch", "intel_i7_8700"]) == 0
+        out = capsys.readouterr().out
+        assert "immintrin" in out
+
+
+class TestRun:
+    def test_run_prints_outputs_and_cycles(self, model_file, capsys):
+        assert main(["run", model_file, "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "o:" in out and "modelled cycles/step" in out
+
+
+class TestBench:
+    def test_single_model(self, capsys):
+        assert main(["bench", "--model", "FIR"]) == 0
+        out = capsys.readouterr().out
+        assert "FIR" in out and "vs Simulink" in out
+
+    def test_unknown_model_is_an_error(self, capsys):
+        assert main(["bench", "--model", "Nope"]) == 1
+        assert "unknown benchmark model" in capsys.readouterr().err
+
+
+class TestInspect:
+    def test_dispatch_report(self, model_file, capsys):
+        assert main(["inspect", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "batch group 0" in out
+        assert "'m', 'a'" in out or "['m', 'a']" in out
+
+    def test_intensive_listed(self, capsys):
+        assert main(["inspect", "FFT"]) == 0
+        out = capsys.readouterr().out
+        assert "intensive computing actors: ['fft']" in out
+
+
+class TestIsa:
+    def test_list(self, capsys):
+        assert main(["isa"]) == 0
+        out = capsys.readouterr().out
+        assert "neon" in out and "avx2" in out and "compound" in out
+
+    def test_dump(self, capsys):
+        assert main(["isa", "neon"]) == 0
+        out = capsys.readouterr().out
+        assert "Ins: vmlaq_s32" in out and "vector_bits: 128" in out
+
+
+class TestRunProfile:
+    def test_profile_flag(self, model_file, capsys):
+        assert main(["run", model_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "by category" in out and "SIMD" in out
+
+    def test_compiler_choice(self, model_file, capsys):
+        assert main(["run", model_file, "--compiler", "clang"]) == 0
+        assert "modelled cycles" in capsys.readouterr().out
+
+    def test_generator_choice(self, model_file, capsys):
+        assert main(["run", model_file, "--generator", "simulink_coder"]) == 0
+        assert "modelled cycles" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Unit and property tests for the shared elementwise op semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ops
+from repro.dtypes import DataType
+
+
+class TestOpTable:
+    def test_all_ops_have_positive_cost(self):
+        for info in ops.OPS.values():
+            assert info.base_cost > 0
+
+    def test_op_info_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown elementwise op"):
+            ops.op_info("Frobnicate")
+
+    def test_arity_counts(self):
+        assert ops.op_info("Add").arity == 2
+        assert ops.op_info("Abs").arity == 1
+        assert ops.op_info("Shr").arity == 1
+        assert ops.op_info("Shr").needs_imm
+
+    def test_dtype_support(self):
+        assert not ops.op_info("BitAnd").supports(DataType.F32)
+        assert not ops.op_info("Sqrt").supports(DataType.I32)
+        assert ops.op_info("Add").supports(DataType.I8)
+        assert ops.op_info("Add").supports(DataType.F64)
+
+    def test_commutativity_flags(self):
+        assert ops.op_info("Add").commutative
+        assert ops.op_info("Mul").commutative
+        assert not ops.op_info("Sub").commutative
+        assert not ops.op_info("Div").commutative
+
+    def test_scalar_op_names_sorted_and_stable(self):
+        names = ops.scalar_op_names()
+        assert names == tuple(sorted(names))
+        assert "Add" in names and "Cast" in names
+
+
+class TestApplyOpErrors:
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="expects 2 operand"):
+            ops.apply_op("Add", DataType.I32, [np.int32(1)])
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(ValueError, match="does not support"):
+            ops.apply_op("Sqrt", DataType.I32, [np.int32(4)])
+
+    def test_missing_immediate(self):
+        with pytest.raises(ValueError, match="requires an immediate"):
+            ops.apply_op("Shr", DataType.I32, [np.int32(4)])
+
+
+class TestIntegerSemantics:
+    def test_add_wraps(self):
+        a = np.array([2**31 - 1], dtype=np.int32)
+        out = ops.apply_op("Add", DataType.I32, [a, np.array([1], dtype=np.int32)])
+        assert out[0] == -(2**31)
+
+    def test_mul_wraps(self):
+        a = np.array([2**30], dtype=np.int32)
+        out = ops.apply_op("Mul", DataType.I32, [a, np.array([4], dtype=np.int32)])
+        assert out[0] == 0
+
+    def test_div_truncates_toward_zero(self):
+        a = np.array([-7, 7, -7, 7], dtype=np.int32)
+        b = np.array([2, 2, -2, -2], dtype=np.int32)
+        out = ops.apply_op("Div", DataType.I32, [a, b])
+        assert list(out) == [-3, 3, 3, -3]
+
+    def test_div_by_zero_yields_zero(self):
+        a = np.array([5], dtype=np.int32)
+        b = np.array([0], dtype=np.int32)
+        assert ops.apply_op("Div", DataType.I32, [a, b])[0] == 0
+
+    def test_shr_arithmetic_for_signed(self):
+        a = np.array([-8], dtype=np.int32)
+        assert ops.apply_op("Shr", DataType.I32, [a], imm=1)[0] == -4
+
+    def test_shr_logical_for_unsigned(self):
+        a = np.array([2**31], dtype=np.uint32)
+        assert ops.apply_op("Shr", DataType.U32, [a], imm=1)[0] == 2**30
+
+    def test_shl_wraps_sign_bit(self):
+        a = np.array([2**30], dtype=np.int32)
+        out = ops.apply_op("Shl", DataType.I32, [a], imm=1)
+        assert out[0] == -(2**31)
+
+    def test_abd_is_max_minus_min(self):
+        a = np.array([-100, 100], dtype=np.int8)
+        b = np.array([100, -100], dtype=np.int8)
+        out = ops.apply_op("Abd", DataType.I8, [a, b])
+        # 200 wraps in int8: (max - min) with wraparound
+        assert out[0] == out[1]
+
+    def test_bitnot(self):
+        a = np.array([0], dtype=np.int16)
+        assert ops.apply_op("BitNot", DataType.I16, [a])[0] == -1
+
+
+class TestFloatSemantics:
+    def test_div_by_zero_is_inf(self):
+        a = np.array([1.0], dtype=np.float32)
+        b = np.array([0.0], dtype=np.float32)
+        assert np.isinf(ops.apply_op("Div", DataType.F32, [a, b])[0])
+
+    def test_recp(self):
+        a = np.array([4.0], dtype=np.float64)
+        assert ops.apply_op("Recp", DataType.F64, [a])[0] == 0.25
+
+    def test_sqrt_negative_is_nan(self):
+        a = np.array([-1.0], dtype=np.float32)
+        assert np.isnan(ops.apply_op("Sqrt", DataType.F32, [a])[0])
+
+    def test_abd_float(self):
+        a = np.array([1.5], dtype=np.float32)
+        b = np.array([4.0], dtype=np.float32)
+        assert ops.apply_op("Abd", DataType.F32, [a, b])[0] == pytest.approx(2.5)
+
+    def test_cast_float_to_int_truncates(self):
+        a = np.array([2.9, -2.9])
+        out = ops.apply_op("Cast", DataType.I32, [a])
+        assert list(out) == [2, -2]
+
+
+@st.composite
+def int32_pairs(draw):
+    ints = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+    return draw(ints), draw(ints)
+
+
+class TestProperties:
+    @given(int32_pairs())
+    @settings(max_examples=200)
+    def test_add_matches_c_wraparound(self, pair):
+        a, b = pair
+        out = ops.apply_op(
+            "Add", DataType.I32,
+            [np.array([a], np.int32), np.array([b], np.int32)],
+        )[0]
+        expected = (a + b + 2**31) % 2**32 - 2**31
+        assert int(out) == expected
+
+    @given(int32_pairs())
+    @settings(max_examples=200)
+    def test_div_matches_python_trunc(self, pair):
+        a, b = pair
+        out = ops.apply_op(
+            "Div", DataType.I32,
+            [np.array([a], np.int32), np.array([b], np.int32)],
+        )[0]
+        if b == 0:
+            assert out == 0
+        else:
+            quotient = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                quotient = -quotient
+            # wrap INT_MIN / -1 like the hardware would
+            expected = (quotient + 2**31) % 2**32 - 2**31
+            assert int(out) == expected
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    @settings(max_examples=200)
+    def test_min_max_abd_identity(self, a, b):
+        arr_a = np.array([a], np.int8)
+        arr_b = np.array([b], np.int8)
+        lo = ops.apply_op("Min", DataType.I8, [arr_a, arr_b])[0]
+        hi = ops.apply_op("Max", DataType.I8, [arr_a, arr_b])[0]
+        abd = ops.apply_op("Abd", DataType.I8, [arr_a, arr_b])[0]
+        assert int(abd) == int(
+            ops.apply_op("Sub", DataType.I8,
+                         [np.array([hi], np.int8), np.array([lo], np.int8)])[0]
+        )
+
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(0, 31))
+    @settings(max_examples=200)
+    def test_shift_right_then_left_loses_low_bits_only(self, a, k):
+        arr = np.array([a], np.int32)
+        down = ops.apply_op("Shr", DataType.I32, [arr], imm=k)
+        up = ops.apply_op("Shl", DataType.I32, [down], imm=k)
+        mask = ~((1 << k) - 1)
+        expected = (a & mask + 2**32) if False else ((a >> k) << k)
+        expected = (expected + 2**31) % 2**32 - 2**31
+        assert int(up[0]) == expected

@@ -1,0 +1,238 @@
+"""Tests for the virtual machine: execution and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.dtypes import DataType
+from repro.errors import VmError, VmTypeError
+from repro.ir import (
+    AssignVar,
+    BufferDecl,
+    BufferKind,
+    Cmp,
+    Comment,
+    Const,
+    CopyBuffer,
+    For,
+    If,
+    KernelCall,
+    Load,
+    Program,
+    ScalarOp,
+    Select,
+    SimdBroadcast,
+    SimdLoad,
+    SimdOp,
+    SimdStore,
+    Store,
+    Var,
+    const_i,
+)
+from repro.vm import Machine, run_program
+
+
+def _program(buffers, body):
+    program = Program("t")
+    for decl in buffers:
+        program.add_buffer(decl)
+    program.body = list(body)
+    return program
+
+
+def _io(length=4, dtype=DataType.I32):
+    return [
+        BufferDecl("x", dtype, length, BufferKind.INPUT),
+        BufferDecl("y", dtype, length, BufferKind.OUTPUT),
+    ]
+
+
+class TestScalarExecution:
+    def test_store_load_roundtrip(self):
+        program = _program(_io(), [
+            Store("y", const_i(0), Load("x", const_i(0))),
+        ])
+        out = run_program(program, ARM_A72, {"x": [7, 0, 0, 0]})
+        assert out.outputs["y"][0] == 7
+
+    def test_scalar_op_and_assign(self):
+        program = _program(_io(), [
+            AssignVar("t", ScalarOp("Mul", (Load("x", const_i(0)), Const(3, DataType.I32)),
+                                    DataType.I32), DataType.I32),
+            Store("y", const_i(0), Var("t")),
+        ])
+        out = run_program(program, ARM_A72, {"x": [5, 0, 0, 0]})
+        assert out.outputs["y"][0] == 15
+
+    def test_for_loop(self):
+        program = _program(_io(), [
+            For("i", const_i(0), const_i(4), 1,
+                (Store("y", Var("i"),
+                       ScalarOp("Add", (Load("x", Var("i")), Const(1, DataType.I32)),
+                                DataType.I32)),)),
+        ])
+        out = run_program(program, ARM_A72, {"x": [1, 2, 3, 4]})
+        assert list(out.outputs["y"]) == [2, 3, 4, 5]
+
+    def test_if_branches(self):
+        program = _program(_io(), [
+            If(Cmp(">=", Load("x", const_i(0)), Const(0, DataType.I32)),
+               (Store("y", const_i(0), Const(1, DataType.I32)),),
+               (Store("y", const_i(0), Const(-1, DataType.I32)),)),
+        ])
+        assert run_program(program, ARM_A72, {"x": [5, 0, 0, 0]}).outputs["y"][0] == 1
+        assert run_program(program, ARM_A72, {"x": [-5, 0, 0, 0]}).outputs["y"][0] == -1
+
+    def test_select_lazy(self):
+        program = _program(_io(), [
+            Store("y", const_i(0),
+                  Select(Cmp(">", Load("x", const_i(0)), Const(0, DataType.I32)),
+                         Const(10, DataType.I32), Const(20, DataType.I32))),
+        ])
+        assert run_program(program, ARM_A72, {"x": [1, 0, 0, 0]}).outputs["y"][0] == 10
+
+    def test_copy_buffer(self):
+        program = _program(_io(), [
+            CopyBuffer("y", const_i(0), "x", const_i(0), 4),
+        ])
+        out = run_program(program, ARM_A72, {"x": [9, 8, 7, 6]})
+        assert list(out.outputs["y"]) == [9, 8, 7, 6]
+
+    def test_comment_free(self):
+        program = _program(_io(), [Comment("hello")])
+        assert run_program(program, ARM_A72).cycles == 0
+
+
+class TestSimdExecution:
+    def test_load_op_store(self):
+        program = _program(_io(), [
+            SimdLoad("va", "x", const_i(0), DataType.I32, 4),
+            SimdOp("vb", "vaddq_s32", ("va", "va"), DataType.I32, 4),
+            SimdStore("y", const_i(0), "vb", DataType.I32, 4),
+        ])
+        out = run_program(program, ARM_A72, {"x": [1, 2, 3, 4]})
+        assert list(out.outputs["y"]) == [2, 4, 6, 8]
+
+    def test_broadcast(self):
+        program = _program(_io(), [
+            SimdBroadcast("va", Const(7, DataType.I32), DataType.I32, 4),
+            SimdStore("y", const_i(0), "va", DataType.I32, 4),
+        ])
+        assert list(run_program(program, ARM_A72).outputs["y"]) == [7] * 4
+
+    def test_imm_instruction(self):
+        program = _program(_io(), [
+            SimdLoad("va", "x", const_i(0), DataType.I32, 4),
+            SimdOp("vb", "vshrq_n_s32", ("va",), DataType.I32, 4, imm=1),
+            SimdStore("y", const_i(0), "vb", DataType.I32, 4),
+        ])
+        out = run_program(program, ARM_A72, {"x": [4, 8, 12, 16]})
+        assert list(out.outputs["y"]) == [2, 4, 6, 8]
+
+    def test_reload_stall_charged(self):
+        body = [
+            SimdLoad("va", "x", const_i(0), DataType.I32, 4),
+            SimdStore("y", const_i(0), "va", DataType.I32, 4),
+            SimdLoad("vb", "y", const_i(0), DataType.I32, 4),
+            SimdStore("y", const_i(0), "vb", DataType.I32, 4),
+        ]
+        program = _program(_io(), body)
+        result = run_program(program, ARM_A72)
+        assert result.cost.counts.get("vload_stall", 0) == 1
+
+
+class TestKernelCall:
+    def test_fft_kernel_executes(self):
+        buffers = [
+            BufferDecl("x", DataType.F64, 8, BufferKind.INPUT),
+            BufferDecl("y", DataType.F64, 16, BufferKind.OUTPUT, shape=(2, 8)),
+        ]
+        call = KernelCall(
+            kernel_id="fft.radix2", inputs=("x",), outputs=("y",),
+            params=(("n", 8), ("in_shapes", ((8,),)), ("out_shapes", ((2, 8),))),
+        )
+        program = _program(buffers, [call])
+        x = np.arange(8.0)
+        out = run_program(program, ARM_A72, {"x": x})
+        spectrum = out.outputs["y"]
+        ref = np.fft.fft(x)
+        assert np.allclose(spectrum[0] + 1j * spectrum[1], ref)
+        assert out.cost.kernel > 0
+
+
+class TestErrors:
+    def test_unknown_input_buffer(self):
+        program = _program(_io(), [])
+        with pytest.raises(VmError, match="unknown input"):
+            Machine(program, ARM_A72).run({"zz": [1]})
+
+    def test_wrong_input_size(self):
+        program = _program(_io(), [])
+        with pytest.raises(VmTypeError, match="expected 4 elements"):
+            Machine(program, ARM_A72).run({"x": [1, 2]})
+
+    def test_load_out_of_bounds(self):
+        program = _program(_io(), [Store("y", const_i(0), Load("x", const_i(9)))])
+        with pytest.raises(VmError, match="out of bounds"):
+            run_program(program, ARM_A72)
+
+    def test_simd_load_out_of_bounds(self):
+        program = _program(_io(), [SimdLoad("v", "x", const_i(2), DataType.I32, 4)])
+        with pytest.raises(VmError, match="SIMD load out of bounds"):
+            run_program(program, ARM_A72)
+
+    def test_undefined_scalar(self):
+        program = _program(_io(), [Store("y", const_i(0), Var("ghost"))])
+        with pytest.raises(VmError, match="undefined scalar"):
+            run_program(program, ARM_A72)
+
+    def test_undefined_vector(self):
+        program = _program(_io(), [SimdStore("y", const_i(0), "ghost", DataType.I32, 4)])
+        with pytest.raises(VmError, match="undefined vector"):
+            run_program(program, ARM_A72)
+
+    def test_missing_buffer(self):
+        program = _program(_io(), [Store("ghost", const_i(0), Const(1, DataType.I32))])
+        with pytest.raises(VmError, match="no buffer"):
+            run_program(program, ARM_A72)
+
+
+class TestCostAccounting:
+    def test_loop_overhead_counted_per_iteration(self):
+        program = _program(_io(), [
+            For("i", const_i(0), const_i(4), 1, ()),
+        ])
+        result = run_program(program, ARM_A72)
+        assert result.cost.counts["loop_iter"] == 4
+        assert result.cost.loop == pytest.approx(4 * ARM_A72.cost.loop_overhead)
+
+    def test_op_events_tracked(self):
+        program = _program(_io(), [
+            Store("y", const_i(0),
+                  ScalarOp("Div", (Load("x", const_i(0)), Const(2, DataType.I32)),
+                           DataType.I32)),
+        ])
+        result = run_program(program, ARM_A72)
+        assert result.cost.counts["op:Div"] == 1
+        assert result.cost.scalar_ops >= ARM_A72.cost.scalar_op("Div")
+
+    def test_state_persists_across_runs(self):
+        buffers = _io() + [BufferDecl("s", DataType.I32, 1, BufferKind.STATE, init=(5.0,))]
+        program = _program(buffers, [
+            Store("y", const_i(0), Load("s", const_i(0))),
+            Store("s", const_i(0),
+                  ScalarOp("Add", (Load("s", const_i(0)), Const(1, DataType.I32)),
+                           DataType.I32)),
+        ])
+        machine = Machine(program, ARM_A72)
+        assert machine.run().outputs["y"][0] == 5
+        assert machine.run().outputs["y"][0] == 6
+
+    def test_throughput_factor_applied(self):
+        import dataclasses
+
+        cost = dataclasses.replace(ARM_A72.cost, throughput_factor=0.5)
+        program = _program(_io(), [Store("y", const_i(0), Const(1, DataType.I32))])
+        half = Machine(program, ARM_A72, cost=cost).run()
+        full = Machine(program, ARM_A72).run()
+        assert half.cycles == pytest.approx(full.cycles * 0.5)

@@ -1,0 +1,65 @@
+"""Tests for the profiling reports."""
+
+import pytest
+
+from repro.arch import ARM_A72
+from repro.bench.models import benchmark_inputs, fir_model
+from repro.codegen import DfsynthGenerator, HcgGenerator
+from repro.vm import Machine, compare_report, event_histogram, profile_report
+
+
+@pytest.fixture(scope="module")
+def runs():
+    model = fir_model(64)
+    inputs = benchmark_inputs(model)
+    results = {}
+    for generator in (DfsynthGenerator(ARM_A72), HcgGenerator(ARM_A72)):
+        program = generator.generate(model)
+        results[generator.name] = Machine(program, ARM_A72).run(inputs)
+    return results
+
+
+class TestProfileReport:
+    def test_contains_total_and_categories(self, runs):
+        text = profile_report(runs["hcg"], ARM_A72)
+        assert "total modelled cycles" in text
+        assert "SIMD loads/stores" in text
+        assert "us/step" in text
+
+    def test_percentages_sum_close_to_100(self, runs):
+        text = profile_report(runs["hcg"])
+        shares = [
+            float(part.split("%")[0].split()[-1])
+            for part in text.splitlines()
+            if "%" in part
+        ]
+        assert 99.0 <= sum(shares) <= 101.0
+
+    def test_top_events_listed(self, runs):
+        text = profile_report(runs["hcg"])
+        assert "vop:vmlaq_s32" in text
+
+    def test_zero_categories_omitted(self, runs):
+        text = profile_report(runs["hcg"])
+        assert "library kernels" not in text  # FIR has no kernel calls
+
+
+class TestCompareReport:
+    def test_side_by_side(self, runs):
+        text = compare_report(runs)
+        assert "dfsynth" in text and "hcg" in text
+        assert "TOTAL" in text
+
+    def test_hcg_total_lower(self, runs):
+        assert runs["hcg"].cycles < runs["dfsynth"].cycles
+
+
+class TestEventHistogram:
+    def test_filtering(self, runs):
+        vector_ops = event_histogram(runs["hcg"], prefix="vop:")
+        assert set(vector_ops) == {"vop:vmlaq_s32"}
+        assert vector_ops["vop:vmlaq_s32"] == 64 // 4
+
+    def test_unfiltered_has_everything(self, runs):
+        events = event_histogram(runs["hcg"])
+        assert any(e.startswith("vload") for e in events)
