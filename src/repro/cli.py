@@ -43,6 +43,28 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_policy_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--strict", dest="policy", action="store_const", const="strict",
+        default="strict",
+        help="fail generation when a fault forces a degradation (default)",
+    )
+    group.add_argument(
+        "--permissive", dest="policy", action="store_const", const="permissive",
+        help="degrade gracefully on faults (scalar/general fallbacks) and "
+             "report diagnostics instead of failing",
+    )
+
+
+def _print_diagnostics(generator) -> None:
+    """Print the diagnostics summary of the last generation, if any."""
+    collector = getattr(generator, "last_diagnostics", None)
+    if collector is None or len(collector) == 0:
+        return
+    print(collector.summary_table(), file=sys.stderr)
+
+
 def _add_target_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--arch", default="arm_a72", choices=preset_names(),
@@ -68,8 +90,9 @@ def _load_model(args: argparse.Namespace):
 def cmd_generate(args: argparse.Namespace) -> int:
     model = _load_model(args)
     arch = get_architecture(args.arch)
-    generator = make_generator(args.generator, arch)
+    generator = make_generator(args.generator, arch, policy=args.policy)
     program = generator.generate(model)
+    _print_diagnostics(generator)
     if args.project:
         from pathlib import Path
 
@@ -98,8 +121,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     model = _load_model(args)
     arch = get_architecture(args.arch)
     compiler = get_compiler(args.compiler)
-    generator = make_generator(args.generator, arch)
+    generator = make_generator(args.generator, arch, policy=args.policy)
     program = compiler.compile(generator.generate(model))
+    _print_diagnostics(generator)
     machine = Machine(program, arch, cost=compiler.effective_cost(arch))
     inputs = benchmark_inputs(model, seed=args.seed)
     result = None
@@ -197,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a deployable project (source + header + README)")
     _add_model_args(p)
     _add_target_args(p)
+    _add_policy_args(p)
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("run", help="execute generated code on the cost VM")
@@ -208,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a profiler view of the cycle budget")
     _add_model_args(p)
     _add_target_args(p)
+    _add_policy_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("bench", help="regenerate Table 2 on a target")
@@ -235,6 +261,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        diagnostics = getattr(exc, "diagnostics", ())
+        if diagnostics:
+            for diagnostic in diagnostics:
+                print(f"  {diagnostic.format()}", file=sys.stderr)
         return 1
 
 

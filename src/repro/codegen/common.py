@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.diagnostics import DiagnosticsCollector
 from repro.errors import CodegenError, UnsupportedActorError
 from repro.dtypes import DataType
 from repro.ir.expr import Cmp, Const, Expr, Load, ScalarOp, Select, Var, const_i
@@ -57,12 +58,20 @@ PortKey = Tuple[str, str]  # (actor name, output port name)
 class CodegenContext:
     """Mutable state shared by one generation run."""
 
-    def __init__(self, model: Model, program_name: str, generator: str) -> None:
+    def __init__(
+        self,
+        model: Model,
+        program_name: str,
+        generator: str,
+        diagnostics: Optional[DiagnosticsCollector] = None,
+    ) -> None:
         model.validate()
         self.model = model
         self.schedule: Schedule = compute_schedule(model)
         self.program = Program(name=program_name, generator=generator)
         self.names = NameAllocator()
+        #: fault/degradation events of this run (see repro.diagnostics)
+        self.diagnostics = diagnostics if diagnostics is not None else DiagnosticsCollector("permissive")
         self._buffers: Dict[PortKey, str] = {}
         #: output ports that own a written buffer
         self.materialized: Set[PortKey] = set()
@@ -71,6 +80,29 @@ class CodegenContext:
         #: so composition must not emit a copy for them
         self.satisfied_sinks: Set[str] = set()
         self._setup_fixed_buffers()
+
+    # ------------------------------------------------------------------
+    # Fault-isolation checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Tuple:
+        """Snapshot the mutable buffer/wiring state, so a failed
+        synthesis attempt (e.g. an unmappable batch group) can be rolled
+        back before retrying with a degraded strategy."""
+        return (
+            dict(self._buffers),
+            set(self.materialized),
+            set(self.satisfied_sinks),
+            len(self.program.buffers),
+        )
+
+    def restore(self, state: Tuple) -> None:
+        """Rewind to a :meth:`checkpoint` (buffer decls added since are
+        dropped; allocator names stay reserved, which is harmless)."""
+        buffers, materialized, satisfied, n_decls = state
+        self._buffers = dict(buffers)
+        self.materialized = set(materialized)
+        self.satisfied_sinks = set(satisfied)
+        del self.program.buffers[n_decls:]
 
     # ------------------------------------------------------------------
     # Buffer layout

@@ -28,6 +28,7 @@ from repro.codegen.common import (
     kernel_call_for,
     sanitize,
 )
+from repro.diagnostics import DiagnosticsCollector
 from repro.errors import CodegenError
 from repro.ir.expr import Cmp, Const, Load, ScalarOp, Var, const_i
 from repro.ir.program import Program
@@ -50,15 +51,21 @@ class DfsynthGenerator:
         arch: Architecture,
         library: Optional[CodeLibrary] = None,
         variable_reuse: bool = True,
+        policy: str = "strict",
     ) -> None:
         self.arch = arch
         self.library = library if library is not None else default_library()
         self.variable_reuse = variable_reuse
+        # Shared diagnostics interface (the baseline never degrades).
+        self.policy = policy
+        self.last_diagnostics: Optional[DiagnosticsCollector] = None
         self._regions: List[BranchRegion] = []
 
     # ------------------------------------------------------------------
     def generate(self, model: Model) -> Program:
-        ctx = CodegenContext(model, f"{model.name}_step", self.name)
+        diagnostics = DiagnosticsCollector(self.policy)
+        ctx = CodegenContext(model, f"{model.name}_step", self.name, diagnostics)
+        self.last_diagnostics = diagnostics
         ctx.program.arch = self.arch.name
 
         self._regions = find_branch_regions(model)

@@ -67,7 +67,7 @@ class BatchSynthesizer:
         batch_count = length // batch_size
         # Lines 3-4 (plus the §4.3 threshold): conventional fallback.
         if batch_count < 1 or length < self.simd_threshold:
-            return self._conventional(group)
+            return self.conventional(group, reason="too narrow")
 
         dfg = build_dfg(self.ctx, group)
         offset = length % batch_size
@@ -197,10 +197,14 @@ class BatchSynthesizer:
         return statements
 
     # ------------------------------------------------------------------
-    def _conventional(self, group: BatchGroup) -> List[Stmt]:
-        """Simulink-Coder-style scalar translation of the group."""
+    def conventional(self, group: BatchGroup, reason: str = "fallback") -> List[Stmt]:
+        """Simulink-Coder-style scalar translation of the group.
+
+        Used for groups too narrow to vectorise (Algorithm 2 lines 3-4)
+        and as the degradation target when mapping fails outright.
+        """
         statements: List[Stmt] = [
-            Comment(f"batch group [{', '.join(group.members)}]: conventional (too narrow)")
+            Comment(f"batch group [{', '.join(group.members)}]: conventional ({reason})")
         ]
         members = set(group.members)
         for name in group.members:

@@ -45,6 +45,7 @@ from repro.codegen.hcg.batch import BatchSynthesizer
 from repro.codegen.hcg.dispatch import BatchGroup, DispatchResult, Unit, dispatch
 from repro.codegen.hcg.history import SelectionHistory
 from repro.codegen.hcg.intensive import IntensiveSynthesizer
+from repro.diagnostics import DiagnosticsCollector
 from repro.errors import CodegenError
 from repro.ir.expr import Cmp, Const, Load, const_i
 from repro.ir.program import Program
@@ -76,6 +77,7 @@ class HcgGenerator:
         simd_threshold: int = 0,
         branch_aware: bool = False,
         variable_reuse: bool = True,
+        policy: str = "strict",
     ) -> None:
         self.arch = arch
         self.library = library if library is not None else default_library()
@@ -86,14 +88,25 @@ class HcgGenerator:
         self.simd_threshold = simd_threshold
         self.branch_aware = branch_aware
         self.variable_reuse = variable_reuse
+        #: fault policy: "strict" raises at the end of generate() when a
+        #: fault forced a degradation; "permissive" degrades silently
+        #: (the collected diagnostics describe what happened either way)
+        self.policy = policy
+        DiagnosticsCollector(policy)  # validate the policy name eagerly
         #: populated by the last generate() call, for reports/tests
         self.last_dispatch: Optional[DispatchResult] = None
         self.last_intensive: Optional[IntensiveSynthesizer] = None
         self.last_batch: Optional[BatchSynthesizer] = None
+        self.last_diagnostics: Optional[DiagnosticsCollector] = None
 
     # ------------------------------------------------------------------
     def generate(self, model: Model) -> Program:
-        ctx = CodegenContext(model, f"{model.name}_step", self.name)
+        diagnostics = DiagnosticsCollector(self.policy)
+        # Re-home recovery events the history recorded while loading
+        # (corrupt file quarantined, bad entries skipped, ...).
+        diagnostics.extend(self.history.diagnostics.drain())
+        ctx = CodegenContext(model, f"{model.name}_step", self.name, diagnostics)
+        self.last_diagnostics = diagnostics
         ctx.program.arch = self.arch.name
 
         branch_of: Dict[str, BranchKey] = {}
@@ -105,11 +118,13 @@ class HcgGenerator:
             }
 
         result = dispatch(model, ctx.schedule, self.iset, branch_of or None)
-        result = self._demote_unprofitable_groups(result)
+        result = self._demote_unprofitable_groups(result, diagnostics)
         self.last_dispatch = result
         grouped: Set[str] = {m for g in result.groups for m in g.members}
 
-        intensive = IntensiveSynthesizer(self.library, self.cost, self.iset, self.history)
+        intensive = IntensiveSynthesizer(
+            self.library, self.cost, self.iset, self.history, diagnostics
+        )
         self.last_intensive = intensive
         batch = BatchSynthesizer(ctx, self.iset, self.unroll_limit, self.simd_threshold)
         self.last_batch = batch
@@ -157,6 +172,11 @@ class HcgGenerator:
 
         body.extend(emit_state_updates(ctx, self.unroll_limit))
         ctx.program.body = body
+        # Save-time recoveries (e.g. a read-only cache dir) accrue on the
+        # history during generation; fold them into this run's report.
+        diagnostics.extend(self.history.diagnostics.drain())
+        # Strict policy: raise now, carrying everything we collected.
+        diagnostics.finalize()
         if self.variable_reuse:
             from repro.codegen.reuse import reuse_local_buffers
 
@@ -175,7 +195,20 @@ class HcgGenerator:
         points: Set[PortKey],
     ) -> List[Stmt]:
         if isinstance(unit, BatchGroup):
-            return batch.synthesize(unit)
+            state = ctx.checkpoint()
+            n_matches = len(batch.matches)
+            try:
+                return batch.synthesize(unit)
+            except Exception as exc:  # fault-isolation: demote the group, keep the run alive
+                ctx.restore(state)
+                del batch.matches[n_matches:]
+                ctx.diagnostics.report(
+                    "HCG201",
+                    f"SIMD mapping failed ({type(exc).__name__}: {exc}); "
+                    f"demoted to scalar translation",
+                    actor=", ".join(unit.members),
+                )
+                return batch.conventional(unit, reason="mapping failed")
         actor = ctx.model.actor(unit)
         kind = actor_def(actor.actor_type).kind
         if actor.actor_type in ("Inport", "Const", "UnitDelay"):
@@ -193,7 +226,18 @@ class HcgGenerator:
                 return []
             return emit_outport(ctx, actor, self.unroll_limit)
         if kind is ActorKind.INTENSIVE:
-            kernel = intensive.select(actor)
+            try:
+                kernel = intensive.select(actor)
+            except Exception as exc:  # fault-isolation: degrade to the general implementation
+                kernel = self.library.general_implementation(
+                    actor_def(actor.actor_type).kernel_key
+                )
+                ctx.diagnostics.report(
+                    "HCG203",
+                    f"selection raised {type(exc).__name__}: {exc}; "
+                    f"using general implementation {kernel.kernel_id!r}",
+                    actor=actor.name,
+                )
             return [
                 Comment(f"{actor.name}: selected {kernel.kernel_id}"),
                 kernel_call_for(ctx, actor, kernel.kernel_id),
@@ -264,7 +308,11 @@ class HcgGenerator:
         return [If(condition, side("in1"), side("in2"))]
 
     # ------------------------------------------------------------------
-    def _demote_unprofitable_groups(self, result: DispatchResult) -> DispatchResult:
+    def _demote_unprofitable_groups(
+        self,
+        result: DispatchResult,
+        diagnostics: Optional[DiagnosticsCollector] = None,
+    ) -> DispatchResult:
         """Drop groups that cannot (or should not) be vectorised.
 
         Groups narrower than one vector register fall back per Algorithm
@@ -279,6 +327,13 @@ class HcgGenerator:
             batch_size = self.iset.vector_bits // group.bit_width
             if group.width // batch_size < 1 or group.width < self.simd_threshold:
                 demoted.update(group.members)
+                if diagnostics is not None:
+                    diagnostics.report(
+                        "HCG211",
+                        f"width {group.width} < {max(batch_size, self.simd_threshold)} "
+                        f"required for SIMD; translated conventionally",
+                        actor=", ".join(group.members),
+                    )
             else:
                 kept.append(group)
         if not demoted:

@@ -4,19 +4,38 @@ Pre-calculation is expensive (every candidate implementation runs on
 test data), so HCG caches decisions keyed by (actor type, data type,
 data size) and answers repeats from the history.  The history can
 persist to JSON so repeated tool invocations skip pre-calculation too.
+
+The on-disk format is versioned (``{"schema": 2, "entries": {...}}``)
+and the store is crash-safe:
+
+* saves go through a temp file + ``os.replace`` so a crash mid-write
+  never leaves a partial file behind;
+* a corrupt, truncated or stale-schema file is *quarantined* (renamed
+  to ``<name>.corrupt``) and the history rebuilt from scratch — it is
+  only a cache, so losing it costs one pre-calculation pass, while
+  crashing on it would cost the whole generation run;
+* individual malformed entries are skipped (recorded as diagnostics)
+  instead of discarding the surviving good entries.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.diagnostics import DiagnosticsCollector
 from repro.dtypes import DataType
+from repro.errors import HistoryError
 
 #: parameters that define an intensive actor's "data size"
 _SIZE_PARAM_NAMES = ("n", "m", "rows", "cols", "krows", "kcols")
+
+#: current on-disk format; bump when the payload layout changes
+SCHEMA_VERSION = 2
 
 
 def size_signature(params: Dict[str, Any]) -> Tuple[Tuple[str, int], ...]:
@@ -40,26 +59,39 @@ class SelectionKey:
 
     @classmethod
     def from_str(cls, text: str) -> "SelectionKey":
-        actor_key, dtype_name, size_text = text.split("|")
-        size = tuple(
-            (k, int(v)) for k, v in (part.split("=") for part in size_text.split(",") if part)
-        )
-        return cls(actor_key, DataType.from_name(dtype_name), size)
+        try:
+            actor_key, dtype_name, size_text = text.split("|")
+            size = tuple(
+                (k, int(v))
+                for k, v in (part.split("=") for part in size_text.split(",") if part)
+            )
+            return cls(actor_key, DataType.from_name(dtype_name), size)
+        except (ValueError, KeyError) as exc:
+            raise HistoryError(f"malformed selection key {text!r}: {exc}") from exc
 
 
 class SelectionHistory:
-    """In-memory (optionally file-backed) implementation selections."""
+    """In-memory (optionally file-backed) implementation selections.
+
+    Load- and save-time recoveries are recorded on ``self.diagnostics``
+    (always permissive — a cache problem must never abort generation);
+    the generator drains them into the run's collector.
+    """
 
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
         self._entries: Dict[SelectionKey, str] = {}
         self.hits = 0
         self.misses = 0
+        self.diagnostics = DiagnosticsCollector(policy="permissive")
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __contains__(self, key: SelectionKey) -> bool:
+        return key in self._entries
 
     def lookup(self, key: SelectionKey) -> Optional[str]:
         """Lines 3-6: return the cached kernel id, if any."""
@@ -76,6 +108,20 @@ class SelectionHistory:
         if self.path is not None:
             self.save(self.path)
 
+    def drop(self, key: SelectionKey) -> None:
+        """Forget one decision (e.g. its kernel id left the library)."""
+        if self._entries.pop(key, None) is not None and self.path is not None:
+            self.save(self.path)
+
+    def prune_stale(self, known_ids) -> Tuple[SelectionKey, ...]:
+        """Drop every entry whose kernel id is not in ``known_ids``."""
+        stale = tuple(k for k, v in self._entries.items() if v not in known_ids)
+        for key in stale:
+            self._entries.pop(key, None)
+        if stale and self.path is not None:
+            self.save(self.path)
+        return stale
+
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
@@ -83,10 +129,72 @@ class SelectionHistory:
 
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        payload = {key.to_str(): kernel_id for key, kernel_id in self._entries.items()}
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        """Atomic write: temp file in the same directory + ``os.replace``,
+        so readers (and crashes) never observe a partial file."""
+        path = Path(path)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "entries": {
+                key.to_str(): kernel_id for key, kernel_id in self._entries.items()
+            },
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError as exc:
+            # A read-only cache directory must not abort generation.
+            self.diagnostics.report(
+                "HCG304", f"history not persisted: {exc}", location=str(path)
+            )
 
     def load(self, path: Union[str, Path]) -> None:
-        payload = json.loads(Path(path).read_text())
-        for key_text, kernel_id in payload.items():
-            self._entries[SelectionKey.from_str(key_text)] = kernel_id
+        """Merge a history file; quarantine it wholesale if unreadable."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            self._quarantine(path, f"unreadable history file: {exc}", code="HCG301")
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SCHEMA_VERSION
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            found = payload.get("schema") if isinstance(payload, dict) else None
+            self._quarantine(
+                path,
+                f"schema {found!r} != {SCHEMA_VERSION}; rebuilding",
+                code="HCG303",
+            )
+            return
+        for key_text, kernel_id in payload["entries"].items():
+            try:
+                key = SelectionKey.from_str(str(key_text))
+                if not isinstance(kernel_id, str) or not kernel_id:
+                    raise HistoryError(f"kernel id must be a string, got {kernel_id!r}")
+            except HistoryError as exc:
+                self.diagnostics.report("HCG302", str(exc), location=str(path))
+                continue
+            self._entries[key] = kernel_id
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str, code: str) -> None:
+        """Move a bad file aside (``<name>.corrupt``) and start empty."""
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+            detail = f"{reason}; quarantined to {quarantine.name}"
+        except OSError as exc:
+            detail = f"{reason}; quarantine failed ({exc}), ignoring file"
+        self.diagnostics.report(code, detail, location=str(path))

@@ -4,6 +4,14 @@ For each intensive actor, HCG adaptively pre-calculates: it runs every
 library implementation that can handle the actor's (data type, data
 size) on randomly generated test input, measures the cost, and keeps
 the cheapest.  Decisions are cached in the selection history.
+
+Selection is fault-isolated per candidate: one implementation that
+raises (anything — not just a domain refusal) is excluded and recorded
+as a diagnostic, and if *every* candidate fails the library's general
+implementation is still returned, so a broken library entry degrades
+one actor's code instead of aborting the run.  Cached decisions are
+validated against the library before use; a stale kernel id is dropped
+and the actor re-selected.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.arch.cost import CostTable
+from repro.diagnostics import DiagnosticsCollector
 from repro.dtypes import DataType
 from repro.errors import KernelDomainError
 from repro.codegen.hcg.history import SelectionHistory, SelectionKey, size_signature
@@ -32,6 +41,8 @@ class SelectionRecord:
     chosen: str
     from_history: bool
     measured: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: kernel ids excluded because their measurement raised unexpectedly
+    faulted: List[str] = dataclasses.field(default_factory=list)
 
 
 def generate_test_input(actor: Actor, seed: int) -> List[np.ndarray]:
@@ -62,11 +73,15 @@ class IntensiveSynthesizer:
         cost: CostTable,
         instruction_set: InstructionSet,
         history: Optional[SelectionHistory] = None,
+        diagnostics: Optional[DiagnosticsCollector] = None,
     ) -> None:
         self.library = library
         self.cost = cost
         self.iset = instruction_set
         self.history = history if history is not None else SelectionHistory()
+        self.diagnostics = (
+            diagnostics if diagnostics is not None else DiagnosticsCollector("permissive")
+        )
         self.records: List[SelectionRecord] = []
 
     # ------------------------------------------------------------------
@@ -77,11 +92,20 @@ class IntensiveSynthesizer:
         dtype = actor.outputs[0].dtype
         key = SelectionKey(defn.kernel_key, dtype, size_signature(actor.params))
 
-        # Lines 3-6: history short-circuit.
+        # Lines 3-6: history short-circuit — but only if the cached id
+        # still names a library kernel (the library may have changed
+        # since the history file was written).
         cached = self.history.lookup(key)
         if cached is not None:
-            self.records.append(SelectionRecord(key, cached, from_history=True))
-            return self.library.by_id(cached)
+            if self.library.has_id(cached):
+                self.records.append(SelectionRecord(key, cached, from_history=True))
+                return self.library.by_id(cached)
+            self.history.drop(key)
+            self.diagnostics.report(
+                "HCG204",
+                f"cached kernel {cached!r} no longer in library; re-selecting",
+                actor=actor.name,
+            )
 
         # Lines 7-9: load the library, default to the general impl.
         implementations = self.library.implementations(defn.kernel_key)
@@ -94,21 +118,43 @@ class IntensiveSynthesizer:
         test_input = generate_test_input(actor, seed)
 
         record = SelectionRecord(key, best.kernel_id, from_history=False)
-        # Lines 11-17: filter, run, keep the cheapest.
+        # Lines 11-17: filter, run, keep the cheapest.  Candidates are
+        # fault-isolated: one that raises is excluded, not fatal.
         for impl in implementations:
-            if not impl.can_handle(dtype, actor.params):
-                continue
             try:
+                if not impl.can_handle(dtype, actor.params):
+                    continue
                 cost = impl.measure_cycles(test_input, actor.params, dtype, self.cost, lanes)
             except KernelDomainError:
+                continue  # expected: outside the impl's (dtype, size) domain
+            except Exception as exc:  # fault-isolation: one candidate must not abort selection
+                record.faulted.append(impl.kernel_id)
+                self.diagnostics.report(
+                    "HCG202",
+                    f"candidate {impl.kernel_id!r} raised "
+                    f"{type(exc).__name__} during pre-calculation: {exc}",
+                    actor=actor.name,
+                )
                 continue
             record.measured[impl.kernel_id] = cost
             if cost < min_cost:
                 best = impl
                 min_cost = cost
 
-        # Line 18: persist the decision.
-        self.history.store(key, best.kernel_id)
+        if record.faulted and not record.measured:
+            # Every runnable candidate faulted — degraded to the general
+            # implementation without a measurement backing the choice.
+            self.diagnostics.report(
+                "HCG203",
+                f"all {len(record.faulted)} candidate(s) failed pre-calculation; "
+                f"using general implementation {best.kernel_id!r}",
+                actor=actor.name,
+            )
+
+        # Line 18: persist the decision (but never cache a degraded
+        # fallback — the library fault may be transient).
+        if record.measured or not record.faulted:
+            self.history.store(key, best.kernel_id)
         record.chosen = best.kernel_id
         self.records.append(record)
         return best

@@ -37,6 +37,7 @@ from repro.codegen.common import (
     mark_buffer_required_inputs,
     materialize_port,
 )
+from repro.diagnostics import DiagnosticsCollector
 from repro.errors import CodegenError
 from repro.ir.expr import Var, const_i
 from repro.ir.program import Program
@@ -58,15 +59,22 @@ class SimulinkCoderGenerator:
         library: Optional[CodeLibrary] = None,
         unroll_limit: int = UNROLL_LIMIT,
         variable_reuse: bool = True,
+        policy: str = "strict",
     ) -> None:
         self.arch = arch
         self.library = library if library is not None else default_library()
         self.unroll_limit = unroll_limit
         self.variable_reuse = variable_reuse
+        # The baseline has no degradation lattice, but it shares the
+        # diagnostics interface so callers can treat generators uniformly.
+        self.policy = policy
+        self.last_diagnostics: Optional[DiagnosticsCollector] = None
 
     # ------------------------------------------------------------------
     def generate(self, model: Model) -> Program:
-        ctx = CodegenContext(model, f"{model.name}_step", self.name)
+        diagnostics = DiagnosticsCollector(self.policy)
+        ctx = CodegenContext(model, f"{model.name}_step", self.name, diagnostics)
+        self.last_diagnostics = diagnostics
         ctx.program.arch = self.arch.name
 
         scattered = self._scattered_actors(ctx) if self.arch.baseline_scattered_simd else set()

@@ -1,0 +1,194 @@
+"""Structured diagnostics for the fault-tolerant generation pipeline.
+
+HCG's promise is that it always produces *working* embedded C — SIMD
+where the synthesis succeeds, scalar otherwise.  Faults met along the
+way (a kernel implementation that crashes during Algorithm 1's
+pre-calculation, a batch group Algorithm 2 cannot map, a corrupt
+selection-history file) therefore do not abort generation by default:
+each one becomes a :class:`Diagnostic` with a stable code, and the
+generator degrades to the next rung of the fallback lattice (general
+implementation, conventional scalar translation).
+
+Two policies decide what happens to the collected diagnostics:
+
+* ``permissive`` — degrade and continue; the caller inspects the
+  collector afterwards;
+* ``strict`` — still degrade (so the collector describes every fault of
+  the run, not just the first), but raise :class:`~repro.errors.CodegenError`
+  at the end of generation if any error-severity diagnostic was
+  recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """How bad one diagnostic is (ordered, so max() gives the worst)."""
+
+    INFO = 0      # expected, recorded for observability (e.g. profitability demotion)
+    WARNING = 1   # recovered locally; the result is unaffected
+    ERROR = 2     # a fault forced a degradation of the generation strategy
+
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Stable diagnostic codes: code -> (default severity, short description).
+#: Codes are part of the tool's interface (scripts grep for them); never
+#: renumber an existing code, only append.
+DIAGNOSTIC_CODES: Dict[str, Tuple[Severity, str]] = {
+    # 2xx — code generation degradations
+    "HCG201": (Severity.ERROR, "Algorithm 2 mapping failed; batch group demoted to scalar translation"),
+    "HCG202": (Severity.WARNING, "candidate implementation failed during pre-calculation; excluded"),
+    "HCG203": (Severity.ERROR, "Algorithm 1 selection failed; general implementation used"),
+    "HCG204": (Severity.WARNING, "stale history entry dropped (kernel id no longer in library)"),
+    "HCG211": (Severity.INFO, "batch group demoted: too narrow or below the profitability threshold"),
+    # 3xx — selection-history recovery
+    "HCG301": (Severity.WARNING, "corrupt history file quarantined and rebuilt"),
+    "HCG302": (Severity.WARNING, "malformed history entry skipped"),
+    "HCG303": (Severity.WARNING, "history schema mismatch; file quarantined and rebuilt"),
+    "HCG304": (Severity.WARNING, "history file could not be persisted"),
+}
+
+#: Recognised collector policies.
+POLICIES = ("strict", "permissive")
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One recorded fault or degradation event."""
+
+    code: str                      # stable code, e.g. "HCG201"
+    severity: Severity
+    message: str                   # human-readable, instance-specific
+    actor: Optional[str] = None    # actor (or group member list) involved
+    location: Optional[str] = None # file path or pipeline stage
+
+    def format(self) -> str:
+        where = f" [{self.actor}]" if self.actor else ""
+        at = f" ({self.location})" if self.location else ""
+        return f"{self.code} {self.severity.label()}{where}: {self.message}{at}"
+
+
+class DiagnosticsCollector:
+    """Accumulates diagnostics for one generation run.
+
+    Threaded through :class:`~repro.codegen.common.CodegenContext` so
+    every pipeline stage (dispatch, Algorithm 1, Algorithm 2, history)
+    reports into the same place.
+    """
+
+    def __init__(self, policy: str = "strict") -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        self.policy = policy
+        self._diagnostics: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def permissive(self) -> bool:
+        return self.policy == "permissive"
+
+    def report(
+        self,
+        code: str,
+        message: str,
+        *,
+        actor: Optional[str] = None,
+        location: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        """Record one event under a stable code and return it."""
+        if severity is None:
+            if code not in DIAGNOSTIC_CODES:
+                raise ValueError(f"unknown diagnostic code {code!r}")
+            severity = DIAGNOSTIC_CODES[code][0]
+        diagnostic = Diagnostic(code, severity, message, actor, location)
+        self._diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self._diagnostics.extend(diagnostics)
+
+    def drain(self) -> List[Diagnostic]:
+        """Remove and return everything collected (for re-homing into
+        another collector, e.g. history load-time events into a run)."""
+        drained, self._diagnostics = self._diagnostics, []
+        return drained
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return tuple(self._diagnostics)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity is Severity.WARNING)
+
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._diagnostics)
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(d.code for d in self._diagnostics)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """End-of-run policy application.
+
+        Permissive: no-op.  Strict: raise ``CodegenError`` carrying every
+        collected diagnostic if any error-severity event was recorded.
+        """
+        if self.permissive or not self.has_errors():
+            return
+        from repro.errors import CodegenError
+
+        errors = self.errors
+        raise CodegenError(
+            f"strict mode: {len(errors)} error diagnostic(s) collected "
+            f"({', '.join(sorted({d.code for d in errors}))}); "
+            f"rerun permissive to degrade instead",
+            diagnostics=self.diagnostics,
+        )
+
+    # ------------------------------------------------------------------
+    def summary_table(self) -> str:
+        """An aligned text table of every diagnostic, for CLI output."""
+        if not self._diagnostics:
+            return "diagnostics: none"
+        rows = [
+            (d.code, d.severity.label(), d.actor or "-", d.message)
+            for d in sorted(self._diagnostics, key=lambda d: (-d.severity, d.code))
+        ]
+        headers = ("code", "severity", "actor", "message")
+        widths = [
+            max(len(headers[i]), max(len(row[i]) for row in rows))
+            for i in range(3)
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers[:3])) + "  message",
+            "  ".join("-" * widths[i] for i in range(3)) + "  -------",
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(row[i].ljust(widths[i]) for i in range(3)) + f"  {row[3]}"
+            )
+        counts = {}
+        for d in self._diagnostics:
+            counts[d.severity.label()] = counts.get(d.severity.label(), 0) + 1
+        total = ", ".join(f"{n} {label}" for label, n in sorted(counts.items()))
+        lines.append(f"({len(self._diagnostics)} diagnostics: {total})")
+        return "\n".join(lines)

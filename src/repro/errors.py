@@ -42,11 +42,24 @@ class IsaParseError(IsaError):
 
 
 class CodegenError(ReproError):
-    """Code generation failed."""
+    """Code generation failed.
+
+    When raised by a strict-mode generation run, ``diagnostics`` holds
+    every :class:`~repro.diagnostics.Diagnostic` the run collected, so
+    callers see the full fault picture instead of only the first one.
+    """
+
+    def __init__(self, message: str, diagnostics=()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class UnsupportedActorError(CodegenError):
     """A generator met an actor type it cannot translate."""
+
+
+class HistoryError(ReproError):
+    """A selection-history file or entry is malformed."""
 
 
 class KernelError(ReproError):

@@ -118,7 +118,7 @@ def _parse_record(line: str, arch: str, line_no: int) -> InstructionSpec:
         )
     except IsaParseError:
         raise
-    except Exception as exc:  # spec validation errors get line context
+    except Exception as exc:  # fault-isolation: re-raised typed, with line context
         raise IsaParseError(f"line {line_no}: {exc}") from exc
 
 

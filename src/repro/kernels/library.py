@@ -63,6 +63,16 @@ class CodeLibrary:
         except KeyError:
             raise KernelError(f"unknown kernel id {kernel_id!r}") from None
 
+    def has_id(self, kernel_id: str) -> bool:
+        """Whether a kernel id is registered (stale-cache validation)."""
+        return kernel_id in self._by_id
+
+    def __contains__(self, kernel_id: str) -> bool:
+        return self.has_id(kernel_id)
+
+    def kernel_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._by_id))
+
     def actor_keys(self) -> Tuple[str, ...]:
         return tuple(sorted(self._by_key))
 

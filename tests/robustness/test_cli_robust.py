@@ -1,0 +1,56 @@
+"""CLI policy flags: --strict / --permissive and the diagnostics table."""
+
+import pytest
+
+from repro.cli import main
+from repro.codegen.hcg import batch as batch_module
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+from repro.model.xml_io import write_model
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    b = ModelBuilder("cli_model", default_dtype=DataType.I32)
+    x = b.inport("x", shape=16)
+    y = b.inport("y", shape=16)
+    m = b.add_actor("Mul", "m", x, y)
+    a = b.add_actor("Add", "a", m, x)
+    b.outport("o", a)
+    path = tmp_path / "model.xml"
+    write_model(b.build(), path)
+    return str(path)
+
+
+@pytest.fixture
+def broken_mapper(monkeypatch):
+    monkeypatch.setattr(batch_module, "match_instruction",
+                        lambda *args, **kwargs: None)
+
+
+class TestPolicyFlags:
+    def test_default_strict_fails_on_fault(self, model_file, broken_mapper, capsys):
+        assert main(["generate", model_file]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "HCG201" in err
+
+    def test_permissive_degrades_and_succeeds(self, model_file, broken_mapper, capsys):
+        assert main(["generate", model_file, "--permissive"]) == 0
+        captured = capsys.readouterr()
+        assert "HCG201" in captured.err       # summary table on stderr
+        assert "void cli_model_step" in captured.out  # C still produced
+        assert "vmlaq_s32" not in captured.out        # degraded: no SIMD
+
+    def test_flags_are_mutually_exclusive(self, model_file):
+        with pytest.raises(SystemExit):
+            main(["generate", model_file, "--strict", "--permissive"])
+
+    def test_clean_run_prints_no_diagnostics(self, model_file, capsys):
+        assert main(["generate", model_file, "--strict"]) == 0
+        assert "HCG" not in capsys.readouterr().err
+
+    def test_run_command_accepts_policy(self, model_file, broken_mapper, capsys):
+        assert main(["run", model_file, "--permissive"]) == 0
+        captured = capsys.readouterr()
+        assert "HCG201" in captured.err
+        assert "modelled cycles/step" in captured.out

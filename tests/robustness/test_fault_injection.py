@@ -1,0 +1,300 @@
+"""Fault-injection harness: the pipeline degrades, it does not die.
+
+Each test breaks one layer on purpose — a kernel that raises during
+Algorithm 1's pre-calculation, an Algorithm 2 mapping that cannot place
+a single instruction, a corrupted history file on disk — and asserts
+that
+
+* permissive mode completes, records a diagnostic with a stable code,
+  and the generated program still matches the scalar reference
+  numerically;
+* strict mode raises ``CodegenError`` carrying the same diagnostics.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch import ARM_A72
+from repro.codegen import HcgGenerator, SimulinkCoderGenerator
+from repro.codegen.hcg import batch as batch_module
+from repro.diagnostics import DiagnosticsCollector, Severity
+from repro.dtypes import DataType
+from repro.errors import CodegenError
+from repro.ir import SimdOp, walk
+from repro.kernels.library import build_default_library
+from repro.model.builder import ModelBuilder
+from repro.model.semantics import ModelEvaluator
+from repro.vm import Machine
+
+
+def _mixed_model(n=16):
+    """Batch chain + an intensive FFT actor, i.e. both algorithms run."""
+    b = ModelBuilder("mix", default_dtype=DataType.F32)
+    x = b.inport("x", shape=n)
+    y = b.inport("y", shape=n)
+    m = b.add_actor("Mul", "m", x, y)
+    a = b.add_actor("Add", "a", m, x)
+    b.outport("o", a)
+    spectrum = b.add_actor("FFT", "fft", x, n=n)
+    b.outport("s", spectrum)
+    return b.build()
+
+
+def _batch_model(n=16, dtype=DataType.I32):
+    b = ModelBuilder("chain", default_dtype=dtype)
+    x = b.inport("x", shape=n)
+    y = b.inport("y", shape=n)
+    m = b.add_actor("Mul", "m", x, y)
+    a = b.add_actor("Add", "a", m, x)
+    b.outport("o", a)
+    return b.build()
+
+
+def _inputs(model, seed=11):
+    rng = np.random.default_rng(seed)
+    inputs = {}
+    for inport in model.inports:
+        port = inport.output("out")
+        if port.dtype.is_float:
+            data = rng.uniform(-2, 2, size=port.shape or ())
+        else:
+            data = rng.integers(-99, 99, size=port.shape or ())
+        inputs[inport.name] = data.astype(port.dtype.numpy_dtype)
+    return inputs
+
+
+def _break_all_kernels(library, actor_key, monkeypatch):
+    """Make every implementation of one actor key raise on measurement."""
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected kernel fault")
+
+    for impl in library.implementations(actor_key):
+        monkeypatch.setattr(impl, "measure_cycles", boom)
+
+
+class TestIntensiveFaults:
+    def test_permissive_degrades_to_general_implementation(self, monkeypatch):
+        library = build_default_library()
+        _break_all_kernels(library, "fft", monkeypatch)
+        model = _mixed_model()
+
+        generator = HcgGenerator(ARM_A72, library=library, policy="permissive")
+        program = generator.generate(model)
+
+        codes = generator.last_diagnostics.codes()
+        assert "HCG203" in codes  # degraded to the general implementation
+        assert "HCG202" in codes  # each faulted candidate recorded
+        # the degraded fallback is never cached as a real decision
+        assert len(generator.history) == 0
+
+        # output must still match the scalar baseline bit-for-bit: both
+        # now call the same general kernel on the same inputs
+        reference = SimulinkCoderGenerator(ARM_A72).generate(model)
+        inputs = _inputs(model)
+        got = Machine(program, ARM_A72).run(inputs).outputs
+        want = Machine(reference, ARM_A72).run(inputs).outputs
+        for name, value in want.items():
+            assert np.array_equal(got[name], value), name
+
+    def test_strict_raises_with_diagnostics(self, monkeypatch):
+        library = build_default_library()
+        _break_all_kernels(library, "fft", monkeypatch)
+        generator = HcgGenerator(ARM_A72, library=library, policy="strict")
+        with pytest.raises(CodegenError) as excinfo:
+            generator.generate(_mixed_model())
+        diagnostics = excinfo.value.diagnostics
+        assert any(d.code == "HCG203" for d in diagnostics)
+        assert any(d.severity is Severity.ERROR for d in diagnostics)
+
+    def test_one_broken_candidate_is_only_a_warning(self, monkeypatch):
+        """A single faulty implementation must not abort selection — the
+        surviving candidates still compete (the satellite bugfix)."""
+        library = build_default_library()
+        victims = [
+            impl for impl in library.implementations("fft") if not impl.general
+        ]
+
+        def boom(*args, **kwargs):
+            raise ZeroDivisionError("injected")
+
+        monkeypatch.setattr(victims[0], "measure_cycles", boom)
+        generator = HcgGenerator(ARM_A72, library=library, policy="strict")
+        program = generator.generate(_mixed_model())  # must not raise
+        codes = generator.last_diagnostics.codes()
+        assert "HCG202" in codes and "HCG203" not in codes
+        record = generator.last_intensive.records[-1]
+        assert record.faulted == [victims[0].kernel_id]
+        assert record.measured  # others were still measured
+        assert program is not None
+
+
+class TestBatchFaults:
+    def test_unmappable_group_demotes_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "match_instruction",
+                            lambda *args, **kwargs: None)
+        model = _batch_model()
+        generator = HcgGenerator(ARM_A72, policy="permissive")
+        program = generator.generate(model)
+
+        assert "HCG201" in generator.last_diagnostics.codes()
+        assert not any(isinstance(s, SimdOp) for s in walk(program.body))
+
+        inputs = _inputs(model)
+        reference = ModelEvaluator(model).step(inputs)
+        got = Machine(program, ARM_A72).run(inputs).outputs
+        for name, value in reference.items():
+            assert np.array_equal(got[name].reshape(value.shape), value), name
+
+    def test_unmappable_group_strict_raises(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "match_instruction",
+                            lambda *args, **kwargs: None)
+        generator = HcgGenerator(ARM_A72, policy="strict")
+        with pytest.raises(CodegenError) as excinfo:
+            generator.generate(_batch_model())
+        assert any(d.code == "HCG201" for d in excinfo.value.diagnostics)
+
+    def test_rollback_leaves_no_partial_state(self, monkeypatch):
+        """The failed SIMD attempt's buffers/aliases are rolled back, so
+        the fallback emits from a clean context and the C still emits."""
+        monkeypatch.setattr(batch_module, "match_instruction",
+                            lambda *args, **kwargs: None)
+        generator = HcgGenerator(ARM_A72, policy="permissive")
+        program = generator.generate(_batch_model())
+        names = [b.name for b in program.buffers]
+        assert len(names) == len(set(names))  # no duplicate declarations
+        from repro.ir.cemit import emit_c
+
+        assert "void" in emit_c(program, ARM_A72.instruction_set)
+
+    def test_mapping_exception_also_demotes(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected matcher crash")
+
+        monkeypatch.setattr(batch_module, "match_instruction", explode)
+        generator = HcgGenerator(ARM_A72, policy="permissive")
+        model = _batch_model()
+        program = generator.generate(model)
+        assert "HCG201" in generator.last_diagnostics.codes()
+        inputs = _inputs(model)
+        reference = ModelEvaluator(model).step(inputs)
+        got = Machine(program, ARM_A72).run(inputs).outputs
+        for name, value in reference.items():
+            assert np.array_equal(got[name].reshape(value.shape), value), name
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance scenario: broken kernel + corrupt history."""
+
+    def test_permissive_survives_kernel_fault_and_corrupt_history(
+        self, monkeypatch, tmp_path
+    ):
+        history_path = tmp_path / "history.json"
+        history_path.write_text('{"schema": 2, "entries": {"fft|f32|')  # truncated
+
+        library = build_default_library()
+        _break_all_kernels(library, "fft", monkeypatch)
+        from repro.codegen.hcg.history import SelectionHistory
+
+        generator = HcgGenerator(
+            ARM_A72,
+            library=library,
+            history=SelectionHistory(history_path),
+            policy="permissive",
+        )
+        model = _mixed_model()
+        program = generator.generate(model)
+
+        codes = generator.last_diagnostics.codes()
+        assert "HCG301" in codes  # corrupt history quarantined
+        assert "HCG203" in codes  # kernel fault degraded
+        assert (tmp_path / "history.json.corrupt").exists()
+
+        inputs = _inputs(model)
+        reference = SimulinkCoderGenerator(ARM_A72).generate(model)
+        got = Machine(program, ARM_A72).run(inputs).outputs
+        want = Machine(reference, ARM_A72).run(inputs).outputs
+        for name, value in want.items():
+            assert np.array_equal(got[name], value), name  # bit-for-bit
+
+    def test_strict_raises_with_the_same_diagnostics(self, monkeypatch, tmp_path):
+        history_path = tmp_path / "history.json"
+        history_path.write_text("not json at all {{{")
+
+        library = build_default_library()
+        _break_all_kernels(library, "fft", monkeypatch)
+        from repro.codegen.hcg.history import SelectionHistory
+
+        generator = HcgGenerator(
+            ARM_A72,
+            library=library,
+            history=SelectionHistory(history_path),
+            policy="strict",
+        )
+        with pytest.raises(CodegenError) as excinfo:
+            generator.generate(_mixed_model())
+        codes = {d.code for d in excinfo.value.diagnostics}
+        assert "HCG301" in codes and "HCG203" in codes
+
+
+class TestMalformedIsa:
+    def test_malformed_isa_entries_rejected_cleanly(self):
+        from repro.errors import IsaError
+        from repro.isa import parse_instruction_set
+
+        bad_entries = [
+            "arch: x\nvector_bits: 128\nIns: v ; Graph: ; Code: O1 = v(I1)",
+            "arch: x\nvector_bits: 128\nIns: v ; Graph: Add,q99,4,T1,I1,I2,O1 ; Code: O1 = v(I1, I2)",
+            "arch: x\nvector_bits: nope\n",
+        ]
+        for text in bad_entries:
+            with pytest.raises(IsaError):
+                parse_instruction_set(text)
+
+    def test_isa_without_needed_ops_generates_scalar(self):
+        """An ISA missing the group's ops is a planned fallback, not a
+        fault: dispatch never forms the group and the output is scalar."""
+        from repro.isa import load_builtin
+        from repro.isa.spec import InstructionSet
+
+        neon = load_builtin("neon")
+        gutted = InstructionSet(
+            "neon", 128,
+            tuple(i for i in neon.instructions if i.root.op not in ("Mul", "Add")),
+        )
+        model = _batch_model()
+        generator = HcgGenerator(ARM_A72, instruction_set=gutted, policy="strict")
+        program = generator.generate(model)  # strict: still no fault
+        assert not any(isinstance(s, SimdOp) for s in walk(program.body))
+        inputs = _inputs(model)
+        reference = ModelEvaluator(model).step(inputs)
+        got = Machine(program, ARM_A72, instruction_set=gutted).run(inputs).outputs
+        for name, value in reference.items():
+            assert np.array_equal(got[name].reshape(value.shape), value), name
+
+
+class TestCollector:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DiagnosticsCollector("lenient")
+        with pytest.raises(ValueError):
+            HcgGenerator(ARM_A72, policy="lenient")
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            DiagnosticsCollector("permissive").report("HCG999", "nope")
+
+    def test_summary_table_lists_counts(self):
+        collector = DiagnosticsCollector("permissive")
+        collector.report("HCG201", "group demoted", actor="a, b")
+        collector.report("HCG302", "bad entry")
+        table = collector.summary_table()
+        assert "HCG201" in table and "HCG302" in table
+        assert "1 error" in table and "1 warning" in table
+
+    def test_clean_run_has_no_diagnostics(self):
+        generator = HcgGenerator(ARM_A72, policy="strict")
+        generator.generate(_batch_model())
+        assert len(generator.last_diagnostics) == 0

@@ -1,0 +1,179 @@
+"""Crash-safety of the selection history: atomic saves, quarantine,
+schema versioning, per-entry recovery and stale-id validation."""
+
+import json
+import os
+
+import pytest
+
+from repro.arch import ARM_A72
+from repro.codegen.hcg.history import (
+    SCHEMA_VERSION,
+    SelectionHistory,
+    SelectionKey,
+)
+from repro.codegen.hcg.intensive import IntensiveSynthesizer
+from repro.diagnostics import DiagnosticsCollector
+from repro.dtypes import DataType
+from repro.errors import HistoryError
+from repro.kernels import default_library
+from repro.model.actor_defs import create_actor
+
+
+KEY = SelectionKey("fft", DataType.F32, (("n", 16),))
+
+
+class TestAtomicSave:
+    def test_save_writes_versioned_payload(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = SelectionHistory(path)
+        history.store(KEY, "fft.radix2")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["entries"] == {KEY.to_str(): "fft.radix2"}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = SelectionHistory(path)
+        for index in range(5):
+            history.store(
+                SelectionKey("fft", DataType.F32, (("n", index + 2),)), "fft.mixed"
+            )
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["history.json"]
+
+    def test_unwritable_destination_is_a_diagnostic_not_a_crash(self, tmp_path):
+        history = SelectionHistory()
+        history.path = tmp_path / "no" / "such" / "dir" / "history.json"
+        history.store(KEY, "fft.radix2")  # must not raise
+        assert "HCG304" in history.diagnostics.codes()
+        assert history.lookup(KEY) == "fft.radix2"  # in-memory copy intact
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "history.json"
+        first = SelectionHistory(path)
+        first.store(KEY, "fft.radix4_simd")
+        first.store(SelectionKey("dct", DataType.F64, ()), "dct.lee")
+        second = SelectionHistory(path)
+        assert len(second) == 2
+        assert second.lookup(KEY) == "fft.radix4_simd"
+
+
+class TestQuarantine:
+    def test_corrupt_json_quarantined_and_rebuilt(self, tmp_path):
+        path = tmp_path / "history.json"
+        path.write_text("{ definitely not json")
+        history = SelectionHistory(path)
+        assert len(history) == 0
+        assert "HCG301" in history.diagnostics.codes()
+        assert (tmp_path / "history.json.corrupt").exists()
+        # the slate is clean: a store round-trips through a fresh file
+        history.store(KEY, "fft.mixed")
+        assert SelectionHistory(path).lookup(KEY) == "fft.mixed"
+
+    def test_truncated_file_quarantined(self, tmp_path):
+        path = tmp_path / "history.json"
+        full = json.dumps({"schema": SCHEMA_VERSION,
+                           "entries": {KEY.to_str(): "fft.radix2"}})
+        path.write_text(full[: len(full) // 2])
+        history = SelectionHistory(path)
+        assert len(history) == 0
+        assert "HCG301" in history.diagnostics.codes()
+
+    def test_legacy_flat_schema_quarantined(self, tmp_path):
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps({KEY.to_str(): "fft.radix2"}))  # schema-1 layout
+        history = SelectionHistory(path)
+        assert len(history) == 0
+        assert "HCG303" in history.diagnostics.codes()
+        assert (tmp_path / "history.json.corrupt").exists()
+
+    def test_future_schema_quarantined(self, tmp_path):
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps({"schema": 99, "entries": {}}))
+        history = SelectionHistory(path)
+        assert "HCG303" in history.diagnostics.codes()
+
+    def test_non_object_payload_quarantined(self, tmp_path):
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        history = SelectionHistory(path)
+        assert len(history) == 0
+        assert "HCG303" in history.diagnostics.codes()
+
+
+class TestEntryRecovery:
+    def test_bad_entries_skipped_good_entries_kept(self, tmp_path):
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps({
+            "schema": SCHEMA_VERSION,
+            "entries": {
+                KEY.to_str(): "fft.radix2",
+                "no pipes here": "fft.mixed",
+                "fft|not_a_dtype|n=8": "fft.mixed",
+                "fft|f32|n=eight": "fft.mixed",
+                "dct|f64|": 42,
+            },
+        }))
+        history = SelectionHistory(path)
+        assert len(history) == 1
+        assert history.lookup(KEY) == "fft.radix2"
+        codes = history.diagnostics.codes()
+        assert codes.count("HCG302") == 4
+
+    def test_malformed_key_raises_history_error_directly(self):
+        for text in ("", "a|b", "a|b|c|d", "fft|f32|n=x", "fft|voidptr|"):
+            with pytest.raises(HistoryError):
+                SelectionKey.from_str(text)
+
+    def test_generator_surfaces_history_diagnostics(self, tmp_path):
+        """Load-time recoveries end up on the generation run's report."""
+        from repro.codegen import HcgGenerator
+        from repro.dtypes import DataType as DT
+        from repro.model.builder import ModelBuilder
+
+        path = tmp_path / "history.json"
+        path.write_text("garbage")
+        b = ModelBuilder("m", default_dtype=DT.I32)
+        x = b.inport("x", shape=8)
+        b.outport("o", b.add_actor("Add", "s", x, x))
+        generator = HcgGenerator(
+            ARM_A72, history=SelectionHistory(path), policy="strict"
+        )
+        generator.generate(b.build())  # warning only: strict must not raise
+        assert "HCG301" in generator.last_diagnostics.codes()
+
+
+class TestStaleEntries:
+    def _synth(self, history):
+        return IntensiveSynthesizer(
+            default_library(), ARM_A72.cost, ARM_A72.instruction_set, history,
+            DiagnosticsCollector("permissive"),
+        )
+
+    def test_stale_kernel_id_dropped_and_reselected(self):
+        history = SelectionHistory()
+        history.store(KEY, "fft.retired_in_v2")  # not in the library
+        synth = self._synth(history)
+        actor = create_actor("fft", "FFT", DataType.F32, {"n": 16})
+        kernel = synth.select(actor)
+        assert default_library().has_id(kernel.kernel_id)
+        assert "HCG204" in synth.diagnostics.codes()
+        # the stale entry was replaced by the fresh decision
+        assert history.lookup(KEY) == kernel.kernel_id
+
+    def test_prune_stale(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = SelectionHistory(path)
+        history.store(KEY, "fft.radix2")
+        history.store(SelectionKey("dct", DataType.F32, ()), "dct.retired")
+        stale = history.prune_stale(default_library().kernel_ids())
+        assert [k.actor_key for k in stale] == ["dct"]
+        assert len(history) == 1
+        assert len(SelectionHistory(path)) == 1  # persisted
+
+    def test_drop_persists(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = SelectionHistory(path)
+        history.store(KEY, "fft.radix2")
+        history.drop(KEY)
+        assert len(SelectionHistory(path)) == 0

@@ -1,0 +1,80 @@
+"""Property-based round-trips for the selection history.
+
+``SelectionKey.to_str``/``from_str`` and ``SelectionHistory.save``/
+``load`` must be inverse for every representable key — including keys
+whose size signature is empty — so a persisted cache is always
+re-readable by a later invocation.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.hcg.history import SelectionHistory, SelectionKey
+from repro.dtypes import DataType
+
+#: characters legal in actor keys / size names (the key format reserves
+#: '|', '=' and ',' as separators)
+_NAME_ALPHABET = string.ascii_lowercase + string.digits + "._-"
+
+actor_keys = st.text(alphabet=_NAME_ALPHABET, min_size=1, max_size=24)
+size_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+sizes = st.lists(
+    st.tuples(size_names, st.integers(min_value=0, max_value=2**31 - 1)),
+    min_size=0,   # the empty size signature is explicitly in scope
+    max_size=4,
+    unique_by=lambda kv: kv[0],
+).map(tuple)
+dtypes = st.sampled_from(list(DataType))
+
+selection_keys = st.builds(SelectionKey, actor_keys, dtypes, sizes)
+kernel_ids = st.text(alphabet=_NAME_ALPHABET, min_size=1, max_size=32)
+
+
+class TestKeyRoundTrip:
+    @given(key=selection_keys)
+    def test_to_str_from_str_is_identity(self, key):
+        assert SelectionKey.from_str(key.to_str()) == key
+
+    def test_empty_size_signature_round_trips(self):
+        key = SelectionKey("fft", DataType.F32, ())
+        assert SelectionKey.from_str(key.to_str()) == key
+
+    @given(key=selection_keys)
+    def test_to_str_is_injective_on_parse(self, key):
+        """Parsing never conflates distinct fields (separators are
+        excluded from the alphabets)."""
+        parsed = SelectionKey.from_str(key.to_str())
+        assert parsed.actor_key == key.actor_key
+        assert parsed.dtype is key.dtype
+        assert parsed.size == key.size
+
+
+class TestHistoryRoundTrip:
+    @settings(max_examples=30)
+    @given(entries=st.dictionaries(selection_keys, kernel_ids, max_size=8))
+    def test_save_load_round_trip(self, entries, tmp_path_factory):
+        path = tmp_path_factory.mktemp("hist") / "history.json"
+        history = SelectionHistory()
+        for key, kernel_id in entries.items():
+            history.store(key, kernel_id)
+        history.save(path)
+
+        reloaded = SelectionHistory(path)
+        assert len(reloaded) == len(entries)
+        for key, kernel_id in entries.items():
+            assert reloaded.lookup(key) == kernel_id
+        assert len(reloaded.diagnostics) == 0  # nothing was recovered
+
+    @settings(max_examples=20)
+    @given(entries=st.dictionaries(selection_keys, kernel_ids, max_size=6))
+    def test_double_save_is_idempotent(self, entries, tmp_path_factory):
+        path = tmp_path_factory.mktemp("hist") / "history.json"
+        history = SelectionHistory()
+        for key, kernel_id in entries.items():
+            history.store(key, kernel_id)
+        history.save(path)
+        first = path.read_text()
+        history.save(path)
+        assert path.read_text() == first
