@@ -24,7 +24,9 @@ from repro.errors import ReproError
 from repro.ir.program import Program
 from repro.model.graph import Model
 from repro.model.semantics import ModelEvaluator
+from repro.observability.metrics import generation_metrics
 from repro.vm.machine import Machine
+from repro.vm.profile import simd_coverage
 
 GENERATORS = ("simulink_coder", "dfsynth", "hcg")
 
@@ -62,6 +64,11 @@ class RunResult:
     codegen_seconds: float
     data_bytes: int
     program: Program
+    #: percent of modelled cycles in SIMD ops/memory (see repro.vm.profile)
+    simd_coverage: float = 0.0
+    #: generator-side counters (history hit rate, diagnostics, tracer
+    #: counters — see repro.observability.metrics.generation_metrics)
+    metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
 
 def run_generator(
@@ -103,6 +110,8 @@ def run_generator(
         codegen_seconds=codegen_seconds,
         data_bytes=compiled.data_bytes(),
         program=compiled,
+        simd_coverage=simd_coverage(result),
+        metrics=generation_metrics(generator),
     )
 
 
@@ -114,18 +123,23 @@ def compare_generators(
     inputs: Optional[Mapping[str, Any]] = None,
     check_consistency: bool = True,
     steps: int = 1,
+    per_generator_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
     **generator_kwargs: Any,
 ) -> Dict[str, RunResult]:
     """Run every generator on one model; verify the outputs agree.
 
     The paper reports that "their computation results of each execution
-    are consistent"; we assert it.
+    are consistent"; we assert it.  ``generator_kwargs`` go to every
+    generator; ``per_generator_kwargs`` maps a generator name to extras
+    only that generator accepts (e.g. a shared HCG selection history).
     """
     if inputs is None:
         inputs = benchmark_inputs(model)
+    per_generator_kwargs = per_generator_kwargs or {}
     results = {
         name: run_generator(
-            model, name, arch, compiler, inputs=inputs, steps=steps, **generator_kwargs
+            model, name, arch, compiler, inputs=inputs, steps=steps,
+            **{**generator_kwargs, **per_generator_kwargs.get(name, {})}
         )
         for name in generators
     }

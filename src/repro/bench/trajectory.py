@@ -1,0 +1,125 @@
+"""The ISA-matrix bench harness behind ``repro bench``.
+
+Runs benchmark models under the three ISA presets (NEON via the ARM
+A72, SSE4 and AVX2 via the i7-8700) for all three generators — the full
+grid of the paper's Table 2 / Figure 5 — and shapes the results into
+the schema-versioned ``BENCH_codegen.json`` perf-trajectory record
+(:mod:`repro.observability.benchfile`).
+
+HCG cells share one :class:`~repro.codegen.hcg.history.SelectionHistory`
+per architecture, so the recorded history hit rate reflects how much
+Algorithm 1 pre-calculation the cache actually saved across the suite
+(FFT/DCT/Conv at equal scales hit after their first selection).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.arch.presets import get_architecture
+from repro.bench.models import BENCHMARK_MODELS
+from repro.bench.runner import GENERATORS, RunResult, compare_generators
+from repro.codegen.hcg.history import SelectionHistory
+from repro.compiler.toolchain import Compiler
+from repro.errors import ReproError
+from repro.model.graph import Model
+from repro.observability.tracer import Tracer
+
+#: the three ISA presets of the paper's evaluation, by architecture name
+ISA_MATRIX_ARCHS = ("arm_a72", "intel_i7_8700_sse4", "intel_i7_8700")
+
+#: benchmark scale used by ``--quick`` (full scale is 1024)
+QUICK_SCALE = 64
+
+
+def quick_suite(scale: int = QUICK_SCALE) -> Dict[str, Model]:
+    """The six paper models scaled down for smoke runs."""
+    from repro.bench.models import (
+        conv_model,
+        dct_model,
+        fft_model,
+        fir_model,
+        highpass_model,
+        lowpass_model,
+    )
+
+    return {
+        "FFT": fft_model(scale),
+        "DCT": dct_model(scale),
+        "Conv": conv_model(scale, max(scale // 16, 2)),
+        "HighPass": highpass_model(scale),
+        "LowPass": lowpass_model(scale),
+        "FIR": fir_model(scale),
+    }
+
+
+def resolve_bench_models(
+    names: Optional[Sequence[str]], quick: bool
+) -> Dict[str, Model]:
+    """Map CLI ``--model`` values to Model instances.
+
+    A value is either a benchmark name (``FIR``, ``FFT``, ...) or a
+    model file path (``models/fir.xml``, ``*.mdl``); ``--quick`` scales
+    the named benchmarks down and leaves file models untouched.
+    """
+    suite = quick_suite() if quick else None
+    if not names:
+        return suite if suite is not None else {
+            name: make() for name, make in BENCHMARK_MODELS.items()
+        }
+    models: Dict[str, Model] = {}
+    for name in names:
+        if name in BENCHMARK_MODELS:
+            models[name] = suite[name] if suite is not None else BENCHMARK_MODELS[name]()
+        elif str(name).endswith(".mdl"):
+            from repro.model.mdl_io import read_mdl
+
+            model = read_mdl(name)
+            models[model.name] = model
+        elif str(name).endswith(".xml"):
+            from repro.model.xml_io import read_model
+
+            model = read_model(name)
+            models[model.name] = model
+        else:
+            raise ReproError(
+                f"unknown benchmark model {name!r}; choose from "
+                f"{sorted(BENCHMARK_MODELS)} or pass a model file path"
+            )
+    return models
+
+
+def bench_matrix(
+    models: Mapping[str, Model],
+    compiler: Compiler,
+    archs: Sequence[str] = ISA_MATRIX_ARCHS,
+    steps: int = 2,
+    check_consistency: bool = True,
+) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
+    """Run every (arch, model, generator) cell.
+
+    Returns ``arch name -> model name -> generator name -> RunResult``.
+    """
+    matrix: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    for arch_name in archs:
+        arch = get_architecture(arch_name)
+        history = SelectionHistory()  # shared across this arch's HCG cells
+        rows: Dict[str, Dict[str, RunResult]] = {}
+        for model_name, model in models.items():
+            # A fresh per-cell tracer gives HCG rows their Algorithm 1/2
+            # counters in the record; the shared history spans the arch.
+            rows[model_name] = compare_generators(
+                model, arch, compiler,
+                check_consistency=check_consistency,
+                steps=steps,
+                per_generator_kwargs={
+                    "hcg": {"history": history, "tracer": Tracer()}
+                },
+            )
+        matrix[arch_name] = rows
+    return matrix
+
+
+def isa_of_archs(archs: Sequence[str]) -> Dict[str, str]:
+    """Architecture name -> ISA name (``neon`` / ``sse4`` / ``avx2``)."""
+    return {name: get_architecture(name).isa_name for name in archs}

@@ -6,7 +6,10 @@ Commands mirror how the paper's tool is used:
   architecture;
 * ``run``      — execute a model's generated code on the cost VM and
   report outputs and modelled cycles;
-* ``bench``    — regenerate Table 2 (or one model) on a chosen target;
+* ``bench``    — run the paper's evaluation matrix (6 models x 3 ISA
+  presets x 3 generators) and write a schema-versioned
+  ``BENCH_codegen.json``; with ``--model`` it benchmarks one model on
+  one target instead;
 * ``inspect``  — dispatch report: how HCG classifies a model's actors;
 * ``isa``      — list or dump the built-in instruction sets.
 """
@@ -23,7 +26,7 @@ import numpy as np
 from repro.arch.presets import get_architecture, preset_names
 from repro.bench.models import BENCHMARK_MODELS, benchmark_inputs
 from repro.bench.report import render_table2, summarize_improvements
-from repro.bench.runner import GENERATORS, compare_generators, make_generator
+from repro.bench.runner import GENERATORS, make_generator
 from repro.codegen.hcg.dispatch import dispatch
 from repro.compiler.toolchain import compiler_names, get_compiler
 from repro.errors import ReproError
@@ -90,9 +93,19 @@ def _load_model(args: argparse.Namespace):
 def cmd_generate(args: argparse.Namespace) -> int:
     model = _load_model(args)
     arch = get_architecture(args.arch)
-    generator = make_generator(args.generator, arch, policy=args.policy)
+    tracer = None
+    if args.trace_out:
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+    generator = make_generator(
+        args.generator, arch, policy=args.policy, tracer=tracer
+    )
     program = generator.generate(model)
     _print_diagnostics(generator)
+    if tracer is not None:
+        tracer.dump_json(args.trace_out)
+        print(f"wrote {args.trace_out}", file=sys.stderr)
     if args.project:
         from pathlib import Path
 
@@ -146,25 +159,40 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    arch = get_architecture(args.arch)
+    from repro.bench.trajectory import (
+        ISA_MATRIX_ARCHS,
+        bench_matrix,
+        isa_of_archs,
+        resolve_bench_models,
+    )
+    from repro.observability.benchfile import build_bench_record, write_bench_record
+
     compiler = get_compiler(args.compiler)
-    names = [args.model] if args.model else list(BENCHMARK_MODELS)
-    rows = {}
-    for name in names:
-        if name not in BENCHMARK_MODELS:
-            raise ReproError(
-                f"unknown benchmark model {name!r}; choose from {sorted(BENCHMARK_MODELS)}"
+    models = resolve_bench_models(args.model, args.quick)
+    # --model pins a single target; the default run covers the paper's
+    # full evaluation matrix (every ISA preset) and writes the record.
+    archs = (args.arch,) if args.model else ISA_MATRIX_ARCHS
+    steps = 2
+    matrix = bench_matrix(models, compiler, archs=archs, steps=steps)
+    for arch_name, rows in matrix.items():
+        arch = get_architecture(arch_name)
+        print(f"target: {arch.name} ({arch.isa_name}) + {compiler.name}")
+        print(render_table2(rows))
+        if len(rows) > 1:
+            summary = summarize_improvements(rows)
+            print(
+                f"HCG improvement: vs Simulink {summary['simulink_min']:.1f}-"
+                f"{summary['simulink_max']:.1f}%, vs DFSynth {summary['dfsynth_min']:.1f}-"
+                f"{summary['dfsynth_max']:.1f}%"
             )
-        rows[name] = compare_generators(BENCHMARK_MODELS[name](), arch, compiler, steps=2)
-    print(f"target: {arch.name} + {compiler.name}")
-    print(render_table2(rows))
-    if len(rows) > 1:
-        summary = summarize_improvements(rows)
-        print(
-            f"HCG improvement: vs Simulink {summary['simulink_min']:.1f}-"
-            f"{summary['simulink_max']:.1f}%, vs DFSynth {summary['dfsynth_min']:.1f}-"
-            f"{summary['dfsynth_max']:.1f}%"
+        print()
+    json_path = args.json or (None if args.model else "BENCH_codegen.json")
+    if json_path:
+        record = build_bench_record(
+            matrix, isa_of_archs(archs), compiler.name, steps=steps, quick=args.quick
         )
+        write_bench_record(record, json_path)
+        print(f"wrote {json_path}")
     return 0
 
 
@@ -209,6 +237,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="HCG reproduction: Simulink-style code generation with "
                     "SIMD instruction synthesis (DAC 2022)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  repro generate FIR --arch arm_a72 -o fir.c\n"
+            "  repro generate models/fir.xml --trace-out fir_trace.json\n"
+            "  repro run FFT --profile --arch intel_i7_8700\n"
+            "  repro bench --quick                 # full ISA matrix, scaled\n"
+            "  repro bench --model FIR --arch arm_a72\n"
+            "  repro bench --json BENCH_codegen.json\n"
+            "  repro inspect models/fir.xml\n"
+            "  repro isa neon\n"
+            "\n"
+            "docs/architecture.md walks the pipeline end to end;\n"
+            "docs/observability.md documents traces, metrics and the\n"
+            "BENCH_codegen.json schema."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -219,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ir", action="store_true", help="print the IR instead of C")
     p.add_argument("--project", metavar="DIR",
                    help="write a deployable project (source + header + README)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="record a span trace of the generation pipeline and "
+                        "write it as JSON (see docs/observability.md)")
     _add_model_args(p)
     _add_target_args(p)
     _add_policy_args(p)
@@ -236,8 +283,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_args(p)
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("bench", help="regenerate Table 2 on a target")
-    p.add_argument("--model", help="single benchmark model (default: all six)")
+    p = sub.add_parser(
+        "bench",
+        help="run the evaluation matrix (6 models x 3 ISAs x 3 generators) "
+             "and write BENCH_codegen.json",
+        description="Run the paper's evaluation on the cost-model VM.  "
+                    "Without --model, every benchmark model runs under all "
+                    "three ISA presets (neon / sse4 / avx2) for all three "
+                    "generators, and the results are written to a "
+                    "schema-versioned BENCH_codegen.json.  With --model, a "
+                    "single model is benchmarked on --arch only.",
+    )
+    p.add_argument(
+        "--model", action="append", metavar="NAME_OR_PATH",
+        help="benchmark name (FIR, FFT, ...) or model file path; repeatable. "
+             "Pins the run to a single target (--arch)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="scale the named benchmarks down (n=64) for a fast smoke run",
+    )
+    p.add_argument(
+        "--json", metavar="PATH",
+        help="where to write the BENCH_codegen.json record "
+             "(default: BENCH_codegen.json in matrix mode, off with --model)",
+    )
     _add_target_args(p)
     p.set_defaults(func=cmd_bench)
 

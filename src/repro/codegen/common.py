@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.diagnostics import DiagnosticsCollector
 from repro.errors import CodegenError, UnsupportedActorError
+from repro.observability.tracer import NULL_TRACER
 from repro.dtypes import DataType
 from repro.ir.expr import Cmp, Const, Expr, Load, ScalarOp, Select, Var, const_i
 from repro.ir.program import NameAllocator, Program
@@ -64,6 +65,7 @@ class CodegenContext:
         program_name: str,
         generator: str,
         diagnostics: Optional[DiagnosticsCollector] = None,
+        tracer=None,
     ) -> None:
         model.validate()
         self.model = model
@@ -72,6 +74,9 @@ class CodegenContext:
         self.names = NameAllocator()
         #: fault/degradation events of this run (see repro.diagnostics)
         self.diagnostics = diagnostics if diagnostics is not None else DiagnosticsCollector("permissive")
+        #: span/counter sink of this run (see repro.observability); the
+        #: default NULL_TRACER makes every instrumentation site a no-op
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._buffers: Dict[PortKey, str] = {}
         #: output ports that own a written buffer
         self.materialized: Set[PortKey] = set()

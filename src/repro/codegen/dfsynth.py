@@ -38,6 +38,8 @@ from repro.kernels.library import CodeLibrary, default_library
 from repro.model.actor import Actor
 from repro.model.actor_defs import ActorKind, actor_def
 from repro.model.graph import Model
+from repro.observability.metrics import SPANS
+from repro.observability.tracer import NULL_TRACER
 from repro.schedule.regions import BranchRegion, find_branch_regions, region_membership
 
 
@@ -52,19 +54,31 @@ class DfsynthGenerator:
         library: Optional[CodeLibrary] = None,
         variable_reuse: bool = True,
         policy: str = "strict",
+        tracer=None,
     ) -> None:
         self.arch = arch
         self.library = library if library is not None else default_library()
         self.variable_reuse = variable_reuse
         # Shared diagnostics interface (the baseline never degrades).
         self.policy = policy
+        # Shared tracer interface: the baseline emits only the top-level
+        # generate span (it has no Algorithm 1/2 phases to time).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.last_diagnostics: Optional[DiagnosticsCollector] = None
         self._regions: List[BranchRegion] = []
 
     # ------------------------------------------------------------------
     def generate(self, model: Model) -> Program:
+        with self.tracer.span(
+            SPANS.GENERATE, model=model.name, generator=self.name, arch=self.arch.name
+        ):
+            return self._generate(model)
+
+    def _generate(self, model: Model) -> Program:
         diagnostics = DiagnosticsCollector(self.policy)
-        ctx = CodegenContext(model, f"{model.name}_step", self.name, diagnostics)
+        ctx = CodegenContext(
+            model, f"{model.name}_step", self.name, diagnostics, tracer=self.tracer
+        )
         self.last_diagnostics = diagnostics
         ctx.program.arch = self.arch.name
 

@@ -1,4 +1,14 @@
-"""HCG: actor dispatch + SIMD instruction synthesis (the paper's core)."""
+"""HCG: actor dispatch + SIMD instruction synthesis (the paper's core).
+
+The package mirrors Fig. 3's pipeline, one module per mechanism:
+``dispatch`` (§3.1 actor classification and batch grouping),
+``intensive`` + ``history`` (§3.2.1, Algorithm 1: adaptive
+pre-calculated implementation selection), ``dfg`` + ``subgraphs`` +
+``batch`` (§3.2.2-§3.3, Algorithm 2: iterative DFG-to-SIMD-instruction
+mapping), and ``generator`` (the driver that composes them).
+docs/architecture.md walks the whole pipeline; docs/observability.md
+documents the spans and counters these stages emit.
+"""
 
 from repro.codegen.hcg.batch import BatchSynthesizer
 from repro.codegen.hcg.dfg import Dfg, DfgNode, ExtInput, NodeInput, build_dfg

@@ -38,6 +38,7 @@ from repro.errors import CodegenError
 from repro.ir.expr import Expr, Load, ScalarOp, Var, const_i
 from repro.ir.stmt import AssignVar, Comment, For, SimdLoad, SimdOp, SimdStore, Stmt, Store
 from repro.isa.spec import InstructionSet
+from repro.observability.metrics import COUNTERS, SPANS
 
 
 class BatchSynthesizer:
@@ -59,9 +60,19 @@ class BatchSynthesizer:
         self.simd_threshold = simd_threshold
         #: trace of emitted matches, for tests and reports
         self.matches: List[Match] = []
+        #: candidate subgraphs enumerated across all groups (metrics)
+        self.subgraphs_enumerated = 0
 
     # ------------------------------------------------------------------
     def synthesize(self, group: BatchGroup) -> List[Stmt]:
+        with self.ctx.tracer.span(
+            SPANS.ALG2_GROUP,
+            members=list(group.members), width=group.width,
+            bit_width=group.bit_width,
+        ) as span:
+            return self._synthesize(group, span)
+
+    def _synthesize(self, group: BatchGroup, span) -> List[Stmt]:
         batch_size = self.iset.vector_bits // group.bit_width
         length = group.width
         batch_count = length // batch_size
@@ -71,6 +82,8 @@ class BatchSynthesizer:
 
         dfg = build_dfg(self.ctx, group)
         offset = length % batch_size
+        matched_before = len(self.matches)
+        enumerated_before = self.subgraphs_enumerated
 
         # Declare output buffers for every stored value.  A value whose
         # only consumer is an Outport is stored straight into the output
@@ -107,6 +120,16 @@ class BatchSynthesizer:
         for node in dfg.nodes:
             if node.needs_store:
                 self.ctx.materialized.add((node.name, "out"))
+        tracer = self.ctx.tracer
+        tracer.count(COUNTERS.ALG2_GROUPS_VECTORIZED)
+        tracer.count(COUNTERS.ALG2_NODES_MAPPED, len(dfg.nodes))
+        span.set(
+            nodes=len(dfg.nodes),
+            batch_count=batch_count,
+            remainder=offset,
+            subgraphs_enumerated=self.subgraphs_enumerated - enumerated_before,
+            instructions_matched=len(self.matches) - matched_before,
+        )
         return statements
 
     # ------------------------------------------------------------------
@@ -144,6 +167,8 @@ class BatchSynthesizer:
             candidates = extend_subgraphs(
                 dfg, seed, mapped, self.iset.max_node_count, self.iset.max_depth
             )
+            self.subgraphs_enumerated += len(candidates)
+            self.ctx.tracer.count(COUNTERS.ALG2_SUBGRAPHS_ENUMERATED, len(candidates))
             match: Optional[Match] = None
             for subgraph in candidates:
                 match = match_instruction(dfg, subgraph, self.iset, mapped)
@@ -164,6 +189,7 @@ class BatchSynthesizer:
             registers[NodeInput(sink.name)] = destination
             mapped |= match.subgraph.members
             self.matches.append(match)
+            self.ctx.tracer.count(COUNTERS.ALG2_INSTRUCTIONS_MATCHED)
             # Line 23: store only what leaves the group.
             if sink.needs_store:
                 buffer = self.ctx.buffer_of(sink.name, "out")
@@ -203,6 +229,14 @@ class BatchSynthesizer:
         Used for groups too narrow to vectorise (Algorithm 2 lines 3-4)
         and as the degradation target when mapping fails outright.
         """
+        tracer = self.ctx.tracer
+        tracer.count(COUNTERS.ALG2_GROUPS_SCALAR)
+        with tracer.span(
+            SPANS.ALG2_FALLBACK, members=list(group.members), reason=reason
+        ):
+            return self._conventional(group, reason)
+
+    def _conventional(self, group: BatchGroup, reason: str) -> List[Stmt]:
         statements: List[Stmt] = [
             Comment(f"batch group [{', '.join(group.members)}]: conventional ({reason})")
         ]

@@ -53,6 +53,8 @@ from repro.ir.stmt import Comment, If, Stmt
 from repro.isa.spec import InstructionSet
 from repro.kernels.library import CodeLibrary, default_library
 from repro.model.actor import Actor
+from repro.observability.metrics import COUNTERS, SPANS
+from repro.observability.tracer import NULL_TRACER
 from repro.model.actor_defs import ActorKind, actor_def
 from repro.model.graph import Model
 from repro.schedule.regions import find_branch_regions, region_membership
@@ -78,6 +80,7 @@ class HcgGenerator:
         branch_aware: bool = False,
         variable_reuse: bool = True,
         policy: str = "strict",
+        tracer=None,
     ) -> None:
         self.arch = arch
         self.library = library if library is not None else default_library()
@@ -93,6 +96,8 @@ class HcgGenerator:
         #: (the collected diagnostics describe what happened either way)
         self.policy = policy
         DiagnosticsCollector(policy)  # validate the policy name eagerly
+        #: span/counter sink (see repro.observability); NULL_TRACER = off
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: populated by the last generate() call, for reports/tests
         self.last_dispatch: Optional[DispatchResult] = None
         self.last_intensive: Optional[IntensiveSynthesizer] = None
@@ -101,11 +106,22 @@ class HcgGenerator:
 
     # ------------------------------------------------------------------
     def generate(self, model: Model) -> Program:
+        with self.tracer.span(
+            SPANS.GENERATE, model=model.name, generator=self.name, arch=self.arch.name
+        ):
+            return self._generate(model)
+
+    def _generate(self, model: Model) -> Program:
+        tracer = self.tracer
         diagnostics = DiagnosticsCollector(self.policy)
         # Re-home recovery events the history recorded while loading
         # (corrupt file quarantined, bad entries skipped, ...).
         diagnostics.extend(self.history.diagnostics.drain())
-        ctx = CodegenContext(model, f"{model.name}_step", self.name, diagnostics)
+        with tracer.span(SPANS.MODEL_PARSE) as span:
+            ctx = CodegenContext(
+                model, f"{model.name}_step", self.name, diagnostics, tracer=tracer
+            )
+            span.set(actors=len(model.actors), connections=len(model.connections))
         self.last_diagnostics = diagnostics
         ctx.program.arch = self.arch.name
 
@@ -117,13 +133,20 @@ class HcgGenerator:
                 for name, region in membership.items()
             }
 
-        result = dispatch(model, ctx.schedule, self.iset, branch_of or None)
-        result = self._demote_unprofitable_groups(result, diagnostics)
+        with tracer.span(SPANS.DISPATCH) as span:
+            result = dispatch(model, ctx.schedule, self.iset, branch_of or None)
+            result = self._demote_unprofitable_groups(result, diagnostics)
+            span.set(
+                intensive=len(result.intensive),
+                groups=len(result.groups),
+                units=len(result.units),
+            )
         self.last_dispatch = result
         grouped: Set[str] = {m for g in result.groups for m in g.members}
 
         intensive = IntensiveSynthesizer(
-            self.library, self.cost, self.iset, self.history, diagnostics
+            self.library, self.cost, self.iset, self.history, diagnostics,
+            tracer=tracer,
         )
         self.last_intensive = intensive
         batch = BatchSynthesizer(ctx, self.iset, self.unroll_limit, self.simd_threshold)
@@ -170,8 +193,9 @@ class HcgGenerator:
                 continue
             body.extend(self._emit_unit(ctx, unit, batch, intensive, grouped, points))
 
-        body.extend(emit_state_updates(ctx, self.unroll_limit))
-        ctx.program.body = body
+        with tracer.span(SPANS.COMPOSE):
+            body.extend(emit_state_updates(ctx, self.unroll_limit))
+            ctx.program.body = body
         # Save-time recoveries (e.g. a read-only cache dir) accrue on the
         # history during generation; fold them into this run's report.
         diagnostics.extend(self.history.diagnostics.drain())
@@ -180,7 +204,9 @@ class HcgGenerator:
         if self.variable_reuse:
             from repro.codegen.reuse import reuse_local_buffers
 
-            shared, _ = reuse_local_buffers(ctx.program)
+            with tracer.span(SPANS.REUSE) as span:
+                shared, renames = reuse_local_buffers(ctx.program)
+                span.set(buffers_renamed=len(renames))
             return shared
         return ctx.program
 
@@ -327,6 +353,7 @@ class HcgGenerator:
             batch_size = self.iset.vector_bits // group.bit_width
             if group.width // batch_size < 1 or group.width < self.simd_threshold:
                 demoted.update(group.members)
+                self.tracer.count(COUNTERS.ALG2_GROUPS_SCALAR)
                 if diagnostics is not None:
                     diagnostics.report(
                         "HCG211",

@@ -128,6 +128,22 @@ class SelectionHistory:
         self.misses = 0
 
     # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        """Cache-effectiveness counters for bench records and reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+        }
+
+    # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
         """Atomic write: temp file in the same directory + ``os.replace``,
         so readers (and crashes) never observe a partial file."""

@@ -31,6 +31,8 @@ from repro.kernels.base import Kernel
 from repro.kernels.library import CodeLibrary
 from repro.model.actor import Actor
 from repro.model.actor_defs import actor_def
+from repro.observability.metrics import COUNTERS, SPANS
+from repro.observability.tracer import NULL_TRACER
 
 
 @dataclasses.dataclass
@@ -74,6 +76,7 @@ class IntensiveSynthesizer:
         instruction_set: InstructionSet,
         history: Optional[SelectionHistory] = None,
         diagnostics: Optional[DiagnosticsCollector] = None,
+        tracer=None,
     ) -> None:
         self.library = library
         self.cost = cost
@@ -82,11 +85,16 @@ class IntensiveSynthesizer:
         self.diagnostics = (
             diagnostics if diagnostics is not None else DiagnosticsCollector("permissive")
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.records: List[SelectionRecord] = []
 
     # ------------------------------------------------------------------
     def select(self, actor: Actor) -> Kernel:
         """Return the optimal implementation for this actor instance."""
+        with self.tracer.span(SPANS.ALG1_SELECT, actor=actor.name) as span:
+            return self._select(actor, span)
+
+    def _select(self, actor: Actor, span) -> Kernel:
         defn = actor_def(actor.actor_type)
         assert defn.kernel_key is not None, "select() requires an intensive actor"
         dtype = actor.outputs[0].dtype
@@ -98,6 +106,8 @@ class IntensiveSynthesizer:
         cached = self.history.lookup(key)
         if cached is not None:
             if self.library.has_id(cached):
+                self.tracer.count(COUNTERS.ALG1_HISTORY_HITS)
+                span.set(cache_hit=True, chosen=cached)
                 self.records.append(SelectionRecord(key, cached, from_history=True))
                 return self.library.by_id(cached)
             self.history.drop(key)
@@ -106,6 +116,7 @@ class IntensiveSynthesizer:
                 f"cached kernel {cached!r} no longer in library; re-selecting",
                 actor=actor.name,
             )
+        self.tracer.count(COUNTERS.ALG1_HISTORY_MISSES)
 
         # Lines 7-9: load the library, default to the general impl.
         implementations = self.library.implementations(defn.kernel_key)
@@ -124,11 +135,18 @@ class IntensiveSynthesizer:
             try:
                 if not impl.can_handle(dtype, actor.params):
                     continue
-                cost = impl.measure_cycles(test_input, actor.params, dtype, self.cost, lanes)
+                with self.tracer.span(
+                    SPANS.ALG1_CANDIDATE, kernel=impl.kernel_id, actor=actor.name
+                ) as candidate_span:
+                    cost = impl.measure_cycles(
+                        test_input, actor.params, dtype, self.cost, lanes
+                    )
+                    candidate_span.set(cost=cost)
             except KernelDomainError:
                 continue  # expected: outside the impl's (dtype, size) domain
             except Exception as exc:  # fault-isolation: one candidate must not abort selection
                 record.faulted.append(impl.kernel_id)
+                self.tracer.count(COUNTERS.ALG1_CANDIDATES_FAULTED)
                 self.diagnostics.report(
                     "HCG202",
                     f"candidate {impl.kernel_id!r} raised "
@@ -136,6 +154,7 @@ class IntensiveSynthesizer:
                     actor=actor.name,
                 )
                 continue
+            self.tracer.count(COUNTERS.ALG1_CANDIDATES_MEASURED)
             record.measured[impl.kernel_id] = cost
             if cost < min_cost:
                 best = impl
@@ -156,6 +175,12 @@ class IntensiveSynthesizer:
         if record.measured or not record.faulted:
             self.history.store(key, best.kernel_id)
         record.chosen = best.kernel_id
+        span.set(
+            cache_hit=False,
+            chosen=best.kernel_id,
+            candidates=len(record.measured),
+            faulted=len(record.faulted),
+        )
         self.records.append(record)
         return best
 

@@ -39,6 +39,8 @@ from repro.codegen.common import (
 )
 from repro.diagnostics import DiagnosticsCollector
 from repro.errors import CodegenError
+from repro.observability.metrics import SPANS
+from repro.observability.tracer import NULL_TRACER
 from repro.ir.expr import Var, const_i
 from repro.ir.program import Program
 from repro.ir.stmt import Comment, For, SimdLoad, SimdOp, SimdStore, Stmt, Store
@@ -60,6 +62,7 @@ class SimulinkCoderGenerator:
         unroll_limit: int = UNROLL_LIMIT,
         variable_reuse: bool = True,
         policy: str = "strict",
+        tracer=None,
     ) -> None:
         self.arch = arch
         self.library = library if library is not None else default_library()
@@ -68,12 +71,23 @@ class SimulinkCoderGenerator:
         # The baseline has no degradation lattice, but it shares the
         # diagnostics interface so callers can treat generators uniformly.
         self.policy = policy
+        # Shared tracer interface: the baseline emits only the top-level
+        # generate span (it has no Algorithm 1/2 phases to time).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.last_diagnostics: Optional[DiagnosticsCollector] = None
 
     # ------------------------------------------------------------------
     def generate(self, model: Model) -> Program:
+        with self.tracer.span(
+            SPANS.GENERATE, model=model.name, generator=self.name, arch=self.arch.name
+        ):
+            return self._generate(model)
+
+    def _generate(self, model: Model) -> Program:
         diagnostics = DiagnosticsCollector(self.policy)
-        ctx = CodegenContext(model, f"{model.name}_step", self.name, diagnostics)
+        ctx = CodegenContext(
+            model, f"{model.name}_step", self.name, diagnostics, tracer=self.tracer
+        )
         self.last_diagnostics = diagnostics
         ctx.program.arch = self.arch.name
 

@@ -1,4 +1,12 @@
-"""SIMD instruction-set substrate: specs, the ``.si`` format, registry."""
+"""SIMD instruction-set substrate: specs, the ``.si`` format, registry.
+
+§3.3 of the paper keeps instruction-set information in external
+description files so a new architecture is one more file, not code.
+``spec`` models one instruction as a dataflow pattern graph plus its C
+intrinsic template, ``parser`` reads/writes the ``.si`` text format
+(docs/isa_format.md), and ``registry`` serves the packaged NEON /
+SSE4.1 / AVX2 sets and runtime-registered custom ones.
+"""
 
 from repro.isa.parser import (
     dump_instruction_set,

@@ -1,4 +1,12 @@
-"""Intensive-actor implementation library (the paper's code library)."""
+"""Intensive-actor implementation library (the paper's code library).
+
+§3.2.1: Algorithm 1 selects among *multiple, genuinely different*
+implementations per intensive actor type — five FFTs, three DCTs, two
+convolutions, matrix and 2-D kernels — because no single one dominates
+at every data scale (the paper's Fig. 1).  Each kernel computes real
+results over numpy while counting the operations its C equivalent
+would execute, so pre-calculation measures honest costs.
+"""
 
 from repro.kernels.base import (
     Kernel,

@@ -1,0 +1,49 @@
+"""Observability: codegen tracing, phase metrics and bench records.
+
+The paper's claims are quantitative (Table 2 / Figure 5), so the
+reproduction needs machine-readable performance data: *where* does
+generation time go, *which* Algorithm 1 / Algorithm 2 decisions were
+made, and how do the three generators compare across targets.  This
+package provides the three layers:
+
+* :mod:`repro.observability.tracer` — a lightweight span tracer
+  (context-manager API, monotonic clocks, JSON export) threaded through
+  the generation pipeline via :class:`~repro.codegen.common.CodegenContext`;
+* :mod:`repro.observability.metrics` — the stable names of every span
+  and counter the pipeline emits (documented in docs/observability.md);
+* :mod:`repro.observability.benchfile` — the schema-versioned
+  ``BENCH_codegen.json`` record written by ``repro bench``, the repo's
+  perf-trajectory baseline.
+"""
+
+from repro.observability.benchfile import (
+    BENCH_SCHEMA_VERSION,
+    build_bench_record,
+    validate_bench_record,
+    write_bench_record,
+)
+from repro.observability.metrics import (
+    COUNTERS,
+    SPANS,
+    generation_metrics,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "COUNTERS",
+    "NULL_TRACER",
+    "NullTracer",
+    "SPANS",
+    "Span",
+    "Tracer",
+    "build_bench_record",
+    "generation_metrics",
+    "validate_bench_record",
+    "write_bench_record",
+]

@@ -1,0 +1,156 @@
+"""The schema-versioned ``BENCH_codegen.json`` perf-trajectory record.
+
+``repro bench`` runs the paper's six models under the three ISA presets
+(neon / sse4 / avx2) for all three generators and serialises one record
+per (model, ISA, generator) cell: wall-clock generation time, modelled
+VM cost, SIMD coverage and selection-history statistics.  The file is
+the first point of the repo's performance trajectory — future perf PRs
+regenerate it and compare against the committed baseline.
+
+The schema is versioned (``"schema": 1``) and validated by
+:func:`validate_bench_record`; docs/observability.md documents every
+field.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+#: bump when the record layout changes (tools grep for the old value)
+BENCH_SCHEMA_VERSION = 1
+
+#: the record discriminator, so mixed artifact directories stay sortable
+BENCH_KIND = "BENCH_codegen"
+
+#: required keys of one result row and their types
+_ROW_FIELDS: Dict[str, type] = {
+    "model": str,
+    "arch": str,
+    "isa": str,
+    "generator": str,
+    "compiler": str,
+    "codegen_wall_s": float,
+    "vm_cycles_per_step": float,
+    "vm_seconds": float,
+    "iterations": int,
+    "simd_coverage_pct": float,
+    "data_bytes": int,
+    "metrics": dict,
+}
+
+
+def build_bench_record(
+    matrix: Mapping[str, Mapping[str, Mapping[str, Any]]],
+    isa_of_arch: Mapping[str, str],
+    compiler_name: str,
+    steps: int,
+    quick: bool,
+) -> Dict[str, Any]:
+    """Assemble the record from a (arch -> model -> generator -> RunResult)
+    matrix produced by :func:`repro.bench.trajectory.bench_matrix`."""
+    from repro.bench.runner import improvement
+
+    rows: List[Dict[str, Any]] = []
+    vs_simulink: List[float] = []
+    vs_dfsynth: List[float] = []
+    for arch_name, models in matrix.items():
+        for model_name, results in models.items():
+            for generator_name, run in results.items():
+                rows.append({
+                    "model": model_name,
+                    "arch": arch_name,
+                    "isa": isa_of_arch[arch_name],
+                    "generator": generator_name,
+                    "compiler": run.compiler,
+                    "codegen_wall_s": round(run.codegen_seconds, 6),
+                    "vm_cycles_per_step": round(run.cycles_per_step, 3),
+                    "vm_seconds": round(run.seconds, 9),
+                    "iterations": run.iterations,
+                    "simd_coverage_pct": round(run.simd_coverage, 3),
+                    "data_bytes": run.data_bytes,
+                    "metrics": dict(run.metrics),
+                })
+            if {"simulink_coder", "hcg"} <= set(results):
+                vs_simulink.append(
+                    improvement(results["simulink_coder"].seconds, results["hcg"].seconds)
+                )
+            if {"dfsynth", "hcg"} <= set(results):
+                vs_dfsynth.append(
+                    improvement(results["dfsynth"].seconds, results["hcg"].seconds)
+                )
+
+    summary: Dict[str, Any] = {"cells": len(rows)}
+    if vs_simulink:
+        summary["hcg_vs_simulink_pct"] = {
+            "min": round(min(vs_simulink), 2), "max": round(max(vs_simulink), 2),
+        }
+    if vs_dfsynth:
+        summary["hcg_vs_dfsynth_pct"] = {
+            "min": round(min(vs_dfsynth), 2), "max": round(max(vs_dfsynth), 2),
+        }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "created_at": datetime.datetime.now(datetime.timezone.utc)
+                      .isoformat(timespec="seconds"),
+        "tool": "repro bench",
+        "quick": quick,
+        "compiler": compiler_name,
+        "steps": steps,
+        "archs": {name: isa_of_arch[name] for name in matrix},
+        "results": rows,
+        "summary": summary,
+    }
+
+
+def validate_bench_record(payload: Any) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a well-formed record.
+
+    Used by the bench smoke test and by downstream tooling before
+    trusting a committed baseline file.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"bench record must be an object, got {type(payload).__name__}")
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench schema {payload.get('schema')!r} != {BENCH_SCHEMA_VERSION}"
+        )
+    if payload.get("kind") != BENCH_KIND:
+        raise ValueError(f"bench kind {payload.get('kind')!r} != {BENCH_KIND!r}")
+    for key in ("created_at", "compiler"):
+        if not isinstance(payload.get(key), str):
+            raise ValueError(f"bench record field {key!r} must be a string")
+    if not isinstance(payload.get("quick"), bool):
+        raise ValueError("bench record field 'quick' must be a boolean")
+    if not isinstance(payload.get("archs"), dict) or not payload["archs"]:
+        raise ValueError("bench record field 'archs' must be a non-empty object")
+    rows = payload.get("results")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("bench record field 'results' must be a non-empty array")
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise ValueError(f"results[{index}] must be an object")
+        for field, kind in _ROW_FIELDS.items():
+            if field not in row:
+                raise ValueError(f"results[{index}] missing field {field!r}")
+            value = row[field]
+            if kind is float and isinstance(value, int) and not isinstance(value, bool):
+                continue  # whole-number floats serialise as ints
+            if not isinstance(value, kind) or isinstance(value, bool):
+                raise ValueError(
+                    f"results[{index}].{field} must be {kind.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+    if not isinstance(payload.get("summary"), dict):
+        raise ValueError("bench record field 'summary' must be an object")
+
+
+def write_bench_record(record: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Validate and write the record; returns the path written."""
+    validate_bench_record(record)
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return path

@@ -1,0 +1,75 @@
+"""The stable names of every span and counter the pipeline emits.
+
+Instrumented code references these constants instead of string
+literals, so the names documented in docs/observability.md cannot
+silently drift from what the pipeline actually emits.  Like the
+diagnostic codes (repro.diagnostics), the names are part of the tool's
+interface: never rename one, only append.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class SPANS:
+    """Span names, in pipeline order (see docs/observability.md)."""
+
+    #: whole generator.generate() call (root)
+    GENERATE = "generate"
+    #: model validation + schedule + buffer layout (CodegenContext setup)
+    MODEL_PARSE = "model.parse"
+    #: actor classification + batch grouping (§3.1)
+    DISPATCH = "dispatch"
+    #: one Algorithm 1 selection (per intensive actor)
+    ALG1_SELECT = "alg1.select"
+    #: one candidate pre-calculation inside a selection
+    ALG1_CANDIDATE = "alg1.candidate"
+    #: one Algorithm 2 SIMD mapping (per batch group)
+    ALG2_GROUP = "alg2.group"
+    #: one conventional (scalar) translation of a batch group
+    ALG2_FALLBACK = "alg2.fallback"
+    #: composition: state updates + program assembly
+    COMPOSE = "compose"
+    #: the variable-reuse pass over the emitted IR
+    REUSE = "reuse"
+
+
+class COUNTERS:
+    """Counter names (see docs/observability.md for semantics)."""
+
+    # Algorithm 1 — adaptive pre-calculated implementation selection
+    ALG1_HISTORY_HITS = "alg1.history_hits"
+    ALG1_HISTORY_MISSES = "alg1.history_misses"
+    ALG1_CANDIDATES_MEASURED = "alg1.candidates_measured"
+    ALG1_CANDIDATES_FAULTED = "alg1.candidates_faulted"
+    # Algorithm 2 — iterative dataflow-graph mapping
+    ALG2_GROUPS_VECTORIZED = "alg2.groups_vectorized"
+    ALG2_GROUPS_SCALAR = "alg2.groups_scalar"
+    ALG2_NODES_MAPPED = "alg2.nodes_mapped"
+    ALG2_SUBGRAPHS_ENUMERATED = "alg2.subgraphs_enumerated"
+    ALG2_INSTRUCTIONS_MATCHED = "alg2.instructions_matched"
+
+
+def generation_metrics(generator: Any) -> Dict[str, Any]:
+    """Counters of the last ``generate()`` call of any generator.
+
+    Works uniformly across the three generators: tracer counters when a
+    tracer was attached, selection-history statistics when the generator
+    keeps a history (HCG), and the diagnostics count all generators
+    expose.  The result feeds the ``metrics`` column of a bench record.
+    """
+    metrics: Dict[str, Any] = {}
+    tracer = getattr(generator, "tracer", None)
+    if tracer is not None and getattr(tracer, "enabled", False):
+        metrics.update(tracer.counters)
+    history = getattr(generator, "history", None)
+    if history is not None:
+        metrics["history.hits"] = history.hits
+        metrics["history.misses"] = history.misses
+        metrics["history.hit_rate"] = history.hit_rate
+        metrics["history.entries"] = len(history)
+    diagnostics = getattr(generator, "last_diagnostics", None)
+    if diagnostics is not None:
+        metrics["diagnostics.count"] = len(diagnostics)
+    return metrics

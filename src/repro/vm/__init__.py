@@ -1,7 +1,12 @@
 """Virtual machine: execute generated programs under a cost model."""
 
 from repro.vm.machine import ExecutionResult, Machine, run_program
-from repro.vm.profile import compare_report, event_histogram, profile_report
+from repro.vm.profile import (
+    compare_report,
+    event_histogram,
+    profile_report,
+    simd_coverage,
+)
 
 __all__ = [
     "ExecutionResult",
@@ -10,4 +15,5 @@ __all__ = [
     "event_histogram",
     "profile_report",
     "run_program",
+    "simd_coverage",
 ]

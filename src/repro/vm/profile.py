@@ -25,6 +25,19 @@ _CATEGORY_LABELS = {
 }
 
 
+def simd_coverage(result: ExecutionResult) -> float:
+    """Percent of modelled cycles spent in SIMD ALU + SIMD memory ops.
+
+    The bench harness records this per (model, ISA, generator) cell: it
+    is the cheapest single-number proxy for "how much of the program
+    Algorithm 2 actually vectorised" that is comparable across targets.
+    """
+    total = result.cost.total
+    if total <= 0:
+        return 0.0
+    return (result.cost.simd_ops + result.cost.simd_mem) / total * 100.0
+
+
 def profile_report(
     result: ExecutionResult,
     arch: Optional[Architecture] = None,

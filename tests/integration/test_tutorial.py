@@ -86,3 +86,15 @@ class TestTutorialClaims:
         assert "_mm256_min_ps" in source
         loops = [s for s in walk(program.body) if isinstance(s, For)]
         assert loops[0].step == 8
+
+    def test_tracer_counters_and_group_spans(self, model):
+        # tutorial §8: attach a tracer, read counters and alg2 spans
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        HcgGenerator(ARM_A72, tracer=tracer).generate(model)
+        assert tracer.counters["alg2.groups_vectorized"] == 1
+        spans = tracer.find("alg2.group")
+        assert spans and all(
+            "instructions_matched" in s.attrs for s in spans
+        )

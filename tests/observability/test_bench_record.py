@@ -1,0 +1,139 @@
+"""Tests for the BENCH_codegen.json record and the ``repro bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.compiler.toolchain import get_compiler
+from repro.observability.benchfile import (
+    BENCH_KIND,
+    BENCH_SCHEMA_VERSION,
+    build_bench_record,
+    validate_bench_record,
+    write_bench_record,
+)
+
+
+def tiny_matrix(arch="arm_a72"):
+    from repro.bench.trajectory import bench_matrix, quick_suite
+
+    models = {"FIR": quick_suite()["FIR"]}
+    return bench_matrix(models, get_compiler("gcc"), archs=(arch,), steps=1)
+
+
+class TestBenchRecord:
+    def test_build_and_validate(self):
+        from repro.bench.trajectory import isa_of_archs
+
+        matrix = tiny_matrix()
+        record = build_bench_record(
+            matrix, isa_of_archs(("arm_a72",)), "gcc", steps=1, quick=True
+        )
+        validate_bench_record(record)  # must not raise
+        assert record["schema"] == BENCH_SCHEMA_VERSION
+        assert record["kind"] == BENCH_KIND
+        assert record["archs"] == {"arm_a72": "neon"}
+        assert record["summary"]["cells"] == 3
+        generators = {row["generator"] for row in record["results"]}
+        assert generators == {"simulink_coder", "dfsynth", "hcg"}
+        hcg = next(r for r in record["results"] if r["generator"] == "hcg")
+        assert hcg["isa"] == "neon"
+        assert hcg["simd_coverage_pct"] > 0
+        assert "history.hit_rate" in hcg["metrics"]
+        assert "alg2.groups_vectorized" in hcg["metrics"]
+        # HCG beats both baselines on FIR (the paper's headline case)
+        assert record["summary"]["hcg_vs_simulink_pct"]["min"] > 0
+        assert record["summary"]["hcg_vs_dfsynth_pct"]["min"] > 0
+
+    def test_write_validates_and_round_trips(self, tmp_path):
+        from repro.bench.trajectory import isa_of_archs
+
+        record = build_bench_record(
+            tiny_matrix(), isa_of_archs(("arm_a72",)), "gcc", steps=1, quick=True
+        )
+        path = write_bench_record(record, tmp_path / "BENCH_codegen.json")
+        validate_bench_record(json.loads(path.read_text()))
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda r: r.update(schema=99), "schema"),
+            (lambda r: r.update(kind="BENCH_other"), "kind"),
+            (lambda r: r.update(results=[]), "results"),
+            (lambda r: r["results"][0].pop("simd_coverage_pct"), "simd_coverage_pct"),
+            (lambda r: r["results"][0].update(iterations="many"), "iterations"),
+            (lambda r: r.update(quick="yes"), "quick"),
+            (lambda r: r.pop("summary"), "summary"),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutate, message):
+        from repro.bench.trajectory import isa_of_archs
+
+        record = build_bench_record(
+            tiny_matrix(), isa_of_archs(("arm_a72",)), "gcc", steps=1, quick=True
+        )
+        mutate(record)
+        with pytest.raises(ValueError, match=message):
+            validate_bench_record(record)
+
+    def test_int_valued_floats_are_accepted(self):
+        from repro.bench.trajectory import isa_of_archs
+
+        record = build_bench_record(
+            tiny_matrix(), isa_of_archs(("arm_a72",)), "gcc", steps=1, quick=True
+        )
+        record["results"][0]["simd_coverage_pct"] = 0  # whole numbers OK
+        validate_bench_record(record)
+
+
+class TestBenchCli:
+    def test_quick_on_model_file_writes_schema_valid_json(self, tmp_path, capsys):
+        # Tier-1 smoke: `repro bench --quick` on fir.xml produces
+        # schema-valid JSON (ISSUE 2 satellite 5).
+        out_path = tmp_path / "BENCH_codegen.json"
+        assert main([
+            "bench", "--quick", "--model", "models/fir.xml",
+            "--json", str(out_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "vs Simulink" in captured.out
+        assert str(out_path) in captured.out
+        payload = json.loads(out_path.read_text())
+        validate_bench_record(payload)
+        assert payload["quick"] is True
+        assert {row["model"] for row in payload["results"]} == {"FIR"}
+
+    def test_single_model_without_json_writes_nothing(self, tmp_path, capsys,
+                                                      monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick", "--model", "FIR"]) == 0
+        assert "vs Simulink" in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_codegen.json").exists()
+
+    def test_repeated_models_share_history_per_arch(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        assert main([
+            "bench", "--quick", "--model", "FFT", "--model", "FFT",
+            "--json", str(out_path),
+        ]) == 0
+        # a repeated --model collapses to one suite entry, not two rows
+        payload = json.loads(out_path.read_text())
+        assert sum(1 for r in payload["results"] if r["generator"] == "hcg") == 1
+
+
+class TestTraceOutCli:
+    def test_generate_trace_out_writes_span_json(self, tmp_path, capsys):
+        trace_path = tmp_path / "fir_trace.json"
+        assert main([
+            "generate", "FIR", "-o", str(tmp_path / "fir.c"),
+            "--trace-out", str(trace_path),
+        ]) == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["schema"] == 1
+        (root,) = payload["spans"]
+        assert root["name"] == "generate"
+        assert root["attrs"]["generator"] == "hcg"
+        child_names = [c["name"] for c in root["children"]]
+        assert "dispatch" in child_names and "model.parse" in child_names
+        assert payload["counters"]  # HCG emits alg1/alg2 counters

@@ -1,0 +1,276 @@
+"""Tests for the span tracer: nesting, exception safety, export, and the
+zero-overhead guarantee of the disabled (null) tracer."""
+
+import json
+import timeit
+
+import pytest
+
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for duration assertions."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.25
+        return self.now
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [s.name for s in outer.children] == ["inner_a", "inner_b"]
+        assert [s.name for s in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_iter_spans_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.name for s in tracer.iter_spans()] == ["a", "b", "c"]
+
+    def test_find_and_total_seconds(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("repeat"):
+                pass
+        assert len(tracer.find("repeat")) == 3
+        assert tracer.total_seconds("repeat") == pytest.approx(0.75)
+
+    def test_durations_use_the_injected_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("timed") as span:
+            pass
+        assert span.duration == pytest.approx(0.25)
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", model="FIR") as span:
+            span.set(groups=2).set(units=3)
+        assert span.attrs == {"model": "FIR", "groups": 2, "units": 3}
+
+    def test_open_span_duration_is_zero(self):
+        tracer = Tracer()
+        span = tracer.span("never_entered")
+        assert span.duration == 0.0
+
+
+class TestExceptionSafety:
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        outer = tracer.roots[0]
+        assert outer.status == "error"
+        failing = outer.children[0]
+        assert failing.status == "error"
+        assert failing.attrs["exception"] == "ValueError"
+        assert failing.end is not None  # the clock was stopped
+
+    def test_tracer_usable_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError
+        with tracer.span("good"):
+            pass
+        assert [s.name for s in tracer.roots] == ["bad", "good"]
+        assert tracer.roots[1].status == "ok"
+
+    def test_caught_exception_inside_span_stays_ok(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            try:
+                with tracer.span("failing"):
+                    raise ValueError
+            except ValueError:
+                pass
+        assert tracer.roots[0].status == "ok"
+        assert tracer.roots[0].children[0].status == "error"
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        tracer.count("hits")
+        tracer.count("nodes", 5)
+        assert tracer.counters == {"hits": 2, "nodes": 5}
+
+
+class TestJsonExport:
+    def test_round_trip(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("generate", model="FIR"):
+            with tracer.span("dispatch") as span:
+                span.set(groups=1)
+        tracer.count("alg2.groups_vectorized")
+        path = tmp_path / "trace.json"
+        tracer.dump_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == TRACE_SCHEMA_VERSION
+        assert payload["counters"] == {"alg2.groups_vectorized": 1}
+        (root,) = payload["spans"]
+        assert root["name"] == "generate"
+        assert root["attrs"] == {"model": "FIR"}
+        assert root["start_s"] == 0.0  # starts are epoch-relative
+        assert root["children"][0]["name"] == "dispatch"
+        assert root["children"][0]["attrs"] == {"groups": 1}
+        assert root["duration_s"] > root["children"][0]["duration_s"]
+
+
+class TestNullTracer:
+    def test_shared_singleton_span(self):
+        # Zero allocation when disabled: every call site gets the same
+        # preallocated handle back.
+        a = NULL_TRACER.span("generate", model="x")
+        b = NULL_TRACER.span("dispatch")
+        assert a is b
+
+    def test_null_span_protocol(self):
+        with NULL_TRACER.span("anything") as span:
+            assert span.set(attr=1) is span
+            assert span.duration == 0.0
+
+    def test_null_span_never_swallows(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("anything"):
+                raise ValueError
+
+    def test_counters_empty_and_count_is_noop(self):
+        NULL_TRACER.count("hits")
+        assert NULL_TRACER.counters == {}
+        assert NULL_TRACER.to_dict() == {
+            "schema": TRACE_SCHEMA_VERSION,
+            "counters": {},
+            "spans": [],
+        }
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NullTracer().enabled is False
+
+    def test_disabled_overhead_is_negligible(self):
+        # The acceptance bar: tracing disabled adds no measurable
+        # overhead.  A null span() + enter/exit must cost about the same
+        # as a plain method call — we allow a generous 5x margin over a
+        # no-op call so CI scheduling noise cannot flake the test, which
+        # still fails hard if span() ever starts allocating or reading
+        # the clock (each is >10x a no-op call).
+        null = NullTracer()
+
+        class Plain:
+            def noop(self):
+                return self
+
+        plain = Plain()
+
+        def traced():
+            with null.span("x"):
+                pass
+
+        def untraced():
+            plain.noop()
+
+        number = 20_000
+        base = min(timeit.repeat(untraced, number=number, repeat=5))
+        cost = min(timeit.repeat(traced, number=number, repeat=5))
+        assert cost < base * 5 + 1e-3
+
+
+class TestPipelineIntegration:
+    def test_identical_program_with_and_without_tracer(self):
+        from repro.arch.presets import get_architecture
+        from repro.bench.models import fir_model
+        from repro.codegen.hcg.generator import HcgGenerator
+        from repro.ir.printer import format_program
+
+        arch = get_architecture("arm_a72")
+        model = fir_model(64)
+        plain = HcgGenerator(arch).generate(model)
+        traced = HcgGenerator(arch, tracer=Tracer()).generate(model)
+        assert format_program(plain) == format_program(traced)
+
+    def test_hcg_generation_emits_expected_spans_and_counters(self):
+        from repro.arch.presets import get_architecture
+        from repro.bench.models import fft_model
+        from repro.codegen.hcg.generator import HcgGenerator
+        from repro.observability.metrics import COUNTERS, SPANS
+
+        tracer = Tracer()
+        arch = get_architecture("arm_a72")
+        HcgGenerator(arch, tracer=tracer).generate(fft_model(64))
+        (root,) = tracer.roots
+        assert root.name == SPANS.GENERATE
+        child_names = {s.name for s in root.children}
+        assert {SPANS.MODEL_PARSE, SPANS.DISPATCH, SPANS.COMPOSE, SPANS.REUSE} <= child_names
+        selects = tracer.find(SPANS.ALG1_SELECT)
+        assert selects and selects[0].children  # per-candidate sub-spans
+        assert tracer.counters[COUNTERS.ALG1_CANDIDATES_MEASURED] > 0
+        assert tracer.counters[COUNTERS.ALG1_HISTORY_MISSES] == 1
+
+    def test_dispatch_demotion_counts_scalar_groups(self):
+        from repro.arch.presets import get_architecture
+        from repro.codegen.hcg.generator import HcgGenerator
+        from repro.dtypes import DataType
+        from repro.model.builder import ModelBuilder
+        from repro.observability.metrics import COUNTERS
+
+        # width 3 < one NEON register: dispatch demotes the group (HCG211)
+        b = ModelBuilder("narrow", default_dtype=DataType.I32)
+        a = b.inport("a", shape=3)
+        c = b.inport("c", shape=3)
+        b.outport("o", b.add_actor("Add", "s", b.add_actor("Mul", "m", a, c), a))
+        tracer = Tracer()
+        generator = HcgGenerator(
+            get_architecture("arm_a72"), tracer=tracer, policy="permissive"
+        )
+        generator.generate(b.build())
+        assert tracer.counters[COUNTERS.ALG2_GROUPS_SCALAR] == 1
+        assert COUNTERS.ALG2_GROUPS_VECTORIZED not in tracer.counters
+        assert [d.code for d in generator.last_diagnostics] == ["HCG211"]
+
+    def test_history_hit_counter_on_second_generation(self):
+        from repro.arch.presets import get_architecture
+        from repro.bench.models import fft_model
+        from repro.codegen.hcg.generator import HcgGenerator
+        from repro.codegen.hcg.history import SelectionHistory
+        from repro.observability.metrics import COUNTERS
+
+        arch = get_architecture("arm_a72")
+        history = SelectionHistory()
+        model = fft_model(64)
+        HcgGenerator(arch, history=history).generate(model)
+        tracer = Tracer()
+        HcgGenerator(arch, history=history, tracer=tracer).generate(model)
+        assert tracer.counters[COUNTERS.ALG1_HISTORY_HITS] == 1
+        assert COUNTERS.ALG1_HISTORY_MISSES not in tracer.counters

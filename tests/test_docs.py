@@ -1,0 +1,70 @@
+"""The documentation must stay consistent: tools/check_docs.py is the
+CI gate; these tests run it and probe that it actually detects rot."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCheckDocs:
+    def test_repo_docs_are_clean(self):
+        # the same invocation CI uses
+        result = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_docs.py")],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "OK" in result.stdout
+
+    def test_every_diagnostic_code_is_documented(self):
+        checker = load_checker()
+        from repro.diagnostics import DIAGNOSTIC_CODES
+
+        assert checker.registered_codes() >= set(DIAGNOSTIC_CODES)
+        assert checker.check_diagnostic_codes() == []
+
+    def test_detects_broken_link(self, monkeypatch, tmp_path):
+        checker = load_checker()
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](no_such_file.md) and [ok](bad.md)\n")
+        monkeypatch.setattr(checker, "DOC_FILES", [bad])
+        problems = checker.check_links()
+        assert len(problems) == 1 and "no_such_file.md" in problems[0]
+
+    def test_detects_broken_anchor(self, monkeypatch, tmp_path):
+        checker = load_checker()
+        target = tmp_path / "target.md"
+        target.write_text("# Real Heading\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[good](target.md#real-heading) [bad](target.md#ghost-section)\n"
+        )
+        monkeypatch.setattr(checker, "DOC_FILES", [doc])
+        problems = checker.check_links()
+        assert len(problems) == 1 and "ghost-section" in problems[0]
+
+    def test_ignores_links_in_code_blocks(self, monkeypatch, tmp_path):
+        checker = load_checker()
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```\n[example](not_a_real_file.md)\n```\n"
+            "and `[inline](also_fake.md)` too\n"
+        )
+        monkeypatch.setattr(checker, "DOC_FILES", [doc])
+        assert checker.check_links() == []
+
+    def test_anchor_slugging(self):
+        checker = load_checker()
+        assert checker.anchor_of("The `repro bench` CLI!") == "the-repro-bench-cli"

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks, run by the CI ``docs`` job.
+
+Two checks, both over the repository's own files (no network):
+
+1. **Link check** — every relative markdown link / image in
+   ``docs/*.md`` and ``README.md`` must point at an existing file, and
+   an in-page ``#anchor`` must match a heading in the target document.
+   External ``http(s)://`` links are only syntax-checked.
+2. **Diagnostic-code coverage** — every ``HCGnnn`` code registered in
+   ``src/repro/diagnostics.py`` must be documented in
+   ``docs/observability.md`` (and, being the primary reference,
+   ``docs/robustness.md``); a documented code that no longer exists in
+   the source is also an error.
+
+Exit status 0 = clean; 1 = findings (printed one per line as
+``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: the documents under check
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+#: markdown inline links/images: [text](target) — excludes ``](`` in code
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+CODE_RE = re.compile(r"\bHCG\d{3}\b")
+
+
+def strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks and inline code spans: links inside
+    them are examples, not navigation."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    return {anchor_of(h) for h in HEADING_RE.findall(path.read_text())}
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:  # a document outside the repo (tests)
+        return str(path)
+
+
+def check_links() -> list:
+    problems = []
+    for doc in DOC_FILES:
+        raw = doc.read_text()
+        text = strip_code_blocks(raw)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            where = f"{display_path(doc)}:{line_of(raw, raw.find(match.group(0)))}"
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                if target[1:] not in heading_anchors(doc):
+                    problems.append(f"{where}: broken anchor {target!r}")
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{where}: broken link {target!r}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in heading_anchors(resolved):
+                    problems.append(
+                        f"{where}: broken anchor {target!r} "
+                        f"(no such heading in {path_part})"
+                    )
+    return problems
+
+
+def registered_codes() -> set:
+    source = (REPO / "src" / "repro" / "diagnostics.py").read_text()
+    return set(CODE_RE.findall(source))
+
+
+def check_diagnostic_codes() -> list:
+    problems = []
+    known = registered_codes()
+    for doc_name in ("observability.md", "robustness.md"):
+        doc = REPO / "docs" / doc_name
+        documented = set(CODE_RE.findall(doc.read_text()))
+        for code in sorted(known - documented):
+            problems.append(
+                f"docs/{doc_name}:1: diagnostic code {code} "
+                f"(src/repro/diagnostics.py) is not documented here"
+            )
+        for code in sorted(documented - known):
+            problems.append(
+                f"docs/{doc_name}:1: documents {code}, which is not "
+                f"registered in src/repro/diagnostics.py"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_diagnostic_codes()
+    for problem in problems:
+        print(problem)
+    checked = len(DOC_FILES)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s) in {checked} documents")
+        return 1
+    print(f"check_docs: {checked} documents OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
