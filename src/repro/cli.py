@@ -11,7 +11,11 @@ Commands mirror how the paper's tool is used:
   ``BENCH_codegen.json``; with ``--model`` it benchmarks one model on
   one target instead;
 * ``inspect``  — dispatch report: how HCG classifies a model's actors;
-* ``isa``      — list or dump the built-in instruction sets.
+* ``isa``      — list, dump or lint the built-in instruction sets;
+* ``verify``   — differential translation validation: run every
+  generator's output against the model reference semantics (and each
+  other), optionally fuzzing random models and ISA subsets; failures
+  are minimized and quarantined as repro cases (docs/verification.md).
 """
 
 from __future__ import annotations
@@ -219,7 +223,59 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.bench.trajectory import resolve_bench_models
+    from repro.verify import faults
+    from repro.verify.service import DEFAULT_ARCHS, run_session
+
+    if args.inject_fault:
+        # Test-only hook: arm fault injection so CI can prove the
+        # verifier catches a silently-miscompiled program end to end.
+        try:
+            faults.install_many(args.inject_fault)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    try:
+        models = None
+        if args.model:
+            models = resolve_bench_models(args.model, quick=not args.full)
+        result = run_session(
+            models=models,
+            archs=tuple(args.arch) if args.arch else DEFAULT_ARCHS,
+            fuzz=args.fuzz,
+            seed=args.seed,
+            steps=args.steps,
+            corpus=args.corpus,
+            quarantine=args.quarantine,
+            progress=(lambda line: print(line, file=sys.stderr))
+            if args.verbose else None,
+        )
+    finally:
+        if args.inject_fault:
+            faults.clear()
+    print(result.summary())
+    if len(result.diagnostics):
+        print(result.diagnostics.summary_table(), file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def cmd_isa(args: argparse.Namespace) -> int:
+    if args.name == "lint":
+        from repro.isa.lint import lint_paths
+
+        findings = lint_paths(args.paths)
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"{len(findings)} ISA lint finding(s)", file=sys.stderr)
+            return 1
+        print("isa lint: clean")
+        return 0
+    if args.paths:
+        print("error: extra arguments are only valid with 'isa lint'",
+              file=sys.stderr)
+        return 2
     if not args.name:
         for name in builtin_names():
             iset = load_builtin(name)
@@ -317,8 +373,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_target_args(p)
     p.set_defaults(func=cmd_inspect)
 
-    p = sub.add_parser("isa", help="list or dump instruction sets")
-    p.add_argument("name", nargs="?", help="dump this set as .si text")
+    p = sub.add_parser(
+        "verify",
+        help="differential translation validation (+ fuzzing)",
+        description="Run every generator's output on the cost VM against "
+                    "the model's reference semantics over an adversarial "
+                    "input battery, replay the committed repro corpus, and "
+                    "optionally fuzz random (model, ISA subset) pairs.  "
+                    "Failures are minimized by the shrinker and written to "
+                    "the quarantine directory.  See docs/verification.md.",
+    )
+    p.add_argument(
+        "--model", action="append", metavar="NAME_OR_PATH",
+        help="verify only this benchmark name or model file; repeatable "
+             "(default: the whole quick-scaled benchmark suite)",
+    )
+    p.add_argument("--full", action="store_true",
+                   help="verify named benchmarks at full scale, not n=64")
+    p.add_argument("--fuzz", type=int, default=0, metavar="N",
+                   help="additionally fuzz N random (model, ISA) cases")
+    p.add_argument("--seed", type=int, default=0,
+                   help="deterministic seed for inputs and fuzzing")
+    p.add_argument("--steps", type=int, default=2,
+                   help="simulation steps per input case (default 2)")
+    p.add_argument(
+        "--arch", action="append", choices=preset_names(), metavar="ARCH",
+        help="target architecture preset; repeatable (default: all three "
+             "ISA presets)",
+    )
+    p.add_argument("--corpus", metavar="DIR",
+                   help="replay committed repro cases from this directory")
+    p.add_argument("--quarantine", metavar="DIR", default="verify_quarantine",
+                   help="where minimized failures are written "
+                        "(default: verify_quarantine/)")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print each case's verdict as it completes")
+    p.add_argument("--inject-fault", action="append", help=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "isa",
+        help="list, dump or lint instruction sets",
+        description="Without arguments, list the packaged instruction "
+                    "sets.  With a name, dump that set as .si text.  "
+                    "'repro isa lint [FILE ...]' lints .si data files "
+                    "(default: the packaged ones) with stable ISA1xx "
+                    "error codes.",
+    )
+    p.add_argument("name", nargs="?",
+                   help="dump this set as .si text, or 'lint'")
+    p.add_argument("paths", nargs="*",
+                   help=".si files for 'isa lint' (default: packaged sets)")
     p.set_defaults(func=cmd_isa)
 
     return parser

@@ -311,25 +311,81 @@ def emit_outport(ctx: CodegenContext, actor: Actor, unroll_limit: int = UNROLL_L
     )
 
 
+def _state_reads(ctx: CodegenContext, key: PortKey,
+                 seen: Optional[Set[PortKey]] = None) -> Set[str]:
+    """UnitDelay names whose STATE buffer a commit of ``key`` would load.
+
+    Materialised ports load their buffer directly (a state read iff the
+    owner is a delay); unmaterialised foldable producers are traversed
+    the same way :func:`element_expr` folds them.
+    """
+    seen = set() if seen is None else seen
+    if key in seen:
+        return set()
+    seen.add(key)
+    actor_name, _ = key
+    actor = ctx.model.actor(actor_name)
+    if key in ctx.materialized:
+        return {actor_name} if actor.actor_type == "UnitDelay" else set()
+    reads: Set[str] = set()
+    for port in actor.inputs:
+        reads |= _state_reads(ctx, ctx.driver(actor_name, port.name), seen)
+    return reads
+
+
 def emit_state_updates(ctx: CodegenContext, unroll_limit: int = UNROLL_LIMIT) -> List[Stmt]:
-    """End-of-step commits of every UnitDelay's input into its state."""
+    """End-of-step commits of every UnitDelay's input into its state.
+
+    Simulink semantics read a delay's *pre-update* output everywhere in
+    the step, including inside other delays' updates.  When one delay's
+    commit loads another delay's state buffer (a delay chain, or a
+    delay feedback cycle), the read state is first snapshotted into a
+    scratch buffer and the commit redirected to the snapshot, so the
+    commit order cannot leak a freshly written value.  Independent
+    delays emit exactly the code they always did.
+    """
+    delays = [a for a in ctx.model.actors if a.actor_type == "UnitDelay"]
+    # States read by a *different* delay's commit need a snapshot.
+    hazardous: Set[str] = set()
+    for actor in delays:
+        hazardous |= _state_reads(ctx, ctx.driver(actor.name, "in1")) - {actor.name}
+
     statements: List[Stmt] = []
-    for actor in ctx.model.actors:
-        if actor.actor_type != "UnitDelay":
+    remapped: Dict[PortKey, str] = {}
+    for actor in delays:
+        if actor.name not in hazardous:
             continue
-        driver_key = ctx.driver(actor.name, "in1")
-        width = actor.output("out").width
-        state_buffer = ctx.buffer_of(actor.name, "out")
-        if driver_key in ctx.materialized:
-            source = ctx.buffer_of(*driver_key)
-            statements.append(CopyBuffer(state_buffer, const_i(0), source, const_i(0), width))
-        else:
-            statements.extend(
-                store_elements(
-                    ctx, state_buffer, width,
-                    lambda idx: element_expr(ctx, driver_key, idx), unroll_limit,
+        key = (actor.name, "out")
+        state_buffer = ctx.buffer_of(*key)
+        port = actor.output("out")
+        snapshot = ctx.names.reserve(sanitize(f"{actor.name}__prev"))
+        ctx.program.add_buffer(
+            BufferDecl(snapshot, port.dtype, port.width, BufferKind.LOCAL, port.shape)
+        )
+        statements.append(
+            CopyBuffer(snapshot, const_i(0), state_buffer, const_i(0), port.width)
+        )
+        remapped[key] = state_buffer
+        ctx._buffers[key] = snapshot
+    try:
+        for actor in delays:
+            driver_key = ctx.driver(actor.name, "in1")
+            width = actor.output("out").width
+            key = (actor.name, "out")
+            state_buffer = remapped.get(key) or ctx.buffer_of(*key)
+            if driver_key in ctx.materialized:
+                source = ctx.buffer_of(*driver_key)
+                statements.append(CopyBuffer(state_buffer, const_i(0), source, const_i(0), width))
+            else:
+                statements.extend(
+                    store_elements(
+                        ctx, state_buffer, width,
+                        lambda idx: element_expr(ctx, driver_key, idx), unroll_limit,
+                    )
                 )
-            )
+    finally:
+        for key, state_buffer in remapped.items():
+            ctx._buffers[key] = state_buffer
     return statements
 
 

@@ -103,8 +103,12 @@ class BatchSynthesizer:
         ]
 
         # Lines 24-26: the remainder has the same computation logic and
-        # goes in front of the loop code.
-        if offset:
+        # goes in front of the loop code.  The fault hook lets the
+        # verifier's tests prove a silently dropped prologue is caught
+        # (repro.verify.faults); inert unless a test installed it.
+        from repro.verify import faults
+
+        if offset and not faults.active("skip_remainder"):
             statements.extend(self._remainder_code(dfg, offset))
 
         # Lines 5-23: the SIMD body, looped when BatchCount >= 2.

@@ -111,6 +111,16 @@ class HcgGenerator:
         ):
             return self._generate(model)
 
+    def generate_verified(self, model: Model, *, seed: int = 0,
+                          steps: int = 2) -> Program:
+        """Generate, then differentially verify the program against the
+        model's reference semantics over the adversarial input battery;
+        raises :class:`~repro.errors.VerificationError` on divergence
+        (see docs/verification.md)."""
+        from repro.verify.runner import verified_generate
+
+        return verified_generate(self, model, seed=seed, steps=steps)
+
     def _generate(self, model: Model) -> Program:
         tracer = self.tracer
         diagnostics = DiagnosticsCollector(self.policy)

@@ -15,17 +15,34 @@ and the store is crash-safe:
   only a cache, so losing it costs one pre-calculation pass, while
   crashing on it would cost the whole generation run;
 * individual malformed entries are skipped (recorded as diagnostics)
-  instead of discarding the surviving good entries.
+  instead of discarding the surviving good entries;
+* concurrent tool invocations sharing one history file are safe: loads
+  and saves take an **advisory lock** on a ``<name>.lock`` sidecar
+  (``fcntl.flock``, non-blocking with retry/backoff up to a timeout),
+  and saves *merge* the entries already on disk instead of clobbering
+  them — two generators racing on the same cache both keep their
+  pre-calculated decisions.  Keys explicitly dropped in this process
+  are excluded from the merge so a drop is not resurrected by a stale
+  writer.  A lock that cannot be acquired within the timeout degrades
+  to the old last-writer-wins behaviour and reports HCG304; contention
+  on a cache must never abort generation.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Set, Tuple, Union
+
+try:  # POSIX only; on other platforms locking degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from repro.diagnostics import DiagnosticsCollector
 from repro.dtypes import DataType
@@ -36,6 +53,11 @@ _SIZE_PARAM_NAMES = ("n", "m", "rows", "cols", "krows", "kcols")
 
 #: current on-disk format; bump when the payload layout changes
 SCHEMA_VERSION = 2
+
+#: advisory-lock acquisition: total budget and backoff bounds (seconds)
+LOCK_TIMEOUT = 5.0
+_LOCK_RETRY_INITIAL = 0.005
+_LOCK_RETRY_MAX = 0.1
 
 
 def size_signature(params: Dict[str, Any]) -> Tuple[Tuple[str, int], ...]:
@@ -78,10 +100,14 @@ class SelectionHistory:
     the generator drains them into the run's collector.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 lock_timeout: float = LOCK_TIMEOUT) -> None:
         self._entries: Dict[SelectionKey, str] = {}
+        #: keys deliberately forgotten here; excluded from save merges
+        self._dropped: Set[SelectionKey] = set()
         self.hits = 0
         self.misses = 0
+        self.lock_timeout = lock_timeout
         self.diagnostics = DiagnosticsCollector(policy="permissive")
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
@@ -105,19 +131,23 @@ class SelectionHistory:
     def store(self, key: SelectionKey, kernel_id: str) -> None:
         """Line 18: record the decision (and persist when file-backed)."""
         self._entries[key] = kernel_id
+        self._dropped.discard(key)
         if self.path is not None:
             self.save(self.path)
 
     def drop(self, key: SelectionKey) -> None:
         """Forget one decision (e.g. its kernel id left the library)."""
-        if self._entries.pop(key, None) is not None and self.path is not None:
-            self.save(self.path)
+        if self._entries.pop(key, None) is not None:
+            self._dropped.add(key)
+            if self.path is not None:
+                self.save(self.path)
 
     def prune_stale(self, known_ids) -> Tuple[SelectionKey, ...]:
         """Drop every entry whose kernel id is not in ``known_ids``."""
         stale = tuple(k for k, v in self._entries.items() if v not in known_ids)
         for key in stale:
             self._entries.pop(key, None)
+            self._dropped.add(key)
         if stale and self.path is not None:
             self.save(self.path)
         return stale
@@ -144,10 +174,97 @@ class SelectionHistory:
         }
 
     # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self, path: Path):
+        """Advisory lock on ``<path>.lock``; yields True when held.
+
+        Non-blocking ``flock`` with exponential backoff until
+        ``self.lock_timeout``.  On timeout (or a platform without
+        ``fcntl``) the caller proceeds unlocked — a contended cache
+        degrades to last-writer-wins, it never blocks generation — and
+        HCG304 records the contention.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield False
+            return
+        lock_path = path.with_name(path.name + ".lock")
+        try:
+            fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError as exc:
+            self.diagnostics.report(
+                "HCG304", f"history lock file unavailable: {exc}",
+                location=str(lock_path),
+            )
+            yield False
+            return
+        acquired = False
+        try:
+            deadline = time.monotonic() + self.lock_timeout
+            delay = _LOCK_RETRY_INITIAL
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    acquired = True
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        break
+                    time.sleep(delay)
+                    delay = min(delay * 2, _LOCK_RETRY_MAX)
+            if not acquired:
+                self.diagnostics.report(
+                    "HCG304",
+                    f"history lock contention: not acquired within "
+                    f"{self.lock_timeout:g}s, proceeding unlocked",
+                    location=str(lock_path),
+                )
+            yield acquired
+        finally:
+            if acquired:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def _disk_entries(self, path: Path) -> Dict[SelectionKey, str]:
+        """Best-effort read of the entries currently on disk (for the
+        save-time merge).  Anything unreadable merges as empty — the
+        load path owns corruption reporting/quarantine."""
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return {}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SCHEMA_VERSION
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            return {}
+        entries: Dict[SelectionKey, str] = {}
+        for key_text, kernel_id in payload["entries"].items():
+            try:
+                key = SelectionKey.from_str(str(key_text))
+            except HistoryError:
+                continue
+            if isinstance(kernel_id, str) and kernel_id:
+                entries[key] = kernel_id
+        return entries
+
     def save(self, path: Union[str, Path]) -> None:
-        """Atomic write: temp file in the same directory + ``os.replace``,
-        so readers (and crashes) never observe a partial file."""
+        """Locked merge + atomic write.
+
+        Under the advisory lock, entries another process persisted since
+        our load are merged in (ours win on conflicts; keys this process
+        dropped stay dropped), then the union is written via a temp file
+        + ``os.replace`` so readers never observe a partial file.
+        """
         path = Path(path)
+        with self._locked(path) as held:
+            if held:
+                for key, kernel_id in self._disk_entries(path).items():
+                    if key not in self._entries and key not in self._dropped:
+                        self._entries[key] = kernel_id
+            self._write(path)
+
+    def _write(self, path: Path) -> None:
         payload = {
             "schema": SCHEMA_VERSION,
             "entries": {
@@ -175,8 +292,17 @@ class SelectionHistory:
             )
 
     def load(self, path: Union[str, Path]) -> None:
-        """Merge a history file; quarantine it wholesale if unreadable."""
+        """Merge a history file; quarantine it wholesale if unreadable.
+
+        Runs under the advisory lock so a reader never races a writer's
+        quarantine rename (the atomic-replace save already guarantees
+        the file content itself is never partial).
+        """
         path = Path(path)
+        with self._locked(path):
+            self._load_unlocked(path)
+
+    def _load_unlocked(self, path: Path) -> None:
         try:
             payload = json.loads(path.read_text())
         except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:

@@ -83,6 +83,14 @@ class SimulinkCoderGenerator:
         ):
             return self._generate(model)
 
+    def generate_verified(self, model: Model, *, seed: int = 0,
+                          steps: int = 2) -> Program:
+        """Generate, then differentially verify the program against the
+        model's reference semantics (docs/verification.md)."""
+        from repro.verify.runner import verified_generate
+
+        return verified_generate(self, model, seed=seed, steps=steps)
+
     def _generate(self, model: Model) -> Program:
         diagnostics = DiagnosticsCollector(self.policy)
         ctx = CodegenContext(

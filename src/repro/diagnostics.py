@@ -51,7 +51,13 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[Severity, str]] = {
     "HCG301": (Severity.WARNING, "corrupt history file quarantined and rebuilt"),
     "HCG302": (Severity.WARNING, "malformed history entry skipped"),
     "HCG303": (Severity.WARNING, "history schema mismatch; file quarantined and rebuilt"),
-    "HCG304": (Severity.WARNING, "history file could not be persisted"),
+    "HCG304": (Severity.WARNING, "history file could not be persisted or locked"),
+    # 4xx — translation validation (repro.verify)
+    "HCG401": (Severity.ERROR, "generated program diverges from the model's reference semantics"),
+    "HCG402": (Severity.ERROR, "HCG output diverges from a baseline generator"),
+    "HCG403": (Severity.ERROR, "generation or execution crashed during verification"),
+    "HCG404": (Severity.WARNING, "fuzz failure minimized and written to quarantine"),
+    "HCG405": (Severity.WARNING, "shrinker budget exhausted; repro case may not be minimal"),
 }
 
 #: Recognised collector policies.

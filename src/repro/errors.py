@@ -58,6 +58,18 @@ class UnsupportedActorError(CodegenError):
     """A generator met an actor type it cannot translate."""
 
 
+class VerificationError(ReproError):
+    """Differential verification found a divergence (repro.verify).
+
+    ``diagnostics`` holds the :class:`~repro.diagnostics.Diagnostic`
+    records describing every mismatch, mirroring ``CodegenError``.
+    """
+
+    def __init__(self, message: str, diagnostics=()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class HistoryError(ReproError):
     """A selection-history file or entry is malformed."""
 

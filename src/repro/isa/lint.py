@@ -1,0 +1,329 @@
+"""Static linter for ``.si`` instruction-set description files.
+
+The parser (:mod:`repro.isa.parser`) stops at the first malformed
+record; the linter instead scans a whole file and accumulates every
+problem it can find, so a hand-edited instruction set gets one complete
+report.  Each finding carries a **stable code** — codes are append-only
+and never renumbered, so CI greps and suppression lists stay valid:
+
+========  ==================================================================
+code      meaning
+========  ==================================================================
+ISA100    record or header cannot be parsed (syntax, bad pattern structure)
+ISA101    duplicate ``Ins`` name within the file
+ISA102    duplicate ``Graph`` pattern (two instructions match identically)
+ISA103    unknown op in a ``Graph`` node
+ISA104    ``Code`` template operands disagree with the ``Graph`` pattern
+ISA105    unsupported dtype for an op, or pattern/``vector_bits`` mismatch
+ISA106    non-positive ``Cost``
+========  ==================================================================
+
+Entry points: :func:`lint_text`, :func:`lint_file`, :func:`lint_paths`;
+``repro isa lint`` and ``tools/check_isa.py`` are thin CLI wrappers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import ops
+from repro.errors import IsaError, IsaParseError
+from repro.isa.parser import parse_pattern
+from repro.isa.spec import InstructionSpec, PatternNode
+
+PathLike = Union[str, Path]
+
+#: operand-ish tokens inside a C code template
+_TEMPLATE_TOKEN_RE = re.compile(r"\b(I\d+|T\d+|O1)\b")
+
+
+@dataclasses.dataclass(frozen=True)
+class LintFinding:
+    """One linter diagnostic, tied to a source line."""
+
+    code: str
+    source: str
+    line: int
+    instruction: str
+    message: str
+
+    def format(self) -> str:
+        where = f"{self.source}:{self.line}"
+        subject = f" [{self.instruction}]" if self.instruction else ""
+        return f"{where}: {self.code}{subject}: {self.message}"
+
+
+def _finding(code: str, source: str, line: int, instruction: str,
+             message: str) -> LintFinding:
+    return LintFinding(code=code, source=source, line=line,
+                       instruction=instruction, message=message)
+
+
+# ---------------------------------------------------------------------------
+# Record-level checks
+# ---------------------------------------------------------------------------
+
+def _split_fields(line: str, source: str,
+                  line_no: int) -> Optional[Dict[str, str]]:
+    """Parse ``Key: value ; ...`` fields, or None with no usable fields."""
+    fields: Dict[str, str] = {}
+    for raw in line.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        if ":" not in raw:
+            return None
+        key, value = raw.split(":", 1)
+        key = key.strip().lower()
+        if key in fields:
+            return None
+        fields[key] = value.strip()
+    return fields or None
+
+
+def _derive_name(fields: Dict[str, str]) -> str:
+    if "ins" in fields:
+        return fields["ins"]
+    match = re.search(r"=\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(", fields.get("code", ""))
+    return match.group(1) if match else ""
+
+
+def _pattern_key(nodes: Tuple[PatternNode, ...]) -> Tuple:
+    """Canonical structural key: two instructions with equal keys match
+    exactly the same actor subgraphs, making selection ambiguous."""
+    return tuple(
+        (n.op, str(n.dtype), n.lanes, n.inputs, n.output,
+         tuple(str(d) if d is not None else None for d in n.input_dtypes))
+        for n in nodes
+    )
+
+
+def _check_nodes(nodes: Tuple[PatternNode, ...], name: str, source: str,
+                 line_no: int, vector_bits: int) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    for node in nodes:
+        try:
+            info = ops.op_info(node.op)
+        except KeyError:
+            findings.append(_finding(
+                "ISA103", source, line_no, name,
+                f"unknown op {node.op!r} (known: {sorted(ops.OPS)})"))
+            continue
+        if not info.supports(node.dtype):
+            findings.append(_finding(
+                "ISA105", source, line_no, name,
+                f"op {node.op} does not support dtype {node.dtype}"))
+        if len(node.value_inputs) != info.arity:
+            findings.append(_finding(
+                "ISA104", source, line_no, name,
+                f"op {node.op} expects {info.arity} value operand(s), "
+                f"pattern node has {len(node.value_inputs)}"))
+        if info.needs_imm and node.imm_token is None:
+            findings.append(_finding(
+                "ISA104", source, line_no, name,
+                f"op {node.op} requires an immediate operand (#imm or #n)"))
+        if not info.needs_imm and node.imm_token is not None:
+            findings.append(_finding(
+                "ISA104", source, line_no, name,
+                f"op {node.op} takes no immediate, pattern has "
+                f"{node.imm_token!r}"))
+    # The O1 node fixes the instruction's register shape; it must fill
+    # the declared vector width exactly.
+    root = nodes[-1]
+    width = root.dtype.bit_width * root.lanes
+    if vector_bits and width != vector_bits:
+        findings.append(_finding(
+            "ISA105", source, line_no, name,
+            f"pattern is {width}-bit ({root.lanes} x {root.dtype}) in a "
+            f"{vector_bits}-bit instruction set"))
+    return findings
+
+
+def _check_template(spec_name: str, nodes: Tuple[PatternNode, ...],
+                    template: str, source: str,
+                    line_no: int) -> List[LintFinding]:
+    """ISA104: the ``Code`` template must consume exactly the pattern's
+    external operands and produce ``O1``."""
+    findings: List[LintFinding] = []
+    pattern_inputs = []
+    for node in nodes:
+        for token in node.value_inputs:
+            if token.startswith("I") and token not in pattern_inputs:
+                pattern_inputs.append(token)
+    template_tokens = set(_TEMPLATE_TOKEN_RE.findall(template))
+
+    if "O1" not in template_tokens:
+        findings.append(_finding(
+            "ISA104", source, line_no, spec_name,
+            "Code template never assigns O1"))
+    for token in sorted(template_tokens - {"O1"} - set(pattern_inputs)):
+        if token.startswith("T"):
+            findings.append(_finding(
+                "ISA104", source, line_no, spec_name,
+                f"Code template uses internal temporary {token}; only "
+                f"I*/O1/#imm may appear in emitted code"))
+        else:
+            findings.append(_finding(
+                "ISA104", source, line_no, spec_name,
+                f"Code template operand {token} is not an input of the "
+                f"Graph pattern"))
+    for token in pattern_inputs:
+        if token not in template_tokens:
+            findings.append(_finding(
+                "ISA104", source, line_no, spec_name,
+                f"Graph input {token} never appears in the Code template"))
+
+    has_wildcard = any(n.imm_token == "#imm" for n in nodes)
+    if has_wildcard and "#imm" not in template:
+        findings.append(_finding(
+            "ISA104", source, line_no, spec_name,
+            "Graph has a #imm wildcard but the Code template does not"))
+    if not has_wildcard and "#imm" in template:
+        findings.append(_finding(
+            "ISA104", source, line_no, spec_name,
+            "Code template uses #imm but the Graph has no #imm wildcard"))
+    return findings
+
+
+def _lint_record(line: str, source: str, line_no: int, arch: str,
+                 vector_bits: int, seen_names: Dict[str, int],
+                 seen_patterns: Dict[Tuple, Tuple[str, int]],
+                 ) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    fields = _split_fields(line, source, line_no)
+    if fields is None:
+        return [_finding("ISA100", source, line_no, "",
+                         "record is not ';'-separated 'Key: value' fields "
+                         "(or repeats a field)")]
+    name = _derive_name(fields)
+    missing = [k for k in ("graph", "code") if k not in fields]
+    if not name:
+        missing.insert(0, "ins")
+    if missing:
+        return [_finding("ISA100", source, line_no, name,
+                         f"record missing field(s) {missing}")]
+
+    if name in seen_names:
+        findings.append(_finding(
+            "ISA101", source, line_no, name,
+            f"duplicate instruction name (first defined at line "
+            f"{seen_names[name]})"))
+    else:
+        seen_names[name] = line_no
+
+    if "cost" in fields:
+        try:
+            cost = float(fields["cost"])
+        except ValueError:
+            findings.append(_finding(
+                "ISA100", source, line_no, name,
+                f"bad cost {fields['cost']!r}"))
+            cost = 1.0
+        else:
+            if not cost > 0:
+                findings.append(_finding(
+                    "ISA106", source, line_no, name,
+                    f"cost must be positive, got {cost:g}"))
+
+    try:
+        nodes = parse_pattern(fields["graph"])
+    except IsaParseError as exc:
+        findings.append(_finding("ISA100", source, line_no, name, str(exc)))
+        return findings
+
+    key = _pattern_key(nodes)
+    if key in seen_patterns:
+        other_name, other_line = seen_patterns[key]
+        findings.append(_finding(
+            "ISA102", source, line_no, name,
+            f"Graph pattern duplicates {other_name!r} (line {other_line}); "
+            f"matching cannot distinguish them"))
+    else:
+        seen_patterns[key] = (name, line_no)
+
+    findings.extend(_check_nodes(nodes, name, source, line_no, vector_bits))
+    findings.extend(_check_template(name, nodes, fields["code"], source, line_no))
+
+    # Structural invariants the checks above do not cover (token syntax,
+    # use-before-def, duplicate/missing O1, mixed lanes): delegate to the
+    # InstructionSpec validator and report whatever it rejects.
+    if not any(f.code in ("ISA103", "ISA104") for f in findings):
+        try:
+            InstructionSpec(name=name, arch=arch, nodes=nodes,
+                            code_template=fields["code"])
+        except IsaError as exc:
+            findings.append(_finding("ISA100", source, line_no, name, str(exc)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# File-level entry points
+# ---------------------------------------------------------------------------
+
+def lint_text(text: str, source: str = "<string>") -> List[LintFinding]:
+    """Lint a complete ``.si`` document, accumulating every finding."""
+    findings: List[LintFinding] = []
+    arch = ""
+    vector_bits = 0
+    seen_names: Dict[str, int] = {}
+    seen_patterns: Dict[Tuple, Tuple[str, int]] = {}
+    saw_record = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        lowered = line.lower()
+        if lowered.startswith("arch:"):
+            arch = line.split(":", 1)[1].strip()
+            continue
+        if lowered.startswith("vector_bits:"):
+            value = line.split(":", 1)[1].strip()
+            try:
+                vector_bits = int(value)
+            except ValueError:
+                findings.append(_finding(
+                    "ISA100", source, line_no, "",
+                    f"bad vector_bits {value!r}"))
+            continue
+        if not arch or not vector_bits:
+            findings.append(_finding(
+                "ISA100", source, line_no, "",
+                "'arch' and 'vector_bits' headers must precede records"))
+            # Keep linting the records anyway; width checks are skipped.
+        saw_record = True
+        findings.extend(_lint_record(line, source, line_no, arch,
+                                     vector_bits, seen_names, seen_patterns))
+
+    if not saw_record:
+        findings.append(_finding(
+            "ISA100", source, 0, "", "instruction set contains no records"))
+    return findings
+
+
+def lint_file(path: PathLike) -> List[LintFinding]:
+    """Lint the ``.si`` file at ``path``."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [_finding("ISA100", str(path), 0, "", f"cannot read: {exc}")]
+    return lint_text(text, source=str(path))
+
+
+def default_isa_paths() -> List[Path]:
+    """The packaged ``.si`` files (what CI lints)."""
+    data_dir = Path(__file__).parent / "data"
+    return sorted(data_dir.glob("*.si"))
+
+
+def lint_paths(paths: Sequence[PathLike] = ()) -> List[LintFinding]:
+    """Lint the given files, defaulting to every packaged ``.si`` file."""
+    targets = [Path(p) for p in paths] if paths else default_isa_paths()
+    findings: List[LintFinding] = []
+    for target in targets:
+        findings.extend(lint_file(target))
+    return findings

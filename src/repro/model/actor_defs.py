@@ -166,6 +166,20 @@ def _eval_unit_delay(actor: Actor, inputs: Dict[str, np.ndarray], state: Dict[st
 def _build_switch(actor: Actor, dtype: DataType, params: Dict[str, Any]) -> None:
     shape = _shape_param(params)
     actor.params.setdefault("threshold", 0)
+    # The threshold must be representable in the signal dtype: the
+    # reference evaluator compares in Python arithmetic, but generated
+    # code compares in the signal's machine type, so an unrepresentable
+    # threshold (e.g. -2 on a u8 Switch) would silently mean different
+    # things to the two sides (found by repro.verify fuzzing).
+    if dtype.is_integer:
+        info = np.iinfo(dtype.numpy_dtype)
+        threshold = actor.params["threshold"]
+        _require(
+            float(threshold) == int(threshold)
+            and info.min <= int(threshold) <= info.max,
+            f"Switch actor {actor.name!r}: threshold {threshold!r} is not "
+            f"representable in {dtype}",
+        )
     actor.add_input("in1", dtype, shape)
     actor.add_input("ctrl", dtype, ())
     actor.add_input("in2", dtype, shape)

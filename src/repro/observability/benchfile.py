@@ -106,11 +106,39 @@ def build_bench_record(
     }
 
 
+def _check_finite_json(value: Any, where: str) -> None:
+    """Reject values that break strict JSON: NaN/Inf floats (at any
+    nesting depth) and non-JSON types.  ``json.dumps`` would serialise
+    NaN as the invalid literal ``NaN``, producing a baseline file no
+    strict parser can read back."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"{where} must be a finite number, got {value!r}")
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _check_finite_json(item, f"{where}[{index}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValueError(f"{where} key {key!r} must be a string")
+            _check_finite_json(item, f"{where}.{key}")
+        return
+    raise ValueError(
+        f"{where} must be a JSON value, got {type(value).__name__}"
+    )
+
+
 def validate_bench_record(payload: Any) -> None:
     """Raise ``ValueError`` unless ``payload`` is a well-formed record.
 
-    Used by the bench smoke test and by downstream tooling before
-    trusting a committed baseline file.
+    Called by :func:`write_bench_record` before anything touches disk —
+    a malformed record (wrong types, NaN timings, non-JSON metrics) is
+    an error at write time, never a silently bad ``BENCH_codegen.json``
+    — and by downstream tooling before trusting a committed baseline.
     """
     if not isinstance(payload, dict):
         raise ValueError(f"bench record must be an object, got {type(payload).__name__}")
@@ -144,13 +172,23 @@ def validate_bench_record(payload: Any) -> None:
                     f"results[{index}].{field} must be {kind.__name__}, "
                     f"got {type(value).__name__}"
                 )
-    if not isinstance(payload.get("summary"), dict):
+            _check_finite_json(value, f"results[{index}].{field}")
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
         raise ValueError("bench record field 'summary' must be an object")
+    _check_finite_json(summary, "summary")
 
 
 def write_bench_record(record: Dict[str, Any], path: Union[str, Path]) -> Path:
-    """Validate and write the record; returns the path written."""
+    """Validate and write the record; returns the path written.
+
+    ``allow_nan=False`` backstops the validator: even a field the
+    schema check does not type-constrain can never reach disk as the
+    invalid-JSON ``NaN``/``Infinity`` literals.
+    """
     validate_bench_record(record)
     path = Path(path)
-    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=False, allow_nan=False) + "\n"
+    )
     return path

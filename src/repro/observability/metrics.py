@@ -33,6 +33,12 @@ class SPANS:
     COMPOSE = "compose"
     #: the variable-reuse pass over the emitted IR
     REUSE = "reuse"
+    #: one whole differential-verification run (repro verify)
+    VERIFY = "verify"
+    #: one (model, generator, arch) verification case inside a run
+    VERIFY_CASE = "verify.case"
+    #: one shrinker reduction of a failing fuzz case
+    VERIFY_SHRINK = "verify.shrink"
 
 
 class COUNTERS:
@@ -49,6 +55,11 @@ class COUNTERS:
     ALG2_NODES_MAPPED = "alg2.nodes_mapped"
     ALG2_SUBGRAPHS_ENUMERATED = "alg2.subgraphs_enumerated"
     ALG2_INSTRUCTIONS_MATCHED = "alg2.instructions_matched"
+    # Translation validation — differential runner / fuzzer / shrinker
+    VERIFY_CASES_RUN = "verify.cases_run"
+    VERIFY_CASES_FAILED = "verify.cases_failed"
+    VERIFY_MODELS_FUZZED = "verify.models_fuzzed"
+    VERIFY_SHRINK_STEPS = "verify.shrink_steps"
 
 
 def generation_metrics(generator: Any) -> Dict[str, Any]:

@@ -1,0 +1,28 @@
+"""Translation validation: differential verifier, fuzzer, shrinker.
+
+The subsystem checks the paper's semantics-preservation promise by
+construction: every generated program is executed on the cost-model VM
+and compared against the model's reference semantics
+(:mod:`repro.model.semantics`) over an adversarial input battery, and
+HCG is additionally compared against the Simulink-Coder and DFSynth
+baselines.  See docs/verification.md for the tour.
+
+Import layout: this package is imported lazily from the code
+generators (the fault hooks in :mod:`repro.verify.faults`), so the
+package root stays dependency-free; pull the heavy pieces from their
+modules —
+
+* :mod:`repro.verify.runner` — ``verify_model`` / ``check_program`` /
+  ``verified_generate``;
+* :mod:`repro.verify.inputs` — the adversarial ``input_battery``;
+* :mod:`repro.verify.fuzz` — random specs and ISA subsets;
+* :mod:`repro.verify.shrink` — ``shrink_case``;
+* :mod:`repro.verify.case` — ``ModelSpec`` / ``ReproCase`` persistence;
+* :mod:`repro.verify.service` — the ``repro verify`` session driver.
+"""
+
+from __future__ import annotations
+
+from repro.verify import faults
+
+__all__ = ["faults"]

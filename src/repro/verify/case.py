@@ -1,0 +1,247 @@
+"""Serializable model specs and minimized repro cases.
+
+The fuzzer does not mutate :class:`~repro.model.graph.Model` objects
+directly — it works on a :class:`ModelSpec`, a flat JSON-friendly
+description that (a) builds a validated model deterministically via
+``model/builder.py``, (b) survives a round trip to disk, and (c) the
+shrinker can reduce by dropping nodes.  A failing triple is persisted
+as a :class:`ReproCase`: the spec, the ISA subset, the target, the
+seed, and a summary of every observed mismatch — everything needed to
+replay the failure with ``load_case(path).replay()``.
+
+Spec node kinds (each node is one dict in ``ModelSpec.nodes``):
+
+========== =============================================================
+``in``     an Inport of shape ``(width,)``
+``const``  a Const; ``values`` holds exactly ``width`` numbers
+``op``     an elementwise actor (``Add``, ``Shr``, ...); ``args`` name
+           earlier nodes; shift ops carry ``shift``
+``gain``   a Gain actor; ``gain`` is the scalar factor
+``delay``  a UnitDelay; ``arg`` may name *any* node (feedback)
+``switch`` a Switch over ``in1``/``in2`` with a fresh scalar ctrl
+           inport named ``<name>_ctrl`` and a ``threshold``
+``intensive`` one intensive actor (``DCT``, ``FFT``, or ``Conv`` with
+           ``taps``) consuming ``arg``; terminal (outport only)
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dtypes import DataType
+from repro.errors import ReproError
+from repro.model.builder import ActorRef, ModelBuilder
+from repro.model.graph import Model
+
+#: on-disk format of a repro case; bump when the layout changes
+CASE_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec:
+    """A flat, shrinkable description of one fuzz model."""
+
+    name: str
+    dtype: str
+    width: int
+    nodes: Tuple[Dict[str, Any], ...]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "dtype": self.dtype,
+            "width": self.width,
+            "nodes": [dict(node) for node in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ModelSpec":
+        return cls(
+            name=str(payload["name"]),
+            dtype=str(payload["dtype"]),
+            width=int(payload["width"]),
+            nodes=tuple(dict(node) for node in payload["nodes"]),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def actor_count(self) -> int:
+        """Actors of the built model, counting auto ctrl inports and
+        outports — the size the shrinker minimizes."""
+        return len(self.build().actors)
+
+    def node_names(self) -> List[str]:
+        return [node["name"] for node in self.nodes]
+
+    # ------------------------------------------------------------------
+    def build(self) -> Model:
+        """Construct and validate the model this spec describes."""
+        dtype = DataType.from_name(self.dtype)
+        builder = ModelBuilder(self.name, default_dtype=dtype)
+        refs: Dict[str, ActorRef] = {}
+        consumed: set = set()
+        deferred: List[Tuple[str, str, str]] = []  # (src, dst, dst_port)
+        terminal: set = set()  # nodes that may only feed an outport
+
+        for node in self.nodes:
+            kind, name = node["kind"], node["name"]
+            if kind == "in":
+                refs[name] = builder.inport(name, shape=self.width, dtype=dtype)
+            elif kind == "const":
+                refs[name] = builder.const(name, value=list(node["values"]),
+                                           dtype=dtype)
+            elif kind == "op":
+                args = [refs[a] for a in node["args"]]
+                params: Dict[str, Any] = {}
+                if "shift" in node:
+                    params["shift"] = int(node["shift"])
+                refs[name] = builder.add_actor(node["op"], name, *args, **params)
+                consumed.update(node["args"])
+            elif kind == "gain":
+                refs[name] = builder.add_actor("Gain", name, refs[node["arg"]],
+                                               gain=node["gain"])
+                consumed.add(node["arg"])
+            elif kind == "delay":
+                refs[name] = builder.add_actor(
+                    "UnitDelay", name, dtype=dtype, shape=self.width,
+                    initial=node.get("initial", 0),
+                )
+                deferred.append((node["arg"], name, "in1"))
+                consumed.add(node["arg"])
+            elif kind == "switch":
+                ctrl = builder.inport(f"{name}_ctrl", dtype=dtype)
+                refs[name] = builder.add_actor(
+                    "Switch", name, refs[node["in1"]], dtype=dtype,
+                    shape=self.width, threshold=node.get("threshold", 0),
+                )
+                builder.connect(ctrl, refs[name], "ctrl")
+                builder.connect(refs[node["in2"]], refs[name], "in2")
+                consumed.update((node["in1"], node["in2"]))
+            elif kind == "intensive":
+                op = node["op"]
+                arg = refs[node["arg"]]
+                if op == "Conv":
+                    taps = builder.const(f"{name}_taps",
+                                         value=list(node["taps"]), dtype=dtype)
+                    refs[name] = builder.add_actor("Conv", name, arg, taps,
+                                                   n=self.width,
+                                                   m=len(node["taps"]))
+                elif op in ("DCT", "IDCT", "FFT"):
+                    refs[name] = builder.add_actor(op, name, arg, n=self.width)
+                else:
+                    raise ReproError(f"spec {self.name!r}: unsupported "
+                                     f"intensive op {op!r}")
+                consumed.add(node["arg"])
+                terminal.add(name)
+            else:
+                raise ReproError(f"spec {self.name!r}: unknown node kind {kind!r}")
+
+        for src, dst, dst_port in deferred:
+            builder.connect(refs[src], refs[dst], dst_port)
+
+        sinks = [node["name"] for node in self.nodes
+                 if node["kind"] != "in" and (node["name"] not in consumed
+                                              or node["name"] in terminal)]
+        if not sinks:
+            # Everything feeds a cycle through a delay; observe the last
+            # non-inport node so the model still has a comparable output.
+            candidates = [n["name"] for n in self.nodes if n["kind"] != "in"]
+            sinks = candidates[-1:]
+        if not sinks:  # inports only: observe the first inport directly
+            sinks = [self.nodes[0]["name"]]
+        for sink in sinks:
+            builder.outport(f"y_{sink}", refs[sink])
+        return builder.build()
+
+
+@dataclasses.dataclass
+class ReproCase:
+    """One (model, ISA, input) failure, minimized or not."""
+
+    spec: ModelSpec
+    arch: str
+    seed: int
+    generators: Tuple[str, ...] = ("hcg",)
+    isa_names: Optional[Tuple[str, ...]] = None
+    faults: Tuple[str, ...] = ()
+    steps: int = 2
+    mismatches: Tuple[Dict[str, Any], ...] = ()
+    shrink: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": CASE_SCHEMA_VERSION,
+            "kind": "REPRO_verify",
+            "arch": self.arch,
+            "seed": self.seed,
+            "generators": list(self.generators),
+            "isa_names": None if self.isa_names is None else list(self.isa_names),
+            "faults": list(self.faults),
+            "steps": self.steps,
+            "model": self.spec.to_dict(),
+            "mismatches": [dict(m) for m in self.mismatches],
+            "shrink": dict(self.shrink) if self.shrink else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ReproCase":
+        schema = payload.get("schema")
+        if schema != CASE_SCHEMA_VERSION:
+            raise ReproError(
+                f"repro case schema {schema!r} != {CASE_SCHEMA_VERSION}"
+            )
+        isa_names = payload.get("isa_names")
+        return cls(
+            spec=ModelSpec.from_dict(payload["model"]),
+            arch=str(payload["arch"]),
+            seed=int(payload.get("seed", 0)),
+            generators=tuple(payload.get("generators", ("hcg",))),
+            isa_names=None if isa_names is None else tuple(isa_names),
+            faults=tuple(payload.get("faults", ())),
+            steps=int(payload.get("steps", 2)),
+            mismatches=tuple(dict(m) for m in payload.get("mismatches", ())),
+            shrink=payload.get("shrink"),
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"repro_{self.arch}_{self.spec.name}.json"
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                                   allow_nan=False) + "\n")
+        return path
+
+    def replay(self, tracer=None):
+        """Re-run the differential check this case records.
+
+        Returns the fresh :class:`~repro.verify.runner.VerifyReport`; a
+        fixed bug replays clean, an open one reproduces its mismatches.
+        """
+        from repro.verify.runner import replay_case
+
+        return replay_case(self, tracer=tracer)
+
+
+def load_case(path: Union[str, Path]) -> ReproCase:
+    """Read one repro-case JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read repro case {path}: {exc}") from exc
+    return ReproCase.from_dict(payload)
+
+
+def load_corpus(directory: Union[str, Path]) -> List[Tuple[Path, ReproCase]]:
+    """Every ``*.json`` repro case under a corpus directory, sorted."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [(path, load_case(path)) for path in sorted(directory.glob("*.json"))]

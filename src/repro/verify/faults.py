@@ -1,0 +1,84 @@
+"""Test-only fault injection for exercising the differential verifier.
+
+The translation-validation subsystem (docs/verification.md) needs a way
+to *prove* it catches real miscompiles: a fault that makes the pipeline
+silently emit wrong code, without raising — a raised exception would be
+gracefully demoted by the fault-isolation lattice (HCG201) and the
+scalar fallback would still be correct.
+
+This module keeps a process-global set of active fault names that a few
+deliberately-placed hooks in the code generators consult.  Production
+runs never install a fault; the registry exists so ``tests/verify`` and
+``repro verify --inject-fault`` can demonstrate end-to-end that an
+injected mapping bug is detected by the runner and minimized by the
+shrinker.
+
+Known faults
+------------
+``skip_remainder``
+    Algorithm 2 drops the scalar remainder prologue, so the leading
+    ``length % batch_size`` elements of every vectorised batch group
+    are never computed — exactly the SimdBench-style edge-length bug
+    class the verifier targets.  Harmless when every signal width is a
+    multiple of the vector width, which is why naive testing misses it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+#: every fault name a hook may consult; installs of unknown names fail
+#: fast so a typo cannot silently disable an intended fault
+KNOWN_FAULTS: Tuple[str, ...] = ("skip_remainder",)
+
+_active: FrozenSet[str] = frozenset()
+
+
+def install(*names: str) -> None:
+    """Activate the named faults (process-global, additive)."""
+    global _active
+    for name in names:
+        if name not in KNOWN_FAULTS:
+            raise ValueError(f"unknown fault {name!r}; known: {KNOWN_FAULTS}")
+    _active = _active | frozenset(names)
+
+
+def clear() -> None:
+    """Deactivate every fault (call from test teardown)."""
+    global _active
+    _active = frozenset()
+
+
+def active(name: str) -> bool:
+    """Is this fault currently installed? Hooks call this lazily."""
+    return name in _active
+
+
+def active_faults() -> Tuple[str, ...]:
+    """The currently-installed fault names, sorted (for repro cases)."""
+    return tuple(sorted(_active))
+
+
+class injected:
+    """Context manager installing faults for one ``with`` block::
+
+        with injected("skip_remainder"):
+            program = generator.generate(model)   # miscompiles
+    """
+
+    def __init__(self, *names: str) -> None:
+        self.names = names
+
+    def __enter__(self) -> "injected":
+        install(*self.names)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _active
+        _active = _active - frozenset(self.names)
+        return False
+
+
+def install_many(names: Iterable[str]) -> None:
+    """Install from an iterable (CLI convenience)."""
+    install(*tuple(names))

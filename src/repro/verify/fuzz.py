@@ -1,0 +1,232 @@
+"""Random model and ISA-subset generation for translation validation.
+
+Two generators of stress, both deterministic in ``(seed, index)``:
+
+* :func:`random_spec` — a random actor graph (elementwise chains with
+  consts, gains, delays, switches and the occasional intensive actor)
+  whose signal width is drawn from ``1 .. 3*lanes`` so every residue of
+  ``width % lanes`` — the offset-prologue edge — occurs;
+* :func:`random_isa_names` — a random subset of an architecture's
+  instruction set.  Missing single-node instructions make dispatch
+  demote actors to conventional translation, and missing compound
+  instructions steer Algorithm 2 into different subgraph tilings; the
+  emitted code must stay correct either way.
+
+:func:`residue_sweep_specs` additionally produces one deterministic
+elementwise model per residue class, per dtype — the fixed part of the
+seed corpus committed under ``tests/verify/corpus/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import ops
+from repro.dtypes import DataType
+from repro.errors import ReproError
+from repro.isa.spec import InstructionSet
+from repro.verify.case import ModelSpec
+
+#: dtypes the fuzzer draws models from (all have .si instructions in at
+#: least one preset; unsupported (dtype, ISA) pairs exercise demotion)
+FUZZ_DTYPES: Tuple[DataType, ...] = (
+    DataType.I8, DataType.U8, DataType.I16, DataType.U16,
+    DataType.I32, DataType.U32, DataType.F32, DataType.F64,
+)
+
+#: elementwise actor types the fuzzer may instantiate
+FUZZ_OPS: Tuple[str, ...] = (
+    "Add", "Sub", "Mul", "Div", "Min", "Max", "Abs", "Abd", "Neg",
+    "Shr", "Shl", "BitNot", "BitAnd", "BitOr", "BitXor", "Recp", "Sqrt",
+)
+
+
+def _supported_ops(dtype: DataType) -> List[str]:
+    return [name for name in FUZZ_OPS if ops.op_info(name).supports(dtype)]
+
+
+def _random_const_values(rng: np.random.Generator, dtype: DataType,
+                         count: int) -> List:
+    if dtype.is_float:
+        return [round(float(v), 4) for v in rng.uniform(-8.0, 8.0, size=count)]
+    info = np.iinfo(dtype.numpy_dtype)
+    lo, hi = (0, 17) if info.min == 0 else (-16, 17)
+    return [int(v) for v in rng.integers(lo, hi, size=count)]
+
+
+def random_spec(seed: int, index: int, *, lanes: int = 4,
+                allow_intensive: bool = True) -> ModelSpec:
+    """One random, always-valid :class:`ModelSpec`.
+
+    ``lanes`` should be the target ISA's lane count for a typical dtype;
+    widths are drawn from ``1 .. 3*lanes`` so the remainder prologue is
+    exercised at every residue.
+    """
+    rng = np.random.default_rng((seed, index, 0x4C47))
+    dtype = FUZZ_DTYPES[int(rng.integers(len(FUZZ_DTYPES)))]
+    width = int(rng.integers(1, 3 * max(lanes, 2) + 1))
+    nodes: List[dict] = []
+    #: names usable as (width,)-shaped operands
+    stream: List[str] = []
+
+    n_inports = int(rng.integers(1, 4))
+    for i in range(n_inports):
+        name = f"in{i}"
+        nodes.append({"kind": "in", "name": name})
+        stream.append(name)
+    for i in range(int(rng.integers(0, 3))):
+        name = f"c{i}"
+        nodes.append({"kind": "const", "name": name,
+                      "values": _random_const_values(rng, dtype, width)})
+        stream.append(name)
+
+    supported = _supported_ops(dtype)
+    n_ops = int(rng.integers(1, 9))
+    for i in range(n_ops):
+        roll = float(rng.random())
+        name = f"n{i}"
+        if roll < 0.10:
+            node = {"kind": "delay", "name": name,
+                    "arg": stream[int(rng.integers(len(stream)))],
+                    "initial": 0}
+        elif roll < 0.18 and len(stream) >= 2:
+            picks = rng.choice(len(stream), size=2, replace=False)
+            low = 0 if (dtype.is_integer
+                        and np.iinfo(dtype.numpy_dtype).min == 0) else -2
+            node = {"kind": "switch", "name": name,
+                    "in1": stream[int(picks[0])], "in2": stream[int(picks[1])],
+                    "threshold": int(rng.integers(low, 3))}
+        elif roll < 0.26:
+            node = {"kind": "gain", "name": name,
+                    "arg": stream[int(rng.integers(len(stream)))],
+                    "gain": _random_const_values(rng, dtype, 1)[0]}
+        else:
+            op = supported[int(rng.integers(len(supported)))]
+            info = ops.op_info(op)
+            args = [stream[int(rng.integers(len(stream)))]
+                    for _ in range(info.arity)]
+            node = {"kind": "op", "name": name, "op": op, "args": args}
+            if info.needs_imm:
+                node["shift"] = int(rng.integers(0, dtype.bit_width))
+        nodes.append(node)
+        stream.append(name)
+
+    if allow_intensive and float(rng.random()) < 0.12:
+        arg = stream[int(rng.integers(len(stream)))]
+        if dtype.is_float:
+            op = ("DCT", "IDCT", "FFT")[int(rng.integers(3))]
+            nodes.append({"kind": "intensive", "name": "k0", "op": op,
+                          "arg": arg})
+        elif dtype is DataType.I32:
+            nodes.append({"kind": "intensive", "name": "k0", "op": "Conv",
+                          "arg": arg,
+                          "taps": _random_const_values(rng, dtype, 3)})
+
+    return ModelSpec(
+        name=f"fuzz_s{seed}_i{index}",
+        dtype=dtype.name.lower(),
+        width=width,
+        nodes=tuple(nodes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ISA subsets
+# ---------------------------------------------------------------------------
+
+def subset_instruction_set(base: InstructionSet,
+                           names: Sequence[str]) -> InstructionSet:
+    """The sub-ISA of ``base`` keeping only the named instructions."""
+    wanted = set(names)
+    unknown = wanted - {spec.name for spec in base.instructions}
+    if unknown:
+        raise ReproError(
+            f"instruction set {base.arch!r} has no instruction(s) "
+            f"{sorted(unknown)}"
+        )
+    kept = tuple(s for s in base.instructions if s.name in wanted)
+    if not kept:
+        raise ReproError("an ISA subset must keep at least one instruction")
+    return InstructionSet(base.arch, base.vector_bits, kept)
+
+
+def random_isa_names(seed: int, index: int,
+                     base: InstructionSet) -> Tuple[str, ...]:
+    """A random non-empty subset of ``base``'s instruction names."""
+    rng = np.random.default_rng((seed, index, 0x15A))
+    names = [spec.name for spec in base.instructions]
+    keep = float(rng.uniform(0.3, 0.95))
+    kept = [name for name in names if float(rng.random()) < keep]
+    if not kept:
+        kept = [names[int(rng.integers(len(names)))]]
+    return tuple(sorted(kept))
+
+
+# ---------------------------------------------------------------------------
+# Deterministic residue sweep (seed corpus)
+# ---------------------------------------------------------------------------
+
+def residue_sweep_specs(vector_bits: int,
+                        dtypes: Sequence[DataType] = (DataType.F32,
+                                                      DataType.I16),
+                        ) -> List[ModelSpec]:
+    """One elementwise model per ``width % lanes`` residue, per dtype.
+
+    Each model is a Mul+Add chain over ``2*lanes + r`` elements — the
+    smallest shape where the SIMD body and the scalar remainder prologue
+    both execute for residue ``r``.
+    """
+    specs: List[ModelSpec] = []
+    for dtype in dtypes:
+        lanes = vector_bits // dtype.bit_width
+        rng = np.random.default_rng((vector_bits, dtype.bit_width))
+        for residue in range(lanes):
+            width = 2 * lanes + residue
+            specs.append(ModelSpec(
+                name=f"residue_{dtype.name.lower()}_r{residue}",
+                dtype=dtype.name.lower(),
+                width=width,
+                nodes=(
+                    {"kind": "in", "name": "in0"},
+                    {"kind": "in", "name": "in1"},
+                    {"kind": "const", "name": "c0",
+                     "values": _random_const_values(rng, dtype, width)},
+                    {"kind": "op", "name": "n0", "op": "Mul",
+                     "args": ["in0", "c0"]},
+                    {"kind": "op", "name": "n1", "op": "Add",
+                     "args": ["n0", "in1"]},
+                ),
+            ))
+    return specs
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzCase:
+    """One fuzz iteration: a model plus an optional ISA subset."""
+
+    spec: ModelSpec
+    arch: str
+    isa_names: Optional[Tuple[str, ...]]
+
+
+def fuzz_cases(count: int, seed: int, archs: Sequence[str],
+               instruction_sets) -> List[FuzzCase]:
+    """The deterministic fuzz schedule: ``count`` cases round-robin over
+    ``archs``; every other case also randomizes the ISA subset.
+
+    ``instruction_sets`` maps arch name -> its full InstructionSet.
+    """
+    cases: List[FuzzCase] = []
+    for index in range(count):
+        arch = archs[index % len(archs)]
+        base = instruction_sets[arch]
+        lanes = max(base.vector_bits // 32, 2)
+        spec = random_spec(seed, index, lanes=lanes)
+        isa_names: Optional[Tuple[str, ...]] = None
+        if index % 2 == 1:
+            isa_names = random_isa_names(seed, index, base)
+        cases.append(FuzzCase(spec=spec, arch=arch, isa_names=isa_names))
+    return cases

@@ -1,0 +1,174 @@
+"""The adversarial input battery for differential verification.
+
+A battery is a list of named :class:`InputCase` instances, each giving
+every inport of a model a value for ``steps`` consecutive steps.  The
+cases are chosen to hit the classes of miscompile SimdBench documents
+for SIMD code generators:
+
+* ``zeros`` / ``ones`` — degenerate values that hide dropped terms;
+* ``random`` / ``random_wide`` — seeded pseudo-random data, moderate
+  and full-range magnitudes;
+* ``boundary`` — dtype extremes (INT_MIN/INT_MAX, float max/lowest,
+  denormal-adjacent tiny values) tiled across the signal;
+* ``special`` — NaN / +-Inf / signed zeros, float models only;
+* ``ctrl_low`` / ``ctrl_high`` — scalar (control) inports driven to
+  either side of typical Switch thresholds so both branches execute.
+
+Models containing intensive computing actors (FFT, DCT, Conv, ...) get
+only the moderate cases: their kernels are compared under a relative
+tolerance, and extreme magnitudes or non-finite values produce *honest*
+float divergence between a radix-2 kernel and the numpy reference —
+that is numerical error, not a translation bug (docs/verification.md
+discusses the distinction).
+
+Everything is deterministic in ``seed``, so a failing (model, ISA,
+input) triple replays bit-for-bit from a repro case.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.dtypes import DataType
+from repro.model.actor_defs import ActorKind
+from repro.model.graph import Model
+
+#: one step's worth of inputs: inport name -> value
+StepInputs = Dict[str, np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class InputCase:
+    """One named adversarial assignment, over several steps."""
+
+    name: str
+    steps: Tuple[StepInputs, ...]
+
+
+def _boundary_values(dtype: DataType) -> List[float]:
+    np_dtype = dtype.numpy_dtype
+    if dtype.is_float:
+        info = np.finfo(np_dtype)
+        return [0.0, -0.0, 1.0, -1.0, float(info.max), float(info.min),
+                float(info.tiny), -float(info.tiny), 0.5, -0.5]
+    info = np.iinfo(np_dtype)
+    values = [0, 1, info.max, info.min, info.max - 1, info.min + 1]
+    if info.min < 0:
+        values.append(-1)
+    return values
+
+
+def _special_values(dtype: DataType) -> List[float]:
+    info = np.finfo(dtype.numpy_dtype)
+    return [float("nan"), float("inf"), float("-inf"), 0.0, -0.0,
+            float(info.max), 1.0]
+
+
+def _tile(values: List[float], shape: Tuple[int, ...], dtype: DataType,
+          rotate: int = 0) -> np.ndarray:
+    """Cycle ``values`` across an array of ``shape`` (scalar-safe)."""
+    size = int(np.prod(shape)) if shape else 1
+    cycled = [values[(i + rotate) % len(values)] for i in range(size)]
+    array = np.array(cycled, dtype=dtype.numpy_dtype)
+    return array.reshape(shape) if shape else array.reshape(())
+
+
+def _random_value(rng: np.random.Generator, dtype: DataType,
+                  shape: Tuple[int, ...], wide: bool) -> np.ndarray:
+    np_dtype = dtype.numpy_dtype
+    if dtype.is_float:
+        if wide:
+            mantissa = rng.uniform(-1.0, 1.0, size=shape or ())
+            exponent = rng.integers(-18, 19, size=shape or ())
+            value = mantissa * np.power(10.0, exponent)
+        else:
+            value = rng.uniform(-1000.0, 1000.0, size=shape or ())
+        return value.astype(np_dtype)
+    info = np.iinfo(np_dtype)
+    if wide:
+        return rng.integers(info.min, info.max, size=shape or (),
+                            dtype=np_dtype, endpoint=True)
+    lo = max(-1000, info.min)
+    hi = min(1000, info.max)
+    return rng.integers(lo, hi, size=shape or (), dtype=np.int64,
+                        endpoint=True).astype(np_dtype)
+
+
+def _ctrl_level(dtype: DataType, high: bool) -> np.ndarray:
+    """A scalar driving a Switch ctrl clearly above/below any plausible
+    threshold, clamped to the dtype's range."""
+    if dtype.is_float:
+        return np.asarray(1000.0 if high else -1000.0,
+                          dtype=dtype.numpy_dtype)
+    info = np.iinfo(dtype.numpy_dtype)
+    level = min(1000, info.max) if high else max(-1000, info.min)
+    return np.asarray(level, dtype=dtype.numpy_dtype)
+
+
+def has_intensive(model: Model) -> bool:
+    """Does the model contain any intensive computing actor?"""
+    return bool(model.actors_of_kind(ActorKind.INTENSIVE))
+
+
+def _scalar_inports(model: Model) -> List[str]:
+    return [a.name for a in model.inports if not a.output("out").shape]
+
+
+def input_battery(model: Model, seed: int = 0, steps: int = 2) -> List[InputCase]:
+    """The full adversarial battery for one model, seeded."""
+    rng = np.random.default_rng(seed)
+    intensive = has_intensive(model)
+    scalars = set(_scalar_inports(model))
+    inports = [(a.name, a.output("out").dtype, a.output("out").shape)
+               for a in model.inports]
+    float_model = any(dtype.is_float for _, dtype, _ in inports)
+
+    def assign(kind: str, step: int) -> StepInputs:
+        values: StepInputs = {}
+        for name, dtype, shape in inports:
+            if kind == "zeros":
+                values[name] = np.zeros(shape or (), dtype=dtype.numpy_dtype)
+            elif kind == "ones":
+                values[name] = np.ones(shape or (), dtype=dtype.numpy_dtype)
+            elif kind == "boundary":
+                values[name] = _tile(_boundary_values(dtype), shape, dtype,
+                                     rotate=step)
+            elif kind == "special":
+                if dtype.is_float:
+                    values[name] = _tile(_special_values(dtype), shape, dtype,
+                                         rotate=step)
+                else:
+                    values[name] = _tile(_boundary_values(dtype), shape, dtype,
+                                         rotate=step)
+            elif kind == "random_wide":
+                values[name] = _random_value(rng, dtype, shape, wide=True)
+            else:  # random
+                values[name] = _random_value(rng, dtype, shape, wide=False)
+        return values
+
+    def case(name: str, kind: str) -> InputCase:
+        return InputCase(name, tuple(assign(kind, s) for s in range(steps)))
+
+    cases = [case("zeros", "zeros"), case("ones", "ones"),
+             case("random", "random")]
+    if not intensive:
+        cases.append(case("random_wide", "random_wide"))
+        cases.append(case("boundary", "boundary"))
+        if float_model:
+            cases.append(case("special", "special"))
+    if scalars:
+        # Drive every scalar inport to both sides of a Switch threshold,
+        # with random data elsewhere, so both branches are compared.
+        for kind in ("ctrl_low", "ctrl_high"):
+            steps_values = []
+            for step in range(steps):
+                values = assign("random", step)
+                for name, dtype, shape in inports:
+                    if name in scalars:
+                        values[name] = _ctrl_level(dtype, kind == "ctrl_high")
+                steps_values.append(values)
+            cases.append(InputCase(kind, tuple(steps_values)))
+    return cases

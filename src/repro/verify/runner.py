@@ -1,0 +1,401 @@
+"""The differential runner: generated programs vs reference semantics.
+
+For every generator under test the runner executes the generated
+program on the cost-model VM over the adversarial input battery
+(:mod:`repro.verify.inputs`) and compares each step's outputs against
+:class:`~repro.model.semantics.ModelEvaluator` — the package's
+definition of what the model *means*.  When HCG and the baseline
+generators are verified together, HCG's outputs are additionally
+compared against each baseline (the paper's "computation results of
+each execution are consistent" claim, §4).
+
+Comparison discipline
+---------------------
+* integer signals — bit-exact (``np.array_equal``);
+* float signals in models **without** intensive actors — bit-exact with
+  ``equal_nan``: every elementwise path (reference, scalar translation,
+  SIMD lanes) evaluates through the one shared op table in
+  :mod:`repro.ops`, so any difference is a translation bug, not
+  rounding;
+* float signals in models **with** intensive actors — ``np.allclose``
+  at the tolerance the bench harness already uses (a radix-2 FFT kernel
+  and ``np.fft`` legitimately differ in the last bits).
+
+A failed comparison becomes a :class:`Mismatch`; the
+:class:`VerifyReport` maps them onto stable diagnostics (HCG401
+reference divergence, HCG402 baseline divergence, HCG403 crash) and can
+raise a :class:`~repro.errors.VerificationError` carrying all of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.arch.arch import Architecture
+from repro.arch.presets import get_architecture
+from repro.diagnostics import Diagnostic, DiagnosticsCollector
+from repro.errors import ReproError, VerificationError
+from repro.model.graph import Model
+from repro.model.semantics import ModelEvaluator
+from repro.observability.metrics import COUNTERS, SPANS
+from repro.observability.tracer import NULL_TRACER
+from repro.verify.inputs import InputCase, has_intensive, input_battery
+from repro.vm.machine import Machine
+
+#: the tolerance used for intensive-kernel float outputs, matching
+#: repro.bench.runner.compare_generators
+FLOAT_RTOL = 1e-4
+FLOAT_ATOL = 1e-4
+
+#: mismatch kind -> stable diagnostic code (docs/verification.md)
+MISMATCH_CODES = {
+    "reference": "HCG401",
+    "baseline": "HCG402",
+    "crash": "HCG403",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Mismatch:
+    """One observed divergence (or crash) during verification."""
+
+    kind: str        # "reference" | "baseline" | "crash"
+    generator: str   # the generator whose program diverged
+    case: str        # input-battery case name ("*" = independent of input)
+    step: int        # 0-based step index (-1 for generation-time crashes)
+    output: str      # outport name ("-" for crashes)
+    detail: str      # human-readable description of the divergence
+
+    @property
+    def code(self) -> str:
+        return MISMATCH_CODES[self.kind]
+
+    def format(self) -> str:
+        where = f"{self.case}/step{self.step}" if self.step >= 0 else self.case
+        return (f"{self.code} [{self.generator}] {self.kind} at {where}, "
+                f"output {self.output}: {self.detail}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """The outcome of verifying one model on one architecture."""
+
+    model: str
+    arch: str
+    generators: Tuple[str, ...]
+    cases: int
+    steps: int
+    mismatches: List[Mismatch] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_diagnostics(self) -> List[Diagnostic]:
+        collector = DiagnosticsCollector(policy="permissive")
+        for mismatch in self.mismatches:
+            collector.report(
+                mismatch.code,
+                mismatch.format(),
+                actor=mismatch.generator,
+                location=f"{self.model}@{self.arch}",
+            )
+        return list(collector)
+
+    def raise_on_failure(self) -> None:
+        if self.ok:
+            return
+        raise VerificationError(
+            f"verification of {self.model!r} on {self.arch} failed: "
+            f"{len(self.mismatches)} mismatch(es), first: "
+            f"{self.mismatches[0].format()}",
+            diagnostics=self.to_diagnostics(),
+        )
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.mismatches)} MISMATCH(ES)"
+        return (f"{self.model} @ {self.arch} "
+                f"[{', '.join(self.generators)}] "
+                f"{self.cases} case(s) x {self.steps} step(s): {status}")
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+def _compare_arrays(expected: np.ndarray, got: np.ndarray,
+                    tolerant: bool) -> Optional[str]:
+    """None when equal, else a short description of the divergence."""
+    got = np.asarray(got)
+    expected = np.asarray(expected)
+    if got.shape != expected.shape:
+        try:
+            got = got.reshape(expected.shape)
+        except ValueError:
+            return f"shape {got.shape} != expected {expected.shape}"
+    if expected.dtype.kind in "fc":
+        if tolerant:
+            if np.allclose(got, expected, rtol=FLOAT_RTOL, atol=FLOAT_ATOL,
+                           equal_nan=True):
+                return None
+            with np.errstate(invalid="ignore"):
+                err = float(np.nanmax(np.abs(
+                    got.astype(np.float64) - expected.astype(np.float64))))
+            return f"max abs error {err:g} beyond tolerance"
+        if np.array_equal(got, expected, equal_nan=True):
+            return None
+        diverged = ~((got == expected) | (np.isnan(got) & np.isnan(expected)))
+        index = int(np.argmax(diverged.ravel()))
+        return (f"{int(np.count_nonzero(diverged))} element(s) differ, "
+                f"first at flat index {index}: "
+                f"got {got.ravel()[index]!r}, expected "
+                f"{expected.ravel()[index]!r}")
+    if np.array_equal(got, expected):
+        return None
+    diverged = got != expected
+    index = int(np.argmax(diverged.ravel()))
+    return (f"{int(np.count_nonzero(diverged))} element(s) differ, "
+            f"first at flat index {index}: got {got.ravel()[index]!r}, "
+            f"expected {expected.ravel()[index]!r}")
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def _reference_outputs(model: Model, battery: Sequence[InputCase]
+                       ) -> Dict[str, List[Dict[str, np.ndarray]]]:
+    """case name -> per-step outport dict, from the model evaluator."""
+    outputs: Dict[str, List[Dict[str, np.ndarray]]] = {}
+    # Adversarial inputs legitimately overflow/invalidate — both sides
+    # compute through the same op table, so silence numpy's advisories.
+    with np.errstate(all="ignore"):
+        for case in battery:
+            evaluator = ModelEvaluator(model)
+            outputs[case.name] = [evaluator.step(step) for step in case.steps]
+    return outputs
+
+
+def _program_outputs(program, arch: Architecture, instruction_set,
+                     battery: Sequence[InputCase], generator_name: str,
+                     mismatches: List[Mismatch]
+                     ) -> Dict[str, List[Dict[str, np.ndarray]]]:
+    """case name -> per-step outport dict, from the VM (fresh state per
+    case); execution crashes are recorded as ``crash`` mismatches."""
+    outputs: Dict[str, List[Dict[str, np.ndarray]]] = {}
+    for case in battery:
+        machine = Machine(program, arch, instruction_set=instruction_set)
+        per_step: List[Dict[str, np.ndarray]] = []
+        try:
+            with np.errstate(all="ignore"):
+                for step in case.steps:
+                    per_step.append(machine.run(step).outputs)
+        except ReproError as exc:
+            mismatches.append(Mismatch(
+                kind="crash", generator=generator_name, case=case.name,
+                step=len(per_step), output="-",
+                detail=f"VM execution failed: {exc}",
+            ))
+            continue
+        outputs[case.name] = per_step
+    return outputs
+
+
+def check_program(
+    model: Model,
+    program,
+    arch: Union[str, Architecture],
+    *,
+    generator_name: str = "hcg",
+    instruction_set=None,
+    battery: Optional[Sequence[InputCase]] = None,
+    seed: int = 0,
+    steps: int = 2,
+    tracer=NULL_TRACER,
+) -> VerifyReport:
+    """Differentially verify one already-generated program."""
+    if isinstance(arch, str):
+        arch = get_architecture(arch)
+    if battery is None:
+        battery = input_battery(model, seed=seed, steps=steps)
+    tolerant = has_intensive(model)
+    report = VerifyReport(
+        model=model.name, arch=arch.name, generators=(generator_name,),
+        cases=len(battery), steps=steps,
+    )
+    with tracer.span(SPANS.VERIFY_CASE, model=model.name, arch=arch.name,
+                     generator=generator_name) as span:
+        expected = _reference_outputs(model, battery)
+        got = _program_outputs(program, arch, instruction_set, battery,
+                               generator_name, report.mismatches)
+        _compare_to_reference(expected, got, tolerant, generator_name,
+                              report.mismatches)
+        tracer.count(COUNTERS.VERIFY_CASES_RUN, len(battery))
+        if not report.ok:
+            tracer.count(COUNTERS.VERIFY_CASES_FAILED)
+        span.set(mismatches=len(report.mismatches))
+    return report
+
+
+def _compare_to_reference(expected, got, tolerant, generator_name,
+                          mismatches: List[Mismatch]) -> None:
+    for case_name, steps_expected in expected.items():
+        steps_got = got.get(case_name)
+        if steps_got is None:
+            continue  # the crash is already recorded
+        for step, outports in enumerate(steps_expected):
+            for out_name, value in outports.items():
+                detail = _compare_arrays(value, steps_got[step][out_name],
+                                         tolerant)
+                if detail is not None:
+                    mismatches.append(Mismatch(
+                        kind="reference", generator=generator_name,
+                        case=case_name, step=step, output=out_name,
+                        detail=detail,
+                    ))
+
+
+# ---------------------------------------------------------------------------
+# Whole-model verification across generators
+# ---------------------------------------------------------------------------
+
+def verify_model(
+    model: Model,
+    arch: Union[str, Architecture],
+    *,
+    generators: Sequence[str] = ("simulink_coder", "dfsynth", "hcg"),
+    instruction_set=None,
+    seed: int = 0,
+    steps: int = 2,
+    battery: Optional[Sequence[InputCase]] = None,
+    tracer=NULL_TRACER,
+    policy: str = "permissive",
+    generator_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> VerifyReport:
+    """Differentially verify a model across the named generators.
+
+    ``instruction_set`` (an ISA subset) only parameterizes HCG — the
+    baselines emit scalar code regardless.  ``policy`` defaults to
+    permissive so a mapping fault degrades to scalar code whose
+    *correctness* is then what the runner actually checks.
+    """
+    from repro.bench.runner import make_generator
+
+    if isinstance(arch, str):
+        arch = get_architecture(arch)
+    if battery is None:
+        battery = input_battery(model, seed=seed, steps=steps)
+    tolerant = has_intensive(model)
+    generator_kwargs = generator_kwargs or {}
+    report = VerifyReport(
+        model=model.name, arch=arch.name, generators=tuple(generators),
+        cases=len(battery), steps=steps,
+    )
+
+    with tracer.span(SPANS.VERIFY, model=model.name, arch=arch.name) as span:
+        expected = _reference_outputs(model, battery)
+        outputs_by_generator: Dict[str, Dict[str, List[Dict[str, np.ndarray]]]] = {}
+        for name in generators:
+            kwargs: Dict[str, Any] = {"policy": policy}
+            if name == "hcg" and instruction_set is not None:
+                kwargs["instruction_set"] = instruction_set
+            kwargs.update(generator_kwargs.get(name, {}))
+            generator = make_generator(name, arch, **kwargs)
+            with tracer.span(SPANS.VERIFY_CASE, model=model.name,
+                             arch=arch.name, generator=name) as case_span:
+                try:
+                    program = generator.generate(model)
+                except ReproError as exc:
+                    report.mismatches.append(Mismatch(
+                        kind="crash", generator=name, case="*", step=-1,
+                        output="-", detail=f"generation failed: {exc}",
+                    ))
+                    case_span.set(mismatches=1)
+                    continue
+                before = len(report.mismatches)
+                got = _program_outputs(
+                    program, arch, getattr(generator, "iset", None),
+                    battery, name, report.mismatches,
+                )
+                outputs_by_generator[name] = got
+                _compare_to_reference(expected, got, tolerant, name,
+                                      report.mismatches)
+                tracer.count(COUNTERS.VERIFY_CASES_RUN, len(battery))
+                case_span.set(mismatches=len(report.mismatches) - before)
+
+        # HCG vs each baseline, over the cases both executed.
+        if "hcg" in outputs_by_generator:
+            hcg = outputs_by_generator["hcg"]
+            for name, baseline in outputs_by_generator.items():
+                if name == "hcg":
+                    continue
+                for case_name, steps_base in baseline.items():
+                    steps_hcg = hcg.get(case_name)
+                    if steps_hcg is None:
+                        continue
+                    for step, outports in enumerate(steps_base):
+                        for out_name, value in outports.items():
+                            detail = _compare_arrays(
+                                value, steps_hcg[step][out_name], tolerant)
+                            if detail is not None:
+                                report.mismatches.append(Mismatch(
+                                    kind="baseline", generator="hcg",
+                                    case=case_name, step=step,
+                                    output=out_name,
+                                    detail=f"vs {name}: {detail}",
+                                ))
+        if not report.ok:
+            tracer.count(COUNTERS.VERIFY_CASES_FAILED)
+        span.set(generators=list(generators),
+                 mismatches=len(report.mismatches))
+    return report
+
+
+def verified_generate(generator, model: Model, *, seed: int = 0,
+                      steps: int = 2, tracer=None):
+    """Generate with ``generator`` and verify before handing the program
+    to the caller; raises :class:`VerificationError` on divergence.
+
+    This is the implementation behind every generator's
+    ``generate_verified`` method.
+    """
+    if tracer is None:
+        tracer = getattr(generator, "tracer", None) or NULL_TRACER
+    program = generator.generate(model)
+    report = check_program(
+        model, program, generator.arch,
+        generator_name=generator.name,
+        instruction_set=getattr(generator, "iset", None),
+        seed=seed, steps=steps, tracer=tracer,
+    )
+    report.raise_on_failure()
+    return program
+
+
+def replay_case(case, tracer=None) -> VerifyReport:
+    """Re-run the differential check recorded by a ReproCase."""
+    from repro.verify import faults
+    from repro.verify.fuzz import subset_instruction_set
+
+    model = case.spec.build()
+    instruction_set = None
+    if case.isa_names is not None:
+        arch = get_architecture(case.arch)
+        instruction_set = subset_instruction_set(arch.instruction_set,
+                                                 case.isa_names)
+    kwargs: Dict[str, Any] = dict(
+        generators=case.generators, instruction_set=instruction_set,
+        seed=case.seed, steps=case.steps,
+    )
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if case.faults:
+        with faults.injected(*case.faults):
+            return verify_model(model, case.arch, **kwargs)
+    return verify_model(model, case.arch, **kwargs)

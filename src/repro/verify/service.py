@@ -1,0 +1,222 @@
+"""The verification session behind ``repro verify``.
+
+One session stitches the subsystem's pieces together, in order:
+
+1. **named models** — the benchmark suite (quick scale) or the models
+   the caller picked, differentially verified on every target arch;
+2. **corpus replay** — committed repro cases under a corpus directory
+   (``tests/verify/corpus/``), replayed bit-for-bit;
+3. **fuzzing** — ``--fuzz N`` random (model, ISA subset) cases,
+   round-robin over the target archs.
+
+Any failure is minimized by the shrinker and written to the quarantine
+directory as a repro case; the session records HCG404 (quarantined) and
+HCG405 (shrink budget exhausted) diagnostics alongside the HCG401-403
+mismatch diagnostics from the runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.presets import get_architecture
+from repro.diagnostics import DiagnosticsCollector
+from repro.errors import VerificationError
+from repro.observability.metrics import COUNTERS
+from repro.observability.tracer import NULL_TRACER
+from repro.verify.case import ModelSpec, ReproCase, load_corpus
+from repro.verify.fuzz import FuzzCase, fuzz_cases, subset_instruction_set
+from repro.verify.runner import VerifyReport, verify_model
+from repro.verify.shrink import shrink_case
+
+#: the three ISA presets, mirroring repro.bench.trajectory.ISA_MATRIX_ARCHS
+#: (re-declared to keep this module importable without the bench package)
+DEFAULT_ARCHS = ("arm_a72", "intel_i7_8700_sse4", "intel_i7_8700")
+
+DEFAULT_GENERATORS = ("simulink_coder", "dfsynth", "hcg")
+
+
+@dataclasses.dataclass
+class SessionResult:
+    """Everything one ``repro verify`` run observed."""
+
+    reports: List[VerifyReport] = dataclasses.field(default_factory=list)
+    quarantined: List[Path] = dataclasses.field(default_factory=list)
+    diagnostics: DiagnosticsCollector = dataclasses.field(
+        default_factory=lambda: DiagnosticsCollector(policy="permissive")
+    )
+    fuzz_count: int = 0
+    corpus_count: int = 0
+
+    @property
+    def failures(self) -> List[VerifyReport]:
+        return [r for r in self.reports if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"verified {len(self.reports)} case(s) "
+            f"({self.corpus_count} corpus, {self.fuzz_count} fuzzed): "
+            + ("all consistent" if self.ok
+               else f"{len(self.failures)} FAILURE(S)")
+        ]
+        for report in self.failures:
+            lines.append(f"  {report.summary()}")
+            for mismatch in report.mismatches[:4]:
+                lines.append(f"    {mismatch.format()}")
+            if len(report.mismatches) > 4:
+                lines.append(
+                    f"    ... and {len(report.mismatches) - 4} more"
+                )
+        for path in self.quarantined:
+            lines.append(f"  minimized repro written to {path}")
+        return "\n".join(lines)
+
+
+def _default_models() -> Dict[str, "object"]:
+    from repro.bench.trajectory import quick_suite
+
+    return quick_suite()
+
+
+def run_session(
+    *,
+    models: Optional[Dict[str, object]] = None,
+    archs: Sequence[str] = DEFAULT_ARCHS,
+    generators: Sequence[str] = DEFAULT_GENERATORS,
+    fuzz: int = 0,
+    seed: int = 0,
+    steps: int = 2,
+    corpus: Optional[Union[str, Path]] = None,
+    quarantine: Union[str, Path] = "verify_quarantine",
+    shrink_budget: int = 120,
+    tracer=NULL_TRACER,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SessionResult:
+    """Run one full verification session (see module docstring)."""
+    say = progress or (lambda message: None)
+    result = SessionResult()
+    if models is None:
+        models = _default_models()
+
+    # 1. Named models on every target architecture.
+    for arch_name in archs:
+        for model_name, model in models.items():
+            report = verify_model(
+                model, arch_name, generators=generators, seed=seed,
+                steps=steps, tracer=tracer,
+            )
+            result.reports.append(report)
+            result.diagnostics.extend(report.to_diagnostics())
+            say(report.summary())
+
+    # 2. Corpus replay.
+    if corpus is not None:
+        for path, case in load_corpus(corpus):
+            report = case.replay(tracer=tracer)
+            result.reports.append(report)
+            result.corpus_count += 1
+            result.diagnostics.extend(report.to_diagnostics())
+            say(f"corpus {path.name}: {report.summary()}")
+            if not report.ok:
+                # A committed corpus case regressed; quarantine the
+                # failing replay as-is (it is already minimal).
+                _quarantine(case, report, None, quarantine, result)
+
+    # 3. Fuzzing, round-robin over archs, shrink-on-failure.
+    if fuzz > 0:
+        instruction_sets = {
+            name: get_architecture(name).instruction_set for name in archs
+        }
+        for fuzz_case in fuzz_cases(fuzz, seed, tuple(archs),
+                                    instruction_sets):
+            tracer.count(COUNTERS.VERIFY_MODELS_FUZZED)
+            report = _verify_fuzz_case(fuzz_case, generators, seed, steps,
+                                       tracer)
+            result.reports.append(report)
+            result.fuzz_count += 1
+            result.diagnostics.extend(report.to_diagnostics())
+            if report.ok:
+                continue
+            say(f"fuzz failure: {report.summary()}")
+            shrunk = _shrink_fuzz_case(fuzz_case, generators, seed, steps,
+                                       shrink_budget, tracer)
+            case = ReproCase(
+                spec=shrunk.spec,
+                arch=fuzz_case.arch,
+                seed=seed,
+                generators=tuple(generators),
+                isa_names=shrunk.isa_names,
+                faults=_active_faults(),
+                steps=steps,
+                mismatches=tuple(m.to_dict() for m in report.mismatches),
+                shrink=shrunk.to_dict(),
+            )
+            path = _quarantine(case, report, shrunk, quarantine, result)
+            say(f"  minimized to {shrunk.spec.actor_count} actor(s): {path}")
+    return result
+
+
+def _active_faults() -> Tuple[str, ...]:
+    from repro.verify import faults
+
+    return faults.active_faults()
+
+
+def _verify_fuzz_case(fuzz_case: FuzzCase, generators: Sequence[str],
+                      seed: int, steps: int, tracer) -> VerifyReport:
+    instruction_set = None
+    if fuzz_case.isa_names is not None:
+        base = get_architecture(fuzz_case.arch).instruction_set
+        instruction_set = subset_instruction_set(base, fuzz_case.isa_names)
+    model = fuzz_case.spec.build()
+    return verify_model(
+        model, fuzz_case.arch, generators=generators,
+        instruction_set=instruction_set, seed=seed, steps=steps,
+        tracer=tracer,
+    )
+
+
+def _shrink_fuzz_case(fuzz_case: FuzzCase, generators: Sequence[str],
+                      seed: int, steps: int, budget: int, tracer):
+    base = get_architecture(fuzz_case.arch).instruction_set
+
+    def still_fails(spec: ModelSpec,
+                    isa_names: Optional[Tuple[str, ...]]) -> bool:
+        instruction_set = None
+        if isa_names is not None:
+            instruction_set = subset_instruction_set(base, isa_names)
+        report = verify_model(
+            spec.build(), fuzz_case.arch, generators=generators,
+            instruction_set=instruction_set, seed=seed, steps=steps,
+        )
+        return not report.ok
+
+    return shrink_case(fuzz_case.spec, fuzz_case.isa_names, still_fails,
+                       budget=budget, tracer=tracer)
+
+
+def _quarantine(case: ReproCase, report: VerifyReport, shrunk,
+                quarantine: Union[str, Path], result: SessionResult) -> Path:
+    path = case.save(quarantine)
+    result.quarantined.append(path)
+    result.diagnostics.report(
+        "HCG404",
+        f"fuzz failure minimized and quarantined at {path}",
+        actor=report.model,
+        location=report.arch,
+    )
+    if shrunk is not None and shrunk.exhausted:
+        result.diagnostics.report(
+            "HCG405",
+            f"shrink budget exhausted after {shrunk.checks} checks; "
+            f"{path} may not be minimal",
+            actor=report.model,
+            location=report.arch,
+        )
+    return path

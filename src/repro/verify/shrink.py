@@ -1,0 +1,194 @@
+"""Greedy minimization of failing (model, ISA, input) triples.
+
+Given a failing :class:`~repro.verify.case.ModelSpec` (plus an optional
+ISA subset) and a ``check`` predicate that returns True while the case
+still fails, the shrinker runs three reduction passes to a fixed point:
+
+1. **drop nodes** — remove each non-inport node together with its
+   dependent closure; keep the removal if the smaller spec still fails;
+2. **narrow the signal** — try smaller widths, smallest first, so the
+   surviving case is usually one vector register (or less) wide;
+3. **drop ISA instructions** — remove instruction names one at a time
+   from the subset.
+
+Every ``check`` call costs one unit of ``budget``; when the budget runs
+out the best-so-far spec is returned with ``exhausted=True`` so the
+caller can attach the HCG405 diagnostic.  The predicate is expected to
+swallow build errors for nonsense intermediate specs (the helpers in
+:mod:`repro.verify.fuzz` always produce buildable specs, but dropping
+nodes can e.g. orphan a Switch input) — :func:`checked` wraps a raw
+predicate accordingly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.observability.metrics import COUNTERS, SPANS
+from repro.observability.tracer import NULL_TRACER
+from repro.verify.case import ModelSpec
+
+#: check(spec, isa_names) -> does the case still fail?
+CheckFn = Callable[[ModelSpec, Optional[Tuple[str, ...]]], bool]
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    """The minimized case plus bookkeeping for the repro file."""
+
+    spec: ModelSpec
+    isa_names: Optional[Tuple[str, ...]]
+    steps: int          # accepted reductions
+    checks: int         # predicate evaluations spent
+    exhausted: bool     # True when the budget ran out mid-pass
+
+    def to_dict(self) -> dict:
+        return {"steps": self.steps, "checks": self.checks,
+                "exhausted": self.exhausted}
+
+
+def checked(check: CheckFn) -> CheckFn:
+    """Wrap a predicate so structurally-invalid candidates count as
+    non-failing instead of crashing the shrink loop."""
+
+    def wrapper(spec: ModelSpec, isa_names: Optional[Tuple[str, ...]]) -> bool:
+        try:
+            return check(spec, isa_names)
+        except (ReproError, KeyError):
+            return False
+
+    return wrapper
+
+
+def _references(node: dict) -> List[str]:
+    """Every node name this node consumes."""
+    refs: List[str] = []
+    for key in ("arg", "in1", "in2"):
+        if key in node:
+            refs.append(node[key])
+    refs.extend(node.get("args", ()))
+    return refs
+
+
+def _drop_closure(spec: ModelSpec, victim: str) -> Optional[ModelSpec]:
+    """The spec without ``victim`` and everything depending on it, or
+    None when nothing computational would remain."""
+    dropped: Set[str] = {victim}
+    changed = True
+    while changed:
+        changed = False
+        for node in spec.nodes:
+            if node["name"] in dropped:
+                continue
+            if any(ref in dropped for ref in _references(node)):
+                dropped.add(node["name"])
+                changed = True
+    kept = tuple(node for node in spec.nodes if node["name"] not in dropped)
+    if not any(node["kind"] != "in" for node in kept):
+        return None
+    # Inports that nothing consumes any more are dead weight — drop them
+    # too, but always keep at least one.
+    used: Set[str] = set()
+    for node in kept:
+        used.update(_references(node))
+    pruned = [node for node in kept
+              if node["kind"] != "in" or node["name"] in used]
+    if not any(node["kind"] == "in" for node in pruned):
+        first_in = next(node for node in kept if node["kind"] == "in")
+        pruned.insert(0, first_in)
+    return dataclasses.replace(spec, nodes=tuple(pruned))
+
+
+def _with_width(spec: ModelSpec, width: int) -> ModelSpec:
+    """The spec rebuilt at a different signal width (consts re-sized)."""
+    nodes = []
+    for node in spec.nodes:
+        if node["kind"] == "const":
+            values = list(node["values"])
+            cycled = [values[i % len(values)] for i in range(width)]
+            node = {**node, "values": cycled}
+        nodes.append(node)
+    return dataclasses.replace(spec, width=width, nodes=tuple(nodes))
+
+
+def _candidate_widths(width: int) -> List[int]:
+    """Smaller widths to try, smallest first."""
+    candidates = {1, 2, 3}
+    candidates.update({width // 8, width // 4, width // 2,
+                       width - 2, width - 1})
+    return sorted(w for w in candidates if 1 <= w < width)
+
+
+def shrink_case(
+    spec: ModelSpec,
+    isa_names: Optional[Sequence[str]],
+    check: CheckFn,
+    *,
+    budget: int = 200,
+    tracer=NULL_TRACER,
+) -> ShrinkResult:
+    """Minimize a failing case under a check budget.
+
+    ``check`` must already return True for ``(spec, isa_names)``; the
+    caller usually passes :func:`checked`-wrapped replay of the
+    differential runner.
+    """
+    check = checked(check)
+    current = spec
+    isa: Optional[Tuple[str, ...]] = (
+        None if isa_names is None else tuple(isa_names)
+    )
+    steps = 0
+    checks = 0
+    exhausted = False
+
+    def spend(candidate_spec: ModelSpec,
+              candidate_isa: Optional[Tuple[str, ...]]) -> bool:
+        nonlocal checks, exhausted
+        if checks >= budget:
+            exhausted = True
+            return False
+        checks += 1
+        still_failing = check(candidate_spec, candidate_isa)
+        if still_failing:
+            tracer.count(COUNTERS.VERIFY_SHRINK_STEPS)
+        return still_failing
+
+    with tracer.span(SPANS.VERIFY_SHRINK, model=spec.name) as span:
+        progress = True
+        while progress and not exhausted:
+            progress = False
+            # Pass 1: drop nodes, most recently added first (later nodes
+            # usually depend on earlier ones, so this removes leaves).
+            for node in reversed(list(current.nodes)):
+                if node["kind"] == "in":
+                    continue
+                candidate = _drop_closure(current, node["name"])
+                if candidate is None or candidate == current:
+                    continue
+                if spend(candidate, isa):
+                    current = candidate
+                    steps += 1
+                    progress = True
+            # Pass 2: narrow the signal width.
+            for width in _candidate_widths(current.width):
+                candidate = _with_width(current, width)
+                if spend(candidate, isa):
+                    current = candidate
+                    steps += 1
+                    progress = True
+                    break
+            # Pass 3: drop ISA instructions one at a time.
+            if isa is not None and len(isa) > 1:
+                for name in list(isa):
+                    candidate_isa = tuple(n for n in isa if n != name)
+                    if spend(current, candidate_isa):
+                        isa = candidate_isa
+                        steps += 1
+                        progress = True
+        span.set(steps=steps, checks=checks, exhausted=exhausted,
+                 final_nodes=len(current.nodes), final_width=current.width)
+    return ShrinkResult(spec=current, isa_names=isa, steps=steps,
+                        checks=checks, exhausted=exhausted)

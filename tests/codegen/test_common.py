@@ -150,3 +150,47 @@ class TestMaterializationPoints:
         ctx = CodegenContext(_chain_model(), "p", "test")
         points = fanout_materialization_points(ctx)
         assert ("a", "out") not in points and ("n", "out") not in points
+
+
+class TestDelayChainStateOrder:
+    """Fuzzer-found miscompile (tests/verify/corpus/
+    repro_arm_a72_fuzz_s0_i75.json): when one UnitDelay feeds another,
+    the end-of-step commits must read *pre-update* state — committing
+    in schedule order leaked the upstream delay's fresh value into the
+    downstream state in the same step."""
+
+    def chain_model(self):
+        b = ModelBuilder("chain", default_dtype=DataType.I32)
+        c = b.const("c", value=[9])
+        d0 = b.add_actor("UnitDelay", "d0", c, initial=0)
+        d1 = b.add_actor("UnitDelay", "d1", d0, initial=0)
+        b.outport("y", d1)
+        return b.build()
+
+    @pytest.mark.parametrize("generator", ["simulink_coder", "dfsynth", "hcg"])
+    def test_back_to_back_delays_shift_not_teleport(self, generator):
+        from repro.arch.presets import get_architecture
+        from repro.bench.runner import make_generator
+        from repro.vm.machine import Machine
+
+        gen = make_generator(generator, get_architecture("arm_a72"))
+        program = gen.generate(self.chain_model())
+        machine = Machine(program, get_architecture("arm_a72"),
+                          instruction_set=getattr(gen, "iset", None))
+        # a 2-deep delay line delays the constant by two full steps
+        seen = [int(machine.run({}).outputs["y"][0]) for _ in range(3)]
+        assert seen == [0, 0, 9]
+
+    def test_snapshot_only_emitted_for_delay_chains(self):
+        from repro.codegen.common import emit_state_updates
+
+        b = ModelBuilder("solo", default_dtype=DataType.I32)
+        x = b.inport("x", shape=4)
+        b.outport("y", b.add_actor("UnitDelay", "d", x, initial=0))
+        ctx = CodegenContext(b.build(), "p", "test")
+        before = len(ctx.program.buffers)
+        statements = emit_state_updates(ctx)
+        # an independent delay keeps the old single-copy shape: no
+        # scratch buffer, no snapshot copy
+        assert len(ctx.program.buffers) == before
+        assert len(statements) == 1

@@ -1,0 +1,214 @@
+"""The ``.si`` linter: one test per stable finding code."""
+
+import pytest
+
+from repro.isa.lint import (LintFinding, default_isa_paths, lint_file,
+                            lint_paths, lint_text)
+
+HEADER = "arch: neon\nvector_bits: 128\n"
+
+CLEAN = HEADER + (
+    "Ins: vaddq_s32 ; Graph: Add,i32,4,I1,I2,O1 ; "
+    "Code: O1 = vaddq_s32(I1, I2) ; Cost: 1\n"
+)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestCleanInput:
+    def test_clean_record_has_no_findings(self):
+        assert lint_text(CLEAN) == []
+
+    def test_packaged_instruction_sets_are_clean(self):
+        paths = default_isa_paths()
+        assert len(paths) == 3
+        assert lint_paths() == []
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        assert lint_text(CLEAN + "\n# trailing comment\n") == []
+
+
+class TestIsa100Parse:
+    def test_empty_document(self):
+        findings = lint_text(HEADER)
+        assert codes(findings) == ["ISA100"]
+        assert "no records" in findings[0].message
+
+    def test_record_before_headers(self):
+        text = "Ins: x ; Graph: Add,i32,4,I1,I2,O1 ; Code: O1 = x(I1, I2)\n"
+        findings = lint_text(text)
+        assert "ISA100" in codes(findings)
+        assert any("must precede" in f.message for f in findings)
+
+    def test_missing_graph_field(self):
+        findings = lint_text(HEADER + "Ins: x ; Code: O1 = x(I1)\n")
+        assert codes(findings) == ["ISA100"]
+        assert "graph" in findings[0].message
+
+    def test_repeated_field_rejected(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Ins: y ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: O1 = x(I1, I2)\n")
+        assert codes(findings) == ["ISA100"]
+
+    def test_garbage_pattern(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: what,even ; Code: O1 = x(I1)\n")
+        assert codes(findings) == ["ISA100"]
+
+    def test_bad_vector_bits_header(self):
+        findings = lint_text("arch: neon\nvector_bits: wide\n" + CLEAN[len(HEADER):])
+        assert "ISA100" in codes(findings)
+
+    def test_bad_cost_value(self):
+        findings = lint_text(
+            HEADER + "Ins: vaddq_s32 ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: O1 = vaddq_s32(I1, I2) ; Cost: cheap\n")
+        assert codes(findings) == ["ISA100"]
+
+    def test_unreadable_file(self, tmp_path):
+        findings = lint_file(tmp_path / "missing.si")
+        assert codes(findings) == ["ISA100"]
+        assert "cannot read" in findings[0].message
+
+    def test_name_derived_from_code_when_ins_missing(self):
+        text = HEADER + ("Graph: Add,i32,4,I1,I2,O1 ; "
+                         "Code: O1 = vaddq_s32(I1, I2)\n")
+        assert lint_text(text) == []
+
+
+class TestIsa101DuplicateName:
+    def test_same_name_twice(self):
+        text = CLEAN + (
+            "Ins: vaddq_s32 ; Graph: Sub,i32,4,I1,I2,O1 ; "
+            "Code: O1 = vaddq_s32(I1, I2)\n")
+        findings = lint_text(text)
+        assert codes(findings) == ["ISA101"]
+        assert "line 3" in findings[0].message
+
+
+class TestIsa102DuplicatePattern:
+    def test_structurally_identical_graphs(self):
+        text = CLEAN + (
+            "Ins: vaddq_s32_alt ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: O1 = vaddq_s32_alt(I1, I2)\n")
+        findings = lint_text(text)
+        assert codes(findings) == ["ISA102"]
+        assert "vaddq_s32" in findings[0].message
+
+    def test_different_lanes_are_distinct(self):
+        text = CLEAN + (
+            "Ins: vadd_s32 ; Graph: Add,i32,2,I1,I2,O1 ; "
+            "Code: O1 = vadd_s32(I1, I2)\n")
+        # 2-lane variant fails the 128-bit width check but is NOT a dup
+        assert "ISA102" not in codes(lint_text(text))
+
+
+class TestIsa103UnknownOp:
+    def test_unknown_op_is_reported_with_suggestions(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: Frobnicate,i32,4,I1,I2,O1 ; "
+            "Code: O1 = x(I1, I2)\n")
+        assert codes(findings) == ["ISA103"]
+        assert "Frobnicate" in findings[0].message
+
+
+class TestIsa104OperandMismatch:
+    def test_wrong_arity(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: Abs,i32,4,I1,I2,O1 ; "
+            "Code: O1 = x(I1, I2)\n")
+        assert "ISA104" in codes(findings)
+        assert any("1 value operand" in f.message for f in findings)
+
+    def test_template_missing_o1(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: tmp = x(I1, I2)\n")
+        assert "ISA104" in codes(findings)
+        assert any("never assigns O1" in f.message for f in findings)
+
+    def test_template_references_unknown_input(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: Abs,i32,4,I1,O1 ; "
+            "Code: O1 = x(I1, I9)\n")
+        assert "ISA104" in codes(findings)
+        assert any("I9" in f.message for f in findings)
+
+    def test_template_drops_a_pattern_input(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: O1 = x(I1, I1)\n")
+        assert "ISA104" in codes(findings)
+        assert any("I2 never appears" in f.message for f in findings)
+
+    def test_imm_wildcard_must_reach_template(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: Shl,i32,4,I1,#imm,O1 ; "
+            "Code: O1 = x(I1, 3)\n")
+        assert "ISA104" in codes(findings)
+
+    def test_template_using_internal_temporary(self):
+        text = HEADER + (
+            "Ins: x ; Graph: Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1 ; "
+            "Code: O1 = x(I1, I2, I3, T1)\n")
+        findings = lint_text(text)
+        assert "ISA104" in codes(findings)
+        assert any("temporary T1" in f.message for f in findings)
+
+    def test_multi_node_pattern_clean(self):
+        text = HEADER + (
+            "Ins: vmlaq_s32 ; Graph: Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1 ; "
+            "Code: O1 = vmlaq_s32(I3, I1, I2) ; Cost: 2\n")
+        assert lint_text(text) == []
+
+
+class TestIsa105DtypeAndWidth:
+    def test_unsupported_dtype_for_op(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: BitAnd,f32,4,I1,I2,O1 ; "
+            "Code: O1 = x(I1, I2)\n")
+        assert "ISA105" in codes(findings)
+        assert any("does not support" in f.message for f in findings)
+
+    def test_pattern_width_must_fill_register(self):
+        findings = lint_text(
+            HEADER + "Ins: x ; Graph: Add,i32,2,I1,I2,O1 ; "
+            "Code: O1 = x(I1, I2)\n")
+        assert "ISA105" in codes(findings)
+        assert any("64-bit" in f.message for f in findings)
+
+
+class TestIsa106Cost:
+    @pytest.mark.parametrize("cost", ["0", "-1", "-0.5"])
+    def test_non_positive_cost(self, cost):
+        findings = lint_text(
+            HEADER + "Ins: vaddq_s32 ; Graph: Add,i32,4,I1,I2,O1 ; "
+            f"Code: O1 = vaddq_s32(I1, I2) ; Cost: {cost}\n")
+        assert codes(findings) == ["ISA106"]
+
+
+class TestReporting:
+    def test_format_is_stable(self):
+        finding = LintFinding(code="ISA103", source="x.si", line=7,
+                              instruction="vfoo", message="unknown op")
+        assert finding.format() == "x.si:7: ISA103 [vfoo]: unknown op"
+
+    def test_findings_accumulate_across_records(self):
+        text = HEADER + (
+            "Ins: a ; Graph: Frob,i32,4,I1,O1 ; Code: O1 = a(I1)\n"
+            "Ins: b ; Graph: Add,i32,4,I1,I2,O1 ; Code: tmp = b(I1, I2)\n")
+        found = codes(lint_text(text))
+        assert "ISA103" in found and "ISA104" in found
+
+    def test_lint_paths_accepts_explicit_files(self, tmp_path):
+        good = tmp_path / "good.si"
+        good.write_text(CLEAN)
+        bad = tmp_path / "bad.si"
+        bad.write_text(HEADER + "Ins: x ; Graph: Frob,i32,4,I1,O1 ; "
+                       "Code: O1 = x(I1)\n")
+        findings = lint_paths([good, bad])
+        assert codes(findings) == ["ISA103"]
+        assert findings[0].source == str(bad)

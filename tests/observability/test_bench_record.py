@@ -87,6 +87,57 @@ class TestBenchRecord:
         validate_bench_record(record)
 
 
+class TestStrictJsonFiniteness:
+    """A baseline file with a ``NaN``/``Infinity`` literal is unreadable
+    by strict JSON parsers; the validator rejects it before any write."""
+
+    def record(self):
+        from repro.bench.trajectory import isa_of_archs
+
+        return build_bench_record(
+            tiny_matrix(), isa_of_archs(("arm_a72",)), "gcc", steps=1, quick=True
+        )
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_timing_rejected(self, bad):
+        record = self.record()
+        record["results"][0]["vm_seconds"] = bad
+        with pytest.raises(ValueError, match="finite"):
+            validate_bench_record(record)
+
+    def test_non_finite_nested_in_metrics_rejected(self):
+        record = self.record()
+        record["results"][0]["metrics"]["history.hit_rate"] = float("nan")
+        with pytest.raises(ValueError, match=r"metrics\.history\.hit_rate"):
+            validate_bench_record(record)
+
+    def test_non_finite_summary_rejected(self):
+        record = self.record()
+        record["summary"]["hcg_vs_simulink_pct"]["min"] = float("inf")
+        with pytest.raises(ValueError, match="summary"):
+            validate_bench_record(record)
+
+    def test_non_json_metric_value_rejected(self):
+        record = self.record()
+        record["results"][0]["metrics"]["bad"] = {1, 2}
+        with pytest.raises(ValueError, match="JSON value"):
+            validate_bench_record(record)
+
+    def test_write_refuses_nan_leaving_no_file(self, tmp_path):
+        record = self.record()
+        record["summary"]["nan"] = float("nan")
+        target = tmp_path / "BENCH_codegen.json"
+        with pytest.raises(ValueError):
+            write_bench_record(record, target)
+        assert not target.exists()
+
+    def test_serializer_backstop_forbids_nan(self, tmp_path):
+        # Even if validation were bypassed, json.dumps(allow_nan=False)
+        # must refuse to emit the invalid literal.
+        with pytest.raises(ValueError):
+            json.dumps({"x": float("nan")}, allow_nan=False)
+
+
 class TestBenchCli:
     def test_quick_on_model_file_writes_schema_valid_json(self, tmp_path, capsys):
         # Tier-1 smoke: `repro bench --quick` on fir.xml produces

@@ -1,0 +1,116 @@
+"""Concurrency safety of the file-backed selection history.
+
+Two tool invocations sharing one ``--history`` file must not clobber
+each other's pre-calculated decisions: saves merge under an advisory
+``flock`` on a ``<name>.lock`` sidecar, drops stay dropped, and lock
+contention degrades to unlocked last-writer-wins with HCG304 instead
+of blocking generation.
+"""
+
+import fcntl
+import json
+import os
+
+from repro.codegen.hcg.history import LOCK_TIMEOUT, SelectionHistory, SelectionKey
+from repro.dtypes import DataType
+
+
+def key(name):
+    return SelectionKey(name, DataType.F32, (("n", 64),))
+
+
+def entries_on_disk(path):
+    return json.loads(path.read_text())["entries"]
+
+
+class TestSaveMerge:
+    def test_two_writers_both_keep_their_entries(self, tmp_path):
+        path = tmp_path / "history.json"
+        a = SelectionHistory(path)
+        b = SelectionHistory(path)
+        a.store(key("fir"), "fir_neon_v1")
+        b.store(key("fft"), "fft_neon_v1")
+        # b's save merged a's entry from disk instead of clobbering it
+        assert len(entries_on_disk(path)) == 2
+        fresh = SelectionHistory(path)
+        assert fresh.lookup(key("fir")) == "fir_neon_v1"
+        assert fresh.lookup(key("fft")) == "fft_neon_v1"
+
+    def test_in_memory_entry_wins_on_conflict(self, tmp_path):
+        path = tmp_path / "history.json"
+        a = SelectionHistory(path)
+        b = SelectionHistory(path)
+        a.store(key("fir"), "fir_old")
+        b.store(key("fir"), "fir_new")
+        assert entries_on_disk(path)[key("fir").to_str()] == "fir_new"
+
+    def test_drop_is_not_resurrected_by_merge(self, tmp_path):
+        path = tmp_path / "history.json"
+        a = SelectionHistory(path)
+        a.store(key("fir"), "fir_neon_v1")
+        a.store(key("fft"), "fft_neon_v1")
+        b = SelectionHistory(path)  # sees both entries
+        b.drop(key("fir"))
+        # b's save must NOT re-adopt the dropped key from disk
+        assert list(entries_on_disk(path)) == [key("fft").to_str()]
+
+    def test_prune_stale_survives_merge(self, tmp_path):
+        path = tmp_path / "history.json"
+        a = SelectionHistory(path)
+        a.store(key("fir"), "fir_neon_v1")
+        a.store(key("fft"), "fft_neon_v1")
+        b = SelectionHistory(path)
+        stale = b.prune_stale({"fft_neon_v1"})
+        assert stale == (key("fir"),)
+        assert list(entries_on_disk(path)) == [key("fft").to_str()]
+
+    def test_restore_after_drop_persists(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = SelectionHistory(path)
+        history.store(key("fir"), "v1")
+        history.drop(key("fir"))
+        history.store(key("fir"), "v2")
+        assert entries_on_disk(path)[key("fir").to_str()] == "v2"
+
+
+class TestLockContention:
+    def hold_lock(self, path):
+        """Grab the sidecar lock the way a concurrent process would."""
+        lock_path = path.with_name(path.name + ".lock")
+        fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        return fd
+
+    def test_contended_save_degrades_with_hcg304(self, tmp_path):
+        path = tmp_path / "history.json"
+        fd = self.hold_lock(path)
+        try:
+            history = SelectionHistory(lock_timeout=0.05)
+            history.store(key("fir"), "fir_neon_v1")
+            history.save(path)
+            codes = [d.code for d in history.diagnostics]
+            assert "HCG304" in codes
+            assert any("contention" in d.message for d in history.diagnostics)
+            # the write still happened, unlocked
+            assert key("fir").to_str() in entries_on_disk(path)
+        finally:
+            os.close(fd)
+
+    def test_uncontended_save_reports_nothing(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = SelectionHistory(path, lock_timeout=0.05)
+        history.store(key("fir"), "fir_neon_v1")
+        assert len(history.diagnostics) == 0
+
+    def test_lock_released_after_save(self, tmp_path):
+        path = tmp_path / "history.json"
+        SelectionHistory(path).store(key("fir"), "v1")
+        # if the save leaked its lock, this non-blocking grab would fail
+        fd = os.open(str(path) + ".lock", os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        finally:
+            os.close(fd)
+
+    def test_default_timeout_is_generous(self):
+        assert SelectionHistory().lock_timeout == LOCK_TIMEOUT == 5.0

@@ -39,7 +39,11 @@ class TestAtomicSave:
             history.store(
                 SelectionKey("fft", DataType.F32, (("n", index + 2),)), "fft.mixed"
             )
-        assert sorted(p.name for p in tmp_path.iterdir()) == ["history.json"]
+        # Only the payload and the advisory-lock sidecar may remain; a
+        # leftover .tmp would mean a non-atomic save.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "history.json", "history.json.lock",
+        ]
 
     def test_unwritable_destination_is_a_diagnostic_not_a_crash(self, tmp_path):
         history = SelectionHistory()

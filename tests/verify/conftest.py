@@ -1,0 +1,13 @@
+"""Shared fixtures for the translation-validation suite."""
+
+import pytest
+
+from repro.verify import faults
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    """Fault injection is process-global; never leak across tests."""
+    faults.clear()
+    yield
+    faults.clear()

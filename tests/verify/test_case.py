@@ -1,0 +1,138 @@
+"""ModelSpec building / serialisation and the ReproCase format."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.model.actor_defs import ActorKind
+from repro.verify.case import (
+    CASE_SCHEMA_VERSION,
+    ModelSpec,
+    ReproCase,
+    load_case,
+    load_corpus,
+)
+
+SPEC = ModelSpec(
+    name="demo", dtype="f32", width=6,
+    nodes=(
+        {"kind": "in", "name": "in0"},
+        {"kind": "const", "name": "c0", "values": [1, 2, 3, 4, 5, 6]},
+        {"kind": "op", "name": "n0", "op": "Mul", "args": ["in0", "c0"]},
+        {"kind": "gain", "name": "n1", "arg": "n0", "gain": 2.5},
+    ),
+)
+
+
+class TestModelSpec:
+    def test_round_trips_through_json(self):
+        clone = ModelSpec.from_dict(json.loads(json.dumps(SPEC.to_dict())))
+        assert clone == SPEC
+
+    def test_builds_a_validated_model(self):
+        model = SPEC.build()
+        assert model.name == "demo"
+        assert {a.name for a in model.inports} == {"in0"}
+        # the unconsumed tail node is observed through an outport
+        assert [a.name for a in model.outports] == ["y_n1"]
+
+    def test_build_is_deterministic(self):
+        a, b = SPEC.build(), SPEC.build()
+        assert [x.name for x in a.actors] == [x.name for x in b.actors]
+
+    def test_switch_gets_auto_ctrl_inport(self):
+        spec = ModelSpec(
+            name="sw", dtype="i16", width=4,
+            nodes=(
+                {"kind": "in", "name": "in0"},
+                {"kind": "in", "name": "in1"},
+                {"kind": "switch", "name": "s0", "in1": "in0",
+                 "in2": "in1", "threshold": 0},
+            ),
+        )
+        model = spec.build()
+        assert "s0_ctrl" in {a.name for a in model.inports}
+
+    def test_delay_allows_feedback(self):
+        # The delay node is declared before its consumer: its input edge
+        # is wired in a deferred pass, which is what permits the cycle.
+        spec = ModelSpec(
+            name="fb", dtype="i32", width=4,
+            nodes=(
+                {"kind": "in", "name": "in0"},
+                {"kind": "delay", "name": "d0", "arg": "n0", "initial": 0},
+                {"kind": "op", "name": "n0", "op": "Add",
+                 "args": ["in0", "d0"]},
+            ),
+        )
+        model = spec.build()
+        assert "d0" in {a.name for a in model.actors}
+
+    def test_intensive_node_builds(self):
+        spec = ModelSpec(
+            name="k", dtype="f32", width=8,
+            nodes=(
+                {"kind": "in", "name": "in0"},
+                {"kind": "intensive", "name": "k0", "op": "DCT",
+                 "arg": "in0"},
+            ),
+        )
+        model = spec.build()
+        assert model.actors_of_kind(ActorKind.INTENSIVE)
+
+    def test_unknown_kind_raises(self):
+        spec = ModelSpec(name="bad", dtype="f32", width=2,
+                         nodes=({"kind": "nope", "name": "x"},))
+        with pytest.raises(ReproError, match="unknown node kind"):
+            spec.build()
+
+    def test_actor_count_includes_auto_actors(self):
+        assert SPEC.actor_count == len(SPEC.build().actors)
+
+
+class TestReproCase:
+    def test_save_load_round_trip(self, tmp_path):
+        case = ReproCase(spec=SPEC, arch="arm_a72", seed=3,
+                        generators=("hcg",), isa_names=("vaddq_f32",),
+                        faults=("skip_remainder",), steps=2,
+                        mismatches=({"kind": "reference"},),
+                        shrink={"steps": 1, "checks": 5, "exhausted": False})
+        path = case.save(tmp_path)
+        assert path.name == "repro_arm_a72_demo.json"
+        loaded = load_case(path)
+        assert loaded == case
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = ReproCase(spec=SPEC, arch="arm_a72", seed=0).to_dict()
+        payload["schema"] = CASE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="schema"):
+            load_case(path)
+
+    def test_corrupt_file_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="cannot read"):
+            load_case(path)
+
+    def test_load_corpus_sorted_and_missing_dir_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "missing") == []
+        ReproCase(spec=SPEC, arch="arm_a72", seed=0).save(tmp_path)
+        other = ModelSpec.from_dict({**SPEC.to_dict(), "name": "a_first"})
+        ReproCase(spec=other, arch="arm_a72", seed=0).save(tmp_path)
+        names = [p.name for p, _ in load_corpus(tmp_path)]
+        assert names == sorted(names) and len(names) == 2
+
+
+class TestCommittedCorpus:
+    def test_committed_corpus_parses(self):
+        from pathlib import Path
+
+        corpus = Path(__file__).parent / "corpus"
+        cases = load_corpus(corpus)
+        assert len(cases) >= 30
+        for _, case in cases:
+            case.spec.build()  # every committed spec must stay buildable
+            assert not case.faults  # the seed corpus is fault-free

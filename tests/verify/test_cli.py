@@ -1,0 +1,73 @@
+"""The ``repro verify`` and ``repro isa lint`` command-line surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_single_model_ok(self, capsys):
+        rc = main(["verify", "--model", "FIR", "--arch", "arm_a72"])
+        assert rc == 0
+        assert "all consistent" in capsys.readouterr().out
+
+    def test_fuzz_and_corpus_ok(self, capsys, tmp_path):
+        rc = main(["verify", "--model", "FIR", "--arch", "arm_a72",
+                   "--fuzz", "6", "--seed", "0",
+                   "--corpus", "tests/verify/corpus",
+                   "--quarantine", str(tmp_path / "q")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "6 fuzzed" in out
+
+    def test_injected_fault_fails_and_quarantines(self, capsys, tmp_path):
+        quarantine = tmp_path / "q"
+        rc = main(["verify", "--model", "FIR", "--arch", "arm_a72",
+                   "--fuzz", "8", "--seed", "0",
+                   "--quarantine", str(quarantine),
+                   "--inject-fault", "skip_remainder"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAILURE" in captured.out
+        repros = list(quarantine.glob("repro_*.json"))
+        assert repros
+        payload = json.loads(repros[0].read_text())
+        assert payload["faults"] == ["skip_remainder"]
+        # the CLI clears injected faults on the way out
+        from repro.verify import faults
+
+        assert faults.active_faults() == ()
+
+    def test_unknown_fault_name_is_an_error(self, capsys):
+        rc = main(["verify", "--inject-fault", "nope"])
+        assert rc == 1
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_verbose_prints_per_case_lines(self, capsys):
+        rc = main(["verify", "--model", "FIR", "--arch", "arm_a72", "-v"])
+        assert rc == 0
+        assert "FIR @ arm_a72" in capsys.readouterr().err
+
+
+class TestIsaLintCommand:
+    def test_packaged_sets_are_clean(self, capsys):
+        rc = main(["isa", "lint"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_file_reports_findings_and_fails(self, capsys, tmp_path):
+        bad = tmp_path / "bad.si"
+        bad.write_text(
+            "arch: neon\nvector_bits: 128\n"
+            "Ins: x ; Graph: Frob,i32,4,I1,I2,O1 ; Code: O1 = f(I1, I2)\n"
+        )
+        rc = main(["isa", "lint", str(bad)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "ISA103" in captured.out
+
+    def test_paths_without_lint_rejected(self, capsys):
+        rc = main(["isa", "neon", "extra.si"])
+        assert rc == 2

@@ -1,0 +1,82 @@
+"""The model/ISA fuzzer: determinism, validity, schedule coverage."""
+
+import pytest
+
+from repro.arch.presets import get_architecture
+from repro.errors import ReproError
+from repro.verify.fuzz import (
+    fuzz_cases,
+    random_isa_names,
+    random_spec,
+    subset_instruction_set,
+)
+
+ARCHS = ("arm_a72", "intel_i7_8700_sse4", "intel_i7_8700")
+
+
+def isets():
+    return {name: get_architecture(name).instruction_set for name in ARCHS}
+
+
+class TestRandomSpec:
+    def test_deterministic_in_seed_and_index(self):
+        assert random_spec(5, 9) == random_spec(5, 9)
+        assert random_spec(5, 9) != random_spec(5, 10)
+
+    def test_every_spec_builds_a_valid_model(self):
+        for index in range(60):
+            model = random_spec(0, index).build()
+            assert model.outports  # something is always observable
+
+    def test_width_spans_all_residues(self):
+        lanes = 4
+        widths = {random_spec(1, i, lanes=lanes).width % lanes
+                  for i in range(80)}
+        assert widths == set(range(lanes))
+
+    def test_allow_intensive_false_never_emits_kernels(self):
+        for index in range(60):
+            spec = random_spec(2, index, allow_intensive=False)
+            assert all(n["kind"] != "intensive" for n in spec.nodes)
+
+
+class TestIsaSubsets:
+    def test_subset_keeps_only_named_instructions(self):
+        base = isets()["arm_a72"]
+        names = [s.name for s in base.instructions[:3]]
+        subset = subset_instruction_set(base, names)
+        assert sorted(s.name for s in subset.instructions) == sorted(names)
+        assert subset.vector_bits == base.vector_bits
+
+    def test_unknown_name_rejected(self):
+        base = isets()["arm_a72"]
+        with pytest.raises(ReproError, match="no instruction"):
+            subset_instruction_set(base, ["nope"])
+
+    def test_empty_subset_rejected(self):
+        base = isets()["arm_a72"]
+        with pytest.raises(ReproError, match="at least one"):
+            subset_instruction_set(base, [])
+
+    def test_random_names_deterministic_and_never_empty(self):
+        base = isets()["arm_a72"]
+        for index in range(40):
+            names = random_isa_names(3, index, base)
+            assert names == random_isa_names(3, index, base)
+            assert names
+            subset_instruction_set(base, names)  # always constructible
+            # a non-empty subset keeps the set's derived properties usable
+            assert subset_instruction_set(base, names).max_node_count >= 1
+
+
+class TestFuzzSchedule:
+    def test_round_robin_and_alternating_isa(self):
+        cases = fuzz_cases(9, 0, ARCHS, isets())
+        assert [c.arch for c in cases[:3]] == list(ARCHS)
+        assert all(c.isa_names is None for c in cases[::2])
+        assert all(c.isa_names is not None for c in cases[1::2])
+
+    def test_schedule_is_deterministic(self):
+        a = fuzz_cases(6, 4, ARCHS, isets())
+        b = fuzz_cases(6, 4, ARCHS, isets())
+        assert a == b

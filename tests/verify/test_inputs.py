@@ -1,0 +1,131 @@
+"""The adversarial input battery: coverage, determinism, dtype safety."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DataType
+from repro.verify.case import ModelSpec
+from repro.verify.fuzz import residue_sweep_specs
+from repro.verify.inputs import has_intensive, input_battery
+
+
+def elementwise_model(dtype="f32", width=11):
+    return ModelSpec(
+        name="m", dtype=dtype, width=width,
+        nodes=(
+            {"kind": "in", "name": "in0"},
+            {"kind": "in", "name": "in1"},
+            {"kind": "op", "name": "n0", "op": "Add", "args": ["in0", "in1"]},
+        ),
+    ).build()
+
+
+def switch_model(dtype="i16", width=6):
+    return ModelSpec(
+        name="sw", dtype=dtype, width=width,
+        nodes=(
+            {"kind": "in", "name": "in0"},
+            {"kind": "in", "name": "in1"},
+            {"kind": "switch", "name": "s0", "in1": "in0", "in2": "in1",
+             "threshold": 1},
+        ),
+    ).build()
+
+
+def intensive_model():
+    return ModelSpec(
+        name="fftm", dtype="f32", width=8,
+        nodes=(
+            {"kind": "in", "name": "in0"},
+            {"kind": "intensive", "name": "k0", "op": "FFT", "arg": "in0"},
+        ),
+    ).build()
+
+
+class TestBatteryComposition:
+    def test_float_model_gets_all_adversarial_cases(self):
+        names = [c.name for c in input_battery(elementwise_model())]
+        assert names == ["zeros", "ones", "random", "random_wide",
+                         "boundary", "special"]
+
+    def test_integer_model_has_no_special_case(self):
+        names = [c.name for c in input_battery(elementwise_model("i32"))]
+        assert "special" not in names
+        assert "boundary" in names
+
+    def test_intensive_model_only_moderate_cases(self):
+        model = intensive_model()
+        assert has_intensive(model)
+        names = [c.name for c in input_battery(model)]
+        assert names == ["zeros", "ones", "random"]
+
+    def test_switch_ctrl_cases_present(self):
+        names = [c.name for c in input_battery(switch_model())]
+        assert "ctrl_low" in names and "ctrl_high" in names
+
+    def test_every_case_covers_every_inport_and_step(self):
+        model = switch_model()
+        inports = {a.name for a in model.inports}
+        for case in input_battery(model, steps=3):
+            assert len(case.steps) == 3
+            for step in case.steps:
+                assert set(step) == inports
+
+
+class TestBatteryValues:
+    def test_deterministic_in_seed(self):
+        model = elementwise_model()
+        a = input_battery(model, seed=7)
+        b = input_battery(model, seed=7)
+        for case_a, case_b in zip(a, b):
+            for step_a, step_b in zip(case_a.steps, case_b.steps):
+                for name in step_a:
+                    np.testing.assert_array_equal(step_a[name], step_b[name])
+
+    def test_values_match_inport_dtype_and_shape(self):
+        model = switch_model("u8")
+        for case in input_battery(model):
+            for step in case.steps:
+                for actor in model.inports:
+                    port = actor.output("out")
+                    value = step[actor.name]
+                    assert value.dtype == port.dtype.numpy_dtype
+                    assert value.shape == tuple(port.shape or ())
+
+    def test_special_case_contains_nan_and_inf(self):
+        model = elementwise_model("f64", width=16)
+        special = next(c for c in input_battery(model) if c.name == "special")
+        values = special.steps[0]["in0"]
+        assert np.isnan(values).any()
+        assert np.isinf(values).any()
+
+    def test_boundary_case_hits_integer_extremes(self):
+        model = elementwise_model("i8", width=16)
+        boundary = next(c for c in input_battery(model) if c.name == "boundary")
+        values = boundary.steps[0]["in0"]
+        assert values.min() == np.iinfo(np.int8).min
+        assert values.max() == np.iinfo(np.int8).max
+
+    @pytest.mark.parametrize("dtype", ["i8", "u8", "i16", "u16", "i32",
+                                       "u32", "i64", "u64"])
+    def test_wide_random_never_overflows_construction(self, dtype):
+        # uint64/int64 extremes crash naive rng.integers usage; the
+        # battery must construct values for every dtype without raising.
+        model = switch_model(dtype)
+        for case in input_battery(model):
+            for step in case.steps:
+                for value in step.values():
+                    assert np.asarray(value).dtype == DataType.from_name(
+                        dtype).numpy_dtype
+
+
+class TestResidueCoverage:
+    def test_sweep_covers_every_residue(self):
+        specs = residue_sweep_specs(128)
+        residues = {}
+        for spec in specs:
+            dtype = DataType.from_name(spec.dtype)
+            lanes = 128 // dtype.bit_width
+            residues.setdefault(spec.dtype, set()).add(spec.width % lanes)
+        assert residues["f32"] == set(range(4))
+        assert residues["i16"] == set(range(8))

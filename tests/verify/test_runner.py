@@ -1,0 +1,168 @@
+"""The differential runner: comparisons, crash handling, verified-generate."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import get_architecture
+from repro.bench.runner import make_generator
+from repro.errors import VerificationError
+from repro.observability.tracer import Tracer
+from repro.verify import faults
+from repro.verify.case import ModelSpec
+from repro.verify.fuzz import residue_sweep_specs, subset_instruction_set
+from repro.verify.runner import (
+    Mismatch,
+    _compare_arrays,
+    check_program,
+    verified_generate,
+    verify_model,
+)
+
+
+def residue_model(index=3):
+    return residue_sweep_specs(128)[index].build()
+
+
+class TestCompareArrays:
+    def test_bit_exact_accepts_nan_in_same_lane(self):
+        a = np.array([1.0, np.nan, np.inf], dtype=np.float32)
+        assert _compare_arrays(a, a.copy(), tolerant=False) is None
+
+    def test_bit_exact_reports_first_divergence(self):
+        a = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        b = np.array([1.0, 9.0, 3.0], dtype=np.float32)
+        detail = _compare_arrays(a, b, tolerant=False)
+        assert "1 element(s) differ" in detail and "index 1" in detail
+
+    def test_tolerant_accepts_small_float_error(self):
+        a = np.array([1.0, 2.0], dtype=np.float32)
+        b = a * (1 + 1e-6)
+        assert _compare_arrays(a, b, tolerant=True) is None
+
+    def test_tolerant_rejects_large_error(self):
+        a = np.array([1.0, 2.0], dtype=np.float32)
+        b = np.array([1.0, 3.0], dtype=np.float32)
+        assert "beyond tolerance" in _compare_arrays(a, b, tolerant=True)
+
+    def test_integer_exactness(self):
+        a = np.array([1, 2], dtype=np.int16)
+        assert _compare_arrays(a, a + np.int16(1), tolerant=True) is not None
+
+    def test_shape_mismatch_reported(self):
+        a = np.zeros((4,), dtype=np.int32)
+        b = np.zeros((5,), dtype=np.int32)
+        assert "shape" in _compare_arrays(a, b, tolerant=False)
+
+
+class TestVerifyModel:
+    def test_all_generators_consistent_on_residue_models(self):
+        report = verify_model(residue_model(), "arm_a72")
+        assert report.ok
+        assert report.generators == ("simulink_coder", "dfsynth", "hcg")
+        assert report.cases >= 6
+
+    def test_isa_subset_only_constrains_hcg(self):
+        arch = get_architecture("arm_a72")
+        subset = subset_instruction_set(
+            arch.instruction_set, ["vaddq_f32", "vmulq_f32"])
+        report = verify_model(residue_model(), "arm_a72",
+                              instruction_set=subset)
+        assert report.ok
+
+    def test_injected_fault_is_detected(self):
+        with faults.injected("skip_remainder"):
+            report = verify_model(residue_model(), "arm_a72")
+        assert not report.ok
+        assert any(m.kind in ("reference", "baseline")
+                   for m in report.mismatches)
+        codes = {d.code for d in report.to_diagnostics()}
+        assert codes <= {"HCG401", "HCG402", "HCG403"}
+
+    def test_fault_free_residue_width_passes_even_with_fault(self):
+        # residue 0: no remainder prologue exists, so skipping it is a
+        # no-op — exactly why naive suites miss this bug class.
+        with faults.injected("skip_remainder"):
+            report = verify_model(residue_model(index=0), "arm_a72")
+        assert report.ok
+
+    def test_generation_crash_is_a_mismatch_not_an_exception(self):
+        report = verify_model(residue_model(), "arm_a72",
+                              generator_kwargs={"hcg": {"policy": "strict"}},
+                              instruction_set=subset_instruction_set(
+                                  get_architecture("arm_a72").instruction_set,
+                                  ["vaddq_s32"]))
+        # strict HCG without f32 instructions may crash or may translate
+        # scalar; either way verify_model must return a report.
+        assert isinstance(report.ok, bool)
+
+    def test_spans_and_counters_emitted(self):
+        tracer = Tracer()
+        verify_model(residue_model(), "arm_a72", tracer=tracer)
+        assert tracer.find("verify") and tracer.find("verify.case")
+        assert tracer.counters.get("verify.cases_run", 0) > 0
+
+
+class TestCheckProgram:
+    def test_single_program_check(self):
+        model = residue_model()
+        generator = make_generator("hcg", get_architecture("arm_a72"),
+                                   policy="permissive")
+        program = generator.generate(model)
+        report = check_program(model, program, "arm_a72",
+                               instruction_set=generator.iset)
+        assert report.ok and report.generators == ("hcg",)
+
+
+class TestVerifiedGenerate:
+    def test_clean_model_returns_program(self):
+        generator = make_generator("hcg", get_architecture("arm_a72"),
+                                   policy="permissive")
+        program = verified_generate(generator, residue_model())
+        assert program.body
+
+    def test_miscompile_raises_verification_error(self):
+        generator = make_generator("hcg", get_architecture("arm_a72"),
+                                   policy="permissive")
+        with faults.injected("skip_remainder"):
+            with pytest.raises(VerificationError) as excinfo:
+                verified_generate(generator, residue_model())
+        assert excinfo.value.diagnostics
+        assert excinfo.value.diagnostics[0].code.startswith("HCG4")
+
+    def test_generator_method_is_wired(self):
+        for name in ("simulink_coder", "dfsynth", "hcg"):
+            generator = make_generator(name, get_architecture("arm_a72"),
+                                       policy="permissive")
+            program = generator.generate_verified(residue_model())
+            assert program.body
+
+    def test_intensive_model_verifies_under_tolerance(self):
+        spec = ModelSpec(
+            name="fft16", dtype="f32", width=16,
+            nodes=(
+                {"kind": "in", "name": "in0"},
+                {"kind": "intensive", "name": "k0", "op": "FFT",
+                 "arg": "in0"},
+            ),
+        )
+        generator = make_generator("hcg", get_architecture("arm_a72"),
+                                   policy="permissive")
+        program = verified_generate(generator, spec.build())
+        assert program.body
+
+
+class TestMismatchFormat:
+    def test_codes_are_stable(self):
+        m = Mismatch(kind="reference", generator="hcg", case="zeros",
+                     step=0, output="y", detail="d")
+        assert m.code == "HCG401"
+        assert Mismatch(kind="baseline", generator="hcg", case="*", step=-1,
+                        output="-", detail="d").code == "HCG402"
+        assert Mismatch(kind="crash", generator="hcg", case="*", step=-1,
+                        output="-", detail="d").code == "HCG403"
+
+    def test_format_mentions_case_and_output(self):
+        m = Mismatch(kind="reference", generator="hcg", case="boundary",
+                     step=1, output="y_n1", detail="differs")
+        text = m.format()
+        assert "boundary/step1" in text and "y_n1" in text

@@ -1,0 +1,79 @@
+"""The verification session: phases, quarantine, diagnostics."""
+
+import json
+
+from repro.bench.models import fir_model
+from repro.verify import faults
+from repro.verify.case import load_case
+from repro.verify.service import DEFAULT_ARCHS, SessionResult, run_session
+
+
+class TestCleanSession:
+    def test_named_models_on_one_arch(self):
+        result = run_session(models={"FIR": fir_model(n=64)},
+                             archs=("arm_a72",))
+        assert result.ok
+        assert len(result.reports) == 1
+        assert "all consistent" in result.summary()
+
+    def test_fuzz_cases_counted(self):
+        result = run_session(models={}, archs=("arm_a72",), fuzz=6, seed=0)
+        assert result.fuzz_count == 6
+        assert result.ok
+
+    def test_corpus_replay(self, tmp_path):
+        from repro.verify.case import ReproCase
+        from repro.verify.fuzz import residue_sweep_specs
+
+        spec = residue_sweep_specs(128)[0]
+        ReproCase(spec=spec, arch="arm_a72", seed=0,
+                  generators=("simulink_coder", "dfsynth", "hcg")
+                  ).save(tmp_path)
+        result = run_session(models={}, archs=("arm_a72",), corpus=tmp_path)
+        assert result.corpus_count == 1 and result.ok
+
+    def test_default_archs_cover_all_three_presets(self):
+        assert DEFAULT_ARCHS == ("arm_a72", "intel_i7_8700_sse4",
+                                 "intel_i7_8700")
+
+
+class TestFailingSession:
+    def test_fault_is_quarantined_minimized_and_replayable(self, tmp_path):
+        faults.install("skip_remainder")
+        result = run_session(models={}, archs=("arm_a72",), fuzz=8, seed=0,
+                             quarantine=tmp_path / "q", shrink_budget=80)
+        assert not result.ok
+        assert result.quarantined, "at least one fuzz case hits a remainder"
+        assert "HCG404" in result.diagnostics.codes()
+
+        path = result.quarantined[0]
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "REPRO_verify"
+        assert payload["faults"] == ["skip_remainder"]
+
+        case = load_case(path)
+        assert case.spec.actor_count <= 5, "shrinker must minimize"
+        faults.clear()
+        # the case re-arms its own recorded faults during replay
+        assert not case.replay().ok
+
+    def test_corpus_regression_is_quarantined(self, tmp_path):
+        from repro.verify.case import ReproCase
+        from repro.verify.fuzz import residue_sweep_specs
+
+        spec = residue_sweep_specs(128)[2]  # width 10: has a remainder
+        ReproCase(spec=spec, arch="arm_a72", seed=0,
+                  generators=("hcg",), faults=("skip_remainder",)
+                  ).save(tmp_path / "corpus")
+        result = run_session(models={}, archs=("arm_a72",),
+                             corpus=tmp_path / "corpus",
+                             quarantine=tmp_path / "q")
+        assert not result.ok
+        assert result.quarantined
+
+
+class TestSessionResult:
+    def test_summary_lists_failures_and_paths(self, tmp_path):
+        result = SessionResult()
+        assert "0 corpus" in result.summary()
+        assert result.ok

@@ -1,0 +1,90 @@
+"""The shrinker — including the subsystem's acceptance demo: an
+injected mapping fault is caught by the differential runner and
+minimized to a repro case of at most 5 actors."""
+
+import pytest
+
+from repro.verify import faults
+from repro.verify.case import ModelSpec
+from repro.verify.fuzz import residue_sweep_specs
+from repro.verify.runner import verify_model
+from repro.verify.shrink import checked, shrink_case
+
+
+def failing_check_on(node_name):
+    """A synthetic predicate: fails iff ``node_name`` is still present."""
+
+    def check(spec, isa_names):
+        return node_name in spec.node_names()
+
+    return check
+
+
+WIDE_SPEC = ModelSpec(
+    name="wide", dtype="f32", width=24,
+    nodes=(
+        {"kind": "in", "name": "in0"},
+        {"kind": "in", "name": "in1"},
+        {"kind": "const", "name": "c0", "values": list(range(1, 25))},
+        {"kind": "op", "name": "n0", "op": "Mul", "args": ["in0", "c0"]},
+        {"kind": "op", "name": "n1", "op": "Add", "args": ["n0", "in1"]},
+        {"kind": "op", "name": "n2", "op": "Sub", "args": ["n1", "in0"]},
+        {"kind": "op", "name": "n3", "op": "Max", "args": ["n2", "c0"]},
+    ),
+)
+
+
+class TestShrinkMechanics:
+    def test_drops_irrelevant_nodes(self):
+        result = shrink_case(WIDE_SPEC, None, failing_check_on("n0"))
+        assert "n0" in result.spec.node_names()
+        assert "n3" not in result.spec.node_names()
+        assert result.steps > 0 and not result.exhausted
+
+    def test_narrows_width(self):
+        result = shrink_case(WIDE_SPEC, None, failing_check_on("n0"))
+        assert result.spec.width < WIDE_SPEC.width
+        assert result.spec.build()  # still valid at the narrow width
+
+    def test_drops_isa_names(self):
+        def check(spec, isa):
+            return isa is not None and "vmulq_f32" in isa
+
+        result = shrink_case(WIDE_SPEC,
+                             ("vaddq_f32", "vmulq_f32", "vsubq_f32"), check)
+        assert result.isa_names is not None
+        assert "vmulq_f32" in result.isa_names
+        assert len(result.isa_names) < 3
+
+    def test_budget_exhaustion_is_flagged(self):
+        result = shrink_case(WIDE_SPEC, None, failing_check_on("n0"),
+                             budget=2)
+        assert result.exhausted
+        assert result.checks <= 2
+
+    def test_checked_swallows_builder_errors(self):
+        def always_raise(spec, isa):
+            raise KeyError("nonsense intermediate spec")
+
+        assert checked(always_raise)(WIDE_SPEC, None) is False
+
+
+class TestEndToEndFaultShrink:
+    def test_injected_fault_minimizes_to_tiny_repro(self):
+        """ISSUE acceptance: the skip_remainder miscompile must shrink
+        to a repro case of <= 5 actors."""
+        spec = residue_sweep_specs(128)[3]  # f32, width 11: has remainder
+
+        def still_fails(candidate, isa_names):
+            with faults.injected("skip_remainder"):
+                return not verify_model(candidate.build(), "arm_a72",
+                                        generators=("hcg",)).ok
+
+        assert still_fails(spec, None), "fault must reproduce pre-shrink"
+        result = shrink_case(spec, None, still_fails, budget=60)
+        assert not result.exhausted
+        assert result.spec.actor_count <= 5
+        # the minimized case still fails, and is clean without the fault
+        assert still_fails(result.spec, None)
+        assert verify_model(result.spec.build(), "arm_a72",
+                            generators=("hcg",)).ok

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Instruction-set data-file lint, run by the CI ``verify`` job.
+
+Runs :mod:`repro.isa.lint` over the packaged ``.si`` files (or any
+paths given on the command line) and prints every finding as
+``file:line: CODE [instruction]: message``.
+
+Exit status 0 = clean; 1 = findings.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.isa.lint import lint_paths  # noqa: E402
+
+
+def main(argv) -> int:
+    findings = lint_paths(argv)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} ISA lint finding(s)", file=sys.stderr)
+        return 1
+    print("check_isa: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

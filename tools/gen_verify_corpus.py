@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Regenerate the committed verification corpus (tests/verify/corpus/).
+
+The corpus is the deterministic, always-passing seed set that the CI
+``verify`` job replays on every push:
+
+* one residue-sweep model per ``width % lanes`` class (f32 and i16 on
+  the 128-bit presets, f32 on AVX2) — the offset-prologue edge cases;
+* a handful of fuzzed (model, ISA subset) cases per architecture,
+  frozen here so CI replays the exact same graphs.
+
+Every case is verified before being written; a case that fails never
+enters the corpus.  Run from the repo root:
+
+    PYTHONPATH=src python tools/gen_verify_corpus.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.arch.presets import get_architecture  # noqa: E402
+from repro.verify.case import ReproCase  # noqa: E402
+from repro.verify.fuzz import (  # noqa: E402
+    random_isa_names,
+    random_spec,
+    residue_sweep_specs,
+    subset_instruction_set,
+)
+from repro.verify.runner import verify_model  # noqa: E402
+
+CORPUS_DIR = REPO / "tests" / "verify" / "corpus"
+SEED = 0
+
+#: frozen fuzz picks: (arch, fuzz index, with ISA subset)
+FUZZ_PICKS = (
+    ("arm_a72", 3, True),
+    ("arm_a72", 7, False),
+    ("intel_i7_8700_sse4", 11, True),
+    ("intel_i7_8700", 5, True),
+    ("intel_i7_8700", 12, False),
+)
+
+
+def main() -> int:
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in CORPUS_DIR.glob("repro_*.json"):
+        stale.unlink()
+    written = 0
+
+    def emit(spec, arch_name, isa_names) -> None:
+        nonlocal written
+        instruction_set = None
+        if isa_names is not None:
+            base = get_architecture(arch_name).instruction_set
+            instruction_set = subset_instruction_set(base, isa_names)
+        report = verify_model(spec.build(), arch_name,
+                              instruction_set=instruction_set, seed=SEED)
+        if not report.ok:
+            raise SystemExit(
+                f"refusing to commit a failing case: {report.summary()}"
+            )
+        case = ReproCase(spec=spec, arch=arch_name, seed=SEED,
+                         generators=("simulink_coder", "dfsynth", "hcg"),
+                         isa_names=isa_names)
+        path = case.save(CORPUS_DIR)
+        print(f"wrote {path.relative_to(REPO)}")
+        written += 1
+
+    # Residue sweeps: every offset-prologue residue on each preset.
+    for arch_name, dtypes in (
+        ("arm_a72", None),                 # 128-bit: f32 r0-3 + i16 r0-7
+        ("intel_i7_8700_sse4", None),
+        ("intel_i7_8700", "f32_only"),     # 256-bit: f32 r0-7
+    ):
+        arch = get_architecture(arch_name)
+        bits = arch.instruction_set.vector_bits
+        if dtypes == "f32_only":
+            from repro.dtypes import DataType
+
+            specs = residue_sweep_specs(bits, dtypes=(DataType.F32,))
+        else:
+            specs = residue_sweep_specs(bits)
+        for spec in specs:
+            emit(spec, arch_name, None)
+
+    # Frozen fuzz cases.
+    for arch_name, index, with_isa in FUZZ_PICKS:
+        base = get_architecture(arch_name).instruction_set
+        lanes = max(base.vector_bits // 32, 2)
+        spec = random_spec(SEED, index, lanes=lanes)
+        isa_names = random_isa_names(SEED, index, base) if with_isa else None
+        emit(spec, arch_name, isa_names)
+
+    print(f"{written} corpus case(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
