@@ -7,6 +7,10 @@ mapping onto SIMD instructions for batch computing actors (Algorithm 2).
 
 Public entry points:
 
+* :mod:`repro.api` — **the stable facade**: one
+  ``generate(GenerateRequest) -> GenerateResult`` entry point with
+  on-disk caching, parallel batches and built-in verification
+  (docs/api.md). Prefer it for programmatic use.
 * :mod:`repro.model` — build or parse Simulink-like models.
 * :mod:`repro.codegen` — the three generators (HCG, Simulink-Coder-like
   baseline, DFSynth-like baseline).

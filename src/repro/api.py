@@ -1,0 +1,158 @@
+"""The stable public facade of the reproduction.
+
+One request type, one result type, one entry point::
+
+    from repro.api import CodegenOptions, GenerateRequest, generate
+
+    result = generate(GenerateRequest(
+        model="FIR",                       # name, path, or a Model object
+        generator="hcg",
+        options=CodegenOptions(arch="arm_a72", policy="permissive"),
+        verify=True,
+    ))
+    print(result.c_source)
+
+This facade subsumes the three generators' divergent
+``generate``/``generate_verified`` signatures.  It is backed by the
+parallel, cache-aware :class:`~repro.service.service.CodegenService`:
+repeated requests for unchanged ``(model, ISA, generator, options)``
+are answered byte-identically from the on-disk codegen cache, and
+``generate_many`` fans independent requests out over a worker pool
+with deterministic result ordering.
+
+Stability policy (docs/api.md): the names exported here —
+:class:`GenerateRequest`, :class:`GenerateResult`,
+:class:`CodegenOptions`, :func:`generate`, :func:`generate_many` — are
+the supported programmatic interface.  Fields are only ever appended,
+never renamed or removed; everything under ``repro.codegen`` is
+internal and may change between releases (CI enforces the boundary via
+``tools/check_api_boundary.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.options import CodegenOptions
+from repro.diagnostics import Diagnostic
+from repro.errors import ReproError
+
+#: the three supported generator names (mirrors repro.bench.runner)
+GENERATOR_NAMES = ("simulink_coder", "dfsynth", "hcg")
+
+__all__ = [
+    "CodegenOptions",
+    "GENERATOR_NAMES",
+    "GenerateRequest",
+    "GenerateResult",
+    "generate",
+    "generate_many",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class GenerateRequest:
+    """Everything one generation run needs, as one immutable value."""
+
+    #: a :class:`~repro.model.graph.Model`, a benchmark name (``"FIR"``),
+    #: or a model file path (``models/fir.xml``, ``*.mdl``)
+    model: Any
+    #: ``"hcg"`` (the paper's tool) or one of the two baselines
+    generator: str = "hcg"
+    #: all codegen knobs, consolidated (see repro.codegen.options)
+    options: CodegenOptions = CodegenOptions()
+    #: differentially verify the program against the model's reference
+    #: semantics before returning (docs/verification.md); raises
+    #: :class:`~repro.errors.VerificationError` on divergence
+    verify: bool = False
+    #: seed for the verification input battery
+    seed: int = 0
+    #: simulation steps per verification input case
+    steps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.generator not in GENERATOR_NAMES:
+            raise ReproError(
+                f"unknown generator {self.generator!r}; "
+                f"choose from {GENERATOR_NAMES}"
+            )
+
+    # ------------------------------------------------------------------
+    def resolve_model(self):
+        """The :class:`~repro.model.graph.Model` this request names."""
+        from repro.model.graph import Model
+
+        if isinstance(self.model, Model):
+            return self.model
+        from repro.bench.models import BENCHMARK_MODELS
+
+        name = str(self.model)
+        if name in BENCHMARK_MODELS:
+            return BENCHMARK_MODELS[name]()
+        if name.endswith(".mdl"):
+            from repro.model.mdl_io import read_mdl
+
+            return read_mdl(name)
+        from repro.model.xml_io import read_model
+
+        return read_model(name)
+
+
+@dataclasses.dataclass(frozen=True)
+class GenerateResult:
+    """The complete outcome of one generation run."""
+
+    #: model name (after resolution)
+    model: str
+    #: generator that produced (or originally produced) the code
+    generator: str
+    #: architecture preset the code targets
+    arch: str
+    #: the emitted C source — byte-identical across cache hits
+    c_source: str
+    #: the IR program (for ``--ir`` dumps, projects, VM execution)
+    program: Any
+    #: every diagnostic the run recorded (stable HCG codes)
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    #: generator-side counters (history hit rate, tracer counters, ...)
+    metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: whether this result was answered from the codegen cache
+    from_cache: bool = False
+    #: whether the program passed differential verification
+    verified: bool = False
+    #: content address of the result (``None`` when caching is off)
+    cache_key: Optional[str] = None
+
+
+def generate(request: GenerateRequest, *, service=None) -> GenerateResult:
+    """The single entry point: one request in, one result out.
+
+    A default :class:`~repro.service.service.CodegenService` is built
+    from ``request.options`` (cache root, parallelism, tracer); pass an
+    explicit ``service`` to share caches and worker pools across calls.
+    """
+    if service is None:
+        from repro.service.service import CodegenService
+
+        service = CodegenService.from_options(request.options)
+    return service.generate(request)
+
+
+def generate_many(
+    requests: Sequence[GenerateRequest],
+    *,
+    jobs: Optional[int] = None,
+    service=None,
+) -> List[GenerateResult]:
+    """Generate a batch of independent requests, possibly in parallel.
+
+    Results come back in request order regardless of ``jobs``; the
+    first failing request's exception is re-raised deterministically.
+    """
+    if service is None:
+        from repro.service.service import CodegenService
+
+        options = requests[0].options if requests else CodegenOptions()
+        service = CodegenService.from_options(options)
+    return service.generate_many(requests, jobs=jobs)

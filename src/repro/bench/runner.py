@@ -79,18 +79,50 @@ def run_generator(
     inputs: Optional[Mapping[str, Any]] = None,
     iterations: Optional[int] = None,
     steps: int = 1,
+    service: Optional[Any] = None,
+    options: Optional[Any] = None,
     **generator_kwargs: Any,
 ) -> RunResult:
-    """Generate code with one tool and execute it on the VM."""
+    """Generate code with one tool and execute it on the VM.
+
+    With a :class:`~repro.service.service.CodegenService` attached,
+    generation goes through the service (and its content-addressed
+    cache): a warm cell skips code generation entirely and the cell's
+    ``metrics`` carry ``service.from_cache``.  ``generator_kwargs`` are
+    only meaningful on the direct path; the service owns histories and
+    tracer wiring itself (via ``options``).
+    """
     if inputs is None:
         inputs = benchmark_inputs(model)
     if iterations is None:
         iterations = iterations_for(arch)
 
-    generator = make_generator(generator_name, arch, **generator_kwargs)
-    started = time.perf_counter()
-    program = generator.generate(model)
-    codegen_seconds = time.perf_counter() - started
+    if service is not None:
+        from repro.api import GenerateRequest
+        from repro.codegen.options import CodegenOptions
+
+        opts = options if options is not None else CodegenOptions()
+        if opts.arch != arch.name:
+            opts = opts.replace(arch=arch.name)
+        tracer = generator_kwargs.pop("tracer", None)
+        if tracer is not None:
+            opts = opts.replace(tracer=tracer)
+        started = time.perf_counter()
+        generated = service.generate(
+            GenerateRequest(model=model, generator=generator_name, options=opts)
+        )
+        codegen_seconds = time.perf_counter() - started
+        program = generated.program
+        metrics: Dict[str, Any] = dict(generated.metrics)
+        metrics.setdefault(
+            "service.from_cache", 1 if generated.from_cache else 0
+        )
+    else:
+        generator = make_generator(generator_name, arch, **generator_kwargs)
+        started = time.perf_counter()
+        program = generator.generate(model)
+        codegen_seconds = time.perf_counter() - started
+        metrics = generation_metrics(generator)
 
     compiled = compiler.compile(program)
     machine = Machine(compiled, arch, cost=compiler.effective_cost(arch))
@@ -111,7 +143,7 @@ def run_generator(
         data_bytes=compiled.data_bytes(),
         program=compiled,
         simd_coverage=simd_coverage(result),
-        metrics=generation_metrics(generator),
+        metrics=metrics,
     )
 
 
@@ -124,6 +156,8 @@ def compare_generators(
     check_consistency: bool = True,
     steps: int = 1,
     per_generator_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    service: Optional[Any] = None,
+    options: Optional[Any] = None,
     **generator_kwargs: Any,
 ) -> Dict[str, RunResult]:
     """Run every generator on one model; verify the outputs agree.
@@ -132,6 +166,8 @@ def compare_generators(
     are consistent"; we assert it.  ``generator_kwargs`` go to every
     generator; ``per_generator_kwargs`` maps a generator name to extras
     only that generator accepts (e.g. a shared HCG selection history).
+    ``service``/``options`` route generation through the cache-aware
+    codegen service instead (see :func:`run_generator`).
     """
     if inputs is None:
         inputs = benchmark_inputs(model)
@@ -139,6 +175,7 @@ def compare_generators(
     results = {
         name: run_generator(
             model, name, arch, compiler, inputs=inputs, steps=steps,
+            service=service, options=options,
             **{**generator_kwargs, **per_generator_kwargs.get(name, {})}
         )
         for name in generators

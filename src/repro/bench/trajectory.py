@@ -95,28 +95,59 @@ def bench_matrix(
     archs: Sequence[str] = ISA_MATRIX_ARCHS,
     steps: int = 2,
     check_consistency: bool = True,
+    jobs: int = 1,
+    service=None,
 ) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
     """Run every (arch, model, generator) cell.
 
     Returns ``arch name -> model name -> generator name -> RunResult``.
+
+    ``jobs > 1`` fans the (arch, model) cells out over a worker pool;
+    the matrix comes back in the same deterministic order either way,
+    and the first failing cell's exception surfaces as it would have
+    serially.  With a :class:`~repro.service.service.CodegenService`
+    attached, cells generate through its content-addressed cache (a
+    rerun with a warm cache skips code generation entirely) and the
+    service owns the per-arch selection histories; without one, each
+    arch shares one in-memory :class:`SelectionHistory` across its HCG
+    cells, which is thread-safe for the pool.
     """
-    matrix: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
-    for arch_name in archs:
+    histories: Dict[str, SelectionHistory] = {
+        arch_name: SelectionHistory() for arch_name in archs
+    }
+    cells = [
+        (arch_name, model_name, model)
+        for arch_name in archs
+        for model_name, model in models.items()
+    ]
+
+    def run_cell(cell):
+        arch_name, _, model = cell
         arch = get_architecture(arch_name)
-        history = SelectionHistory()  # shared across this arch's HCG cells
-        rows: Dict[str, Dict[str, RunResult]] = {}
-        for model_name, model in models.items():
-            # A fresh per-cell tracer gives HCG rows their Algorithm 1/2
-            # counters in the record; the shared history spans the arch.
-            rows[model_name] = compare_generators(
-                model, arch, compiler,
-                check_consistency=check_consistency,
-                steps=steps,
-                per_generator_kwargs={
-                    "hcg": {"history": history, "tracer": Tracer()}
-                },
-            )
-        matrix[arch_name] = rows
+        # A fresh per-cell tracer gives HCG rows their Algorithm 1/2
+        # counters in the record; the shared history spans the arch.
+        per_generator = {"hcg": {"tracer": Tracer()}}
+        if service is None:
+            per_generator["hcg"]["history"] = histories[arch_name]
+        return compare_generators(
+            model, arch, compiler,
+            check_consistency=check_consistency,
+            steps=steps,
+            service=service,
+            per_generator_kwargs=per_generator,
+        )
+
+    from repro.service.executor import ParallelExecutor
+
+    executor = ParallelExecutor(jobs)
+    outcomes = executor.map(
+        run_cell, cells, label=lambda index, cell: f"{cell[0]}/{cell[1]}"
+    )
+    executor.raise_first(outcomes)
+
+    matrix: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    for (arch_name, model_name, _), outcome in zip(cells, outcomes):
+        matrix.setdefault(arch_name, {})[model_name] = outcome.value
     return matrix
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -34,7 +35,6 @@ from repro.bench.runner import GENERATORS, make_generator
 from repro.codegen.hcg.dispatch import dispatch
 from repro.compiler.toolchain import compiler_names, get_compiler
 from repro.errors import ReproError
-from repro.ir.cemit import emit_c
 from repro.ir.printer import format_program
 from repro.isa.parser import dump_instruction_set
 from repro.isa.registry import builtin_names, load_builtin
@@ -72,6 +72,65 @@ def _print_diagnostics(generator) -> None:
     print(collector.summary_table(), file=sys.stderr)
 
 
+def _print_diagnostic_tuple(diagnostics) -> None:
+    """Print a facade result's diagnostics tuple as the summary table."""
+    if not diagnostics:
+        return
+    from repro.diagnostics import DiagnosticsCollector
+
+    collector = DiagnosticsCollector(policy="permissive")
+    collector.extend(diagnostics)
+    print(collector.summary_table(), file=sys.stderr)
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--cache-dir`` / ``--no-cache`` (docs/api.md)."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for candidate pre-calculation and matrix "
+             "fan-out (default 1; results are identical at any value)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache root for the codegen cache, selection histories and "
+             "candidate timings (default: $REPRO_CACHE_DIR, then "
+             "$XDG_CACHE_HOME/repro, then ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk codegen cache for this invocation",
+    )
+
+
+def _service_options(args: argparse.Namespace, tracer=None):
+    """The :class:`~repro.codegen.options.CodegenOptions` a command's
+    flags describe.
+
+    Caching activates when a cache root is configured — ``--cache-dir``
+    or ``REPRO_CACHE_DIR`` — and ``--no-cache`` always wins; without a
+    configured root the CLI stays hermetic (no writes under ``~``).
+    """
+    from repro.codegen.options import CodegenOptions
+    from repro.service.paths import ENV_CACHE_DIR
+
+    use_cache = not args.no_cache and bool(
+        args.cache_dir or os.environ.get(ENV_CACHE_DIR)
+    )
+    # verify's --arch is a repeatable list; the per-cell arch is applied
+    # downstream, so any placeholder preset works here.
+    arch = getattr(args, "arch", None)
+    if not isinstance(arch, str):
+        arch = "arm_a72"
+    return CodegenOptions(
+        arch=arch,
+        policy=getattr(args, "policy", "strict"),
+        cache_dir=args.cache_dir,
+        use_cache=use_cache,
+        jobs=max(1, args.jobs),
+        tracer=tracer,
+    )
+
+
 def _add_target_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--arch", default="arm_a72", choices=preset_names(),
@@ -95,6 +154,8 @@ def _load_model(args: argparse.Namespace):
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.api import GenerateRequest, generate
+
     model = _load_model(args)
     arch = get_architecture(args.arch)
     tracer = None
@@ -102,11 +163,14 @@ def cmd_generate(args: argparse.Namespace) -> int:
         from repro.observability.tracer import Tracer
 
         tracer = Tracer()
-    generator = make_generator(
-        args.generator, arch, policy=args.policy, tracer=tracer
-    )
-    program = generator.generate(model)
-    _print_diagnostics(generator)
+    result = generate(GenerateRequest(
+        model=model, generator=args.generator,
+        options=_service_options(args, tracer=tracer),
+    ))
+    program = result.program
+    _print_diagnostic_tuple(result.diagnostics)
+    if result.from_cache:
+        print(f"cache hit ({result.cache_key[:12]})", file=sys.stderr)
     if tracer is not None:
         tracer.dump_json(args.trace_out)
         print(f"wrote {args.trace_out}", file=sys.stderr)
@@ -124,7 +188,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     if args.ir:
         text = format_program(program)
     else:
-        text = emit_c(program, arch.instruction_set)
+        text = result.c_source
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -177,7 +241,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     # full evaluation matrix (every ISA preset) and writes the record.
     archs = (args.arch,) if args.model else ISA_MATRIX_ARCHS
     steps = 2
-    matrix = bench_matrix(models, compiler, archs=archs, steps=steps)
+    service = None
+    options = _service_options(args)
+    if options.use_cache:
+        from repro.service.service import CodegenService
+
+        service = CodegenService.from_options(options)
+    matrix = bench_matrix(models, compiler, archs=archs, steps=steps,
+                          jobs=options.jobs, service=service)
+    if service is not None and service.cache is not None:
+        stats = service.cache.stats()
+        print(
+            f"codegen cache: {stats['hits']} hit(s), {stats['misses']} "
+            f"miss(es), {stats['entries']} entr(ies)",
+            file=sys.stderr,
+        )
     for arch_name, rows in matrix.items():
         arch = get_architecture(arch_name)
         print(f"target: {arch.name} ({arch.isa_name}) + {compiler.name}")
@@ -240,6 +318,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
         models = None
         if args.model:
             models = resolve_bench_models(args.model, quick=not args.full)
+        options = _service_options(args)
+        service = None
+        if options.use_cache:
+            from repro.service.service import CodegenService
+
+            service = CodegenService.from_options(options)
         result = run_session(
             models=models,
             archs=tuple(args.arch) if args.arch else DEFAULT_ARCHS,
@@ -250,6 +334,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             quarantine=args.quarantine,
             progress=(lambda line: print(line, file=sys.stderr))
             if args.verbose else None,
+            jobs=options.jobs,
+            service=service,
         )
     finally:
         if args.inject_fault:
@@ -325,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(p)
     _add_target_args(p)
     _add_policy_args(p)
+    _add_service_args(p)
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("run", help="execute generated code on the cost VM")
@@ -365,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: BENCH_codegen.json in matrix mode, off with --model)",
     )
     _add_target_args(p)
+    _add_service_args(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("inspect", help="show HCG's actor dispatch for a model")
@@ -409,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", "-v", action="store_true",
                    help="print each case's verdict as it completes")
     p.add_argument("--inject-fault", action="append", help=argparse.SUPPRESS)
+    _add_service_args(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(

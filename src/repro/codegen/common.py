@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.codegen.options import UNROLL_LIMIT, CodegenOptions
 from repro.diagnostics import DiagnosticsCollector
 from repro.errors import CodegenError, UnsupportedActorError
 from repro.observability.tracer import NULL_TRACER
@@ -38,9 +39,8 @@ from repro.schedule.scheduler import Schedule, compute_schedule
 #: Ports of an actor's output are foldable when the actor is one of these.
 FOLDABLE_TYPES_EXTRA = frozenset({"Gain", "Switch"})
 
-#: Simulink Coder unrolls elementwise code at or below this width (the
-#: Fig. 2 sample, width 4, is emitted unrolled).
-UNROLL_LIMIT = 8
+# UNROLL_LIMIT now lives in repro.codegen.options (the consolidated
+# options object); re-imported above so existing importers keep working.
 
 _IDENT_RE = re.compile(r"[^0-9a-zA-Z_]")
 
@@ -66,12 +66,16 @@ class CodegenContext:
         generator: str,
         diagnostics: Optional[DiagnosticsCollector] = None,
         tracer=None,
+        options: Optional[CodegenOptions] = None,
     ) -> None:
         model.validate()
         self.model = model
         self.schedule: Schedule = compute_schedule(model)
         self.program = Program(name=program_name, generator=generator)
         self.names = NameAllocator()
+        #: the consolidated options of this run (repro.codegen.options);
+        #: defaults keep legacy construction paths working unchanged
+        self.options = options if options is not None else CodegenOptions()
         #: fault/degradation events of this run (see repro.diagnostics)
         self.diagnostics = diagnostics if diagnostics is not None else DiagnosticsCollector("permissive")
         #: span/counter sink of this run (see repro.observability); the

@@ -76,8 +76,18 @@ class DfsynthGenerator:
 
     def generate_verified(self, model: Model, *, seed: int = 0,
                           steps: int = 2) -> Program:
-        """Generate, then differentially verify the program against the
+        """Deprecated: use ``repro.api.generate(request, verify=True)``.
+
+        Generate, then differentially verify the program against the
         model's reference semantics (docs/verification.md)."""
+        import warnings
+
+        warnings.warn(
+            "DfsynthGenerator.generate_verified() is deprecated; use "
+            "repro.api.generate(GenerateRequest(..., verify=True))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.verify.runner import verified_generate
 
         return verified_generate(self, model, seed=seed, steps=steps)

@@ -81,6 +81,8 @@ class HcgGenerator:
         variable_reuse: bool = True,
         policy: str = "strict",
         tracer=None,
+        timings=None,
+        executor=None,
     ) -> None:
         self.arch = arch
         self.library = library if library is not None else default_library()
@@ -98,6 +100,11 @@ class HcgGenerator:
         DiagnosticsCollector(policy)  # validate the policy name eagerly
         #: span/counter sink (see repro.observability); NULL_TRACER = off
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional candidate-timing cache (repro.service.cache.TimingCache)
+        self.timings = timings
+        #: optional worker pool for Algorithm 1 candidate measurement
+        #: (repro.service.executor.ParallelExecutor)
+        self.executor = executor
         #: populated by the last generate() call, for reports/tests
         self.last_dispatch: Optional[DispatchResult] = None
         self.last_intensive: Optional[IntensiveSynthesizer] = None
@@ -113,10 +120,20 @@ class HcgGenerator:
 
     def generate_verified(self, model: Model, *, seed: int = 0,
                           steps: int = 2) -> Program:
-        """Generate, then differentially verify the program against the
+        """Deprecated: use ``repro.api.generate(request, verify=True)``.
+
+        Generate, then differentially verify the program against the
         model's reference semantics over the adversarial input battery;
         raises :class:`~repro.errors.VerificationError` on divergence
         (see docs/verification.md)."""
+        import warnings
+
+        warnings.warn(
+            "HcgGenerator.generate_verified() is deprecated; use "
+            "repro.api.generate(GenerateRequest(..., verify=True))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.verify.runner import verified_generate
 
         return verified_generate(self, model, seed=seed, steps=steps)
@@ -156,7 +173,7 @@ class HcgGenerator:
 
         intensive = IntensiveSynthesizer(
             self.library, self.cost, self.iset, self.history, diagnostics,
-            tracer=tracer,
+            tracer=tracer, timings=self.timings, executor=self.executor,
         )
         self.last_intensive = intensive
         batch = BatchSynthesizer(ctx, self.iset, self.unroll_limit, self.simd_threshold)

@@ -35,6 +35,7 @@ import dataclasses
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Set, Tuple, Union
@@ -108,6 +109,11 @@ class SelectionHistory:
         self.hits = 0
         self.misses = 0
         self.lock_timeout = lock_timeout
+        #: in-process mutex: one history may be shared by the worker
+        #: pool of a parallel bench/verify matrix (the fcntl sidecar
+        #: below only serialises *across* processes).  Reentrant because
+        #: store() holds it across the save()-time disk merge.
+        self._mutex = threading.RLock()
         self.diagnostics = DiagnosticsCollector(policy="permissive")
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
@@ -121,41 +127,46 @@ class SelectionHistory:
 
     def lookup(self, key: SelectionKey) -> Optional[str]:
         """Lines 3-6: return the cached kernel id, if any."""
-        kernel_id = self._entries.get(key)
-        if kernel_id is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return kernel_id
+        with self._mutex:
+            kernel_id = self._entries.get(key)
+            if kernel_id is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return kernel_id
 
     def store(self, key: SelectionKey, kernel_id: str) -> None:
         """Line 18: record the decision (and persist when file-backed)."""
-        self._entries[key] = kernel_id
-        self._dropped.discard(key)
-        if self.path is not None:
-            self.save(self.path)
-
-    def drop(self, key: SelectionKey) -> None:
-        """Forget one decision (e.g. its kernel id left the library)."""
-        if self._entries.pop(key, None) is not None:
-            self._dropped.add(key)
+        with self._mutex:
+            self._entries[key] = kernel_id
+            self._dropped.discard(key)
             if self.path is not None:
                 self.save(self.path)
 
+    def drop(self, key: SelectionKey) -> None:
+        """Forget one decision (e.g. its kernel id left the library)."""
+        with self._mutex:
+            if self._entries.pop(key, None) is not None:
+                self._dropped.add(key)
+                if self.path is not None:
+                    self.save(self.path)
+
     def prune_stale(self, known_ids) -> Tuple[SelectionKey, ...]:
         """Drop every entry whose kernel id is not in ``known_ids``."""
-        stale = tuple(k for k, v in self._entries.items() if v not in known_ids)
-        for key in stale:
-            self._entries.pop(key, None)
-            self._dropped.add(key)
-        if stale and self.path is not None:
-            self.save(self.path)
-        return stale
+        with self._mutex:
+            stale = tuple(k for k, v in self._entries.items() if v not in known_ids)
+            for key in stale:
+                self._entries.pop(key, None)
+                self._dropped.add(key)
+            if stale and self.path is not None:
+                self.save(self.path)
+            return stale
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._mutex:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     # ------------------------------------------------------------------
     @property
@@ -257,7 +268,7 @@ class SelectionHistory:
         + ``os.replace`` so readers never observe a partial file.
         """
         path = Path(path)
-        with self._locked(path) as held:
+        with self._mutex, self._locked(path) as held:
             if held:
                 for key, kernel_id in self._disk_entries(path).items():
                     if key not in self._entries and key not in self._dropped:
@@ -273,6 +284,7 @@ class SelectionHistory:
         }
         text = json.dumps(payload, indent=2, sort_keys=True)
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
                 prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
             )
@@ -299,7 +311,7 @@ class SelectionHistory:
         the file content itself is never partial).
         """
         path = Path(path)
-        with self._locked(path):
+        with self._mutex, self._locked(path):
             self._load_unlocked(path)
 
     def _load_unlocked(self, path: Path) -> None:

@@ -77,6 +77,8 @@ class IntensiveSynthesizer:
         history: Optional[SelectionHistory] = None,
         diagnostics: Optional[DiagnosticsCollector] = None,
         tracer=None,
+        timings=None,
+        executor=None,
     ) -> None:
         self.library = library
         self.cost = cost
@@ -86,6 +88,13 @@ class IntensiveSynthesizer:
             diagnostics if diagnostics is not None else DiagnosticsCollector("permissive")
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional repro.service.cache.TimingCache — the fine cache
+        #: layer: candidate measurements keyed by (selection key, kernel,
+        #: lanes) survive even when the selection itself must be redone
+        self.timings = timings
+        #: optional repro.service.executor.ParallelExecutor fanning the
+        #: candidate measurements of one selection out over a pool
+        self.executor = executor
         self.records: List[SelectionRecord] = []
 
     # ------------------------------------------------------------------
@@ -130,31 +139,34 @@ class IntensiveSynthesizer:
 
         record = SelectionRecord(key, best.kernel_id, from_history=False)
         # Lines 11-17: filter, run, keep the cheapest.  Candidates are
-        # fault-isolated: one that raises is excluded, not fatal.
-        for impl in implementations:
-            try:
-                if not impl.can_handle(dtype, actor.params):
-                    continue
-                with self.tracer.span(
-                    SPANS.ALG1_CANDIDATE, kernel=impl.kernel_id, actor=actor.name
-                ) as candidate_span:
-                    cost = impl.measure_cycles(
-                        test_input, actor.params, dtype, self.cost, lanes
-                    )
-                    candidate_span.set(cost=cost)
-            except KernelDomainError:
-                continue  # expected: outside the impl's (dtype, size) domain
-            except Exception as exc:  # fault-isolation: one candidate must not abort selection
+        # fault-isolated: one that raises is excluded, not fatal.  The
+        # measurements may run on a worker pool; classification below is
+        # always in implementations order, so the chosen kernel and the
+        # diagnostics sequence are identical at jobs=1 and jobs=N.
+        outcomes = self._measure_candidates(
+            actor, key, implementations, dtype, lanes, test_input
+        )
+        for impl, status, payload in outcomes:
+            if status == "skip":
+                continue
+            if status == "fault":
                 record.faulted.append(impl.kernel_id)
                 self.tracer.count(COUNTERS.ALG1_CANDIDATES_FAULTED)
                 self.diagnostics.report(
                     "HCG202",
                     f"candidate {impl.kernel_id!r} raised "
-                    f"{type(exc).__name__} during pre-calculation: {exc}",
+                    f"{type(payload).__name__} during pre-calculation: {payload}",
                     actor=actor.name,
                 )
                 continue
-            self.tracer.count(COUNTERS.ALG1_CANDIDATES_MEASURED)
+            cost = payload
+            if status == "measured":
+                self.tracer.count(COUNTERS.ALG1_CANDIDATES_MEASURED)
+                if self.timings is not None:
+                    self.timings.store(
+                        self.timings.key_for(key.to_str(), impl.kernel_id, lanes),
+                        cost,
+                    )
             record.measured[impl.kernel_id] = cost
             if cost < min_cost:
                 best = impl
@@ -183,6 +195,95 @@ class IntensiveSynthesizer:
         )
         self.records.append(record)
         return best
+
+    # ------------------------------------------------------------------
+    def _measure_candidates(self, actor: Actor, key: SelectionKey,
+                            implementations, dtype: DataType, lanes: int,
+                            test_input):
+        """Measure every candidate; results come back in library order.
+
+        Each candidate resolves to one of ``(impl, status, payload)``:
+        ``("cached", cost)`` — timing-cache hit, no run needed;
+        ``("measured", cost)`` — freshly measured; ``("skip", None)`` —
+        filtered out or a domain refusal; ``("fault", exc)`` — the
+        measurement raised unexpectedly.
+
+        Cache-missed candidates run on ``self.executor``'s pool when one
+        is attached; workers are pure (no tracer, no diagnostics — both
+        are emitted afterwards on the calling thread), so parallel and
+        serial selections are observably identical apart from wall time.
+        """
+        key_str = key.to_str()
+        results = [None] * len(implementations)
+        pending = []
+        for position, impl in enumerate(implementations):
+            cached = None
+            if self.timings is not None:
+                cached = self.timings.lookup(
+                    self.timings.key_for(key_str, impl.kernel_id, lanes)
+                )
+                self.tracer.count(
+                    COUNTERS.ALG1_TIMING_HITS if cached is not None
+                    else COUNTERS.ALG1_TIMING_MISSES
+                )
+            if cached is not None:
+                results[position] = (impl, "cached", cached)
+            else:
+                pending.append((position, impl))
+
+        fan_out = (
+            self.executor is not None
+            and getattr(self.executor, "jobs", 1) > 1
+            and len(pending) > 1
+        )
+        if fan_out:
+            def run(item):
+                _, impl = item
+                if not impl.can_handle(dtype, actor.params):
+                    return None
+                return impl.measure_cycles(
+                    test_input, actor.params, dtype, self.cost, lanes
+                )
+
+            outcomes = self.executor.map(
+                run, pending, label=lambda index, item: item[1].kernel_id
+            )
+            for (position, impl), outcome in zip(pending, outcomes):
+                if outcome.error is not None:
+                    if isinstance(outcome.error, KernelDomainError):
+                        results[position] = (impl, "skip", None)
+                    else:
+                        results[position] = (impl, "fault", outcome.error)
+                elif outcome.value is None:
+                    results[position] = (impl, "skip", None)
+                else:
+                    with self.tracer.span(
+                        SPANS.ALG1_CANDIDATE, kernel=impl.kernel_id,
+                        actor=actor.name,
+                    ) as candidate_span:
+                        candidate_span.set(cost=outcome.value, parallel=True)
+                    results[position] = (impl, "measured", outcome.value)
+            return results
+
+        for position, impl in pending:
+            try:
+                if not impl.can_handle(dtype, actor.params):
+                    results[position] = (impl, "skip", None)
+                    continue
+                with self.tracer.span(
+                    SPANS.ALG1_CANDIDATE, kernel=impl.kernel_id, actor=actor.name
+                ) as candidate_span:
+                    cost = impl.measure_cycles(
+                        test_input, actor.params, dtype, self.cost, lanes
+                    )
+                    candidate_span.set(cost=cost)
+            except KernelDomainError:
+                results[position] = (impl, "skip", None)
+            except Exception as exc:  # fault-isolation: one candidate must not abort selection
+                results[position] = (impl, "fault", exc)
+            else:
+                results[position] = (impl, "measured", cost)
+        return results
 
     # ------------------------------------------------------------------
     def _lanes(self, dtype: DataType) -> int:

@@ -47,11 +47,14 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[Severity, str]] = {
     "HCG203": (Severity.ERROR, "Algorithm 1 selection failed; general implementation used"),
     "HCG204": (Severity.WARNING, "stale history entry dropped (kernel id no longer in library)"),
     "HCG211": (Severity.INFO, "batch group demoted: too narrow or below the profitability threshold"),
-    # 3xx — selection-history recovery
+    "HCG212": (Severity.ERROR, "parallel generation task failed; fault isolated to its cell"),
+    # 3xx — selection-history / cache recovery
     "HCG301": (Severity.WARNING, "corrupt history file quarantined and rebuilt"),
     "HCG302": (Severity.WARNING, "malformed history entry skipped"),
     "HCG303": (Severity.WARNING, "history schema mismatch; file quarantined and rebuilt"),
     "HCG304": (Severity.WARNING, "history file could not be persisted or locked"),
+    "HCG305": (Severity.WARNING, "corrupt cache entry removed; treated as a miss"),
+    "HCG306": (Severity.WARNING, "cache entry could not be persisted or evicted"),
     # 4xx — translation validation (repro.verify)
     "HCG401": (Severity.ERROR, "generated program diverges from the model's reference semantics"),
     "HCG402": (Severity.ERROR, "HCG output diverges from a baseline generator"),

@@ -39,6 +39,10 @@ class SPANS:
     VERIFY_CASE = "verify.case"
     #: one shrinker reduction of a failing fuzz case
     VERIFY_SHRINK = "verify.shrink"
+    #: one request served by the codegen service (repro.api.generate)
+    SERVICE_GENERATE = "service.generate"
+    #: the codegen-cache key computation + lookup inside a request
+    SERVICE_CACHE = "service.cache"
 
 
 class COUNTERS:
@@ -60,6 +64,17 @@ class COUNTERS:
     VERIFY_CASES_FAILED = "verify.cases_failed"
     VERIFY_MODELS_FUZZED = "verify.models_fuzzed"
     VERIFY_SHRINK_STEPS = "verify.shrink_steps"
+    # Algorithm 1 timing cache (the fine layer over the history)
+    ALG1_TIMING_HITS = "alg1.timing_hits"
+    ALG1_TIMING_MISSES = "alg1.timing_misses"
+    # Codegen service — content-addressed result cache
+    CACHE_HITS = "cache.hit"
+    CACHE_MISSES = "cache.miss"
+    CACHE_EVICTIONS = "cache.evict"
+    # Codegen service — parallel executor
+    POOL_TASKS_SUBMITTED = "pool.task.submitted"
+    POOL_TASKS_COMPLETED = "pool.task.completed"
+    POOL_TASKS_FAILED = "pool.task.failed"
 
 
 def generation_metrics(generator: Any) -> Dict[str, Any]:

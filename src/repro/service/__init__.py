@@ -1,0 +1,37 @@
+"""The parallel, cache-aware code-generation service.
+
+``repro.service`` is the layer between the stable :mod:`repro.api`
+facade and the three generators.  It adds, without changing what any
+generator emits:
+
+* **content-addressed caching** — :class:`CodegenCache` memoizes full
+  generation results on disk keyed by ``(model digest, ISA digest,
+  generator, options digest)``, and :class:`TimingCache` memoizes
+  Algorithm 1 candidate pre-calculation timings on top of the
+  selection history (the paper's persistent-history idea pushed
+  through the whole pipeline);
+* **parallel execution** — :class:`ParallelExecutor` fans out Algorithm
+  1 candidate measurement within one model and whole-model generation
+  across the bench/verify matrices, with deterministic result ordering
+  and per-task fault isolation;
+* **a single cache root** — :mod:`repro.service.paths` resolves
+  ``--cache-dir`` / ``REPRO_CACHE_DIR`` precedence for every on-disk
+  artifact (codegen cache, selection histories, timing caches).
+
+See docs/api.md and the caching/parallelism section of
+docs/architecture.md.
+"""
+
+from repro.service.cache import CodegenCache, TimingCache
+from repro.service.executor import ParallelExecutor, TaskOutcome
+from repro.service.paths import resolve_cache_dir
+from repro.service.service import CodegenService
+
+__all__ = [
+    "CodegenCache",
+    "CodegenService",
+    "ParallelExecutor",
+    "TaskOutcome",
+    "TimingCache",
+    "resolve_cache_dir",
+]

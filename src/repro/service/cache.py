@@ -1,0 +1,328 @@
+"""On-disk memoization of generation work.
+
+Two layers, both rooted under the resolved cache dir
+(:mod:`repro.service.paths`):
+
+* :class:`CodegenCache` — the coarse layer: one entry per
+  ``(model, ISA, generator, options)`` content address, holding the
+  full generation result (emitted C source, the IR program, the run's
+  diagnostics and metrics).  A warm hit skips code generation entirely
+  and returns byte-identical C source.
+* :class:`TimingCache` — the fine layer on top of the selection
+  history: Algorithm 1 candidate pre-calculation timings keyed by
+  ``(selection key, kernel id, lanes)``.  Even when the coarse cache
+  misses (say, one actor's width changed), unchanged candidates skip
+  their measurement run.
+
+Durability discipline matches :class:`~repro.codegen.hcg.history.SelectionHistory`:
+atomic temp-file + ``os.replace`` writes, versioned payloads, and
+corrupt entries demoted to misses (reported as HCG305 diagnostics) —
+a cache problem must never abort generation.
+
+The coarse entries are Python pickles (the IR is a tree of dataclasses;
+JSON would need a parallel schema for every node type).  Treat the
+cache directory with the same trust as the working tree: entries are
+loaded with :mod:`pickle` and are not safe to share across trust
+boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.diagnostics import DiagnosticsCollector
+from repro.observability.metrics import COUNTERS
+from repro.observability.tracer import NULL_TRACER
+
+#: bump when the pickled entry layout changes
+ENTRY_SCHEMA_VERSION = 1
+
+#: bump when the timing-cache JSON layout changes
+TIMING_SCHEMA_VERSION = 1
+
+#: default LRU size cap of the codegen cache (bytes)
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One memoized generation result."""
+
+    key: str
+    model: str
+    generator: str
+    arch: str
+    c_source: str
+    program: Any  # repro.ir.program.Program
+    diagnostics: Tuple[Any, ...] = ()
+    metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    verified: bool = False
+    created: float = 0.0
+
+
+class CodegenCache:
+    """Content-addressed, LRU-capped store of generation results.
+
+    Load/save recoveries are recorded on ``self.diagnostics`` (always
+    permissive); the service drains them into the run's collector.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        tracer=None,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.diagnostics = DiagnosticsCollector(policy="permissive")
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        """The memoized result, or ``None`` (miss).  A hit refreshes the
+        entry's LRU timestamp; a corrupt entry is deleted and reported
+        as HCG305, then treated as a miss."""
+        path = self.entry_path(key)
+        entry: Optional[CacheEntry] = None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                isinstance(payload, dict)
+                and payload.get("schema") == ENTRY_SCHEMA_VERSION
+                and isinstance(payload.get("entry"), CacheEntry)
+                and payload["entry"].key == key
+            ):
+                entry = payload["entry"]
+            else:
+                raise ValueError(f"unexpected payload layout in {path.name}")
+        except FileNotFoundError:
+            pass
+        except Exception as exc:  # fault-isolation: a corrupt cache entry is a miss, not a crash
+            self.diagnostics.report(
+                "HCG305",
+                f"cache entry unreadable ({type(exc).__name__}: {exc}); "
+                f"removed and regenerating",
+                location=str(path),
+            )
+            with self._lock:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        if entry is None:
+            with self._lock:
+                self.misses += 1
+            self.tracer.count(COUNTERS.CACHE_MISSES)
+            return None
+        with self._lock:
+            self.hits += 1
+        self.tracer.count(COUNTERS.CACHE_HITS)
+        try:
+            os.utime(path)  # refresh the LRU clock
+        except OSError:
+            pass
+        return entry
+
+    def store(self, entry: CacheEntry) -> Optional[Path]:
+        """Persist one entry atomically, then enforce the size cap.
+
+        Returns the entry path, or ``None`` when the cache directory is
+        not writable (reported as HCG306 — never fatal)."""
+        path = self.entry_path(entry.key)
+        if not entry.created:
+            entry.created = time.time()
+        payload = {"schema": ENTRY_SCHEMA_VERSION, "entry": entry}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError as exc:
+            self.diagnostics.report(
+                "HCG306", f"cache entry not persisted: {exc}", location=str(path)
+            )
+            return None
+        self._evict_over_cap(keep=path)
+        return path
+
+    # ------------------------------------------------------------------
+    def _entries_by_age(self):
+        """Every entry file, oldest (least recently used) first."""
+        files = []
+        if not self.root.exists():
+            return files
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files.append((stat.st_mtime, stat.st_size, path))
+        files.sort(key=lambda item: (item[0], item[2].name))
+        return files
+
+    def _evict_over_cap(self, keep: Optional[Path] = None) -> None:
+        files = self._entries_by_age()
+        total = sum(size for _, size, _ in files)
+        for _, size, path in files:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue  # never evict the entry just written
+            try:
+                os.unlink(path)
+            except OSError as exc:
+                self.diagnostics.report(
+                    "HCG306", f"cache eviction failed: {exc}", location=str(path)
+                )
+                continue
+            total -= size
+            with self._lock:
+                self.evictions += 1
+            self.tracer.count(COUNTERS.CACHE_EVICTIONS)
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries_by_age())
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "entries": len(self._entries_by_age()),
+            "bytes": self.size_bytes(),
+        }
+
+    def clear(self) -> None:
+        for _, _, path in self._entries_by_age():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+class TimingCache:
+    """Algorithm 1 candidate-timing memoization (the fine cache layer).
+
+    Keys are ``"<selection key>|<kernel id>|lanes=<n>"`` — everything a
+    candidate's modelled measurement depends on besides the per-arch
+    cost table, which is fixed by using one file per architecture
+    (:func:`repro.service.paths.timings_path`).
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.diagnostics = DiagnosticsCollector(policy="permissive")
+        self._lock = threading.Lock()
+        self._entries: Dict[str, float] = {}
+        if self.path is not None and self.path.exists():
+            self._load(self.path)
+
+    @staticmethod
+    def key_for(selection_key: str, kernel_id: str, lanes: int) -> str:
+        return f"{selection_key}|{kernel_id}|lanes={lanes}"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional[float]:
+        with self._lock:
+            cost = self._entries.get(key)
+            if cost is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return cost
+
+    def store(self, key: str, cost: float) -> None:
+        with self._lock:
+            self._entries[key] = float(cost)
+        if self.path is not None:
+            self.save()
+
+    # ------------------------------------------------------------------
+    def _load(self, path: Path) -> None:
+        try:
+            payload = json.loads(path.read_text())
+            if (
+                not isinstance(payload, dict)
+                or payload.get("schema") != TIMING_SCHEMA_VERSION
+                or not isinstance(payload.get("entries"), dict)
+            ):
+                raise ValueError("unexpected timing-cache layout")
+            with self._lock:
+                for key, cost in payload["entries"].items():
+                    if isinstance(key, str) and isinstance(cost, (int, float)):
+                        self._entries[key] = float(cost)
+        except Exception as exc:  # fault-isolation: a corrupt timing cache is empty, not fatal
+            self.diagnostics.report(
+                "HCG305",
+                f"timing cache unreadable ({type(exc).__name__}: {exc}); "
+                f"starting empty",
+                location=str(path),
+            )
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        with self._lock:
+            entries = dict(sorted(self._entries.items()))
+        payload = {"schema": TIMING_SCHEMA_VERSION, "entries": entries}
+        text = json.dumps(payload, indent=2)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{self.path.name}.", suffix=".tmp",
+                dir=str(self.path.parent),
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError as exc:
+            self.diagnostics.report(
+                "HCG306", f"timing cache not persisted: {exc}",
+                location=str(self.path),
+            )
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "entries": len(self._entries),
+        }

@@ -1,0 +1,73 @@
+"""Content digests behind the codegen cache key.
+
+A cache entry is addressed by ``(model digest, ISA digest, generator
+name, options digest)``:
+
+* the **model digest** hashes the canonical XML serialization
+  (:func:`repro.model.xml_io.model_to_string`) — any change to an
+  actor, parameter, port width, dtype or connection changes the key;
+* the **ISA digest** hashes the instruction set's ``.si`` dump plus its
+  vector width — adding, removing or editing one instruction changes
+  the key;
+* the **options digest** hashes the semantic fields of
+  :class:`~repro.codegen.options.CodegenOptions` (operational fields
+  like ``jobs`` or ``tracer`` are excluded: they cannot change bytes).
+
+The package version is folded into the final key so a new release
+never replays entries written by older generator code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.codegen.options import CodegenOptions
+from repro.model.graph import Model
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def model_digest(model: Model) -> str:
+    """Digest of the model's canonical XML serialization."""
+    from repro.model.xml_io import model_to_string
+
+    return _sha256(model_to_string(model))
+
+
+def isa_digest(instruction_set: Any) -> str:
+    """Digest of an instruction set (its ``.si`` dump + vector width)."""
+    from repro.isa.parser import dump_instruction_set
+
+    return _sha256(
+        f"vector_bits={instruction_set.vector_bits}\n"
+        + dump_instruction_set(instruction_set)
+    )
+
+
+def options_digest(options: CodegenOptions) -> str:
+    """Digest of the semantic (output-changing) option fields."""
+    return _sha256(json.dumps(options.semantic_dict(), sort_keys=True))
+
+
+def cache_key(
+    model_dig: str, isa_dig: str, generator: str, options_dig: str
+) -> str:
+    """The final content address of one generation result."""
+    from repro import __version__
+
+    return _sha256(
+        json.dumps(
+            {
+                "v": __version__,
+                "model": model_dig,
+                "isa": isa_dig,
+                "generator": generator,
+                "options": options_dig,
+            },
+            sort_keys=True,
+        )
+    )

@@ -1,0 +1,119 @@
+"""Deterministic, fault-isolated task fan-out.
+
+:class:`ParallelExecutor` is the one concurrency primitive the service
+uses: it maps a function over an item list with a bounded thread pool
+(``concurrent.futures``) and returns :class:`TaskOutcome`\\ s **in input
+order**, whatever order the workers finished in — callers get the same
+result sequence at ``jobs=1`` and ``jobs=8``.
+
+Fault isolation is per task: a worker that raises produces an outcome
+carrying the exception instead of poisoning the pool; the caller
+decides whether to degrade (report an HCG2xx diagnostic and continue)
+or re-raise deterministically via :meth:`ParallelExecutor.raise_first`.
+
+Task functions must not touch a shared :class:`~repro.observability.tracer.Tracer`
+(its span stack is not thread-safe); the pattern used throughout the
+service is "pure worker, main-thread bookkeeping": workers return data
+and the caller emits spans/counters/diagnostics after the gather.  The
+``pool.task.*`` counters emitted here follow that rule — they are
+bumped on the calling thread only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.observability.metrics import COUNTERS
+from repro.observability.tracer import NULL_TRACER
+
+#: hard ceiling on worker threads, whatever --jobs says
+MAX_JOBS = 64
+
+
+def effective_jobs(jobs: Optional[int]) -> int:
+    """Clamp a requested parallelism degree to something sane.
+
+    ``None`` or ``0`` means "pick for me": the CPU count, capped.
+    """
+    if not jobs:
+        jobs = os.cpu_count() or 1
+    return max(1, min(int(jobs), MAX_JOBS))
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """The result (or failure) of one fanned-out task."""
+
+    index: int
+    label: str
+    value: Any = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ParallelExecutor:
+    """Bounded fan-out with deterministic collection order."""
+
+    def __init__(self, jobs: int = 1, tracer=None) -> None:
+        self.jobs = effective_jobs(jobs)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        label: Optional[Callable[[int, Any], str]] = None,
+    ) -> List[TaskOutcome]:
+        """Run ``fn`` over ``items``; outcomes come back in input order.
+
+        With ``jobs == 1`` (or one item) the tasks run inline on the
+        calling thread — bitwise the same code path the pool executes,
+        so serial and parallel runs can be compared for determinism.
+        """
+        label = label or (lambda index, item: str(index))
+        outcomes: List[TaskOutcome] = []
+        self.tracer.count(COUNTERS.POOL_TASKS_SUBMITTED, len(items))
+        if self.jobs == 1 or len(items) <= 1:
+            for index, item in enumerate(items):
+                outcomes.append(self._run_one(fn, index, item, label))
+        else:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [
+                    pool.submit(self._run_one, fn, index, item, label)
+                    for index, item in enumerate(items)
+                ]
+                outcomes = [future.result() for future in futures]
+        outcomes.sort(key=lambda outcome: outcome.index)
+        failed = sum(1 for outcome in outcomes if not outcome.ok)
+        self.tracer.count(COUNTERS.POOL_TASKS_COMPLETED, len(outcomes) - failed)
+        if failed:
+            self.tracer.count(COUNTERS.POOL_TASKS_FAILED, failed)
+        return outcomes
+
+    @staticmethod
+    def _run_one(fn, index: int, item: Any, label) -> TaskOutcome:
+        outcome = TaskOutcome(index=index, label=label(index, item))
+        try:
+            outcome.value = fn(item)
+        except BaseException as exc:  # fault-isolation: one task must not poison the pool
+            outcome.error = exc
+        return outcome
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def raise_first(outcomes: Sequence[TaskOutcome]) -> None:
+        """Re-raise the first (by input order) task failure, if any.
+
+        This restores fail-fast semantics deterministically: the same
+        task's exception surfaces at ``jobs=1`` and ``jobs=8``.
+        """
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error

@@ -1,0 +1,64 @@
+"""One cache root for every on-disk artifact the tool keeps.
+
+Precedence (first hit wins; documented in docs/api.md):
+
+1. an explicit path (CLI ``--cache-dir`` or ``CodegenOptions.cache_dir``);
+2. the ``REPRO_CACHE_DIR`` environment variable;
+3. ``$XDG_CACHE_HOME/repro`` when ``XDG_CACHE_HOME`` is set;
+4. ``~/.cache/repro``.
+
+Everything lives under that root:
+
+* ``codegen/``  — the content-addressed :class:`~repro.service.cache.CodegenCache`;
+* ``history/``  — per-architecture Algorithm 1 selection histories
+  (``selection_<arch>.json`` plus their ``.lock`` sidecars);
+* ``timings/``  — per-architecture candidate-timing caches
+  (``alg1_<arch>.json``).
+
+This module is stdlib-only so :mod:`repro.codegen.hcg.history` can use
+it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+#: environment variable naming the cache root (precedence step 2)
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+PathLike = Union[str, Path]
+
+
+def resolve_cache_dir(explicit: Optional[PathLike] = None) -> Path:
+    """The cache root, after applying the documented precedence."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
+    return Path.home() / ".cache" / "repro"
+
+
+def codegen_cache_dir(explicit: Optional[PathLike] = None) -> Path:
+    """Where :class:`~repro.service.cache.CodegenCache` entries live."""
+    return resolve_cache_dir(explicit) / "codegen"
+
+
+def history_path(arch_name: str, explicit: Optional[PathLike] = None) -> Path:
+    """The selection-history file of one architecture under the root.
+
+    The advisory-lock sidecar (``.lock``) and quarantine file
+    (``.corrupt``) are derived from this path, so they follow the same
+    root automatically.
+    """
+    return resolve_cache_dir(explicit) / "history" / f"selection_{arch_name}.json"
+
+
+def timings_path(arch_name: str, explicit: Optional[PathLike] = None) -> Path:
+    """The Algorithm 1 candidate-timing cache of one architecture."""
+    return resolve_cache_dir(explicit) / "timings" / f"alg1_{arch_name}.json"

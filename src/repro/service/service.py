@@ -1,0 +1,281 @@
+"""The orchestrator behind :func:`repro.api.generate`.
+
+:class:`CodegenService` owns the moving parts one generation run (or a
+whole bench/verify matrix) needs:
+
+* the content-addressed :class:`~repro.service.cache.CodegenCache`
+  (coarse layer) and per-architecture
+  :class:`~repro.service.cache.TimingCache`\\ s (fine layer);
+* per-architecture :class:`~repro.codegen.hcg.history.SelectionHistory`
+  instances — file-backed under the cache root when caching is on, so
+  Algorithm 1 decisions persist across tool invocations;
+* a :class:`~repro.service.executor.ParallelExecutor` for fanning out
+  Algorithm 1 candidate pre-calculation and whole-model batches.
+
+Every cache interaction is traced (``service.generate`` /
+``service.cache`` spans, ``cache.*`` counters) and every recovery is a
+stable diagnostic, folded into the returned result.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.presets import get_architecture
+from repro.codegen.options import CodegenOptions
+from repro.observability.metrics import SPANS
+from repro.observability.tracer import NULL_TRACER
+from repro.service import paths
+from repro.service.cache import CacheEntry, CodegenCache, TimingCache
+from repro.service.digest import (
+    cache_key,
+    isa_digest,
+    model_digest,
+    options_digest,
+)
+from repro.service.executor import ParallelExecutor
+
+
+class CodegenService:
+    """Parallel, cache-aware generation — the engine of ``repro.api``."""
+
+    def __init__(
+        self,
+        cache: Optional[CodegenCache] = None,
+        jobs: int = 1,
+        tracer=None,
+        cache_root=None,
+    ) -> None:
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: cache root for histories/timings; None = keep them in memory
+        self.cache_root = cache_root
+        self._histories: Dict[str, object] = {}
+        self._timings: Dict[str, TimingCache] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_options(cls, options: CodegenOptions, tracer=None) -> "CodegenService":
+        """The service one :class:`~repro.api.GenerateRequest` implies."""
+        if tracer is None:
+            tracer = options.tracer if options.tracer is not None else NULL_TRACER
+        cache = None
+        cache_root = None
+        if options.use_cache:
+            cache_root = paths.resolve_cache_dir(options.cache_dir)
+            cache = CodegenCache(
+                paths.codegen_cache_dir(options.cache_dir), tracer=tracer
+            )
+        return cls(cache=cache, jobs=options.jobs, tracer=tracer,
+                   cache_root=cache_root)
+
+    # ------------------------------------------------------------------
+    # Shared per-architecture state
+    # ------------------------------------------------------------------
+    def history_for(self, arch_name: str, options: CodegenOptions):
+        """The (shared) Algorithm 1 selection history of one arch.
+
+        Precedence: an explicit ``options.history_path`` wins; with a
+        cache root active, the history is file-backed under it
+        (``history/selection_<arch>.json``); otherwise it lives in
+        memory for the service's lifetime.
+        """
+        from repro.codegen.hcg.history import SelectionHistory
+
+        if options.history_path is not None:
+            key = f"{arch_name}@{options.history_path}"
+            with self._lock:
+                if key not in self._histories:
+                    self._histories[key] = SelectionHistory(options.history_path)
+                return self._histories[key]
+        with self._lock:
+            if arch_name not in self._histories:
+                if self.cache_root is not None:
+                    path = paths.history_path(arch_name, self.cache_root)
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    self._histories[arch_name] = SelectionHistory(path)
+                else:
+                    self._histories[arch_name] = SelectionHistory()
+            return self._histories[arch_name]
+
+    def timings_for(self, arch_name: str) -> Optional[TimingCache]:
+        """The candidate-timing cache of one arch (None when caching is
+        off — timings are only worth keeping across invocations)."""
+        if self.cache_root is None:
+            return None
+        with self._lock:
+            if arch_name not in self._timings:
+                self._timings[arch_name] = TimingCache(
+                    paths.timings_path(arch_name, self.cache_root)
+                )
+            return self._timings[arch_name]
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, request) -> "object":
+        """Serve one request: cache lookup, else generate and memoize."""
+        from repro.api import GenerateResult
+
+        options = request.options
+        tracer = options.tracer if options.tracer is not None else self.tracer
+        model = request.resolve_model()
+        arch = get_architecture(options.arch)
+        with tracer.span(
+            SPANS.SERVICE_GENERATE,
+            model=model.name, generator=request.generator, arch=arch.name,
+        ) as span:
+            key = None
+            if self.cache is not None:
+                with tracer.span(SPANS.SERVICE_CACHE) as cache_span:
+                    key = cache_key(
+                        model_digest(model),
+                        isa_digest(arch.instruction_set),
+                        request.generator,
+                        options_digest(options),
+                    )
+                    entry = self.cache.lookup(key)
+                    cache_span.set(hit=entry is not None, key=key[:12])
+                if entry is not None:
+                    span.set(from_cache=True)
+                    entry = self._reverify_if_needed(request, model, arch,
+                                                     entry, tracer)
+                    metrics = dict(entry.metrics)
+                    metrics["service.from_cache"] = 1
+                    return GenerateResult(
+                        model=model.name,
+                        generator=request.generator,
+                        arch=arch.name,
+                        c_source=entry.c_source,
+                        program=entry.program,
+                        diagnostics=(tuple(entry.diagnostics)
+                                     + self._cache_recoveries()),
+                        metrics=metrics,
+                        from_cache=True,
+                        verified=entry.verified,
+                        cache_key=key,
+                    )
+
+            generator = self._build_generator(request.generator, arch,
+                                              options, tracer)
+            program = generator.generate(model)
+            from repro.ir.cemit import emit_c
+            from repro.observability.metrics import generation_metrics
+
+            c_source = emit_c(program, arch.instruction_set)
+            collector = getattr(generator, "last_diagnostics", None)
+            diagnostics = tuple(collector) if collector is not None else ()
+            metrics = generation_metrics(generator)
+            verified = False
+            if request.verify:
+                from repro.verify.runner import check_program
+
+                report = check_program(
+                    model, program, arch,
+                    generator_name=request.generator,
+                    instruction_set=getattr(generator, "iset", None),
+                    seed=request.seed, steps=request.steps, tracer=tracer,
+                )
+                report.raise_on_failure()
+                verified = True
+            if self.cache is not None and key is not None:
+                self.cache.store(CacheEntry(
+                    key=key, model=model.name, generator=request.generator,
+                    arch=arch.name, c_source=c_source, program=program,
+                    diagnostics=diagnostics, metrics=dict(metrics),
+                    verified=verified,
+                ))
+                diagnostics = diagnostics + self._cache_recoveries()
+            span.set(from_cache=False)
+            return GenerateResult(
+                model=model.name,
+                generator=request.generator,
+                arch=arch.name,
+                c_source=c_source,
+                program=program,
+                diagnostics=diagnostics,
+                metrics=metrics,
+                from_cache=False,
+                verified=verified,
+                cache_key=key,
+            )
+
+    def generate_many(self, requests: Sequence["object"],
+                      jobs: Optional[int] = None) -> List["object"]:
+        """Serve a batch of requests with deterministic result order.
+
+        Workers run :meth:`generate` with tracing forced to the null
+        sink (a shared tracer's span stack is not thread-safe); use
+        per-request ``options.tracer`` objects when per-cell traces are
+        needed.
+        """
+        executor = ParallelExecutor(jobs if jobs is not None else self.jobs,
+                                    self.tracer)
+        outcomes = executor.map(
+            self.generate, list(requests),
+            label=lambda index, req: f"{req.generator}:{index}",
+        )
+        executor.raise_first(outcomes)
+        return [outcome.value for outcome in outcomes]
+
+    # ------------------------------------------------------------------
+    def _build_generator(self, name: str, arch, options: CodegenOptions,
+                         tracer):
+        from repro.bench.runner import make_generator
+
+        kwargs = options.generator_kwargs(name)
+        kwargs["tracer"] = tracer if tracer is not NULL_TRACER else None
+        if name == "hcg":
+            kwargs["history"] = self.history_for(arch.name, options)
+            kwargs["timings"] = self.timings_for(arch.name)
+            if self.jobs > 1 or options.jobs > 1:
+                kwargs["executor"] = ParallelExecutor(
+                    max(self.jobs, options.jobs)
+                )
+        return make_generator(name, arch, **kwargs)
+
+    def _reverify_if_needed(self, request, model, arch, entry: CacheEntry,
+                            tracer) -> CacheEntry:
+        """A hit for an unverified entry still honors ``verify=True``."""
+        if not request.verify or entry.verified:
+            return entry
+        from repro.verify.runner import check_program
+
+        report = check_program(
+            model, entry.program, arch,
+            generator_name=request.generator,
+            instruction_set=(arch.instruction_set
+                             if request.generator == "hcg" else None),
+            seed=request.seed, steps=request.steps, tracer=tracer,
+        )
+        report.raise_on_failure()
+        entry.verified = True
+        if self.cache is not None:
+            self.cache.store(entry)
+        return entry
+
+    def _cache_recoveries(self) -> tuple:
+        """Drain cache-layer recoveries (HCG305/306) into the caller's
+        result; they are always warnings and never abort generation."""
+        if self.cache is None:
+            return ()
+        return tuple(self.cache.diagnostics.drain())
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Cache/pool effectiveness counters for reports and tests."""
+        stats: Dict[str, object] = {"jobs": self.jobs}
+        if self.cache is not None:
+            stats["codegen_cache"] = self.cache.stats()
+        with self._lock:
+            stats["histories"] = {
+                name: history.stats()
+                for name, history in self._histories.items()
+            }
+            stats["timings"] = {
+                name: timings.stats()
+                for name, timings in self._timings.items()
+            }
+        return stats

@@ -277,6 +277,7 @@ def verify_model(
     tracer=NULL_TRACER,
     policy: str = "permissive",
     generator_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    service=None,
 ) -> VerifyReport:
     """Differentially verify a model across the named generators.
 
@@ -284,6 +285,13 @@ def verify_model(
     baselines emit scalar code regardless.  ``policy`` defaults to
     permissive so a mapping fault degrades to scalar code whose
     *correctness* is then what the runner actually checks.
+
+    With a :class:`~repro.service.service.CodegenService` attached (and
+    no ISA subset — subsets are not expressible as
+    :class:`~repro.codegen.options.CodegenOptions`), programs come from
+    the facade instead of direct generator construction, so verification
+    shares the content-addressed codegen cache and the per-arch
+    selection histories with the rest of the tool.
     """
     from repro.bench.runner import make_generator
 
@@ -301,16 +309,31 @@ def verify_model(
     with tracer.span(SPANS.VERIFY, model=model.name, arch=arch.name) as span:
         expected = _reference_outputs(model, battery)
         outputs_by_generator: Dict[str, Dict[str, List[Dict[str, np.ndarray]]]] = {}
+        use_service = service is not None and instruction_set is None
         for name in generators:
-            kwargs: Dict[str, Any] = {"policy": policy}
-            if name == "hcg" and instruction_set is not None:
-                kwargs["instruction_set"] = instruction_set
-            kwargs.update(generator_kwargs.get(name, {}))
-            generator = make_generator(name, arch, **kwargs)
+            if use_service:
+                iset = arch.instruction_set if name == "hcg" else None
+            else:
+                kwargs: Dict[str, Any] = {"policy": policy}
+                if name == "hcg" and instruction_set is not None:
+                    kwargs["instruction_set"] = instruction_set
+                kwargs.update(generator_kwargs.get(name, {}))
+                generator = make_generator(name, arch, **kwargs)
+                iset = getattr(generator, "iset", None)
             with tracer.span(SPANS.VERIFY_CASE, model=model.name,
                              arch=arch.name, generator=name) as case_span:
                 try:
-                    program = generator.generate(model)
+                    if use_service:
+                        from repro.api import GenerateRequest
+                        from repro.codegen.options import CodegenOptions
+
+                        program = service.generate(GenerateRequest(
+                            model=model, generator=name,
+                            options=CodegenOptions(arch=arch.name,
+                                                   policy=policy),
+                        )).program
+                    else:
+                        program = generator.generate(model)
                 except ReproError as exc:
                     report.mismatches.append(Mismatch(
                         kind="crash", generator=name, case="*", step=-1,
@@ -320,7 +343,7 @@ def verify_model(
                     continue
                 before = len(report.mismatches)
                 got = _program_outputs(
-                    program, arch, getattr(generator, "iset", None),
+                    program, arch, iset,
                     battery, name, report.mismatches,
                 )
                 outputs_by_generator[name] = got

@@ -56,7 +56,9 @@ class SessionResult:
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        # Failing reports surface as error diagnostics too, but a cell
+        # that *crashed* (HCG212) leaves no report — only its diagnostic.
+        return not self.failures and not self.diagnostics.has_errors()
 
     def summary(self) -> str:
         lines = [
@@ -97,23 +99,63 @@ def run_session(
     shrink_budget: int = 120,
     tracer=NULL_TRACER,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    service=None,
 ) -> SessionResult:
-    """Run one full verification session (see module docstring)."""
+    """Run one full verification session (see module docstring).
+
+    ``jobs > 1`` fans the named-model (arch, model) cells out over a
+    worker pool; reports come back in the serial order regardless.  A
+    cell that *crashes* (as opposed to reporting mismatches) is fault
+    isolated: it becomes an HCG212 diagnostic and the session carries
+    on.  With a :class:`~repro.service.service.CodegenService` attached,
+    named-model cells generate through the facade and its codegen cache
+    (fuzz cases keep the direct path — their ISA subsets are not
+    expressible as options).
+    """
     say = progress or (lambda message: None)
     result = SessionResult()
     if models is None:
         models = _default_models()
 
     # 1. Named models on every target architecture.
-    for arch_name in archs:
-        for model_name, model in models.items():
-            report = verify_model(
-                model, arch_name, generators=generators, seed=seed,
-                steps=steps, tracer=tracer,
+    from repro.service.executor import ParallelExecutor
+
+    cells = [
+        (arch_name, model_name, model)
+        for arch_name in archs
+        for model_name, model in models.items()
+    ]
+
+    def run_cell(cell):
+        arch_name, _, model = cell
+        # Workers must not share the session tracer (its span stack is
+        # not thread-safe); cells trace only when running inline.
+        return verify_model(
+            model, arch_name, generators=generators, seed=seed,
+            steps=steps, tracer=tracer if jobs == 1 else NULL_TRACER,
+            service=service,
+        )
+
+    executor = ParallelExecutor(jobs, tracer)
+    for outcome in executor.map(
+        run_cell, cells, label=lambda index, cell: f"{cell[0]}/{cell[1]}"
+    ):
+        arch_name, model_name, _ = cells[outcome.index]
+        if outcome.error is not None:
+            result.diagnostics.report(
+                "HCG212",
+                f"verification of {model_name!r} crashed: "
+                f"{type(outcome.error).__name__}: {outcome.error}",
+                actor=model_name,
+                location=arch_name,
             )
-            result.reports.append(report)
-            result.diagnostics.extend(report.to_diagnostics())
-            say(report.summary())
+            say(f"{model_name} @ {arch_name}: CRASHED ({outcome.error})")
+            continue
+        report = outcome.value
+        result.reports.append(report)
+        result.diagnostics.extend(report.to_diagnostics())
+        say(report.summary())
 
     # 2. Corpus replay.
     if corpus is not None:

@@ -1,0 +1,133 @@
+"""Contract tests for the stable ``repro.api`` facade (ISSUE satellite).
+
+The facade is the supported programmatic surface: one request type, one
+result type, one ``generate()`` entry point. These tests pin the
+round-trip behaviour and the deprecation shims that keep the legacy
+``generate_verified`` call paths working.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.api import (
+    GENERATOR_NAMES,
+    CodegenOptions,
+    GenerateRequest,
+    GenerateResult,
+    generate,
+    generate_many,
+)
+from repro.arch.presets import get_architecture
+from repro.bench.models import fir_model
+from repro.errors import ReproError
+
+
+def request_for(model, **kwargs):
+    options = kwargs.pop(
+        "options", CodegenOptions(policy="permissive", use_cache=False)
+    )
+    return GenerateRequest(model=model, options=options, **kwargs)
+
+
+class TestGenerateRequest:
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ReproError, match="unknown generator"):
+            GenerateRequest(model="FIR", generator="gcc")
+
+    def test_request_is_frozen(self):
+        request = request_for("FIR")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.generator = "dfsynth"
+
+    def test_resolves_benchmark_name(self):
+        assert request_for("FIR").resolve_model().name == "FIR"
+
+    def test_resolves_model_file(self):
+        model = request_for("models/fir.xml").resolve_model()
+        assert model.actors
+
+    def test_resolves_model_object_as_is(self):
+        model = fir_model(8)
+        assert request_for(model).resolve_model() is model
+
+
+class TestGenerateRoundTrip:
+    def test_one_request_one_result(self):
+        result = generate(request_for(fir_model(8)))
+        assert isinstance(result, GenerateResult)
+        assert result.model == "FIR"
+        assert result.generator == "hcg"
+        assert result.arch == "arm_a72"
+        assert "void" in result.c_source
+        assert result.program.body
+        assert result.from_cache is False
+        assert result.verified is False
+        assert result.cache_key is None  # caching disabled in this request
+
+    @pytest.mark.parametrize("name", GENERATOR_NAMES)
+    def test_every_generator_served(self, name):
+        result = generate(request_for(fir_model(8), generator=name))
+        assert result.generator == name
+        assert result.c_source
+
+    def test_result_is_frozen(self):
+        result = generate(request_for(fir_model(8)))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.c_source = ""
+
+    def test_verify_flag_verifies(self):
+        result = generate(request_for(fir_model(8), verify=True))
+        assert result.verified is True
+
+    def test_options_steer_generation(self):
+        # Simulink Coder unrolls elementwise code at or below the limit
+        unrolled = generate(request_for(
+            fir_model(8), generator="simulink_coder",
+            options=CodegenOptions(policy="permissive", use_cache=False,
+                                   unroll_limit=8),
+        ))
+        looped = generate(request_for(
+            fir_model(8), generator="simulink_coder",
+            options=CodegenOptions(policy="permissive", use_cache=False,
+                                   unroll_limit=0),
+        ))
+        assert unrolled.c_source != looped.c_source
+
+    def test_generate_many_preserves_request_order(self):
+        requests = [
+            request_for(fir_model(8), generator=name)
+            for name in GENERATOR_NAMES
+        ]
+        results = generate_many(requests)
+        assert [r.generator for r in results] == list(GENERATOR_NAMES)
+
+
+class TestDeprecationShims:
+    """Old ``generate_verified`` call paths keep working but warn once."""
+
+    @pytest.mark.parametrize("name", GENERATOR_NAMES)
+    def test_generate_verified_warns_exactly_once(self, name):
+        from repro.bench.runner import make_generator
+
+        generator = make_generator(
+            name, get_architecture("arm_a72"), policy="permissive"
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            program = generator.generate_verified(fir_model(8))
+        assert program.body
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.api.generate" in str(deprecations[0].message)
+
+    def test_facade_path_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            generate(request_for(fir_model(8), verify=True))
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

@@ -176,15 +176,22 @@ class TestBenchCli:
 class TestTraceOutCli:
     def test_generate_trace_out_writes_span_json(self, tmp_path, capsys):
         trace_path = tmp_path / "fir_trace.json"
+        # --no-cache keeps the span shape deterministic even when the
+        # environment carries a warm REPRO_CACHE_DIR (the CI warm leg)
         assert main([
             "generate", "FIR", "-o", str(tmp_path / "fir.c"),
-            "--trace-out", str(trace_path),
+            "--trace-out", str(trace_path), "--no-cache",
         ]) == 0
         payload = json.loads(trace_path.read_text())
         assert payload["schema"] == 1
+        # generation now goes through the repro.api facade, so the root
+        # span is the service request wrapping the generator's own span
         (root,) = payload["spans"]
-        assert root["name"] == "generate"
+        assert root["name"] == "service.generate"
         assert root["attrs"]["generator"] == "hcg"
-        child_names = [c["name"] for c in root["children"]]
+        assert root["attrs"]["from_cache"] is False
+        (generate_span,) = root["children"]
+        assert generate_span["name"] == "generate"
+        child_names = [c["name"] for c in generate_span["children"]]
         assert "dispatch" in child_names and "model.parse" in child_names
         assert payload["counters"]  # HCG emits alg1/alg2 counters

@@ -1,0 +1,222 @@
+"""Codegen-cache correctness: content addressing, LRU, recovery.
+
+The acceptance bar (ISSUE): a warm hit returns byte-identical C, and a
+changed model, ISA, or semantic option each changes the content address
+(a miss). Cache problems degrade to misses with stable diagnostics
+(HCG305/HCG306) — they never abort generation.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.api import CodegenOptions, GenerateRequest, generate
+from repro.arch.presets import get_architecture
+from repro.bench.models import fir_model, lowpass_model
+from repro.service.cache import CacheEntry, CodegenCache, TimingCache
+from repro.service.digest import (
+    cache_key,
+    isa_digest,
+    model_digest,
+    options_digest,
+)
+from repro.service.service import CodegenService
+from repro.verify.fuzz import subset_instruction_set
+
+
+def cached_request(model, tmp_path, **option_changes):
+    options = CodegenOptions(
+        policy="permissive", cache_dir=str(tmp_path), use_cache=True,
+        **option_changes,
+    )
+    return GenerateRequest(model=model, options=options)
+
+
+class TestContentAddressing:
+    def test_model_change_changes_digest(self):
+        assert model_digest(fir_model(8)) != model_digest(fir_model(16))
+        assert model_digest(fir_model(8)) != model_digest(lowpass_model(8))
+        assert model_digest(fir_model(8)) == model_digest(fir_model(8))
+
+    def test_isa_change_changes_digest(self):
+        full = get_architecture("arm_a72").instruction_set
+        subset = subset_instruction_set(
+            full, tuple(spec.name for spec in full.instructions[:2])
+        )
+        assert isa_digest(full) != isa_digest(subset)
+        assert isa_digest(full) == isa_digest(full)
+
+    def test_semantic_option_change_changes_digest(self):
+        base = CodegenOptions()
+        assert options_digest(base) != options_digest(
+            base.replace(unroll_limit=4)
+        )
+        assert options_digest(base) != options_digest(
+            base.replace(branch_aware=True)
+        )
+
+    def test_operational_options_do_not_change_digest(self):
+        base = CodegenOptions()
+        operational = base.replace(
+            jobs=8, use_cache=False, cache_dir="/tmp/elsewhere",
+            history_path="/tmp/h.json",
+        )
+        assert options_digest(base) == options_digest(operational)
+
+    def test_generator_name_is_part_of_the_key(self):
+        model, iset, opts = "m" * 64, "i" * 64, "o" * 64
+        assert cache_key(model, iset, "hcg", opts) != cache_key(
+            model, iset, "dfsynth", opts
+        )
+
+
+class TestCacheRoundTrip:
+    def test_warm_hit_is_byte_identical(self, tmp_path):
+        model = fir_model(8)
+        cold = generate(cached_request(model, tmp_path))
+        warm = generate(cached_request(model, tmp_path))
+        assert cold.from_cache is False
+        assert warm.from_cache is True
+        assert warm.c_source == cold.c_source
+        assert warm.cache_key == cold.cache_key
+        assert warm.metrics["service.from_cache"] == 1
+
+    def test_shared_service_counts_hit_and_miss(self, tmp_path):
+        options = CodegenOptions(
+            policy="permissive", cache_dir=str(tmp_path), use_cache=True
+        )
+        service = CodegenService.from_options(options)
+        request = GenerateRequest(model=fir_model(8), options=options)
+        generate(request, service=service)
+        generate(request, service=service)
+        stats = service.stats()["codegen_cache"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_model_change_misses(self, tmp_path):
+        first = generate(cached_request(fir_model(8), tmp_path))
+        second = generate(cached_request(fir_model(16), tmp_path))
+        assert second.from_cache is False
+        assert second.cache_key != first.cache_key
+
+    def test_isa_change_misses(self, tmp_path):
+        first = generate(cached_request(fir_model(8), tmp_path))
+        second = generate(cached_request(
+            fir_model(8), tmp_path, arch="intel_i7_8700"
+        ))
+        assert second.from_cache is False
+        assert second.cache_key != first.cache_key
+
+    def test_option_change_misses(self, tmp_path):
+        first = generate(cached_request(fir_model(8), tmp_path))
+        second = generate(cached_request(
+            fir_model(8), tmp_path, unroll_limit=0
+        ))
+        assert second.from_cache is False
+        assert second.cache_key != first.cache_key
+
+    def test_no_cache_skips_the_cache_dir(self, tmp_path):
+        result = generate(GenerateRequest(
+            model=fir_model(8),
+            options=CodegenOptions(policy="permissive",
+                                   cache_dir=str(tmp_path), use_cache=False),
+        ))
+        assert result.cache_key is None
+        assert not (tmp_path / "codegen").exists()
+
+    def test_hit_honors_verify_upgrade(self, tmp_path):
+        model = fir_model(8)
+        generate(cached_request(model, tmp_path))
+        warm = generate(GenerateRequest(
+            model=model, verify=True,
+            options=CodegenOptions(policy="permissive",
+                                   cache_dir=str(tmp_path), use_cache=True),
+        ))
+        assert warm.from_cache is True
+        assert warm.verified is True
+
+
+def entry(key, payload="x", size=1):
+    return CacheEntry(
+        key=key, model="M", generator="hcg", arch="arm_a72",
+        c_source=payload * size, program=None,
+    )
+
+
+class TestLruEviction:
+    def test_oldest_entry_evicted_over_cap(self, tmp_path):
+        cache = CodegenCache(tmp_path, max_bytes=1)
+        first = cache.store(entry("a" * 64))
+        os.utime(first, (1, 1))  # make it the LRU victim
+        cache.store(entry("b" * 64))
+        assert cache.evictions >= 1
+        assert not first.exists()
+        assert cache.entry_path("b" * 64).exists()  # just-written survives
+
+    def test_lookup_refreshes_lru_clock(self, tmp_path):
+        cache = CodegenCache(tmp_path, max_bytes=10**9)
+        path = cache.store(entry("a" * 64))
+        os.utime(path, (1, 1))
+        cache.lookup("a" * 64)
+        assert path.stat().st_mtime > 1
+
+
+class TestCacheRecovery:
+    def test_corrupt_entry_is_a_reported_miss(self, tmp_path):
+        cache = CodegenCache(tmp_path)
+        key = "c" * 64
+        path = cache.store(entry(key))
+        path.write_bytes(b"not a pickle")
+        assert cache.lookup(key) is None
+        assert cache.misses == 1
+        assert not path.exists()  # removed, not left to fail again
+        codes = [d.code for d in cache.diagnostics]
+        assert codes == ["HCG305"]
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = CodegenCache(tmp_path)
+        key = "d" * 64
+        path = cache.store(entry(key))
+        path.write_bytes(pickle.dumps({"schema": 999, "entry": entry(key)}))
+        assert cache.lookup(key) is None
+
+    def test_unwritable_root_reports_hcg306(self, tmp_path):
+        # a root whose parent is a regular file cannot be created, even
+        # for privileged users (chmod-based denial is a no-op as root)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = CodegenCache(blocker / "cache")
+        assert cache.store(entry("e" * 64)) is None
+        assert [d.code for d in cache.diagnostics] == ["HCG306"]
+
+    def test_recoveries_fold_into_the_result(self, tmp_path):
+        model = fir_model(8)
+        cold = generate(cached_request(model, tmp_path))
+        path = CodegenCache(tmp_path / "codegen").entry_path(cold.cache_key)
+        path.write_bytes(b"garbage")
+        rebuilt = generate(cached_request(model, tmp_path))
+        assert rebuilt.from_cache is False
+        assert "HCG305" in [d.code for d in rebuilt.diagnostics]
+        assert rebuilt.c_source == cold.c_source
+
+
+class TestTimingCache:
+    def test_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "alg1_arm_a72.json"
+        key = TimingCache.key_for("sel", "kernel.fir", 4)
+        TimingCache(path).store(key, 12.5)
+        reloaded = TimingCache(path)
+        assert reloaded.lookup(key) == 12.5
+        assert reloaded.lookup("absent") is None
+        assert reloaded.stats()["hits"] == 1
+        assert reloaded.stats()["misses"] == 1
+
+    def test_corrupt_file_starts_empty_with_hcg305(self, tmp_path):
+        path = tmp_path / "alg1_arm_a72.json"
+        path.write_text("{broken")
+        cache = TimingCache(path)
+        assert len(cache) == 0
+        assert [d.code for d in cache.diagnostics] == ["HCG305"]

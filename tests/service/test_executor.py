@@ -1,0 +1,95 @@
+"""ParallelExecutor semantics: determinism, fault isolation, counters."""
+
+import threading
+
+import pytest
+
+from repro.observability.tracer import Tracer
+from repro.service.executor import (
+    MAX_JOBS,
+    ParallelExecutor,
+    TaskOutcome,
+    effective_jobs,
+)
+
+
+class TestEffectiveJobs:
+    def test_explicit_value_passes_through(self):
+        assert effective_jobs(3) == 3
+
+    @pytest.mark.parametrize("requested", [None, 0])
+    def test_auto_picks_at_least_one(self, requested):
+        assert 1 <= effective_jobs(requested) <= MAX_JOBS
+
+    def test_ceiling_applies(self):
+        assert effective_jobs(10**6) == MAX_JOBS
+
+
+class TestDeterministicOrder:
+    def test_outcomes_in_input_order_regardless_of_finish_order(self):
+        release = threading.Event()
+
+        def task(index):
+            if index == 0:
+                release.wait(timeout=5)  # first task finishes last
+            else:
+                release.set()
+            return index * 10
+
+        outcomes = ParallelExecutor(jobs=4).map(task, [0, 1, 2, 3])
+        assert [o.value for o in outcomes] == [0, 10, 20, 30]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_serial_and_parallel_agree(self, jobs):
+        outcomes = ParallelExecutor(jobs=jobs).map(
+            lambda item: item.upper(), ["a", "b", "c"]
+        )
+        assert [o.value for o in outcomes] == ["A", "B", "C"]
+
+    def test_labels_come_from_the_callback(self):
+        outcomes = ParallelExecutor(jobs=2).map(
+            len, ["xx", "yyy"], label=lambda index, item: f"cell:{item}"
+        )
+        assert [o.label for o in outcomes] == ["cell:xx", "cell:yyy"]
+
+
+class TestFaultIsolation:
+    def failing_map(self, jobs):
+        def task(index):
+            if index % 2:
+                raise RuntimeError(f"boom {index}")
+            return index
+
+        return ParallelExecutor(jobs=jobs).map(task, list(range(4)))
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_one_failure_does_not_poison_the_pool(self, jobs):
+        outcomes = self.failing_map(jobs)
+        assert [o.ok for o in outcomes] == [True, False, True, False]
+        assert outcomes[2].value == 2
+        assert isinstance(outcomes[1].error, RuntimeError)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_raise_first_is_deterministic(self, jobs):
+        outcomes = self.failing_map(jobs)
+        with pytest.raises(RuntimeError, match="boom 1"):
+            ParallelExecutor.raise_first(outcomes)
+
+    def test_raise_first_passes_clean_runs(self):
+        ParallelExecutor.raise_first([TaskOutcome(index=0, label="x", value=1)])
+
+
+class TestPoolCounters:
+    def test_submitted_completed_failed(self):
+        tracer = Tracer()
+
+        def task(index):
+            if index == 2:
+                raise ValueError("bad cell")
+            return index
+
+        ParallelExecutor(jobs=2, tracer=tracer).map(task, list(range(5)))
+        assert tracer.counters["pool.task.submitted"] == 5
+        assert tracer.counters["pool.task.completed"] == 4
+        assert tracer.counters["pool.task.failed"] == 1

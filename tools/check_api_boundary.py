@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Enforce the public-API boundary of the reproduction (stdlib only).
+
+``repro.api`` is the supported programmatic surface (docs/api.md);
+everything under ``repro.codegen`` is internal. This lint fails the
+build when a file *outside* ``src/repro`` imports generator internals,
+so new code is pushed through the facade.
+
+Existing offenders — the unit tests of the internals themselves, the
+benchmark suite and the worked examples, all written before the facade
+existed — are grandfathered in ``ALLOWED`` below. The list only ever
+shrinks: migrating a file off internals means deleting its line here,
+and adding a new import of ``repro.codegen`` outside this list (or
+re-offending from a migrated file) fails CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: directories scanned for boundary violations (src/repro itself may
+#: import its internals freely)
+SCANNED = ("tests", "benchmarks", "examples", "tools")
+
+#: import of any repro.codegen module, e.g.
+#:   from repro.codegen.hcg.generator import HcgGenerator
+#:   import repro.codegen.common as common
+INTERNAL_IMPORT = re.compile(
+    r"^\s*(?:from|import)\s+repro\.codegen(?:\.|\s|$)", re.MULTILINE
+)
+
+#: grandfathered offenders (see module docstring) — never add to this
+ALLOWED = {
+    "benchmarks/test_ablations.py",
+    "benchmarks/test_conv_adaptivity.py",
+    "benchmarks/test_native_speedup.py",
+    "examples/custom_architecture.py",
+    "examples/fft_spectrum.py",
+    "examples/figure2_codegen.py",
+    "examples/image_pipeline.py",
+    "examples/overlap_blocks.py",
+    "examples/quickstart.py",
+    "examples/signal_pipeline.py",
+    "tests/codegen/test_baselines.py",
+    "tests/codegen/test_batch.py",
+    "tests/codegen/test_branch_aware.py",
+    "tests/codegen/test_common.py",
+    "tests/codegen/test_copy_actors.py",
+    "tests/codegen/test_dfg_subgraphs.py",
+    "tests/codegen/test_dispatch.py",
+    "tests/codegen/test_hcg.py",
+    "tests/codegen/test_history_intensive.py",
+    "tests/codegen/test_listing1.py",
+    "tests/codegen/test_reuse.py",
+    "tests/codegen/test_unsigned_batch.py",
+    "tests/compiler/test_passes.py",
+    "tests/integration/test_2d_models.py",
+    "tests/integration/test_compile_c.py",
+    "tests/integration/test_consistency.py",
+    "tests/integration/test_failure_injection.py",
+    "tests/integration/test_model_files.py",
+    "tests/integration/test_tutorial.py",
+    "tests/ir/test_printer_cemit.py",
+    "tests/ir/test_project.py",
+    "tests/model/test_mdl_io.py",
+    "tests/observability/test_tracer.py",
+    "tests/robustness/test_cli_robust.py",
+    "tests/robustness/test_fault_injection.py",
+    "tests/robustness/test_history_locking.py",
+    "tests/robustness/test_history_robust.py",
+    "tests/robustness/test_property_history.py",
+    "tests/vm/test_profile.py",
+}
+
+
+def offending_files() -> list[str]:
+    found = []
+    for directory in SCANNED:
+        base = ROOT / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(ROOT).as_posix()
+            if rel == "tools/check_api_boundary.py":
+                continue  # this file names the pattern it greps for
+            if INTERNAL_IMPORT.search(path.read_text(encoding="utf-8")):
+                found.append(rel)
+    return found
+
+
+def main() -> int:
+    found = offending_files()
+    new = [rel for rel in found if rel not in ALLOWED]
+    stale = sorted(ALLOWED - set(found))
+    status = 0
+    if new:
+        print("New imports of repro.codegen internals outside src/repro:")
+        for rel in new:
+            print(f"  {rel}")
+        print(
+            "Use the stable repro.api facade instead (docs/api.md); the\n"
+            "grandfather list in tools/check_api_boundary.py only shrinks."
+        )
+        status = 1
+    if stale:
+        print("Allowlisted files no longer import internals — delete them")
+        print("from ALLOWED in tools/check_api_boundary.py:")
+        for rel in stale:
+            print(f"  {rel}")
+        status = 1
+    if status == 0:
+        print(
+            f"api boundary clean: {len(found)} grandfathered offender(s), "
+            f"0 new"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
