@@ -15,7 +15,10 @@ Commands mirror how the paper's tool is used:
 * ``verify``   — differential translation validation: run every
   generator's output against the model reference semantics (and each
   other), optionally fuzzing random models and ISA subsets; failures
-  are minimized and quarantined as repro cases (docs/verification.md).
+  are minimized and quarantined as repro cases (docs/verification.md);
+* ``serve``    — the resilient codegen daemon: generate/verify over an
+  HTTP JSON API with backpressure, deadlines, retries, circuit
+  breakers and graceful drain (docs/api.md, docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -100,6 +103,12 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk codegen cache for this invocation",
     )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per fanned-out cell; a cell still running "
+             "at the deadline degrades with HCG213 instead of hanging the "
+             "batch (default: unbounded)",
+    )
 
 
 def _service_options(args: argparse.Namespace, tracer=None):
@@ -127,6 +136,7 @@ def _service_options(args: argparse.Namespace, tracer=None):
         cache_dir=args.cache_dir,
         use_cache=use_cache,
         jobs=max(1, args.jobs),
+        task_timeout_s=getattr(args, "task_timeout", None),
         tracer=tracer,
     )
 
@@ -346,6 +356,40 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.observability.tracer import Tracer
+    from repro.server import KNOWN_CHAOS, CodegenDaemon, ServerConfig
+    from repro.server.retry import RetryPolicy
+    from repro.service.service import CodegenService
+
+    chaos = tuple(name for name in (args.inject or "").split(",") if name)
+    unknown = [name for name in chaos if name not in KNOWN_CHAOS]
+    if unknown:
+        print(f"error: unknown chaos fault(s) {unknown}; "
+              f"known: {list(KNOWN_CHAOS)}", file=sys.stderr)
+        return 2
+    options = _service_options(args)
+    service = CodegenService.from_options(options, tracer=None)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        workers=args.workers,
+        deadline_s=args.deadline,
+        drain_grace_s=args.drain_grace,
+        retry=RetryPolicy(attempts=args.retry_attempts),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        chaos=chaos,
+        chaos_rate=args.chaos_rate,
+        chaos_seed=args.chaos_seed,
+        chaos_slow_s=args.chaos_slow,
+    )
+    daemon = CodegenDaemon(service, config, base_options=options,
+                           tracer=Tracer())
+    return daemon.run()
+
+
 def cmd_isa(args: argparse.Namespace) -> int:
     if args.name == "lint":
         from repro.isa.lint import lint_paths
@@ -390,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
             "  repro bench --json BENCH_codegen.json\n"
             "  repro inspect models/fir.xml\n"
             "  repro isa neon\n"
+            "  repro serve --port 8337 --workers 4\n"
             "\n"
             "docs/architecture.md walks the pipeline end to end;\n"
             "docs/observability.md documents traces, metrics and the\n"
@@ -499,6 +544,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", action="append", help=argparse.SUPPRESS)
     _add_service_args(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resilient codegen daemon (HTTP JSON API)",
+        description="Serve generate/verify requests over HTTP with bounded "
+                    "admission (429 + Retry-After), per-request deadlines, "
+                    "retries with backoff, per-generator circuit breakers "
+                    "that demote traffic to the scalar fallback, and "
+                    "graceful SIGTERM drain.  Protocol: docs/api.md; "
+                    "failure semantics: docs/robustness.md.  Load + chaos "
+                    "harness: tools/loadgen.py.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8337,
+                   help="TCP port (0 = ephemeral; the bound port is logged "
+                        "in the 'listening' event)")
+    p.add_argument("--queue-size", type=int, default=64, metavar="N",
+                   help="bounded request queue; beyond it requests are shed "
+                        "with 429 + Retry-After (default 64)")
+    p.add_argument("--workers", type=int, default=4, metavar="N",
+                   help="concurrent request workers (default 4)")
+    p.add_argument("--deadline", type=float, default=10.0, metavar="SECONDS",
+                   help="default and maximum per-request wall-clock budget "
+                        "(default 10)")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="how long a SIGTERM drain waits for accepted "
+                        "requests (default 30)")
+    p.add_argument("--retry-attempts", type=int, default=3, metavar="N",
+                   help="total tries per request for transient faults "
+                        "(default 3; 1 disables retries)")
+    p.add_argument("--breaker-threshold", type=int, default=5, metavar="N",
+                   help="consecutive failures that trip a generator's "
+                        "circuit breaker (default 5)")
+    p.add_argument("--breaker-cooldown", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="open-state cooldown before a half-open probe "
+                        "(default 2)")
+    p.add_argument("--inject", metavar="FAULT[,FAULT...]",
+                   help="chaos harness: inject faults (worker_crash, "
+                        "slow_generator, cache_corrupt, disk_full)")
+    p.add_argument("--chaos-rate", type=float, default=0.25,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--chaos-slow", type=float, default=1.0,
+                   help=argparse.SUPPRESS)
+    _add_policy_args(p)
+    _add_service_args(p)
+    # A daemon must degrade and keep serving, not abort the process; the
+    # strict/permissive choice still applies per request via "options".
+    p.set_defaults(policy="permissive")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "isa",

@@ -48,6 +48,7 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[Severity, str]] = {
     "HCG204": (Severity.WARNING, "stale history entry dropped (kernel id no longer in library)"),
     "HCG211": (Severity.INFO, "batch group demoted: too narrow or below the profitability threshold"),
     "HCG212": (Severity.ERROR, "parallel generation task failed; fault isolated to its cell"),
+    "HCG213": (Severity.ERROR, "parallel generation task exceeded its timeout; cell degraded"),
     # 3xx — selection-history / cache recovery
     "HCG301": (Severity.WARNING, "corrupt history file quarantined and rebuilt"),
     "HCG302": (Severity.WARNING, "malformed history entry skipped"),
@@ -55,12 +56,22 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[Severity, str]] = {
     "HCG304": (Severity.WARNING, "history file could not be persisted or locked"),
     "HCG305": (Severity.WARNING, "corrupt cache entry removed; treated as a miss"),
     "HCG306": (Severity.WARNING, "cache entry could not be persisted or evicted"),
+    "HCG307": (Severity.WARNING, "cache write failed (disk full or read-only root); entry dropped, treated as a miss"),
     # 4xx — translation validation (repro.verify)
     "HCG401": (Severity.ERROR, "generated program diverges from the model's reference semantics"),
     "HCG402": (Severity.ERROR, "HCG output diverges from a baseline generator"),
     "HCG403": (Severity.ERROR, "generation or execution crashed during verification"),
     "HCG404": (Severity.WARNING, "fuzz failure minimized and written to quarantine"),
     "HCG405": (Severity.WARNING, "shrinker budget exhausted; repro case may not be minimal"),
+    # 5xx — codegen service daemon (repro serve, docs/robustness.md)
+    "HCG501": (Severity.ERROR, "request deadline exceeded; work cancelled"),
+    "HCG502": (Severity.WARNING, "request shed: queue at capacity (backpressure)"),
+    "HCG503": (Severity.WARNING, "request shed: deadline expired before a worker started it"),
+    "HCG504": (Severity.WARNING, "circuit breaker open; request demoted to the fallback generator"),
+    "HCG505": (Severity.ERROR, "request worker crashed; fault isolated to the request"),
+    "HCG506": (Severity.WARNING, "transient fault; request attempt retried with backoff"),
+    "HCG507": (Severity.ERROR, "retry budget exhausted; last fault surfaced"),
+    "HCG508": (Severity.WARNING, "daemon draining; request rejected"),
 }
 
 #: Recognised collector policies.

@@ -71,10 +71,26 @@ class COUNTERS:
     CACHE_HITS = "cache.hit"
     CACHE_MISSES = "cache.miss"
     CACHE_EVICTIONS = "cache.evict"
+    CACHE_WRITE_FAILURES = "cache.write_failed"
     # Codegen service — parallel executor
     POOL_TASKS_SUBMITTED = "pool.task.submitted"
     POOL_TASKS_COMPLETED = "pool.task.completed"
     POOL_TASKS_FAILED = "pool.task.failed"
+    POOL_TASKS_TIMEOUT = "pool.task.timeout"
+    # Codegen daemon (repro serve) — admission, shedding, resilience
+    SERVER_REQUESTS_ACCEPTED = "server.request.accepted"
+    SERVER_REQUESTS_OK = "server.request.ok"
+    SERVER_REQUESTS_FAILED = "server.request.failed"
+    SERVER_SHED_QUEUE_FULL = "server.shed.queue_full"
+    SERVER_SHED_EXPIRED = "server.shed.expired"
+    SERVER_SHED_DRAINING = "server.shed.draining"
+    SERVER_DEADLINE_CANCELLED = "server.deadline.cancelled"
+    SERVER_RETRY_ATTEMPTS = "server.retry.attempts"
+    SERVER_RETRY_EXHAUSTED = "server.retry.exhausted"
+    SERVER_BREAKER_TRIPS = "server.breaker.trips"
+    SERVER_BREAKER_RECOVERIES = "server.breaker.recoveries"
+    SERVER_BREAKER_DEMOTED = "server.breaker.demoted"
+    SERVER_DRAINED = "server.drained"
 
 
 def generation_metrics(generator: Any) -> Dict[str, Any]:

@@ -1,0 +1,26 @@
+"""The resilient codegen daemon (``repro serve``).
+
+An asyncio HTTP service over :class:`~repro.service.service.CodegenService`
+with bounded admission, per-request deadlines, retries with backoff,
+per-generator circuit breakers, chaos fault injection, and graceful
+SIGTERM drain.  Protocol: docs/api.md; failure modes: docs/robustness.md;
+load + chaos harness: tools/loadgen.py.
+"""
+
+from repro.server.breaker import BreakerState, CircuitBreaker
+from repro.server.chaos import KNOWN_CHAOS, ChaosFault, ChaosMonkey
+from repro.server.daemon import CodegenDaemon, ServerConfig
+from repro.server.retry import RetryPolicy, TransientFault, is_transient
+
+__all__ = [
+    "BreakerState",
+    "ChaosFault",
+    "ChaosMonkey",
+    "CircuitBreaker",
+    "CodegenDaemon",
+    "KNOWN_CHAOS",
+    "RetryPolicy",
+    "ServerConfig",
+    "TransientFault",
+    "is_transient",
+]

@@ -1,0 +1,127 @@
+"""Per-generator circuit breakers for the codegen daemon.
+
+A breaker guards one generator's synthesis path.  While it is CLOSED,
+requests flow to the generator normally.  ``threshold`` consecutive
+final failures (crashes, deadline cancellations — not client errors)
+trip it OPEN: traffic is demoted to the fallback generator (the
+conventional scalar path, reusing the PR 1 degradation lattice) so the
+daemon keeps serving *correct* code while the faulty path cools down.
+After ``cooldown_s`` the breaker goes HALF_OPEN and lets exactly one
+probe request through; a probe success closes the breaker (recovery), a
+probe failure re-opens it for another cooldown.
+
+The breaker is mutated only from the daemon's event-loop thread, so no
+lock is needed; tests drive it with a fake clock.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe."""
+
+    def __init__(
+        self,
+        name: str,
+        threshold: int = 5,
+        cooldown_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.name = name
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.trips = 0
+        self.recoveries = 0
+        #: (timestamp, from-state, to-state) transition log, newest last
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    # ------------------------------------------------------------------
+    def _transition(self, new_state: BreakerState) -> None:
+        self.transitions.append(
+            (self._clock(), self._state.value, new_state.value)
+        )
+        self._state = new_state
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state; an elapsed cooldown surfaces as HALF_OPEN."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+            self._probe_in_flight = False
+        return self._state
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the next request use the guarded generator?
+
+        CLOSED: yes.  OPEN: no (demote).  HALF_OPEN: yes for exactly one
+        probe at a time; concurrent requests are demoted until the probe
+        reports back.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A request served by the guarded generator succeeded."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.recoveries += 1
+            self._transition(BreakerState.CLOSED)
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A request served by the guarded generator finally failed."""
+        state = self.state
+        self._consecutive_failures += 1
+        if state is BreakerState.HALF_OPEN:
+            # The probe failed: straight back to OPEN for a new cooldown.
+            self._transition(BreakerState.OPEN)
+            self._opened_at = self._clock()
+            self._probe_in_flight = False
+            self.trips += 1
+        elif (
+            state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.threshold
+        ):
+            self._transition(BreakerState.OPEN)
+            self._opened_at = self._clock()
+            self.trips += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready state for ``/metrics`` and the access log."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown_s,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+        }

@@ -1,0 +1,184 @@
+"""Chaos fault injection for the codegen daemon.
+
+The daemon's resilience claims (docs/robustness.md) are only credible
+if they are exercised: this module injects the four failure modes the
+chaos harness (``tools/loadgen.py``) replays against a live daemon.
+
+``worker_crash``
+    The request worker raises mid-generation (:class:`ChaosFault`, a
+    transient fault — the retry policy recovers isolated crashes, the
+    circuit breaker trips on sustained ones).
+``slow_generator``
+    Generation stalls past the request deadline, proving deadline
+    cancellation (HCG501).  The stall sleeps in small slices and exits
+    early once the daemon abandons the attempt, so a cancelled request
+    does not leak a pinned worker thread for the full stall.
+``cache_corrupt``
+    A random on-disk codegen-cache entry is overwritten with garbage,
+    proving HCG305 corrupt-entry-to-miss recovery under live traffic.
+``disk_full``
+    Cache writes raise ``ENOSPC`` (via
+    ``CodegenCache.inject_write_fault``), proving HCG307 write-failure-
+    to-miss recovery.
+
+Faults fire in seeded *bursts*, not i.i.d. coin flips: real incidents
+are correlated (a bad deploy, a full disk), and bursts are what trips a
+consecutive-failure circuit breaker.  ``rate`` is the long-run fraction
+of injection points inside a burst; tests can pin exact behaviour with
+an explicit per-fault ``plan`` of call indices instead.
+
+Chaos targets only the *primary* generation path: once the breaker has
+demoted a request to the fallback generator, injection is skipped —
+the point of demotion is routing around the faulty path.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.server.retry import TransientFault
+
+#: every fault name the daemon accepts; unknown names fail fast
+KNOWN_CHAOS: Tuple[str, ...] = (
+    "worker_crash",
+    "slow_generator",
+    "cache_corrupt",
+    "disk_full",
+)
+
+#: injection points per burst
+BURST_LENGTH = 16
+
+
+class ChaosFault(TransientFault):
+    """An injected worker fault (transient: the retry policy applies)."""
+
+
+class ChaosMonkey:
+    """Seeded burst scheduler + the four fault implementations.
+
+    One instance per daemon; ``on_attempt`` is called (in the worker
+    thread) at the top of every non-demoted generation attempt.
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[str] = (),
+        rate: float = 0.25,
+        seed: int = 0,
+        slow_s: float = 1.0,
+        burst_length: int = BURST_LENGTH,
+        plan: Optional[Dict[str, Sequence[int]]] = None,
+    ) -> None:
+        for name in tuple(faults) + tuple(plan or ()):
+            if name not in KNOWN_CHAOS:
+                raise ValueError(
+                    f"unknown chaos fault {name!r}; known: {KNOWN_CHAOS}"
+                )
+        if not 0.0 < rate <= 1.0 and faults:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.faults = tuple(faults)
+        self.rate = rate
+        self.slow_s = slow_s
+        self.burst_length = max(1, burst_length)
+        self.plan = {name: set(calls) for name, calls in (plan or {}).items()}
+        self._rng = random.Random(seed)
+        self._calls = 0
+        self._lock = threading.Lock()
+        self.injected: Dict[str, int] = {name: 0 for name in KNOWN_CHAOS}
+        # Burst schedule per fault: first burst starts a short random
+        # way in; gaps are sized so the long-run injected fraction ~rate.
+        self._burst_start: Dict[str, int] = {}
+        self._burst_end: Dict[str, int] = {}
+        for name in self.faults:
+            self._schedule_burst(name, self._rng.randint(1, self.burst_length))
+
+    # ------------------------------------------------------------------
+    def _schedule_burst(self, name: str, start: int) -> None:
+        self._burst_start[name] = start
+        self._burst_end[name] = start + self.burst_length
+
+    def _gap(self) -> int:
+        """Calls between bursts so bursts cover ~``rate`` of calls."""
+        mean_gap = self.burst_length * max(1.0 / self.rate - 1.0, 0.0)
+        return max(1, int(self._rng.uniform(0.5, 1.5) * mean_gap))
+
+    def _active(self, name: str, call: int) -> bool:
+        if name in self.plan:
+            return call in self.plan[name]
+        if name not in self.faults:
+            return False
+        if call >= self._burst_end[name]:
+            self._schedule_burst(name, self._burst_end[name] + self._gap())
+        return self._burst_start[name] <= call < self._burst_end[name]
+
+    # ------------------------------------------------------------------
+    def on_attempt(self, cache=None, abandoned: Optional[Callable[[], bool]] = None) -> None:
+        """Run in the worker thread at the top of one generation attempt.
+
+        ``cache`` is the service's :class:`~repro.service.cache.CodegenCache`
+        (or ``None``); ``abandoned`` reports whether the daemon already
+        gave up on this attempt (deadline), ending a stall early.
+        """
+        with self._lock:
+            call = self._calls
+            self._calls += 1
+            active = [
+                name for name in KNOWN_CHAOS if self._active(name, call)
+            ]
+            for name in active:
+                self.injected[name] += 1
+        if "cache_corrupt" in active and cache is not None:
+            self._corrupt_one_entry(cache)
+        if "disk_full" in active and cache is not None:
+            cache.inject_write_fault = _raise_enospc
+        elif cache is not None and "disk_full" in self.faults:
+            cache.inject_write_fault = None
+        if "slow_generator" in active:
+            self._stall(abandoned)
+        if "worker_crash" in active:
+            raise ChaosFault("chaos: injected worker crash")
+
+    # ------------------------------------------------------------------
+    def _stall(self, abandoned: Optional[Callable[[], bool]]) -> None:
+        deadline = time.monotonic() + self.slow_s
+        while time.monotonic() < deadline:
+            if abandoned is not None and abandoned():
+                return
+            time.sleep(0.02)
+
+    def _corrupt_one_entry(self, cache) -> None:
+        entries = sorted(
+            (path for _, _, path in cache._entries_by_age()),
+            key=lambda p: p.name,
+        )
+        if not entries:
+            return
+        victim = entries[self._rng.randrange(len(entries))]
+        try:
+            victim.write_bytes(b"\x00chaos: corrupted cache entry\x00")
+        except OSError:
+            pass  # racing an eviction loses; the fault simply misses
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "faults": list(self.faults),
+                "rate": self.rate,
+                "calls": self._calls,
+                "injected": {
+                    name: count
+                    for name, count in self.injected.items()
+                    if count
+                },
+            }
+
+
+def _raise_enospc() -> None:
+    raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC))

@@ -1,0 +1,829 @@
+"""`repro serve`: the resilient codegen daemon.
+
+An asyncio HTTP front end over :class:`~repro.service.service.CodegenService`
+— the "codegen as a service" story of the ROADMAP, built for survival
+under overload and partial failure rather than raw feature count:
+
+* **bounded admission** — requests enter a bounded queue; when it is
+  full the daemon answers ``429`` with a ``Retry-After`` estimate
+  (HCG502) instead of buffering unboundedly, and a queued request whose
+  deadline lapses before a worker picks it up is shed (HCG503) instead
+  of wasting a worker on an answer nobody is waiting for;
+* **deadlines** — every request carries a wall-clock budget (client
+  ``deadline_s``, capped by the server default); work still running at
+  the deadline is cancelled and answered ``504`` with HCG501;
+* **retries** — transiently-failed attempts (chaos faults, I/O
+  hiccups) are retried with capped exponential backoff + jitter while
+  the deadline has room (HCG506 per retry, HCG507 on exhaustion);
+* **circuit breakers** — consecutive final failures of one generator
+  trip its breaker; traffic demotes to the conventional scalar
+  fallback generator (HCG504) until a half-open probe succeeds,
+  reusing the PR 1 degradation lattice at the service boundary;
+* **graceful drain** — SIGTERM stops accepting, serves every accepted
+  request, persists selection histories and timing caches atomically,
+  then exits 0.  No accepted request is lost.
+
+Every failure mode surfaces as a stable ``HCG5xx`` diagnostic
+(docs/robustness.md); ``/healthz`` and ``/metrics`` expose the queue,
+breaker and latency state fed by the span tracer's counters.  The
+protocol is documented in docs/api.md; ``tools/loadgen.py`` is the
+load + chaos harness that replays thousands of mixed requests against
+a live daemon.
+
+Threading model: the event loop owns all daemon state (queue, breakers,
+counters, log); generation runs on a bounded thread pool and touches
+only the thread-safe :class:`CodegenService`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+import math
+import random
+import signal
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.diagnostics import DIAGNOSTIC_CODES, Diagnostic
+from repro.errors import ReproError
+from repro.observability.metrics import COUNTERS
+from repro.observability.tracer import Tracer
+from repro.server.breaker import CircuitBreaker
+from repro.server.chaos import ChaosMonkey
+from repro.server.http import (
+    HttpProtocolError,
+    HttpRequest,
+    read_request,
+    response_bytes,
+)
+from repro.server.retry import RetryPolicy, is_transient
+
+#: benchmark models the protocol can instantiate at a requested scale
+#: (mirrors repro.bench.trajectory.quick_suite)
+def _scaled_model_builders() -> Dict[str, Callable[[int], Any]]:
+    from repro.bench.models import (
+        conv_model,
+        dct_model,
+        fft_model,
+        fir_model,
+        highpass_model,
+        lowpass_model,
+    )
+
+    return {
+        "FFT": fft_model,
+        "DCT": dct_model,
+        "Conv": lambda n: conv_model(n, max(n // 16, 2)),
+        "HighPass": highpass_model,
+        "LowPass": lowpass_model,
+        "FIR": fir_model,
+    }
+
+
+#: semantic option overrides a request body may carry
+_OPTION_KEYS = (
+    "policy", "branch_aware", "variable_reuse", "unroll_limit",
+    "simd_threshold",
+)
+
+#: status code each terminal HCG5xx diagnostic maps to
+_STATUS_OF_CODE = {
+    "HCG501": 504,
+    "HCG502": 429,
+    "HCG503": 504,
+    "HCG505": 500,
+    "HCG507": 500,
+    "HCG508": 503,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerConfig:
+    """Every daemon knob, with survivable defaults."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (reported by the ``listening`` event)
+    port: int = 8337
+    #: bounded request queue: admission beyond this is a 429
+    queue_size: int = 64
+    #: concurrent request workers (and generation threads)
+    workers: int = 4
+    #: default and maximum per-request wall-clock budget (seconds)
+    deadline_s: float = 10.0
+    #: how long a SIGTERM drain waits for accepted requests
+    drain_grace_s: float = 30.0
+    retry: RetryPolicy = RetryPolicy()
+    #: consecutive final failures that trip a generator's breaker
+    breaker_threshold: int = 5
+    #: seconds an open breaker waits before its half-open probe
+    breaker_cooldown_s: float = 2.0
+    #: generator demoted-to while a breaker is open (the conventional
+    #: scalar path — always available, never SIMD-synthesis-faulted)
+    fallback_generator: str = "simulink_coder"
+    #: chaos fault names to inject (tools/loadgen.py --inject)
+    chaos: Tuple[str, ...] = ()
+    chaos_rate: float = 0.25
+    chaos_seed: int = 0
+    #: how long an injected slow_generator stall lasts (seconds)
+    chaos_slow_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+
+
+class _BadRequest(Exception):
+    """The request body failed validation (a 400, never retried)."""
+
+
+@dataclasses.dataclass
+class _RequestSpec:
+    """One validated generation request, ready for a worker."""
+
+    model: Any                  # name, path, or deferred scaled builder
+    model_name: str
+    scale: Optional[int]
+    generator: str
+    options: Any                # CodegenOptions
+    verify: bool
+    seed: int
+    steps: int
+    deadline_s: float
+    include_source: bool
+
+
+@dataclasses.dataclass(eq=False)  # identity hash: items live in sets
+class _Pending:
+    """One admitted request waiting for (or being served by) a worker."""
+
+    spec: _RequestSpec
+    deadline: float             # monotonic
+    enqueued: float             # monotonic
+    future: "asyncio.Future"
+
+    def resolve(self, status: int, payload: dict,
+                headers: Tuple[Tuple[str, str], ...] = ()) -> None:
+        if not self.future.done():
+            self.future.set_result((status, payload, headers))
+
+
+def _diag(code: str, message: str, **kwargs: str) -> Diagnostic:
+    severity = DIAGNOSTIC_CODES[code][0]
+    return Diagnostic(code=code, severity=severity, message=message, **kwargs)
+
+
+def _diag_dicts(diagnostics) -> List[dict]:
+    return [
+        {
+            "code": d.code,
+            "severity": d.severity.label(),
+            "message": d.message,
+            "actor": d.actor,
+            "location": d.location,
+        }
+        for d in diagnostics
+    ]
+
+
+class CodegenDaemon:
+    """The asyncio daemon; one instance per ``repro serve`` process."""
+
+    def __init__(self, service, config: ServerConfig = ServerConfig(),
+                 base_options=None, tracer: Optional[Tracer] = None,
+                 log_stream=None) -> None:
+        from repro.codegen.options import CodegenOptions
+
+        self.service = service
+        self.config = config
+        self.base_options = (base_options if base_options is not None
+                             else CodegenOptions(policy="permissive"))
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._log_stream = log_stream if log_stream is not None else sys.stderr
+        self.chaos: Optional[ChaosMonkey] = None
+        if config.chaos:
+            self.chaos = ChaosMonkey(
+                faults=config.chaos, rate=config.chaos_rate,
+                seed=config.chaos_seed, slow_s=config.chaos_slow_s,
+            )
+        self._clock = time.monotonic
+        self._retry_rng = random.Random(config.chaos_seed ^ 0x5EED)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_logged: Dict[str, int] = {}
+        self._latencies_ms: Deque[float] = deque(maxlen=20000)
+        self._ewma_ms = 50.0
+        self._started_at = 0.0
+        self._draining = False
+        self.drained = False
+        self.bound_port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._in_flight: set = set()
+        self._done: Optional[asyncio.Event] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._worker_tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Serve until drained (SIGTERM/SIGINT); returns the exit code."""
+        try:
+            asyncio.run(self._main())
+        finally:
+            self._ready.set()  # never leave wait_ready() hanging
+        return 0 if self.drained else 1
+
+    def wait_ready(self, timeout: float = 30.0) -> int:
+        """Block (from another thread) until listening; returns the port."""
+        if not self._ready.wait(timeout):
+            raise TimeoutError("daemon did not start listening in time")
+        if self.bound_port is None:
+            raise RuntimeError("daemon exited before binding its socket")
+        return self.bound_port
+
+    def request_drain_threadsafe(self) -> None:
+        """Trigger the SIGTERM drain path from another thread (tests)."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self.request_drain)
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._done = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers * 2 + 2,
+            thread_name_prefix="repro-serve",
+        )
+        self._started_at = self._clock()
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            # Only possible on the main thread of a POSIX process; the
+            # threaded test harness drives request_drain directly.
+            self._loop.add_signal_handler(signal.SIGTERM, self.request_drain)
+            self._loop.add_signal_handler(signal.SIGINT, self.request_drain)
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+        self._worker_tasks = [
+            self._loop.create_task(self._worker(index))
+            for index in range(self.config.workers)
+        ]
+        self._log({
+            "event": "listening", "host": self.config.host,
+            "port": self.bound_port, "workers": self.config.workers,
+            "queue_size": self.config.queue_size,
+            "deadline_s": self.config.deadline_s,
+            "chaos": list(self.config.chaos),
+        })
+        self._ready.set()
+        try:
+            await self._done.wait()
+        finally:
+            for task in self._worker_tasks:
+                task.cancel()
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Stop accepting, serve what was accepted, persist, exit."""
+        if self._draining:
+            return
+        self._draining = True
+        self._log({"event": "drain.start",
+                   "queue_depth": self._queue.qsize(),
+                   "in_flight": len(self._in_flight)})
+        assert self._server is not None
+        self._server.close()
+        assert self._loop is not None
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        grace = self.config.drain_grace_s
+        deadline = self._clock() + grace
+        try:
+            await asyncio.wait_for(self._queue.join(), timeout=grace)
+            clean = True
+        except asyncio.TimeoutError:
+            clean = False
+            # Forced drain: answer whatever is still pending so no
+            # connection is left hanging, then shut down anyway.
+            abandoned = []
+            while not self._queue.empty():
+                with contextlib.suppress(asyncio.QueueEmpty):
+                    abandoned.append(self._queue.get_nowait())
+                    self._queue.task_done()
+            for item in list(self._in_flight):
+                abandoned.append(item)
+            for item in abandoned:
+                diagnostic = _diag(
+                    "HCG508",
+                    f"drain grace of {grace:g}s exceeded; request abandoned",
+                )
+                item.resolve(503, {
+                    "error": diagnostic.message,
+                    "code": diagnostic.code,
+                    "diagnostics": _diag_dicts([diagnostic]),
+                })
+        # Let connection handlers flush their final responses.
+        while self._connections and self._clock() < deadline + 5.0:
+            await asyncio.sleep(0.02)
+        try:
+            self.service.flush()
+        except Exception as exc:  # fault-isolation: a flush fault must not block shutdown
+            self._log({"event": "drain.flush_failed",
+                       "error": f"{type(exc).__name__}: {exc}"})
+        self.tracer.count(COUNTERS.SERVER_DRAINED)
+        self.drained = clean or not self._in_flight
+        self._log({
+            "event": "drain.complete", "clean": clean,
+            "served": self.tracer.counters.get(COUNTERS.SERVER_REQUESTS_OK, 0)
+            + self.tracer.counters.get(COUNTERS.SERVER_REQUESTS_FAILED, 0),
+            "shed": self.tracer.counters.get(COUNTERS.SERVER_SHED_QUEUE_FULL, 0)
+            + self.tracer.counters.get(COUNTERS.SERVER_SHED_EXPIRED, 0)
+            + self.tracer.counters.get(COUNTERS.SERVER_SHED_DRAINING, 0),
+        })
+        assert self._done is not None
+        self._done.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpProtocolError as exc:
+                    writer.write(response_bytes(
+                        exc.status, {"error": str(exc)}, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload, headers = await self._dispatch(request)
+                keep_alive = request.keep_alive and not self._draining
+                writer.write(response_bytes(
+                    status, payload, headers, keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to answer
+        except Exception as exc:  # fault-isolation: one connection must not kill the daemon
+            self._log({"event": "connection.error",
+                       "error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: HttpRequest):
+        route = (request.method, request.path.split("?", 1)[0])
+        if route == ("GET", "/healthz"):
+            return 200, self._healthz(), ()
+        if route == ("GET", "/metrics"):
+            return 200, self._metrics(), ()
+        if route in (("POST", "/generate"), ("POST", "/verify")):
+            started = self._clock()
+            try:
+                payload = request.json()
+            except HttpProtocolError as exc:
+                return exc.status, {"error": str(exc)}, ()
+            if request.path.startswith("/verify"):
+                payload = dict(payload, verify=True)
+            try:
+                spec = self._parse_spec(payload)
+            except _BadRequest as exc:
+                return 400, {"error": str(exc)}, ()
+            status, body, headers = await self._admit_and_wait(spec)
+            elapsed_ms = (self._clock() - started) * 1000.0
+            self._observe_latency(status, elapsed_ms)
+            self._log({
+                "event": "request", "path": request.path, "status": status,
+                "ms": round(elapsed_ms, 3), "model": spec.model_name,
+                "generator": spec.generator,
+                "codes": sorted({d["code"] for d in body.get("diagnostics", ())}),
+            })
+            return status, body, headers
+        if request.path in ("/generate", "/verify", "/healthz", "/metrics"):
+            return 405, {"error": f"{request.method} not allowed on {request.path}"}, ()
+        return 404, {"error": f"no such endpoint {request.path!r}"}, ()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _parse_spec(self, payload: dict) -> _RequestSpec:
+        from repro.api import GENERATOR_NAMES
+
+        known = {
+            "model", "scale", "generator", "arch", "verify", "seed",
+            "steps", "deadline_s", "include_source", "options",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise _BadRequest(f"unknown request field(s) {sorted(unknown)}")
+        model = payload.get("model")
+        if not isinstance(model, str) or not model:
+            raise _BadRequest("'model' must be a benchmark name or model path")
+        generator = payload.get("generator", "hcg")
+        if generator not in GENERATOR_NAMES:
+            raise _BadRequest(
+                f"unknown generator {generator!r}; choose from {GENERATOR_NAMES}"
+            )
+        scale = payload.get("scale")
+        if scale is not None:
+            if not isinstance(scale, int) or not 2 <= scale <= 65536:
+                raise _BadRequest("'scale' must be an int in [2, 65536]")
+            if model not in _scaled_model_builders():
+                raise _BadRequest(
+                    f"'scale' only applies to benchmark names "
+                    f"{sorted(_scaled_model_builders())}"
+                )
+        overrides = payload.get("options", {})
+        if not isinstance(overrides, dict):
+            raise _BadRequest("'options' must be a JSON object")
+        bad = set(overrides) - set(_OPTION_KEYS)
+        if bad:
+            raise _BadRequest(
+                f"unknown option(s) {sorted(bad)}; allowed: {_OPTION_KEYS}"
+            )
+        changes = dict(overrides)
+        arch = payload.get("arch")
+        if arch is not None:
+            from repro.arch.presets import preset_names
+
+            if arch not in preset_names():
+                raise _BadRequest(
+                    f"unknown arch {arch!r}; choose from {preset_names()}"
+                )
+            changes["arch"] = arch
+        try:
+            options = self.base_options.replace(**changes)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(f"bad options: {exc}")
+        deadline_s = payload.get("deadline_s", self.config.deadline_s)
+        if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+            raise _BadRequest("'deadline_s' must be a positive number")
+        deadline_s = min(float(deadline_s), self.config.deadline_s)
+        verify = bool(payload.get("verify", False))
+        try:
+            seed = int(payload.get("seed", 0))
+            steps = int(payload.get("steps", 2))
+        except (TypeError, ValueError):
+            raise _BadRequest("'seed' and 'steps' must be integers")
+        return _RequestSpec(
+            model=model, model_name=model, scale=scale, generator=generator,
+            options=options, verify=verify, seed=seed, steps=steps,
+            deadline_s=deadline_s,
+            include_source=bool(payload.get("include_source", True)),
+        )
+
+    async def _admit_and_wait(self, spec: _RequestSpec):
+        if self._draining:
+            self.tracer.count(COUNTERS.SERVER_SHED_DRAINING)
+            diagnostic = _diag("HCG508", "daemon is draining; retry elsewhere")
+            return 503, {
+                "error": diagnostic.message, "code": diagnostic.code,
+                "diagnostics": _diag_dicts([diagnostic]),
+            }, ()
+        assert self._queue is not None and self._loop is not None
+        now = self._clock()
+        item = _Pending(
+            spec=spec, deadline=now + spec.deadline_s, enqueued=now,
+            future=self._loop.create_future(),
+        )
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.tracer.count(COUNTERS.SERVER_SHED_QUEUE_FULL)
+            retry_after = self._retry_after_s()
+            diagnostic = _diag(
+                "HCG502",
+                f"request queue at capacity ({self.config.queue_size}); "
+                f"retry in ~{retry_after}s",
+            )
+            return 429, {
+                "error": diagnostic.message, "code": diagnostic.code,
+                "diagnostics": _diag_dicts([diagnostic]),
+            }, (("Retry-After", str(retry_after)),)
+        self.tracer.count(COUNTERS.SERVER_REQUESTS_ACCEPTED)
+        status, body, headers = await item.future
+        return status, body, headers
+
+    def _retry_after_s(self) -> int:
+        backlog_s = (
+            self._queue.qsize() * (self._ewma_ms / 1000.0)
+            / max(1, self.config.workers)
+        )
+        return max(1, int(math.ceil(backlog_s)))
+
+    def _observe_latency(self, status: int, elapsed_ms: float) -> None:
+        self._latencies_ms.append(elapsed_ms)
+        if status < 500:
+            self._ewma_ms = 0.9 * self._ewma_ms + 0.1 * elapsed_ms
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _worker(self, index: int) -> None:
+        assert self._queue is not None
+        while True:
+            item = await self._queue.get()
+            self._in_flight.add(item)
+            try:
+                # No tracer span here: the span stack cannot handle
+                # interleaved worker coroutines.  Counters + the access
+                # log carry the per-request story instead.
+                await self._serve_item(item)
+            except Exception as exc:  # fault-isolation: a worker bug must answer, not hang the client
+                diagnostic = _diag(
+                    "HCG505", f"worker crashed: {type(exc).__name__}: {exc}"
+                )
+                self.tracer.count(COUNTERS.SERVER_REQUESTS_FAILED)
+                item.resolve(500, {
+                    "error": diagnostic.message, "code": diagnostic.code,
+                    "diagnostics": _diag_dicts([diagnostic]),
+                })
+            finally:
+                self._in_flight.discard(item)
+                self._queue.task_done()
+
+    def _breaker_for(self, generator: str) -> CircuitBreaker:
+        if generator not in self._breakers:
+            self._breakers[generator] = CircuitBreaker(
+                generator,
+                threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                clock=self._clock,
+            )
+            self._breaker_logged[generator] = 0
+        return self._breakers[generator]
+
+    def _note_breaker(self, breaker: CircuitBreaker) -> None:
+        """Log and count any state transitions since the last note."""
+        logged = self._breaker_logged.get(breaker.name, 0)
+        for when, old, new in breaker.transitions[logged:]:
+            self._log({"event": "breaker", "generator": breaker.name,
+                       "from": old, "to": new})
+            if new == "open":
+                self.tracer.count(COUNTERS.SERVER_BREAKER_TRIPS)
+            elif new == "closed":
+                self.tracer.count(COUNTERS.SERVER_BREAKER_RECOVERIES)
+        self._breaker_logged[breaker.name] = len(breaker.transitions)
+
+    async def _serve_item(self, item: _Pending) -> None:
+        spec = item.spec
+        now = self._clock()
+        if now >= item.deadline:
+            self.tracer.count(COUNTERS.SERVER_SHED_EXPIRED)
+            diagnostic = _diag(
+                "HCG503",
+                f"deadline of {spec.deadline_s:g}s expired after "
+                f"{now - item.enqueued:.3f}s in queue; shed before work started",
+            )
+            item.resolve(504, {
+                "error": diagnostic.message, "code": diagnostic.code,
+                "diagnostics": _diag_dicts([diagnostic]),
+            })
+            return
+
+        breaker = self._breaker_for(spec.generator)
+        demoted = not breaker.allow()
+        self._note_breaker(breaker)
+        extra: List[Diagnostic] = []
+        generator = spec.generator
+        if demoted:
+            generator = self.config.fallback_generator
+            self.tracer.count(COUNTERS.SERVER_BREAKER_DEMOTED)
+            extra.append(_diag(
+                "HCG504",
+                f"breaker for {spec.generator!r} is "
+                f"{breaker.state.value}; demoted to {generator!r}",
+                actor=spec.generator,
+            ))
+
+        retry_index = 0
+        while True:
+            remaining = item.deadline - self._clock()
+            if remaining <= 0:
+                self._finish_deadline(item, breaker, demoted, extra)
+                return
+            abandoned = threading.Event()
+            assert self._loop is not None and self._pool is not None
+            work = self._loop.run_in_executor(
+                self._pool, self._blocking_generate, spec, generator,
+                demoted, abandoned,
+            )
+            try:
+                result = await asyncio.wait_for(work, timeout=remaining)
+            except asyncio.TimeoutError:
+                abandoned.set()
+                self._finish_deadline(item, breaker, demoted, extra)
+                return
+            except Exception as exc:  # fault-isolation: classify, retry or answer — never propagate
+                delay = self.config.retry.delay_s(retry_index, self._retry_rng)
+                can_retry = (
+                    is_transient(exc)
+                    and retry_index < self.config.retry.attempts - 1
+                    and delay < item.deadline - self._clock()
+                )
+                if can_retry:
+                    self.tracer.count(COUNTERS.SERVER_RETRY_ATTEMPTS)
+                    extra.append(_diag(
+                        "HCG506",
+                        f"attempt {retry_index + 1} failed transiently "
+                        f"({type(exc).__name__}: {exc}); retrying in "
+                        f"{delay * 1000:.0f}ms",
+                    ))
+                    retry_index += 1
+                    await asyncio.sleep(delay)
+                    continue
+                self._finish_failure(item, breaker, demoted, extra, exc,
+                                     retry_index)
+                return
+            else:
+                if not demoted:
+                    breaker.record_success()
+                    self._note_breaker(breaker)
+                self._finish_success(item, spec, generator, demoted, extra,
+                                     result)
+                return
+
+    def _blocking_generate(self, spec: _RequestSpec, generator: str,
+                           demoted: bool, abandoned: threading.Event):
+        """One generation attempt; runs on the thread pool."""
+        from repro.api import GenerateRequest
+
+        if self.chaos is not None and not demoted:
+            self.chaos.on_attempt(
+                cache=self.service.cache, abandoned=abandoned.is_set
+            )
+        model = spec.model
+        if spec.scale is not None:
+            model = _scaled_model_builders()[spec.model_name](spec.scale)
+        request = GenerateRequest(
+            model=model, generator=generator, options=spec.options,
+            verify=spec.verify, seed=spec.seed, steps=spec.steps,
+        )
+        return self.service.generate(request)
+
+    # ------------------------------------------------------------------
+    # Terminal outcomes
+    # ------------------------------------------------------------------
+    def _finish_deadline(self, item: _Pending, breaker: CircuitBreaker,
+                         demoted: bool, extra: List[Diagnostic]) -> None:
+        self.tracer.count(COUNTERS.SERVER_DEADLINE_CANCELLED)
+        self.tracer.count(COUNTERS.SERVER_REQUESTS_FAILED)
+        if not demoted:
+            breaker.record_failure()
+            self._note_breaker(breaker)
+        diagnostic = _diag(
+            "HCG501",
+            f"deadline of {item.spec.deadline_s:g}s exceeded; work cancelled",
+        )
+        item.resolve(504, {
+            "error": diagnostic.message, "code": diagnostic.code,
+            "diagnostics": _diag_dicts([diagnostic] + extra),
+        })
+
+    def _finish_failure(self, item: _Pending, breaker: CircuitBreaker,
+                        demoted: bool, extra: List[Diagnostic],
+                        exc: BaseException, retry_index: int) -> None:
+        self.tracer.count(COUNTERS.SERVER_REQUESTS_FAILED)
+        if isinstance(exc, ReproError):
+            # Deterministic input/model fault: the client's to fix; the
+            # breaker only counts infrastructure failures.
+            detail = _diag_dicts(getattr(exc, "diagnostics", ()))
+            item.resolve(422, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "diagnostics": detail + _diag_dicts(extra),
+            })
+            return
+        if not demoted:
+            breaker.record_failure()
+            self._note_breaker(breaker)
+        if retry_index > 0:
+            self.tracer.count(COUNTERS.SERVER_RETRY_EXHAUSTED)
+            code, message = "HCG507", (
+                f"retry budget ({self.config.retry.attempts} attempts) "
+                f"exhausted; last fault: {type(exc).__name__}: {exc}"
+            )
+        else:
+            code, message = "HCG505", (
+                f"worker crashed: {type(exc).__name__}: {exc}"
+            )
+        diagnostic = _diag(code, message)
+        item.resolve(_STATUS_OF_CODE[code], {
+            "error": diagnostic.message, "code": diagnostic.code,
+            "diagnostics": _diag_dicts([diagnostic] + extra),
+        })
+
+    def _finish_success(self, item: _Pending, spec: _RequestSpec,
+                        generator: str, demoted: bool,
+                        extra: List[Diagnostic], result) -> None:
+        self.tracer.count(COUNTERS.SERVER_REQUESTS_OK)
+        body = {
+            "model": result.model,
+            "generator": generator,
+            "requested_generator": spec.generator,
+            "demoted": demoted,
+            "arch": result.arch,
+            "from_cache": result.from_cache,
+            "verified": result.verified,
+            "cache_key": result.cache_key,
+            "diagnostics": _diag_dicts(tuple(result.diagnostics) + tuple(extra)),
+        }
+        if spec.include_source:
+            body["c_source"] = result.c_source
+        item.resolve(200, body)
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> dict:
+        assert self._queue is not None
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(self._clock() - self._started_at, 3),
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_size,
+            "in_flight": len(self._in_flight),
+            "workers": self.config.workers,
+            "breakers": {
+                name: breaker.state.value
+                for name, breaker in sorted(self._breakers.items())
+            },
+        }
+
+    def _metrics(self) -> dict:
+        assert self._queue is not None
+        latencies = sorted(self._latencies_ms)
+
+        def percentile(p: float) -> float:
+            if not latencies:
+                return 0.0
+            rank = min(len(latencies) - 1, int(p * (len(latencies) - 1)))
+            return round(latencies[rank], 3)
+
+        counters = self.tracer.counters
+        accepted = counters.get(COUNTERS.SERVER_REQUESTS_ACCEPTED, 0)
+        shed = (counters.get(COUNTERS.SERVER_SHED_QUEUE_FULL, 0)
+                + counters.get(COUNTERS.SERVER_SHED_EXPIRED, 0)
+                + counters.get(COUNTERS.SERVER_SHED_DRAINING, 0))
+        offered = accepted + shed
+        return {
+            "schema": 1,
+            "uptime_s": round(self._clock() - self._started_at, 3),
+            "counters": {name: counters[name] for name in sorted(counters)},
+            "latency_ms": {
+                "count": len(latencies),
+                "p50": percentile(0.50),
+                "p90": percentile(0.90),
+                "p99": percentile(0.99),
+                "max": latencies[-1] if latencies else 0.0,
+            },
+            "shed_rate": round(shed / offered, 6) if offered else 0.0,
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self.config.queue_size,
+                "in_flight": len(self._in_flight),
+            },
+            "breakers": {
+                name: breaker.snapshot()
+                for name, breaker in sorted(self._breakers.items())
+            },
+            "chaos": self.chaos.snapshot() if self.chaos is not None else None,
+            "service": self.service.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    def _log(self, record: Dict[str, Any]) -> None:
+        try:
+            self._log_stream.write(json.dumps(record, sort_keys=True) + "\n")
+            self._log_stream.flush()
+        except (OSError, ValueError):
+            pass  # a dead log pipe must not take the daemon down

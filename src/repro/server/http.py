@@ -1,0 +1,139 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The daemon speaks just enough HTTP for its JSON protocol (docs/api.md):
+request line + headers + ``Content-Length`` body in, status line +
+JSON body out, with keep-alive.  No chunked encoding, no TLS, no
+multipart — a reverse proxy owns those concerns in any real deployment.
+
+Framing limits are deliberate backpressure: an oversized header block
+or body is rejected before it is buffered, so a misbehaving client
+cannot balloon daemon memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from typing import Dict, Optional, Tuple
+
+#: framing caps (bytes)
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpProtocolError(Exception):
+    """The peer sent something this minimal parser rejects."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclasses.dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> dict:
+        """The JSON body (an empty body parses as ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpProtocolError(400, f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpProtocolError(400, "request body must be a JSON object")
+        return payload
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpProtocolError(400, "truncated request line")
+    except asyncio.LimitOverrunError:
+        raise HttpProtocolError(400, "request line too long")
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpProtocolError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpProtocolError(400, f"malformed request line {line!r}")
+    method, path, _version = parts
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpProtocolError(400, "truncated headers")
+        if line == b"\r\n":
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpProtocolError(400, "header block too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpProtocolError(400, f"bad Content-Length {length_text!r}")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpProtocolError(413, f"body of {length} bytes rejected")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpProtocolError(400, "truncated body")
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def response_bytes(
+    status: int,
+    payload: dict,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one JSON response."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

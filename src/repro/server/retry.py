@@ -1,0 +1,70 @@
+"""Retry policy for transiently-failed requests: backoff + jitter.
+
+The daemon retries a request attempt only when the fault is *transient*
+— an injected chaos fault, an ``OSError`` (disk hiccup), a resource
+race — and only while the request's deadline still has room for the
+backoff delay plus one more attempt.  Deterministic faults (model
+errors, strict-mode ``CodegenError``, verification divergence) are
+never retried: the same input would fail the same way.
+
+Delays follow capped exponential backoff with equal jitter
+(``d/2 + uniform(0, d/2)``), the standard shape that avoids
+thundering-herd retry synchronization while keeping a floor under the
+spacing.  The jitter source is an injected ``random.Random`` so tests
+and the chaos harness stay reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+class TransientFault(RuntimeError):
+    """Marker base for faults worth retrying (chaos faults derive
+    from it; infrastructure code may raise it directly)."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Should a failed attempt be retried?
+
+    ``ReproError`` means the *input* is at fault — deterministic, never
+    retried.  ``TransientFault`` (chaos) and ``OSError`` (I/O hiccups)
+    are the retryable class.
+    """
+    if isinstance(exc, ReproError):
+        return False
+    return isinstance(exc, (TransientFault, OSError, ConnectionError))
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with equal jitter."""
+
+    #: total tries per request (1 = no retries)
+    attempts: int = 3
+    #: delay before the first retry (seconds)
+    base_s: float = 0.05
+    #: ceiling on any single delay (seconds)
+    max_s: float = 2.0
+    #: growth factor between retries
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_s < 0 or self.max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def delay_s(self, retry_index: int, rng: random.Random) -> float:
+        """The jittered delay before retry ``retry_index`` (0-based)."""
+        raw = min(self.base_s * (self.multiplier ** retry_index), self.max_s)
+        return raw / 2 + rng.uniform(0, raw / 2)
+
+    def delays(self, rng: random.Random) -> Iterator[float]:
+        """The full backoff schedule: ``attempts - 1`` delays."""
+        for index in range(self.attempts - 1):
+            yield self.delay_s(index, rng)

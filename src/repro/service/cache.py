@@ -88,6 +88,11 @@ class CodegenCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.write_failures = 0
+        #: test/chaos-only hook called at the top of every store(); may
+        #: raise OSError to simulate a full or read-only disk (the
+        #: daemon's ``disk_full`` chaos fault and tests install it)
+        self.inject_write_fault = None
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -143,13 +148,20 @@ class CodegenCache:
     def store(self, entry: CacheEntry) -> Optional[Path]:
         """Persist one entry atomically, then enforce the size cap.
 
-        Returns the entry path, or ``None`` when the cache directory is
-        not writable (reported as HCG306 — never fatal)."""
+        A failed write never fails the request that produced the entry:
+        an ``OSError`` (disk full, read-only root, quota) is reported as
+        HCG307 and the entry is simply dropped — the next lookup is a
+        miss and regenerates; any other serialization fault (e.g. an
+        unpicklable program node) is reported as HCG306.  Returns the
+        entry path, or ``None`` when the entry was dropped."""
         path = self.entry_path(entry.key)
         if not entry.created:
             entry.created = time.time()
         payload = {"schema": ENTRY_SCHEMA_VERSION, "entry": entry}
+        tmp_name = None
         try:
+            if self.inject_write_fault is not None:
+                self.inject_write_fault()
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
                 prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
@@ -161,12 +173,31 @@ class CodegenCache:
                     os.fsync(handle.fileno())
                 os.replace(tmp_name, path)
             except BaseException:
-                os.unlink(tmp_name)
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass  # cleanup must not mask the original fault
                 raise
         except OSError as exc:
+            with self._lock:
+                self.write_failures += 1
             self.diagnostics.report(
-                "HCG306", f"cache entry not persisted: {exc}", location=str(path)
+                "HCG307",
+                f"cache write failed ({exc}); entry dropped, next lookup "
+                f"regenerates",
+                location=str(path),
             )
+            self.tracer.count(COUNTERS.CACHE_WRITE_FAILURES)
+            return None
+        except Exception as exc:  # fault-isolation: an unserializable entry must not fail the request
+            with self._lock:
+                self.write_failures += 1
+            self.diagnostics.report(
+                "HCG306",
+                f"cache entry not persisted ({type(exc).__name__}: {exc})",
+                location=str(path),
+            )
+            self.tracer.count(COUNTERS.CACHE_WRITE_FAILURES)
             return None
         self._evict_over_cap(keep=path)
         return path
@@ -216,6 +247,7 @@ class CodegenCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "write_failures": self.write_failures,
             "hit_rate": self.hits / lookups if lookups else 0.0,
             "entries": len(self._entries_by_age()),
             "bytes": self.size_bytes(),

@@ -23,14 +23,32 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.errors import ReproError
 from repro.observability.metrics import COUNTERS
 from repro.observability.tracer import NULL_TRACER
 
 #: hard ceiling on worker threads, whatever --jobs says
 MAX_JOBS = 64
+
+
+class TaskTimeoutError(ReproError):
+    """A fanned-out task exceeded its per-task timeout.
+
+    Python threads cannot be killed, so the worker may still be running
+    when this surfaces; its eventual result is discarded.  Callers
+    degrade the timed-out cell (HCG213) instead of waiting forever.
+    """
+
+    def __init__(self, label: str, timeout_s: float) -> None:
+        super().__init__(
+            f"task {label!r} did not finish within {timeout_s:g}s"
+        )
+        self.label = label
+        self.timeout_s = timeout_s
 
 
 def effective_jobs(jobs: Optional[int]) -> int:
@@ -58,11 +76,20 @@ class TaskOutcome:
 
 
 class ParallelExecutor:
-    """Bounded fan-out with deterministic collection order."""
+    """Bounded fan-out with deterministic collection order.
 
-    def __init__(self, jobs: int = 1, tracer=None) -> None:
+    ``timeout_s`` (``CodegenOptions.task_timeout_s``) bounds each task's
+    wall clock: a task still running at the deadline produces an outcome
+    carrying :class:`TaskTimeoutError` instead of hanging the whole
+    batch.  Enforcement runs the task on a joinable daemon thread, so it
+    applies at ``jobs=1`` too.
+    """
+
+    def __init__(self, jobs: int = 1, tracer=None,
+                 timeout_s: Optional[float] = None) -> None:
         self.jobs = effective_jobs(jobs)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.timeout_s = timeout_s
 
     # ------------------------------------------------------------------
     def map(
@@ -92,18 +119,44 @@ class ParallelExecutor:
                 outcomes = [future.result() for future in futures]
         outcomes.sort(key=lambda outcome: outcome.index)
         failed = sum(1 for outcome in outcomes if not outcome.ok)
+        timed_out = sum(
+            1 for outcome in outcomes
+            if isinstance(outcome.error, TaskTimeoutError)
+        )
         self.tracer.count(COUNTERS.POOL_TASKS_COMPLETED, len(outcomes) - failed)
         if failed:
             self.tracer.count(COUNTERS.POOL_TASKS_FAILED, failed)
+        if timed_out:
+            self.tracer.count(COUNTERS.POOL_TASKS_TIMEOUT, timed_out)
         return outcomes
 
-    @staticmethod
-    def _run_one(fn, index: int, item: Any, label) -> TaskOutcome:
+    def _run_one(self, fn, index: int, item: Any, label) -> TaskOutcome:
         outcome = TaskOutcome(index=index, label=label(index, item))
-        try:
-            outcome.value = fn(item)
-        except BaseException as exc:  # fault-isolation: one task must not poison the pool
-            outcome.error = exc
+        if self.timeout_s is None:
+            try:
+                outcome.value = fn(item)
+            except BaseException as exc:  # fault-isolation: one task must not poison the pool
+                outcome.error = exc
+            return outcome
+        # Timed path: the task runs on a joinable daemon thread so a
+        # hung cell cannot stall the batch (the thread itself cannot be
+        # killed; its late result is discarded).
+        def run() -> None:
+            try:
+                outcome.value = fn(item)
+            except BaseException as exc:  # fault-isolation: one task must not poison the pool
+                outcome.error = exc
+
+        thread = threading.Thread(
+            target=run, name=f"repro-task-{outcome.label}", daemon=True
+        )
+        thread.start()
+        thread.join(self.timeout_s)
+        if thread.is_alive():
+            return TaskOutcome(
+                index=index, label=outcome.label,
+                error=TaskTimeoutError(outcome.label, self.timeout_s),
+            )
         return outcome
 
     # ------------------------------------------------------------------

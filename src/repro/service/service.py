@@ -46,12 +46,15 @@ class CodegenService:
         jobs: int = 1,
         tracer=None,
         cache_root=None,
+        task_timeout_s: Optional[float] = None,
     ) -> None:
         self.cache = cache
         self.jobs = max(1, int(jobs))
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: cache root for histories/timings; None = keep them in memory
         self.cache_root = cache_root
+        #: per-cell wall-clock budget for fanned-out batches (HCG213)
+        self.task_timeout_s = task_timeout_s
         self._histories: Dict[str, object] = {}
         self._timings: Dict[str, TimingCache] = {}
         self._lock = threading.Lock()
@@ -69,7 +72,8 @@ class CodegenService:
                 paths.codegen_cache_dir(options.cache_dir), tracer=tracer
             )
         return cls(cache=cache, jobs=options.jobs, tracer=tracer,
-                   cache_root=cache_root)
+                   cache_root=cache_root,
+                   task_timeout_s=options.task_timeout_s)
 
     # ------------------------------------------------------------------
     # Shared per-architecture state
@@ -212,7 +216,8 @@ class CodegenService:
         needed.
         """
         executor = ParallelExecutor(jobs if jobs is not None else self.jobs,
-                                    self.tracer)
+                                    self.tracer,
+                                    timeout_s=self.task_timeout_s)
         outcomes = executor.map(
             self.generate, list(requests),
             label=lambda index, req: f"{req.generator}:{index}",
@@ -262,6 +267,25 @@ class CodegenService:
         if self.cache is None:
             return ()
         return tuple(self.cache.diagnostics.drain())
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Persist every file-backed history and timing cache now.
+
+        Stores already save on mutation; this is the drain-time
+        backstop the daemon calls on SIGTERM so a shutdown never
+        depends on one more request arriving (docs/robustness.md).
+        All saves are atomic temp-file + ``os.replace`` writes.
+        """
+        with self._lock:
+            histories = list(self._histories.values())
+            timings = list(self._timings.values())
+        for history in histories:
+            path = getattr(history, "path", None)
+            if path is not None:
+                history.save(path)
+        for timing in timings:
+            timing.save()
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:

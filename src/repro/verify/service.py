@@ -137,20 +137,27 @@ def run_session(
             service=service,
         )
 
-    executor = ParallelExecutor(jobs, tracer)
+    from repro.service.executor import TaskTimeoutError
+
+    executor = ParallelExecutor(
+        jobs, tracer, timeout_s=getattr(service, "task_timeout_s", None)
+    )
     for outcome in executor.map(
         run_cell, cells, label=lambda index, cell: f"{cell[0]}/{cell[1]}"
     ):
         arch_name, model_name, _ = cells[outcome.index]
         if outcome.error is not None:
+            timed_out = isinstance(outcome.error, TaskTimeoutError)
             result.diagnostics.report(
-                "HCG212",
-                f"verification of {model_name!r} crashed: "
-                f"{type(outcome.error).__name__}: {outcome.error}",
+                "HCG213" if timed_out else "HCG212",
+                f"verification of {model_name!r} "
+                + ("timed out: " if timed_out else "crashed: ")
+                + f"{type(outcome.error).__name__}: {outcome.error}",
                 actor=model_name,
                 location=arch_name,
             )
-            say(f"{model_name} @ {arch_name}: CRASHED ({outcome.error})")
+            say(f"{model_name} @ {arch_name}: "
+                f"{'TIMED OUT' if timed_out else 'CRASHED'} ({outcome.error})")
             continue
         report = outcome.value
         result.reports.append(report)

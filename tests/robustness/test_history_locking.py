@@ -5,11 +5,22 @@ each other's pre-calculated decisions: saves merge under an advisory
 ``flock`` on a ``<name>.lock`` sidecar, drops stay dropped, and lock
 contention degrades to unlocked last-writer-wins with HCG304 instead
 of blocking generation.
+
+The ``TestThreadStress`` / ``TestProcessStress`` classes are the
+stress companion: the mechanics tests above prove the merge/lock
+protocol on two cooperating instances, the stress tests prove the
+invariants under real concurrency — no store lost across threads or
+processes, and deliberate drops never resurrected by a racing
+writer's save-time merge.
 """
 
 import fcntl
 import json
+import multiprocessing
 import os
+import threading
+
+import pytest
 
 from repro.codegen.hcg.history import LOCK_TIMEOUT, SelectionHistory, SelectionKey
 from repro.dtypes import DataType
@@ -114,3 +125,144 @@ class TestLockContention:
 
     def test_default_timeout_is_generous(self):
         assert SelectionHistory().lock_timeout == LOCK_TIMEOUT == 5.0
+
+
+THREADS = 8
+PROCESSES = 4
+KEYS_PER_WRITER = 12
+
+
+def stress_key(writer, index):
+    return SelectionKey(f"writer{writer}_actor{index}", DataType.F32,
+                        (("n", 64),))
+
+
+def process_writer(path_text, writer):
+    """One process's workload: open the shared file, store its keys."""
+    history = SelectionHistory(path_text)
+    for index in range(KEYS_PER_WRITER):
+        history.store(stress_key(writer, index), f"kernel_{writer}_{index}")
+
+
+class TestThreadStress:
+    def test_no_store_is_lost_across_threads(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = SelectionHistory(path)
+        errors = []
+
+        def worker(writer):
+            try:
+                for index in range(KEYS_PER_WRITER):
+                    history.store(stress_key(writer, index),
+                                  f"kernel_{writer}_{index}")
+                    # interleave reads to exercise lookup under mutation
+                    assert history.lookup(stress_key(writer, index)) == \
+                        f"kernel_{writer}_{index}"
+            except Exception as exc:  # fault-isolation: collect, don't die silently
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(history) == THREADS * KEYS_PER_WRITER
+        # and the file-backed copy saw every store too
+        disk = entries_on_disk(path)
+        assert len(disk) == THREADS * KEYS_PER_WRITER
+        for writer in range(THREADS):
+            for index in range(KEYS_PER_WRITER):
+                assert disk[stress_key(writer, index).to_str()] == \
+                    f"kernel_{writer}_{index}"
+
+    def test_threads_sharing_separate_instances_merge_on_disk(self, tmp_path):
+        """Each thread gets its OWN instance of the same file: the fcntl
+        sidecar + save-time merge is the only thing preventing loss."""
+        path = tmp_path / "history.json"
+        errors = []
+
+        def worker(writer):
+            try:
+                history = SelectionHistory(path)
+                for index in range(KEYS_PER_WRITER):
+                    history.store(stress_key(writer, index),
+                                  f"kernel_{writer}_{index}")
+            except Exception as exc:  # fault-isolation: collect, don't die silently
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(entries_on_disk(path)) == THREADS * KEYS_PER_WRITER
+
+
+class TestProcessStress:
+    @pytest.fixture
+    def context(self):
+        # fork keeps the workload function picklable-free and fast;
+        # fall back to spawn where fork is unavailable
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            return multiprocessing.get_context("spawn")
+
+    def test_no_store_is_lost_across_processes(self, tmp_path, context):
+        path = tmp_path / "history.json"
+        workers = [
+            context.Process(target=process_writer, args=(str(path), writer))
+            for writer in range(PROCESSES)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        assert all(worker.exitcode == 0 for worker in workers)
+        disk = entries_on_disk(path)
+        assert len(disk) == PROCESSES * KEYS_PER_WRITER
+        for writer in range(PROCESSES):
+            for index in range(KEYS_PER_WRITER):
+                assert disk[stress_key(writer, index).to_str()] == \
+                    f"kernel_{writer}_{index}"
+        # a fresh reader agrees with the raw file
+        fresh = SelectionHistory(path)
+        assert len(fresh) == PROCESSES * KEYS_PER_WRITER
+
+    def test_drops_survive_a_concurrent_write_storm(self, tmp_path, context):
+        path = tmp_path / "history.json"
+        # seed the file, then drop half the seeded keys
+        seeded = SelectionHistory(path)
+        for index in range(KEYS_PER_WRITER):
+            seeded.store(stress_key("seed", index), f"kernel_seed_{index}")
+        dropped = [stress_key("seed", index)
+                   for index in range(0, KEYS_PER_WRITER, 2)]
+        for dropped_key in dropped:
+            seeded.drop(dropped_key)
+        # now a storm of fresh writers (which never saw the dropped keys)
+        # races new stores against the dropper's continued saves
+        workers = [
+            context.Process(target=process_writer, args=(str(path), writer))
+            for writer in range(PROCESSES)
+        ]
+        for worker in workers:
+            worker.start()
+        # the dropper keeps re-saving concurrently, exercising its
+        # _dropped exclusion against the storm
+        for _ in range(10):
+            seeded.save(path)
+        for worker in workers:
+            worker.join(timeout=120)
+        assert all(worker.exitcode == 0 for worker in workers)
+        disk = entries_on_disk(path)
+        for dropped_key in dropped:
+            assert dropped_key.to_str() not in disk  # never resurrected
+        kept = list(range(1, KEYS_PER_WRITER, 2))
+        for index in kept:
+            assert disk[stress_key("seed", index).to_str()] == \
+                f"kernel_seed_{index}"
+        assert len(disk) == len(kept) + PROCESSES * KEYS_PER_WRITER

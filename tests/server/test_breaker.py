@@ -1,0 +1,118 @@
+"""Circuit breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.server.breaker import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker("hcg", threshold=3, cooldown_s=2.0, clock=clock)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow() is True
+
+    def test_trips_after_threshold_consecutive_failures(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow() is False
+        assert breaker.trips == 1
+
+    def test_success_resets_the_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker("x", threshold=0)
+
+
+class TestHalfOpenProbe:
+    def trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_cooldown_elapses_into_half_open(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(1.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_exactly_one_probe_is_admitted(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(2.1)
+        assert breaker.allow() is True   # the probe
+        assert breaker.allow() is False  # concurrent traffic stays demoted
+        assert breaker.allow() is False
+
+    def test_probe_success_closes_and_counts_recovery(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.recoveries == 1
+        assert breaker.allow() is True
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.OPEN  # new cooldown, not stale
+        clock.advance(1.1)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestObservability:
+    def test_transitions_are_logged_in_order(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(2.1)
+        breaker.allow()
+        breaker.record_success()
+        moves = [(old, new) for _, old, new in breaker.transitions]
+        assert moves == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_snapshot_is_json_ready(self, breaker):
+        import json
+
+        snapshot = breaker.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["state"] == "closed"
+        assert snapshot["threshold"] == 3

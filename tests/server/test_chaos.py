@@ -1,0 +1,130 @@
+"""Chaos monkey: plan-driven determinism and burst scheduling."""
+
+import time
+
+import pytest
+
+from repro.server.chaos import KNOWN_CHAOS, ChaosFault, ChaosMonkey
+from repro.server.retry import is_transient
+from repro.service.cache import CodegenCache
+
+
+class TestValidation:
+    def test_unknown_fault_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown chaos fault"):
+            ChaosMonkey(faults=("disk_on_fire",))
+        with pytest.raises(ValueError, match="unknown chaos fault"):
+            ChaosMonkey(plan={"disk_on_fire": [0]})
+
+    def test_known_faults_cover_the_harness(self):
+        assert set(KNOWN_CHAOS) == {
+            "worker_crash", "slow_generator", "cache_corrupt", "disk_full",
+        }
+
+
+class TestPlanDriven:
+    def test_worker_crash_fires_exactly_on_planned_calls(self):
+        monkey = ChaosMonkey(plan={"worker_crash": [1, 3]})
+        monkey.on_attempt()  # call 0: quiet
+        with pytest.raises(ChaosFault):
+            monkey.on_attempt()  # call 1
+        monkey.on_attempt()  # call 2: quiet
+        with pytest.raises(ChaosFault):
+            monkey.on_attempt()  # call 3
+        assert monkey.injected["worker_crash"] == 2
+
+    def test_chaos_fault_is_transient(self):
+        assert is_transient(ChaosFault("injected")) is True
+
+    def test_disk_full_arms_and_disarms_the_write_hook(self, tmp_path):
+        cache = CodegenCache(tmp_path)
+        monkey = ChaosMonkey(faults=("disk_full",),
+                             plan={"disk_full": [0]})
+        monkey.on_attempt(cache=cache)  # call 0: hook armed
+        assert cache.inject_write_fault is not None
+        with pytest.raises(OSError):
+            cache.inject_write_fault()
+        monkey.on_attempt(cache=cache)  # call 1: outside the plan, disarmed
+        assert cache.inject_write_fault is None
+
+    def test_cache_corrupt_garbles_an_entry(self, tmp_path):
+        from tests.service.test_cache import entry
+
+        cache = CodegenCache(tmp_path)
+        path = cache.store(entry("a" * 64))
+        monkey = ChaosMonkey(plan={"cache_corrupt": [0]})
+        monkey.on_attempt(cache=cache)
+        assert b"chaos" in path.read_bytes()
+        # the daemon-side recovery path: a corrupt entry is a miss
+        assert cache.lookup("a" * 64) is None
+        assert "HCG305" in [d.code for d in cache.diagnostics]
+
+    def test_slow_generator_stall_aborts_when_abandoned(self):
+        monkey = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=30.0)
+        started = time.monotonic()
+        monkey.on_attempt(abandoned=lambda: True)
+        assert time.monotonic() - started < 1.0
+
+    def test_slow_generator_stalls_for_slow_s(self):
+        monkey = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=0.1)
+        started = time.monotonic()
+        monkey.on_attempt(abandoned=lambda: False)
+        assert time.monotonic() - started >= 0.1
+
+
+class TestBurstScheduling:
+    def test_long_run_fraction_tracks_rate(self):
+        monkey = ChaosMonkey(faults=("worker_crash",), rate=0.25, seed=3)
+        crashes = 0
+        for _ in range(2000):
+            try:
+                monkey.on_attempt()
+            except ChaosFault:
+                crashes += 1
+        assert 0.10 <= crashes / 2000 <= 0.45
+
+    def test_faults_arrive_in_contiguous_bursts(self):
+        monkey = ChaosMonkey(faults=("worker_crash",), rate=0.2, seed=5,
+                             burst_length=8)
+        outcomes = []
+        for _ in range(500):
+            try:
+                monkey.on_attempt()
+                outcomes.append(False)
+            except ChaosFault:
+                outcomes.append(True)
+        # every run of consecutive faults is exactly one burst long
+        runs, current = [], 0
+        for fault in outcomes:
+            if fault:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        assert runs, "no bursts fired in 500 calls"
+        assert all(run == 8 for run in runs[:-1])  # last may be cut off
+
+    def test_seeded_schedule_is_reproducible(self):
+        def record(seed):
+            monkey = ChaosMonkey(faults=("worker_crash",), rate=0.3, seed=seed)
+            pattern = []
+            for _ in range(300):
+                try:
+                    monkey.on_attempt()
+                    pattern.append(0)
+                except ChaosFault:
+                    pattern.append(1)
+            return pattern
+
+        assert record(11) == record(11)
+        assert record(11) != record(12)
+
+    def test_snapshot_reports_injections(self):
+        monkey = ChaosMonkey(plan={"worker_crash": [0]})
+        with pytest.raises(ChaosFault):
+            monkey.on_attempt()
+        snapshot = monkey.snapshot()
+        assert snapshot["calls"] == 1
+        assert snapshot["injected"] == {"worker_crash": 1}

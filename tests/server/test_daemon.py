@@ -1,0 +1,346 @@
+"""End-to-end daemon behaviour over real HTTP connections.
+
+Each test boots a :class:`CodegenDaemon` on an ephemeral port in a
+background thread and speaks to it with ``http.client``.  Chaos is
+driven by explicit per-call plans (never random), so every failure-mode
+assertion is deterministic.
+"""
+
+import contextlib
+import http.client
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.server import ChaosMonkey, CodegenDaemon, ServerConfig
+from repro.server.retry import RetryPolicy
+from repro.service.service import CodegenService
+
+FAST_RETRY = RetryPolicy(attempts=3, base_s=0.01, max_s=0.05)
+
+
+def make_config(**overrides):
+    base = dict(
+        port=0, workers=2, queue_size=8, deadline_s=5.0, drain_grace_s=10.0,
+        retry=FAST_RETRY, breaker_threshold=2, breaker_cooldown_s=0.2,
+    )
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+@contextlib.contextmanager
+def running_daemon(config=None, chaos=None, service=None):
+    service = service if service is not None else CodegenService(cache=None)
+    daemon = CodegenDaemon(service, config or make_config(),
+                           log_stream=io.StringIO())
+    if chaos is not None:
+        daemon.chaos = chaos
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    port = daemon.wait_ready()
+    try:
+        yield daemon, port
+    finally:
+        daemon.request_drain_threadsafe()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+class Http:
+    """One keep-alive connection to the daemon under test."""
+
+    def __init__(self, port):
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+
+    def request(self, method, path, payload=None):
+        body = json.dumps(payload).encode() if payload is not None else None
+        self.conn.request(method, path, body=body)
+        response = self.conn.getresponse()
+        data = json.loads(response.read())
+        headers = dict(response.getheaders())
+        return response.status, data, headers
+
+    def close(self):
+        self.conn.close()
+
+
+@contextlib.contextmanager
+def client(port):
+    http_client = Http(port)
+    try:
+        yield http_client
+    finally:
+        http_client.close()
+
+
+def codes_of(body):
+    return [d["code"] for d in body.get("diagnostics", ())]
+
+
+class TestHappyPath:
+    def test_generate_round_trip(self):
+        with running_daemon() as (_, port), client(port) as c:
+            status, body, _ = c.request("POST", "/generate",
+                                        {"model": "FIR", "scale": 16})
+            assert status == 200
+            assert body["model"] == "FIR"
+            assert body["generator"] == "hcg"
+            assert body["demoted"] is False
+            assert "void" in body["c_source"]
+
+    def test_verify_endpoint_verifies(self):
+        with running_daemon() as (_, port), client(port) as c:
+            status, body, _ = c.request(
+                "POST", "/verify",
+                {"model": "DCT", "scale": 8, "include_source": False})
+            assert status == 200
+            assert body["verified"] is True
+            assert "c_source" not in body
+
+    def test_keep_alive_serves_many_requests_on_one_connection(self):
+        with running_daemon() as (_, port), client(port) as c:
+            for _ in range(3):
+                status, _, _ = c.request("POST", "/generate",
+                                         {"model": "FIR", "scale": 16,
+                                          "include_source": False})
+                assert status == 200
+
+    def test_healthz_and_metrics(self):
+        with running_daemon() as (daemon, port), client(port) as c:
+            c.request("POST", "/generate", {"model": "FIR", "scale": 16,
+                                            "include_source": False})
+            status, health, _ = c.request("GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["queue_capacity"] == 8
+            status, metrics, _ = c.request("GET", "/metrics")
+            assert status == 200
+            assert metrics["counters"]["server.request.accepted"] >= 1
+            assert metrics["counters"]["server.request.ok"] >= 1
+            assert metrics["latency_ms"]["count"] >= 1
+            assert metrics["queue"]["capacity"] == 8
+            assert metrics["service"]["jobs"] == daemon.service.jobs
+
+
+class TestValidation:
+    def test_unknown_endpoint_is_404(self):
+        with running_daemon() as (_, port), client(port) as c:
+            status, _, _ = c.request("GET", "/nope")
+            assert status == 404
+
+    def test_wrong_method_is_405(self):
+        with running_daemon() as (_, port), client(port) as c:
+            status, _, _ = c.request("GET", "/generate")
+            assert status == 405
+
+    @pytest.mark.parametrize("payload,match", [
+        ({}, "model"),
+        ({"model": "FIR", "bogus": 1}, "unknown request field"),
+        ({"model": "FIR", "generator": "gcc"}, "unknown generator"),
+        ({"model": "FIR", "scale": 1}, "scale"),
+        ({"model": "nope.xml", "scale": 4}, "scale"),
+        ({"model": "FIR", "deadline_s": -1}, "deadline_s"),
+        ({"model": "FIR", "options": {"junk": 1}}, "unknown option"),
+        ({"model": "FIR", "arch": "z80"}, "unknown arch"),
+    ])
+    def test_bad_payloads_are_400(self, payload, match):
+        with running_daemon() as (_, port), client(port) as c:
+            status, body, _ = c.request("POST", "/generate", payload)
+            assert status == 400
+            assert match in body["error"]
+
+    def test_model_fault_is_422_not_500(self):
+        with running_daemon() as (_, port), client(port) as c:
+            status, body, _ = c.request("POST", "/generate",
+                                        {"model": "no_such_model.xml"})
+            assert status == 422
+            assert "error" in body
+
+
+class TestDeadlines:
+    def test_slow_work_is_cancelled_with_hcg501(self):
+        chaos = ChaosMonkey(plan={"slow_generator": list(range(10))},
+                            slow_s=5.0)
+        with running_daemon(chaos=chaos) as (_, port), client(port) as c:
+            started = time.monotonic()
+            status, body, _ = c.request(
+                "POST", "/generate",
+                {"model": "FIR", "scale": 16, "deadline_s": 0.3})
+            elapsed = time.monotonic() - started
+            assert status == 504
+            assert body["code"] == "HCG501"
+            assert elapsed < 3.0  # answered at the deadline, not slow_s
+
+    def test_request_expired_in_queue_is_shed_with_hcg503(self):
+        chaos = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=1.0)
+        with running_daemon(make_config(workers=1), chaos=chaos) as (_, port):
+            results = {}
+
+            def hog():
+                with client(port) as c:
+                    results["hog"] = c.request(
+                        "POST", "/generate",
+                        {"model": "FIR", "scale": 16, "include_source": False})
+
+            hog_thread = threading.Thread(target=hog)
+            hog_thread.start()
+            time.sleep(0.2)  # the hog owns the only worker
+            with client(port) as c:
+                status, body, _ = c.request(
+                    "POST", "/generate",
+                    {"model": "FIR", "scale": 16, "deadline_s": 0.1})
+            hog_thread.join(timeout=30)
+            assert status == 504
+            assert body["code"] == "HCG503"
+            assert results["hog"][0] == 200
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self):
+        chaos = ChaosMonkey(plan={"slow_generator": list(range(20))},
+                            slow_s=1.0)
+        config = make_config(workers=1, queue_size=1)
+        with running_daemon(config, chaos=chaos) as (_, port):
+            statuses = []
+            lock = threading.Lock()
+
+            def fire():
+                with client(port) as c:
+                    result = c.request(
+                        "POST", "/generate",
+                        {"model": "FIR", "scale": 16,
+                         "include_source": False, "deadline_s": 4.0})
+                    with lock:
+                        statuses.append(result)
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            shed = [r for r in statuses if r[0] == 429]
+            assert shed, f"no 429 in {[r[0] for r in statuses]}"
+            status, body, headers = shed[0]
+            assert body["code"] == "HCG502"
+            assert int(headers["Retry-After"]) >= 1
+
+
+class TestRetries:
+    def test_one_transient_crash_is_retried_to_success(self):
+        chaos = ChaosMonkey(plan={"worker_crash": [0]})
+        with running_daemon(chaos=chaos) as (daemon, port), client(port) as c:
+            status, body, _ = c.request(
+                "POST", "/generate",
+                {"model": "FIR", "scale": 16, "include_source": False})
+            assert status == 200
+            assert "HCG506" in codes_of(body)
+            _, metrics, _ = c.request("GET", "/metrics")
+            assert metrics["counters"]["server.retry.attempts"] == 1
+
+    def test_exhausted_retries_surface_hcg507(self):
+        chaos = ChaosMonkey(plan={"worker_crash": [0, 1, 2]})
+        with running_daemon(chaos=chaos) as (_, port), client(port) as c:
+            status, body, _ = c.request(
+                "POST", "/generate",
+                {"model": "FIR", "scale": 16, "include_source": False})
+            assert status == 500
+            assert body["code"] == "HCG507"
+            assert "ChaosFault" in body["error"]
+
+
+class TestCircuitBreaker:
+    def test_trip_demote_probe_recover(self):
+        # attempts=1: each crash is final, so two requests trip the
+        # threshold-2 breaker deterministically
+        config = make_config(retry=RetryPolicy(attempts=1), workers=1)
+        chaos = ChaosMonkey(plan={"worker_crash": [0, 1]})
+        with running_daemon(config, chaos=chaos) as (daemon, port), \
+                client(port) as c:
+            payload = {"model": "FIR", "scale": 16, "include_source": False}
+            for _ in range(2):
+                status, body, _ = c.request("POST", "/generate", payload)
+                assert status == 500
+                assert body["code"] == "HCG505"
+            # breaker open: traffic demotes to the fallback generator
+            status, body, _ = c.request("POST", "/generate", payload)
+            assert status == 200
+            assert body["demoted"] is True
+            assert body["generator"] == "simulink_coder"
+            assert body["requested_generator"] == "hcg"
+            assert "HCG504" in codes_of(body)
+            # after the cooldown the next request is the half-open probe;
+            # chaos is quiet now, so it succeeds and closes the breaker
+            time.sleep(0.3)
+            status, body, _ = c.request("POST", "/generate", payload)
+            assert status == 200
+            assert body["demoted"] is False
+            _, metrics, _ = c.request("GET", "/metrics")
+            counters = metrics["counters"]
+            assert counters["server.breaker.trips"] == 1
+            assert counters["server.breaker.recoveries"] == 1
+            assert counters["server.breaker.demoted"] >= 1
+            assert metrics["breakers"]["hcg"]["state"] == "closed"
+
+    def test_model_errors_do_not_count_toward_the_breaker(self):
+        with running_daemon() as (daemon, port), client(port) as c:
+            for _ in range(4):
+                status, _, _ = c.request("POST", "/generate",
+                                         {"model": "no_such.xml"})
+                assert status == 422
+            status, _, _ = c.request(
+                "POST", "/generate",
+                {"model": "FIR", "scale": 16, "include_source": False})
+            assert status == 200
+            _, metrics, _ = c.request("GET", "/metrics")
+            assert metrics["counters"].get("server.breaker.trips", 0) == 0
+
+
+class TestDrain:
+    def test_accepted_requests_survive_the_drain(self):
+        chaos = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=0.5)
+        with running_daemon(make_config(workers=1), chaos=chaos) \
+                as (daemon, port):
+            results = {}
+
+            def slow():
+                with client(port) as c:
+                    results["slow"] = c.request(
+                        "POST", "/generate",
+                        {"model": "FIR", "scale": 16, "include_source": False})
+
+            slow_thread = threading.Thread(target=slow)
+            slow_thread.start()
+            time.sleep(0.15)  # in flight now
+            with client(port) as c:
+                c.request("GET", "/healthz")  # keep-alive connection is open
+                daemon.request_drain_threadsafe()
+                time.sleep(0.05)
+                # new work on an existing connection is rejected politely
+                status, body, _ = c.request(
+                    "POST", "/generate",
+                    {"model": "FIR", "scale": 16, "include_source": False})
+                assert status == 503
+                assert body["code"] == "HCG508"
+            slow_thread.join(timeout=30)
+            # the in-flight request was served, not dropped
+            assert results["slow"][0] == 200
+        assert daemon.drained is True
+
+    def test_drain_flushes_file_backed_state(self, tmp_path):
+        from repro.api import CodegenOptions
+
+        options = CodegenOptions(policy="permissive",
+                                 cache_dir=str(tmp_path), use_cache=True)
+        service = CodegenService.from_options(options)
+        with running_daemon(service=service) as (daemon, port):
+            with client(port) as c:
+                status, _, _ = c.request(
+                    "POST", "/generate",
+                    {"model": "FIR", "scale": 16, "include_source": False})
+                assert status == 200
+        # the context exit drains; histories must be on disk afterwards
+        histories = list((tmp_path / "history").glob("selection_*.json"))
+        assert histories, "drain did not persist the selection history"

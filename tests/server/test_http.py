@@ -1,0 +1,100 @@
+"""Minimal HTTP framing: parsing, limits, serialization."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    MAX_BODY_BYTES,
+    HttpProtocolError,
+    HttpRequest,
+    read_request,
+    response_bytes,
+)
+
+
+def parse(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_parses_a_post_with_body(self):
+        body = b'{"model": "FIR"}'
+        raw = (b"POST /generate HTTP/1.1\r\n"
+               b"Content-Type: application/json\r\n"
+               b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+               b"\r\n" + body)
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/generate"
+        assert request.json() == {"model": "FIR"}
+        assert request.keep_alive is True
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_connection_close_header(self):
+        raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        assert parse(raw).keep_alive is False
+
+    @pytest.mark.parametrize("raw", [
+        b"GARBAGE\r\n\r\n",
+        b"GET /x\r\n\r\n",
+        b"GET /x NOTHTTP\r\n\r\n",
+    ])
+    def test_malformed_request_line_is_a_400(self, raw):
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_a_413(self):
+        raw = (b"POST /generate HTTP/1.1\r\n"
+               b"Content-Length: " + str(MAX_BODY_BYTES + 1).encode() +
+               b"\r\n\r\n")
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 413
+
+    def test_bad_content_length_is_a_400(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+
+class TestJsonBody:
+    def test_empty_body_is_an_empty_object(self):
+        request = HttpRequest("POST", "/generate", {}, b"")
+        assert request.json() == {}
+
+    def test_non_json_body_is_a_400(self):
+        request = HttpRequest("POST", "/generate", {}, b"not json")
+        with pytest.raises(HttpProtocolError):
+            request.json()
+
+    def test_non_object_body_is_a_400(self):
+        request = HttpRequest("POST", "/generate", {}, b"[1, 2]")
+        with pytest.raises(HttpProtocolError):
+            request.json()
+
+
+class TestResponseBytes:
+    def test_round_trips_through_the_parser(self):
+        raw = response_bytes(200, {"ok": True}, (("Retry-After", "3"),))
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Retry-After: 3" in lines
+        assert f"Content-Length: {len(body)}" in lines
+        assert json.loads(body) == {"ok": True}
+
+    def test_close_header(self):
+        raw = response_bytes(503, {}, keep_alive=False)
+        assert b"Connection: close" in raw

@@ -1,0 +1,62 @@
+"""Retry policy: transience classification and backoff shape."""
+
+import random
+
+import pytest
+
+from repro.errors import CodegenError, ReproError, VerificationError
+from repro.server.chaos import ChaosFault
+from repro.server.retry import RetryPolicy, TransientFault, is_transient
+
+
+class TestIsTransient:
+    @pytest.mark.parametrize("exc", [
+        TransientFault("blip"),
+        ChaosFault("injected"),
+        OSError(28, "No space left on device"),
+        ConnectionResetError(),
+    ])
+    def test_infrastructure_faults_are_transient(self, exc):
+        assert is_transient(exc) is True
+
+    @pytest.mark.parametrize("exc", [
+        ReproError("bad model"),
+        CodegenError("strict mode"),
+        VerificationError("diverged"),
+        ValueError("bug"),
+        KeyError("bug"),
+    ])
+    def test_deterministic_faults_are_not(self, exc):
+        assert is_transient(exc) is False
+
+
+class TestRetryPolicy:
+    def test_equal_jitter_bounds(self):
+        policy = RetryPolicy(attempts=5, base_s=0.1, max_s=1.0, multiplier=2.0)
+        rng = random.Random(7)
+        for retry_index, raw in enumerate((0.1, 0.2, 0.4, 0.8)):
+            for _ in range(50):
+                delay = policy.delay_s(retry_index, rng)
+                assert raw / 2 <= delay <= raw
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(attempts=10, base_s=1.0, max_s=2.0)
+        delay = policy.delay_s(9, random.Random(0))
+        assert delay <= 2.0
+
+    def test_schedule_length_is_attempts_minus_one(self):
+        policy = RetryPolicy(attempts=4)
+        assert len(list(policy.delays(random.Random(0)))) == 3
+        assert list(RetryPolicy(attempts=1).delays(random.Random(0))) == []
+
+    def test_seeded_schedule_is_reproducible(self):
+        policy = RetryPolicy(attempts=4)
+        first = list(policy.delays(random.Random(42)))
+        second = list(policy.delays(random.Random(42)))
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_s=-1)

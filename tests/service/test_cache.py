@@ -183,14 +183,16 @@ class TestCacheRecovery:
         path.write_bytes(pickle.dumps({"schema": 999, "entry": entry(key)}))
         assert cache.lookup(key) is None
 
-    def test_unwritable_root_reports_hcg306(self, tmp_path):
+    def test_unwritable_root_reports_hcg307(self, tmp_path):
         # a root whose parent is a regular file cannot be created, even
-        # for privileged users (chmod-based denial is a no-op as root)
+        # for privileged users (chmod-based denial is a no-op as root);
+        # any OSError on the write path is the HCG307 dropped-entry case
         blocker = tmp_path / "blocker"
         blocker.write_text("")
         cache = CodegenCache(blocker / "cache")
         assert cache.store(entry("e" * 64)) is None
-        assert [d.code for d in cache.diagnostics] == ["HCG306"]
+        assert [d.code for d in cache.diagnostics] == ["HCG307"]
+        assert cache.write_failures == 1
 
     def test_recoveries_fold_into_the_result(self, tmp_path):
         model = fir_model(8)
@@ -201,6 +203,59 @@ class TestCacheRecovery:
         assert rebuilt.from_cache is False
         assert "HCG305" in [d.code for d in rebuilt.diagnostics]
         assert rebuilt.c_source == cold.c_source
+
+
+def raise_enospc():
+    raise OSError(28, "No space left on device")
+
+
+class TestDiskFullRecovery:
+    """HCG307: a failed cache write degrades to a miss, never an error."""
+
+    def test_write_fault_drops_the_entry_with_hcg307(self, tmp_path):
+        cache = CodegenCache(tmp_path)
+        cache.inject_write_fault = raise_enospc
+        assert cache.store(entry("f" * 64)) is None
+        assert [d.code for d in cache.diagnostics] == ["HCG307"]
+        assert cache.write_failures == 1
+        assert cache.stats()["write_failures"] == 1
+        # the dropped entry is an ordinary miss afterwards
+        assert cache.lookup("f" * 64) is None
+        assert cache.misses == 1
+
+    def test_write_fault_bumps_the_counter(self, tmp_path):
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+        cache = CodegenCache(tmp_path, tracer=tracer)
+        cache.inject_write_fault = raise_enospc
+        cache.store(entry("f" * 64))
+        assert tracer.counters["cache.write_failed"] == 1
+
+    def test_writes_resume_once_space_returns(self, tmp_path):
+        cache = CodegenCache(tmp_path)
+        cache.inject_write_fault = raise_enospc
+        assert cache.store(entry("f" * 64)) is None
+        cache.inject_write_fault = None
+        path = cache.store(entry("f" * 64))
+        assert path is not None and path.exists()
+        assert cache.lookup("f" * 64) is not None
+
+    def test_generation_survives_a_full_disk(self, tmp_path):
+        model = fir_model(8)
+        options = CodegenOptions(
+            policy="permissive", cache_dir=str(tmp_path), use_cache=True
+        )
+        service = CodegenService.from_options(options)
+        service.cache.inject_write_fault = raise_enospc
+        request = GenerateRequest(model=model, options=options)
+        result = generate(request, service=service)
+        assert result.c_source
+        assert "HCG307" in [d.code for d in result.diagnostics]
+        # nothing was cached, so the retry is a miss that regenerates
+        again = generate(request, service=service)
+        assert again.from_cache is False
+        assert again.c_source == result.c_source
 
 
 class TestTimingCache:

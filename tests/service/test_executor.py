@@ -1,6 +1,7 @@
 """ParallelExecutor semantics: determinism, fault isolation, counters."""
 
 import threading
+import time
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro.service.executor import (
     MAX_JOBS,
     ParallelExecutor,
     TaskOutcome,
+    TaskTimeoutError,
     effective_jobs,
 )
 
@@ -78,6 +80,80 @@ class TestFaultIsolation:
 
     def test_raise_first_passes_clean_runs(self):
         ParallelExecutor.raise_first([TaskOutcome(index=0, label="x", value=1)])
+
+
+class TestTaskTimeout:
+    """task_timeout_s: a hung cell degrades (HCG213) instead of hanging
+    the batch; the stuck thread's late result is discarded."""
+
+    def slow_then_fast(self, release):
+        def task(index):
+            if index == 1:
+                release.wait(timeout=10)  # hangs until the test releases
+            return index * 10
+
+        return task
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_timed_out_cell_degrades_without_stalling_the_batch(self, jobs):
+        release = threading.Event()
+        try:
+            outcomes = ParallelExecutor(jobs=jobs, timeout_s=0.05).map(
+                self.slow_then_fast(release), [0, 1, 2]
+            )
+        finally:
+            release.set()
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].value == 0 and outcomes[2].value == 20
+        error = outcomes[1].error
+        assert isinstance(error, TaskTimeoutError)
+        assert error.label == "1"
+        assert error.timeout_s == 0.05
+
+    def test_late_result_is_discarded(self):
+        release = threading.Event()
+        outcomes = ParallelExecutor(jobs=1, timeout_s=0.05).map(
+            self.slow_then_fast(release), [0, 1]
+        )
+        release.set()  # let the stuck thread finish *after* the timeout
+        time.sleep(0.2)
+        # the outcome object returned to the caller never sees the
+        # late-arriving value — the thread wrote to a discarded object
+        assert outcomes[1].value is None
+        assert isinstance(outcomes[1].error, TaskTimeoutError)
+
+    def test_fast_tasks_unaffected_by_the_budget(self):
+        outcomes = ParallelExecutor(jobs=2, timeout_s=5.0).map(
+            lambda item: item + 1, [1, 2, 3]
+        )
+        assert [o.value for o in outcomes] == [2, 3, 4]
+
+    def test_timeout_counter(self):
+        tracer = Tracer()
+        release = threading.Event()
+        try:
+            ParallelExecutor(jobs=1, tracer=tracer, timeout_s=0.05).map(
+                self.slow_then_fast(release), [0, 1, 2]
+            )
+        finally:
+            release.set()
+        assert tracer.counters["pool.task.timeout"] == 1
+        assert tracer.counters["pool.task.failed"] == 1
+
+    def test_options_validate_the_budget(self):
+        from repro.api import CodegenOptions
+
+        with pytest.raises(ValueError, match="task_timeout_s"):
+            CodegenOptions(task_timeout_s=0)
+        assert CodegenOptions(task_timeout_s=2.5).task_timeout_s == 2.5
+
+    def test_service_threads_the_budget_through(self):
+        from repro.api import CodegenOptions
+        from repro.service.service import CodegenService
+
+        options = CodegenOptions(use_cache=False, task_timeout_s=1.5)
+        service = CodegenService.from_options(options)
+        assert service.task_timeout_s == 1.5
 
 
 class TestPoolCounters:

@@ -1,0 +1,399 @@
+#!/usr/bin/env python3
+"""Load + chaos harness for the codegen daemon (``repro serve``).
+
+Spawns a daemon (or targets a running one with ``--url``), replays a
+seeded mix of generate/verify requests from concurrent keep-alive
+clients, then SIGTERMs the daemon and checks the drain.  With
+``--inject`` the daemon runs with chaos faults enabled, and the run
+doubles as the resilience acceptance test (the CI chaos leg):
+
+* every 5xx response must carry a stable ``HCG5xx`` diagnostic code —
+  an undiagnosed 500 means an unhandled failure mode;
+* the daemon log must stay structured — any traceback or non-JSON
+  stderr line is an unhandled exception;
+* client-observed p99 latency must stay under the request deadline
+  (plus scheduling slack): deadlines are real, not advisory;
+* under injected faults the circuit breaker must trip AND recover at
+  least once (the run keeps probing with light traffic until it does);
+* the SIGTERM drain must exit 0 with ``drain.complete``, losing no
+  accepted request.
+
+Examples::
+
+    python tools/loadgen.py --requests 300 --inject worker_crash,slow_generator
+    python tools/loadgen.py --requests 1000 --concurrency 16 --json report.json
+    python tools/loadgen.py --url http://127.0.0.1:8337 --requests 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: request mix (seeded): benchmark models at quick scales
+MODELS = ("FIR", "FFT", "DCT", "Conv", "LowPass", "HighPass")
+SCALES = (16, 32, 64)
+GENERATOR_WEIGHTS = (("hcg", 0.7), ("dfsynth", 0.15), ("simulink_coder", 0.15))
+
+
+def build_requests(count: int, seed: int, verify_share: float) -> List[dict]:
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        roll, acc, generator = rng.random(), 0.0, "hcg"
+        for name, weight in GENERATOR_WEIGHTS:
+            acc += weight
+            if roll < acc:
+                generator = name
+                break
+        requests.append({
+            "model": rng.choice(MODELS),
+            "scale": rng.choice(SCALES),
+            "generator": generator,
+            "verify": rng.random() < verify_share,
+            "include_source": False,
+        })
+    return requests
+
+
+class Client:
+    """One keep-alive HTTP client; re-connects after daemon-side closes."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.host, self.port, self.timeout = host, port, timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> Tuple[int, dict]:
+        body = json.dumps(payload).encode() if payload is not None else None
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+            try:
+                self._conn.request(method, path, body=body)
+                response = self._conn.getresponse()
+                data = response.read()
+                if response.getheader("Connection", "") == "close":
+                    self.close()
+                return response.status, json.loads(data)
+            except (OSError, http.client.HTTPException, json.JSONDecodeError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+
+def percentile(values: List[float], p: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(p * (len(ordered) - 1)))
+    return ordered[rank]
+
+
+def spawn_daemon(args: argparse.Namespace, log_path: str) -> Tuple[subprocess.Popen, int]:
+    """Start ``repro serve`` on an ephemeral port; return (proc, port)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--workers", str(args.workers),
+        "--queue-size", str(args.queue_size),
+        "--deadline", str(args.deadline),
+        "--drain-grace", str(args.drain_grace),
+        "--breaker-threshold", str(args.breaker_threshold),
+        "--breaker-cooldown", str(args.breaker_cooldown),
+        "--chaos-rate", str(args.chaos_rate),
+        "--chaos-seed", str(args.seed),
+        "--chaos-slow", str(args.chaos_slow),
+    ]
+    if args.inject:
+        command += ["--inject", args.inject]
+    if args.cache_dir:
+        command += ["--cache-dir", args.cache_dir]
+    log = open(log_path, "w")
+    proc = subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL,
+                            stderr=log)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited {proc.returncode} before listening; "
+                f"see {log_path}")
+        with open(log_path) as handle:
+            for line in handle:
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if event.get("event") == "listening":
+                    return proc, int(event["port"])
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"daemon never reported listening; see {log_path}")
+
+
+def run_load(host: str, port: int, requests: List[dict],
+             concurrency: int, timeout: float) -> List[dict]:
+    """Replay the workload from ``concurrency`` threads; per-request rows."""
+    results: List[dict] = []
+    lock = threading.Lock()
+    index = {"next": 0}
+
+    def pull() -> Optional[Tuple[int, dict]]:
+        with lock:
+            i = index["next"]
+            if i >= len(requests):
+                return None
+            index["next"] = i + 1
+            return i, requests[i]
+
+    def worker() -> None:
+        client = Client(host, port, timeout)
+        while True:
+            item = pull()
+            if item is None:
+                break
+            i, payload = item
+            path = "/verify" if payload["verify"] else "/generate"
+            body = {k: v for k, v in payload.items() if k != "verify"}
+            started = time.monotonic()
+            try:
+                status, response = client.request("POST", path, body)
+            except Exception as exc:  # transport failure, not a daemon answer
+                status, response = -1, {"error": f"{type(exc).__name__}: {exc}"}
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            with lock:
+                results.append({
+                    "index": i, "status": status, "ms": elapsed_ms,
+                    "code": response.get("code"),
+                    "demoted": bool(response.get("demoted")),
+                    "codes": sorted({d.get("code") for d in
+                                     response.get("diagnostics", ())
+                                     if d.get("code")}),
+                })
+        client.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def await_breaker_recovery(host: str, port: int, timeout: float,
+                           budget_s: float) -> dict:
+    """Keep light traffic flowing until a tripped breaker recovers.
+
+    A burst of chaos at the very end of the main load can leave a
+    breaker open with no traffic to probe it; recovery needs requests.
+    Returns the final /metrics snapshot.
+    """
+    client = Client(host, port, timeout)
+    deadline = time.monotonic() + budget_s
+    metrics: dict = {}
+    try:
+        while time.monotonic() < deadline:
+            _, metrics = client.request("GET", "/metrics")
+            counters = metrics.get("counters", {})
+            trips = counters.get("server.breaker.trips", 0)
+            recoveries = counters.get("server.breaker.recoveries", 0)
+            states = {name: snap.get("state") for name, snap in
+                      metrics.get("breakers", {}).items()}
+            if (not trips or recoveries >= 1) and "open" not in states.values():
+                break
+            with _suppress():
+                client.request("POST", "/generate", {
+                    "model": "FIR", "scale": 16, "generator": "hcg",
+                    "include_source": False,
+                })
+            time.sleep(0.05)
+    finally:
+        client.close()
+    return metrics
+
+
+class _suppress:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return True
+
+
+def check_log(log_path: str) -> List[str]:
+    """Unhandled-exception scan: every stderr line must be a JSON event."""
+    problems = []
+    with open(log_path) as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                problems.append(f"line {number} is not a JSON event: {line[:120]}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--verify-share", type=float, default=0.25,
+                        help="fraction of requests that also verify")
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--inject", default="",
+                        help="chaos faults for the spawned daemon "
+                             "(worker_crash,slow_generator,...)")
+    parser.add_argument("--url", default=None,
+                        help="target a running daemon instead of spawning "
+                             "(skips chaos flags and the drain check)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-size", type=int, default=64)
+    parser.add_argument("--deadline", type=float, default=3.0)
+    parser.add_argument("--drain-grace", type=float, default=20.0)
+    parser.add_argument("--breaker-threshold", type=int, default=5)
+    parser.add_argument("--breaker-cooldown", type=float, default=0.5)
+    parser.add_argument("--chaos-rate", type=float, default=0.25)
+    parser.add_argument("--chaos-slow", type=float, default=1.0)
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root for the spawned daemon (warm cache "
+                             "keeps the run fast; also the chaos target)")
+    parser.add_argument("--log", default="loadgen_daemon.log",
+                        help="spawned daemon's stderr (JSON events)")
+    parser.add_argument("--json", default=None,
+                        help="write the full report here")
+    parser.add_argument("--no-check", action="store_true",
+                        help="report only; skip the resilience assertions")
+    args = parser.parse_args(argv)
+
+    proc = None
+    if args.url:
+        from urllib.parse import urlparse
+
+        parsed = urlparse(args.url)
+        host, port = parsed.hostname or "127.0.0.1", parsed.port or 80
+    else:
+        proc, port = spawn_daemon(args, args.log)
+        host = "127.0.0.1"
+    client_timeout = args.deadline * 2 + 10.0
+
+    requests = build_requests(args.requests, args.seed, args.verify_share)
+    started = time.monotonic()
+    results = run_load(host, port, requests, args.concurrency, client_timeout)
+    wall_s = time.monotonic() - started
+
+    chaotic = bool(args.inject)
+    metrics = await_breaker_recovery(
+        host, port, client_timeout, budget_s=30.0 if chaotic else 5.0)
+
+    drain_exit: Optional[int] = None
+    if proc is not None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            drain_exit = proc.wait(timeout=args.drain_grace + 15.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            drain_exit = -9
+
+    # ------------------------------------------------------------------
+    # Report
+    # ------------------------------------------------------------------
+    latencies = [r["ms"] for r in results]
+    by_status: Dict[int, int] = {}
+    for row in results:
+        by_status[row["status"]] = by_status.get(row["status"], 0) + 1
+    counters = metrics.get("counters", {})
+    undiagnosed_5xx = [r for r in results
+                       if r["status"] >= 500 and not r["code"]]
+    transport_failures = [r for r in results if r["status"] < 0]
+    log_problems = check_log(args.log) if proc is not None else []
+    report = {
+        "requests": len(results),
+        "wall_s": round(wall_s, 3),
+        "rps": round(len(results) / wall_s, 1) if wall_s else 0.0,
+        "status_counts": {str(k): v for k, v in sorted(by_status.items())},
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 2),
+            "p90": round(percentile(latencies, 0.90), 2),
+            "p99": round(percentile(latencies, 0.99), 2),
+            "max": round(max(latencies), 2) if latencies else 0.0,
+        },
+        "demoted": sum(1 for r in results if r["demoted"]),
+        "shed": counters.get("server.shed.queue_full", 0)
+        + counters.get("server.shed.expired", 0),
+        "shed_rate": metrics.get("shed_rate", 0.0),
+        "breaker_trips": counters.get("server.breaker.trips", 0),
+        "breaker_recoveries": counters.get("server.breaker.recoveries", 0),
+        "retries": counters.get("server.retry.attempts", 0),
+        "chaos": metrics.get("chaos"),
+        "drain_exit": drain_exit,
+        "undiagnosed_5xx": len(undiagnosed_5xx),
+        "transport_failures": len(transport_failures),
+        "log_problems": log_problems,
+    }
+    print(json.dumps(report, indent=2))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"report": report, "results": results}, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+
+    if args.no_check:
+        return 0
+
+    # ------------------------------------------------------------------
+    # Resilience assertions (the CI chaos contract)
+    # ------------------------------------------------------------------
+    failures = []
+    if undiagnosed_5xx:
+        sample = undiagnosed_5xx[:3]
+        failures.append(f"{len(undiagnosed_5xx)} 5xx response(s) without a "
+                        f"stable HCG code, e.g. {sample}")
+    if transport_failures:
+        failures.append(f"{len(transport_failures)} transport failure(s): "
+                        f"{transport_failures[:3]}")
+    if log_problems:
+        failures.append("daemon log has non-JSON lines (unhandled "
+                        f"exception?): {log_problems[:3]}")
+    p99 = percentile(latencies, 0.99)
+    budget_ms = (args.deadline + 1.0) * 1000.0
+    if p99 > budget_ms:
+        failures.append(f"p99 {p99:.0f}ms exceeds deadline budget "
+                        f"{budget_ms:.0f}ms")
+    if proc is not None and drain_exit != 0:
+        failures.append(f"drain exit code {drain_exit}, expected 0")
+    if chaotic:
+        if report["breaker_trips"] < 1:
+            failures.append("chaos run but the circuit breaker never tripped")
+        if report["breaker_recoveries"] < 1:
+            failures.append("circuit breaker tripped but never recovered")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("loadgen: all resilience checks passed", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
