@@ -1,0 +1,170 @@
+"""Parameterized synthetic benchmark models (``repro bench --synthetic N``).
+
+The six paper models top out at a few dozen actors, which never
+stresses Algorithm 2's subgraph matcher.  :func:`synthetic_cascade`
+builds a deep elementwise cascade with ``N`` batch actors forming one
+connected batch group — the hundreds-of-actors regime of ROADMAP items
+4-5 — deterministically, so two runs (or two matchers) see the same
+model.
+
+The topology is a dense cascade: each actor's first operand is its
+predecessor and its second operand *taps an earlier node* (cycling
+through a few tap distances) rather than a fresh constant.  The taps
+give interior nodes fan-out, which is what makes matching hard: they
+create many multi-escape and non-convex candidate sets, the regime
+where the naive matcher's per-seed re-enumeration blows up.  Two fixed
+positions per op-cycle take constants instead — a ``Min`` with a
+positive constant followed by a ``Max`` with a negative one — clamping
+every value into ``[-0.5, 0.5]`` so the cascade stays finite at any
+depth.  The cycle still puts ``Mul`` directly in front of ``Add``/
+``Sub`` so fused multiply-accumulate patterns (neon ``vmlaq_f32``,
+AVX2 ``vfmadd231ps``) have real matches, and taps avoid landing on a
+``Mul`` so those fusions stay single-sink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Model
+
+#: signal width of synthetic models; a multiple of every preset's f32
+#: lane count (4/4/8), so the whole cascade vectorises with no remainder
+SYNTHETIC_WIDTH = 64
+
+#: the op sequence, cycled; Mul immediately before Add/Sub feeds the
+#: compound multiply-accumulate patterns of neon/avx2
+_OP_CYCLE = ("Mul", "Add", "Sub", "Min", "Max", "Mul", "Add", "Sub")
+
+#: cycle positions whose second operand is a constant: the Min/Max
+#: clamp pair that bounds values to [-0.5, 0.5]
+_CONST_POSITIONS = frozenset({3, 4})
+
+#: cycle positions holding a Mul (taps skip these so multiply-add
+#: fusions keep a single escaping value)
+_MUL_POSITIONS = frozenset(
+    i for i, op in enumerate(_OP_CYCLE) if op == "Mul"
+)
+
+#: tap distances for the second operand, cycled per actor index
+_TAP_OFFSETS = (2, 3, 5)
+
+
+def _const_values(index: int, width: int) -> list:
+    """Deterministic pseudo-random constants in [-0.5, 0.5)."""
+    return [
+        ((index * 31 + lane * 17 + 3) % 101) / 101.0 - 0.5
+        for lane in range(width)
+    ]
+
+
+def _clamp_values(index: int, width: int) -> list:
+    """The clamp constants: +0.5 for the Min node, -0.5 for the Max."""
+    bound = 0.5 if index % len(_OP_CYCLE) == 3 else -0.5
+    return [bound] * width
+
+
+def synthetic_cascade(
+    n_actors: int,
+    width: int = SYNTHETIC_WIDTH,
+    tap_offsets: Tuple[int, ...] = _TAP_OFFSETS,
+) -> Model:
+    """A deep cascade of ``n_actors`` f32 batch actors in one group."""
+    if n_actors < 1:
+        raise ValueError(f"n_actors must be >= 1, got {n_actors}")
+    builder = ModelBuilder(f"Synthetic{n_actors}", default_dtype=DataType.F32)
+    previous = builder.inport("x", shape=width)
+    nodes = []
+    pad = len(str(max(n_actors - 1, 1)))
+    cycle = len(_OP_CYCLE)
+    for index in range(n_actors):
+        position = index % cycle
+        op = _OP_CYCLE[position]
+        if position in _CONST_POSITIONS:
+            second = builder.const(
+                f"c{index:0{pad}d}", value=_clamp_values(index, width)
+            )
+        elif index >= 2:
+            target = index - tap_offsets[index % len(tap_offsets)]
+            # Never tap a Mul: its value must stay internal to the
+            # multiply-add fusion candidates rooted at its consumer.
+            while target >= 0 and target % cycle in _MUL_POSITIONS:
+                target -= 1
+            if target >= 0:
+                second = nodes[target]
+            else:
+                second = builder.const(
+                    f"c{index:0{pad}d}", value=_const_values(index, width)
+                )
+        else:
+            second = builder.const(
+                f"c{index:0{pad}d}", value=_const_values(index, width)
+            )
+        node = builder.add_actor(op, f"n{index:0{pad}d}", previous, second)
+        nodes.append(node)
+        previous = node
+    builder.outport("y", previous)
+    return builder.build()
+
+
+def synthetic_inputs(model: Model) -> Dict[str, Any]:
+    """Deterministic input battery for a synthetic model."""
+    width = model.actor("x").output("out").shape[0]
+    return {"x": [((lane * 13 + 5) % 41) / 41.0 - 0.5 for lane in range(width)]}
+
+
+def matcher_cells(
+    n_actors: int,
+    arch_name: str,
+    compiler,
+    steps: int = 2,
+    reps: int = 1,
+) -> Dict[str, Any]:
+    """Run the synthetic model under both matcher kinds on one arch.
+
+    Returns ``{"hcg_indexed": RunResult, "hcg_naive": RunResult}`` for
+    injection into the bench matrix as a ``Synthetic<N>`` model row.
+    Each cell carries the ``alg2.match.*`` counters of its run, so the
+    committed record demonstrates the speedup (tools/check_bench.py
+    asserts it).  With ``reps > 1`` each kind runs that many times and
+    the repetition with the smallest matcher wall is kept — the usual
+    min-of-k discipline that strips scheduler noise from a wall-clock
+    benchmark.  Output divergence between the two matchers is an
+    error — this doubles as a cheap differential check at scale.
+    """
+    import numpy as np
+
+    from repro.arch.presets import get_architecture
+    from repro.bench.runner import run_generator
+    from repro.compiler.toolchain import get_compiler
+    from repro.errors import ReproError
+    from repro.observability.tracer import Tracer
+
+    model = synthetic_cascade(n_actors)
+    inputs = synthetic_inputs(model)
+    arch = get_architecture(arch_name)
+    if isinstance(compiler, str):
+        compiler = get_compiler(compiler)
+    cells: Dict[str, Any] = {}
+    for kind in ("indexed", "naive"):
+        best = None
+        for _ in range(max(reps, 1)):
+            run = run_generator(
+                model, "hcg", arch, compiler,
+                inputs=inputs, steps=steps,
+                matcher=kind, tracer=Tracer(),
+            )
+            wall = run.metrics["alg2.match.wall_s"]
+            if best is None or wall < best.metrics["alg2.match.wall_s"]:
+                best = run
+        cells[f"hcg_{kind}"] = best
+    indexed, naive = cells["hcg_indexed"], cells["hcg_naive"]
+    for name, value in indexed.outputs.items():
+        if not np.array_equal(value, naive.outputs[name]):
+            raise ReproError(
+                f"matcher divergence on {model.name} output {name!r}: "
+                f"indexed and naive programs disagree"
+            )
+    return cells

@@ -278,6 +278,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"{summary['dfsynth_max']:.1f}%"
             )
         print()
+    if args.synthetic:
+        from repro.bench.synthetic import matcher_cells
+
+        # One synthetic cell, on the paper's home architecture when the
+        # run covers it.  Both matcher kinds run and the cells land in
+        # the record as Synthetic<N> rows, so the alg2.match.* counters
+        # of the committed baseline demonstrate the indexed speedup.
+        synth_arch = "arm_a72" if "arm_a72" in archs else archs[0]
+        cells = matcher_cells(args.synthetic, synth_arch, compiler,
+                              steps=steps, reps=3)
+        matrix.setdefault(synth_arch, {})[f"Synthetic{args.synthetic}"] = cells
+        indexed_wall = cells["hcg_indexed"].metrics["alg2.match.wall_s"]
+        naive_wall = cells["hcg_naive"].metrics["alg2.match.wall_s"]
+        print(
+            f"synthetic cascade ({args.synthetic} actors, {synth_arch}): "
+            f"indexed matcher {indexed_wall * 1000:.2f} ms vs naive "
+            f"{naive_wall * 1000:.2f} ms ({naive_wall / indexed_wall:.1f}x)"
+        )
+        print()
     json_path = args.json or (None if args.model else "BENCH_codegen.json")
     if json_path:
         record = build_bench_record(
@@ -490,6 +509,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="scale the named benchmarks down (n=64) for a fast smoke run",
+    )
+    p.add_argument(
+        "--synthetic", type=int, metavar="N",
+        help="also benchmark a synthetic N-actor cascade under both "
+             "subgraph matchers (indexed vs naive) and record the "
+             "alg2.match.* counters as Synthetic<N> rows",
     )
     p.add_argument(
         "--json", metavar="PATH",

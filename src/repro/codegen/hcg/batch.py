@@ -18,6 +18,7 @@ falls back to the conventional scalar translation.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from repro.codegen.common import (
@@ -28,12 +29,8 @@ from repro.codegen.common import (
 )
 from repro.codegen.hcg.dfg import Dfg, ExtInput, NodeInput, build_dfg
 from repro.codegen.hcg.dispatch import BatchGroup
-from repro.codegen.hcg.subgraphs import (
-    Match,
-    extend_subgraphs,
-    match_instruction,
-    top_left_node,
-)
+from repro.codegen.hcg.matchindex import make_matcher
+from repro.codegen.hcg.subgraphs import Match, top_left_node
 from repro.errors import CodegenError
 from repro.ir.expr import Expr, Load, ScalarOp, Var, const_i
 from repro.ir.stmt import AssignVar, Comment, For, SimdLoad, SimdOp, SimdStore, Stmt, Store
@@ -50,6 +47,7 @@ class BatchSynthesizer:
         iset: InstructionSet,
         unroll_limit: int = UNROLL_LIMIT,
         simd_threshold: int = 0,
+        matcher: str = "indexed",
     ) -> None:
         self.ctx = ctx
         self.iset = iset
@@ -58,6 +56,9 @@ class BatchSynthesizer:
         #: profitable (§4.3 discussion); 0 reproduces the paper's
         #: always-vectorise behaviour
         self.simd_threshold = simd_threshold
+        #: subgraph matcher kind ("indexed" fast path or the "naive"
+        #: baseline; see repro.codegen.hcg.matchindex)
+        self.matcher = matcher
         #: trace of emitted matches, for tests and reports
         self.matches: List[Match] = []
         #: candidate subgraphs enumerated across all groups (metrics)
@@ -162,42 +163,57 @@ class BatchSynthesizer:
             body.append(SimdLoad(register, buffer, index, ext.dtype, batch_size))
             registers[ext] = register
 
-        # Lines 10-22: iterative mapping.
+        # Lines 10-22: iterative mapping, driven by the configured
+        # matcher.  The alg2.match span covers the whole loop; the
+        # alg2.match.wall_s counter accumulates matcher work only
+        # (index construction, match queries, invalidation) so the two
+        # matcher kinds compare head-to-head from a bench record alone,
+        # undiluted by the statement emission both share.
+        clock = time.perf_counter
         mapped: set = set()
-        while True:
-            seed = top_left_node(dfg, mapped)
-            if seed is None:
-                break
-            candidates = extend_subgraphs(
-                dfg, seed, mapped, self.iset.max_node_count, self.iset.max_depth
-            )
-            self.subgraphs_enumerated += len(candidates)
-            self.ctx.tracer.count(COUNTERS.ALG2_SUBGRAPHS_ENUMERATED, len(candidates))
-            match: Optional[Match] = None
-            for subgraph in candidates:
-                match = match_instruction(dfg, subgraph, self.iset, mapped)
-                if match is not None:
+        with self.ctx.tracer.span(
+            SPANS.ALG2_MATCH, matcher=self.matcher, nodes=len(dfg.nodes)
+        ) as span:
+            started = clock()
+            matcher = make_matcher(self.matcher, dfg, self.iset, self.ctx.tracer)
+            match_wall = clock() - started
+            while True:
+                seed = top_left_node(dfg, mapped)
+                if seed is None:
                     break
-            if match is None:
-                raise CodegenError(
-                    f"no instruction matches node {seed!r}; dispatch should have "
-                    f"excluded unsupported batch actors"
+                started = clock()
+                match: Optional[Match] = matcher.match_from(seed, mapped)
+                match_wall += clock() - started
+                if match is None:
+                    raise CodegenError(
+                        f"no instruction matches node {seed!r}; dispatch should have "
+                        f"excluded unsupported batch actors"
+                    )
+                sink = dfg.node(match.subgraph.sink)
+                destination = self.ctx.names.fresh(f"{sanitize(sink.name)}_batch")
+                args = tuple(registers[ref] for ref in match.args)
+                imm = match.imm if match.spec.has_wildcard_imm else None
+                body.append(
+                    SimdOp(destination, match.spec.name, args, sink.dtype, batch_size, imm)
                 )
-            sink = dfg.node(match.subgraph.sink)
-            destination = self.ctx.names.fresh(f"{sanitize(sink.name)}_batch")
-            args = tuple(registers[ref] for ref in match.args)
-            imm = match.imm if match.spec.has_wildcard_imm else None
-            body.append(
-                SimdOp(destination, match.spec.name, args, sink.dtype, batch_size, imm)
+                registers[NodeInput(sink.name)] = destination
+                mapped |= match.subgraph.members
+                started = clock()
+                matcher.invalidate(match.subgraph.members)
+                match_wall += clock() - started
+                self.matches.append(match)
+                self.ctx.tracer.count(COUNTERS.ALG2_INSTRUCTIONS_MATCHED)
+                # Line 23: store only what leaves the group.
+                if sink.needs_store:
+                    buffer = self.ctx.buffer_of(sink.name, "out")
+                    body.append(SimdStore(buffer, index, destination, sink.dtype, batch_size))
+            span.set(
+                subgraphs_enumerated=matcher.enumerated,
+                match_wall_s=round(match_wall, 9),
             )
-            registers[NodeInput(sink.name)] = destination
-            mapped |= match.subgraph.members
-            self.matches.append(match)
-            self.ctx.tracer.count(COUNTERS.ALG2_INSTRUCTIONS_MATCHED)
-            # Line 23: store only what leaves the group.
-            if sink.needs_store:
-                buffer = self.ctx.buffer_of(sink.name, "out")
-                body.append(SimdStore(buffer, index, destination, sink.dtype, batch_size))
+            matcher.flush_counters()
+        self.subgraphs_enumerated += matcher.enumerated
+        self.ctx.tracer.count(COUNTERS.ALG2_MATCH_WALL_S, match_wall)
         return body
 
     # ------------------------------------------------------------------

@@ -77,6 +77,7 @@ class HcgGenerator:
         cost: Optional[CostTable] = None,
         unroll_limit: int = UNROLL_LIMIT,
         simd_threshold: int = 0,
+        matcher: str = "indexed",
         branch_aware: bool = False,
         variable_reuse: bool = True,
         policy: str = "strict",
@@ -91,6 +92,9 @@ class HcgGenerator:
         self.cost = cost if cost is not None else arch.cost
         self.unroll_limit = unroll_limit
         self.simd_threshold = simd_threshold
+        #: Algorithm 2 subgraph matcher: "indexed" (fast path) or
+        #: "naive" (the baseline enumerator, kept for cross-checking)
+        self.matcher = matcher
         self.branch_aware = branch_aware
         self.variable_reuse = variable_reuse
         #: fault policy: "strict" raises at the end of generate() when a
@@ -176,7 +180,10 @@ class HcgGenerator:
             tracer=tracer, timings=self.timings, executor=self.executor,
         )
         self.last_intensive = intensive
-        batch = BatchSynthesizer(ctx, self.iset, self.unroll_limit, self.simd_threshold)
+        batch = BatchSynthesizer(
+            ctx, self.iset, self.unroll_limit, self.simd_threshold,
+            matcher=self.matcher,
+        )
         self.last_batch = batch
 
         points = fanout_materialization_points(ctx)

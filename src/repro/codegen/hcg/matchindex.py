@@ -1,0 +1,715 @@
+"""Indexed subgraph matching for Algorithm 2 (the fast path).
+
+The naive mapping loop re-enumerates every convex subgraph around the
+current seed on every round, walks the whole dependence cone of the
+group per convexity check, and scans the whole instruction registry per
+candidate.  On a group with hundreds of actors that adds up to tens of
+milliseconds before matching even starts.  This module replaces it with
+four ideas (docs/algorithms.md#indexed-matching):
+
+* a :class:`PatternTrie` over the instruction set, keyed on the pattern
+  root's op, dtype, lane count and node count, so matching a candidate
+  touches only the handful of specs that could possibly bind;
+* a one-time *candidate pool*: every connected single-sink node set of
+  the group up to the instruction set's maximum pattern size, filtered
+  for depth and convexity once.  Node sets are integer bitmasks over
+  the group's topological order, and convexity is one bitwise-AND
+  against precomputed reachability bitsets instead of a graph walk;
+* memoized matching at two levels: per candidate (so a candidate that
+  was matched once is never matched again) and per *structural
+  signature* (so the hundredth ``Mul(prev, const)`` actor reuses the
+  binding shape computed for the first);
+* incremental re-matching: accepting a subgraph invalidates exactly the
+  candidates that overlap it (and their memoized match results) instead
+  of recomputing the group.
+
+Selection is bit-exact with the naive enumerator: candidates are
+ordered by the same ``(-cost, sorted members)`` key, trie leaves are
+sorted cheapest-first with a stable sort so registry order breaks cost
+ties exactly like the naive cheapest-wins scan, and the pool's
+single-sink filter only drops sets the naive matcher enumerates and
+then discards (a multi-output set can never match a one-result SIMD
+instruction).  The differential verifier cross-checks this equivalence
+(tests/codegen/test_matcher_equivalence.py).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro import ops
+from repro.codegen.hcg.dfg import Dfg, NodeInput
+from repro.codegen.hcg.subgraphs import (
+    Match,
+    Subgraph,
+    _depth,
+    _try_match,
+    extend_subgraphs,
+    match_instruction,
+)
+from repro.isa.spec import InstructionSet, InstructionSpec
+from repro.observability.metrics import COUNTERS, SPANS
+from repro.observability.tracer import NULL_TRACER
+
+#: the matcher kinds CodegenOptions accepts
+MATCHERS = ("indexed", "naive")
+
+#: sentinel distinguishing "signature never seen" from "seen, no match"
+_MISS = object()
+
+
+# ---------------------------------------------------------------------------
+# Pattern trie
+# ---------------------------------------------------------------------------
+
+class PatternTrie:
+    """Instruction specs indexed by root op / dtype / lanes / node count.
+
+    The four key components form a fixed-depth trie of nested dicts; a
+    leaf holds every spec sharing that key path, sorted cheapest-first.
+    The sort is stable, so specs of equal cost keep registry order and
+    the first successful binding is exactly the one the naive
+    cheapest-wins scan would keep.
+    """
+
+    def __init__(self, iset: InstructionSet) -> None:
+        root: Dict[str, Dict] = {}
+        for spec in iset.instructions:
+            by_dtype = root.setdefault(spec.root.op, {})
+            by_lanes = by_dtype.setdefault(spec.dtype, {})
+            by_count = by_lanes.setdefault(spec.lanes, {})
+            by_count.setdefault(spec.node_count, []).append(spec)
+        for by_dtype in root.values():
+            for by_lanes in by_dtype.values():
+                for by_count in by_lanes.values():
+                    for count in by_count:
+                        by_count[count] = tuple(
+                            sorted(by_count[count], key=lambda s: s.cost)
+                        )
+        self._root = root
+        self._size = len(iset.instructions)
+
+    def lookup(self, op, dtype, lanes: int, node_count: int) -> Tuple[InstructionSpec, ...]:
+        """Specs whose pattern root carries this exact key, cheapest first."""
+        by_dtype = self._root.get(op)
+        if by_dtype is None:
+            return ()
+        by_lanes = by_dtype.get(dtype)
+        if by_lanes is None:
+            return ()
+        by_count = by_lanes.get(lanes)
+        if by_count is None:
+            return ()
+        return by_count.get(node_count, ())
+
+    def sizes(self, op, dtype, lanes: int) -> Dict[int, Tuple[InstructionSpec, ...]]:
+        """The node-count leaf map under an (op, dtype, lanes) prefix.
+
+        Lets callers hoist the three outer dict hops when probing many
+        node counts for the same root — ``size in trie.sizes(...)`` is
+        then one membership test per candidate.
+        """
+        by_dtype = self._root.get(op)
+        if by_dtype is None:
+            return {}
+        by_lanes = by_dtype.get(dtype)
+        if by_lanes is None:
+            return {}
+        return by_lanes.get(lanes, {})
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def leaves(self) -> int:
+        """Number of distinct key paths."""
+        return sum(
+            len(by_count)
+            for by_dtype in self._root.values()
+            for by_lanes in by_dtype.values()
+            for by_count in by_lanes.values()
+        )
+
+
+@functools.lru_cache(maxsize=32)
+def pattern_trie(iset: InstructionSet) -> PatternTrie:
+    """The trie of one instruction set, built once per process."""
+    return PatternTrie(iset)
+
+
+# ---------------------------------------------------------------------------
+# Candidate pool
+# ---------------------------------------------------------------------------
+
+class Candidate:
+    """One statically-enumerated convex single-sink subgraph.
+
+    The :class:`~repro.codegen.hcg.subgraphs.Subgraph` value and the
+    dependency frozenset are materialised lazily — the build loop only
+    pays for the cheap tuple fields, and roughly half the pool is never
+    queried before it dies to an overlapping acceptance.
+    """
+
+    __slots__ = ("member_names", "sink", "cost", "dep_names",
+                 "deps_mask", "mask", "key", "_subgraph")
+
+    def __init__(
+        self,
+        member_names: Tuple[str, ...],
+        sink: str,
+        cost,
+        dep_names: Tuple[str, ...],
+        deps_mask: int,
+        mask: int,
+        key: Tuple,
+    ) -> None:
+        #: member names in topological (= bit) order
+        self.member_names = member_names
+        self.sink = sink
+        self.cost = cost
+        #: producers outside the set feeding it; the set is *independent*
+        #: exactly when every one of them is already mapped
+        self.dep_names = dep_names
+        self.deps_mask = deps_mask
+        self.mask = mask
+        #: largest-cost-first order key, identical to the naive sort
+        self.key = key
+        self._subgraph: Optional[Subgraph] = None
+
+    @property
+    def subgraph(self) -> Subgraph:
+        subgraph = self._subgraph
+        if subgraph is None:
+            subgraph = self._subgraph = Subgraph(
+                members=frozenset(self.member_names),
+                sink=self.sink,
+                cost=self.cost,
+            )
+        return subgraph
+
+    @property
+    def deps(self) -> FrozenSet[str]:
+        return frozenset(self.dep_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Candidate({sorted(self.member_names)}, sink={self.sink!r})"
+
+
+def _bits(mask: int) -> Iterator[int]:
+    """Set bit indices of ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def group_adjacency(dfg: Dfg) -> Dict[str, Tuple[str, ...]]:
+    """Undirected in-group neighbours of every node, computed once."""
+    adjacency: Dict[str, Set[str]] = {node.name: set() for node in dfg.nodes}
+    for node in dfg.nodes:
+        for ref in node.inputs:
+            if isinstance(ref, NodeInput):
+                adjacency[node.name].add(ref.node)
+        adjacency[node.name].update(node.internal_consumers)
+    return {name: tuple(peers) for name, peers in adjacency.items()}
+
+
+def _connected_masks(adjacency: List[int], max_nodes: int) -> List[int]:
+    """Every connected node set with at most ``max_nodes`` members, as
+    bitmasks over node indices.  Growth only ever crosses edges between
+    final members, so this is the union of the naive per-seed
+    enumerations."""
+    if max_nodes <= 2:
+        # Every packaged ISA tops out at two-node patterns, where the
+        # answer is just singletons plus adjacent pairs — no worklist
+        # or dedup needed (each pair appears once, from its lower end).
+        out = []
+        for i, adjacent in enumerate(adjacency):
+            bit = 1 << i
+            out.append(bit)
+            if max_nodes < 2:
+                continue
+            rest = adjacent >> (i + 1)
+            offset = i + 1
+            while rest:
+                low = rest & -rest
+                out.append(bit | (low << offset))
+                rest ^= low
+        return out
+    seen: Set[int] = set()
+    out: List[int] = []
+    frontier: List[int] = [1 << i for i in range(len(adjacency))]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        out.append(current)
+        if current.bit_count() >= max_nodes:
+            continue
+        neighbours = 0
+        rest = current
+        while rest:
+            low = rest & -rest
+            neighbours |= adjacency[low.bit_length() - 1]
+            rest ^= low
+        # Growing only with indices above the set's minimum still
+        # reaches every connected set (build it from its lowest member
+        # outward) while pruning duplicate frontier entries.
+        neighbours &= ~current & ~((current & -current) - 1)
+        while neighbours:
+            low = neighbours & -neighbours
+            frontier.append(current | low)
+            neighbours ^= low
+    return out
+
+
+def connected_sets(dfg: Dfg, max_nodes: int) -> Set[FrozenSet[str]]:
+    """Every connected node set of the group with at most ``max_nodes``
+    members, as frozensets of node names (test/debug convenience; the
+    matcher itself stays in bitmask form)."""
+    names = [node.name for node in dfg.nodes]
+    position = {name: i for i, name in enumerate(names)}
+    adjacency = [0] * len(names)
+    for name, peers in group_adjacency(dfg).items():
+        mask = 0
+        for peer in peers:
+            mask |= 1 << position[peer]
+        adjacency[position[name]] = mask
+    return {
+        frozenset(names[i] for i in _bits(mask))
+        for mask in _connected_masks(adjacency, max_nodes)
+    }
+
+
+class IndexedGroupMatcher:
+    """Incremental largest-first matcher over a static candidate pool.
+
+    Build once per batch group, then drive the Algorithm 2 loop with
+    :meth:`match_from` and :meth:`invalidate`.  The pool enumerates the
+    group a single time; each round is a walk of the seed's (pre-sorted)
+    candidate list with one bitmask independence test per candidate and
+    memoized instruction matching.
+    """
+
+    kind = "indexed"
+
+    def __init__(self, dfg: Dfg, iset: InstructionSet, tracer=NULL_TRACER) -> None:
+        self.dfg = dfg
+        self.iset = iset
+        self.tracer = tracer
+        self.trie = pattern_trie(iset)
+        self._max_nodes = iset.max_node_count
+        self._max_depth = iset.max_depth
+        nodes = list(dfg.nodes)
+        #: node order = schedule order = topological order (edges only
+        #: ever point forward in dfg.nodes); bit ``i`` of every mask in
+        #: this matcher refers to ``nodes[i]``
+        self._names = [node.name for node in nodes]
+        self._position = {node.name: i for i, node in enumerate(nodes)}
+        self._node = {node.name: node for node in nodes}
+        count = len(nodes)
+        cons_mask = [0] * count
+        dep_mask = [0] * count
+        position = self._position
+        for i, node in enumerate(nodes):
+            mask = 0
+            for consumer in node.internal_consumers:
+                mask |= 1 << position[consumer]
+            cons_mask[i] = mask
+            mask = 0
+            for ref in node.inputs:
+                if isinstance(ref, NodeInput):
+                    mask |= 1 << position[ref.node]
+            dep_mask[i] = mask
+        #: transitive in-group consumers of every node, as bitsets; a
+        #: convexity check is then one AND per escaping edge
+        reach = [0] * count
+        for i in range(count - 1, -1, -1):
+            acc = 0
+            rest = cons_mask[i]
+            while rest:
+                low = rest & -rest
+                acc |= low | reach[low.bit_length() - 1]
+                rest ^= low
+            reach[i] = acc
+        self._cons_mask = cons_mask
+        self._dep_mask = dep_mask
+        self._reach = reach
+        self._adj_mask = [cons_mask[i] | dep_mask[i] for i in range(count)]
+        self._store = [node.needs_store for node in nodes]
+        self._cost = [ops.op_info(node.op).base_cost for node in nodes]
+        #: per node, the trie leaf map keyed by candidate size for the
+        #: node as root — hoists the trie walk out of the build loop
+        lanes_of: Dict[object, int] = {}
+        sizes_of = []
+        for node in nodes:
+            lanes = lanes_of.get(node.dtype)
+            if lanes is None:
+                lanes = lanes_of[node.dtype] = iset.lanes_for(node.dtype)
+            sizes_of.append(self.trie.sizes(node.op, node.dtype, lanes))
+        self._sizes_of = sizes_of
+        self._convexity: Dict[FrozenSet[str], bool] = {}
+        self._match_memo: Dict[int, Optional[Match]] = {}
+        self._sig_memo: Dict[Tuple, object] = {}
+        self._pool: List[Candidate] = []
+        self._alive: List[bool] = []
+        self._by_node: Dict[str, List[int]] = {name: [] for name in self._names}
+        self._mapped_mask = 0
+        self._mapped_obj: Optional[Set[str]] = None
+        self._mapped_count = -1
+        #: single-sink convex candidates in the pool (metrics; the naive
+        #: matcher's figure counts re-enumerations including sink-less
+        #: sets, this one counts each matchable candidate once)
+        self.enumerated = 0
+        # Local counter accumulation — the mapping loop is the hot path,
+        # so per-event tracer bumps are batched into one flush per group
+        # (see flush_counters).
+        self.rounds = 0
+        self.trie_hits = 0
+        self.trie_misses = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.invalidated = 0
+        with tracer.span(SPANS.ALG2_MATCH_INDEX, nodes=len(nodes)) as span:
+            self._build_pool()
+            span.set(candidates=len(self._pool), trie_leaves=self.trie.leaves)
+
+    # ------------------------------------------------------------------
+    def _build_pool(self) -> None:
+        names = self._names
+        cons_mask = self._cons_mask
+        dep_mask = self._dep_mask
+        store = self._store
+        cost_of = self._cost
+        max_depth = self._max_depth
+        sizes_of = self._sizes_of
+        candidates: List[Candidate] = []
+        for mask in _connected_masks(self._adj_mask, self._max_nodes):
+            # Single-sink filter first: a set with several escaping
+            # values can never match a one-output SIMD instruction (the
+            # naive matcher enumerates and then discards them), so the
+            # pool drops them before any other work.
+            escaping = 0
+            sink_index = -1
+            size = 0
+            rest = mask
+            while rest:
+                low = rest & -rest
+                i = low.bit_length() - 1
+                rest ^= low
+                size += 1
+                if store[i] or cons_mask[i] & ~mask:
+                    escaping += 1
+                    if escaping > 1:
+                        break
+                    sink_index = i
+            if escaping != 1:
+                continue
+            # Trie-presence filter: when no instruction pattern roots at
+            # the sink's (op, dtype, lanes, size) key, the candidate can
+            # never match — the naive matcher discovers the same thing
+            # by scanning the registry and finding nothing, so skipping
+            # it here is selection-neutral.
+            if size not in sizes_of[sink_index]:
+                self.trie_misses += 1
+                continue
+            if size > 1 and not self._convex_mask(mask):
+                continue
+            member_names: List[str] = []
+            deps_mask = 0
+            cost = 0
+            rest = mask
+            while rest:
+                low = rest & -rest
+                i = low.bit_length() - 1
+                rest ^= low
+                member_names.append(names[i])
+                deps_mask |= dep_mask[i]
+                cost += cost_of[i]
+            deps_mask &= ~mask
+            # Depth can only exceed the bound when the set has more
+            # nodes than the bound (depth <= |members|), so the walk is
+            # skipped entirely for small pattern libraries.
+            if size > max_depth and _depth(self.dfg, frozenset(member_names)) > max_depth:
+                continue
+            dep_names: List[str] = []
+            rest = deps_mask
+            while rest:
+                low = rest & -rest
+                dep_names.append(names[low.bit_length() - 1])
+                rest ^= low
+            candidates.append(
+                Candidate(
+                    tuple(member_names),
+                    names[sink_index],
+                    cost,
+                    tuple(dep_names),
+                    deps_mask,
+                    mask,
+                    (-cost, tuple(sorted(member_names))),
+                )
+            )
+        candidates.sort(key=lambda c: c.key)
+        self._pool = candidates
+        self._alive = [True] * len(candidates)
+        for cid, candidate in enumerate(candidates):
+            for name in candidate.member_names:
+                self._by_node[name].append(cid)  # stays key-sorted
+        self.enumerated = len(candidates)
+
+    # ------------------------------------------------------------------
+    def is_convex(self, members: FrozenSet[str]) -> bool:
+        """Memoized convexity: a path leaving and re-entering the set
+        exists exactly when some outside consumer of a member can reach
+        back into the set, which the precomputed reachability bitsets
+        answer with one AND per escaping edge."""
+        if len(members) == 1:
+            return True  # a single node has no outside path to itself
+        cached = self._convexity.get(members)
+        if cached is None:
+            mask = 0
+            position = self._position
+            for name in members:
+                mask |= 1 << position[name]
+            cached = self._convex_mask(mask)
+            self._convexity[members] = cached
+        return cached
+
+    def _convex_mask(self, mask: int) -> bool:
+        cons_mask = self._cons_mask
+        reach = self._reach
+        rest = mask
+        while rest:
+            low = rest & -rest
+            outside = cons_mask[low.bit_length() - 1] & ~mask
+            rest ^= low
+            while outside:
+                low_out = outside & -outside
+                if reach[low_out.bit_length() - 1] & mask:
+                    return False
+                outside ^= low_out
+        return True
+
+    # ------------------------------------------------------------------
+    def match_from(self, seed: str, mapped: Set[str]) -> Optional[Match]:
+        """The best (largest-first, then cheapest) match containing the
+        seed that is independent given ``mapped``, or None."""
+        self.rounds += 1
+        if mapped is not self._mapped_obj or len(mapped) != self._mapped_count:
+            # Slow path for callers that advance ``mapped`` without
+            # calling invalidate (the Algorithm 2 loop never does).
+            mask = 0
+            position = self._position
+            for name in mapped:
+                mask |= 1 << position[name]
+            self._mapped_mask = mask
+            self._mapped_obj = mapped
+            self._mapped_count = len(mapped)
+        unmapped = ~self._mapped_mask
+        alive = self._alive
+        pool = self._pool
+        memo = self._match_memo
+        for cid in self._by_node[seed]:
+            if not alive[cid]:
+                continue
+            candidate = pool[cid]
+            if candidate.deps_mask & unmapped:
+                continue  # not independent yet; may become so later
+            if cid in memo:
+                self.memo_hits += 1
+                match = memo[cid]
+            else:
+                self.memo_misses += 1
+                match = self._match_structural(candidate)
+                memo[cid] = match
+            if match is not None:
+                return match
+        return None
+
+    # ------------------------------------------------------------------
+    def _signature(self, candidate: Candidate):
+        """Structural signature of a candidate: member ops, dtypes,
+        immediates and the shape of internal/external operand wiring.
+        Two candidates with equal signatures bind any instruction
+        identically, with their inputs in the same operand slots (the
+        pattern match never looks at node names, and the memoized
+        results here are computed with ``mapped = deps``, making the
+        availability checks structural too)."""
+        node_of = self._node
+        names = candidate.member_names  # already in topological order
+        member_index = {name: i for i, name in enumerate(names)}
+        ordered = [node_of[name] for name in names]
+        external_ids: Dict[object, int] = {}
+        parts = []
+        for node in ordered:
+            operands: List[object] = []
+            for ref in node.inputs:
+                if isinstance(ref, NodeInput):
+                    internal = member_index.get(ref.node)
+                    if internal is not None:
+                        operands.append(internal)  # in-set edge
+                        continue
+                    ref_dtype = node_of[ref.node].dtype
+                else:
+                    ref_dtype = ref.dtype
+                ident = external_ids.setdefault(ref, len(external_ids))
+                operands.append((ident, ref_dtype))
+            parts.append((node.op, node.dtype, node.src_dtype, node.imm, tuple(operands)))
+        return tuple(parts), ordered
+
+    def _match_structural(self, candidate: Candidate) -> Optional[Match]:
+        signature, ordered = self._signature(candidate)
+        entry = self._sig_memo.get(signature, _MISS)
+        if entry is _MISS:
+            match = self._match_uncached(candidate)
+            if match is None:
+                self._sig_memo[signature] = None
+            else:
+                self._sig_memo[signature] = (
+                    match.spec, _binding_paths(match.args, ordered), match.imm,
+                )
+            return match
+        if entry is None:
+            return None
+        spec, paths, imm = entry
+        args = tuple(
+            ordered[member_idx].inputs[operand_idx]
+            for member_idx, operand_idx in paths
+        )
+        return Match(spec=spec, subgraph=candidate.subgraph, args=args, imm=imm)
+
+    def _match_uncached(self, candidate: Candidate) -> Optional[Match]:
+        subgraph = candidate.subgraph
+        if subgraph.sink is None:
+            return None  # pool candidates always have one, but be safe
+        sink = self._node[subgraph.sink]
+        specs = self.trie.lookup(
+            sink.op, sink.dtype,
+            self.iset.lanes_for(sink.dtype), len(subgraph.members),
+        )
+        if specs:
+            self.trie_hits += 1
+        else:
+            self.trie_misses += 1
+        for spec in specs:  # cheapest first
+            # Matching is independent of the mapped set once the
+            # candidate *is* independent: every external producer an
+            # I-token can reference lies in candidate.deps.  Passing the
+            # deps set makes the memoized result valid for any later
+            # mapped state that satisfies the subset test.
+            binding = _try_match(self.dfg, subgraph, spec, candidate.deps)
+            if binding is None:
+                continue
+            args_map, imm = binding
+            args = tuple(args_map[token] for token in spec.input_tokens)
+            return Match(spec=spec, subgraph=subgraph, args=args, imm=imm)
+        return None
+
+    # ------------------------------------------------------------------
+    def invalidate(self, members: Iterable[str]) -> int:
+        """Remove every candidate overlapping the accepted members and
+        drop their memoized matches; returns how many died."""
+        removed = 0
+        alive = self._alive
+        memo = self._match_memo
+        by_node = self._by_node
+        position = self._position
+        accepted = 0
+        for name in members:
+            accepted |= 1 << position[name]
+            for cid in by_node[name]:
+                if alive[cid]:
+                    alive[cid] = False
+                    memo.pop(cid, None)
+                    removed += 1
+        self._mapped_count += (accepted & ~self._mapped_mask).bit_count()
+        self._mapped_mask |= accepted
+        self.invalidated += removed
+        return removed
+
+    def flush_counters(self) -> None:
+        """Push the batched counters to the tracer, once per group."""
+        count = self.tracer.count
+        count(COUNTERS.ALG2_SUBGRAPHS_ENUMERATED, self.enumerated)
+        count(COUNTERS.ALG2_MATCH_ROUNDS, self.rounds)
+        count(COUNTERS.ALG2_MATCH_TRIE_HITS, self.trie_hits)
+        count(COUNTERS.ALG2_MATCH_TRIE_MISSES, self.trie_misses)
+        count(COUNTERS.ALG2_MATCH_MEMO_HITS, self.memo_hits)
+        count(COUNTERS.ALG2_MATCH_MEMO_MISSES, self.memo_misses)
+        count(COUNTERS.ALG2_MATCH_INVALIDATED, self.invalidated)
+
+    # ------------------------------------------------------------------
+    @property
+    def live_candidates(self) -> int:
+        return sum(self._alive)
+
+
+def _binding_paths(
+    args: Tuple[object, ...], ordered: List
+) -> Tuple[Tuple[int, int], ...]:
+    """Where each bound input ref sits in the members' operand lists, as
+    (member index, operand index) pairs.  A ref appearing in several
+    slots is ambiguous only between slots holding *equal* refs, so any
+    structurally identical candidate reads the same value either way."""
+    paths: List[Tuple[int, int]] = []
+    for ref in args:
+        for member_idx, node in enumerate(ordered):
+            operand_idx = -1
+            for j, node_ref in enumerate(node.inputs):
+                if node_ref == ref:
+                    operand_idx = j
+                    break
+            if operand_idx >= 0:
+                paths.append((member_idx, operand_idx))
+                break
+        else:  # pragma: no cover - bindings always come from operands
+            raise AssertionError(f"bound ref {ref!r} not found in candidate operands")
+    return tuple(paths)
+
+
+class NaiveGroupMatcher:
+    """The original per-seed re-enumerating matcher, kept verbatim so
+    the differential verifier can cross-check the indexed fast path."""
+
+    kind = "naive"
+
+    def __init__(self, dfg: Dfg, iset: InstructionSet, tracer=NULL_TRACER) -> None:
+        self.dfg = dfg
+        self.iset = iset
+        self.tracer = tracer
+        self._max_nodes = iset.max_node_count
+        self._max_depth = iset.max_depth
+        #: candidates enumerated, summed over every round
+        self.enumerated = 0
+        self.rounds = 0
+
+    def match_from(self, seed: str, mapped: Set[str]) -> Optional[Match]:
+        self.rounds += 1
+        candidates = extend_subgraphs(
+            self.dfg, seed, mapped, self._max_nodes, self._max_depth
+        )
+        self.enumerated += len(candidates)
+        for subgraph in candidates:
+            match = match_instruction(self.dfg, subgraph, self.iset, mapped)
+            if match is not None:
+                return match
+        return None
+
+    def invalidate(self, members: Iterable[str]) -> int:
+        return 0  # nothing cached; the next round re-enumerates
+
+    def flush_counters(self) -> None:
+        """Push the batched counters to the tracer, once per group."""
+        self.tracer.count(COUNTERS.ALG2_SUBGRAPHS_ENUMERATED, self.enumerated)
+        self.tracer.count(COUNTERS.ALG2_MATCH_ROUNDS, self.rounds)
+
+
+def make_matcher(kind: str, dfg: Dfg, iset: InstructionSet, tracer=NULL_TRACER):
+    """The matcher implementation selected by ``CodegenOptions.matcher``."""
+    if kind == "indexed":
+        return IndexedGroupMatcher(dfg, iset, tracer)
+    if kind == "naive":
+        return NaiveGroupMatcher(dfg, iset, tracer)
+    raise ValueError(f"unknown matcher {kind!r}; choose from {MATCHERS}")

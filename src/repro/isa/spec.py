@@ -22,6 +22,7 @@ Operand tokens:
 from __future__ import annotations
 
 import dataclasses
+import functools
 import re
 from typing import Dict, List, Optional, Tuple
 
@@ -182,9 +183,15 @@ class InstructionSpec:
                 return node
         return None
 
-    @property
+    @functools.cached_property
     def depth(self) -> int:
-        """Longest producer chain in the pattern graph."""
+        """Longest producer chain in the pattern graph.
+
+        Cached: Algorithm 2 reads pattern depths on every mapping round
+        and the spec is frozen, so the chain walk runs once per spec
+        (``cached_property`` writes to ``__dict__`` directly, bypassing
+        the frozen-dataclass ``__setattr__``; equality and hashing only
+        look at declared fields, so the cache never affects them)."""
         memo: Dict[str, int] = {}
 
         def depth_of(node: PatternNode) -> int:
@@ -304,11 +311,11 @@ class InstructionSet:
         """How many ``dtype`` elements one vector register holds."""
         return self.vector_bits // dtype.bit_width
 
-    @property
+    @functools.cached_property
     def max_node_count(self) -> int:
         return max(i.node_count for i in self.instructions)
 
-    @property
+    @functools.cached_property
     def max_depth(self) -> int:
         return max(i.depth for i in self.instructions)
 

@@ -27,6 +27,10 @@ class SPANS:
     ALG1_CANDIDATE = "alg1.candidate"
     #: one Algorithm 2 SIMD mapping (per batch group)
     ALG2_GROUP = "alg2.group"
+    #: the iterative mapping loop of one group (matcher build + rounds)
+    ALG2_MATCH = "alg2.match"
+    #: candidate-pool + trie construction of the indexed matcher
+    ALG2_MATCH_INDEX = "alg2.match.index"
     #: one conventional (scalar) translation of a batch group
     ALG2_FALLBACK = "alg2.fallback"
     #: composition: state updates + program assembly
@@ -59,6 +63,14 @@ class COUNTERS:
     ALG2_NODES_MAPPED = "alg2.nodes_mapped"
     ALG2_SUBGRAPHS_ENUMERATED = "alg2.subgraphs_enumerated"
     ALG2_INSTRUCTIONS_MATCHED = "alg2.instructions_matched"
+    # Algorithm 2 — subgraph matcher (indexed fast path + naive baseline)
+    ALG2_MATCH_WALL_S = "alg2.match.wall_s"
+    ALG2_MATCH_ROUNDS = "alg2.match.rounds"
+    ALG2_MATCH_TRIE_HITS = "alg2.match.trie_hits"
+    ALG2_MATCH_TRIE_MISSES = "alg2.match.trie_misses"
+    ALG2_MATCH_MEMO_HITS = "alg2.match.memo_hits"
+    ALG2_MATCH_MEMO_MISSES = "alg2.match.memo_misses"
+    ALG2_MATCH_INVALIDATED = "alg2.match.invalidated"
     # Translation validation — differential runner / fuzzer / shrinker
     VERIFY_CASES_RUN = "verify.cases_run"
     VERIFY_CASES_FAILED = "verify.cases_failed"

@@ -1,0 +1,96 @@
+"""Differential tests: the indexed and naive matchers must select
+cost-identical (in fact byte-identical) programs everywhere.
+
+Three layers:
+
+* the seven committed model files x three ISA presets;
+* fuzzed models drawn from the ``repro verify`` fuzzer's seed scheme
+  (the same generator the CI fuzz leg runs);
+* the synthetic benchmark cascade at a non-trivial size.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import GenerateRequest, generate
+from repro.codegen.options import CodegenOptions
+
+MODELS_DIR = Path(__file__).resolve().parents[2] / "models"
+ARCHS = ("arm_a72", "intel_i7_8700_sse4", "intel_i7_8700")
+
+
+def _load_model(path: Path):
+    if path.suffix == ".mdl":
+        from repro.model.mdl_io import read_mdl
+
+        try:
+            return read_mdl(path)
+        except Exception:
+            return read_mdl(path, default_width=8)
+    from repro.model.xml_io import read_model
+
+    return read_model(path)
+
+
+def _emit(model, arch, matcher):
+    request = GenerateRequest(
+        model=model, options=CodegenOptions(arch=arch, matcher=matcher)
+    )
+    return generate(request).c_source
+
+
+@pytest.mark.parametrize("arch", ARCHS)
+@pytest.mark.parametrize(
+    "model_file", sorted(p.name for p in MODELS_DIR.iterdir())
+)
+def test_committed_models_emit_identically(model_file, arch):
+    model = _load_model(MODELS_DIR / model_file)
+    assert _emit(model, arch, "indexed") == _emit(model, arch, "naive")
+
+
+@pytest.mark.parametrize("index", range(20))
+def test_fuzzed_models_emit_identically(index):
+    from repro.arch.presets import get_architecture
+    from repro.verify.fuzz import random_spec
+
+    arch = ARCHS[index % len(ARCHS)]
+    lanes = max(get_architecture(arch).instruction_set.vector_bits // 32, 2)
+    spec = random_spec(seed=0, index=index, lanes=lanes)
+    model = spec.build()
+    assert _emit(model, arch, "indexed") == _emit(model, arch, "naive"), spec
+
+
+@pytest.mark.parametrize("arch", ARCHS)
+def test_synthetic_cascade_emits_identically(arch):
+    from repro.bench.synthetic import synthetic_cascade
+
+    model = synthetic_cascade(64)
+    assert _emit(model, arch, "indexed") == _emit(model, arch, "naive")
+
+
+def test_matcher_cells_catch_divergence(monkeypatch):
+    """matcher_cells raises when the two matchers' outputs disagree."""
+    import numpy as np
+
+    from repro.bench import synthetic
+    from repro.errors import ReproError
+
+    real = np.array_equal
+    monkeypatch.setattr(np, "array_equal", lambda *a, **k: False)
+    try:
+        with pytest.raises(ReproError, match="divergence"):
+            synthetic.matcher_cells(8, "arm_a72", "gcc", steps=1)
+    finally:
+        monkeypatch.setattr(np, "array_equal", real)
+
+
+def test_matcher_cells_agree_and_record_counters():
+    from repro.bench.synthetic import matcher_cells
+
+    cells = matcher_cells(32, "arm_a72", "gcc", steps=1)
+    indexed, naive = cells["hcg_indexed"], cells["hcg_naive"]
+    assert indexed.cycles_per_step == naive.cycles_per_step
+    assert indexed.metrics["alg2.match.wall_s"] > 0
+    assert naive.metrics["alg2.match.wall_s"] > 0
+    assert indexed.metrics["alg2.match.rounds"] > 0

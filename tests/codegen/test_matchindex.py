@@ -1,0 +1,223 @@
+"""Unit tests for the indexed subgraph matcher (repro.codegen.hcg.matchindex)."""
+
+import itertools
+
+import pytest
+
+from repro.arch import ARM_A72, INTEL_I7_8700, INTEL_I7_8700_SSE4
+from repro.codegen.common import CodegenContext
+from repro.codegen.hcg.dfg import build_dfg
+from repro.codegen.hcg.dispatch import dispatch
+from repro.codegen.hcg.matchindex import (
+    IndexedGroupMatcher,
+    NaiveGroupMatcher,
+    PatternTrie,
+    connected_sets,
+    make_matcher,
+    pattern_trie,
+)
+from repro.codegen.hcg.subgraphs import is_convex, top_left_node
+from repro.dtypes import DataType
+from repro.model.builder import ModelBuilder
+
+NEON = ARM_A72.instruction_set
+
+
+def _fig4_dfg(iset=NEON):
+    """The paper's Fig. 4 model: Sub feeds both a halving-add chain and
+    a multiply-accumulate chain (fan-out, compound candidates)."""
+    b = ModelBuilder("fig4", default_dtype=DataType.I32)
+    a = b.inport("a", shape=8)
+    bb = b.inport("b", shape=8)
+    c = b.inport("c", shape=8)
+    d = b.inport("d", shape=8)
+    sub = b.add_actor("Sub", "sub", bb, c)
+    add1 = b.add_actor("Add", "add1", a, sub)
+    shr = b.add_actor("Shr", "shr", add1, shift=1)
+    mul = b.add_actor("Mul", "mul", sub, d)
+    add2 = b.add_actor("Add", "add2", sub, mul)
+    b.outport("shr_out", shr)
+    b.outport("add_out", add2)
+    model = b.build()
+    ctx = CodegenContext(model, "p", "test")
+    (group,) = dispatch(model, ctx.schedule, iset).groups
+    return build_dfg(ctx, group)
+
+
+class TestPatternTrie:
+    def test_lookup_hits_known_root(self):
+        trie = PatternTrie(NEON)
+        spec = NEON.by_name("vaddq_s32")
+        found = trie.lookup(spec.root.op, spec.dtype, spec.lanes, spec.node_count)
+        assert spec in found
+
+    def test_lookup_sorted_cheapest_first(self):
+        trie = PatternTrie(NEON)
+        for spec in NEON.instructions:
+            leaf = trie.lookup(spec.root.op, spec.dtype, spec.lanes, spec.node_count)
+            costs = [s.cost for s in leaf]
+            assert costs == sorted(costs)
+
+    def test_lookup_missing_key_is_empty(self):
+        trie = PatternTrie(NEON)
+        assert trie.lookup("NoSuchOp", DataType.I32, 4, 1) == ()
+        assert trie.lookup("Add", DataType.I32, 4, 99) == ()
+
+    def test_every_instruction_reachable(self):
+        trie = PatternTrie(NEON)
+        assert len(trie) == len(NEON.instructions)
+        for spec in NEON.instructions:
+            assert spec in trie.lookup(
+                spec.root.op, spec.dtype, spec.lanes, spec.node_count
+            )
+
+    def test_sizes_prefix_matches_lookup(self):
+        trie = PatternTrie(NEON)
+        spec = NEON.by_name("vmlaq_s32")
+        leaf = trie.sizes(spec.root.op, spec.dtype, spec.lanes)
+        assert leaf[spec.node_count] == trie.lookup(
+            spec.root.op, spec.dtype, spec.lanes, spec.node_count
+        )
+        assert trie.sizes("NoSuchOp", DataType.I32, 4) == {}
+
+    def test_pattern_trie_cached_per_iset(self):
+        assert pattern_trie(NEON) is pattern_trie(NEON)
+        assert pattern_trie(NEON) is not pattern_trie(INTEL_I7_8700.instruction_set)
+
+
+class TestConnectedSets:
+    def _reference(self, dfg, max_nodes):
+        """Brute force: every subset of <= max_nodes nodes that induces
+        a connected undirected graph."""
+        names = [n.name for n in dfg.nodes]
+        neighbours = {name: set() for name in names}
+        for node in dfg.nodes:
+            for consumer in node.internal_consumers:
+                neighbours[node.name].add(consumer)
+                neighbours[consumer].add(node.name)
+        out = set()
+        for size in range(1, max_nodes + 1):
+            for combo in itertools.combinations(names, size):
+                members = set(combo)
+                frontier = [combo[0]]
+                seen = {combo[0]}
+                while frontier:
+                    for peer in neighbours[frontier.pop()]:
+                        if peer in members and peer not in seen:
+                            seen.add(peer)
+                            frontier.append(peer)
+                if seen == members:
+                    out.add(frozenset(members))
+        return out
+
+    @pytest.mark.parametrize("max_nodes", [1, 2, 3])
+    def test_matches_brute_force(self, max_nodes):
+        dfg = _fig4_dfg()
+        assert connected_sets(dfg, max_nodes) == self._reference(dfg, max_nodes)
+
+    def test_convexity_agrees_with_reference(self):
+        dfg = _fig4_dfg()
+        matcher = IndexedGroupMatcher(dfg, NEON)
+        for members in connected_sets(dfg, 3):
+            assert matcher.is_convex(members) == is_convex(dfg, members), members
+
+
+def _drive(matcher, dfg):
+    """Run the Algorithm 2 loop to completion, returning the matches."""
+    mapped = set()
+    matches = []
+    while True:
+        seed = top_left_node(dfg, mapped)
+        if seed is None:
+            return matches
+        match = matcher.match_from(seed, mapped)
+        assert match is not None
+        matches.append(match)
+        mapped |= match.subgraph.members
+        matcher.invalidate(match.subgraph.members)
+
+
+class TestIndexedMatcher:
+    def test_pool_candidates_are_convex_single_sink(self):
+        dfg = _fig4_dfg()
+        matcher = IndexedGroupMatcher(dfg, NEON)
+        assert matcher.enumerated == len(matcher._pool) > 0
+        for candidate in matcher._pool:
+            assert is_convex(dfg, frozenset(candidate.member_names))
+            assert candidate.sink in candidate.member_names
+
+    def test_invalidate_kills_overlapping_candidates(self):
+        dfg = _fig4_dfg()
+        matcher = IndexedGroupMatcher(dfg, NEON)
+        before = matcher.live_candidates
+        removed = matcher.invalidate({"sub"})
+        assert removed > 0
+        assert matcher.live_candidates == before - removed
+        # every dead candidate overlaps the accepted set
+        for cid, alive in enumerate(matcher._alive):
+            candidate = matcher._pool[cid]
+            if "sub" in candidate.member_names:
+                assert not alive
+            else:
+                assert alive
+
+    def test_match_never_returns_invalidated_members(self):
+        dfg = _fig4_dfg()
+        matcher = IndexedGroupMatcher(dfg, NEON)
+        first = matcher.match_from("sub", set())
+        assert first is not None and "sub" in first.subgraph.members
+        mapped = set(first.subgraph.members)
+        matcher.invalidate(first.subgraph.members)
+        seed = top_left_node(dfg, mapped)
+        again = matcher.match_from(seed, mapped)
+        assert again is not None
+        assert not (again.subgraph.members & mapped)
+
+    def test_incremental_rematch_equals_naive_sequence(self):
+        for iset in (NEON, INTEL_I7_8700.instruction_set,
+                     INTEL_I7_8700_SSE4.instruction_set):
+            dfg = _fig4_dfg(iset)
+            indexed = _drive(IndexedGroupMatcher(dfg, iset), dfg)
+            naive = _drive(NaiveGroupMatcher(dfg, iset), dfg)
+            assert [(m.spec.name, m.subgraph.members, m.args, m.imm)
+                    for m in indexed] == \
+                   [(m.spec.name, m.subgraph.members, m.args, m.imm)
+                    for m in naive]
+
+    def test_match_from_tolerates_external_mapped_set(self):
+        # Direct callers may advance `mapped` without invalidate();
+        # the matcher must fall back to recomputing the mapped mask.
+        dfg = _fig4_dfg()
+        matcher = IndexedGroupMatcher(dfg, NEON)
+        reference = NaiveGroupMatcher(dfg, NEON)
+        mapped = {"sub"}
+        got = matcher.match_from("mul", mapped)
+        want = reference.match_from("mul", mapped)
+        assert got is not None and want is not None
+        assert (got.spec.name, got.subgraph.members) == \
+               (want.spec.name, want.subgraph.members)
+
+    def test_counters_flushed_to_tracer(self):
+        from repro.observability.tracer import Tracer
+
+        dfg = _fig4_dfg()
+        tracer = Tracer()
+        matcher = IndexedGroupMatcher(dfg, NEON, tracer)
+        _drive(matcher, dfg)
+        matcher.flush_counters()
+        counters = tracer.counters
+        assert counters["alg2.subgraphs_enumerated"] == matcher.enumerated
+        assert counters["alg2.match.rounds"] == matcher.rounds > 0
+        assert counters["alg2.match.invalidated"] == matcher.invalidated > 0
+
+
+class TestMakeMatcher:
+    def test_dispatches_both_kinds(self):
+        dfg = _fig4_dfg()
+        assert make_matcher("indexed", dfg, NEON).kind == "indexed"
+        assert make_matcher("naive", dfg, NEON).kind == "naive"
+
+    def test_unknown_kind_raises(self):
+        dfg = _fig4_dfg()
+        with pytest.raises(ValueError, match="indexed"):
+            make_matcher("quantum", dfg, NEON)

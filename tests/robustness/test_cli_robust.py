@@ -24,8 +24,20 @@ def model_file(tmp_path):
 
 @pytest.fixture
 def broken_mapper(monkeypatch):
-    monkeypatch.setattr(batch_module, "match_instruction",
-                        lambda *args, **kwargs: None)
+    class _NoMatchMatcher:
+        enumerated = 0
+
+        def match_from(self, seed, mapped):
+            return None
+
+        def invalidate(self, members):
+            return 0
+
+        def flush_counters(self):
+            pass
+
+    monkeypatch.setattr(batch_module, "make_matcher",
+                        lambda *args, **kwargs: _NoMatchMatcher())
 
 
 class TestPolicyFlags:

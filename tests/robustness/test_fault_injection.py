@@ -131,10 +131,27 @@ class TestIntensiveFaults:
         assert program is not None
 
 
+
+def _no_match_matcher(monkeypatch):
+    class _NoMatchMatcher:
+        enumerated = 0
+
+        def match_from(self, seed, mapped):
+            return None
+
+        def invalidate(self, members):
+            return 0
+
+        def flush_counters(self):
+            pass
+
+    monkeypatch.setattr(batch_module, "make_matcher",
+                        lambda *args, **kwargs: _NoMatchMatcher())
+
+
 class TestBatchFaults:
     def test_unmappable_group_demotes_to_scalar(self, monkeypatch):
-        monkeypatch.setattr(batch_module, "match_instruction",
-                            lambda *args, **kwargs: None)
+        _no_match_matcher(monkeypatch)
         model = _batch_model()
         generator = HcgGenerator(ARM_A72, policy="permissive")
         program = generator.generate(model)
@@ -149,8 +166,7 @@ class TestBatchFaults:
             assert np.array_equal(got[name].reshape(value.shape), value), name
 
     def test_unmappable_group_strict_raises(self, monkeypatch):
-        monkeypatch.setattr(batch_module, "match_instruction",
-                            lambda *args, **kwargs: None)
+        _no_match_matcher(monkeypatch)
         generator = HcgGenerator(ARM_A72, policy="strict")
         with pytest.raises(CodegenError) as excinfo:
             generator.generate(_batch_model())
@@ -159,8 +175,7 @@ class TestBatchFaults:
     def test_rollback_leaves_no_partial_state(self, monkeypatch):
         """The failed SIMD attempt's buffers/aliases are rolled back, so
         the fallback emits from a clean context and the C still emits."""
-        monkeypatch.setattr(batch_module, "match_instruction",
-                            lambda *args, **kwargs: None)
+        _no_match_matcher(monkeypatch)
         generator = HcgGenerator(ARM_A72, policy="permissive")
         program = generator.generate(_batch_model())
         names = [b.name for b in program.buffers]
@@ -173,7 +188,7 @@ class TestBatchFaults:
         def explode(*args, **kwargs):
             raise RuntimeError("injected matcher crash")
 
-        monkeypatch.setattr(batch_module, "match_instruction", explode)
+        monkeypatch.setattr(batch_module, "make_matcher", explode)
         generator = HcgGenerator(ARM_A72, policy="permissive")
         model = _batch_model()
         program = generator.generate(model)

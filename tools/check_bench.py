@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Bench-regression gate, run by the CI ``bench-regression`` job.
+
+Compares a freshly generated ``BENCH_codegen.json`` record against the
+committed baseline at the repo root, cell by cell (one cell = one
+(model, arch, generator) row):
+
+1. **Modelled cost** — ``vm_cycles_per_step`` may not regress by more
+   than ``COST_TOLERANCE`` (10%).  The VM cost model is deterministic,
+   so in practice any increase is a real program-quality regression.
+2. **Generation time** — ``codegen_wall_s`` may not exceed twice the
+   baseline.  Wall clock is noisy on shared runners, so cells faster
+   than ``WALL_FLOOR_S`` in the baseline are exempt (doubling a
+   millisecond is noise, doubling a second is a regression).
+3. **Matcher speedup** — the record's ``Synthetic<N>`` rows must show
+   the indexed matcher at least ``MIN_MATCHER_SPEEDUP`` times faster
+   than the naive baseline (``alg2.match.wall_s``), with modelled cost
+   no worse.  The committed snapshot records the honest measured ratio
+   (~11x at 300 actors); the CI floor is deliberately lower so runner
+   noise cannot fail an otherwise healthy build.
+
+Exit status 0 = clean; 1 = findings (printed one per line).  Stdlib
+only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: allowed relative growth of vm_cycles_per_step per cell
+COST_TOLERANCE = 0.10
+
+#: allowed relative growth of codegen_wall_s per cell
+WALL_TOLERANCE = 2.0
+
+#: baseline cells faster than this are exempt from the wall check
+WALL_FLOOR_S = 0.05
+
+#: the Synthetic rows must show at least this indexed-vs-naive ratio
+MIN_MATCHER_SPEEDUP = 5.0
+
+
+def load_record(path: Path) -> dict:
+    with open(path) as handle:
+        record = json.load(handle)
+    if record.get("kind") != "BENCH_codegen":
+        raise SystemExit(f"{path}: not a BENCH_codegen record")
+    return record
+
+
+def cells_of(record: dict) -> dict:
+    return {
+        (row["model"], row["arch"], row["generator"]): row
+        for row in record["results"]
+    }
+
+
+def check_against_baseline(current: dict, baseline: dict) -> list:
+    problems = []
+    current_cells = cells_of(current)
+    baseline_cells = cells_of(baseline)
+    shared = sorted(set(current_cells) & set(baseline_cells))
+    if not shared:
+        problems.append("no cells in common with the baseline record")
+    for key in shared:
+        now, then = current_cells[key], baseline_cells[key]
+        label = "/".join(key)
+        cost_now = now["vm_cycles_per_step"]
+        cost_then = then["vm_cycles_per_step"]
+        if cost_then > 0 and cost_now > cost_then * (1 + COST_TOLERANCE):
+            problems.append(
+                f"{label}: vm_cycles_per_step regressed "
+                f"{cost_then} -> {cost_now} "
+                f"(> {COST_TOLERANCE:.0%} tolerance)"
+            )
+        wall_now = now["codegen_wall_s"]
+        wall_then = then["codegen_wall_s"]
+        if wall_then >= WALL_FLOOR_S and wall_now > wall_then * WALL_TOLERANCE:
+            problems.append(
+                f"{label}: codegen_wall_s regressed "
+                f"{wall_then} -> {wall_now} (> {WALL_TOLERANCE}x)"
+            )
+    return problems
+
+
+def check_matcher_speedup(record: dict, where: str) -> list:
+    problems = []
+    by_model: dict = {}
+    for row in record["results"]:
+        if row["model"].startswith("Synthetic"):
+            by_model.setdefault((row["model"], row["arch"]), {})[
+                row["generator"]
+            ] = row
+    if not by_model:
+        problems.append(
+            f"{where}: no Synthetic rows (run bench with --synthetic N)"
+        )
+    for (model, arch), rows in sorted(by_model.items()):
+        label = f"{model}/{arch}"
+        if not {"hcg_indexed", "hcg_naive"} <= set(rows):
+            problems.append(f"{where}: {label}: missing a matcher cell")
+            continue
+        indexed, naive = rows["hcg_indexed"], rows["hcg_naive"]
+        indexed_wall = indexed["metrics"].get("alg2.match.wall_s")
+        naive_wall = naive["metrics"].get("alg2.match.wall_s")
+        if not indexed_wall or not naive_wall:
+            problems.append(
+                f"{where}: {label}: alg2.match.wall_s missing from metrics"
+            )
+            continue
+        speedup = naive_wall / indexed_wall
+        if speedup < MIN_MATCHER_SPEEDUP:
+            problems.append(
+                f"{where}: {label}: indexed matcher only {speedup:.1f}x "
+                f"faster than naive (floor {MIN_MATCHER_SPEEDUP}x)"
+            )
+        if indexed["vm_cycles_per_step"] > naive["vm_cycles_per_step"]:
+            problems.append(
+                f"{where}: {label}: indexed program costs more than naive "
+                f"({indexed['vm_cycles_per_step']} > "
+                f"{naive['vm_cycles_per_step']} cycles/step)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "current", nargs="?", default=None,
+        help="freshly generated record to gate (default: check only the "
+             "committed baseline's matcher rows)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(REPO / "BENCH_codegen.json"),
+        help="committed baseline record (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_record(Path(args.baseline))
+    problems = check_matcher_speedup(baseline, "baseline")
+    if args.current:
+        current = load_record(Path(args.current))
+        problems += check_against_baseline(current, baseline)
+        problems += check_matcher_speedup(current, "current")
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_bench: {len(problems)} problem(s)")
+        return 1
+    cells = len(baseline["results"])
+    print(f"check_bench: OK ({cells} baseline cell(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,12 @@ Two checks, both over the repository's own files (no network):
    ``docs/observability.md`` (and, being the primary reference,
    ``docs/robustness.md``); a documented code that no longer exists in
    the source is also an error.
+3. **Span/counter coverage** — every name in the ``SPANS`` and
+   ``COUNTERS`` registries (``src/repro/observability/metrics.py``)
+   must appear in ``docs/observability.md``, and every name in that
+   document's span/counter tables must still be registered. Adding an
+   instrumentation name without documenting it (or documenting a name
+   that was never emitted) fails the docs job.
 
 Exit status 0 = clean; 1 = findings (printed one per line as
 ``file:line: message``).
@@ -118,8 +124,67 @@ def check_diagnostic_codes() -> list:
     return problems
 
 
+#: a string-constant assignment inside the SPANS / COUNTERS classes
+METRIC_NAME_RE = re.compile(r'^\s{4}[A-Z][A-Z0-9_]*\s*=\s*"([^"]+)"', re.MULTILINE)
+
+#: a table row whose first cell is a single code span: | `name` | ...
+TABLE_NAME_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|", re.MULTILINE)
+
+
+def registered_metric_names() -> dict:
+    """``{"span": {...}, "counter": {...}}`` from the metrics registry."""
+    source = (REPO / "src" / "repro" / "observability" / "metrics.py").read_text()
+    names = {}
+    for kind, class_name in (("span", "SPANS"), ("counter", "COUNTERS")):
+        match = re.search(
+            rf"^class {class_name}\b.*?(?=^class |\Z)", source,
+            re.MULTILINE | re.DOTALL,
+        )
+        if match is None:
+            raise SystemExit(f"metrics.py: class {class_name} not found")
+        names[kind] = set(METRIC_NAME_RE.findall(match.group(0)))
+    return names
+
+
+def table_section(text: str, heading: str) -> str:
+    """The body of one ``###`` section of a document ('' if absent)."""
+    match = re.search(
+        rf"^###\s+{re.escape(heading)}\s*$(.*?)(?=^#{{1,3}}\s|\Z)", text,
+        re.MULTILINE | re.DOTALL,
+    )
+    return match.group(1) if match else ""
+
+
+def check_metric_names() -> list:
+    problems = []
+    doc = REPO / "docs" / "observability.md"
+    text = doc.read_text()
+    known = registered_metric_names()
+    for kind, heading in (("span", "Span names"), ("counter", "Counter names")):
+        section = table_section(text, heading)
+        if not section:
+            problems.append(
+                f"docs/observability.md:1: '### {heading}' section not found"
+            )
+            continue
+        documented = set(TABLE_NAME_RE.findall(section))
+        for name in sorted(known[kind] - documented):
+            problems.append(
+                f"docs/observability.md:1: {kind} {name!r} "
+                f"(src/repro/observability/metrics.py) is not documented "
+                f"in the {heading} table"
+            )
+        for name in sorted(documented - known[kind]):
+            problems.append(
+                f"docs/observability.md:1: {heading} table documents "
+                f"{name!r}, which is not registered in "
+                f"src/repro/observability/metrics.py"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_diagnostic_codes()
+    problems = check_links() + check_diagnostic_codes() + check_metric_names()
     for problem in problems:
         print(problem)
     checked = len(DOC_FILES)
