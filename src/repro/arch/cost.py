@@ -48,6 +48,9 @@ class CostTable:
     #: global multiplier modelling issue width / superscalar execution
     #: (lower = wider core retiring more ops per cycle)
     throughput_factor: float = 1.0
+    #: extra cycles per masked / VL-trimmed SIMD statement (vsetvli on
+    #: RVV, kmov mask setup on AVX-512); charged only when ``vl`` is set
+    mask_overhead: float = 0.0
 
     def scalar_op(self, op_name: str) -> float:
         """Cycles for one scalar elementwise op."""

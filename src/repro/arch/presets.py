@@ -7,10 +7,19 @@
   higher clock; the paper ran 10x the iterations on it to compensate.
 * ``INTEL_I7_8700_SSE4`` — the same core restricted to 128-bit SSE4,
   for ablations.
+* ``RISCV_U74`` — a SiFive U74-class embedded core with a 256-bit RVV
+  1.0 vector unit (scalable VL).  Dual-issue in-order, slower clock and
+  memory pipe than the A72; ``mask_overhead`` models the ``vsetvli``
+  issued when the tail trims the active vector length.
+* ``INTEL_XEON_8380`` — an Ice Lake server core with AVX-512 (per-lane
+  mask registers).  i7-like out-of-order engine, lower clock, one extra
+  cycle of ZMM load latency; ``mask_overhead`` models ``kmov`` mask
+  setup at predicated tails.
 
-Calibration sources: ARM Cortex-A72 Software Optimisation Guide and
-Agner Fog's instruction tables (Skylake).  Only *relative* magnitudes
-matter for reproducing the paper's comparisons.
+Calibration sources: ARM Cortex-A72 Software Optimisation Guide, Agner
+Fog's instruction tables (Skylake, Ice Lake) and the SiFive U74 core
+manual.  Only *relative* magnitudes matter for reproducing the paper's
+comparisons.
 """
 
 from __future__ import annotations
@@ -72,8 +81,56 @@ INTEL_I7_8700_SSE4 = Architecture(
     baseline_scattered_simd=True,
 )
 
+RISCV_U74 = Architecture(
+    name="riscv_u74",
+    isa_name="rvv",
+    clock_ghz=1.2,
+    cost=CostTable(
+        scalar_scale=1.1,
+        scalar_overrides={"Div": 24.0, "Recp": 24.0, "Sqrt": 28.0, "Mul": 3.0},
+        scalar_load=3.0,
+        scalar_store=1.0,
+        simd_load=6.0,
+        simd_store=3.0,
+        simd_broadcast=2.0,
+        simd_scale=1.0,
+        simd_reload_stall=2.0,
+        loop_overhead=2.0,
+        branch=2.0,
+        call_overhead=12.0,
+        throughput_factor=1.0,
+        mask_overhead=1.0,
+    ),
+    baseline_scattered_simd=False,
+)
+
+INTEL_XEON_8380 = Architecture(
+    name="intel_xeon_8380",
+    isa_name="avx512",
+    clock_ghz=2.3,
+    cost=CostTable(
+        scalar_scale=0.8,
+        scalar_overrides={"Div": 14.0, "Recp": 14.0, "Sqrt": 15.0, "Mul": 2.4},
+        scalar_load=4.0,
+        scalar_store=1.0,
+        simd_load=7.0,
+        simd_store=3.0,
+        simd_broadcast=2.0,
+        simd_scale=1.0,
+        simd_reload_stall=14.0,
+        loop_overhead=1.6,
+        branch=1.6,
+        call_overhead=10.0,
+        throughput_factor=0.5,
+        mask_overhead=1.0,
+    ),
+    baseline_scattered_simd=True,
+)
+
 _PRESETS: Dict[str, Architecture] = {
-    a.name: a for a in (ARM_A72, INTEL_I7_8700, INTEL_I7_8700_SSE4)
+    a.name: a
+    for a in (ARM_A72, INTEL_I7_8700, INTEL_I7_8700_SSE4, RISCV_U74,
+              INTEL_XEON_8380)
 }
 
 

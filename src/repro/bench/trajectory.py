@@ -1,8 +1,10 @@
 """The ISA-matrix bench harness behind ``repro bench``.
 
-Runs benchmark models under the three ISA presets (NEON via the ARM
-A72, SSE4 and AVX2 via the i7-8700) for all three generators — the full
-grid of the paper's Table 2 / Figure 5 — and shapes the results into
+Runs benchmark models under the five ISA presets (NEON via the ARM
+A72, SSE4 and AVX2 via the i7-8700, RVV via the SiFive U74, AVX-512
+via the Xeon 8380) for all three generators — the paper's Table 2 /
+Figure 5 grid plus the two masked/scalable targets — and shapes the
+results into
 the schema-versioned ``BENCH_codegen.json`` perf-trajectory record
 (:mod:`repro.observability.benchfile`).
 
@@ -25,8 +27,10 @@ from repro.errors import ReproError
 from repro.model.graph import Model
 from repro.observability.tracer import Tracer
 
-#: the three ISA presets of the paper's evaluation, by architecture name
-ISA_MATRIX_ARCHS = ("arm_a72", "intel_i7_8700_sse4", "intel_i7_8700")
+#: the paper's three ISA presets plus the masked/scalable targets,
+#: by architecture name
+ISA_MATRIX_ARCHS = ("arm_a72", "intel_i7_8700_sse4", "intel_i7_8700",
+                    "riscv_u74", "intel_xeon_8380")
 
 #: benchmark scale used by ``--quick`` (full scale is 1024)
 QUICK_SCALE = 64
@@ -152,5 +156,6 @@ def bench_matrix(
 
 
 def isa_of_archs(archs: Sequence[str]) -> Dict[str, str]:
-    """Architecture name -> ISA name (``neon`` / ``sse4`` / ``avx2``)."""
+    """Architecture name -> ISA name (``neon`` / ``sse4`` / ``avx2`` /
+    ``rvv`` / ``avx512``)."""
     return {name: get_architecture(name).isa_name for name in archs}

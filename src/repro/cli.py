@@ -492,11 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run the evaluation matrix (6 models x 3 ISAs x 3 generators) "
+        help="run the evaluation matrix (6 models x 5 ISAs x 3 generators) "
              "and write BENCH_codegen.json",
         description="Run the paper's evaluation on the cost-model VM.  "
                     "Without --model, every benchmark model runs under all "
-                    "three ISA presets (neon / sse4 / avx2) for all three "
+                    "five ISA presets (neon / sse4 / avx2 / rvv / avx512) "
+                    "for all three "
                     "generators, and the results are written to a "
                     "schema-versioned BENCH_codegen.json.  With --model, a "
                     "single model is benchmarked on --arch only.",
@@ -556,7 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulation steps per input case (default 2)")
     p.add_argument(
         "--arch", action="append", choices=preset_names(), metavar="ARCH",
-        help="target architecture preset; repeatable (default: all three "
+        help="target architecture preset; repeatable (default: all five "
              "ISA presets)",
     )
     p.add_argument("--corpus", metavar="DIR",

@@ -2,9 +2,11 @@
 
 Given a batch group's dataflow graph, emit:
 
-* a prologue of scalar *remainder* code for the ``DataLength %
-  BatchSize`` leading elements (added in front of the loop, as in the
-  paper);
+* remainder handling for the ``DataLength % BatchSize`` leftover
+  elements — either the paper's scalar *remainder prologue* in front of
+  the loop, or (on ``scalable``/``mask`` ISAs) a single *predicated
+  tail* pass after it, VL-trimmed to the leftover lane count (see
+  docs/algorithms.md, "Predicated remainder vs offset prologue");
 * SIMD data-load statements for every external input;
 * one SIMD instruction per mapped subgraph, chosen by iterative
   largest-first graph mapping;
@@ -13,7 +15,8 @@ Given a batch group's dataflow graph, emit:
 
 When the input does not fill one vector register (``BatchCount < 1``)
 — or is below the optional profitability threshold of §4.3 — the group
-falls back to the conventional scalar translation.
+falls back to the conventional scalar translation; on a masked-tail ISA
+a narrow group instead becomes one predicated pass.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ class BatchSynthesizer:
         unroll_limit: int = UNROLL_LIMIT,
         simd_threshold: int = 0,
         matcher: str = "indexed",
+        tail_mode: str = "auto",
     ) -> None:
         self.ctx = ctx
         self.iset = iset
@@ -59,6 +63,19 @@ class BatchSynthesizer:
         #: subgraph matcher kind ("indexed" fast path or the "naive"
         #: baseline; see repro.codegen.hcg.matchindex)
         self.matcher = matcher
+        #: remainder strategy (see repro.codegen.options.TAIL_MODES)
+        self.tail_mode = tail_mode
+        if tail_mode == "predicated" and not iset.supports_masked_tail:
+            raise CodegenError(
+                f"tail_mode 'predicated' requires a 'scalable' or 'mask' "
+                f"instruction set; {iset.arch!r} declares "
+                f"features={list(iset.features)}"
+            )
+        #: resolved strategy: True = one VL-trimmed tail pass, False =
+        #: the paper's scalar offset prologue
+        self.tail_predicated = tail_mode == "predicated" or (
+            tail_mode == "auto" and iset.supports_masked_tail
+        )
         #: trace of emitted matches, for tests and reports
         self.matches: List[Match] = []
         #: candidate subgraphs enumerated across all groups (metrics)
@@ -77,12 +94,16 @@ class BatchSynthesizer:
         batch_size = self.iset.vector_bits // group.bit_width
         length = group.width
         batch_count = length // batch_size
-        # Lines 3-4 (plus the §4.3 threshold): conventional fallback.
-        if batch_count < 1 or length < self.simd_threshold:
+        predicated = self.tail_predicated
+        # Lines 3-4 (plus the §4.3 threshold): conventional fallback.  A
+        # masked-tail ISA vectorises even sub-register groups — the whole
+        # group is one predicated pass — so only the threshold applies.
+        if (batch_count < 1 and not predicated) or length < self.simd_threshold:
             return self.conventional(group, reason="too narrow")
 
         dfg = build_dfg(self.ctx, group)
         offset = length % batch_size
+        full = batch_count * batch_size
         matched_before = len(self.matches)
         enumerated_before = self.subgraphs_enumerated
 
@@ -96,31 +117,49 @@ class BatchSynthesizer:
                 self.ctx.satisfied_sinks.add(target)
             else:
                 self.ctx.ensure_local(node.name, "out")
+        tail_note = "predicated" if predicated else "remainder"
         statements: List[Stmt] = [
             Comment(
                 f"batch group [{', '.join(group.members)}]: "
-                f"{batch_count} x {batch_size} lanes + {offset} remainder"
+                f"{batch_count} x {batch_size} lanes + {offset} {tail_note}"
             )
         ]
 
-        # Lines 24-26: the remainder has the same computation logic and
-        # goes in front of the loop code.  The fault hook lets the
-        # verifier's tests prove a silently dropped prologue is caught
-        # (repro.verify.faults); inert unless a test installed it.
+        # Lines 24-26 (offset strategy): the remainder has the same
+        # computation logic and goes in front of the loop code.  The
+        # fault hook lets the verifier's tests prove a silently dropped
+        # tail is caught (repro.verify.faults); inert unless a test
+        # installed it.
         from repro.verify import faults
 
-        if offset and not faults.active("skip_remainder"):
+        skip_tail = faults.active("skip_remainder")
+        if not predicated and offset and not skip_tail:
             statements.extend(self._remainder_code(dfg, offset))
 
-        # Lines 5-23: the SIMD body, looped when BatchCount >= 2.
+        # Lines 5-23: the SIMD body over the full batches, looped when
+        # BatchCount >= 2.  The offset strategy walks [offset, length);
+        # the predicated strategy walks [0, full) and trims the tail.
+        start = 0 if predicated else offset
         if batch_count >= 2:
             loop_var = self.ctx.names.fresh("i")
             body = self._simd_body(dfg, Var(loop_var), batch_size)
             statements.append(
-                For(loop_var, const_i(offset), const_i(length), batch_size, tuple(body))
+                For(loop_var, const_i(start), const_i(start + full),
+                    batch_size, tuple(body))
             )
-        else:
-            statements.extend(self._simd_body(dfg, const_i(offset), batch_size))
+        elif batch_count == 1:
+            statements.extend(self._simd_body(dfg, const_i(start), batch_size))
+
+        # Predicated tail: one more SIMD pass at index ``full`` with the
+        # active vector length trimmed to the leftover element count.  A
+        # sub-register group (batch_count == 0) is *only* this pass.
+        if predicated and offset and not skip_tail:
+            statements.append(
+                Comment(f"predicated tail: {offset} of {batch_size} lanes")
+            )
+            statements.extend(
+                self._simd_body(dfg, const_i(full), batch_size, vl=offset)
+            )
 
         for node in dfg.nodes:
             if node.needs_store:
@@ -128,10 +167,15 @@ class BatchSynthesizer:
         tracer = self.ctx.tracer
         tracer.count(COUNTERS.ALG2_GROUPS_VECTORIZED)
         tracer.count(COUNTERS.ALG2_NODES_MAPPED, len(dfg.nodes))
+        if predicated and offset:
+            tracer.count(COUNTERS.ALG2_TAIL_PREDICATED)
+            if batch_count == 0:
+                tracer.count(COUNTERS.ALG2_GROUPS_MASKED_NARROW)
         span.set(
             nodes=len(dfg.nodes),
             batch_count=batch_count,
             remainder=offset,
+            tail=tail_note if offset else "none",
             subgraphs_enumerated=self.subgraphs_enumerated - enumerated_before,
             instructions_matched=len(self.matches) - matched_before,
         )
@@ -150,8 +194,13 @@ class BatchSynthesizer:
         return sink.name
 
     # ------------------------------------------------------------------
-    def _simd_body(self, dfg: Dfg, index: Expr, batch_size: int) -> List[Stmt]:
-        """One batch worth of loads, mapped instructions and stores."""
+    def _simd_body(self, dfg: Dfg, index: Expr, batch_size: int,
+                   vl: Optional[int] = None) -> List[Stmt]:
+        """One batch worth of loads, mapped instructions and stores.
+
+        ``vl`` (predicated tail) trims every load, op and store to the
+        first ``vl`` lanes; ``None`` emits the full-width body.
+        """
         body: List[Stmt] = []
         registers: Dict[object, str] = {}
 
@@ -160,7 +209,7 @@ class BatchSynthesizer:
         for ext in dfg.external_inputs:
             buffer = self.ctx.buffer_of(*ext.key)
             register = self.ctx.names.fresh(f"{sanitize(ext.key[0])}_batch")
-            body.append(SimdLoad(register, buffer, index, ext.dtype, batch_size))
+            body.append(SimdLoad(register, buffer, index, ext.dtype, batch_size, vl))
             registers[ext] = register
 
         # Lines 10-22: iterative mapping, driven by the configured
@@ -194,7 +243,8 @@ class BatchSynthesizer:
                 args = tuple(registers[ref] for ref in match.args)
                 imm = match.imm if match.spec.has_wildcard_imm else None
                 body.append(
-                    SimdOp(destination, match.spec.name, args, sink.dtype, batch_size, imm)
+                    SimdOp(destination, match.spec.name, args, sink.dtype,
+                           batch_size, imm, vl)
                 )
                 registers[NodeInput(sink.name)] = destination
                 mapped |= match.subgraph.members
@@ -206,7 +256,8 @@ class BatchSynthesizer:
                 # Line 23: store only what leaves the group.
                 if sink.needs_store:
                     buffer = self.ctx.buffer_of(sink.name, "out")
-                    body.append(SimdStore(buffer, index, destination, sink.dtype, batch_size))
+                    body.append(SimdStore(buffer, index, destination,
+                                          sink.dtype, batch_size, vl))
             span.set(
                 subgraphs_enumerated=matcher.enumerated,
                 match_wall_s=round(match_wall, 9),

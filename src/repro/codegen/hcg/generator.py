@@ -78,6 +78,7 @@ class HcgGenerator:
         unroll_limit: int = UNROLL_LIMIT,
         simd_threshold: int = 0,
         matcher: str = "indexed",
+        tail_mode: str = "auto",
         branch_aware: bool = False,
         variable_reuse: bool = True,
         policy: str = "strict",
@@ -95,6 +96,21 @@ class HcgGenerator:
         #: Algorithm 2 subgraph matcher: "indexed" (fast path) or
         #: "naive" (the baseline enumerator, kept for cross-checking)
         self.matcher = matcher
+        #: Algorithm 2 remainder strategy ("auto"/"offset"/"predicated");
+        #: validated eagerly so a misconfigured run fails at construction
+        from repro.codegen.options import TAIL_MODES
+
+        if tail_mode not in TAIL_MODES:
+            raise ValueError(
+                f"unknown tail_mode {tail_mode!r}; choose from {TAIL_MODES}"
+            )
+        if tail_mode == "predicated" and not self.iset.supports_masked_tail:
+            raise CodegenError(
+                f"tail_mode 'predicated' requires a 'scalable' or 'mask' "
+                f"instruction set; {self.iset.arch!r} declares "
+                f"features={list(self.iset.features)}"
+            )
+        self.tail_mode = tail_mode
         self.branch_aware = branch_aware
         self.variable_reuse = variable_reuse
         #: fault policy: "strict" raises at the end of generate() when a
@@ -182,7 +198,7 @@ class HcgGenerator:
         self.last_intensive = intensive
         batch = BatchSynthesizer(
             ctx, self.iset, self.unroll_limit, self.simd_threshold,
-            matcher=self.matcher,
+            matcher=self.matcher, tail_mode=self.tail_mode,
         )
         self.last_batch = batch
 
@@ -383,9 +399,15 @@ class HcgGenerator:
         """
         demoted: Set[str] = set()
         kept = []
+        # A masked-tail ISA vectorises sub-register groups as one
+        # predicated pass, so narrowness alone no longer demotes.
+        masked_ok = (
+            self.iset.supports_masked_tail and self.tail_mode != "offset"
+        )
         for group in result.groups:
             batch_size = self.iset.vector_bits // group.bit_width
-            if group.width // batch_size < 1 or group.width < self.simd_threshold:
+            if ((group.width // batch_size < 1 and not masked_ok)
+                    or group.width < self.simd_threshold):
                 demoted.update(group.members)
                 self.tracer.count(COUNTERS.ALG2_GROUPS_SCALAR)
                 if diagnostics is not None:

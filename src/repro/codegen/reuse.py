@@ -192,11 +192,12 @@ def _rename_stmt(stmt: Stmt, rename: Dict[str, str]) -> Stmt:
                      _rename_expr(stmt.expr, rename))
     if isinstance(stmt, SimdLoad):
         return SimdLoad(stmt.dest, rename.get(stmt.buffer, stmt.buffer),
-                        _rename_expr(stmt.index, rename), stmt.dtype, stmt.lanes)
+                        _rename_expr(stmt.index, rename), stmt.dtype,
+                        stmt.lanes, stmt.vl)
     if isinstance(stmt, SimdStore):
         return SimdStore(rename.get(stmt.buffer, stmt.buffer),
                          _rename_expr(stmt.index, rename), stmt.src,
-                         stmt.dtype, stmt.lanes)
+                         stmt.dtype, stmt.lanes, stmt.vl)
     if isinstance(stmt, SimdBroadcast):
         return SimdBroadcast(stmt.dest, _rename_expr(stmt.scalar, rename),
                              stmt.dtype, stmt.lanes)

@@ -101,9 +101,11 @@ def _map_exprs(stmt: Stmt, fn) -> Stmt:
                   tuple(_map_exprs(s, fn) for s in stmt.then_body),
                   tuple(_map_exprs(s, fn) for s in stmt.else_body))
     if isinstance(stmt, SimdLoad):
-        return SimdLoad(stmt.dest, stmt.buffer, fn(stmt.index), stmt.dtype, stmt.lanes)
+        return SimdLoad(stmt.dest, stmt.buffer, fn(stmt.index), stmt.dtype,
+                        stmt.lanes, stmt.vl)
     if isinstance(stmt, SimdStore):
-        return SimdStore(stmt.buffer, fn(stmt.index), stmt.src, stmt.dtype, stmt.lanes)
+        return SimdStore(stmt.buffer, fn(stmt.index), stmt.src, stmt.dtype,
+                         stmt.lanes, stmt.vl)
     if isinstance(stmt, SimdBroadcast):
         return SimdBroadcast(stmt.dest, fn(stmt.scalar), stmt.dtype, stmt.lanes)
     if isinstance(stmt, CopyBuffer):
@@ -233,7 +235,7 @@ def vector_forwarding(body: Sequence[Stmt]) -> List[Stmt]:
 
     def run_block(block: Sequence[Stmt]) -> List[Stmt]:
         out: List[Stmt] = []
-        stored: Dict[Tuple[str, Expr], str] = {}
+        stored: Dict[Tuple[str, Expr, Optional[int]], str] = {}
         rename: Dict[str, str] = {}
 
         def resolve(name: str) -> str:
@@ -258,7 +260,7 @@ def vector_forwarding(body: Sequence[Stmt]) -> List[Stmt]:
             if isinstance(stmt, SimdOp):
                 stmt = SimdOp(stmt.dest, stmt.instruction,
                               tuple(resolve(a) for a in stmt.args),
-                              stmt.dtype, stmt.lanes, stmt.imm)
+                              stmt.dtype, stmt.lanes, stmt.imm, stmt.vl)
                 # Writing a register invalidates stored records built on it
                 # (registers are single-assignment in generated code, but
                 # stay safe under reuse).
@@ -269,15 +271,18 @@ def vector_forwarding(body: Sequence[Stmt]) -> List[Stmt]:
 
             if isinstance(stmt, SimdStore):
                 src = resolve(stmt.src)
-                stmt = SimdStore(stmt.buffer, stmt.index, src, stmt.dtype, stmt.lanes)
+                stmt = SimdStore(stmt.buffer, stmt.index, src, stmt.dtype,
+                                 stmt.lanes, stmt.vl)
                 for key in [k for k in stored if k[0] == stmt.buffer]:
                     del stored[key]
-                stored[(stmt.buffer, stmt.index)] = src
+                # vl is part of the key: a masked store must never
+                # forward to a full-width load (register shapes differ).
+                stored[(stmt.buffer, stmt.index, stmt.vl)] = src
                 out.append(stmt)
                 continue
 
             if isinstance(stmt, SimdLoad):
-                key = (stmt.buffer, stmt.index)
+                key = (stmt.buffer, stmt.index, stmt.vl)
                 if key in stored:
                     rename[stmt.dest] = stored[key]
                     continue  # load eliminated

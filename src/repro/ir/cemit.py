@@ -2,13 +2,21 @@
 
 The VM executes the IR directly; this module renders the *same* IR as
 the C a user would compile for the real board — NEON intrinsics for the
-ARM targets, SSE/AVX intrinsics for the Intel targets, plain C99 for
-scalar code.  Intensive-actor kernel calls are emitted as calls into
-the (external) kernel library, with a prototype block at the top.
+ARM targets, SSE/AVX/AVX-512 intrinsics for the Intel targets, RVV
+intrinsics for the RISC-V target, plain C99 for scalar code.
+Intensive-actor kernel calls are emitted as calls into the (external)
+kernel library, with a prototype block at the top.
+
+Masked / VL-trimmed statements (``vl`` set — the predicated tail of
+Algorithm 2) lower to ``vsetvl``-style trimmed intrinsics on RVV (the
+``VL`` template token becomes the active lane count) and to
+``_mm512_maskz_loadu_* / _mm512_mask_storeu_*`` with a literal lane
+mask on AVX-512; fixed-width families reject them.
 """
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Set
 
 from repro.dtypes import DataType, c_type_name
@@ -49,9 +57,34 @@ def _neon_vector_type(dtype: DataType, lanes: int) -> str:
 def _x86_vector_type(dtype: DataType, bits: int) -> str:
     if dtype.is_float:
         if dtype is DataType.F32:
-            return "__m128" if bits == 128 else "__m256"
-        return "__m128d" if bits == 128 else "__m256d"
-    return "__m128i" if bits == 128 else "__m256i"
+            return {128: "__m128", 256: "__m256", 512: "__m512"}[bits]
+        return {128: "__m128d", 256: "__m256d", 512: "__m512d"}[bits]
+    return {128: "__m128i", 256: "__m256i", 512: "__m512i"}[bits]
+
+
+def _rvv_suffix(dtype: DataType) -> str:
+    """RVV intrinsic type suffix at LMUL=1, e.g. ``i32m1``, ``f32m1``."""
+    return f"{dtype}m1"
+
+
+def _rvv_vector_type(dtype: DataType) -> str:
+    if dtype.is_float:
+        scalar = "float"
+    elif str(dtype).startswith("u"):
+        scalar = "uint"
+    else:
+        scalar = "int"
+    return f"v{scalar}{dtype.bit_width}m1_t"
+
+
+def _avx512_mask(lanes: int, vl: int) -> str:
+    """A literal ``__mmask`` covering the first ``vl`` of ``lanes`` lanes."""
+    return f"(__mmask{max(lanes, 8)})((1ULL << {vl}) - 1)"
+
+
+#: the ``VL`` token in an RVV code template (replaced with the active
+#: lane count; see docs/isa_format.md)
+_VL_TOKEN_RE = re.compile(r"\bVL\b")
 
 
 class CEmitter:
@@ -139,34 +172,77 @@ class CEmitter:
     def vector_type(self, dtype: DataType, lanes: int) -> str:
         if self._isa_family == "neon":
             return _neon_vector_type(dtype, lanes)
+        if self._isa_family == "rvv":
+            return _rvv_vector_type(dtype)
         bits = dtype.bit_width * lanes
         return _x86_vector_type(dtype, bits)
+
+    def _check_vl(self, vl: Optional[int]) -> None:
+        if vl is not None and self._isa_family not in ("rvv", "avx512"):
+            raise CodegenError(
+                f"masked SIMD statement (vl={vl}) cannot be emitted for the "
+                f"fixed-width {self._isa_family or 'generic'} family"
+            )
 
     def _vload(self, stmt: SimdLoad) -> str:
         address = f"&{stmt.buffer}[{self.expr(stmt.index)}]"
         vtype = self.vector_type(stmt.dtype, stmt.lanes)
+        self._check_vl(stmt.vl)
         if self._isa_family == "neon":
             return f"{vtype} {stmt.dest} = vld1q_{_NEON_SUFFIX[stmt.dtype]}({address});"
+        if self._isa_family == "rvv":
+            active = stmt.vl if stmt.vl is not None else stmt.lanes
+            sfx = _rvv_suffix(stmt.dtype)
+            return (f"{vtype} {stmt.dest} = "
+                    f"__riscv_vle{stmt.dtype.bit_width}_v_{sfx}({address}, {active});")
         bits = stmt.dtype.bit_width * stmt.lanes
-        prefix = "_mm" if bits == 128 else "_mm256"
+        if self._isa_family == "avx512" and stmt.vl is not None:
+            # Tail load: zero inactive lanes so they can never fault a
+            # full-width op downstream (they are never stored back).
+            mask = _avx512_mask(stmt.lanes, stmt.vl)
+            if stmt.dtype is DataType.F32:
+                return f"{vtype} {stmt.dest} = _mm512_maskz_loadu_ps({mask}, {address});"
+            if stmt.dtype is DataType.F64:
+                return f"{vtype} {stmt.dest} = _mm512_maskz_loadu_pd({mask}, {address});"
+            return (f"{vtype} {stmt.dest} = "
+                    f"_mm512_maskz_loadu_epi{stmt.dtype.bit_width}({mask}, {address});")
+        prefix = {128: "_mm", 256: "_mm256", 512: "_mm512"}[bits]
         if stmt.dtype is DataType.F32:
             return f"{vtype} {stmt.dest} = {prefix}_loadu_ps({address});"
         if stmt.dtype is DataType.F64:
             return f"{vtype} {stmt.dest} = {prefix}_loadu_pd({address});"
+        if bits == 512:
+            return f"{vtype} {stmt.dest} = _mm512_loadu_si512((void const*){address});"
         integer_type = "__m128i" if bits == 128 else "__m256i"
         suffix = "si128" if bits == 128 else "si256"
         return f"{vtype} {stmt.dest} = {prefix}_loadu_{suffix}(({integer_type} const*){address});"
 
     def _vstore(self, stmt: SimdStore) -> str:
         address = f"&{stmt.buffer}[{self.expr(stmt.index)}]"
+        self._check_vl(stmt.vl)
         if self._isa_family == "neon":
             return f"vst1q_{_NEON_SUFFIX[stmt.dtype]}({address}, {stmt.src});"
+        if self._isa_family == "rvv":
+            active = stmt.vl if stmt.vl is not None else stmt.lanes
+            sfx = _rvv_suffix(stmt.dtype)
+            return (f"__riscv_vse{stmt.dtype.bit_width}_v_{sfx}"
+                    f"({address}, {stmt.src}, {active});")
         bits = stmt.dtype.bit_width * stmt.lanes
-        prefix = "_mm" if bits == 128 else "_mm256"
+        if self._isa_family == "avx512" and stmt.vl is not None:
+            mask = _avx512_mask(stmt.lanes, stmt.vl)
+            if stmt.dtype is DataType.F32:
+                return f"_mm512_mask_storeu_ps({address}, {mask}, {stmt.src});"
+            if stmt.dtype is DataType.F64:
+                return f"_mm512_mask_storeu_pd({address}, {mask}, {stmt.src});"
+            return (f"_mm512_mask_storeu_epi{stmt.dtype.bit_width}"
+                    f"({address}, {mask}, {stmt.src});")
+        prefix = {128: "_mm", 256: "_mm256", 512: "_mm512"}[bits]
         if stmt.dtype is DataType.F32:
             return f"{prefix}_storeu_ps({address}, {stmt.src});"
         if stmt.dtype is DataType.F64:
             return f"{prefix}_storeu_pd({address}, {stmt.src});"
+        if bits == 512:
+            return f"_mm512_storeu_si512((void*){address}, {stmt.src});"
         integer_type = "__m128i" if bits == 128 else "__m256i"
         suffix = "si128" if bits == 128 else "si256"
         return f"{prefix}_storeu_{suffix}(({integer_type}*){address}, {stmt.src});"
@@ -176,8 +252,13 @@ class CEmitter:
         value = self.expr(stmt.scalar)
         if self._isa_family == "neon":
             return f"{vtype} {stmt.dest} = vdupq_n_{_NEON_SUFFIX[stmt.dtype]}({value});"
+        if self._isa_family == "rvv":
+            sfx = _rvv_suffix(stmt.dtype)
+            fn = "vfmv_v_f" if stmt.dtype.is_float else "vmv_v_x"
+            return (f"{vtype} {stmt.dest} = "
+                    f"__riscv_{fn}_{sfx}({value}, {stmt.lanes});")
         bits = stmt.dtype.bit_width * stmt.lanes
-        prefix = "_mm" if bits == 128 else "_mm256"
+        prefix = {128: "_mm", 256: "_mm256", 512: "_mm512"}[bits]
         if stmt.dtype is DataType.F32:
             return f"{vtype} {stmt.dest} = {prefix}_set1_ps({value});"
         if stmt.dtype is DataType.F64:
@@ -224,10 +305,20 @@ class CEmitter:
         if isinstance(node, SimdOp):
             if self.iset is None:
                 raise CodegenError("emitting SIMD code requires an instruction set")
+            self._check_vl(node.vl)
             spec = self.iset.by_name(node.instruction)
             inputs = {token: arg for token, arg in zip(spec.input_tokens, node.args)}
             vtype = self.vector_type(node.dtype, node.lanes)
-            return [f"{pad}{vtype} {spec.render_code(node.dest, inputs, node.imm)};"]
+            rendered = spec.render_code(node.dest, inputs, node.imm)
+            if self._isa_family == "rvv":
+                # Scalable templates carry the VL token; substitute the
+                # active lane count (trimmed at the predicated tail).
+                active = node.vl if node.vl is not None else node.lanes
+                rendered = _VL_TOKEN_RE.sub(str(active), rendered)
+            # On avx512 a trimmed SimdOp stays full-width: inactive
+            # lanes hold zeros from the maskz load and are discarded by
+            # the masked store.
+            return [f"{pad}{vtype} {rendered};"]
         if isinstance(node, KernelCall):
             from repro.kernels.c_sources import specialized_name
 
@@ -304,6 +395,8 @@ class CEmitter:
         )
         if uses_simd and self._isa_family == "neon":
             lines.append("#include <arm_neon.h>")
+        elif uses_simd and self._isa_family == "rvv":
+            lines.append("#include <riscv_vector.h>")
         elif uses_simd and self._isa_family:
             lines.append("#include <immintrin.h>")
         lines.append("")

@@ -81,6 +81,10 @@ class SimdLoad(Stmt):
     """Load ``lanes`` consecutive elements into a vector register.
 
     C form: ``int32x4_t dest = vld1q_s32(&buffer[index]);``
+
+    ``vl`` (when set) restricts the access to the first ``vl`` lanes —
+    a masked / VL-trimmed load on ISAs with ``scalable`` or ``mask``
+    features; lanes past ``vl`` are never read.
     """
 
     dest: str
@@ -88,6 +92,7 @@ class SimdLoad(Stmt):
     index: Expr
     dtype: DataType
     lanes: int
+    vl: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,6 +100,9 @@ class SimdStore(Stmt):
     """Store a vector register to ``lanes`` consecutive elements.
 
     C form: ``vst1q_s32(&buffer[index], src);``
+
+    ``vl`` (when set) writes only the first ``vl`` lanes — a masked /
+    VL-trimmed store; lanes past ``vl`` are never touched.
     """
 
     buffer: str
@@ -102,6 +110,7 @@ class SimdStore(Stmt):
     src: str
     dtype: DataType
     lanes: int
+    vl: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -127,6 +136,10 @@ class SimdOp(Stmt):
     amount when the instruction's pattern requires one.
 
     C form: ``int32x4_t dest = vmlaq_s32(acc, a, b);``
+
+    ``vl`` (when set) evaluates only the first ``vl`` lanes — the
+    predicated-tail form on ``scalable``/``mask`` ISAs.  Operand
+    registers must have been produced with the same ``vl``.
     """
 
     dest: str
@@ -135,6 +148,7 @@ class SimdOp(Stmt):
     dtype: DataType
     lanes: int
     imm: Optional[int] = None
+    vl: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)

@@ -16,7 +16,14 @@ ISA103    unknown op in a ``Graph`` node
 ISA104    ``Code`` template operands disagree with the ``Graph`` pattern
 ISA105    unsupported dtype for an op, or pattern/``vector_bits`` mismatch
 ISA106    non-positive ``Cost``
+ISA107    bad format-v2 header (``format``/``features`` value or ordering)
+ISA108    ``VL`` token disagrees with the ``scalable`` feature
 ========  ==================================================================
+
+ISA108 enforces the scalable-vector contract (docs/isa_format.md): in a
+``features: scalable`` file every ``Code`` template must mention the
+``VL`` token (the emitter substitutes the active lane count), and a
+non-scalable file must never use it.
 
 Entry points: :func:`lint_text`, :func:`lint_file`, :func:`lint_paths`;
 ``repro isa lint`` and ``tools/check_isa.py`` are thin CLI wrappers.
@@ -31,13 +38,16 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import ops
 from repro.errors import IsaError, IsaParseError
-from repro.isa.parser import parse_pattern
-from repro.isa.spec import InstructionSpec, PatternNode
+from repro.isa.parser import KNOWN_FORMATS, parse_pattern
+from repro.isa.spec import ISA_FEATURES, InstructionSpec, PatternNode
 
 PathLike = Union[str, Path]
 
 #: operand-ish tokens inside a C code template
 _TEMPLATE_TOKEN_RE = re.compile(r"\b(I\d+|T\d+|O1)\b")
+
+#: the scalable-vector-length token in a C code template (ISA108)
+_VL_RE = re.compile(r"\bVL\b")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -188,8 +198,27 @@ def _check_template(spec_name: str, nodes: Tuple[PatternNode, ...],
     return findings
 
 
+def _check_vl_token(spec_name: str, template: str, scalable: bool,
+                    source: str, line_no: int) -> List[LintFinding]:
+    """ISA108: the ``VL`` token must appear in every template of a
+    scalable instruction set and in none of a fixed-width one."""
+    has_vl = bool(_VL_RE.search(template))
+    if scalable and not has_vl:
+        return [_finding(
+            "ISA108", source, line_no, spec_name,
+            "scalable instruction set, but the Code template has no VL "
+            "token (the emitter cannot trim the active vector length)")]
+    if not scalable and has_vl:
+        return [_finding(
+            "ISA108", source, line_no, spec_name,
+            "Code template uses the VL token but the instruction set "
+            "does not declare 'features: scalable'")]
+    return []
+
+
 def _lint_record(line: str, source: str, line_no: int, arch: str,
-                 vector_bits: int, seen_names: Dict[str, int],
+                 vector_bits: int, scalable: bool,
+                 seen_names: Dict[str, int],
                  seen_patterns: Dict[Tuple, Tuple[str, int]],
                  ) -> List[LintFinding]:
     findings: List[LintFinding] = []
@@ -246,6 +275,7 @@ def _lint_record(line: str, source: str, line_no: int, arch: str,
 
     findings.extend(_check_nodes(nodes, name, source, line_no, vector_bits))
     findings.extend(_check_template(name, nodes, fields["code"], source, line_no))
+    findings.extend(_check_vl_token(name, fields["code"], scalable, source, line_no))
 
     # Structural invariants the checks above do not cover (token syntax,
     # use-before-def, duplicate/missing O1, mixed lanes): delegate to the
@@ -268,6 +298,9 @@ def lint_text(text: str, source: str = "<string>") -> List[LintFinding]:
     findings: List[LintFinding] = []
     arch = ""
     vector_bits = 0
+    format_version = 1
+    features: Tuple[str, ...] = ()
+    features_line = 0
     seen_names: Dict[str, int] = {}
     seen_patterns: Dict[Tuple, Tuple[str, int]] = {}
     saw_record = False
@@ -289,6 +322,37 @@ def lint_text(text: str, source: str = "<string>") -> List[LintFinding]:
                     "ISA100", source, line_no, "",
                     f"bad vector_bits {value!r}"))
             continue
+        if lowered.startswith("format:"):
+            value = line.split(":", 1)[1].strip()
+            try:
+                format_version = int(value)
+            except ValueError:
+                findings.append(_finding(
+                    "ISA107", source, line_no, "",
+                    f"bad format {value!r}"))
+                continue
+            if format_version not in KNOWN_FORMATS:
+                findings.append(_finding(
+                    "ISA107", source, line_no, "",
+                    f"unsupported format {format_version} "
+                    f"(known: {list(KNOWN_FORMATS)})"))
+            continue
+        if lowered.startswith("features:"):
+            tokens = [t.strip() for t in line.split(":", 1)[1].split(",")
+                      if t.strip()]
+            for token in tokens:
+                if token not in ISA_FEATURES:
+                    findings.append(_finding(
+                        "ISA107", source, line_no, "",
+                        f"unknown feature {token!r} "
+                        f"(recognised: {list(ISA_FEATURES)})"))
+            if len(set(tokens)) != len(tokens):
+                findings.append(_finding(
+                    "ISA107", source, line_no, "",
+                    "duplicate feature in 'features' header"))
+            features = tuple(t for t in tokens if t in ISA_FEATURES)
+            features_line = line_no
+            continue
         if not arch or not vector_bits:
             findings.append(_finding(
                 "ISA100", source, line_no, "",
@@ -296,8 +360,14 @@ def lint_text(text: str, source: str = "<string>") -> List[LintFinding]:
             # Keep linting the records anyway; width checks are skipped.
         saw_record = True
         findings.extend(_lint_record(line, source, line_no, arch,
-                                     vector_bits, seen_names, seen_patterns))
+                                     vector_bits, "scalable" in features,
+                                     seen_names, seen_patterns))
 
+    if features and format_version < 2:
+        findings.append(_finding(
+            "ISA107", source, features_line, "",
+            "'features' header requires 'format: 2' "
+            "(see docs/isa_format.md)"))
     if not saw_record:
         findings.append(_finding(
             "ISA100", source, 0, "", "instruction set contains no records"))

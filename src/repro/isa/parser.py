@@ -14,12 +14,18 @@ just enough to be a complete file format:
     Ins: vmlaq_s32 ; Graph: Mul,i32,4,I1,I2,T1 | Add,i32,4,T1,I3,O1 ; Code: O1 = vmlaq_s32(I3, I1, I2) ; Cost: 2
 
 * blank lines and ``#`` comments are ignored;
-* header keys (``arch``, ``vector_bits``) precede the first record;
+* header keys (``arch``, ``vector_bits``, and — format version 2 —
+  ``format``, ``features``) precede the first record;
 * each record is one line of ``Key: value`` fields separated by ``;``
   (the ``Code`` template therefore contains no semicolon — the C
   emitter appends it);
 * a multi-node ``Graph`` separates nodes with ``|``, listed in
   dependency order, last node producing ``O1``.
+
+Format version 2 (``format: 2``) adds a ``features:`` header declaring
+capability flags (``scalable``, ``mask`` — see
+:data:`repro.isa.spec.ISA_FEATURES` and docs/isa_format.md).  A file
+without a ``format:`` header is version 1 and may not declare features.
 """
 
 from __future__ import annotations
@@ -29,10 +35,13 @@ from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
 from repro.errors import IsaParseError
-from repro.isa.spec import InstructionSet, InstructionSpec, PatternNode
+from repro.isa.spec import ISA_FEATURES, InstructionSet, InstructionSpec, PatternNode
 from repro.dtypes import DataType
 
 PathLike = Union[str, Path]
+
+#: ``.si`` format versions this parser accepts
+KNOWN_FORMATS = (1, 2)
 
 
 def parse_pattern(text: str) -> Tuple[PatternNode, ...]:
@@ -126,6 +135,8 @@ def parse_instruction_set(text: str, source: str = "<string>") -> InstructionSet
     """Parse a complete ``.si`` document."""
     arch = ""
     vector_bits = 0
+    format_version = 1
+    features: Tuple[str, ...] = ()
     specs: List[InstructionSpec] = []
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
@@ -143,6 +154,28 @@ def parse_instruction_set(text: str, source: str = "<string>") -> InstructionSet
             except ValueError:
                 raise IsaParseError(f"{source}:{line_no}: bad vector_bits {value!r}") from None
             continue
+        if lowered.startswith("format:"):
+            value = line.split(":", 1)[1].strip()
+            try:
+                format_version = int(value)
+            except ValueError:
+                raise IsaParseError(f"{source}:{line_no}: bad format {value!r}") from None
+            if format_version not in KNOWN_FORMATS:
+                raise IsaParseError(
+                    f"{source}:{line_no}: unsupported format {format_version} "
+                    f"(known: {list(KNOWN_FORMATS)})"
+                )
+            continue
+        if lowered.startswith("features:"):
+            tokens = [t.strip() for t in line.split(":", 1)[1].split(",") if t.strip()]
+            unknown = [t for t in tokens if t not in ISA_FEATURES]
+            if unknown:
+                raise IsaParseError(
+                    f"{source}:{line_no}: unknown feature(s) {unknown} "
+                    f"(recognised: {list(ISA_FEATURES)})"
+                )
+            features = tuple(tokens)
+            continue
         if not arch or not vector_bits:
             raise IsaParseError(
                 f"{source}:{line_no}: 'arch' and 'vector_bits' headers must precede records"
@@ -154,9 +187,17 @@ def parse_instruction_set(text: str, source: str = "<string>") -> InstructionSet
 
     if not arch or not vector_bits:
         raise IsaParseError(f"{source}: missing 'arch'/'vector_bits' headers")
+    if features and format_version < 2:
+        raise IsaParseError(
+            f"{source}: the 'features' header requires 'format: 2' "
+            f"(see docs/isa_format.md for the migration note)"
+        )
     if not specs:
         raise IsaParseError(f"{source}: instruction set contains no instructions")
-    return InstructionSet(arch=arch, vector_bits=vector_bits, instructions=tuple(specs))
+    return InstructionSet(
+        arch=arch, vector_bits=vector_bits, instructions=tuple(specs),
+        features=features,
+    )
 
 
 def load_instruction_set(path: PathLike) -> InstructionSet:
@@ -171,7 +212,11 @@ def load_instruction_set(path: PathLike) -> InstructionSet:
 
 def dump_instruction_set(iset: InstructionSet) -> str:
     """Serialise an instruction set back to ``.si`` text (round-trips)."""
-    lines = [f"arch: {iset.arch}", f"vector_bits: {iset.vector_bits}", ""]
+    lines = [f"arch: {iset.arch}", f"vector_bits: {iset.vector_bits}"]
+    if iset.features:
+        lines.append("format: 2")
+        lines.append(f"features: {', '.join(iset.features)}")
+    lines.append("")
 
     def node_tokens(node: PatternNode) -> List[str]:
         tokens: List[str] = []

@@ -21,7 +21,8 @@ _CUSTOM: Dict[str, InstructionSet] = {}
 
 
 def builtin_names() -> Tuple[str, ...]:
-    """Names of the packaged instruction sets (``neon``, ``sse4``, ``avx2``)."""
+    """Names of the packaged instruction sets (``avx2``, ``avx512``,
+    ``neon``, ``rvv``, ``sse4``)."""
     return tuple(sorted(p.stem for p in _DATA_DIR.glob("*.si")))
 
 

@@ -36,6 +36,19 @@ _INPUT_RE = re.compile(r"^I(\d+)$")
 _TEMP_RE = re.compile(r"^T(\d+)$")
 _IMM_RE = re.compile(r"^#(imm|\d+)$")
 
+#: recognised ``features:`` header values (format version 2):
+#:
+#: * ``scalable`` — vector length is a runtime parameter; every ``Code``
+#:   template references the ``VL`` token, which the emitter replaces
+#:   with the active lane count (RVV-style ``vl``);
+#: * ``mask``     — the target has per-lane mask registers, so partial
+#:   vectors are expressible as masked loads/stores (AVX-512 style).
+#:
+#: Either feature lets Algorithm 2 emit a *predicated tail* for the
+#: ``DataLength % BatchSize`` remainder instead of the paper's scalar
+#: offset prologue (see docs/algorithms.md).
+ISA_FEATURES: Tuple[str, ...] = ("scalable", "mask")
+
 
 @dataclasses.dataclass(frozen=True)
 class PatternNode:
@@ -285,18 +298,47 @@ class InstructionSet:
     arch: str
     vector_bits: int
     instructions: Tuple[InstructionSpec, ...]
+    #: format-2 capability flags (subset of :data:`ISA_FEATURES`); for a
+    #: ``scalable`` ISA ``vector_bits`` is the modelled VLEN — lane
+    #: counts still derive from it, but the emitted code carries the
+    #: active length as a runtime ``VL`` parameter
+    features: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         names = [i.name for i in self.instructions]
         dupes = {n for n in names if names.count(n) > 1}
         if dupes:
             raise IsaError(f"instruction set {self.arch!r}: duplicate names {sorted(dupes)}")
+        unknown = [f for f in self.features if f not in ISA_FEATURES]
+        if unknown:
+            raise IsaError(
+                f"instruction set {self.arch!r}: unknown feature(s) {unknown}; "
+                f"recognised: {list(ISA_FEATURES)}"
+            )
+        if len(set(self.features)) != len(self.features):
+            raise IsaError(f"instruction set {self.arch!r}: duplicate features")
         for spec in self.instructions:
             if spec.vector_bits != self.vector_bits:
                 raise IsaError(
                     f"instruction {spec.name!r}: {spec.vector_bits}-bit pattern in a "
                     f"{self.vector_bits}-bit instruction set"
                 )
+
+    @property
+    def is_scalable(self) -> bool:
+        """Vector length is a runtime parameter (RVV-style ``vl``)."""
+        return "scalable" in self.features
+
+    @property
+    def has_masks(self) -> bool:
+        """Per-lane mask registers exist (AVX-512 style)."""
+        return "mask" in self.features
+
+    @property
+    def supports_masked_tail(self) -> bool:
+        """Can Algorithm 2 predicate the remainder instead of emitting
+        the scalar offset prologue?  True for scalable *or* masked ISAs."""
+        return self.is_scalable or self.has_masks
 
     def by_name(self, name: str) -> InstructionSpec:
         for spec in self.instructions:
@@ -325,4 +367,4 @@ class InstructionSet:
         Used by the ISA ablation benchmark (basic-only vs compound).
         """
         kept = tuple(i for i in self.instructions if i.node_count <= max_nodes)
-        return InstructionSet(self.arch, self.vector_bits, kept)
+        return InstructionSet(self.arch, self.vector_bits, kept, self.features)

@@ -1,7 +1,8 @@
 """The schema-versioned ``BENCH_codegen.json`` perf-trajectory record.
 
-``repro bench`` runs the paper's six models under the three ISA presets
-(neon / sse4 / avx2) for all three generators and serialises one record
+``repro bench`` runs the paper's six models under the five ISA presets
+(neon / sse4 / avx2 / rvv / avx512) for all three generators and
+serialises one record
 per (model, ISA, generator) cell: wall-clock generation time, modelled
 VM cost, SIMD coverage and selection-history statistics.  The file is
 the first point of the repo's performance trajectory — future perf PRs

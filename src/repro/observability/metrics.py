@@ -63,6 +63,8 @@ class COUNTERS:
     ALG2_NODES_MAPPED = "alg2.nodes_mapped"
     ALG2_SUBGRAPHS_ENUMERATED = "alg2.subgraphs_enumerated"
     ALG2_INSTRUCTIONS_MATCHED = "alg2.instructions_matched"
+    ALG2_TAIL_PREDICATED = "alg2.tail_predicated"
+    ALG2_GROUPS_MASKED_NARROW = "alg2.groups_masked_narrow"
     # Algorithm 2 — subgraph matcher (indexed fast path + naive baseline)
     ALG2_MATCH_WALL_S = "alg2.match.wall_s"
     ALG2_MATCH_ROUNDS = "alg2.match.rounds"

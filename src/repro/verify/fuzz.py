@@ -150,7 +150,9 @@ def subset_instruction_set(base: InstructionSet,
     kept = tuple(s for s in base.instructions if s.name in wanted)
     if not kept:
         raise ReproError("an ISA subset must keep at least one instruction")
-    return InstructionSet(base.arch, base.vector_bits, kept)
+    # features travel with the subset: a sub-ISA of a scalable/masked
+    # set still supports the predicated tail
+    return InstructionSet(base.arch, base.vector_bits, kept, base.features)
 
 
 def random_isa_names(seed: int, index: int,

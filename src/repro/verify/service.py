@@ -31,9 +31,10 @@ from repro.verify.fuzz import FuzzCase, fuzz_cases, subset_instruction_set
 from repro.verify.runner import VerifyReport, verify_model
 from repro.verify.shrink import shrink_case
 
-#: the three ISA presets, mirroring repro.bench.trajectory.ISA_MATRIX_ARCHS
+#: the five ISA presets, mirroring repro.bench.trajectory.ISA_MATRIX_ARCHS
 #: (re-declared to keep this module importable without the bench package)
-DEFAULT_ARCHS = ("arm_a72", "intel_i7_8700_sse4", "intel_i7_8700")
+DEFAULT_ARCHS = ("arm_a72", "intel_i7_8700_sse4", "intel_i7_8700",
+                 "riscv_u74", "intel_xeon_8380")
 
 DEFAULT_GENERATORS = ("simulink_coder", "dfsynth", "hcg")
 

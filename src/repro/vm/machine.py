@@ -207,13 +207,19 @@ class Machine:
         if isinstance(stmt, SimdLoad):
             index = int(self._eval(stmt.index, scalars, breakdown))
             buffer = self._buffer(stmt.buffer)
-            if not (0 <= index and index + stmt.lanes <= buffer.size):
+            active = self._active_lanes(stmt.vl, stmt.lanes, "load")
+            if not (0 <= index and index + active <= buffer.size):
                 raise VmError(
-                    f"SIMD load out of bounds: {stmt.buffer}[{index}:{index + stmt.lanes}] "
+                    f"SIMD load out of bounds: {stmt.buffer}[{index}:{index + active}] "
                     f"(size {buffer.size})"
                 )
-            vectors[stmt.dest] = np.array(buffer[index : index + stmt.lanes], copy=True)
+            # A masked/VL-trimmed register holds exactly the active
+            # lanes: inactive lanes do not exist, so they can never
+            # leak into an op or a store.
+            vectors[stmt.dest] = np.array(buffer[index : index + active], copy=True)
             cycles = self.cost.simd_load
+            if stmt.vl is not None:
+                cycles += self.cost.mask_overhead
             if stmt.buffer in self._vector_written:
                 # store-to-load round trip through a freshly written buffer
                 cycles += self.cost.simd_reload_stall
@@ -223,15 +229,19 @@ class Machine:
         if isinstance(stmt, SimdStore):
             index = int(self._eval(stmt.index, scalars, breakdown))
             buffer = self._buffer(stmt.buffer)
-            if not (0 <= index and index + stmt.lanes <= buffer.size):
+            active = self._active_lanes(stmt.vl, stmt.lanes, "store")
+            if not (0 <= index and index + active <= buffer.size):
                 raise VmError(
-                    f"SIMD store out of bounds: {stmt.buffer}[{index}:{index + stmt.lanes}] "
+                    f"SIMD store out of bounds: {stmt.buffer}[{index}:{index + active}] "
                     f"(size {buffer.size})"
                 )
-            src = self._vector(vectors, stmt.src, stmt.lanes)
-            buffer[index : index + stmt.lanes] = src.astype(buffer.dtype, copy=False)
+            src = self._vector(vectors, stmt.src, active)
+            buffer[index : index + active] = src.astype(buffer.dtype, copy=False)
             self._vector_written.add(stmt.buffer)
-            breakdown.charge("simd_mem", self.cost.simd_store, "vstore")
+            cycles = self.cost.simd_store
+            if stmt.vl is not None:
+                cycles += self.cost.mask_overhead
+            breakdown.charge("simd_mem", cycles, "vstore")
             return
         if isinstance(stmt, SimdBroadcast):
             value = self._eval(stmt.scalar, scalars, breakdown)
@@ -240,8 +250,9 @@ class Machine:
             return
         if isinstance(stmt, SimdOp):
             spec = self.iset.by_name(stmt.instruction)
+            active = self._active_lanes(stmt.vl, spec.lanes, "op")
             named = {
-                token: self._vector(vectors, arg, spec.lanes)
+                token: self._vector(vectors, arg, active)
                 for token, arg in zip(spec.input_tokens, stmt.args)
             }
             if len(stmt.args) != spec.n_inputs:
@@ -249,8 +260,14 @@ class Machine:
                     f"instruction {stmt.instruction}: expected {spec.n_inputs} args, "
                     f"got {len(stmt.args)}"
                 )
+            # The pattern semantics are elementwise, so evaluating the
+            # active-lane prefix is exactly the masked instruction:
+            # inactive lanes are never computed (no spurious faults).
             vectors[stmt.dest] = spec.evaluate(named, imm=stmt.imm)
-            breakdown.charge("simd_ops", self.cost.simd_op(spec), f"vop:{stmt.instruction}")
+            cycles = self.cost.simd_op(spec)
+            if stmt.vl is not None:
+                cycles += self.cost.mask_overhead
+            breakdown.charge("simd_ops", cycles, f"vop:{stmt.instruction}")
             return
         if isinstance(stmt, KernelCall):
             self._exec_kernel(stmt, breakdown)
@@ -316,6 +333,17 @@ class Machine:
             return self.memory[name]
         except KeyError:
             raise VmError(f"program has no buffer {name!r}") from None
+
+    @staticmethod
+    def _active_lanes(vl: Optional[int], lanes: int, what: str) -> int:
+        """The lane count a (possibly masked) SIMD access touches."""
+        if vl is None:
+            return lanes
+        if not 1 <= vl <= lanes:
+            raise VmError(
+                f"SIMD {what}: vl={vl} out of range for a {lanes}-lane register"
+            )
+        return vl
 
     def _vector(self, vectors: Dict[str, np.ndarray], name: str, lanes: int) -> np.ndarray:
         try:

@@ -60,7 +60,10 @@ class TestCostBreakdown:
 class TestPresets:
     def test_lookup(self):
         assert get_architecture("arm_a72") is ARM_A72
-        assert set(preset_names()) == {"arm_a72", "intel_i7_8700", "intel_i7_8700_sse4"}
+        assert set(preset_names()) == {
+            "arm_a72", "intel_i7_8700", "intel_i7_8700_sse4",
+            "riscv_u74", "intel_xeon_8380",
+        }
 
     def test_unknown(self):
         with pytest.raises(KeyError, match="unknown architecture"):
@@ -70,10 +73,24 @@ class TestPresets:
         assert ARM_A72.instruction_set.arch == "neon"
         assert INTEL_I7_8700.instruction_set.arch == "avx2"
         assert INTEL_I7_8700_SSE4.instruction_set.arch == "sse4"
+        assert get_architecture("riscv_u74").instruction_set.arch == "rvv"
+        assert get_architecture("intel_xeon_8380").instruction_set.arch == "avx512"
 
     def test_vector_bits(self):
         assert ARM_A72.vector_bits == 128
         assert INTEL_I7_8700.vector_bits == 256
+        assert get_architecture("riscv_u74").vector_bits == 256
+        assert get_architecture("intel_xeon_8380").vector_bits == 512
+
+    def test_masked_tail_presets(self):
+        # the new targets expose masked-tail capable instruction sets
+        # with a non-zero per-statement predication cost
+        for name in ("riscv_u74", "intel_xeon_8380"):
+            arch = get_architecture(name)
+            assert arch.instruction_set.supports_masked_tail
+            assert arch.cost.mask_overhead > 0
+        assert not ARM_A72.instruction_set.supports_masked_tail
+        assert ARM_A72.cost.mask_overhead == 0.0
 
     def test_cycles_to_seconds(self):
         seconds = ARM_A72.cycles_to_seconds(1.5e9, iterations=1)

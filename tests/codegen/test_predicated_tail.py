@@ -1,0 +1,172 @@
+"""The predicated remainder on masked/scalable ISAs (RVV, AVX-512).
+
+On an instruction set that supports masked execution, Algorithm 2
+replaces the scalar offset prologue with one extra SIMD pass whose
+``vl`` field limits it to the leading ``length % batch_size`` lanes
+(docs/algorithms.md, "Predicated remainder vs offset prologue").  These
+tests pin the emitted structure — no scalar prologue, loop from zero,
+one masked tail statement group — and prove the strategy bit-exact
+against both the reference semantics and the offset prologue itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import get_architecture
+from repro.codegen import HcgGenerator
+from repro.dtypes import DataType
+from repro.errors import CodegenError
+from repro.ir import AssignVar, For, SimdLoad, SimdOp, SimdStore, walk
+from repro.model.builder import ModelBuilder
+from repro.model.semantics import ModelEvaluator
+from repro.observability.metrics import COUNTERS
+from repro.observability.tracer import Tracer
+from repro.vm.machine import Machine
+
+RVV = get_architecture("riscv_u74")
+AVX512 = get_architecture("intel_xeon_8380")
+NEON = get_architecture("arm_a72")
+
+
+def mul_add_model(dtype, n):
+    b = ModelBuilder("tail", default_dtype=dtype)
+    x = b.inport("in0", shape=n)
+    y = b.inport("in1", shape=n)
+    c = b.const("c0", value=[(i % 5) + 1 for i in range(n)], dtype=dtype)
+    product = b.add_actor("Mul", "n0", x, c)
+    total = b.add_actor("Add", "n1", product, y)
+    b.outport("y", total)
+    return b.build()
+
+
+def random_operands(dtype, n, seed):
+    rng = np.random.default_rng(seed)
+    if dtype.is_float:
+        return {name: rng.uniform(-100.0, 100.0, size=n)
+                .astype(dtype.numpy_dtype) for name in ("in0", "in1")}
+    info = np.iinfo(dtype.numpy_dtype)
+    return {name: rng.integers(info.min, info.max, size=n,
+                               dtype=dtype.numpy_dtype, endpoint=True)
+            for name in ("in0", "in1")}
+
+
+def run_hcg(model, arch, *, inputs, **kwargs):
+    generator = HcgGenerator(arch, **kwargs)
+    program = generator.generate(model)
+    machine = Machine(program, arch, instruction_set=generator.iset)
+    with np.errstate(all="ignore"):
+        out = machine.run(dict(inputs)).outputs["y"]
+    return program, np.asarray(out).ravel()
+
+
+class TestEmittedStructure:
+    @pytest.mark.parametrize("arch", [RVV, AVX512], ids=["rvv", "avx512"])
+    def test_no_scalar_prologue_on_masked_isa(self, arch):
+        lanes = arch.instruction_set.lanes_for(DataType.I32)
+        model = mul_add_model(DataType.I32, 2 * lanes + 3)
+        generator = HcgGenerator(arch)
+        program = generator.generate(model)
+        # no scalar per-element statements anywhere: the tail is SIMD
+        assert not any(isinstance(s, AssignVar) for s in walk(program.body))
+        loops = [s for s in walk(program.body) if isinstance(s, For)]
+        assert loops[0].start.value == 0
+        tail_ops = [s for s in walk(program.body)
+                    if isinstance(s, (SimdLoad, SimdOp, SimdStore))
+                    and s.vl == 3]
+        assert tail_ops, "expected a vl=3 predicated tail"
+
+    def test_offset_mode_keeps_scalar_prologue(self):
+        lanes = RVV.instruction_set.lanes_for(DataType.I32)
+        model = mul_add_model(DataType.I32, 2 * lanes + 3)
+        program = HcgGenerator(RVV, tail_mode="offset").generate(model)
+        assert any(isinstance(s, AssignVar) for s in walk(program.body))
+        loops = [s for s in walk(program.body) if isinstance(s, For)]
+        assert loops[0].start.value == 3
+        assert not any(s.vl is not None for s in walk(program.body)
+                       if isinstance(s, (SimdLoad, SimdOp, SimdStore)))
+
+    def test_non_masked_isa_keeps_offset_prologue_in_auto(self):
+        lanes = NEON.instruction_set.lanes_for(DataType.I32)
+        model = mul_add_model(DataType.I32, 2 * lanes + 3)
+        program = HcgGenerator(NEON).generate(model)
+        assert any(isinstance(s, AssignVar) for s in walk(program.body))
+        assert not any(s.vl is not None for s in walk(program.body)
+                       if isinstance(s, (SimdLoad, SimdOp, SimdStore)))
+
+    def test_narrow_group_becomes_single_masked_pass(self):
+        # width < one register: masked ISAs vectorise it in one pass
+        # instead of demoting to conventional scalar translation
+        lanes = RVV.instruction_set.lanes_for(DataType.I32)
+        model = mul_add_model(DataType.I32, lanes - 1)
+        tracer = Tracer()
+        generator = HcgGenerator(RVV, tracer=tracer)
+        program = generator.generate(model)
+        ops = [s for s in walk(program.body) if isinstance(s, SimdOp)]
+        assert ops and all(s.vl == lanes - 1 for s in ops)
+        assert tracer.counters[COUNTERS.ALG2_GROUPS_MASKED_NARROW] == 1
+
+    def test_predicated_counter_incremented(self):
+        lanes = RVV.instruction_set.lanes_for(DataType.I32)
+        model = mul_add_model(DataType.I32, 2 * lanes + 1)
+        tracer = Tracer()
+        HcgGenerator(RVV, tracer=tracer).generate(model)
+        assert tracer.counters[COUNTERS.ALG2_TAIL_PREDICATED] == 1
+
+
+class TestTailModeValidation:
+    def test_unknown_tail_mode_rejected(self):
+        with pytest.raises(ValueError, match="tail_mode"):
+            HcgGenerator(RVV, tail_mode="sideways")
+
+    def test_predicated_requires_masked_isa(self):
+        with pytest.raises(CodegenError, match="scalable.*mask"):
+            HcgGenerator(NEON, tail_mode="predicated")
+
+
+class TestResidueSweep:
+    """Every residue class, differentially against the reference."""
+
+    @pytest.mark.parametrize("arch", [RVV, AVX512], ids=["rvv", "avx512"])
+    @pytest.mark.parametrize("dtype", [DataType.I32, DataType.F32],
+                             ids=["i32", "f32"])
+    def test_all_residues_bit_exact(self, arch, dtype):
+        lanes = arch.instruction_set.lanes_for(dtype)
+        for residue in range(lanes):
+            n = 2 * lanes + residue
+            model = mul_add_model(dtype, n)
+            inputs = random_operands(dtype, n, seed=residue)
+            _, got = run_hcg(model, arch, inputs=inputs)
+            with np.errstate(all="ignore"):
+                expected = ModelEvaluator(model).step(dict(inputs))["y"]
+            np.testing.assert_array_equal(got, np.asarray(expected).ravel())
+
+
+@st.composite
+def masked_case(draw):
+    arch = draw(st.sampled_from([RVV, AVX512]))
+    dtype = draw(st.sampled_from([DataType.I16, DataType.I32,
+                                  DataType.F32, DataType.F64]))
+    lanes = arch.instruction_set.lanes_for(dtype)
+    n = draw(st.integers(1, 3 * lanes))
+    return arch, dtype, n
+
+
+class TestPredicatedEquivalenceProperty:
+    @given(masked_case(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_predicated_equals_offset_prologue(self, case, seed):
+        """The two tail strategies run the same per-element op sequence,
+        so their outputs must agree bit for bit on every residue."""
+        arch, dtype, n = case
+        model = mul_add_model(dtype, n)
+        inputs = random_operands(dtype, n, seed)
+        _, predicated = run_hcg(model, arch, inputs=inputs,
+                                tail_mode="predicated")
+        _, offset = run_hcg(model, arch, inputs=inputs, tail_mode="offset")
+        np.testing.assert_array_equal(predicated, offset)
+        with np.errstate(all="ignore"):
+            expected = ModelEvaluator(model).step(dict(inputs))["y"]
+        np.testing.assert_array_equal(predicated,
+                                      np.asarray(expected).ravel())

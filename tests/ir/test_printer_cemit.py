@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.arch import ARM_A72, INTEL_I7_8700, INTEL_I7_8700_SSE4
+from repro.arch import (ARM_A72, INTEL_I7_8700, INTEL_I7_8700_SSE4,
+                        get_architecture)
 from repro.bench.models import benchmark_suite, fir_model, highpass_model
 from repro.codegen import DfsynthGenerator, HcgGenerator, SimulinkCoderGenerator
 from repro.dtypes import DataType
@@ -105,6 +106,45 @@ class TestCEmitter:
                 source = emit_c(generator.generate(model), arch.instruction_set)
                 assert _balanced(source), (name, arch.name, generator.name)
                 assert f"void {model.name}_step(void)" in source
+
+    def test_rvv_includes_types_and_vl(self):
+        arch = get_architecture("riscv_u74")
+        # width 66 = 8 full f32 batches + a 2-lane predicated tail
+        from repro.model.builder import ModelBuilder
+
+        b = ModelBuilder("m", default_dtype=DataType.F32)
+        x = b.inport("x", shape=66)
+        y = b.inport("y", shape=66)
+        s = b.add_actor("Add", "s", x, y)
+        b.outport("o", s)
+        program = HcgGenerator(arch).generate(b.build())
+        source = emit_c(program, arch.instruction_set)
+        assert "#include <riscv_vector.h>" in source
+        assert "vfloat32m1_t" in source
+        # full-width bodies pass the register's lane count as AVL,
+        # the predicated tail passes the residue
+        assert "__riscv_vle32_v_f32m1(&x[i0], 8)" in source
+        assert "__riscv_vle32_v_f32m1(&x[64], 2)" in source
+        assert "__riscv_vadd" not in source  # f32 model: no integer ops
+        assert _balanced(source)
+
+    def test_avx512_masked_tail_intrinsics(self):
+        arch = get_architecture("intel_xeon_8380")
+        from repro.model.builder import ModelBuilder
+
+        b = ModelBuilder("m", default_dtype=DataType.F32)
+        x = b.inport("x", shape=35)  # 2 x 16 lanes + 3 masked
+        y = b.inport("y", shape=35)
+        s = b.add_actor("Add", "s", x, y)
+        b.outport("o", s)
+        program = HcgGenerator(arch).generate(b.build())
+        source = emit_c(program, arch.instruction_set)
+        assert "#include <immintrin.h>" in source
+        assert "__m512" in source
+        assert "_mm512_loadu_ps" in source  # full-width body
+        assert "_mm512_maskz_loadu_ps((__mmask16)((1ULL << 3) - 1)" in source
+        assert "_mm512_mask_storeu_ps" in source
+        assert _balanced(source)
 
     def test_switch_renders_if_or_ternary(self):
         model = highpass_model(16)

@@ -23,7 +23,7 @@ class TestCleanInput:
 
     def test_packaged_instruction_sets_are_clean(self):
         paths = default_isa_paths()
-        assert len(paths) == 3
+        assert len(paths) == 5
         assert lint_paths() == []
 
     def test_comments_and_blank_lines_are_ignored(self):
@@ -188,6 +188,79 @@ class TestIsa106Cost:
             HEADER + "Ins: vaddq_s32 ; Graph: Add,i32,4,I1,I2,O1 ; "
             f"Code: O1 = vaddq_s32(I1, I2) ; Cost: {cost}\n")
         assert codes(findings) == ["ISA106"]
+
+
+V2_HEADER = "arch: rvv\nvector_bits: 128\nformat: 2\nfeatures: scalable\n"
+
+
+class TestIsa107FormatHeaders:
+    def test_features_require_format_2(self):
+        text = ("arch: x\nvector_bits: 128\nfeatures: mask\n"
+                + CLEAN[len(HEADER):])
+        findings = lint_text(text)
+        assert "ISA107" in codes(findings)
+        assert any("format: 2" in f.message for f in findings)
+
+    def test_unknown_feature(self):
+        text = ("arch: x\nvector_bits: 128\nformat: 2\nfeatures: turbo\n"
+                + CLEAN[len(HEADER):])
+        findings = lint_text(text)
+        assert "ISA107" in codes(findings)
+        assert any("turbo" in f.message for f in findings)
+
+    def test_duplicate_feature(self):
+        text = ("arch: x\nvector_bits: 128\nformat: 2\nfeatures: mask, mask\n"
+                + CLEAN[len(HEADER):])
+        assert "ISA107" in codes(lint_text(text))
+
+    def test_unsupported_format_version(self):
+        text = ("arch: x\nvector_bits: 128\nformat: 7\n"
+                + CLEAN[len(HEADER):])
+        findings = lint_text(text)
+        assert "ISA107" in codes(findings)
+        assert any("unsupported format 7" in f.message for f in findings)
+
+    def test_bad_format_value(self):
+        text = ("arch: x\nvector_bits: 128\nformat: two\n"
+                + CLEAN[len(HEADER):])
+        assert "ISA107" in codes(lint_text(text))
+
+    def test_valid_v2_headers_are_clean(self):
+        text = ("arch: x\nvector_bits: 128\nformat: 2\nfeatures: mask\n"
+                + CLEAN[len(HEADER):])
+        assert lint_text(text) == []
+
+
+class TestIsa108VlToken:
+    def test_scalable_template_must_carry_vl(self):
+        text = V2_HEADER + (
+            "Ins: vadd ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: O1 = __riscv_vadd_vv_i32m1(I1, I2)\n")
+        findings = lint_text(text)
+        assert codes(findings) == ["ISA108"]
+        assert "no VL token" in findings[0].message
+
+    def test_vl_token_needs_scalable_feature(self):
+        text = HEADER + (
+            "Ins: vadd ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: O1 = vadd(I1, I2, VL)\n")
+        findings = lint_text(text)
+        assert codes(findings) == ["ISA108"]
+        assert "scalable" in findings[0].message
+
+    def test_scalable_with_vl_is_clean(self):
+        text = V2_HEADER + (
+            "Ins: vadd ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: O1 = __riscv_vadd_vv_i32m1(I1, I2, VL)\n")
+        assert lint_text(text) == []
+
+    def test_vl_substring_of_identifier_does_not_count(self):
+        # "VLX" is not the VL token; word-boundary matching must not
+        # accept it in a scalable file
+        text = V2_HEADER + (
+            "Ins: vadd ; Graph: Add,i32,4,I1,I2,O1 ; "
+            "Code: O1 = vadd(I1, I2, VLX)\n")
+        assert codes(lint_text(text)) == ["ISA108"]
 
 
 class TestReporting:

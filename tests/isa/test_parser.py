@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dtypes import DataType
-from repro.errors import IsaParseError
+from repro.errors import IsaError, IsaParseError
 from repro.isa.parser import (
     dump_instruction_set,
     load_instruction_set,
@@ -102,14 +102,66 @@ class TestParseDocument:
             load_instruction_set(tmp_path / "nope.si")
 
 
+class TestFormatVersion2:
+    V2 = (
+        "arch: rvv\nvector_bits: 256\nformat: 2\nfeatures: scalable\n"
+        "Ins: vadd_vv_i32 ; Graph: Add,i32,8,I1,I2,O1 ; "
+        "Code: O1 = __riscv_vadd_vv_i32m1(I1, I2, VL) ; Cost: 1\n"
+    )
+
+    def test_features_header_parses(self):
+        iset = parse_instruction_set(self.V2)
+        assert iset.features == ("scalable",)
+        assert iset.is_scalable and not iset.has_masks
+        assert iset.supports_masked_tail
+
+    def test_format_1_has_no_features(self):
+        iset = parse_instruction_set(GOOD)
+        assert iset.features == ()
+        assert not iset.supports_masked_tail
+
+    def test_features_require_format_2(self):
+        text = self.V2.replace("format: 2\n", "")
+        with pytest.raises(IsaParseError, match="requires 'format: 2'"):
+            parse_instruction_set(text)
+
+    def test_unknown_feature_rejected(self):
+        text = self.V2.replace("features: scalable", "features: turbo")
+        with pytest.raises(IsaError, match="unknown feature"):
+            parse_instruction_set(text)
+
+    def test_unsupported_format_version(self):
+        text = self.V2.replace("format: 2", "format: 7")
+        with pytest.raises(IsaParseError, match="unsupported format 7"):
+            parse_instruction_set(text)
+
+    def test_bad_format_value(self):
+        text = self.V2.replace("format: 2", "format: two")
+        with pytest.raises(IsaParseError, match="bad format"):
+            parse_instruction_set(text)
+
+    def test_dump_emits_v2_headers(self):
+        iset = parse_instruction_set(self.V2)
+        text = dump_instruction_set(iset)
+        assert "format: 2" in text
+        assert "features: scalable" in text
+
+    def test_builtin_masked_sets_declare_features(self):
+        assert load_builtin("rvv").features == ("scalable",)
+        assert load_builtin("avx512").features == ("mask",)
+        for name in ("neon", "sse4", "avx2"):
+            assert load_builtin(name).features == ()
+
+
 class TestRoundTrip:
-    @pytest.mark.parametrize("name", ["neon", "sse4", "avx2"])
+    @pytest.mark.parametrize("name", ["neon", "sse4", "avx2", "rvv", "avx512"])
     def test_builtin_sets_round_trip(self, name):
         original = load_builtin(name)
         text = dump_instruction_set(original)
         restored = parse_instruction_set(text, source=f"{name}-roundtrip")
         assert restored.arch == original.arch
         assert restored.vector_bits == original.vector_bits
+        assert restored.features == original.features
         assert len(restored.instructions) == len(original.instructions)
         for before, after in zip(original.instructions, restored.instructions):
             assert before == after

@@ -32,9 +32,10 @@ class TestCleanSession:
         result = run_session(models={}, archs=("arm_a72",), corpus=tmp_path)
         assert result.corpus_count == 1 and result.ok
 
-    def test_default_archs_cover_all_three_presets(self):
+    def test_default_archs_cover_all_five_presets(self):
         assert DEFAULT_ARCHS == ("arm_a72", "intel_i7_8700_sse4",
-                                 "intel_i7_8700")
+                                 "intel_i7_8700", "riscv_u74",
+                                 "intel_xeon_8380")
 
 
 class TestFailingSession:

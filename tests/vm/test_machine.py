@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arch import ARM_A72
+from repro.arch import ARM_A72, get_architecture
 from repro.dtypes import DataType
 from repro.errors import VmError, VmTypeError
 from repro.ir import (
@@ -236,3 +236,56 @@ class TestCostAccounting:
         half = Machine(program, ARM_A72, cost=cost).run()
         full = Machine(program, ARM_A72).run()
         assert half.cycles == pytest.approx(full.cycles * 0.5)
+
+
+RVV = get_architecture("riscv_u74")
+
+
+class TestMaskedSimd:
+    """Statements with ``vl`` set touch only the leading active lanes."""
+
+    def _masked_program(self, vl):
+        return _program(_io(8), [
+            SimdLoad("va", "x", const_i(0), DataType.I32, 8, vl=vl),
+            SimdOp("vb", "vadd_vv_i32", ("va", "va"), DataType.I32, 8, vl=vl),
+            SimdStore("y", const_i(0), "vb", DataType.I32, 8, vl=vl),
+        ])
+
+    def test_masked_store_writes_only_active_lanes(self):
+        out = run_program(self._masked_program(3), RVV,
+                          {"x": [1, 2, 3, 4, 5, 6, 7, 8]})
+        assert list(out.outputs["y"]) == [2, 4, 6, 0, 0, 0, 0, 0]
+
+    @pytest.mark.parametrize("vl", [0, 9, -1])
+    def test_vl_out_of_range(self, vl):
+        with pytest.raises(VmError, match="out of range"):
+            run_program(self._masked_program(vl), RVV)
+
+    def test_masked_access_trims_bounds_check(self):
+        # a full-width load at index 5 would run off the 8-element
+        # buffer; the masked load touches only its 3 active lanes
+        program = _program(_io(8), [
+            SimdLoad("va", "x", const_i(5), DataType.I32, 8, vl=3),
+            SimdStore("y", const_i(0), "va", DataType.I32, 8, vl=3),
+        ])
+        out = run_program(program, RVV, {"x": [0, 0, 0, 0, 0, 11, 12, 13]})
+        assert list(out.outputs["y"][:3]) == [11, 12, 13]
+
+    def test_masked_register_width_is_vl(self):
+        # a 3-lane register cannot feed an 8-lane (unmasked) store
+        program = _program(_io(8), [
+            SimdLoad("va", "x", const_i(0), DataType.I32, 8, vl=3),
+            SimdStore("y", const_i(0), "va", DataType.I32, 8),
+        ])
+        with pytest.raises(VmTypeError, match="3 lanes, expected 8"):
+            run_program(program, RVV)
+
+    def test_mask_overhead_charged_per_masked_statement(self):
+        import dataclasses
+
+        cost = dataclasses.replace(RVV.cost, mask_overhead=100.0)
+        inputs = {"x": [1, 2, 3, 4, 5, 6, 7, 8]}
+        masked = Machine(self._masked_program(3), RVV, cost=cost).run(dict(inputs))
+        full = Machine(self._masked_program(None), RVV, cost=cost).run(dict(inputs))
+        # three masked statements, 100 extra cycles each
+        assert masked.cycles == pytest.approx(full.cycles + 300.0)

@@ -12,7 +12,11 @@ committed baseline at the repo root, cell by cell (one cell = one
    baseline.  Wall clock is noisy on shared runners, so cells faster
    than ``WALL_FLOOR_S`` in the baseline are exempt (doubling a
    millisecond is noise, doubling a second is a regression).
-3. **Matcher speedup** — the record's ``Synthetic<N>`` rows must show
+3. **ISA coverage** — the baseline's benchmark rows must span every
+   ISA in ``EXPECTED_ISAS``; a bench run that silently drops an
+   architecture (e.g. a preset renamed without updating the matrix)
+   fails the gate instead of shrinking the record.
+4. **Matcher speedup** — the record's ``Synthetic<N>`` rows must show
    the indexed matcher at least ``MIN_MATCHER_SPEEDUP`` times faster
    than the naive baseline (``alg2.match.wall_s``), with modelled cost
    no worse.  The committed snapshot records the honest measured ratio
@@ -43,6 +47,10 @@ WALL_FLOOR_S = 0.05
 
 #: the Synthetic rows must show at least this indexed-vs-naive ratio
 MIN_MATCHER_SPEEDUP = 5.0
+
+#: every full bench record must cover these ISAs (matching
+#: repro.bench.trajectory.ISA_MATRIX_ARCHS resolved to ISA names)
+EXPECTED_ISAS = ("neon", "sse4", "avx2", "rvv", "avx512")
 
 
 def load_record(path: Path) -> dict:
@@ -86,6 +94,22 @@ def check_against_baseline(current: dict, baseline: dict) -> list:
                 f"{wall_then} -> {wall_now} (> {WALL_TOLERANCE}x)"
             )
     return problems
+
+
+def check_isa_coverage(record: dict, where: str) -> list:
+    """The benchmark rows must span every expected ISA."""
+    covered = {
+        row["isa"] for row in record["results"]
+        if not row["model"].startswith("Synthetic")
+    }
+    missing = [isa for isa in EXPECTED_ISAS if isa not in covered]
+    if missing:
+        return [
+            f"{where}: benchmark rows cover no {isa!r} cells "
+            f"(expected ISAs: {', '.join(EXPECTED_ISAS)})"
+            for isa in missing
+        ]
+    return []
 
 
 def check_matcher_speedup(record: dict, where: str) -> list:
@@ -143,10 +167,12 @@ def main(argv=None) -> int:
 
     baseline = load_record(Path(args.baseline))
     problems = check_matcher_speedup(baseline, "baseline")
+    problems += check_isa_coverage(baseline, "baseline")
     if args.current:
         current = load_record(Path(args.current))
         problems += check_against_baseline(current, baseline)
         problems += check_matcher_speedup(current, "current")
+        problems += check_isa_coverage(current, "current")
     for problem in problems:
         print(problem)
     if problems:
