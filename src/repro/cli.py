@@ -376,8 +376,17 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses as _dataclasses
+
     from repro.observability.tracer import Tracer
     from repro.server import KNOWN_CHAOS, CodegenDaemon, ServerConfig
+    from repro.server.config import (
+        ConfigError,
+        TenantLimits,
+        apply_overrides,
+        load_config_overrides,
+        parse_tenant_spec,
+    )
     from repro.server.retry import RetryPolicy
     from repro.service.service import CodegenService
 
@@ -389,21 +398,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     options = _service_options(args)
     service = CodegenService.from_options(options, tracer=None)
-    config = ServerConfig(
-        host=args.host,
-        port=args.port,
-        queue_size=args.queue_size,
-        workers=args.workers,
-        deadline_s=args.deadline,
-        drain_grace_s=args.drain_grace,
-        retry=RetryPolicy(attempts=args.retry_attempts),
-        breaker_threshold=args.breaker_threshold,
-        breaker_cooldown_s=args.breaker_cooldown,
-        chaos=chaos,
-        chaos_rate=args.chaos_rate,
-        chaos_seed=args.chaos_seed,
-        chaos_slow_s=args.chaos_slow,
-    )
+    try:
+        default_limits = {
+            key: value
+            for key, value in (
+                ("rate", args.tenant_rate),
+                ("burst", args.tenant_burst),
+                ("max_concurrency", args.tenant_concurrency),
+                ("max_queued", args.tenant_queued),
+            )
+            if value is not None
+        }
+        default_tenant = _dataclasses.replace(TenantLimits(), **default_limits)
+        tenants = {}
+        for spec_text in args.tenants or ():
+            name, overrides = parse_tenant_spec(spec_text)
+            base = tenants.get(name, default_tenant)
+            tenants[name] = _dataclasses.replace(base, **overrides)
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            queue_size=args.queue_size,
+            workers=args.workers,
+            deadline_s=args.deadline,
+            drain_grace_s=args.drain_grace,
+            retry=RetryPolicy(attempts=args.retry_attempts),
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+            default_tenant=default_tenant,
+            tenants=tenants,
+            batch_window_s=args.batch_window,
+            batch_max=args.batch_max,
+            config_path=args.config_file,
+            chaos=chaos,
+            chaos_rate=args.chaos_rate,
+            chaos_seed=args.chaos_seed,
+            chaos_slow_s=args.chaos_slow,
+            chaos_noisy_tenant=args.chaos_noisy_tenant,
+        )
+        if args.config_file:
+            # Apply the overrides file at boot too, so SIGHUP re-reads
+            # produce a config the daemon could have started with.
+            config, _ = apply_overrides(
+                config, load_config_overrides(args.config_file))
+    except (ConfigError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     daemon = CodegenDaemon(service, config, base_options=options,
                            tracer=Tracer())
     return daemon.run()
@@ -608,14 +648,45 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="open-state cooldown before a half-open probe "
                         "(default 2)")
+    p.add_argument("--batch-window", type=float, default=0.01,
+                   metavar="SECONDS",
+                   help="coalesce compatible queued generates within this "
+                        "window onto one executor pass (0 disables; "
+                        "default 0.01)")
+    p.add_argument("--batch-max", type=int, default=8, metavar="N",
+                   help="most requests one coalesced batch may carry "
+                        "(default 8)")
+    p.add_argument("--config", metavar="FILE", dest="config_file",
+                   help="JSON overrides applied at boot and re-read on "
+                        "SIGHUP / empty POST /admin/reload "
+                        "(reloadable fields only; see docs/api.md)")
+    p.add_argument("--tenant", action="append", metavar="NAME:K=V[,K=V...]",
+                   dest="tenants",
+                   help="per-tenant admission limits, repeatable "
+                        "(keys: rate, burst, max_concurrency, max_queued, "
+                        "weight; e.g. --tenant noisy:rate=5,burst=10)")
+    p.add_argument("--tenant-rate", type=float, default=None, metavar="R",
+                   help="default-tenant sustained admission rate "
+                        "(requests/second)")
+    p.add_argument("--tenant-burst", type=int, default=None, metavar="N",
+                   help="default-tenant burst allowance (token bucket "
+                        "capacity)")
+    p.add_argument("--tenant-concurrency", type=int, default=None,
+                   metavar="N",
+                   help="default-tenant concurrent-request quota")
+    p.add_argument("--tenant-queued", type=int, default=None, metavar="N",
+                   help="default-tenant queued-request quota")
     p.add_argument("--inject", metavar="FAULT[,FAULT...]",
                    help="chaos harness: inject faults (worker_crash, "
-                        "slow_generator, cache_corrupt, disk_full)")
+                        "slow_generator, cache_corrupt, disk_full, "
+                        "noisy_neighbor)")
     p.add_argument("--chaos-rate", type=float, default=0.25,
                    help=argparse.SUPPRESS)
     p.add_argument("--chaos-seed", type=int, default=0,
                    help=argparse.SUPPRESS)
     p.add_argument("--chaos-slow", type=float, default=1.0,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--chaos-noisy-tenant", default="noisy",
                    help=argparse.SUPPRESS)
     _add_policy_args(p)
     _add_service_args(p)

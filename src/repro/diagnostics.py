@@ -72,6 +72,12 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[Severity, str]] = {
     "HCG506": (Severity.WARNING, "transient fault; request attempt retried with backoff"),
     "HCG507": (Severity.ERROR, "retry budget exhausted; last fault surfaced"),
     "HCG508": (Severity.WARNING, "daemon draining; request rejected"),
+    # 51x — multi-tenant admission, request batching, hot config reload
+    "HCG511": (Severity.WARNING, "request shed: tenant rate limit exceeded (token bucket empty)"),
+    "HCG512": (Severity.WARNING, "request shed: tenant queue/concurrency quota exhausted"),
+    "HCG513": (Severity.WARNING, "batchmate fault isolated; request re-served individually"),
+    "HCG514": (Severity.WARNING, "config reload rejected; previous configuration retained"),
+    "HCG515": (Severity.INFO, "configuration hot-reloaded; new limits in force"),
 }
 
 #: Recognised collector policies.

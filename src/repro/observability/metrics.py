@@ -47,6 +47,11 @@ class SPANS:
     SERVICE_GENERATE = "service.generate"
     #: the codegen-cache key computation + lookup inside a request
     SERVICE_CACHE = "service.cache"
+    #: one coalesced daemon batch (emitted synchronously after the
+    #: executor pass; the ``ms`` attribute carries the pass duration)
+    SERVER_BATCH = "server.batch"
+    #: one hot config reload (validate + atomic swap, event loop only)
+    SERVER_RELOAD = "server.reload"
 
 
 class COUNTERS:
@@ -105,6 +110,16 @@ class COUNTERS:
     SERVER_BREAKER_RECOVERIES = "server.breaker.recoveries"
     SERVER_BREAKER_DEMOTED = "server.breaker.demoted"
     SERVER_DRAINED = "server.drained"
+    # Codegen daemon — multi-tenant admission (X-Tenant)
+    SERVER_SHED_TENANT_RATE = "server.shed.tenant_rate"
+    SERVER_SHED_TENANT_QUOTA = "server.shed.tenant_quota"
+    # Codegen daemon — request coalescing onto one executor pass
+    SERVER_BATCH_DISPATCHED = "server.batch.dispatched"
+    SERVER_BATCH_REQUESTS = "server.batch.requests"
+    SERVER_BATCH_ISOLATED = "server.batch.isolated"
+    # Codegen daemon — hot config reload (SIGHUP / POST /admin/reload)
+    SERVER_RELOAD_OK = "server.reload.ok"
+    SERVER_RELOAD_REJECTED = "server.reload.rejected"
 
 
 def generation_metrics(generator: Any) -> Dict[str, Any]:

@@ -1,26 +1,52 @@
 """The resilient codegen daemon (``repro serve``).
 
 An asyncio HTTP service over :class:`~repro.service.service.CodegenService`
-with bounded admission, per-request deadlines, retries with backoff,
-per-generator circuit breakers, chaos fault injection, and graceful
-SIGTERM drain.  Protocol: docs/api.md; failure modes: docs/robustness.md;
-load + chaos harness: tools/loadgen.py.
+with bounded multi-tenant admission (token-bucket rate limits,
+weighted-fair dequeue), request coalescing onto one executor pass,
+per-request deadlines, retries with backoff, per-generator circuit
+breakers, hot config reload (SIGHUP / ``POST /admin/reload``), chaos
+fault injection, and graceful SIGTERM drain.  Protocol: docs/api.md;
+failure modes: docs/robustness.md; load + chaos harness:
+tools/loadgen.py.
 """
 
+from repro.server.batch import BatchTask, compatible, run_batch
 from repro.server.breaker import BreakerState, CircuitBreaker
 from repro.server.chaos import KNOWN_CHAOS, ChaosFault, ChaosMonkey
-from repro.server.daemon import CodegenDaemon, ServerConfig
+from repro.server.config import (
+    DEFAULT_TENANT,
+    ConfigError,
+    ServerConfig,
+    TenantLimits,
+    apply_overrides,
+    load_config_overrides,
+    parse_tenant_spec,
+)
+from repro.server.daemon import CodegenDaemon
 from repro.server.retry import RetryPolicy, TransientFault, is_transient
+from repro.server.tenants import ShedDecision, TenantTable, TokenBucket
 
 __all__ = [
+    "BatchTask",
     "BreakerState",
     "ChaosFault",
     "ChaosMonkey",
     "CircuitBreaker",
     "CodegenDaemon",
+    "ConfigError",
+    "DEFAULT_TENANT",
     "KNOWN_CHAOS",
     "RetryPolicy",
     "ServerConfig",
+    "ShedDecision",
+    "TenantLimits",
+    "TenantTable",
+    "TokenBucket",
     "TransientFault",
+    "apply_overrides",
+    "compatible",
     "is_transient",
+    "load_config_overrides",
+    "parse_tenant_spec",
+    "run_batch",
 ]

@@ -1,0 +1,99 @@
+"""Request coalescing: many queued generates, one executor pass.
+
+Under heavy traffic most queued requests look alike — same generator,
+small models, no verification — yet PR 5's daemon paid a full
+thread-pool dispatch per request.  The coalescer lets a worker that
+dequeues a batchable request sweep compatible requests out of the
+admission queue within a short window (``ServerConfig.batch_window_s``,
+at most ``batch_max`` requests) and serve them all on **one**
+:class:`~repro.service.executor.ParallelExecutor` pass
+(:meth:`CodegenService.generate_outcomes`), the serving-side analogue
+of Algorithm 2 batching isomorphic actors into one SIMD instruction.
+
+Contract (tests/server/test_batch.py):
+
+* **byte-identical results** — a batched request's response body is
+  exactly what unbatched serving returns (same fields, same cache
+  keys), because each batch member is still served by the same
+  ``service.generate`` call;
+* **per-request fault isolation** — one poisoned batch member produces
+  a failed :class:`TaskOutcome`; its batchmates' outcomes are
+  untouched.  The daemon re-serves the failed member individually
+  through the full retry/breaker path, tagged HCG513;
+* **quota-respecting** — members are pulled via
+  :meth:`TenantTable.collect_compatible`, which counts them in-flight
+  immediately, so a batch can never carry a tenant past its
+  concurrency quota.
+
+Only ``verify=False`` requests with the same generator (and a CLOSED
+breaker) coalesce: verification runs long and mixing generators would
+entangle breaker accounting across batch members.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.service.executor import MAX_JOBS, ParallelExecutor, TaskOutcome
+
+
+def compatible(leader: Any, other: Any) -> bool:
+    """May ``other`` ride in ``leader``'s batch?
+
+    Both must be plain generate requests (``verify=False``) of the same
+    generator — one batch is one breaker scope and one executor pass.
+    """
+    return (
+        not leader.verify
+        and not other.verify
+        and other.generator == leader.generator
+    )
+
+
+@dataclasses.dataclass
+class BatchTask:
+    """One batch member, ready for the blocking executor pass."""
+
+    request: Any                        # repro.api.GenerateRequest
+    tenant: str
+    #: polled by chaos stalls so an abandoned batch stops burning time
+    abandoned: Callable[[], bool] = lambda: False
+
+
+def run_batch(service: Any, tasks: Sequence[BatchTask],
+              chaos: Any = None,
+              cache: Any = None) -> List[TaskOutcome]:
+    """Serve ``tasks`` as one ParallelExecutor pass (blocking).
+
+    Runs on the daemon's thread pool, never the event loop.  Outcomes
+    come back in input order with per-task fault isolation — exactly
+    :meth:`ParallelExecutor.map` semantics.  With chaos enabled, each
+    member gets its own injection roll (tenant-aware, so a
+    ``noisy_neighbor`` fault stalls only the noisy tenant's members).
+    """
+    jobs = max(1, min(len(tasks), MAX_JOBS))
+    if chaos is None:
+        return service.generate_outcomes(
+            [task.request for task in tasks], jobs=jobs)
+
+    def attempt(task: BatchTask) -> Any:
+        chaos.on_attempt(cache=cache, abandoned=task.abandoned,
+                         tenant=task.tenant)
+        return service.generate(task.request)
+
+    executor = ParallelExecutor(jobs=jobs, timeout_s=service.task_timeout_s)
+    return executor.map(
+        attempt, list(tasks),
+        label=lambda index, task: f"{task.request.generator}:{index}",
+    )
+
+
+def summarize(outcomes: Sequence[Optional[TaskOutcome]]) -> dict:
+    """One JSON-ready line describing a finished batch (for the log)."""
+    failed = sum(1 for o in outcomes if o is not None and not o.ok)
+    return {
+        "size": len(outcomes),
+        "ok": sum(1 for o in outcomes if o is not None and o.ok),
+        "isolated": failed,
+    }

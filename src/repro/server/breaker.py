@@ -10,13 +10,25 @@ After ``cooldown_s`` the breaker goes HALF_OPEN and lets exactly one
 probe request through; a probe success closes the breaker (recovery), a
 probe failure re-opens it for another cooldown.
 
-The breaker is mutated only from the daemon's event-loop thread, so no
-lock is needed; tests drive it with a fake clock.
+Thread-safety: every public method takes an internal lock.  The daemon
+mutates breakers from its event-loop thread, but the single-probe
+admission in :meth:`allow` is a check-then-act that must stay atomic
+under *any* caller interleaving (regression: tests/server/test_breaker.py
+``test_half_open_single_probe_under_concurrency``) — two racing callers
+both seeing ``probe_in_flight == False`` would both fly the probe, and
+a probe double-fly defeats the whole point of half-open.
+
+A probe that never reports back (its request was abandoned between
+``allow()`` and ``record_*``, e.g. by the worker-crash answer path) is
+*reclaimed* after another ``cooldown_s``: without reclaim a lost probe
+would pin ``probe_in_flight`` forever and demote all traffic for the
+rest of the daemon's life.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -43,10 +55,12 @@ class CircuitBreaker:
         self.threshold = threshold
         self.cooldown_s = cooldown_s
         self._clock = clock
+        self._lock = threading.RLock()
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
         self._probe_in_flight = False
+        self._probe_started: Optional[float] = None
         self.trips = 0
         self.recoveries = 0
         #: (timestamp, from-state, to-state) transition log, newest last
@@ -59,9 +73,8 @@ class CircuitBreaker:
         )
         self._state = new_state
 
-    @property
-    def state(self) -> BreakerState:
-        """Current state; an elapsed cooldown surfaces as HALF_OPEN."""
+    def _current_state(self) -> BreakerState:
+        """State with the lazy OPEN→HALF_OPEN edge applied (lock held)."""
         if (
             self._state is BreakerState.OPEN
             and self._opened_at is not None
@@ -69,7 +82,14 @@ class CircuitBreaker:
         ):
             self._transition(BreakerState.HALF_OPEN)
             self._probe_in_flight = False
+            self._probe_started = None
         return self._state
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state; an elapsed cooldown surfaces as HALF_OPEN."""
+        with self._lock:
+            return self._current_state()
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
@@ -77,51 +97,91 @@ class CircuitBreaker:
 
         CLOSED: yes.  OPEN: no (demote).  HALF_OPEN: yes for exactly one
         probe at a time; concurrent requests are demoted until the probe
-        reports back.
+        reports back.  A probe lost for a full ``cooldown_s`` (its
+        request was abandoned before ``record_success``/``record_failure``)
+        is reclaimed so the breaker cannot wedge in permanent demotion.
         """
-        state = self.state
-        if state is BreakerState.CLOSED:
-            return True
-        if state is BreakerState.HALF_OPEN and not self._probe_in_flight:
-            self._probe_in_flight = True
-            return True
-        return False
+        with self._lock:
+            state = self._current_state()
+            if state is BreakerState.CLOSED:
+                return True
+            if state is BreakerState.HALF_OPEN:
+                if (
+                    self._probe_in_flight
+                    and self._probe_started is not None
+                    and self._clock() - self._probe_started >= self.cooldown_s
+                ):
+                    self._probe_in_flight = False  # reclaim the lost probe
+                    self._probe_started = None
+                if not self._probe_in_flight:
+                    self._probe_in_flight = True
+                    self._probe_started = self._clock()
+                    return True
+            return False
 
     def record_success(self) -> None:
         """A request served by the guarded generator succeeded."""
-        if self.state is BreakerState.HALF_OPEN:
-            self.recoveries += 1
-            self._transition(BreakerState.CLOSED)
-        self._consecutive_failures = 0
-        self._opened_at = None
-        self._probe_in_flight = False
+        with self._lock:
+            state = self._current_state()
+            if state is BreakerState.OPEN:
+                # A success reported while OPEN (e.g. a coalesced batch
+                # whose members finished concurrently with the failure
+                # that tripped us) must not clear the cooldown clock —
+                # that would wedge the breaker OPEN with no HALF_OPEN
+                # edge ever firing.
+                self._consecutive_failures = 0
+                return
+            if state is BreakerState.HALF_OPEN:
+                self.recoveries += 1
+                self._transition(BreakerState.CLOSED)
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+            self._probe_started = None
 
     def record_failure(self) -> None:
         """A request served by the guarded generator finally failed."""
-        state = self.state
-        self._consecutive_failures += 1
-        if state is BreakerState.HALF_OPEN:
-            # The probe failed: straight back to OPEN for a new cooldown.
-            self._transition(BreakerState.OPEN)
-            self._opened_at = self._clock()
-            self._probe_in_flight = False
-            self.trips += 1
-        elif (
-            state is BreakerState.CLOSED
-            and self._consecutive_failures >= self.threshold
-        ):
-            self._transition(BreakerState.OPEN)
-            self._opened_at = self._clock()
-            self.trips += 1
+        with self._lock:
+            state = self._current_state()
+            self._consecutive_failures += 1
+            if state is BreakerState.HALF_OPEN:
+                # The probe failed: straight back to OPEN for a new cooldown.
+                self._transition(BreakerState.OPEN)
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self._probe_started = None
+                self.trips += 1
+            elif (
+                state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.threshold
+            ):
+                self._transition(BreakerState.OPEN)
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    # ------------------------------------------------------------------
+    def reconfigure(self, threshold: int, cooldown_s: float) -> None:
+        """Hot-reload the trip envelope without losing current state.
+
+        An already-open breaker keeps its cooldown clock; a CLOSED
+        breaker whose failure count now meets a *lowered* threshold
+        trips on its next failure, not retroactively.
+        """
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        with self._lock:
+            self.threshold = int(threshold)
+            self.cooldown_s = float(cooldown_s)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready state for ``/metrics`` and the access log."""
-        return {
-            "state": self.state.value,
-            "consecutive_failures": self._consecutive_failures,
-            "threshold": self.threshold,
-            "cooldown_s": self.cooldown_s,
-            "trips": self.trips,
-            "recoveries": self.recoveries,
-        }
+        with self._lock:
+            return {
+                "state": self._current_state().value,
+                "consecutive_failures": self._consecutive_failures,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+                "trips": self.trips,
+                "recoveries": self.recoveries,
+            }

@@ -20,6 +20,14 @@ chaos harness (``tools/loadgen.py``) replays against a live daemon.
     Cache writes raise ``ENOSPC`` (via
     ``CodegenCache.inject_write_fault``), proving HCG307 write-failure-
     to-miss recovery.
+``noisy_neighbor``
+    Attempts accounted to one designated tenant (``noisy_tenant``,
+    default ``"noisy"``) stall for ``slow_s`` while every other
+    tenant's attempts run untouched — the multi-tenant fairness
+    scenario: the noisy tenant burns its own concurrency quota and is
+    rate-shed (HCG511/HCG512) while polite tenants' latency stays
+    inside their deadline envelope (tools/loadgen.py
+    ``--multi-tenant``).
 
 Faults fire in seeded *bursts*, not i.i.d. coin flips: real incidents
 are correlated (a bad deploy, a full disk), and bursts are what trips a
@@ -49,6 +57,7 @@ KNOWN_CHAOS: Tuple[str, ...] = (
     "slow_generator",
     "cache_corrupt",
     "disk_full",
+    "noisy_neighbor",
 )
 
 #: injection points per burst
@@ -74,6 +83,7 @@ class ChaosMonkey:
         slow_s: float = 1.0,
         burst_length: int = BURST_LENGTH,
         plan: Optional[Dict[str, Sequence[int]]] = None,
+        noisy_tenant: str = "noisy",
     ) -> None:
         for name in tuple(faults) + tuple(plan or ()):
             if name not in KNOWN_CHAOS:
@@ -85,6 +95,7 @@ class ChaosMonkey:
         self.faults = tuple(faults)
         self.rate = rate
         self.slow_s = slow_s
+        self.noisy_tenant = noisy_tenant
         self.burst_length = max(1, burst_length)
         self.plan = {name: set(calls) for name, calls in (plan or {}).items()}
         self._rng = random.Random(seed)
@@ -118,12 +129,17 @@ class ChaosMonkey:
         return self._burst_start[name] <= call < self._burst_end[name]
 
     # ------------------------------------------------------------------
-    def on_attempt(self, cache=None, abandoned: Optional[Callable[[], bool]] = None) -> None:
+    def on_attempt(self, cache=None,
+                   abandoned: Optional[Callable[[], bool]] = None,
+                   tenant: Optional[str] = None) -> None:
         """Run in the worker thread at the top of one generation attempt.
 
         ``cache`` is the service's :class:`~repro.service.cache.CodegenCache`
         (or ``None``); ``abandoned`` reports whether the daemon already
-        gave up on this attempt (deadline), ending a stall early.
+        gave up on this attempt (deadline), ending a stall early;
+        ``tenant`` is who the attempt is accounted to — the
+        ``noisy_neighbor`` fault only fires for ``noisy_tenant``'s
+        attempts (and only those count as injections).
         """
         with self._lock:
             call = self._calls
@@ -131,8 +147,12 @@ class ChaosMonkey:
             active = [
                 name for name in KNOWN_CHAOS if self._active(name, call)
             ]
+            if "noisy_neighbor" in active and tenant != self.noisy_tenant:
+                active.remove("noisy_neighbor")
             for name in active:
                 self.injected[name] += 1
+        if "noisy_neighbor" in active:
+            self._stall(abandoned)
         if "cache_corrupt" in active and cache is not None:
             self._corrupt_one_entry(cache)
         if "disk_full" in active and cache is not None:

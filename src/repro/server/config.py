@@ -1,0 +1,332 @@
+"""Daemon configuration: validated, frozen, and hot-reloadable.
+
+:class:`ServerConfig` is every knob the codegen daemon owns.  It is a
+frozen dataclass so a running daemon can swap the *whole object*
+atomically — one attribute assignment on the event loop — and every
+request admitted afterwards sees the new limits while requests already
+in flight keep the deadlines and budgets they were admitted under.
+
+Reload sources (docs/api.md#hot-config-reload):
+
+* ``POST /admin/reload`` with a JSON body of overrides;
+* ``SIGHUP`` re-reading the ``--config`` JSON file the daemon was
+  started with.
+
+Both paths go through :func:`apply_overrides`, which validates the
+override document against the reloadable-field whitelist **before**
+anything is swapped: a bad reload is rejected with :class:`ConfigError`
+(HCG514) and the previous config stays in force — the daemon never
+runs on a half-applied or invalid configuration.
+
+Per-tenant limits are :class:`TenantLimits` values keyed by the
+``X-Tenant`` request header; the ``default_tenant`` entry is the
+envelope anonymous traffic (and any tenant without an explicit entry)
+shares.  Enforcement lives in :mod:`repro.server.tenants`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.server.retry import RetryPolicy
+
+#: tenant names accepted from the wire (X-Tenant) and config files
+TENANT_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: the tenant anonymous requests (no X-Tenant header) are accounted to
+DEFAULT_TENANT = "default"
+
+
+class ConfigError(ValueError):
+    """A config document (or reload override) failed validation."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantLimits:
+    """Admission envelope of one tenant (docs/robustness.md#multi-tenant-admission).
+
+    The defaults are deliberately generous — an unconfigured daemon
+    behaves like the single-tenant PR 5 daemon, bounded only by the
+    global queue.  Operators tighten them per deployment (CLI flags,
+    config file, or a hot reload).
+    """
+
+    #: sustained admission rate (token-bucket refill, requests/second)
+    rate: float = 1000.0
+    #: burst allowance (token-bucket capacity, requests)
+    burst: int = 1000
+    #: concurrent requests in service (workers a tenant may occupy)
+    max_concurrency: int = 64
+    #: queued requests (per-tenant backpressure before the global cap)
+    max_queued: int = 256
+    #: weighted-fair dequeue share relative to other tenants
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.rate > 0:
+            raise ConfigError(f"tenant rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ConfigError(f"tenant burst must be >= 1, got {self.burst}")
+        if self.max_concurrency < 1:
+            raise ConfigError(
+                f"tenant max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.max_queued < 1:
+            raise ConfigError(
+                f"tenant max_queued must be >= 1, got {self.max_queued}"
+            )
+        if self.weight < 1:
+            raise ConfigError(f"tenant weight must be >= 1, got {self.weight}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerConfig:
+    """Every daemon knob, with survivable defaults."""
+
+    host: str = "127.0.0.1"
+    #: 0 = pick an ephemeral port (reported by the ``listening`` event)
+    port: int = 8337
+    #: bounded request queue: admission beyond this is a 429
+    queue_size: int = 64
+    #: concurrent request workers (and generation threads)
+    workers: int = 4
+    #: default and maximum per-request wall-clock budget (seconds)
+    deadline_s: float = 10.0
+    #: how long a SIGTERM drain waits for accepted requests
+    drain_grace_s: float = 30.0
+    retry: RetryPolicy = RetryPolicy()
+    #: consecutive final failures that trip a generator's breaker
+    breaker_threshold: int = 5
+    #: seconds an open breaker waits before its half-open probe
+    breaker_cooldown_s: float = 2.0
+    #: generator demoted-to while a breaker is open (the conventional
+    #: scalar path — always available, never SIMD-synthesis-faulted)
+    fallback_generator: str = "simulink_coder"
+    #: admission envelope shared by anonymous / unconfigured tenants
+    default_tenant: TenantLimits = TenantLimits()
+    #: per-tenant overrides, keyed by X-Tenant header value
+    tenants: Dict[str, TenantLimits] = dataclasses.field(default_factory=dict)
+    #: coalescing window for compatible generate requests (seconds;
+    #: 0 disables batching)
+    batch_window_s: float = 0.01
+    #: most requests one coalesced ParallelExecutor pass may carry
+    batch_max: int = 8
+    #: JSON overrides file re-read on SIGHUP (None = SIGHUP is a no-op)
+    config_path: Optional[str] = None
+    #: chaos fault names to inject (tools/loadgen.py --inject)
+    chaos: Tuple[str, ...] = ()
+    chaos_rate: float = 0.25
+    chaos_seed: int = 0
+    #: how long an injected slow_generator stall lasts (seconds)
+    chaos_slow_s: float = 1.0
+    #: tenant whose attempts the noisy_neighbor chaos fault stalls
+    chaos_noisy_tenant: str = "noisy"
+
+    def __post_init__(self) -> None:
+        if self.queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.batch_window_s < 0:
+            raise ValueError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        for name in self.tenants:
+            if not TENANT_NAME_RE.match(name):
+                raise ValueError(f"invalid tenant name {name!r}")
+
+    # ------------------------------------------------------------------
+    def limits_for(self, tenant: str) -> TenantLimits:
+        """The admission envelope of one tenant (default when unlisted)."""
+        return self.tenants.get(tenant, self.default_tenant)
+
+    def public_dict(self) -> Dict[str, object]:
+        """The reloadable view served by ``GET /admin/config``."""
+        return {
+            "queue_size": self.queue_size,
+            "deadline_s": self.deadline_s,
+            "drain_grace_s": self.drain_grace_s,
+            "retry": dataclasses.asdict(self.retry),
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown_s": self.breaker_cooldown_s,
+            "fallback_generator": self.fallback_generator,
+            "default_tenant": self.default_tenant.to_dict(),
+            "tenants": {
+                name: limits.to_dict()
+                for name, limits in sorted(self.tenants.items())
+            },
+            "batch_window_s": self.batch_window_s,
+            "batch_max": self.batch_max,
+        }
+
+
+#: fields a hot reload may change — everything else is boot-time only
+RELOADABLE_FIELDS = (
+    "queue_size",
+    "deadline_s",
+    "drain_grace_s",
+    "retry",
+    "breaker_threshold",
+    "breaker_cooldown_s",
+    "fallback_generator",
+    "default_tenant",
+    "tenants",
+    "batch_window_s",
+    "batch_max",
+)
+
+#: boot-time fields a reload must not mention (listeners, thread pool
+#: and the seeded chaos schedule cannot be swapped under live traffic)
+IMMUTABLE_FIELDS = (
+    "host", "port", "workers", "config_path",
+    "chaos", "chaos_rate", "chaos_seed", "chaos_slow_s",
+    "chaos_noisy_tenant",
+)
+
+
+def _tenant_limits_from(base: TenantLimits, overrides: object,
+                        where: str) -> TenantLimits:
+    if not isinstance(overrides, dict):
+        raise ConfigError(f"{where} must be a JSON object of limit fields")
+    known = {f.name for f in dataclasses.fields(TenantLimits)}
+    unknown = set(overrides) - known
+    if unknown:
+        raise ConfigError(
+            f"{where}: unknown limit field(s) {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    for key, value in overrides.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigError(f"{where}.{key} must be a number, got {value!r}")
+    try:
+        return dataclasses.replace(base, **overrides)
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{where}: {exc}")
+
+
+def apply_overrides(config: ServerConfig,
+                    overrides: dict) -> Tuple[ServerConfig, List[str]]:
+    """Validate ``overrides`` against ``config``; return the new config.
+
+    Returns ``(new_config, changed_field_names)``.  Raises
+    :class:`ConfigError` — and leaves ``config`` untouched — on any
+    unknown field, immutable field, or invalid value, so the caller can
+    swap atomically only after full validation (HCG514 otherwise).
+    """
+    if not isinstance(overrides, dict):
+        raise ConfigError("config overrides must be a JSON object")
+    immutable = sorted(set(overrides) & set(IMMUTABLE_FIELDS))
+    if immutable:
+        raise ConfigError(
+            f"field(s) {immutable} cannot be changed by a reload "
+            f"(boot-time only: restart the daemon)"
+        )
+    unknown = sorted(set(overrides) - set(RELOADABLE_FIELDS))
+    if unknown:
+        raise ConfigError(
+            f"unknown config field(s) {unknown}; "
+            f"reloadable: {list(RELOADABLE_FIELDS)}"
+        )
+    changes: Dict[str, object] = {}
+    for name, value in overrides.items():
+        if name == "retry":
+            if not isinstance(value, dict):
+                raise ConfigError("retry must be a JSON object")
+            known = {f.name for f in dataclasses.fields(RetryPolicy)}
+            unknown_retry = set(value) - known
+            if unknown_retry:
+                raise ConfigError(
+                    f"retry: unknown field(s) {sorted(unknown_retry)}"
+                )
+            try:
+                changes["retry"] = dataclasses.replace(config.retry, **value)
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(f"retry: {exc}")
+        elif name == "default_tenant":
+            changes["default_tenant"] = _tenant_limits_from(
+                config.default_tenant, value, "default_tenant")
+        elif name == "tenants":
+            if not isinstance(value, dict):
+                raise ConfigError("tenants must be a JSON object")
+            merged = dict(config.tenants)
+            for tenant, limits in value.items():
+                if not TENANT_NAME_RE.match(str(tenant)):
+                    raise ConfigError(f"invalid tenant name {tenant!r}")
+                if limits is None:
+                    merged.pop(tenant, None)  # null removes the override
+                    continue
+                base = merged.get(tenant, config.default_tenant)
+                merged[tenant] = _tenant_limits_from(
+                    base, limits, f"tenants[{tenant!r}]")
+            changes["tenants"] = merged
+        else:
+            changes[name] = value
+    try:
+        new_config = dataclasses.replace(config, **changes)
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(str(exc))
+    changed = [
+        name for name in sorted(changes)
+        if getattr(new_config, name) != getattr(config, name)
+    ]
+    return new_config, changed
+
+
+def load_config_overrides(path: str) -> dict:
+    """Read a JSON overrides document (the ``--config`` / SIGHUP file)."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ConfigError(f"cannot read config file {path}: {exc}")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"config file {path} is not valid JSON: {exc}")
+    if not isinstance(document, dict):
+        raise ConfigError(f"config file {path} must hold a JSON object")
+    return document
+
+
+def parse_tenant_spec(text: str) -> Tuple[str, Dict[str, object]]:
+    """Parse one ``--tenant NAME:k=v,...`` CLI spec.
+
+    Example: ``noisy:rate=5,burst=10,max_concurrency=2,weight=1``.
+    Returns ``(name, override_dict)`` ready for :func:`apply_overrides`.
+    """
+    name, sep, rest = text.partition(":")
+    name = name.strip()
+    if not sep or not TENANT_NAME_RE.match(name):
+        raise ConfigError(
+            f"bad --tenant spec {text!r}; expected NAME:key=value[,...]"
+        )
+    fields = {f.name: f.type for f in dataclasses.fields(TenantLimits)}
+    overrides: Dict[str, object] = {}
+    for part in filter(None, (p.strip() for p in rest.split(","))):
+        key, eq, value = part.partition("=")
+        key = key.strip()
+        if not eq or key not in fields:
+            raise ConfigError(
+                f"bad --tenant field {part!r}; known: {sorted(fields)}"
+            )
+        try:
+            overrides[key] = float(value) if key == "rate" else int(value)
+        except ValueError:
+            raise ConfigError(f"--tenant {key} must be a number, got {value!r}")
+    if not overrides:
+        raise ConfigError(f"--tenant spec {text!r} sets no limits")
+    return name, overrides

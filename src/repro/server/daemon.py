@@ -21,18 +21,35 @@ under overload and partial failure rather than raw feature count:
   reusing the PR 1 degradation lattice at the service boundary;
 * **graceful drain** — SIGTERM stops accepting, serves every accepted
   request, persists selection histories and timing caches atomically,
-  then exits 0.  No accepted request is lost.
+  then exits 0.  No accepted request is lost;
+* **multi-tenant admission** — every request is accounted to the
+  tenant named by its ``X-Tenant`` header (``default`` for anonymous
+  traffic).  Per-tenant token-bucket rate limits and queue/concurrency
+  quotas (:mod:`repro.server.tenants`) shed an aggressive tenant with
+  429 + honest ``Retry-After`` (HCG511 rate, HCG512 quota — distinct
+  from the global-backpressure HCG502) and weighted-fair dequeue keeps
+  one tenant's backlog from starving another's;
+* **request coalescing** — compatible queued generates are swept onto
+  one :class:`~repro.service.executor.ParallelExecutor` pass within a
+  short window (:mod:`repro.server.batch`); a poisoned batch member is
+  isolated (HCG513) and re-served individually, its batchmates'
+  byte-identical responses unaffected;
+* **hot config reload** — ``POST /admin/reload`` (or SIGHUP with
+  ``--config``) validates an override document and atomically swaps
+  the active :class:`ServerConfig` (HCG515) without dropping in-flight
+  requests; an invalid document is rejected whole (HCG514) and the
+  previous config stays in force.
 
 Every failure mode surfaces as a stable ``HCG5xx`` diagnostic
 (docs/robustness.md); ``/healthz`` and ``/metrics`` expose the queue,
-breaker and latency state fed by the span tracer's counters.  The
-protocol is documented in docs/api.md; ``tools/loadgen.py`` is the
-load + chaos harness that replays thousands of mixed requests against
-a live daemon.
+per-tenant, breaker and latency state fed by the span tracer's
+counters.  The protocol is documented in docs/api.md;
+``tools/loadgen.py`` is the load + chaos harness that replays
+thousands of mixed (multi-tenant) requests against a live daemon.
 
-Threading model: the event loop owns all daemon state (queue, breakers,
-counters, log); generation runs on a bounded thread pool and touches
-only the thread-safe :class:`CodegenService`.
+Threading model: the event loop owns all daemon state (tenant table,
+breakers, counters, config, log); generation runs on a bounded thread
+pool and touches only the thread-safe :class:`CodegenService`.
 """
 
 from __future__ import annotations
@@ -53,10 +70,20 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.diagnostics import DIAGNOSTIC_CODES, Diagnostic
 from repro.errors import ReproError
-from repro.observability.metrics import COUNTERS
+from repro.observability.metrics import COUNTERS, SPANS
 from repro.observability.tracer import Tracer
-from repro.server.breaker import CircuitBreaker
+from repro.server.batch import BatchTask, compatible, run_batch, summarize
+from repro.server.breaker import BreakerState, CircuitBreaker
 from repro.server.chaos import ChaosMonkey
+from repro.server.config import (
+    DEFAULT_TENANT,
+    TENANT_NAME_RE,
+    ConfigError,
+    ServerConfig,
+    TenantLimits,
+    apply_overrides,
+    load_config_overrides,
+)
 from repro.server.http import (
     HttpProtocolError,
     HttpRequest,
@@ -64,6 +91,7 @@ from repro.server.http import (
     response_bytes,
 )
 from repro.server.retry import RetryPolicy, is_transient
+from repro.server.tenants import ShedDecision, TenantTable
 
 #: benchmark models the protocol can instantiate at a requested scale
 #: (mirrors repro.bench.trajectory.quick_suite)
@@ -101,46 +129,16 @@ _STATUS_OF_CODE = {
     "HCG505": 500,
     "HCG507": 500,
     "HCG508": 503,
+    "HCG511": 429,
+    "HCG512": 429,
 }
 
-
-@dataclasses.dataclass(frozen=True)
-class ServerConfig:
-    """Every daemon knob, with survivable defaults."""
-
-    host: str = "127.0.0.1"
-    #: 0 = pick an ephemeral port (reported by the ``listening`` event)
-    port: int = 8337
-    #: bounded request queue: admission beyond this is a 429
-    queue_size: int = 64
-    #: concurrent request workers (and generation threads)
-    workers: int = 4
-    #: default and maximum per-request wall-clock budget (seconds)
-    deadline_s: float = 10.0
-    #: how long a SIGTERM drain waits for accepted requests
-    drain_grace_s: float = 30.0
-    retry: RetryPolicy = RetryPolicy()
-    #: consecutive final failures that trip a generator's breaker
-    breaker_threshold: int = 5
-    #: seconds an open breaker waits before its half-open probe
-    breaker_cooldown_s: float = 2.0
-    #: generator demoted-to while a breaker is open (the conventional
-    #: scalar path — always available, never SIMD-synthesis-faulted)
-    fallback_generator: str = "simulink_coder"
-    #: chaos fault names to inject (tools/loadgen.py --inject)
-    chaos: Tuple[str, ...] = ()
-    chaos_rate: float = 0.25
-    chaos_seed: int = 0
-    #: how long an injected slow_generator stall lasts (seconds)
-    chaos_slow_s: float = 1.0
-
-    def __post_init__(self) -> None:
-        if self.queue_size < 1:
-            raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
-        if self.deadline_s <= 0:
-            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+#: counter bumped for each admission-shed diagnostic code
+_SHED_COUNTER_OF_CODE = {
+    "HCG502": COUNTERS.SERVER_SHED_QUEUE_FULL,
+    "HCG511": COUNTERS.SERVER_SHED_TENANT_RATE,
+    "HCG512": COUNTERS.SERVER_SHED_TENANT_QUOTA,
+}
 
 
 class _BadRequest(Exception):
@@ -161,6 +159,8 @@ class _RequestSpec:
     steps: int
     deadline_s: float
     include_source: bool
+    #: admission accounting identity (X-Tenant header, or "default")
+    tenant: str = DEFAULT_TENANT
 
 
 @dataclasses.dataclass(eq=False)  # identity hash: items live in sets
@@ -215,6 +215,7 @@ class CodegenDaemon:
             self.chaos = ChaosMonkey(
                 faults=config.chaos, rate=config.chaos_rate,
                 seed=config.chaos_seed, slow_s=config.chaos_slow_s,
+                noisy_tenant=config.chaos_noisy_tenant,
             )
         self._clock = time.monotonic
         self._retry_rng = random.Random(config.chaos_seed ^ 0x5EED)
@@ -225,10 +226,13 @@ class CodegenDaemon:
         self._started_at = 0.0
         self._draining = False
         self.drained = False
+        #: bumped on every successful hot reload (observable via
+        #: GET /admin/config and /metrics)
+        self.config_generation = 0
         self.bound_port: Optional[int] = None
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._queue: Optional[asyncio.Queue] = None
+        self._table: Optional[TenantTable] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._in_flight: set = set()
@@ -263,7 +267,7 @@ class CodegenDaemon:
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._table = TenantTable(self.config, clock=self._clock)
         self._done = asyncio.Event()
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers * 2 + 2,
@@ -275,6 +279,9 @@ class CodegenDaemon:
             # threaded test harness drives request_drain directly.
             self._loop.add_signal_handler(signal.SIGTERM, self.request_drain)
             self._loop.add_signal_handler(signal.SIGINT, self.request_drain)
+            sighup = getattr(signal, "SIGHUP", None)
+            if sighup is not None:
+                self._loop.add_signal_handler(sighup, self._on_sighup)
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
         )
@@ -310,7 +317,7 @@ class CodegenDaemon:
             return
         self._draining = True
         self._log({"event": "drain.start",
-                   "queue_depth": self._queue.qsize(),
+                   "queue_depth": self._table.qsize(),
                    "in_flight": len(self._in_flight)})
         assert self._server is not None
         self._server.close()
@@ -321,17 +328,13 @@ class CodegenDaemon:
         grace = self.config.drain_grace_s
         deadline = self._clock() + grace
         try:
-            await asyncio.wait_for(self._queue.join(), timeout=grace)
+            await asyncio.wait_for(self._table.join(), timeout=grace)
             clean = True
         except asyncio.TimeoutError:
             clean = False
             # Forced drain: answer whatever is still pending so no
             # connection is left hanging, then shut down anyway.
-            abandoned = []
-            while not self._queue.empty():
-                with contextlib.suppress(asyncio.QueueEmpty):
-                    abandoned.append(self._queue.get_nowait())
-                    self._queue.task_done()
+            abandoned = await self._table.drain_items()
             for item in list(self._in_flight):
                 abandoned.append(item)
             for item in abandoned:
@@ -407,8 +410,36 @@ class CodegenDaemon:
             return 200, self._healthz(), ()
         if route == ("GET", "/metrics"):
             return 200, self._metrics(), ()
+        if route == ("GET", "/admin/config"):
+            return 200, {
+                "generation": self.config_generation,
+                "reloadable": self.config.public_dict(),
+            }, ()
+        if route == ("POST", "/admin/reload"):
+            try:
+                overrides = request.json()
+            except HttpProtocolError as exc:
+                return exc.status, {"error": str(exc)}, ()
+            if not overrides:
+                if self.config.config_path is None:
+                    return 400, {
+                        "error": "empty reload body and no --config file "
+                                 "to re-read",
+                    }, ()
+                try:
+                    overrides = load_config_overrides(self.config.config_path)
+                except ConfigError as exc:
+                    return self._reject_reload("admin", exc)
+            status, body = self._apply_reload(overrides, source="admin")
+            return status, body, ()
         if route in (("POST", "/generate"), ("POST", "/verify")):
             started = self._clock()
+            tenant = request.headers.get("X-Tenant", DEFAULT_TENANT)
+            if not TENANT_NAME_RE.match(tenant):
+                return 400, {
+                    "error": f"invalid X-Tenant {tenant!r}; must match "
+                             f"{TENANT_NAME_RE.pattern}",
+                }, ()
             try:
                 payload = request.json()
             except HttpProtocolError as exc:
@@ -416,7 +447,7 @@ class CodegenDaemon:
             if request.path.startswith("/verify"):
                 payload = dict(payload, verify=True)
             try:
-                spec = self._parse_spec(payload)
+                spec = self._parse_spec(payload, tenant)
             except _BadRequest as exc:
                 return 400, {"error": str(exc)}, ()
             status, body, headers = await self._admit_and_wait(spec)
@@ -425,18 +456,87 @@ class CodegenDaemon:
             self._log({
                 "event": "request", "path": request.path, "status": status,
                 "ms": round(elapsed_ms, 3), "model": spec.model_name,
-                "generator": spec.generator,
+                "generator": spec.generator, "tenant": tenant,
                 "codes": sorted({d["code"] for d in body.get("diagnostics", ())}),
             })
             return status, body, headers
-        if request.path in ("/generate", "/verify", "/healthz", "/metrics"):
+        if request.path in ("/generate", "/verify", "/healthz", "/metrics",
+                            "/admin/config", "/admin/reload"):
             return 405, {"error": f"{request.method} not allowed on {request.path}"}, ()
         return 404, {"error": f"no such endpoint {request.path!r}"}, ()
 
     # ------------------------------------------------------------------
+    # Hot config reload
+    # ------------------------------------------------------------------
+    def _on_sighup(self) -> None:
+        """SIGHUP: re-read the ``--config`` overrides file, if any."""
+        if self.config.config_path is None:
+            self._log({"event": "config.sighup_ignored",
+                       "reason": "daemon started without --config"})
+            return
+        try:
+            overrides = load_config_overrides(self.config.config_path)
+        except ConfigError as exc:
+            self._reject_reload("sighup", exc)
+            return
+        self._apply_reload(overrides, source="sighup")
+
+    def _reject_reload(self, source: str, exc: Exception):
+        """HCG514: the override document failed validation; keep serving
+        on the previous config."""
+        self.tracer.count(COUNTERS.SERVER_RELOAD_REJECTED)
+        diagnostic = _diag("HCG514", f"config reload rejected: {exc}")
+        self._log({"event": "config.reload_rejected", "source": source,
+                   "error": str(exc)})
+        return 400, {
+            "error": diagnostic.message, "code": diagnostic.code,
+            "diagnostics": _diag_dicts([diagnostic]),
+        }, ()
+
+    def _apply_reload(self, overrides: dict, source: str):
+        """Validate ``overrides`` and atomically swap the active config.
+
+        Runs synchronously on the event loop (so the ``server.reload``
+        span nests correctly and no request observes a half-applied
+        config): validation happens on a copy, and only a fully valid
+        result is assigned to ``self.config``.  Requests already
+        admitted keep the deadlines and limits they were admitted
+        under; everything admitted afterwards sees the new config.
+        """
+        with self.tracer.span(SPANS.SERVER_RELOAD, source=source):
+            try:
+                new_config, changed = apply_overrides(self.config, overrides)
+            except ConfigError as exc:
+                status, body, _ = self._reject_reload(source, exc)
+                return status, body
+            self.config = new_config
+            self.config_generation += 1
+            assert self._table is not None
+            self._table.reconfigure(new_config)
+            for breaker in self._breakers.values():
+                breaker.reconfigure(new_config.breaker_threshold,
+                                    new_config.breaker_cooldown_s)
+            self.tracer.count(COUNTERS.SERVER_RELOAD_OK)
+            diagnostic = _diag(
+                "HCG515",
+                f"configuration hot-reloaded ({source}); "
+                f"changed: {changed if changed else 'nothing'}",
+            )
+            self._log({"event": "config.reloaded", "source": source,
+                       "generation": self.config_generation,
+                       "changed": changed})
+            return 200, {
+                "reloaded": changed,
+                "generation": self.config_generation,
+                "config": new_config.public_dict(),
+                "diagnostics": _diag_dicts([diagnostic]),
+            }
+
+    # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def _parse_spec(self, payload: dict) -> _RequestSpec:
+    def _parse_spec(self, payload: dict,
+                    tenant: str = DEFAULT_TENANT) -> _RequestSpec:
         from repro.api import GENERATOR_NAMES
 
         known = {
@@ -500,6 +600,7 @@ class CodegenDaemon:
             options=options, verify=verify, seed=seed, steps=steps,
             deadline_s=deadline_s,
             include_source=bool(payload.get("include_source", True)),
+            tenant=tenant,
         )
 
     async def _admit_and_wait(self, spec: _RequestSpec):
@@ -510,33 +611,36 @@ class CodegenDaemon:
                 "error": diagnostic.message, "code": diagnostic.code,
                 "diagnostics": _diag_dicts([diagnostic]),
             }, ()
-        assert self._queue is not None and self._loop is not None
+        assert self._table is not None and self._loop is not None
         now = self._clock()
         item = _Pending(
             spec=spec, deadline=now + spec.deadline_s, enqueued=now,
             future=self._loop.create_future(),
         )
-        try:
-            self._queue.put_nowait(item)
-        except asyncio.QueueFull:
-            self.tracer.count(COUNTERS.SERVER_SHED_QUEUE_FULL)
-            retry_after = self._retry_after_s()
-            diagnostic = _diag(
-                "HCG502",
-                f"request queue at capacity ({self.config.queue_size}); "
-                f"retry in ~{retry_after}s",
-            )
-            return 429, {
-                "error": diagnostic.message, "code": diagnostic.code,
-                "diagnostics": _diag_dicts([diagnostic]),
-            }, (("Retry-After", str(retry_after)),)
+        decision = await self._table.admit(
+            spec.tenant, item, backlog_retry_after_s=self._retry_after_s()
+        )
+        if decision is not None:
+            return self._shed(spec.tenant, decision)
         self.tracer.count(COUNTERS.SERVER_REQUESTS_ACCEPTED)
         status, body, headers = await item.future
         return status, body, headers
 
+    def _shed(self, tenant: str, decision: ShedDecision):
+        """Answer one admission-shed request (HCG502/HCG511/HCG512)."""
+        assert self._table is not None
+        self.tracer.count(_SHED_COUNTER_OF_CODE[decision.code])
+        self._table.record_shed(tenant, decision.code)
+        diagnostic = _diag(decision.code, decision.message)
+        return decision.status, {
+            "error": diagnostic.message, "code": diagnostic.code,
+            "tenant": tenant,
+            "diagnostics": _diag_dicts([diagnostic]),
+        }, (("Retry-After", str(decision.retry_after_s)),)
+
     def _retry_after_s(self) -> int:
         backlog_s = (
-            self._queue.qsize() * (self._ewma_ms / 1000.0)
+            self._table.qsize() * (self._ewma_ms / 1000.0)
             / max(1, self.config.workers)
         )
         return max(1, int(math.ceil(backlog_s)))
@@ -550,27 +654,75 @@ class CodegenDaemon:
     # Workers
     # ------------------------------------------------------------------
     async def _worker(self, index: int) -> None:
-        assert self._queue is not None
+        assert self._table is not None
         while True:
-            item = await self._queue.get()
-            self._in_flight.add(item)
+            item = await self._table.next()
+            batch = [item]
+            for member in batch:
+                self._in_flight.add(member)
             try:
                 # No tracer span here: the span stack cannot handle
                 # interleaved worker coroutines.  Counters + the access
                 # log carry the per-request story instead.
-                await self._serve_item(item)
+                batch = await self._maybe_batch(item)
+                for member in batch[1:]:
+                    self._in_flight.add(member)
+                if len(batch) == 1:
+                    await self._serve_item(item)
+                else:
+                    await self._serve_batch(batch)
             except Exception as exc:  # fault-isolation: a worker bug must answer, not hang the client
                 diagnostic = _diag(
                     "HCG505", f"worker crashed: {type(exc).__name__}: {exc}"
                 )
-                self.tracer.count(COUNTERS.SERVER_REQUESTS_FAILED)
-                item.resolve(500, {
-                    "error": diagnostic.message, "code": diagnostic.code,
-                    "diagnostics": _diag_dicts([diagnostic]),
-                })
+                for member in batch:
+                    if not member.future.done():
+                        self.tracer.count(COUNTERS.SERVER_REQUESTS_FAILED)
+                        member.resolve(500, {
+                            "error": diagnostic.message,
+                            "code": diagnostic.code,
+                            "diagnostics": _diag_dicts([diagnostic]),
+                        })
             finally:
-                self._in_flight.discard(item)
-                self._queue.task_done()
+                for member in batch:
+                    self._in_flight.discard(member)
+                    await self._table.done(member)
+
+    async def _maybe_batch(self, item: _Pending) -> List[_Pending]:
+        """Sweep compatible queued requests into ``item``'s batch.
+
+        Batching only engages for plain generates (``verify=False``)
+        whose generator's breaker is CLOSED — a demoted or probing
+        request must go through the full single-request path so breaker
+        accounting stays exact.  Members are extracted through the
+        tenant table, so each one is already counted against its
+        tenant's concurrency quota.
+        """
+        assert self._table is not None
+        config = self.config
+        spec = item.spec
+        if (
+            config.batch_window_s <= 0
+            or config.batch_max < 2
+            or spec.verify
+            or self._clock() >= item.deadline
+        ):
+            return [item]
+        breaker = self._breaker_for(spec.generator)
+        if breaker.state is not BreakerState.CLOSED:
+            return [item]
+
+        def rides_along(other: _Pending) -> bool:
+            return (
+                compatible(spec, other.spec)
+                and self._clock() < other.deadline
+            )
+
+        mates = await self._table.collect_compatible(
+            rides_along, limit=config.batch_max - 1,
+            window_s=config.batch_window_s,
+        )
+        return [item] + mates
 
     def _breaker_for(self, generator: str) -> CircuitBreaker:
         if generator not in self._breakers:
@@ -595,26 +747,18 @@ class CodegenDaemon:
                 self.tracer.count(COUNTERS.SERVER_BREAKER_RECOVERIES)
         self._breaker_logged[breaker.name] = len(breaker.transitions)
 
-    async def _serve_item(self, item: _Pending) -> None:
+    async def _serve_item(self, item: _Pending,
+                          presets: Tuple[Diagnostic, ...] = ()) -> None:
         spec = item.spec
         now = self._clock()
         if now >= item.deadline:
-            self.tracer.count(COUNTERS.SERVER_SHED_EXPIRED)
-            diagnostic = _diag(
-                "HCG503",
-                f"deadline of {spec.deadline_s:g}s expired after "
-                f"{now - item.enqueued:.3f}s in queue; shed before work started",
-            )
-            item.resolve(504, {
-                "error": diagnostic.message, "code": diagnostic.code,
-                "diagnostics": _diag_dicts([diagnostic]),
-            })
+            self._shed_expired(item, presets)
             return
 
         breaker = self._breaker_for(spec.generator)
         demoted = not breaker.allow()
         self._note_breaker(breaker)
-        extra: List[Diagnostic] = []
+        extra: List[Diagnostic] = list(presets)
         generator = spec.generator
         if demoted:
             generator = self.config.fallback_generator
@@ -673,23 +817,154 @@ class CodegenDaemon:
                                      result)
                 return
 
-    def _blocking_generate(self, spec: _RequestSpec, generator: str,
-                           demoted: bool, abandoned: threading.Event):
-        """One generation attempt; runs on the thread pool."""
+    def _shed_expired(self, item: _Pending,
+                      presets: Tuple[Diagnostic, ...] = ()) -> None:
+        """HCG503: the deadline lapsed before any work started."""
+        now = self._clock()
+        self.tracer.count(COUNTERS.SERVER_SHED_EXPIRED)
+        diagnostic = _diag(
+            "HCG503",
+            f"deadline of {item.spec.deadline_s:g}s expired after "
+            f"{now - item.enqueued:.3f}s in queue; shed before work started",
+        )
+        item.resolve(504, {
+            "error": diagnostic.message, "code": diagnostic.code,
+            "diagnostics": _diag_dicts([diagnostic] + list(presets)),
+        })
+
+    def _request_for(self, spec: _RequestSpec, generator: str):
+        """The :class:`GenerateRequest` one spec resolves to."""
         from repro.api import GenerateRequest
 
-        if self.chaos is not None and not demoted:
-            self.chaos.on_attempt(
-                cache=self.service.cache, abandoned=abandoned.is_set
-            )
         model = spec.model
         if spec.scale is not None:
             model = _scaled_model_builders()[spec.model_name](spec.scale)
-        request = GenerateRequest(
+        return GenerateRequest(
             model=model, generator=generator, options=spec.options,
             verify=spec.verify, seed=spec.seed, steps=spec.steps,
         )
-        return self.service.generate(request)
+
+    def _blocking_generate(self, spec: _RequestSpec, generator: str,
+                           demoted: bool, abandoned: threading.Event):
+        """One generation attempt; runs on the thread pool."""
+        if self.chaos is not None and not demoted:
+            self.chaos.on_attempt(
+                cache=self.service.cache, abandoned=abandoned.is_set,
+                tenant=spec.tenant,
+            )
+        return self.service.generate(self._request_for(spec, generator))
+
+    # ------------------------------------------------------------------
+    # Coalesced batches
+    # ------------------------------------------------------------------
+    def _blocking_batch(self, specs: List[_RequestSpec], generator: str,
+                        abandoned: threading.Event):
+        """One coalesced executor pass; runs on the thread pool."""
+        tasks = [
+            BatchTask(
+                request=self._request_for(spec, generator),
+                tenant=spec.tenant,
+                abandoned=abandoned.is_set,
+            )
+            for spec in specs
+        ]
+        return run_batch(self.service, tasks, chaos=self.chaos,
+                         cache=self.service.cache)
+
+    async def _serve_batch(self, batch: List[_Pending]) -> None:
+        """Serve one coalesced batch with per-member fault isolation.
+
+        Success responses are byte-identical to unbatched serving (the
+        same ``service.generate`` call produces them); a failed member
+        is tagged HCG513 and re-served through the full single-request
+        path (retries, breaker accounting, 422 classification) without
+        touching its batchmates.
+        """
+        live: List[_Pending] = []
+        for member in batch:
+            if self._clock() >= member.deadline:
+                self._shed_expired(member)
+            else:
+                live.append(member)
+        if not live:
+            return
+        if len(live) == 1:
+            await self._serve_item(live[0])
+            return
+        generator = live[0].spec.generator
+        breaker = self._breaker_for(generator)
+        self.tracer.count(COUNTERS.SERVER_BATCH_DISPATCHED)
+        self.tracer.count(COUNTERS.SERVER_BATCH_REQUESTS, len(live))
+        started = self._clock()
+        max_remaining = max(m.deadline for m in live) - started
+        abandoned = threading.Event()
+        assert self._loop is not None and self._pool is not None
+        work = self._loop.run_in_executor(
+            self._pool, self._blocking_batch,
+            [m.spec for m in live], generator, abandoned,
+        )
+        try:
+            outcomes = await asyncio.wait_for(work, timeout=max_remaining)
+        except asyncio.TimeoutError:
+            # Every member's deadline has lapsed (the wait covered the
+            # longest one): same terminal outcome as the single path.
+            abandoned.set()
+            for member in live:
+                self._finish_deadline(member, breaker, demoted=False,
+                                      extra=[])
+            return
+        except Exception as exc:  # fault-isolation: the whole pass failed; fall back per member
+            self._log({"event": "batch.error",
+                       "error": f"{type(exc).__name__}: {exc}"})
+            for member in live:
+                await self._serve_item(member, presets=(
+                    self._isolation_diag(member, exc=None),))
+            return
+        elapsed_ms = (self._clock() - started) * 1000.0
+        report = summarize(outcomes)
+        with self.tracer.span(SPANS.SERVER_BATCH, generator=generator,
+                              size=report["size"], ok=report["ok"],
+                              isolated=report["isolated"],
+                              ms=round(elapsed_ms, 3)):
+            pass  # marker span: the pass itself ran on the thread pool
+        self._log(dict(report, event="batch", generator=generator,
+                       ms=round(elapsed_ms, 3)))
+        for member, outcome in zip(live, outcomes):
+            if outcome.ok:
+                breaker.record_success()
+                self._note_breaker(breaker)
+                self._finish_success(member, member.spec, generator,
+                                     demoted=False, extra=[],
+                                     result=outcome.value)
+                continue
+            self.tracer.count(COUNTERS.SERVER_BATCH_ISOLATED)
+            preset = self._isolation_diag(member, exc=outcome.error)
+            if isinstance(outcome.error, ReproError):
+                # Deterministic model/input fault: answering 422 now is
+                # exactly what re-serving would produce, minus the
+                # wasted re-generation.
+                self._finish_failure(member, breaker, demoted=False,
+                                     extra=[preset], exc=outcome.error,
+                                     retry_index=0)
+                continue
+            # A transient fault inside the batch is an observed failure
+            # of the guarded generator — count it now so a batch whose
+            # members crash together can trip the breaker, instead of
+            # the re-serves' retries outliving the fault burst and
+            # resetting the streak with their eventual successes.
+            breaker.record_failure()
+            self._note_breaker(breaker)
+            await self._serve_item(member, presets=(preset,))
+
+    def _isolation_diag(self, member: _Pending,
+                        exc: Optional[BaseException]) -> Diagnostic:
+        detail = (f" ({type(exc).__name__}: {exc})"
+                  if exc is not None else "")
+        return _diag(
+            "HCG513",
+            f"fault isolated from batchmates{detail}; "
+            f"request re-served individually",
+        )
 
     # ------------------------------------------------------------------
     # Terminal outcomes
@@ -765,14 +1040,15 @@ class CodegenDaemon:
     # Introspection endpoints
     # ------------------------------------------------------------------
     def _healthz(self) -> dict:
-        assert self._queue is not None
+        assert self._table is not None
         return {
             "status": "draining" if self._draining else "ok",
             "uptime_s": round(self._clock() - self._started_at, 3),
-            "queue_depth": self._queue.qsize(),
+            "queue_depth": self._table.qsize(),
             "queue_capacity": self.config.queue_size,
             "in_flight": len(self._in_flight),
             "workers": self.config.workers,
+            "config_generation": self.config_generation,
             "breakers": {
                 name: breaker.state.value
                 for name, breaker in sorted(self._breakers.items())
@@ -780,7 +1056,7 @@ class CodegenDaemon:
         }
 
     def _metrics(self) -> dict:
-        assert self._queue is not None
+        assert self._table is not None
         latencies = sorted(self._latencies_ms)
 
         def percentile(p: float) -> float:
@@ -793,10 +1069,12 @@ class CodegenDaemon:
         accepted = counters.get(COUNTERS.SERVER_REQUESTS_ACCEPTED, 0)
         shed = (counters.get(COUNTERS.SERVER_SHED_QUEUE_FULL, 0)
                 + counters.get(COUNTERS.SERVER_SHED_EXPIRED, 0)
-                + counters.get(COUNTERS.SERVER_SHED_DRAINING, 0))
+                + counters.get(COUNTERS.SERVER_SHED_DRAINING, 0)
+                + counters.get(COUNTERS.SERVER_SHED_TENANT_RATE, 0)
+                + counters.get(COUNTERS.SERVER_SHED_TENANT_QUOTA, 0))
         offered = accepted + shed
         return {
-            "schema": 1,
+            "schema": 2,
             "uptime_s": round(self._clock() - self._started_at, 3),
             "counters": {name: counters[name] for name in sorted(counters)},
             "latency_ms": {
@@ -808,9 +1086,16 @@ class CodegenDaemon:
             },
             "shed_rate": round(shed / offered, 6) if offered else 0.0,
             "queue": {
-                "depth": self._queue.qsize(),
+                "depth": self._table.qsize(),
                 "capacity": self.config.queue_size,
                 "in_flight": len(self._in_flight),
+            },
+            "tenants": self._table.snapshot(),
+            "config": {
+                "generation": self.config_generation,
+                "batch_window_s": self.config.batch_window_s,
+                "batch_max": self.config.batch_max,
+                "deadline_s": self.config.deadline_s,
             },
             "breakers": {
                 name: breaker.snapshot()

@@ -44,13 +44,44 @@ class HttpProtocolError(Exception):
         self.status = status
 
 
+class Headers(Dict[str, str]):
+    """Case-insensitive header mapping (RFC 9110 §5.1).
+
+    Header field names are case-insensitive on the wire: ``X-Tenant``,
+    ``x-tenant`` and ``X-TENANT`` are the same field.  Keys are folded
+    to lowercase on every write, so lookups succeed whatever casing the
+    peer (or the handler) used; iteration yields lowercase names.
+    """
+
+    def __init__(self, items: object = ()) -> None:
+        super().__init__()
+        pairs = items.items() if isinstance(items, dict) else items
+        for name, value in pairs:  # type: ignore[union-attr]
+            self[name] = value
+
+    def __setitem__(self, name: str, value: str) -> None:
+        super().__setitem__(name.lower(), value)
+
+    def __getitem__(self, name: str) -> str:
+        return super().__getitem__(name.lower())
+
+    def __delitem__(self, name: str) -> None:
+        super().__delitem__(name.lower())
+
+    def __contains__(self, name: object) -> bool:
+        return super().__contains__(str(name).lower())
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return super().get(name.lower(), default)
+
+
 @dataclasses.dataclass
 class HttpRequest:
     """One parsed request."""
 
     method: str
     path: str
-    headers: Dict[str, str]
+    headers: Headers
     body: bytes
 
     def json(self) -> dict:
@@ -87,7 +118,7 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
         raise HttpProtocolError(400, f"malformed request line {line!r}")
     method, path, _version = parts
 
-    headers: Dict[str, str] = {}
+    headers = Headers()
     total = 0
     while True:
         try:
@@ -102,7 +133,7 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
         name, sep, value = line.decode("latin-1").partition(":")
         if not sep:
             raise HttpProtocolError(400, f"malformed header line {line!r}")
-        headers[name.strip().lower()] = value.strip()
+        headers[name.strip()] = value.strip()
 
     length_text = headers.get("content-length", "0")
     try:

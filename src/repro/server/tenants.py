@@ -1,0 +1,443 @@
+"""Multi-tenant admission control for the codegen daemon.
+
+The daemon serves many independent clients from shared compute; without
+isolation, one aggressive client starves everyone (the classic noisy
+neighbour).  This module is the serving-side counterpart of the
+compiler-side shared-capacity scheduling in PAPERS.md (MASIM's
+multi-array scheduler): every request is accounted to a *tenant* (the
+``X-Tenant`` header; anonymous traffic shares the ``default`` tenant)
+and three mechanisms keep tenants inside their envelope:
+
+* **token-bucket rate limits** — sustained admission rate with a burst
+  allowance; a tenant over its rate is shed with 429 + an honest
+  ``Retry-After`` computed from the bucket's refill time (HCG511);
+* **per-tenant queue + concurrency quotas** — a tenant may only hold
+  ``max_queued`` slots of the shared admission queue and occupy
+  ``max_concurrency`` workers; beyond the queue quota it is shed with
+  429 (HCG512) *before* it can push the global queue into backpressure
+  for everyone else (global capacity remains HCG502);
+* **weighted-fair dequeue** — workers pull from per-tenant FIFOs under
+  deficit-style weighted round-robin, so a tenant with weight 2 gets
+  twice the service share of a weight-1 tenant when both have work
+  queued, and a backlog in one FIFO never delays another tenant's.
+
+Everything here runs on the daemon's event-loop thread; the asyncio
+condition only orders coroutines, never OS threads.  The clock is
+injected and monotonic (tests drive a fake clock; a wall-clock jump can
+never mint tokens).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import math
+import time
+from collections import OrderedDict, deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.server.config import DEFAULT_TENANT, ServerConfig, TenantLimits
+
+#: distinct tenants tracked before idle ones are evicted (a client
+#: minting random X-Tenant values must not grow daemon memory unboundedly)
+MAX_TRACKED_TENANTS = 1024
+
+
+class TokenBucket:
+    """Monotonic-clock token bucket: ``rate`` tokens/s, ``burst`` cap.
+
+    Refill is lazy (computed at acquire time), the clock is injected,
+    and time running backwards is ignored — tokens are only ever minted
+    by forward monotonic progress.  Property-tested in
+    ``tests/server/test_tenants_property.py``: over *any* acquire
+    schedule the grants never exceed ``burst + rate * elapsed``, and an
+    idle bucket refills to exactly ``burst``.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not rate > 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if not burst >= 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        if now > self._updated:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+        # now <= self._updated: clock stalled or ran backwards — no refill
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refilled to now)."""
+        self._refill(self._clock())
+        return self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        self._refill(self._clock())
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def time_until(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will be available (honest
+        ``Retry-After``; 0.0 if they already are)."""
+        self._refill(self._clock())
+        missing = n - self._tokens
+        if missing <= 0:
+            return 0.0
+        return missing / self.rate
+
+    def reconfigure(self, rate: float, burst: float) -> None:
+        """Hot-reload the envelope; accrued tokens carry over, clamped
+        to the new burst (a reload never mints a free burst)."""
+        self._refill(self._clock())
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = min(self._tokens, self.burst)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShedDecision:
+    """Why one request was refused admission, and what to tell the client."""
+
+    code: str           # HCG502 / HCG511 / HCG512
+    status: int         # always 429 here
+    retry_after_s: int  # honest estimate, >= 1
+    message: str
+
+
+class _TenantState:
+    """Book-keeping of one tracked tenant (event-loop only)."""
+
+    __slots__ = (
+        "name", "limits", "bucket", "queue", "in_flight", "credit",
+        "admitted", "served", "shed_rate", "shed_quota", "last_active",
+    )
+
+    def __init__(self, name: str, limits: TenantLimits,
+                 clock: Callable[[], float]) -> None:
+        self.name = name
+        self.limits = limits
+        self.bucket = TokenBucket(limits.rate, limits.burst, clock)
+        self.queue: Deque[Any] = deque()
+        self.in_flight = 0
+        self.credit = 0
+        self.admitted = 0
+        self.served = 0
+        self.shed_rate = 0
+        self.shed_quota = 0
+        self.last_active = clock()
+
+    def idle(self) -> bool:
+        return not self.queue and self.in_flight == 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "queued": len(self.queue),
+            "in_flight": self.in_flight,
+            "tokens": round(self.bucket.tokens, 3),
+            "admitted": self.admitted,
+            "served": self.served,
+            "shed_rate_limit": self.shed_rate,
+            "shed_quota": self.shed_quota,
+            "limits": self.limits.to_dict(),
+        }
+
+
+class TenantTable:
+    """Per-tenant admission queue with weighted-fair dequeue.
+
+    The daemon's replacement for its former single ``asyncio.Queue``:
+    same lifecycle surface (``qsize``/``join``/forced drain) plus
+    tenant accounting.  All methods run on the event-loop thread.
+    """
+
+    def __init__(self, config: ServerConfig,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._config = config
+        self._clock = clock
+        self._states: "OrderedDict[str, _TenantState]" = OrderedDict()
+        self._order: List[str] = []     # weighted round-robin ring
+        self._cursor = 0
+        self._tenant_of: Dict[Any, str] = {}
+        self._total_queued = 0
+        self._total_in_flight = 0
+        self._unfinished = 0
+        self._cond = asyncio.Condition()
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._config.queue_size
+
+    def reconfigure(self, config: ServerConfig) -> None:
+        """Apply a hot-reloaded config: new capacity, limits, weights.
+
+        Existing buckets keep their accrued tokens (clamped to the new
+        burst) so a reload is never a free burst; queued and in-flight
+        requests are untouched.
+        """
+        self._config = config
+        for state in self._states.values():
+            limits = config.limits_for(state.name)
+            if limits != state.limits:
+                state.limits = limits
+                state.bucket.reconfigure(limits.rate, limits.burst)
+                state.credit = min(state.credit, limits.weight)
+
+    # ------------------------------------------------------------------
+    # Admission (called from request coroutines)
+    # ------------------------------------------------------------------
+    def _state_for(self, tenant: str) -> _TenantState:
+        state = self._states.get(tenant)
+        if state is None:
+            if len(self._states) >= MAX_TRACKED_TENANTS:
+                self._evict_idle()
+            state = _TenantState(tenant, self._config.limits_for(tenant),
+                                 self._clock)
+            self._states[tenant] = state
+            self._order.append(tenant)
+        return state
+
+    def _evict_idle(self) -> None:
+        for name in list(self._states):
+            if name == DEFAULT_TENANT:
+                continue
+            if self._states[name].idle():
+                del self._states[name]
+                self._order.remove(name)
+                if self._order:
+                    self._cursor %= len(self._order)
+                if len(self._states) < MAX_TRACKED_TENANTS:
+                    return
+
+    async def admit(self, tenant: str, item: Any,
+                    backlog_retry_after_s: int) -> Optional[ShedDecision]:
+        """Try to enqueue ``item`` for ``tenant``.
+
+        Returns ``None`` on success, a :class:`ShedDecision` otherwise.
+        Check order: global capacity (HCG502, the whole daemon is
+        saturated), then the tenant's queue quota (HCG512), then its
+        rate bucket (HCG511) — a token is only spent on requests that
+        are actually admitted.
+        """
+        async with self._cond:
+            state = self._state_for(tenant)
+            state.last_active = self._clock()
+            if self._total_queued >= self._config.queue_size:
+                return ShedDecision(
+                    code="HCG502", status=429,
+                    retry_after_s=backlog_retry_after_s,
+                    message=(
+                        f"request queue at capacity "
+                        f"({self._config.queue_size}); "
+                        f"retry in ~{backlog_retry_after_s}s"
+                    ),
+                )
+            if len(state.queue) >= state.limits.max_queued:
+                retry_after = max(1, backlog_retry_after_s)
+                return ShedDecision(
+                    code="HCG512", status=429, retry_after_s=retry_after,
+                    message=(
+                        f"tenant {tenant!r} queue quota "
+                        f"({state.limits.max_queued}) exhausted; "
+                        f"retry in ~{retry_after}s"
+                    ),
+                )
+            if not state.bucket.try_acquire():
+                retry_after = max(1, math.ceil(state.bucket.time_until()))
+                return ShedDecision(
+                    code="HCG511", status=429, retry_after_s=retry_after,
+                    message=(
+                        f"tenant {tenant!r} rate limit "
+                        f"({state.limits.rate:g}/s, burst "
+                        f"{state.limits.burst}) exceeded; "
+                        f"retry in ~{retry_after}s"
+                    ),
+                )
+            state.queue.append(item)
+            state.admitted += 1
+            self._tenant_of[item] = tenant
+            self._total_queued += 1
+            self._unfinished += 1
+            self._cond.notify_all()
+            return None
+
+    def record_shed(self, tenant: str, code: str) -> None:
+        """Account a shed decision to its tenant (for /metrics)."""
+        state = self._states.get(tenant)
+        if state is None:
+            return
+        if code == "HCG511":
+            state.shed_rate += 1
+        elif code == "HCG512":
+            state.shed_quota += 1
+
+    # ------------------------------------------------------------------
+    # Dequeue (called from worker coroutines)
+    # ------------------------------------------------------------------
+    def _serviceable(self, state: _TenantState) -> bool:
+        return bool(state.queue) and state.in_flight < state.limits.max_concurrency
+
+    def _take_from(self, state: _TenantState) -> Any:
+        item = state.queue.popleft()
+        state.in_flight += 1
+        state.served += 1
+        state.last_active = self._clock()
+        self._total_queued -= 1
+        self._total_in_flight += 1
+        return item
+
+    def _pick(self) -> Optional[Any]:
+        """Deficit-weighted round-robin over serviceable tenants.
+
+        The cursor stays on a tenant while it has both queued work and
+        remaining credit (recharged to ``weight`` each turn), so a
+        weight-2 tenant is served twice per ring pass of a weight-1
+        tenant; tenants at their concurrency cap are skipped without
+        losing their turn.
+        """
+        order = self._order
+        if not order:
+            return None
+        for _ in range(len(order)):
+            name = order[self._cursor % len(order)]
+            state = self._states[name]
+            if self._serviceable(state):
+                if state.credit <= 0:
+                    state.credit = state.limits.weight
+                state.credit -= 1
+                item = self._take_from(state)
+                if state.credit <= 0 or not state.queue:
+                    state.credit = 0
+                    self._cursor = (self._cursor + 1) % len(order)
+                return item
+            self._cursor = (self._cursor + 1) % len(order)
+        return None
+
+    async def next(self) -> Any:
+        """The next item to serve (waits until one is eligible)."""
+        async with self._cond:
+            while True:
+                item = self._pick()
+                if item is not None:
+                    return item
+                await self._cond.wait()
+
+    async def collect_compatible(self, predicate: Callable[[Any], bool],
+                                 limit: int, window_s: float) -> List[Any]:
+        """Extract up to ``limit`` queued items matching ``predicate``.
+
+        Used by the request batcher: waits up to ``window_s`` for
+        matching items to arrive, honouring each tenant's concurrency
+        quota (extracted items count as in-flight immediately).  Items
+        are taken in ring order across tenants, FIFO within a tenant.
+        """
+        collected: List[Any] = []
+        if limit <= 0 or window_s < 0:
+            return collected
+        deadline = self._clock() + window_s
+        async with self._cond:
+            while True:
+                for name in list(self._order):
+                    state = self._states[name]
+                    room = state.limits.max_concurrency - state.in_flight
+                    if room <= 0 or not state.queue:
+                        continue
+                    keep: Deque[Any] = deque()
+                    while state.queue and room > 0 and len(collected) < limit:
+                        item = state.queue.popleft()
+                        if predicate(item):
+                            state.in_flight += 1
+                            state.served += 1
+                            self._total_queued -= 1
+                            self._total_in_flight += 1
+                            collected.append(item)
+                            room -= 1
+                        else:
+                            keep.append(item)
+                    keep.extend(state.queue)
+                    state.queue = keep
+                    if len(collected) >= limit:
+                        break
+                remaining = deadline - self._clock()
+                if len(collected) >= limit or remaining <= 0:
+                    return collected
+                try:
+                    await asyncio.wait_for(self._cond.wait(),
+                                           timeout=remaining)
+                except asyncio.TimeoutError:
+                    return collected
+
+    async def done(self, item: Any) -> None:
+        """An item handed out by :meth:`next`/:meth:`collect_compatible`
+        finished service (answered, shed, or abandoned)."""
+        async with self._cond:
+            tenant = self._tenant_of.pop(item, None)
+            if tenant is None:
+                return
+            state = self._states.get(tenant)
+            if state is not None:
+                state.in_flight = max(0, state.in_flight - 1)
+                state.last_active = self._clock()
+            self._total_in_flight = max(0, self._total_in_flight - 1)
+            self._unfinished = max(0, self._unfinished - 1)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (drain)
+    # ------------------------------------------------------------------
+    def qsize(self) -> int:
+        return self._total_queued
+
+    def in_flight(self) -> int:
+        return self._total_in_flight
+
+    async def join(self) -> None:
+        """Wait until every admitted item has been marked done."""
+        async with self._cond:
+            while self._unfinished:
+                await self._cond.wait()
+
+    async def drain_items(self) -> List[Any]:
+        """Forced drain: pop everything still queued (the caller answers
+        them HCG508); in-flight items are untouched."""
+        async with self._cond:
+            abandoned: List[Any] = []
+            for state in self._states.values():
+                while state.queue:
+                    item = state.queue.popleft()
+                    self._tenant_of.pop(item, None)
+                    self._total_queued -= 1
+                    self._unfinished = max(0, self._unfinished - 1)
+                    abandoned.append(item)
+            self._cond.notify_all()
+            return abandoned
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready per-tenant accounting for ``/metrics``."""
+        return {
+            name: state.snapshot()
+            for name, state in sorted(self._states.items())
+        }

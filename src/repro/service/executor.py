@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -69,6 +70,9 @@ class TaskOutcome:
     label: str
     value: Any = None
     error: Optional[BaseException] = None
+    #: wall-clock seconds the task ran (0.0 for a timed-out task whose
+    #: thread is still burning — the caller only sees the budget)
+    elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -132,11 +136,13 @@ class ParallelExecutor:
 
     def _run_one(self, fn, index: int, item: Any, label) -> TaskOutcome:
         outcome = TaskOutcome(index=index, label=label(index, item))
+        started = time.perf_counter()
         if self.timeout_s is None:
             try:
                 outcome.value = fn(item)
             except BaseException as exc:  # fault-isolation: one task must not poison the pool
                 outcome.error = exc
+            outcome.elapsed_s = time.perf_counter() - started
             return outcome
         # Timed path: the task runs on a joinable daemon thread so a
         # hung cell cannot stall the batch (the thread itself cannot be
@@ -157,6 +163,7 @@ class ParallelExecutor:
                 index=index, label=outcome.label,
                 error=TaskTimeoutError(outcome.label, self.timeout_s),
             )
+        outcome.elapsed_s = time.perf_counter() - started
         return outcome
 
     # ------------------------------------------------------------------

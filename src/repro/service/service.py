@@ -225,6 +225,25 @@ class CodegenService:
         executor.raise_first(outcomes)
         return [outcome.value for outcome in outcomes]
 
+    def generate_outcomes(self, requests: Sequence["object"],
+                          jobs: Optional[int] = None) -> List["object"]:
+        """Serve a batch with per-request fault isolation.
+
+        Like :meth:`generate_many` but returns the raw
+        :class:`~repro.service.executor.TaskOutcome` list (input order)
+        instead of raising on the first failure — one poisoned request
+        must not fail its batchmates.  This is the entry point the
+        daemon's request coalescer uses: a whole coalesced batch is one
+        ``ParallelExecutor`` pass.
+        """
+        executor = ParallelExecutor(jobs if jobs is not None else self.jobs,
+                                    self.tracer,
+                                    timeout_s=self.task_timeout_s)
+        return executor.map(
+            self.generate, list(requests),
+            label=lambda index, req: f"{req.generator}:{index}",
+        )
+
     # ------------------------------------------------------------------
     def _build_generator(self, name: str, arch, options: CodegenOptions,
                          tracer):

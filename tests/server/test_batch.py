@@ -1,0 +1,239 @@
+"""Request coalescing: compatibility, fault isolation, byte-identity.
+
+Unit tests drive :mod:`repro.server.batch` directly; the end-to-end
+tests boot a daemon with a wide batch window and assert HCG513
+isolation plus responses identical to unbatched serving.
+"""
+
+import contextlib
+import http.client
+import io
+import json
+import threading
+import time
+import types
+
+import pytest
+
+from repro.api import GenerateRequest
+from repro.errors import ReproError
+from repro.server import ChaosMonkey, CodegenDaemon, ServerConfig
+from repro.server.batch import BatchTask, compatible, run_batch, summarize
+from repro.server.chaos import ChaosFault
+from repro.service.service import CodegenService
+
+
+def spec(generator="hcg", verify=False):
+    return types.SimpleNamespace(generator=generator, verify=verify)
+
+
+class TestCompatible:
+    def test_same_generator_unverified_requests_coalesce(self):
+        assert compatible(spec(), spec()) is True
+
+    def test_verify_requests_never_coalesce(self):
+        assert compatible(spec(verify=True), spec()) is False
+        assert compatible(spec(), spec(verify=True)) is False
+
+    def test_cross_generator_requests_never_coalesce(self):
+        assert compatible(spec("hcg"), spec("dfsynth")) is False
+
+
+def request_for(model="FIR"):
+    return GenerateRequest(model=model, generator="hcg")
+
+
+class TestRunBatch:
+    def test_outcomes_in_input_order(self):
+        service = CodegenService(cache=None, jobs=2)
+        tasks = [BatchTask(request=request_for(m), tenant="t")
+                 for m in ("FIR", "DCT", "FIR")]
+        outcomes = run_batch(service, tasks)
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert all(o.ok for o in outcomes)
+        assert outcomes[0].value.model == "FIR"
+        assert outcomes[1].value.model == "DCT"
+
+    def test_results_identical_to_unbatched_service_calls(self):
+        service = CodegenService(cache=None, jobs=4)
+        requests = [request_for(m) for m in ("FIR", "DCT", "Conv")]
+        solo = [service.generate(r) for r in requests]
+        batched = run_batch(
+            service, [BatchTask(request=r, tenant="t") for r in requests])
+        for alone, outcome in zip(solo, batched):
+            assert outcome.ok
+            # byte-identical artifacts: same C source, same metadata
+            assert outcome.value.c_source == alone.c_source
+            assert outcome.value.model == alone.model
+            assert outcome.value.generator == alone.generator
+
+    def test_one_bad_request_is_isolated_from_batchmates(self):
+        service = CodegenService(cache=None, jobs=2)
+        tasks = [
+            BatchTask(request=request_for("FIR"), tenant="a"),
+            BatchTask(request=request_for("no_such_model.xml"), tenant="b"),
+            BatchTask(request=request_for("DCT"), tenant="a"),
+        ]
+        outcomes = run_batch(service, tasks)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert isinstance(outcomes[1].error, ReproError)
+        report = summarize(outcomes)
+        assert report == {"size": 3, "ok": 2, "isolated": 1}
+
+    def test_chaos_faults_hit_only_their_member(self):
+        service = CodegenService(cache=None, jobs=1)
+        chaos = ChaosMonkey(plan={"worker_crash": [1]})
+        tasks = [BatchTask(request=request_for("FIR"), tenant="t")
+                 for _ in range(3)]
+        outcomes = run_batch(service, tasks, chaos=chaos)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert isinstance(outcomes[1].error, ChaosFault)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the daemon's coalescing path
+# ----------------------------------------------------------------------
+FAST = dict(port=0, workers=1, queue_size=32, deadline_s=10.0,
+            drain_grace_s=10.0, breaker_threshold=50,
+            breaker_cooldown_s=0.2)
+
+
+@contextlib.contextmanager
+def running_daemon(config, chaos=None):
+    daemon = CodegenDaemon(CodegenService(cache=None, jobs=4), config,
+                           log_stream=io.StringIO())
+    if chaos is not None:
+        daemon.chaos = chaos
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    port = daemon.wait_ready()
+    try:
+        yield daemon, port
+    finally:
+        daemon.request_drain_threadsafe()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+def post(port, payload, path="/generate"):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("POST", path, body=json.dumps(payload).encode())
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def fire_concurrently(port, payloads):
+    results = [None] * len(payloads)
+
+    def one(i):
+        results[i] = post(port, payloads[i])
+
+    threads = [threading.Thread(target=one, args=(i,))
+               for i in range(len(payloads))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    return results
+
+
+class TestDaemonCoalescing:
+    def test_queued_compatible_requests_ride_one_batch(self):
+        # one worker, stalled by a slow first request: the followers
+        # queue up inside the (wide) batch window and coalesce
+        config = ServerConfig(batch_window_s=0.5, batch_max=8, **FAST)
+        chaos = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=0.4)
+        with running_daemon(config, chaos=chaos) as (daemon, port):
+            blocker = threading.Thread(
+                target=post, args=(port, {"model": "FIR", "scale": 16,
+                                          "include_source": False}))
+            blocker.start()
+            time.sleep(0.1)  # the blocker owns the only worker
+            payloads = [{"model": "DCT", "scale": 16, "include_source": False}
+                        for _ in range(4)]
+            results = fire_concurrently(port, payloads)
+            blocker.join(timeout=30)
+            counters = dict(daemon.tracer.counters)
+        assert all(status == 200 for status, _ in results)
+        assert counters.get("server.batch.dispatched", 0) >= 1
+        assert counters.get("server.batch.requests", 0) >= 2
+
+    def test_batched_response_equals_unbatched_response(self):
+        payload = {"model": "FIR", "scale": 16, "seed": 7}
+        solo_config = ServerConfig(batch_window_s=0.0, batch_max=1, **FAST)
+        with running_daemon(solo_config) as (_, port):
+            status, solo = post(port, payload)
+            assert status == 200
+
+        batch_config = ServerConfig(batch_window_s=0.5, batch_max=8, **FAST)
+        chaos = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=0.4)
+        with running_daemon(batch_config, chaos=chaos) as (daemon, port):
+            blocker = threading.Thread(
+                target=post, args=(port, {"model": "DCT", "scale": 16,
+                                          "include_source": False}))
+            blocker.start()
+            time.sleep(0.1)  # the blocker owns the only worker
+            results = fire_concurrently(port, [payload, payload])
+            blocker.join(timeout=30)
+            counters = daemon.tracer.counters
+            assert counters.get("server.batch.dispatched", 0) >= 1
+
+        for status, body in results:
+            assert status == 200
+            # byte-identical artifact and metadata, batched or not
+            assert body["c_source"] == solo["c_source"]
+            assert body["model"] == solo["model"]
+            assert body["generator"] == solo["generator"]
+
+    def test_batchmate_fault_is_isolated_with_hcg513(self):
+        config = ServerConfig(batch_window_s=0.5, batch_max=8, **FAST)
+        chaos = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=0.4)
+        with running_daemon(config, chaos=chaos) as (daemon, port):
+            blocker = threading.Thread(
+                target=post, args=(port, {"model": "FIR", "scale": 16,
+                                          "include_source": False}))
+            blocker.start()
+            time.sleep(0.1)
+            results = fire_concurrently(port, [
+                {"model": "DCT", "scale": 16, "include_source": False},
+                {"model": "no_such_model.xml"},  # the poisoned batchmate
+                {"model": "DCT", "scale": 16, "include_source": False},
+            ])
+            blocker.join(timeout=30)
+
+        statuses = sorted(status for status, _ in results)
+        assert statuses == [200, 200, 422]
+        poisoned = next(body for status, body in results if status == 422)
+        assert "HCG513" in [d["code"] for d in poisoned.get("diagnostics", ())]
+
+    def test_verify_requests_are_never_coalesced(self):
+        config = ServerConfig(batch_window_s=0.5, batch_max=8, **FAST)
+        chaos = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=0.4)
+        with running_daemon(config, chaos=chaos) as (daemon, port):
+            blocker = threading.Thread(
+                target=post, args=(port, {"model": "FIR", "scale": 16,
+                                          "include_source": False}))
+            blocker.start()
+            time.sleep(0.1)
+            results = [None] * 3
+
+            def verify_one(i):
+                results[i] = post(
+                    port, {"model": "DCT", "scale": 8,
+                           "include_source": False}, path="/verify")
+
+            threads = [threading.Thread(target=verify_one, args=(i,))
+                       for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            blocker.join(timeout=30)
+            counters = dict(daemon.tracer.counters)
+        assert all(status == 200 for status, _ in results)
+        assert all(body["verified"] is True for _, body in results)
+        assert counters.get("server.batch.dispatched", 0) == 0

@@ -95,6 +95,83 @@ class TestHalfOpenProbe:
         assert breaker.state is BreakerState.HALF_OPEN
 
 
+class TestHalfOpenConcurrency:
+    def trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_half_open_single_probe_under_concurrency(self, clock):
+        """Regression: the HALF_OPEN probe admission is check-then-act;
+        without the internal lock, racing callers could all see
+        ``probe_in_flight == False`` and fly multiple probes."""
+        import threading
+
+        breaker = CircuitBreaker("hcg", threshold=3, cooldown_s=2.0,
+                                 clock=clock)
+        self.trip(breaker)
+        clock.advance(2.1)
+        admitted = []
+        admitted_lock = threading.Lock()
+        barrier = threading.Barrier(16)
+
+        def contend():
+            barrier.wait()
+            if breaker.allow():
+                with admitted_lock:
+                    admitted.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=contend) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(admitted) == 1, f"{len(admitted)} probes flew at once"
+
+    def test_lost_probe_is_reclaimed_after_a_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(2.1)
+        assert breaker.allow() is True   # the probe flies...
+        assert breaker.allow() is False  # ...and is never reported back
+        clock.advance(1.9)
+        assert breaker.allow() is False  # reclaim needs a full cooldown
+        clock.advance(0.2)
+        assert breaker.allow() is True   # reclaimed: a new probe may fly
+        assert breaker.allow() is False  # still exactly one at a time
+
+    def test_success_while_open_does_not_wedge_the_cooldown(self, breaker,
+                                                            clock):
+        # A coalesced batch can report a success concurrently with the
+        # failure that tripped the breaker; the cooldown clock must
+        # survive it or OPEN never lazily becomes HALF_OPEN again.
+        self.trip(breaker)
+        breaker.record_success()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(2.1)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow() is True
+
+
+class TestReconfigure:
+    def test_lowered_threshold_applies_to_new_failures(self, breaker):
+        breaker.record_failure()
+        breaker.reconfigure(threshold=1, cooldown_s=2.0)
+        assert breaker.state is BreakerState.CLOSED  # not retroactive
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_open_breaker_keeps_its_cooldown_clock(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.reconfigure(threshold=3, cooldown_s=0.5)
+        assert breaker.state is BreakerState.HALF_OPEN  # 1.0s >= new 0.5s
+
+    def test_reconfigure_validates_threshold(self, breaker):
+        with pytest.raises(ValueError, match="threshold"):
+            breaker.reconfigure(threshold=0, cooldown_s=1.0)
+
+
 class TestObservability:
     def test_transitions_are_logged_in_order(self, breaker, clock):
         for _ in range(3):

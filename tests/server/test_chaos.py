@@ -19,6 +19,7 @@ class TestValidation:
     def test_known_faults_cover_the_harness(self):
         assert set(KNOWN_CHAOS) == {
             "worker_crash", "slow_generator", "cache_corrupt", "disk_full",
+            "noisy_neighbor",
         }
 
 

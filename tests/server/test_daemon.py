@@ -55,9 +55,9 @@ class Http:
     def __init__(self, port):
         self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
 
-    def request(self, method, path, payload=None):
+    def request(self, method, path, payload=None, headers=None):
         body = json.dumps(payload).encode() if payload is not None else None
-        self.conn.request(method, path, body=body)
+        self.conn.request(method, path, body=body, headers=headers or {})
         response = self.conn.getresponse()
         data = json.loads(response.read())
         headers = dict(response.getheaders())
@@ -296,6 +296,79 @@ class TestCircuitBreaker:
             assert status == 200
             _, metrics, _ = c.request("GET", "/metrics")
             assert metrics["counters"].get("server.breaker.trips", 0) == 0
+
+
+class TestTenants:
+    def test_x_tenant_header_routes_accounting(self):
+        with running_daemon() as (daemon, port), client(port) as c:
+            payload = {"model": "FIR", "scale": 16, "include_source": False}
+            status, _, _ = c.request("POST", "/generate", payload,
+                                     headers={"X-Tenant": "acme"})
+            assert status == 200
+            _, metrics, _ = c.request("GET", "/metrics")
+            assert metrics["tenants"]["acme"]["served"] == 1
+
+    def test_tenant_rate_shed_is_429_hcg511_with_retry_after(self):
+        from repro.server import TenantLimits
+
+        config = make_config(tenants={
+            "greedy": TenantLimits(rate=0.1, burst=2),
+        })
+        with running_daemon(config) as (_, port), client(port) as c:
+            payload = {"model": "FIR", "scale": 16, "include_source": False}
+            answers = [c.request("POST", "/generate", payload,
+                                 headers={"x-tenant": "greedy"})
+                       for _ in range(3)]
+            assert [status for status, _, _ in answers[:2]] == [200, 200]
+            status, body, headers = answers[2]
+            assert status == 429
+            assert body["code"] == "HCG511"
+            assert body["tenant"] == "greedy"
+            assert int(headers["Retry-After"]) >= 1
+            # anonymous traffic is unaffected by the greedy tenant
+            status, _, _ = c.request("POST", "/generate", payload)
+            assert status == 200
+
+    def test_tenant_queue_quota_shed_is_429_hcg512(self):
+        from repro.server import TenantLimits
+
+        chaos = ChaosMonkey(plan={"slow_generator": list(range(8))},
+                            slow_s=1.0)
+        config = make_config(workers=1, tenants={
+            "bursty": TenantLimits(max_queued=1, max_concurrency=1),
+        })
+        with running_daemon(config, chaos=chaos) as (_, port):
+            answers = []
+            lock = threading.Lock()
+
+            def fire():
+                with client(port) as c:
+                    result = c.request(
+                        "POST", "/generate",
+                        {"model": "FIR", "scale": 16,
+                         "include_source": False, "deadline_s": 4.0},
+                        headers={"X-Tenant": "bursty"})
+                    with lock:
+                        answers.append(result)
+
+            threads = [threading.Thread(target=fire) for _ in range(5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            quota_shed = [r for r in answers
+                          if r[0] == 429 and r[1]["code"] == "HCG512"]
+            assert quota_shed, f"no HCG512 in {[r[1].get('code') for r in answers]}"
+            assert int(quota_shed[0][2]["Retry-After"]) >= 1
+
+    def test_invalid_tenant_name_is_a_400(self):
+        with running_daemon() as (_, port), client(port) as c:
+            status, body, _ = c.request(
+                "POST", "/generate",
+                {"model": "FIR", "scale": 16, "include_source": False},
+                headers={"X-Tenant": "no spaces allowed"})
+            assert status == 400
+            assert "X-Tenant" in body["error"]
 
 
 class TestDrain:

@@ -98,3 +98,46 @@ class TestResponseBytes:
     def test_close_header(self):
         raw = response_bytes(503, {}, keep_alive=False)
         assert b"Connection: close" in raw
+
+
+class TestHeaders:
+    def test_lookup_is_case_insensitive(self):
+        from repro.server.http import Headers
+
+        headers = Headers({"X-Tenant": "acme"})
+        assert headers["x-tenant"] == "acme"
+        assert headers["X-TENANT"] == "acme"
+        assert headers.get("X-Tenant") == "acme"
+        assert "x-TeNaNt" in headers
+        assert headers.get("missing", "fallback") == "fallback"
+
+    def test_last_write_wins_whatever_the_casing(self):
+        from repro.server.http import Headers
+
+        headers = Headers()
+        headers["Content-Type"] = "text/plain"
+        headers["content-type"] = "application/json"
+        assert len(headers) == 1
+        assert headers["CONTENT-TYPE"] == "application/json"
+        del headers["Content-type"]
+        assert "content-type" not in headers
+
+    def test_init_accepts_dicts_and_pairs(self):
+        from repro.server.http import Headers
+
+        assert Headers([("A", "1"), ("B", "2")])["a"] == "1"
+        assert dict(Headers({"A": "1"})) == {"a": "1"}
+
+    def test_read_request_folds_header_case(self):
+        raw = (b"POST /generate HTTP/1.1\r\n"
+               b"X-TENANT: acme\r\n"
+               b"CONTENT-length: 2\r\n"
+               b"\r\n{}")
+        request = parse(raw)
+        assert request.headers.get("x-tenant") == "acme"
+        assert request.headers.get("X-Tenant") == "acme"
+        assert request.json() == {}
+
+    def test_connection_close_detected_case_insensitively(self):
+        raw = b"GET /healthz HTTP/1.1\r\nCONNECTION: Close\r\n\r\n"
+        assert parse(raw).keep_alive is False

@@ -1,0 +1,302 @@
+"""Hot config reload: validation, atomicity, and the admin endpoints.
+
+Unit tests cover :mod:`repro.server.config` (the validate-then-swap
+contract); the daemon tests drive ``POST /admin/reload`` / ``GET
+/admin/config`` / SIGHUP over real HTTP and assert in-flight requests
+survive a reload.
+"""
+
+import contextlib
+import http.client
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.server import ChaosMonkey, CodegenDaemon, ServerConfig
+from repro.server.config import (
+    IMMUTABLE_FIELDS,
+    RELOADABLE_FIELDS,
+    ConfigError,
+    TenantLimits,
+    apply_overrides,
+    load_config_overrides,
+    parse_tenant_spec,
+)
+from repro.server.retry import RetryPolicy
+from repro.service.service import CodegenService
+
+
+class TestApplyOverrides:
+    def test_reloadable_scalar_fields_change(self):
+        config = ServerConfig()
+        new, changed = apply_overrides(config, {"queue_size": 7,
+                                                "deadline_s": 2.5})
+        assert new.queue_size == 7
+        assert new.deadline_s == 2.5
+        assert changed == ["deadline_s", "queue_size"]
+        assert config.queue_size == 64  # original untouched
+
+    def test_immutable_fields_are_rejected(self):
+        for field in ("port", "workers", "chaos_rate"):
+            with pytest.raises(ConfigError, match="boot-time only"):
+                apply_overrides(ServerConfig(), {field: 1})
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config field"):
+            apply_overrides(ServerConfig(), {"qeue_size": 7})
+
+    def test_invalid_values_are_rejected_atomically(self):
+        config = ServerConfig()
+        with pytest.raises(ConfigError):
+            apply_overrides(config, {"queue_size": 0, "deadline_s": 5.0})
+        assert config.queue_size == 64
+
+    def test_retry_overrides_merge_into_the_policy(self):
+        config = ServerConfig(retry=RetryPolicy(attempts=3))
+        new, changed = apply_overrides(config, {"retry": {"attempts": 5}})
+        assert new.retry.attempts == 5
+        assert changed == ["retry"]
+        with pytest.raises(ConfigError, match="retry"):
+            apply_overrides(config, {"retry": {"bogus": 1}})
+
+    def test_tenant_overrides_merge_per_name(self):
+        config = ServerConfig(tenants={"a": TenantLimits(rate=5.0)})
+        new, _ = apply_overrides(config, {"tenants": {
+            "a": {"burst": 3},          # merges into the existing entry
+            "b": {"rate": 9.0},         # new entry, based on the default
+        }})
+        assert new.tenants["a"].rate == 5.0
+        assert new.tenants["a"].burst == 3
+        assert new.tenants["b"].rate == 9.0
+
+    def test_null_removes_a_tenant_override(self):
+        config = ServerConfig(tenants={"a": TenantLimits(rate=5.0)})
+        new, changed = apply_overrides(config, {"tenants": {"a": None}})
+        assert "a" not in new.tenants
+        assert changed == ["tenants"]
+
+    def test_bad_tenant_limit_values_are_rejected(self):
+        with pytest.raises(ConfigError, match="rate"):
+            apply_overrides(ServerConfig(), {"tenants": {"a": {"rate": -1}}})
+        with pytest.raises(ConfigError, match="unknown limit field"):
+            apply_overrides(ServerConfig(), {"tenants": {"a": {"speed": 1}}})
+        with pytest.raises(ConfigError, match="invalid tenant name"):
+            apply_overrides(ServerConfig(), {"tenants": {"a b": {"rate": 1}}})
+
+    def test_no_field_is_both_reloadable_and_immutable(self):
+        assert not set(RELOADABLE_FIELDS) & set(IMMUTABLE_FIELDS)
+
+
+class TestConfigFile:
+    def test_round_trips_a_json_document(self, tmp_path):
+        path = tmp_path / "overrides.json"
+        path.write_text(json.dumps({"queue_size": 9}))
+        assert load_config_overrides(str(path)) == {"queue_size": 9}
+
+    def test_missing_and_invalid_files_raise_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_config_overrides(str(tmp_path / "nope.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_config_overrides(str(bad))
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2]")
+        with pytest.raises(ConfigError, match="JSON object"):
+            load_config_overrides(str(array))
+
+
+class TestTenantSpec:
+    def test_parses_a_full_spec(self):
+        name, overrides = parse_tenant_spec(
+            "noisy:rate=5,burst=10,max_concurrency=2,weight=1")
+        assert name == "noisy"
+        assert overrides == {"rate": 5.0, "burst": 10,
+                             "max_concurrency": 2, "weight": 1}
+
+    @pytest.mark.parametrize("text", [
+        "noisy", "bad name:rate=1", "noisy:", "noisy:rate", "noisy:speed=1",
+        "noisy:rate=fast",
+    ])
+    def test_malformed_specs_are_rejected(self, text):
+        with pytest.raises(ConfigError):
+            parse_tenant_spec(text)
+
+
+# ----------------------------------------------------------------------
+# Daemon admin endpoints
+# ----------------------------------------------------------------------
+def make_config(**overrides):
+    base = dict(port=0, workers=2, queue_size=8, deadline_s=5.0,
+                drain_grace_s=10.0)
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+@contextlib.contextmanager
+def running_daemon(config=None, chaos=None):
+    daemon = CodegenDaemon(CodegenService(cache=None), config or make_config(),
+                           log_stream=io.StringIO())
+    if chaos is not None:
+        daemon.chaos = chaos
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    port = daemon.wait_ready()
+    try:
+        yield daemon, port
+    finally:
+        daemon.request_drain_threadsafe()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+def call(port, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestAdminEndpoints:
+    def test_admin_config_reports_the_reloadable_view(self):
+        with running_daemon() as (_, port):
+            status, body = call(port, "GET", "/admin/config")
+            assert status == 200
+            assert body["generation"] == 0
+            assert body["reloadable"]["queue_size"] == 8
+            assert "default_tenant" in body["reloadable"]
+
+    def test_reload_swaps_config_and_bumps_the_generation(self):
+        with running_daemon() as (daemon, port):
+            status, body = call(port, "POST", "/admin/reload",
+                                {"deadline_s": 2.0, "queue_size": 16})
+            assert status == 200
+            assert sorted(body["reloaded"]) == ["deadline_s", "queue_size"]
+            assert body["generation"] == 1
+            assert body["config"]["deadline_s"] == 2.0
+            assert "HCG515" in [d["code"] for d in body["diagnostics"]]
+            assert daemon.config.queue_size == 16
+            status, health = call(port, "GET", "/healthz")
+            assert health["config_generation"] == 1
+            assert health["queue_capacity"] == 16
+
+    def test_invalid_reload_is_rejected_with_hcg514_and_nothing_changes(self):
+        with running_daemon() as (daemon, port):
+            before = daemon.config
+            status, body = call(port, "POST", "/admin/reload",
+                                {"queue_size": 0})
+            assert status == 400
+            assert "HCG514" in [d["code"] for d in body["diagnostics"]]
+            assert daemon.config is before
+            assert daemon.config_generation == 0
+            status, body = call(port, "POST", "/admin/reload",
+                                {"port": 9999})
+            assert status == 400
+            assert "boot-time only" in body["error"]
+
+    def test_reload_without_body_or_config_path_is_a_400(self):
+        with running_daemon() as (_, port):
+            status, body = call(port, "POST", "/admin/reload")
+            assert status == 400
+            assert "config" in body["error"]
+
+    def test_reload_without_body_rereads_the_config_file(self, tmp_path):
+        path = tmp_path / "overrides.json"
+        path.write_text(json.dumps({"queue_size": 5}))
+        config = make_config(config_path=str(path))
+        with running_daemon(config) as (daemon, port):
+            status, body = call(port, "POST", "/admin/reload")
+            assert status == 200
+            assert daemon.config.queue_size == 5
+            # file edits take effect on the next reload
+            path.write_text(json.dumps({"queue_size": 6}))
+            status, body = call(port, "POST", "/admin/reload")
+            assert status == 200
+            assert daemon.config.queue_size == 6
+            assert body["generation"] == 2
+
+    def test_sighup_handler_applies_the_config_file(self, tmp_path):
+        # A threaded daemon cannot own process signals, so this invokes
+        # the registered handler on the daemon's loop — exactly what
+        # ``loop.add_signal_handler(SIGHUP, ...)`` does on delivery.
+        path = tmp_path / "overrides.json"
+        path.write_text(json.dumps({"deadline_s": 1.5}))
+        config = make_config(config_path=str(path))
+        with running_daemon(config) as (daemon, port):
+            daemon._loop.call_soon_threadsafe(daemon._on_sighup)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if daemon.config.deadline_s == 1.5:
+                    break
+                time.sleep(0.05)
+            assert daemon.config.deadline_s == 1.5
+            assert daemon.config_generation == 1
+
+    def test_sighup_without_config_path_is_a_logged_noop(self):
+        with running_daemon() as (daemon, port):
+            daemon._loop.call_soon_threadsafe(daemon._on_sighup)
+            time.sleep(0.2)
+            assert daemon.config_generation == 0
+            status, _ = call(port, "GET", "/healthz")
+            assert status == 200  # still serving
+
+    def test_reloaded_tenant_limits_take_effect_for_new_admissions(self):
+        with running_daemon() as (_, port):
+            payload = {"model": "FIR", "scale": 16, "include_source": False}
+            status, _ = call(port, "POST", "/generate", payload)
+            assert status == 200
+            status, _ = call(port, "POST", "/admin/reload", {
+                "tenants": {"greedy": {"rate": 0.001, "burst": 1}},
+            })
+            assert status == 200
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                statuses = []
+                for _ in range(2):
+                    conn.request("POST", "/generate",
+                                 body=json.dumps(payload).encode(),
+                                 headers={"X-Tenant": "greedy"})
+                    response = conn.getresponse()
+                    statuses.append(
+                        (response.status, json.loads(response.read())))
+                assert statuses[0][0] == 200
+                assert statuses[1][0] == 429
+                assert statuses[1][1]["code"] == "HCG511"
+                assert statuses[1][1]["tenant"] == "greedy"
+            finally:
+                conn.close()
+
+    def test_in_flight_requests_survive_a_reload(self):
+        chaos = ChaosMonkey(plan={"slow_generator": [0]}, slow_s=0.6)
+        with running_daemon(make_config(workers=1), chaos=chaos) \
+                as (daemon, port):
+            results = {}
+
+            def slow():
+                results["slow"] = call(
+                    port, "POST", "/generate",
+                    {"model": "FIR", "scale": 16, "include_source": False})
+
+            slow_thread = threading.Thread(target=slow)
+            slow_thread.start()
+            time.sleep(0.2)  # in flight now
+            status, _ = call(port, "POST", "/admin/reload",
+                             {"queue_size": 4, "deadline_s": 3.0})
+            assert status == 200
+            slow_thread.join(timeout=30)
+            # admitted before the reload, answered after it: no drop
+            assert results["slow"][0] == 200
+
+    def test_admin_paths_reject_wrong_methods(self):
+        with running_daemon() as (_, port):
+            status, _ = call(port, "POST", "/admin/config")
+            assert status == 405
+            status, _ = call(port, "GET", "/admin/reload")
+            assert status == 405

@@ -1,0 +1,93 @@
+"""Property tests for the admission token bucket (Hypothesis).
+
+The bucket is the daemon's rate-limit arithmetic; these properties pin
+the envelope over *arbitrary* acquire/advance schedules, not just the
+handful of unit scenarios:
+
+* grants can never exceed ``burst + rate * elapsed`` (no schedule mints
+  tokens out of thin air);
+* an idle bucket refills to exactly ``burst`` — never beyond;
+* a clock that stalls or runs backwards mints nothing.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.tenants import TokenBucket
+
+
+class ScriptClock:
+    """A clock the test advances explicitly (monotonic by construction
+    unless a step is negative on purpose)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+rates = st.floats(min_value=0.1, max_value=1000.0,
+                  allow_nan=False, allow_infinity=False)
+bursts = st.integers(min_value=1, max_value=100)
+
+#: one schedule step: advance the clock by `dt` then try one acquire
+steps = st.lists(
+    st.floats(min_value=0.0, max_value=5.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200,
+)
+
+
+@given(rate=rates, burst=bursts, schedule=steps)
+@settings(max_examples=200, deadline=None)
+def test_grants_never_exceed_rate_over_any_schedule(rate, burst, schedule):
+    clock = ScriptClock()
+    bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+    granted = 0
+    elapsed = 0.0
+    for dt in schedule:
+        clock.now += dt
+        elapsed += dt
+        if bucket.try_acquire():
+            granted += 1
+        # float envelope: allow one ulp-ish slack on the arithmetic
+        ceiling = burst + rate * elapsed
+        assert granted <= math.floor(ceiling + 1e-6)
+
+
+@given(rate=rates, burst=bursts,
+       drains=st.integers(min_value=0, max_value=100),
+       idle_s=st.floats(min_value=0.0, max_value=10_000.0,
+                        allow_nan=False, allow_infinity=False))
+@settings(max_examples=200, deadline=None)
+def test_idle_bucket_refills_to_capacity_and_no_further(rate, burst,
+                                                        drains, idle_s):
+    clock = ScriptClock()
+    bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+    for _ in range(drains):
+        bucket.try_acquire()
+    clock.now += idle_s
+    tokens = bucket.tokens
+    assert tokens <= burst + 1e-9
+    if idle_s * rate >= burst:  # long enough idle: back to exactly full
+        assert tokens == burst
+
+
+@given(rate=rates, burst=bursts,
+       jumps=st.lists(st.floats(min_value=-100.0, max_value=0.0,
+                                allow_nan=False, allow_infinity=False),
+                      min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_stalled_or_backwards_clock_mints_nothing(rate, burst, jumps):
+    clock = ScriptClock()
+    bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+    for _ in range(burst):
+        assert bucket.try_acquire()
+    assert bucket.tokens == 0.0
+    for jump in jumps:  # every step is <= 0: time never moves forward
+        clock.now += jump
+        assert bucket.tokens == 0.0
+        assert not bucket.try_acquire()

@@ -169,3 +169,28 @@ class TestPoolCounters:
         assert tracer.counters["pool.task.submitted"] == 5
         assert tracer.counters["pool.task.completed"] == 4
         assert tracer.counters["pool.task.failed"] == 1
+
+
+class TestElapsed:
+    def test_outcomes_carry_wall_clock_elapsed(self):
+        outcomes = ParallelExecutor(jobs=2).map(
+            lambda n: time.sleep(n) or n, [0.0, 0.05])
+        assert outcomes[0].elapsed_s >= 0.0
+        assert outcomes[1].elapsed_s >= 0.05
+
+    def test_timed_path_also_measures(self):
+        outcomes = ParallelExecutor(jobs=1, timeout_s=5.0).map(
+            lambda n: n, [1, 2])
+        assert all(o.elapsed_s >= 0.0 for o in outcomes)
+        assert all(o.ok for o in outcomes)
+
+    def test_timed_out_task_reports_zero_elapsed(self):
+        release = threading.Event()
+
+        def hang(_):
+            release.wait(5.0)
+
+        outcomes = ParallelExecutor(jobs=1, timeout_s=0.05).map(hang, [0])
+        release.set()
+        assert isinstance(outcomes[0].error, TaskTimeoutError)
+        assert outcomes[0].elapsed_s == 0.0

@@ -18,11 +18,24 @@ doubles as the resilience acceptance test (the CI chaos leg):
 * the SIGTERM drain must exit 0 with ``drain.complete``, losing no
   accepted request.
 
+With ``--multi-tenant`` the run becomes the fairness + hot-reload
+acceptance test: half the offered load is an aggressive ``noisy``
+tenant (contained by per-tenant quotas and, with ``--inject
+noisy_neighbor``, stalled by chaos), the other half a ``polite``
+tenant; halfway through, live traffic still in flight, the harness
+POSTs ``/admin/reload`` tightening the noisy tenant's rate limit and
+asserts: the reload is accepted (HCG515, config generation bumps), the
+tightened limits observably shed the noisy tenant with HCG511/HCG512
+(never a silent 5xx), the polite tenant sees no tenant-level shed and
+its p99 stays inside the deadline envelope, and every in-flight
+request at reload time completes.
+
 Examples::
 
     python tools/loadgen.py --requests 300 --inject worker_crash,slow_generator
     python tools/loadgen.py --requests 1000 --concurrency 16 --json report.json
     python tools/loadgen.py --url http://127.0.0.1:8337 --requests 200
+    python tools/loadgen.py --requests 300 --multi-tenant --inject noisy_neighbor
 """
 
 from __future__ import annotations
@@ -37,12 +50,22 @@ import subprocess
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: request mix (seeded): benchmark models at quick scales
 MODELS = ("FIR", "FFT", "DCT", "Conv", "LowPass", "HighPass")
 SCALES = (16, 32, 64)
 GENERATOR_WEIGHTS = (("hcg", 0.7), ("dfsynth", 0.15), ("simulink_coder", 0.15))
+
+#: the two tenants of the --multi-tenant mixed load
+POLITE_TENANT = "polite"
+NOISY_TENANT = "noisy"
+
+#: reload document POSTed mid-run in --multi-tenant mode: clamp the
+#: noisy tenant hard enough that its post-reload traffic must shed
+NOISY_CLAMP = {"tenants": {NOISY_TENANT: {
+    "rate": 2, "burst": 2, "max_queued": 4,
+}}}
 
 
 def build_requests(count: int, seed: int, verify_share: float) -> List[dict]:
@@ -65,6 +88,33 @@ def build_requests(count: int, seed: int, verify_share: float) -> List[dict]:
     return requests
 
 
+def build_multi_tenant_requests(count: int, seed: int,
+                                verify_share: float) -> List[dict]:
+    """Interleave a polite mixed load with an aggressive noisy tenant.
+
+    The noisy tenant hammers one cheap batchable request shape (no
+    verify) as fast as its connections allow; the polite tenant sends
+    the normal seeded mix.  Tagging rides in a ``tenant`` key that
+    :func:`run_load` lifts into the ``X-Tenant`` header.
+    """
+    rng = random.Random(seed)
+    polite = build_requests((count + 1) // 2, seed ^ 0x1EA5, verify_share)
+    requests = []
+    for i in range(count):
+        if i % 2 == 0 and polite:
+            requests.append(dict(polite.pop(), tenant=POLITE_TENANT))
+        else:
+            requests.append({
+                "model": rng.choice(MODELS),
+                "scale": 16,
+                "generator": "hcg",
+                "verify": False,
+                "include_source": False,
+                "tenant": NOISY_TENANT,
+            })
+    return requests
+
+
 class Client:
     """One keep-alive HTTP client; re-connects after daemon-side closes."""
 
@@ -73,14 +123,16 @@ class Client:
         self._conn: Optional[http.client.HTTPConnection] = None
 
     def request(self, method: str, path: str,
-                payload: Optional[dict] = None) -> Tuple[int, dict]:
+                payload: Optional[dict] = None,
+                headers: Optional[Dict[str, str]] = None) -> Tuple[int, dict]:
         body = json.dumps(payload).encode() if payload is not None else None
         for attempt in (0, 1):
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
                     self.host, self.port, timeout=self.timeout)
             try:
-                self._conn.request(method, path, body=body)
+                self._conn.request(method, path, body=body,
+                                   headers=headers or {})
                 response = self._conn.getresponse()
                 data = response.read()
                 if response.getheader("Connection", "") == "close":
@@ -130,6 +182,13 @@ def spawn_daemon(args: argparse.Namespace, log_path: str) -> Tuple[subprocess.Po
         command += ["--inject", args.inject]
     if args.cache_dir:
         command += ["--cache-dir", args.cache_dir]
+    if getattr(args, "multi_tenant", False):
+        # Contain the aggressor from the start: a concurrency quota
+        # below --workers plus a short queue, so a noisy_neighbor stall
+        # can never occupy every worker.  Rate limits start generous;
+        # the mid-run reload clamps them (NOISY_CLAMP).
+        command += ["--tenant",
+                    f"{NOISY_TENANT}:max_concurrency=2,max_queued=8"]
     log = open(log_path, "w")
     proc = subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL,
                             stderr=log)
@@ -153,11 +212,19 @@ def spawn_daemon(args: argparse.Namespace, log_path: str) -> Tuple[subprocess.Po
 
 
 def run_load(host: str, port: int, requests: List[dict],
-             concurrency: int, timeout: float) -> List[dict]:
-    """Replay the workload from ``concurrency`` threads; per-request rows."""
+             concurrency: int, timeout: float,
+             midpoint_hook: Optional[Callable[[], None]] = None) -> List[dict]:
+    """Replay the workload from ``concurrency`` threads; per-request rows.
+
+    ``midpoint_hook`` (if given) runs exactly once, on whichever worker
+    thread pulls the halfway request — i.e. while the other threads
+    have live traffic in flight.  The multi-tenant mode uses it to fire
+    the hot reload mid-run.
+    """
     results: List[dict] = []
     lock = threading.Lock()
     index = {"next": 0}
+    halfway = len(requests) // 2
 
     def pull() -> Optional[Tuple[int, dict]]:
         with lock:
@@ -174,17 +241,25 @@ def run_load(host: str, port: int, requests: List[dict],
             if item is None:
                 break
             i, payload = item
+            if midpoint_hook is not None and i == halfway:
+                midpoint_hook()
             path = "/verify" if payload["verify"] else "/generate"
-            body = {k: v for k, v in payload.items() if k != "verify"}
+            tenant = payload.get("tenant")
+            headers = {"X-Tenant": tenant} if tenant else None
+            body = {k: v for k, v in payload.items()
+                    if k not in ("verify", "tenant")}
             started = time.monotonic()
             try:
-                status, response = client.request("POST", path, body)
+                status, response = client.request("POST", path, body,
+                                                  headers=headers)
             except Exception as exc:  # transport failure, not a daemon answer
                 status, response = -1, {"error": f"{type(exc).__name__}: {exc}"}
             elapsed_ms = (time.monotonic() - started) * 1000.0
             with lock:
                 results.append({
                     "index": i, "status": status, "ms": elapsed_ms,
+                    "tenant": tenant,
+                    "after_reload": midpoint_hook is not None and i > halfway,
                     "code": response.get("code"),
                     "demoted": bool(response.get("demoted")),
                     "codes": sorted({d.get("code") for d in
@@ -241,6 +316,12 @@ class _suppress:
         return True
 
 
+def _tenant_sheds(metrics: dict) -> int:
+    counters = metrics.get("counters", {})
+    return (counters.get("server.shed.tenant_rate", 0)
+            + counters.get("server.shed.tenant_quota", 0))
+
+
 def check_log(log_path: str) -> List[str]:
     """Unhandled-exception scan: every stderr line must be a JSON event."""
     problems = []
@@ -256,6 +337,48 @@ def check_log(log_path: str) -> List[str]:
     return problems
 
 
+def _check_multi_tenant(args: argparse.Namespace, results: List[dict],
+                        report: dict, reload_info: dict,
+                        metrics: dict) -> List[str]:
+    """Fairness + hot-reload acceptance checks for --multi-tenant runs."""
+    failures = []
+    if len(results) != args.requests:
+        failures.append(f"answered {len(results)} of {args.requests} "
+                        "requests (in-flight work lost?)")
+    if reload_info.get("status") != 200:
+        failures.append(f"mid-run reload did not succeed: {reload_info}")
+    elif not reload_info.get("generation"):
+        failures.append("reload accepted but config generation never "
+                        f"bumped: {reload_info}")
+    sheds_before = reload_info.get("sheds_before", 0) or 0
+    if _tenant_sheds(metrics) <= sheds_before:
+        failures.append("reloaded rate clamp had no observable effect: "
+                        f"tenant sheds {sheds_before} -> "
+                        f"{_tenant_sheds(metrics)}")
+    noisy = [r for r in results if r["tenant"] == NOISY_TENANT]
+    polite = [r for r in results if r["tenant"] == POLITE_TENANT]
+    noisy_shed = [r for r in noisy if r["code"] in ("HCG511", "HCG512")]
+    if not noisy_shed:
+        failures.append("noisy tenant was never shed with HCG511/HCG512")
+    undiagnosed_429 = [r for r in results
+                       if r["status"] == 429 and not r["code"]]
+    if undiagnosed_429:
+        failures.append(f"{len(undiagnosed_429)} 429 response(s) without a "
+                        f"stable HCG code, e.g. {undiagnosed_429[:3]}")
+    polite_tenant_shed = [r for r in polite
+                          if r["code"] in ("HCG511", "HCG512")]
+    if polite_tenant_shed:
+        failures.append(f"polite tenant hit tenant-level sheds: "
+                        f"{polite_tenant_shed[:3]}")
+    polite_p99 = percentile([r["ms"] for r in polite], 0.99)
+    budget_ms = (args.deadline + 1.0) * 1000.0
+    if polite_p99 > budget_ms:
+        failures.append(f"polite tenant p99 {polite_p99:.0f}ms exceeds "
+                        f"deadline budget {budget_ms:.0f}ms "
+                        "(noisy neighbor starved it?)")
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=300)
@@ -263,6 +386,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--verify-share", type=float, default=0.25,
                         help="fraction of requests that also verify")
     parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--multi-tenant", action="store_true",
+                        help="mixed polite/noisy tenant load with a "
+                             "mid-run hot reload clamping the noisy "
+                             "tenant (fairness acceptance mode)")
     parser.add_argument("--inject", default="",
                         help="chaos faults for the spawned daemon "
                              "(worker_crash,slow_generator,...)")
@@ -299,9 +426,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         host = "127.0.0.1"
     client_timeout = args.deadline * 2 + 10.0
 
-    requests = build_requests(args.requests, args.seed, args.verify_share)
+    if args.multi_tenant:
+        requests = build_multi_tenant_requests(
+            args.requests, args.seed, args.verify_share)
+    else:
+        requests = build_requests(args.requests, args.seed, args.verify_share)
+
+    reload_info: Dict[str, object] = {}
+
+    def fire_reload() -> None:
+        """POST the noisy-tenant clamp while load is still in flight."""
+        admin = Client(host, port, client_timeout)
+        try:
+            _, before = admin.request("GET", "/metrics")
+            reload_info["sheds_before"] = _tenant_sheds(before)
+            status, body = admin.request("POST", "/admin/reload", NOISY_CLAMP)
+            reload_info["status"] = status
+            reload_info["generation"] = body.get("generation")
+            reload_info["reloaded"] = body.get("reloaded")
+            reload_info["error"] = body.get("error")
+        except Exception as exc:
+            reload_info["status"] = -1
+            reload_info["error"] = f"{type(exc).__name__}: {exc}"
+        finally:
+            admin.close()
+
     started = time.monotonic()
-    results = run_load(host, port, requests, args.concurrency, client_timeout)
+    results = run_load(host, port, requests, args.concurrency, client_timeout,
+                       midpoint_hook=fire_reload if args.multi_tenant else None)
     wall_s = time.monotonic() - started
 
     chaotic = bool(args.inject)
@@ -342,7 +494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "demoted": sum(1 for r in results if r["demoted"]),
         "shed": counters.get("server.shed.queue_full", 0)
-        + counters.get("server.shed.expired", 0),
+        + counters.get("server.shed.expired", 0)
+        + _tenant_sheds(metrics),
         "shed_rate": metrics.get("shed_rate", 0.0),
         "breaker_trips": counters.get("server.breaker.trips", 0),
         "breaker_recoveries": counters.get("server.breaker.recoveries", 0),
@@ -353,6 +506,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "transport_failures": len(transport_failures),
         "log_problems": log_problems,
     }
+    if args.multi_tenant:
+        per_tenant: Dict[str, dict] = {}
+        for row in results:
+            tenant = row["tenant"] or "default"
+            bucket = per_tenant.setdefault(tenant, {
+                "requests": 0, "shed_429": 0, "tenant_shed": 0,
+                "latencies": [],
+            })
+            bucket["requests"] += 1
+            bucket["latencies"].append(row["ms"])
+            if row["status"] == 429:
+                bucket["shed_429"] += 1
+                if row["code"] in ("HCG511", "HCG512"):
+                    bucket["tenant_shed"] += 1
+        report["tenants"] = {
+            name: {
+                "requests": bucket["requests"],
+                "shed_429": bucket["shed_429"],
+                "tenant_shed": bucket["tenant_shed"],
+                "p99_ms": round(percentile(bucket["latencies"], 0.99), 2),
+            }
+            for name, bucket in sorted(per_tenant.items())
+        }
+        report["reload"] = {k: v for k, v in reload_info.items()
+                            if k != "sheds_before"}
+        report["tenant_sheds"] = {
+            "before_reload": reload_info.get("sheds_before"),
+            "final": _tenant_sheds(metrics),
+        }
     print(json.dumps(report, indent=2))
     if args.json:
         with open(args.json, "w") as handle:
@@ -383,11 +565,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         f"{budget_ms:.0f}ms")
     if proc is not None and drain_exit != 0:
         failures.append(f"drain exit code {drain_exit}, expected 0")
-    if chaotic:
+    # Breaker assertions only make sense for faults that actually fail
+    # attempts; noisy_neighbor stalls below the deadline and must NOT
+    # trip anything.
+    faults = {f.strip() for f in args.inject.split(",") if f.strip()}
+    if faults & {"worker_crash", "slow_generator", "disk_full"}:
         if report["breaker_trips"] < 1:
             failures.append("chaos run but the circuit breaker never tripped")
         if report["breaker_recoveries"] < 1:
             failures.append("circuit breaker tripped but never recovered")
+    if args.multi_tenant:
+        failures.extend(_check_multi_tenant(args, results, report,
+                                            reload_info, metrics))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
