@@ -34,20 +34,26 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.arch.backend import BackendSpec, example_backend_pair
 from repro.codegen.options import CodegenOptions
 from repro.diagnostics import Diagnostic
 from repro.errors import ReproError
+from repro.source import ModelSource
 
 #: the three supported generator names (mirrors repro.bench.runner)
 GENERATOR_NAMES = ("simulink_coder", "dfsynth", "hcg")
 
 __all__ = [
+    "BackendSpec",
     "CodegenOptions",
     "GENERATOR_NAMES",
     "GenerateRequest",
     "GenerateResult",
+    "ModelSource",
+    "example_backend_pair",
     "generate",
     "generate_many",
+    "partition",
 ]
 
 
@@ -55,8 +61,10 @@ __all__ = [
 class GenerateRequest:
     """Everything one generation run needs, as one immutable value."""
 
-    #: a :class:`~repro.model.graph.Model`, a benchmark name (``"FIR"``),
-    #: or a model file path (``models/fir.xml``, ``*.mdl``)
+    #: a :class:`~repro.source.ModelSource` — the one way to say which
+    #: model.  Legacy spellings still coerce: a Model object silently
+    #: (inline source), a bare string (``"FIR"``, ``models/fir.xml``)
+    #: with a once-per-process ``DeprecationWarning``.
     model: Any
     #: ``"hcg"`` (the paper's tool) or one of the two baselines
     generator: str = "hcg"
@@ -77,26 +85,19 @@ class GenerateRequest:
                 f"unknown generator {self.generator!r}; "
                 f"choose from {GENERATOR_NAMES}"
             )
+        # Normalize every legacy spelling up front so downstream code
+        # (service, cache keys, daemon) sees exactly one type.
+        object.__setattr__(self, "model", ModelSource.of(self.model))
 
     # ------------------------------------------------------------------
+    @property
+    def source(self) -> ModelSource:
+        """The normalized model source (alias for ``self.model``)."""
+        return self.model
+
     def resolve_model(self):
         """The :class:`~repro.model.graph.Model` this request names."""
-        from repro.model.graph import Model
-
-        if isinstance(self.model, Model):
-            return self.model
-        from repro.bench.models import BENCHMARK_MODELS
-
-        name = str(self.model)
-        if name in BENCHMARK_MODELS:
-            return BENCHMARK_MODELS[name]()
-        if name.endswith(".mdl"):
-            from repro.model.mdl_io import read_mdl
-
-            return read_mdl(name)
-        from repro.model.xml_io import read_model
-
-        return read_model(name)
+        return self.model.resolve()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -156,3 +157,50 @@ def generate_many(
         options = requests[0].options if requests else CodegenOptions()
         service = CodegenService.from_options(options)
     return service.generate_many(requests, jobs=jobs)
+
+
+def partition(
+    model: Any,
+    backends: Optional[Sequence[Any]] = None,
+    *,
+    options: Optional[CodegenOptions] = None,
+    steps: int = 2,
+    seed: int = 2022,
+    max_cuts: int = 16,
+    verify: bool = True,
+    tracer: Any = None,
+):
+    """Split one model across heterogeneous backends by predicted cost.
+
+    ``model`` accepts a :class:`ModelSource`, a Model object, or any
+    string :meth:`ModelSource.parse` understands.  ``backends`` accepts
+    :class:`BackendSpec` objects or their ``[name=]arch[:field=value]*``
+    string forms, defaulting to :func:`example_backend_pair`.  Every
+    valid single cut of the model's schedule (plus each all-on-one
+    assignment) is costed on the VM including per-edge transfer cycles;
+    the cheapest plan comes back as a
+    :class:`~repro.sched.partition.PartitionResult` — one program per
+    partition plus the boundary-buffer handoff contract — after
+    differential verification against the model's reference semantics
+    (``verify=False`` skips that).
+    """
+    from repro.model.graph import Model
+    from repro.sched.partition import partition_model
+
+    if isinstance(model, ModelSource):
+        resolved = model.resolve()
+    elif isinstance(model, Model):
+        resolved = model
+    else:
+        resolved = ModelSource.parse(str(model)).resolve()
+    if backends is None:
+        specs: Tuple[BackendSpec, ...] = example_backend_pair()
+    else:
+        specs = tuple(
+            b if isinstance(b, BackendSpec) else BackendSpec.parse(str(b))
+            for b in backends
+        )
+    return partition_model(
+        resolved, specs, options=options, steps=steps, seed=seed,
+        max_cuts=max_cuts, tracer=tracer, verify=verify,
+    )

@@ -79,6 +79,8 @@ class CostBreakdown:
     branch: float = 0.0
     kernel: float = 0.0
     call: float = 0.0
+    #: cross-backend boundary-buffer traffic (partitioned execution only)
+    transfer: float = 0.0
 
     #: raw event counts, for reports and tests
     counts: Dict[str, int] = dataclasses.field(default_factory=dict)
@@ -92,13 +94,13 @@ class CostBreakdown:
     def total(self) -> float:
         return (
             self.scalar_ops + self.scalar_mem + self.simd_ops + self.simd_mem
-            + self.loop + self.branch + self.kernel + self.call
+            + self.loop + self.branch + self.kernel + self.call + self.transfer
         )
 
     def merged(self, other: "CostBreakdown") -> "CostBreakdown":
         result = CostBreakdown()
         for field in ("scalar_ops", "scalar_mem", "simd_ops", "simd_mem",
-                      "loop", "branch", "kernel", "call"):
+                      "loop", "branch", "kernel", "call", "transfer"):
             setattr(result, field, getattr(self, field) + getattr(other, field))
         result.counts = dict(self.counts)
         for key, value in other.counts.items():
@@ -115,5 +117,6 @@ class CostBreakdown:
             "branch": self.branch,
             "kernel": self.kernel,
             "call": self.call,
+            "transfer": self.transfer,
             "total": self.total,
         }

@@ -69,6 +69,10 @@ class RunResult:
     #: generator-side counters (history hit rate, diagnostics, tracer
     #: counters — see repro.observability.metrics.generation_metrics)
     metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: peak simultaneously-live bytes (vector registers + written
+    #: locals) the VM observed in one step — the quantity
+    #: ``CodegenOptions.memory_budget`` constrains
+    peak_live_bytes: int = 0
 
 
 def run_generator(
@@ -127,8 +131,10 @@ def run_generator(
     compiled = compiler.compile(program)
     machine = Machine(compiled, arch, cost=compiler.effective_cost(arch))
     result = None
+    peak_live = 0
     for _ in range(max(steps, 1)):
         result = machine.run(inputs)
+        peak_live = max(peak_live, result.peak_live_bytes)
     assert result is not None
     return RunResult(
         model=model.name,
@@ -144,6 +150,7 @@ def run_generator(
         program=compiled,
         simd_coverage=simd_coverage(result),
         metrics=metrics,
+        peak_live_bytes=peak_live,
     )
 
 

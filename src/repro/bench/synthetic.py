@@ -24,11 +24,15 @@ AVX2 ``vfmadd231ps``) have real matches, and taps avoid landing on a
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.dtypes import DataType
 from repro.model.builder import ModelBuilder
 from repro.model.graph import Model
+
+#: topologies :func:`synthetic_model` can build (mirrors
+#: repro.source.SYNTHETIC_TOPOLOGIES — the ModelSource grammar)
+TOPOLOGIES = ("cascade", "multirate", "mixed")
 
 #: signal width of synthetic models; a multiple of every preset's f32
 #: lane count (4/4/8), so the whole cascade vectorises with no remainder
@@ -52,10 +56,14 @@ _MUL_POSITIONS = frozenset(
 _TAP_OFFSETS = (2, 3, 5)
 
 
-def _const_values(index: int, width: int) -> list:
-    """Deterministic pseudo-random constants in [-0.5, 0.5)."""
+def _const_values(index: int, width: int, seed: int = 0) -> list:
+    """Deterministic pseudo-random constants in [-0.5, 0.5).
+
+    ``seed`` perturbs the sequence; ``seed=0`` reproduces the historical
+    values byte-for-byte, so committed bench records stay comparable.
+    """
     return [
-        ((index * 31 + lane * 17 + 3) % 101) / 101.0 - 0.5
+        ((index * 31 + lane * 17 + 3 + seed * 53) % 101) / 101.0 - 0.5
         for lane in range(width)
     ]
 
@@ -70,11 +78,21 @@ def synthetic_cascade(
     n_actors: int,
     width: int = SYNTHETIC_WIDTH,
     tap_offsets: Tuple[int, ...] = _TAP_OFFSETS,
+    seed: int = 0,
 ) -> Model:
-    """A deep cascade of ``n_actors`` f32 batch actors in one group."""
+    """A deep cascade of ``n_actors`` f32 batch actors in one group.
+
+    ``seed`` rotates the tap-distance cycle and perturbs the constant
+    values, producing a structurally different (but still deterministic)
+    instance; ``seed=0`` is the historical model, unchanged.
+    """
     if n_actors < 1:
         raise ValueError(f"n_actors must be >= 1, got {n_actors}")
-    builder = ModelBuilder(f"Synthetic{n_actors}", default_dtype=DataType.F32)
+    if seed:
+        rotation = seed % len(tap_offsets)
+        tap_offsets = tap_offsets[rotation:] + tap_offsets[:rotation]
+    name = f"Synthetic{n_actors}" if not seed else f"Synthetic{n_actors}s{seed}"
+    builder = ModelBuilder(name, default_dtype=DataType.F32)
     previous = builder.inport("x", shape=width)
     nodes = []
     pad = len(str(max(n_actors - 1, 1)))
@@ -109,6 +127,138 @@ def synthetic_cascade(
     return builder.build()
 
 
+def _chain(builder, value, count: int, width: int, *, seed: int, prefix: str):
+    """A simple bounded cascade: op cycle with constant second operands."""
+    pad = len(str(max(count - 1, 1)))
+    cycle = len(_OP_CYCLE)
+    for index in range(count):
+        position = index % cycle
+        if position in _CONST_POSITIONS:
+            values = _clamp_values(index, width)
+        else:
+            values = _const_values(index, width, seed)
+        const = builder.const(f"{prefix}c{index:0{pad}d}", value=values)
+        value = builder.add_actor(
+            _OP_CYCLE[position], f"{prefix}n{index:0{pad}d}", value, const
+        )
+    return value
+
+
+def synthetic_multirate(
+    n_actors: int,
+    width: int = SYNTHETIC_WIDTH,
+    seed: int = 0,
+) -> Model:
+    """Two cascades at different rates: a multi-group synthetic model.
+
+    A full-rate chain processes the whole ``width``-lane signal while a
+    half-rate chain processes its lower half (split off with a ``Slice``,
+    merged back with ``Concat``).  The copy actors break the model into
+    two batch groups at *different* signal widths, so Algorithm 2 maps
+    (and the scheduler budgets) each group independently — the
+    multi-rate regime Simulink models hit with rate-transition blocks.
+    """
+    if n_actors < 2:
+        raise ValueError(f"n_actors must be >= 2, got {n_actors}")
+    if width < 2 or width % 2:
+        raise ValueError(f"width must be even and >= 2, got {width}")
+    suffix = f"s{seed}" if seed else ""
+    builder = ModelBuilder(
+        f"SyntheticMultirate{n_actors}{suffix}", default_dtype=DataType.F32
+    )
+    x = builder.inport("x", shape=width)
+    full_count = max(1, (2 * n_actors) // 3)
+    half_count = max(1, n_actors - full_count)
+    half_width = width // 2
+    full = _chain(builder, x, full_count, width, seed=seed, prefix="f")
+    low = builder.add_actor(
+        "Slice", "low", x, shape=width, offset=0, length=half_width
+    )
+    half = _chain(builder, low, half_count, half_width, seed=seed + 1, prefix="h")
+    high = builder.add_actor(
+        "Slice", "high", x, shape=width, offset=half_width, length=half_width
+    )
+    merged = builder.add_actor(
+        "Concat", "merge", half, high, shape=half_width, shape2=half_width
+    )
+    builder.outport("y", builder.add_actor("Add", "mix", full, merged))
+    return builder.build()
+
+
+def synthetic_mixed(
+    n_actors: int,
+    width: int = SYNTHETIC_WIDTH,
+    seed: int = 0,
+) -> Model:
+    """A wide product fan, an intensive ``Conv`` stage, and a tail chain.
+
+    The fan (``~n_actors/3`` parallel ``Mul``s reduced by an ``Add``
+    chain) keeps every product live until its reduction step, so the
+    group's vector working set grows linearly with the fan width — the
+    register-pressure regime that exercises ``memory_budget`` tiling.
+    The ``Conv`` contributes the intensive/batch mix of ROADMAP item 4,
+    and the cascade tail keeps a second plain batch group downstream.
+    """
+    if n_actors < 4:
+        raise ValueError(f"n_actors must be >= 4, got {n_actors}")
+    suffix = f"s{seed}" if seed else ""
+    builder = ModelBuilder(
+        f"SyntheticMixed{n_actors}{suffix}", default_dtype=DataType.F32
+    )
+    x = builder.inport("x", shape=width)
+    fan = max(2, n_actors // 3)
+    pad = len(str(fan - 1))
+    products = [
+        builder.add_actor(
+            "Mul", f"fan{index:0{pad}d}", x,
+            builder.const(
+                f"fanc{index:0{pad}d}", value=_const_values(index, width, seed)
+            ),
+        )
+        for index in range(fan)
+    ]
+    value = products[0]
+    for index, product in enumerate(products[1:]):
+        value = builder.add_actor("Add", f"acc{index:0{pad}d}", value, product)
+    # Clamp into [-0.5, 0.5] so the convolution stays bounded.
+    value = builder.add_actor(
+        "Min", "clamp_hi", value, builder.const("chi", value=_clamp_values(3, width))
+    )
+    value = builder.add_actor(
+        "Max", "clamp_lo", value, builder.const("clo", value=_clamp_values(4, width))
+    )
+    taps = builder.const("taps", value=_const_values(7, 8, seed))
+    conv = builder.add_actor("Conv", "conv", value, taps, n=width, m=8)
+    trimmed = builder.add_actor(
+        "Slice", "trim", conv, shape=width + 7, offset=0, length=width
+    )
+    tail_count = max(1, n_actors - 2 * fan + 1 - 3)
+    tail = _chain(builder, trimmed, tail_count, width, seed=seed, prefix="t")
+    builder.outport("y", tail)
+    return builder.build()
+
+
+def synthetic_model(
+    topology: str,
+    n_actors: int,
+    width: Optional[int] = None,
+    seed: int = 0,
+) -> Model:
+    """Build the named synthetic topology (the ModelSource entry point)."""
+    if topology not in TOPOLOGIES:
+        raise ValueError(
+            f"unknown synthetic topology {topology!r}; "
+            f"expected one of {', '.join(TOPOLOGIES)}"
+        )
+    if width is None:
+        width = SYNTHETIC_WIDTH
+    if topology == "cascade":
+        return synthetic_cascade(n_actors, width, seed=seed)
+    if topology == "multirate":
+        return synthetic_multirate(n_actors, width, seed=seed)
+    return synthetic_mixed(n_actors, width, seed=seed)
+
+
 def synthetic_inputs(model: Model) -> Dict[str, Any]:
     """Deterministic input battery for a synthetic model."""
     width = model.actor("x").output("out").shape[0]
@@ -121,6 +271,7 @@ def matcher_cells(
     compiler,
     steps: int = 2,
     reps: int = 1,
+    seed: int = 0,
 ) -> Dict[str, Any]:
     """Run the synthetic model under both matcher kinds on one arch.
 
@@ -142,7 +293,7 @@ def matcher_cells(
     from repro.errors import ReproError
     from repro.observability.tracer import Tracer
 
-    model = synthetic_cascade(n_actors)
+    model = synthetic_cascade(n_actors, seed=seed)
     inputs = synthetic_inputs(model)
     arch = get_architecture(arch_name)
     if isinstance(compiler, str):

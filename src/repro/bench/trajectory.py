@@ -71,25 +71,23 @@ def resolve_bench_models(
         return suite if suite is not None else {
             name: make() for name, make in BENCHMARK_MODELS.items()
         }
+    from repro.source import ModelSource
+
     models: Dict[str, Model] = {}
     for name in names:
         if name in BENCHMARK_MODELS:
             models[name] = suite[name] if suite is not None else BENCHMARK_MODELS[name]()
-        elif str(name).endswith(".mdl"):
-            from repro.model.mdl_io import read_mdl
-
-            model = read_mdl(name)
-            models[model.name] = model
-        elif str(name).endswith(".xml"):
-            from repro.model.xml_io import read_model
-
-            model = read_model(name)
-            models[model.name] = model
-        else:
+            continue
+        try:
+            model = ModelSource.parse(str(name)).resolve()
+        except ReproError as exc:
             raise ReproError(
                 f"unknown benchmark model {name!r}; choose from "
-                f"{sorted(BENCHMARK_MODELS)} or pass a model file path"
+                f"{sorted(BENCHMARK_MODELS)}, pass a model file path, or "
+                f"use the ModelSource grammar (FIR@256, synthetic:mixed:64) "
+                f"[{exc}]"
             )
+        models[model.name] = model
     return models
 
 
@@ -101,6 +99,8 @@ def bench_matrix(
     check_consistency: bool = True,
     jobs: int = 1,
     service=None,
+    options=None,
+    memory_budget: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
     """Run every (arch, model, generator) cell.
 
@@ -115,6 +115,11 @@ def bench_matrix(
     service owns the per-arch selection histories; without one, each
     arch shares one in-memory :class:`SelectionHistory` across its HCG
     cells, which is thread-safe for the pool.
+
+    ``memory_budget`` bounds each HCG group's vector working set
+    (``repro bench --memory-budget``); consistency checking then doubles
+    as differential verification of the tiled/demoted programs.  On the
+    service path the budget must already be in ``options``.
     """
     histories: Dict[str, SelectionHistory] = {
         arch_name: SelectionHistory() for arch_name in archs
@@ -133,11 +138,14 @@ def bench_matrix(
         per_generator = {"hcg": {"tracer": Tracer()}}
         if service is None:
             per_generator["hcg"]["history"] = histories[arch_name]
+            if memory_budget is not None:
+                per_generator["hcg"]["memory_budget"] = memory_budget
         return compare_generators(
             model, arch, compiler,
             check_consistency=check_consistency,
             steps=steps,
             service=service,
+            options=options,
             per_generator_kwargs=per_generator,
         )
 

@@ -10,6 +10,9 @@ Commands mirror how the paper's tool is used:
   presets x 3 generators) and write a schema-versioned
   ``BENCH_codegen.json``; with ``--model`` it benchmarks one model on
   one target instead;
+* ``partition`` — split one model across heterogeneous backends by
+  predicted VM cost (including transfer), emitting one program per
+  partition plus the boundary-buffer handoff contract;
 * ``inspect``  — dispatch report: how HCG classifies a model's actors;
 * ``isa``      — list, dump or lint the built-in instruction sets;
 * ``verify``   — differential translation validation: run every
@@ -32,7 +35,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.arch.presets import get_architecture, preset_names
-from repro.bench.models import BENCHMARK_MODELS, benchmark_inputs
+from repro.bench.models import benchmark_inputs
 from repro.bench.report import render_table2, summarize_improvements
 from repro.bench.runner import GENERATORS, make_generator
 from repro.codegen.hcg.dispatch import dispatch
@@ -41,7 +44,6 @@ from repro.errors import ReproError
 from repro.ir.printer import format_program
 from repro.isa.parser import dump_instruction_set
 from repro.isa.registry import builtin_names, load_builtin
-from repro.model.xml_io import read_model
 from repro.schedule.scheduler import compute_schedule
 from repro.vm.machine import Machine
 
@@ -137,6 +139,7 @@ def _service_options(args: argparse.Namespace, tracer=None):
         use_cache=use_cache,
         jobs=max(1, args.jobs),
         task_timeout_s=getattr(args, "task_timeout", None),
+        memory_budget=getattr(args, "memory_budget", None),
         tracer=tracer,
     )
 
@@ -152,15 +155,24 @@ def _add_target_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _load_model(args: argparse.Namespace):
-    if args.model in BENCHMARK_MODELS:
-        return BENCHMARK_MODELS[args.model]()
-    if str(args.model).endswith(".mdl"):
-        from repro.model.mdl_io import read_mdl
+def _add_budget_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="bound each HCG batch group's vector working set to this "
+             "many bytes; oversized groups are tiled into several "
+             "budget-fitting passes (HCG222) or, when even one node "
+             "overflows, demoted to scalar code (HCG221)",
+    )
 
-        width = getattr(args, "mdl_width", 1) or 1
-        return read_mdl(args.model, default_width=width)
-    return read_model(args.model)
+
+def _load_model(args: argparse.Namespace):
+    """Resolve the positional ``model`` argument via the ModelSource
+    grammar (``FIR``, ``FIR@256``, ``models/fir.xml``,
+    ``synthetic:mixed:64``)."""
+    from repro.source import ModelSource
+
+    width = getattr(args, "mdl_width", 1) or 1
+    return ModelSource.parse(str(args.model), default_width=width).resolve()
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -212,7 +224,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     model = _load_model(args)
     arch = get_architecture(args.arch)
     compiler = get_compiler(args.compiler)
-    generator = make_generator(args.generator, arch, policy=args.policy)
+    kwargs = {}
+    if args.generator == "hcg" and getattr(args, "memory_budget", None) is not None:
+        kwargs["memory_budget"] = args.memory_budget
+    generator = make_generator(args.generator, arch, policy=args.policy, **kwargs)
     program = compiler.compile(generator.generate(model))
     _print_diagnostics(generator)
     machine = Machine(program, arch, cost=compiler.effective_cost(arch))
@@ -258,7 +273,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         service = CodegenService.from_options(options)
     matrix = bench_matrix(models, compiler, archs=archs, steps=steps,
-                          jobs=options.jobs, service=service)
+                          jobs=options.jobs, service=service,
+                          options=options if service is not None else None,
+                          memory_budget=options.memory_budget)
     if service is not None and service.cache is not None:
         stats = service.cache.stats()
         print(
@@ -287,8 +304,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # of the committed baseline demonstrate the indexed speedup.
         synth_arch = "arm_a72" if "arm_a72" in archs else archs[0]
         cells = matcher_cells(args.synthetic, synth_arch, compiler,
-                              steps=steps, reps=3)
-        matrix.setdefault(synth_arch, {})[f"Synthetic{args.synthetic}"] = cells
+                              steps=steps, reps=3,
+                              seed=args.synthetic_seed)
+        row_name = f"Synthetic{args.synthetic}"
+        if args.synthetic_seed:
+            row_name += f"s{args.synthetic_seed}"
+        matrix.setdefault(synth_arch, {})[row_name] = cells
         indexed_wall = cells["hcg_indexed"].metrics["alg2.match.wall_s"]
         naive_wall = cells["hcg_naive"].metrics["alg2.match.wall_s"]
         print(
@@ -300,7 +321,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     json_path = args.json or (None if args.model else "BENCH_codegen.json")
     if json_path:
         record = build_bench_record(
-            matrix, isa_of_archs(archs), compiler.name, steps=steps, quick=args.quick
+            matrix, isa_of_archs(archs), compiler.name, steps=steps,
+            quick=args.quick, seed=args.synthetic_seed,
+            memory_budget=options.memory_budget,
         )
         write_bench_record(record, json_path)
         print(f"wrote {json_path}")
@@ -449,6 +472,55 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return daemon.run()
 
 
+def cmd_partition(args: argparse.Namespace) -> int:
+    from repro.api import BackendSpec, example_backend_pair, partition
+    from repro.codegen.options import CodegenOptions
+
+    if args.backends:
+        backends = BackendSpec.parse_list(args.backends)
+    else:
+        backends = example_backend_pair(args.arch)
+    options = CodegenOptions(
+        arch=args.arch, policy="permissive",
+        memory_budget=getattr(args, "memory_budget", None),
+    )
+    result = partition(
+        str(args.model), backends, options=options,
+        steps=args.steps, seed=args.seed, verify=not args.no_verify,
+    )
+    _print_diagnostic_tuple(result.diagnostics)
+    print(f"model {result.model}: {len(result.partitions)} partition(s), "
+          f"{result.candidates_evaluated} candidate(s) evaluated")
+    for index, part in enumerate(result.partitions):
+        print(f"  partition {index} on {part.backend.describe()}: "
+              f"[{', '.join(part.actors)}]")
+    if result.handoffs:
+        for handoff in result.handoffs:
+            nbytes = handoff.dtype.byte_width
+            for dim in handoff.shape:
+                nbytes *= dim
+            print(f"  handoff {handoff.name}: {handoff.src_actor}.{handoff.src_port} "
+                  f"{handoff.producer} -> {handoff.consumer} ({nbytes} bytes)")
+    else:
+        print("  handoffs: none")
+    best_single = result.best_single_backend_cycles()
+    print(f"predicted cycles/step: {result.predicted_cycles:,.1f} "
+          f"({result.transfer_cycles:,.1f} transfer)")
+    print(f"best single backend:   {best_single:,.1f}")
+    if result.split and result.predicted_cycles < best_single:
+        gain = (best_single - result.predicted_cycles) / best_single * 100.0
+        print(f"partitioning wins by {gain:.1f}%")
+    if not args.no_verify:
+        print(f"differential verification: "
+              f"{'ok' if result.verified else 'FAILED'}")
+    if args.contract:
+        with open(args.contract, "w") as handle:
+            json.dump(result.contract(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.contract}")
+    return 0
+
+
 def cmd_isa(args: argparse.Namespace) -> int:
     if args.name == "lint":
         from repro.isa.lint import lint_paths
@@ -491,6 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
             "  repro bench --quick                 # full ISA matrix, scaled\n"
             "  repro bench --model FIR --arch arm_a72\n"
             "  repro bench --json BENCH_codegen.json\n"
+            "  repro bench --quick --memory-budget 4096\n"
+            "  repro generate synthetic:mixed:64 --memory-budget 256\n"
+            "  repro partition HighPass --backends "
+            "cpu=arm_a72:transfer=0.25,accel=arm_a72:simd_scale=0.25\n"
             "  repro inspect models/fir.xml\n"
             "  repro isa neon\n"
             "  repro serve --port 8337 --workers 4\n"
@@ -514,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "write it as JSON (see docs/observability.md)")
     _add_model_args(p)
     _add_target_args(p)
+    _add_budget_arg(p)
     _add_policy_args(p)
     _add_service_args(p)
     p.set_defaults(func=cmd_generate)
@@ -527,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a profiler view of the cycle budget")
     _add_model_args(p)
     _add_target_args(p)
+    _add_budget_arg(p)
     _add_policy_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -558,11 +636,18 @@ def build_parser() -> argparse.ArgumentParser:
              "alg2.match.* counters as Synthetic<N> rows",
     )
     p.add_argument(
+        "--synthetic-seed", type=int, default=0, metavar="SEED",
+        help="seed for the --synthetic model's constants and topology "
+             "(recorded in BENCH_codegen.json; default 0, the committed "
+             "baseline's instance)",
+    )
+    p.add_argument(
         "--json", metavar="PATH",
         help="where to write the BENCH_codegen.json record "
              "(default: BENCH_codegen.json in matrix mode, off with --model)",
     )
     _add_target_args(p)
+    _add_budget_arg(p)
     _add_service_args(p)
     p.set_defaults(func=cmd_bench)
 
@@ -608,8 +693,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", "-v", action="store_true",
                    help="print each case's verdict as it completes")
     p.add_argument("--inject-fault", action="append", help=argparse.SUPPRESS)
+    _add_budget_arg(p)
     _add_service_args(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "partition",
+        help="split one model across >= 2 backends by predicted cost",
+        description="Partition a model's dataflow graph across "
+                    "heterogeneous backends — each an (ISA preset, cost "
+                    "table) pair — choosing the cut by predicted VM cost "
+                    "including per-edge transfer cycles.  Emits one "
+                    "program per partition plus the boundary-buffer "
+                    "handoff contract, differentially verified against "
+                    "the model's reference semantics.",
+    )
+    p.add_argument("model",
+                   help="model spec: benchmark name, path, FIR@256, or "
+                        "synthetic:mixed:64")
+    p.add_argument(
+        "--backends", metavar="SPEC[,SPEC...]",
+        help="comma-separated backend specs, each "
+             "[name=]arch[:field=value]* (fields: transfer, simd_scale, "
+             "scalar_scale, simd_load, simd_store, call_overhead); "
+             "default: the example cpu+accel pair on --arch",
+    )
+    p.add_argument("--steps", type=int, default=2,
+                   help="simulation steps per cost evaluation (default 2)")
+    p.add_argument("--seed", type=int, default=2022,
+                   help="seed for the cost-evaluation input battery")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip differential verification of the chosen plan")
+    p.add_argument("--contract", metavar="PATH",
+                   help="write the JSON handoff contract to this file")
+    _add_target_args(p)
+    _add_budget_arg(p)
+    p.set_defaults(func=cmd_partition)
 
     p = sub.add_parser(
         "serve",

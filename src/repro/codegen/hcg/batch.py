@@ -37,6 +37,7 @@ from repro.codegen.hcg.subgraphs import Match, top_left_node
 from repro.errors import CodegenError
 from repro.ir.expr import Expr, Load, ScalarOp, Var, const_i
 from repro.ir.stmt import AssignVar, Comment, For, SimdLoad, SimdOp, SimdStore, Stmt, Store
+from repro.ir.types import BufferDecl, BufferKind
 from repro.isa.spec import InstructionSet
 from repro.observability.metrics import COUNTERS, SPANS
 
@@ -52,6 +53,7 @@ class BatchSynthesizer:
         simd_threshold: int = 0,
         matcher: str = "indexed",
         tail_mode: str = "auto",
+        memory_budget: Optional[int] = None,
     ) -> None:
         self.ctx = ctx
         self.iset = iset
@@ -65,6 +67,9 @@ class BatchSynthesizer:
         self.matcher = matcher
         #: remainder strategy (see repro.codegen.options.TAIL_MODES)
         self.tail_mode = tail_mode
+        #: peak live-buffer budget in bytes; None = unbounded (the
+        #: memory-aware scheduler of repro.sched is bypassed entirely)
+        self.memory_budget = memory_budget
         if tail_mode == "predicated" and not iset.supports_masked_tail:
             raise CodegenError(
                 f"tail_mode 'predicated' requires a 'scalable' or 'mask' "
@@ -102,6 +107,9 @@ class BatchSynthesizer:
             return self.conventional(group, reason="too narrow")
 
         dfg = build_dfg(self.ctx, group)
+        plan = self._plan_memory(dfg, group)
+        if plan is not None and plan.demoted:
+            return self.conventional(group, reason="memory budget")
         offset = length % batch_size
         full = batch_count * batch_size
         matched_before = len(self.matches)
@@ -125,14 +133,70 @@ class BatchSynthesizer:
             )
         ]
 
-        # Lines 24-26 (offset strategy): the remainder has the same
-        # computation logic and goes in front of the loop code.  The
-        # fault hook lets the verifier's tests prove a silently dropped
-        # tail is caught (repro.verify.faults); inert unless a test
-        # installed it.
+        # The fault hook lets the verifier's tests prove a silently
+        # dropped tail is caught (repro.verify.faults); inert unless a
+        # test installed it.
         from repro.verify import faults
 
         skip_tail = faults.active("skip_remainder")
+
+        # Memory-aware scheduling: an over-budget group runs as several
+        # full passes over the signal, one per tile of its dataflow
+        # graph, with cross-tile values spilled to pooled local buffers.
+        if plan is not None and plan.tiled:
+            from repro.sched.tiling import tile_dfg
+
+            self._declare_spill_slots(plan)
+            graphs = [tile_dfg(dfg, tile.start, tile.stop) for tile in plan.tiles]
+        else:
+            graphs = [dfg]
+
+        for index, graph in enumerate(graphs):
+            if len(graphs) > 1:
+                statements.append(Comment(
+                    f"tile {index + 1}/{len(graphs)}: "
+                    f"[{', '.join(node.name for node in graph.nodes)}]"
+                ))
+            statements.extend(self._emit_pass(
+                graph, batch_size, batch_count, offset, full,
+                predicated, skip_tail,
+            ))
+
+        for node in dfg.nodes:
+            if node.needs_store:
+                self.ctx.materialized.add((node.name, "out"))
+        tracer = self.ctx.tracer
+        tracer.count(COUNTERS.ALG2_GROUPS_VECTORIZED)
+        tracer.count(COUNTERS.ALG2_NODES_MAPPED, len(dfg.nodes))
+        if predicated and offset:
+            tracer.count(COUNTERS.ALG2_TAIL_PREDICATED)
+            if batch_count == 0:
+                tracer.count(COUNTERS.ALG2_GROUPS_MASKED_NARROW)
+        span.set(
+            nodes=len(dfg.nodes),
+            batch_count=batch_count,
+            remainder=offset,
+            tail=tail_note if offset else "none",
+            tiles=len(graphs),
+            subgraphs_enumerated=self.subgraphs_enumerated - enumerated_before,
+            instructions_matched=len(self.matches) - matched_before,
+        )
+        return statements
+
+    def _emit_pass(
+        self,
+        dfg: Dfg,
+        batch_size: int,
+        batch_count: int,
+        offset: int,
+        full: int,
+        predicated: bool,
+        skip_tail: bool,
+    ) -> List[Stmt]:
+        """One full pass over the signal for (a tile of) the group."""
+        statements: List[Stmt] = []
+        # Lines 24-26 (offset strategy): the remainder has the same
+        # computation logic and goes in front of the loop code.
         if not predicated and offset and not skip_tail:
             statements.extend(self._remainder_code(dfg, offset))
 
@@ -160,26 +224,63 @@ class BatchSynthesizer:
             statements.extend(
                 self._simd_body(dfg, const_i(full), batch_size, vl=offset)
             )
-
-        for node in dfg.nodes:
-            if node.needs_store:
-                self.ctx.materialized.add((node.name, "out"))
-        tracer = self.ctx.tracer
-        tracer.count(COUNTERS.ALG2_GROUPS_VECTORIZED)
-        tracer.count(COUNTERS.ALG2_NODES_MAPPED, len(dfg.nodes))
-        if predicated and offset:
-            tracer.count(COUNTERS.ALG2_TAIL_PREDICATED)
-            if batch_count == 0:
-                tracer.count(COUNTERS.ALG2_GROUPS_MASKED_NARROW)
-        span.set(
-            nodes=len(dfg.nodes),
-            batch_count=batch_count,
-            remainder=offset,
-            tail=tail_note if offset else "none",
-            subgraphs_enumerated=self.subgraphs_enumerated - enumerated_before,
-            instructions_matched=len(self.matches) - matched_before,
-        )
         return statements
+
+    # ------------------------------------------------------------------
+    def _plan_memory(self, dfg: Dfg, group: BatchGroup):
+        """Tile the group against the memory budget (None = unbounded)."""
+        if self.memory_budget is None:
+            return None
+        from repro.sched.tiling import plan_tiles
+
+        tracer = self.ctx.tracer
+        with tracer.span(
+            SPANS.SCHED_PLAN, members=list(group.members),
+            budget=self.memory_budget,
+        ) as span:
+            plan = plan_tiles(
+                dfg, width=group.width,
+                lane_bytes=self.iset.vector_bits // 8,
+                budget=self.memory_budget,
+            )
+            tracer.count(COUNTERS.SCHED_GROUPS_PLANNED)
+            span.set(
+                tiles=len(plan.tiles), demoted=plan.demoted,
+                peak_bytes=plan.peak_bytes, spill_slots=len(plan.slots),
+            )
+        if plan.demoted:
+            tracer.count(COUNTERS.SCHED_GROUPS_DEMOTED)
+            self.ctx.diagnostics.report(
+                "HCG221", plan.reason, actor=", ".join(group.members)
+            )
+        elif plan.tiled:
+            tracer.count(COUNTERS.SCHED_GROUPS_TILED)
+            tracer.count(COUNTERS.SCHED_TILES_EMITTED, len(plan.tiles))
+            tracer.count(COUNTERS.SCHED_SPILL_SLOTS, len(plan.slots))
+            tracer.count(COUNTERS.SCHED_SPILL_REUSED, plan.slots_reused)
+            self.ctx.diagnostics.report(
+                "HCG222",
+                f"{len(plan.tiles)} tiles, {len(plan.slots)} spill slot(s) "
+                f"({plan.slots_reused} reuse(s)), peak {plan.peak_bytes} of "
+                f"{self.memory_budget} budget bytes",
+                actor=", ".join(group.members),
+            )
+        return plan
+
+    def _declare_spill_slots(self, plan) -> None:
+        """LOCAL buffers for cross-tile values, one per pooled slot."""
+        buffers: Dict[str, str] = {}
+        for slot in plan.slots:
+            # fresh(), not reserve(): several groups in one program each
+            # plan their own slot 1, and buffer names must stay unique.
+            name = self.ctx.names.fresh(slot.label)
+            self.ctx.program.add_buffer(BufferDecl(
+                name, slot.dtype, slot.length, BufferKind.LOCAL,
+                (slot.length,),
+            ))
+            buffers[slot.label] = name
+        for node_name, label in plan.spilled.items():
+            self.ctx.alias_port(node_name, "out", buffers[label])
 
     # ------------------------------------------------------------------
     def _direct_outport(self, node) -> Optional[str]:

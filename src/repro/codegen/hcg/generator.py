@@ -79,6 +79,7 @@ class HcgGenerator:
         simd_threshold: int = 0,
         matcher: str = "indexed",
         tail_mode: str = "auto",
+        memory_budget: Optional[int] = None,
         branch_aware: bool = False,
         variable_reuse: bool = True,
         policy: str = "strict",
@@ -111,6 +112,13 @@ class HcgGenerator:
                 f"features={list(self.iset.features)}"
             )
         self.tail_mode = tail_mode
+        #: peak live-buffer bytes per batch group; None = unbounded (see
+        #: repro.sched and CodegenOptions.memory_budget)
+        if memory_budget is not None and memory_budget < 0:
+            raise ValueError(
+                f"memory_budget must be >= 0 bytes, got {memory_budget}"
+            )
+        self.memory_budget = memory_budget
         self.branch_aware = branch_aware
         self.variable_reuse = variable_reuse
         #: fault policy: "strict" raises at the end of generate() when a
@@ -199,6 +207,7 @@ class HcgGenerator:
         batch = BatchSynthesizer(
             ctx, self.iset, self.unroll_limit, self.simd_threshold,
             matcher=self.matcher, tail_mode=self.tail_mode,
+            memory_budget=self.memory_budget,
         )
         self.last_batch = batch
 

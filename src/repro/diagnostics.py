@@ -49,6 +49,11 @@ DIAGNOSTIC_CODES: Dict[str, Tuple[Severity, str]] = {
     "HCG211": (Severity.INFO, "batch group demoted: too narrow or below the profitability threshold"),
     "HCG212": (Severity.ERROR, "parallel generation task failed; fault isolated to its cell"),
     "HCG213": (Severity.ERROR, "parallel generation task exceeded its timeout; cell degraded"),
+    # 22x — memory-aware group scheduling (repro.sched, memory_budget)
+    "HCG221": (Severity.WARNING, "batch group demoted to scalar: even a single-node tile overflows the memory budget"),
+    "HCG222": (Severity.INFO, "batch group tiled to fit the memory budget"),
+    # 23x — cost-driven multi-backend partitioning (repro.sched.partition)
+    "HCG231": (Severity.INFO, "partitioner kept the model on a single backend (no profitable cut)"),
     # 3xx — selection-history / cache recovery
     "HCG301": (Severity.WARNING, "corrupt history file quarantined and rebuilt"),
     "HCG302": (Severity.WARNING, "malformed history entry skipped"),

@@ -21,7 +21,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Union
 
 #: bump when the record layout changes (tools grep for the old value)
-BENCH_SCHEMA_VERSION = 1
+#: 2: per-cell ``peak_live_bytes`` + top-level ``seed``/``memory_budget``
+BENCH_SCHEMA_VERSION = 2
 
 #: the record discriminator, so mixed artifact directories stay sortable
 BENCH_KIND = "BENCH_codegen"
@@ -39,6 +40,7 @@ _ROW_FIELDS: Dict[str, type] = {
     "iterations": int,
     "simd_coverage_pct": float,
     "data_bytes": int,
+    "peak_live_bytes": int,
     "metrics": dict,
 }
 
@@ -49,6 +51,8 @@ def build_bench_record(
     compiler_name: str,
     steps: int,
     quick: bool,
+    seed: int = 0,
+    memory_budget: Any = None,
 ) -> Dict[str, Any]:
     """Assemble the record from a (arch -> model -> generator -> RunResult)
     matrix produced by :func:`repro.bench.trajectory.bench_matrix`."""
@@ -72,6 +76,7 @@ def build_bench_record(
                     "iterations": run.iterations,
                     "simd_coverage_pct": round(run.simd_coverage, 3),
                     "data_bytes": run.data_bytes,
+                    "peak_live_bytes": getattr(run, "peak_live_bytes", 0),
                     "metrics": dict(run.metrics),
                 })
             if {"simulink_coder", "hcg"} <= set(results):
@@ -101,6 +106,8 @@ def build_bench_record(
         "quick": quick,
         "compiler": compiler_name,
         "steps": steps,
+        "seed": seed,
+        "memory_budget": memory_budget,
         "archs": {name: isa_of_arch[name] for name in matrix},
         "results": rows,
         "summary": summary,
@@ -154,6 +161,15 @@ def validate_bench_record(payload: Any) -> None:
             raise ValueError(f"bench record field {key!r} must be a string")
     if not isinstance(payload.get("quick"), bool):
         raise ValueError("bench record field 'quick' must be a boolean")
+    if not isinstance(payload.get("seed", 0), int) or isinstance(
+        payload.get("seed", 0), bool
+    ):
+        raise ValueError("bench record field 'seed' must be an integer")
+    budget = payload.get("memory_budget")
+    if budget is not None and (not isinstance(budget, int) or isinstance(budget, bool)):
+        raise ValueError(
+            "bench record field 'memory_budget' must be an integer or null"
+        )
     if not isinstance(payload.get("archs"), dict) or not payload["archs"]:
         raise ValueError("bench record field 'archs' must be a non-empty object")
     rows = payload.get("results")

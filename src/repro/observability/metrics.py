@@ -52,6 +52,12 @@ class SPANS:
     SERVER_BATCH = "server.batch"
     #: one hot config reload (validate + atomic swap, event loop only)
     SERVER_RELOAD = "server.reload"
+    #: memory-budget tile planning of one batch group (repro.sched)
+    SCHED_PLAN = "sched.plan"
+    #: one whole partition search (repro.sched.partition)
+    SCHED_PARTITION = "sched.partition"
+    #: one evaluated partition candidate (cut + backend assignment)
+    SCHED_PARTITION_CANDIDATE = "sched.partition.candidate"
 
 
 class COUNTERS:
@@ -120,6 +126,15 @@ class COUNTERS:
     # Codegen daemon — hot config reload (SIGHUP / POST /admin/reload)
     SERVER_RELOAD_OK = "server.reload.ok"
     SERVER_RELOAD_REJECTED = "server.reload.rejected"
+    # Memory-aware scheduler (repro.sched, CodegenOptions.memory_budget)
+    SCHED_GROUPS_PLANNED = "sched.groups_planned"
+    SCHED_GROUPS_TILED = "sched.groups_tiled"
+    SCHED_GROUPS_DEMOTED = "sched.groups_demoted"
+    SCHED_TILES_EMITTED = "sched.tiles_emitted"
+    SCHED_SPILL_SLOTS = "sched.spill_slots"
+    SCHED_SPILL_REUSED = "sched.spill_reused"
+    # Cost-driven partitioner (repro.sched.partition)
+    SCHED_PARTITION_CANDIDATES = "sched.partition.candidates"
 
 
 def generation_metrics(generator: Any) -> Dict[str, Any]:

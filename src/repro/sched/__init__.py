@@ -1,0 +1,42 @@
+"""Memory-aware group scheduling and multi-backend partitioning.
+
+This subsystem extends Algorithm 2's batch-group mapping along the two
+axes ROADMAP item 3 names (grounded in PAPERS.md: memory-constrained
+dataflow vectorization for hybrid CPU-GPU platforms, and MASIM's
+multi-array scheduling):
+
+* :mod:`repro.sched.liveness` / :mod:`repro.sched.tiling` — bound a
+  batch group's peak live-buffer bytes against
+  ``CodegenOptions.memory_budget`` by splitting oversized groups into
+  budget-fitting tiles with spill-slot reuse between them;
+* :mod:`repro.sched.partition` — split one model's dataflow graph
+  across heterogeneous :class:`~repro.arch.backend.BackendSpec`
+  backends, choosing the cut by predicted VM cost including per-edge
+  transfer costs.
+
+Everything here is internal; the supported surface is
+``repro.api.partition`` plus the ``memory_budget`` option
+(``tools/check_api_boundary.py`` enforces the boundary).
+"""
+
+# The graph vocabulary every sched entry point consumes, re-exported
+# so callers (and the sched test suite) need not reach into
+# repro.codegen to build one.
+from repro.codegen.hcg.dfg import Dfg, DfgNode, ExtInput, NodeInput
+from repro.sched.liveness import group_register_peak, register_peak
+from repro.sched.tiling import TilePlan, plan_tiles, tile_dfg
+from repro.sched.partition import PartitionResult, partition_model
+
+__all__ = [
+    "Dfg",
+    "DfgNode",
+    "ExtInput",
+    "NodeInput",
+    "PartitionResult",
+    "TilePlan",
+    "group_register_peak",
+    "partition_model",
+    "plan_tiles",
+    "register_peak",
+    "tile_dfg",
+]

@@ -1,0 +1,113 @@
+"""Register liveness over a batch group's dataflow graph.
+
+Algorithm 2 keeps every group-internal value in a vector register for
+the whole body; the number of simultaneously live registers therefore
+grows with the group, and so does the working set.  This module
+computes, for any contiguous node range of a :class:`~repro.codegen.hcg.dfg.Dfg`,
+the peak number of simultaneously live register values the emitted
+body can need — the quantity the tile planner bounds against
+``CodegenOptions.memory_budget``.
+
+The model mirrors how :meth:`BatchSynthesizer._simd_body` emits code:
+
+* every external input of the range is loaded into a register at the
+  top of the body (live from position ``start``);
+* each node's result occupies a register from its own position until
+  its last in-range internal use (a value consumed only outside the
+  range is stored immediately, so its register dies at its definition
+  unless a later in-range node reads it).
+
+This is a conservative upper bound: subgraph matching fuses several
+nodes into one instruction, so the real body often uses fewer
+registers — never more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.codegen.hcg.dfg import Dfg, ExtInput, NodeInput
+
+
+def value_positions(dfg: Dfg) -> Dict[str, int]:
+    """Node name -> index in the group's schedule order."""
+    return {node.name: index for index, node in enumerate(dfg.nodes)}
+
+
+def last_internal_uses(dfg: Dfg) -> Dict[str, int]:
+    """Node name -> last position that reads it inside the group.
+
+    A node nobody inside the group consumes maps to its own position
+    (its register dies immediately after definition).
+    """
+    positions = value_positions(dfg)
+    last: Dict[str, int] = {}
+    for node in dfg.nodes:
+        uses = [positions[c] for c in node.internal_consumers]
+        last[node.name] = max(uses) if uses else positions[node.name]
+    return last
+
+
+def range_inputs(dfg: Dfg, start: int, stop: int) -> Tuple[object, ...]:
+    """Values entering the range from outside it, in first-use order.
+
+    External inputs of the group stay :class:`ExtInput`; values defined
+    by nodes *before* ``start`` appear as :class:`NodeInput` references
+    (the planner decides whether they read a real buffer or a spill
+    slot).
+    """
+    positions = value_positions(dfg)
+    seen: List[object] = []
+    for node in dfg.nodes[start:stop]:
+        for ref in node.inputs:
+            if isinstance(ref, NodeInput) and positions[ref.node] >= start:
+                continue
+            if ref not in seen:
+                seen.append(ref)
+    return tuple(seen)
+
+
+def register_peak(dfg: Dfg, start: int, stop: int) -> int:
+    """Peak simultaneously-live register count for nodes [start, stop).
+
+    Counts the range's input registers (all loaded up front, each live
+    until its last in-range use) plus every node's result register
+    (live from definition to last in-range internal use).
+    """
+    if stop <= start:
+        return 0
+    positions = value_positions(dfg)
+
+    # Death position of every register value, within the range.
+    deaths: Dict[int, int] = {}
+
+    def _dies(position: int) -> None:
+        deaths[position] = deaths.get(position, 0) + 1
+
+    inputs = range_inputs(dfg, start, stop)
+    for ref in inputs:
+        last = start
+        for position in range(start, stop):
+            if ref in dfg.nodes[position].inputs:
+                last = position
+        _dies(last)
+    for position in range(start, stop):
+        node = dfg.nodes[position]
+        uses = [
+            positions[c] for c in node.internal_consumers
+            if start <= positions[c] < stop
+        ]
+        _dies(max(uses) if uses else position)
+
+    live = len(inputs)
+    peak = live
+    for position in range(start, stop):
+        live += 1  # the node's own result register
+        peak = max(peak, live)
+        live -= deaths.get(position, 0)
+    return peak
+
+
+def group_register_peak(dfg: Dfg) -> int:
+    """Peak live registers for the whole (untiled) group body."""
+    return register_peak(dfg, 0, len(dfg.nodes))

@@ -1,0 +1,448 @@
+"""Cost-driven partitioning of one model across heterogeneous backends.
+
+Given a model and a list of :class:`~repro.arch.backend.BackendSpec`
+backends, the partitioner searches single cuts of the topological
+schedule — every actor before the cut on one backend, everything after
+it on the other — plus the trivial all-on-one-backend assignments, and
+keeps the candidate with the lowest *predicted* cost: each candidate's
+partition programs are generated (HCG) and executed on the VM under the
+candidate backend's cost table, and every byte crossing a backend
+boundary is charged at that backend's ``transfer_cost_per_byte``
+(see :class:`~repro.vm.partitioned.PartitionedMachine`).
+
+Cut validity: no connection may point backwards across the cut —
+including ``UnitDelay`` state inputs, which, although not a same-step
+dependency, must be produced by an earlier-or-equal partition so the
+delayed value can cross the boundary forward in time.
+
+Source actors are cheap to replicate: an ``Inport`` or ``Const``
+consumed on both sides is instantiated in each partition (the
+environment feeds inports directly; constants are baked into each
+program), so only *computed* crossing values become handoff buffers.
+
+The chosen plan is differentially verified against the model's
+reference semantics before being returned.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.backend import BackendSpec
+from repro.diagnostics import Diagnostic, DiagnosticsCollector
+from repro.errors import ReproError, VerificationError
+from repro.model.actor_defs import create_actor
+from repro.model.graph import Model
+from repro.observability.metrics import COUNTERS, SPANS
+from repro.schedule.scheduler import compute_schedule
+from repro.vm.partitioned import Handoff, PartitionProgram, PartitionedMachine
+
+#: handoff buffers are named xfer0, xfer1, ... in crossing order
+_XFER_PREFIX = "xfer"
+
+#: replicable source actor types (duplicated instead of handed off)
+_SOURCE_TYPES = ("Inport", "Const")
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition:
+    """One side of the chosen cut."""
+
+    backend: BackendSpec
+    actors: Tuple[str, ...]
+    model: Model
+    program: Any  # repro.ir.program.Program
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionResult:
+    """The partitioner's verdict for one model."""
+
+    model: str
+    backends: Tuple[BackendSpec, ...]
+    partitions: Tuple[Partition, ...]
+    handoffs: Tuple[Handoff, ...]
+    #: predicted per-step cycles of the chosen plan (incl. transfer)
+    predicted_cycles: float
+    #: the transfer share of ``predicted_cycles``
+    transfer_cycles: float
+    #: predicted per-step cycles had the whole model run on one backend
+    single_backend_cycles: Dict[str, float]
+    #: candidates generated and cost-evaluated during the search
+    candidates_evaluated: int
+    #: peak working-set bytes, max over partitions
+    peak_live_bytes: int
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    verified: bool = False
+
+    @property
+    def split(self) -> bool:
+        return len(self.partitions) > 1
+
+    def best_single_backend_cycles(self) -> float:
+        return min(self.single_backend_cycles.values())
+
+    def contract(self) -> Dict[str, Any]:
+        """The JSON-able boundary-buffer handoff contract."""
+        return {
+            "model": self.model,
+            "partitions": [
+                {
+                    "backend": part.backend.describe(),
+                    "arch": part.backend.arch,
+                    "actors": list(part.actors),
+                }
+                for part in self.partitions
+            ],
+            "handoffs": [h.contract_entry() for h in self.handoffs],
+            "predicted_cycles": self.predicted_cycles,
+            "transfer_cycles": self.transfer_cycles,
+        }
+
+
+@dataclasses.dataclass
+class _Candidate:
+    """One (cut, backend assignment) under evaluation."""
+
+    label: str
+    parts: List[Tuple[BackendSpec, Model, Tuple[str, ...]]]
+    handoffs: Tuple[Handoff, ...]
+
+
+# ----------------------------------------------------------------------
+# Sub-model construction
+# ----------------------------------------------------------------------
+def _build_candidate(
+    model: Model,
+    order: Sequence[str],
+    cut: int,
+    backends: Sequence[BackendSpec],
+) -> Optional[_Candidate]:
+    """Split ``model`` at schedule position ``cut`` onto ``backends``.
+
+    ``cut == 0`` or ``cut == len(order)`` yields a single partition on
+    ``backends[0]``.  Returns ``None`` for degenerate cuts where one
+    side ends up empty after source replication.
+    """
+    position = {name: index for index, name in enumerate(order)}
+    if cut <= 0 or cut >= len(order):
+        sides = {name: 0 for name in order}
+        active = [backends[0]]
+    else:
+        sides = {name: (0 if position[name] < cut else 1) for name in order}
+        active = list(backends[:2])
+
+    n_sides = len(active)
+    #: side -> connections internal to it (after source replication)
+    internal: Dict[int, List] = {side: [] for side in range(n_sides)}
+    #: side -> source actor names replicated into it
+    replicated: Dict[int, set] = {side: set() for side in range(n_sides)}
+    #: (src actor, src port) -> crossing connections
+    crossing: Dict[Tuple[str, str], List] = {}
+
+    for connection in model.connections:
+        src_side = sides[connection.src_actor]
+        dst_side = sides[connection.dst_actor]
+        src_type = model.actor(connection.src_actor).actor_type
+        if src_side == dst_side:
+            internal[dst_side].append(connection)
+        elif src_type in _SOURCE_TYPES:
+            replicated[dst_side].add(connection.src_actor)
+            internal[dst_side].append(connection)
+        elif src_side > dst_side:
+            return None  # backward dependency; invalid cut
+        else:
+            crossing.setdefault(
+                (connection.src_actor, connection.src_port), []
+            ).append(connection)
+
+    # A source actor stays on its own side only if consumed there.
+    used: Dict[int, set] = {side: set() for side in range(n_sides)}
+    for side, connections in internal.items():
+        for connection in connections:
+            used[side].add(connection.src_actor)
+            used[side].add(connection.dst_actor)
+    for (src_actor, _), _connections in crossing.items():
+        used[sides[src_actor]].add(src_actor)
+
+    members: Dict[int, List[str]] = {side: [] for side in range(n_sides)}
+    for actor in model.actors:
+        side = sides[actor.name]
+        if actor.actor_type in _SOURCE_TYPES and actor.name not in used[side]:
+            if any(actor.name in used[s] or actor.name in replicated[s]
+                   for s in range(n_sides)):
+                continue  # consumed elsewhere via replication; drop here
+        members[side].append(actor.name)
+    for side in range(n_sides):
+        for name in sorted(replicated[side], key=lambda n: position[n]):
+            if name not in members[side]:
+                members[side].append(name)
+        if not members[side]:
+            return None
+
+    parts: List[Tuple[BackendSpec, Model, Tuple[str, ...]]] = []
+    part_models: Dict[int, Model] = {}
+    for side in range(n_sides):
+        part = Model(f"{model.name}_{active[side].name}")
+        ordered = sorted(members[side], key=lambda n: position[n])
+        for name in ordered:
+            part.add_actor(model.actor(name))
+        for connection in internal[side]:
+            part.connect(connection.src_actor, connection.src_port,
+                         connection.dst_actor, connection.dst_port)
+        part_models[side] = part
+        parts.append((active[side], part, tuple(ordered)))
+
+    # Handoff ports: one Outport/Inport pair per crossing value.
+    handoffs: List[Handoff] = []
+    for index, ((src_actor, src_port), connections) in enumerate(
+        sorted(crossing.items(), key=lambda item: (position[item[0][0]], item[0][1]))
+    ):
+        name = f"{_XFER_PREFIX}{index}"
+        while any(name in (a.name for a in m.actors) for m in part_models.values()):
+            name = f"_{name}"
+        src_side = sides[src_actor]
+        dst_side = sides[connections[0].dst_actor]
+        port = model.actor(src_actor).output(src_port)
+        producer = part_models[src_side]
+        producer.add_actor(create_actor(
+            name, "Outport", port.dtype, {"shape": port.shape}
+        ))
+        producer.connect(src_actor, src_port, name, "in1")
+        consumer = part_models[dst_side]
+        consumer.add_actor(create_actor(
+            name, "Inport", port.dtype, {"shape": port.shape}
+        ))
+        for connection in connections:
+            consumer.connect(name, "out", connection.dst_actor, connection.dst_port)
+        handoffs.append(Handoff(
+            name=name, src_actor=src_actor, src_port=src_port,
+            producer=active[src_side].name, consumer=active[dst_side].name,
+            dtype=port.dtype, shape=tuple(port.shape),
+        ))
+
+    for _backend, part, _names in parts:
+        part.validate()
+    label = (
+        f"all on {active[0].name}" if n_sides == 1
+        else f"cut@{cut}: {active[0].name}|{active[1].name}"
+    )
+    return _Candidate(label=label, parts=parts, handoffs=tuple(handoffs))
+
+
+def _valid_cuts(model: Model, order: Sequence[str]) -> List[int]:
+    """Cut positions with no backward (incl. delay-input) dependency."""
+    position = {name: index for index, name in enumerate(order)}
+    n = len(order)
+    invalid = [False] * (n + 1)
+    for connection in model.connections:
+        src = position[connection.src_actor]
+        dst = position[connection.dst_actor]
+        if src >= dst:  # only delay inputs can point backwards
+            for k in range(dst + 1, src + 1):
+                invalid[k] = True
+    return [k for k in range(1, n) if not invalid[k]]
+
+
+# ----------------------------------------------------------------------
+# Candidate evaluation
+# ----------------------------------------------------------------------
+class _ProgramFactory:
+    """Generates (and memoizes) one partition's program per backend arch."""
+
+    def __init__(self, options: Any, tracer: Any) -> None:
+        self.options = options
+        self.tracer = tracer
+        self._memo: Dict[Tuple[Tuple[str, ...], str, str], Any] = {}
+
+    def program_for(self, part: Model, backend: BackendSpec) -> Any:
+        key = (
+            tuple(actor.name for actor in part.actors),
+            part.name.rsplit("_", 1)[0],
+            backend.arch,
+        )
+        if key not in self._memo:
+            from repro.bench.runner import make_generator
+
+            kwargs = dict(self.options.generator_kwargs("hcg"))
+            kwargs["policy"] = "permissive"
+            kwargs["tracer"] = self.tracer
+            generator = make_generator("hcg", backend.architecture(), **kwargs)
+            self._memo[key] = generator.generate(part)
+        return self._memo[key]
+
+
+def _machine_for(
+    candidate: _Candidate, factory: _ProgramFactory
+) -> Tuple[PartitionedMachine, Tuple[Partition, ...]]:
+    parts = []
+    partitions = []
+    for backend, part_model, names in candidate.parts:
+        program = factory.program_for(part_model, backend)
+        parts.append(PartitionProgram(
+            backend_name=backend.name,
+            arch=backend.architecture(),
+            cost=backend.cost_table(),
+            transfer_cost_per_byte=backend.transfer_cost_per_byte,
+            program=program,
+        ))
+        partitions.append(Partition(
+            backend=backend, actors=names, model=part_model, program=program,
+        ))
+    return (
+        PartitionedMachine(parts, candidate.handoffs),
+        tuple(partitions),
+    )
+
+
+def _predict(machine: PartitionedMachine, inputs: Mapping[str, Any],
+             steps: int) -> Any:
+    result = None
+    for _ in range(max(steps, 1)):
+        result = machine.run(inputs)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def partition_model(
+    model: Model,
+    backends: Sequence[BackendSpec],
+    *,
+    options: Optional[Any] = None,
+    steps: int = 2,
+    seed: int = 2022,
+    max_cuts: int = 16,
+    tracer: Optional[Any] = None,
+    verify: bool = True,
+) -> PartitionResult:
+    """Choose the lowest-predicted-cost split of ``model``.
+
+    Evaluates every all-on-one-backend assignment plus up to
+    ``max_cuts`` valid schedule cuts for each ordered backend pair;
+    verifies the winner against the model's reference semantics.
+    """
+    if len(backends) < 1:
+        raise ReproError("partitioning needs at least one backend")
+    names = [backend.name for backend in backends]
+    if len(set(names)) != len(names):
+        raise ReproError(f"duplicate backend names: {names}")
+    if options is None:
+        from repro.codegen.options import CodegenOptions
+
+        options = CodegenOptions()
+    if tracer is None:
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
+    from repro.bench.models import benchmark_inputs
+
+    model.validate()
+    order = compute_schedule(model).order
+    inputs = benchmark_inputs(model, seed=seed)
+    factory = _ProgramFactory(options, tracer)
+    collector = DiagnosticsCollector(policy="permissive")
+
+    cuts = _valid_cuts(model, order)
+    if len(cuts) > max_cuts:
+        stride = len(cuts) / max_cuts
+        cuts = [cuts[int(i * stride)] for i in range(max_cuts)]
+
+    with tracer.span(
+        SPANS.SCHED_PARTITION, model=model.name,
+        backends=[b.describe() for b in backends], cuts=len(cuts),
+    ) as span:
+        candidates: List[Tuple[str, _Candidate]] = []
+        for backend in backends:
+            built = _build_candidate(model, order, 0, [backend])
+            if built is not None:
+                candidates.append((backend.name, built))
+        for cut in cuts:
+            for pair in itertools.permutations(backends, 2):
+                built = _build_candidate(model, order, cut, list(pair))
+                if built is not None:
+                    candidates.append(("", built))
+
+        best = None
+        single_cycles: Dict[str, float] = {}
+        evaluated = 0
+        for single_name, candidate in candidates:
+            with tracer.span(
+                SPANS.SCHED_PARTITION_CANDIDATE, label=candidate.label
+            ) as cand_span:
+                machine, partitions = _machine_for(candidate, factory)
+                result = _predict(machine, inputs, steps)
+                evaluated += 1
+                tracer.count(COUNTERS.SCHED_PARTITION_CANDIDATES)
+                cand_span.set(cycles=round(result.cycles, 3))
+            if single_name:
+                single_cycles[single_name] = result.cycles
+            if best is None or result.cycles < best[0]:
+                best = (result.cycles, candidate, machine, partitions, result)
+
+        if best is None:
+            raise ReproError(
+                f"no valid partition candidate for model {model.name!r}"
+            )
+        best_cycles, candidate, machine, partitions, result = best
+        if len(partitions) == 1:
+            collector.report(
+                "HCG231",
+                f"model {model.name!r} stays on backend "
+                f"{partitions[0].backend.name!r}: no cut beats "
+                f"{best_cycles:.1f} predicted cycles",
+                actor=model.name,
+            )
+        span.set(
+            chosen=candidate.label, predicted_cycles=round(best_cycles, 3),
+            candidates=evaluated,
+        )
+
+    verified = False
+    if verify:
+        _verify_partition(model, machine, inputs, steps)
+        verified = True
+
+    return PartitionResult(
+        model=model.name,
+        backends=tuple(backends),
+        partitions=partitions,
+        handoffs=candidate.handoffs,
+        predicted_cycles=best_cycles,
+        transfer_cycles=machine.transfer_cycles(),
+        single_backend_cycles=single_cycles,
+        candidates_evaluated=evaluated,
+        peak_live_bytes=result.peak_live_bytes,
+        diagnostics=collector.diagnostics,
+        verified=verified,
+    )
+
+
+def _verify_partition(model: Model, machine: PartitionedMachine,
+                      inputs: Mapping[str, Any], steps: int) -> None:
+    """The chosen plan must match the model's reference semantics."""
+    from repro.model.semantics import ModelEvaluator
+
+    fresh_machine = PartitionedMachine(machine.parts, machine.handoffs)
+    reference = ModelEvaluator(model)
+    expected = got = None
+    for _ in range(max(steps, 1)):
+        expected = reference.step(inputs)
+        got = fresh_machine.run(inputs)
+    assert expected is not None and got is not None
+    for name, value in expected.items():
+        actual = got.outputs[name].reshape(np.asarray(value).shape)
+        if np.asarray(value).dtype.kind in "fc":
+            ok = np.allclose(actual, value, rtol=1e-4, atol=1e-4, equal_nan=True)
+        else:
+            ok = np.array_equal(actual, value)
+        if not ok:
+            raise VerificationError(
+                f"partitioned output {name!r} diverges from the model "
+                f"reference for {model.name!r}"
+            )

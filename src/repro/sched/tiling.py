@@ -1,0 +1,246 @@
+"""Budget-constrained tiling of oversized batch groups.
+
+Algorithm 2 keeps every group-internal value in a vector register for
+the whole body, so a group's *vector working set* — simultaneously live
+registers times the register byte width — grows with the group.  On an
+embedded target that working set is the scarce resource (the register
+file, or the scratchpad a compiler spills into); main memory is not.
+``CodegenOptions.memory_budget`` therefore bounds the **per-pass vector
+working set in bytes**::
+
+    footprint(tile) = register_peak(tile) * lane_bytes
+
+When the whole group's footprint exceeds the budget, the group is split
+into contiguous *tiles* of its dataflow graph, each emitted as its own
+full pass over the signal (remainder + SIMD loop), so only one tile's
+registers are ever live.  Values computed in one tile and consumed in a
+later one are *spilled* to full-width local buffers in ordinary memory;
+spill slots are pooled and reused between tiles once the value's last
+consumer has run (MASIM-style multi-array reuse).  Spill traffic is
+*reported* (slot count, bytes, reuses) but not charged against the
+budget — it lives in unconstrained RAM, which is exactly the trade the
+scheduler makes: registers for memory.
+
+Greedy packing grows each tile while the footprint fits; when even a
+single-node tile overflows, the plan reports *demotion* and Algorithm 2
+falls back to the conventional scalar translation (diagnostic HCG221).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.hcg.dfg import Dfg, DfgNode, ExtInput, NodeInput
+from repro.sched.liveness import (
+    last_internal_uses,
+    register_peak,
+    value_positions,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpillSlot:
+    """One pooled full-width spill buffer (may serve several values)."""
+
+    label: str
+    dtype: object        # repro.dtypes.DataType
+    length: int          # the group's signal width
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.dtype.byte_width
+
+
+@dataclasses.dataclass(frozen=True)
+class Tile:
+    """One contiguous range of the group's dataflow graph."""
+
+    start: int
+    stop: int
+    names: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class TilePlan:
+    """The scheduler's verdict for one batch group."""
+
+    tiles: Tuple[Tile, ...]
+    #: even the minimum (single-node) tile overflows the budget
+    demoted: bool
+    reason: str
+    #: worst-case per-pass vector working set of the plan, in bytes
+    peak_bytes: int
+    budget: Optional[int]
+    lane_bytes: int
+    #: distinct spill buffers the plan declares
+    slots: Tuple[SpillSlot, ...]
+    #: spilled value (node name) -> slot label
+    spilled: Dict[str, str]
+    #: spill allocations served by reusing a freed slot
+    slots_reused: int
+
+    @property
+    def tiled(self) -> bool:
+        return len(self.tiles) > 1
+
+    @property
+    def spill_bytes(self) -> int:
+        """Ordinary-memory bytes the plan's spill slots occupy."""
+        return sum(slot.nbytes for slot in self.slots)
+
+
+def tile_footprint(dfg: Dfg, start: int, stop: int, *, lane_bytes: int) -> int:
+    """The vector working set of one pass over tile ``[start, stop)``."""
+    return register_peak(dfg, start, stop) * lane_bytes
+
+
+def plan_tiles(
+    dfg: Dfg,
+    *,
+    width: int,
+    lane_bytes: int,
+    budget: Optional[int],
+) -> TilePlan:
+    """Pack the group's nodes into budget-fitting tiles, greedily.
+
+    ``budget is None`` plans a single unconstrained tile (so callers
+    still get the footprint estimate); otherwise each tile is grown
+    while its modelled footprint fits, and a single-node overflow
+    demotes the whole group.
+    """
+    n = len(dfg.nodes)
+    positions = value_positions(dfg)
+    last_use = last_internal_uses(dfg)
+
+    def footprint(a: int, b: int) -> int:
+        return tile_footprint(dfg, a, b, lane_bytes=lane_bytes)
+
+    if budget is None or footprint(0, n) <= budget:
+        whole = Tile(0, n, tuple(node.name for node in dfg.nodes))
+        return TilePlan(
+            tiles=(whole,), demoted=False, reason="",
+            peak_bytes=footprint(0, n), budget=budget, lane_bytes=lane_bytes,
+            slots=(), spilled={}, slots_reused=0,
+        )
+
+    tiles: List[Tile] = []
+    start = 0
+    while start < n:
+        single = footprint(start, start + 1)
+        if single > budget:
+            return TilePlan(
+                tiles=(), demoted=True,
+                reason=(
+                    f"node {dfg.nodes[start].name!r} alone needs {single} "
+                    f"working-set bytes, over the {budget}-byte budget"
+                ),
+                peak_bytes=single, budget=budget, lane_bytes=lane_bytes,
+                slots=(), spilled={}, slots_reused=0,
+            )
+        stop = start + 1
+        while stop < n and footprint(start, stop + 1) <= budget:
+            stop += 1
+        tiles.append(Tile(
+            start, stop,
+            tuple(node.name for node in dfg.nodes[start:stop]),
+        ))
+        start = stop
+
+    slots, spilled, reused = _assign_spill_slots(
+        dfg, tiles, width, positions, last_use
+    )
+    peak = max(footprint(tile.start, tile.stop) for tile in tiles)
+    return TilePlan(
+        tiles=tuple(tiles), demoted=False, reason="",
+        peak_bytes=peak, budget=budget, lane_bytes=lane_bytes,
+        slots=tuple(slots), spilled=spilled, slots_reused=reused,
+    )
+
+
+def tile_dfg(dfg: Dfg, start: int, stop: int) -> Dfg:
+    """The sub-graph of tile ``[start, stop)``, ready for Algorithm 2.
+
+    Values defined in earlier tiles become external inputs (their key is
+    the defining node's output port, which the planner aliases to either
+    the value's real signal buffer or a spill slot); values consumed by
+    later tiles gain ``needs_store`` so the tile's pass writes them out.
+    """
+    positions = value_positions(dfg)
+    last_use = last_internal_uses(dfg)
+    nodes = []
+    for node in dfg.nodes[start:stop]:
+        refs = []
+        for ref in node.inputs:
+            if isinstance(ref, NodeInput) and positions[ref.node] < start:
+                refs.append(ExtInput((ref.node, "out"), dfg.node(ref.node).dtype))
+            else:
+                refs.append(ref)
+        nodes.append(DfgNode(
+            name=node.name,
+            op=node.op,
+            dtype=node.dtype,
+            inputs=tuple(refs),
+            imm=node.imm,
+            internal_consumers=tuple(
+                c for c in node.internal_consumers if positions[c] < stop
+            ),
+            needs_store=node.needs_store or last_use[node.name] >= stop,
+            src_dtype=node.src_dtype,
+        ))
+    return Dfg(nodes)
+
+
+def _assign_spill_slots(
+    dfg: Dfg,
+    tiles: List[Tile],
+    width: int,
+    positions: Dict[str, int],
+    last_use: Dict[str, int],
+) -> Tuple[List[SpillSlot], Dict[str, str], int]:
+    """Pool spill slots across tiles, reusing freed ones per dtype."""
+    tile_of: Dict[int, int] = {}
+    for index, tile in enumerate(tiles):
+        for position in range(tile.start, tile.stop):
+            tile_of[position] = index
+
+    slots: List[SpillSlot] = []
+    spilled: Dict[str, str] = {}
+    free: Dict[str, List[str]] = {}
+    counters: Dict[str, int] = {}
+    #: (last consumer tile, slot label, dtype key) of live spills
+    active: List[Tuple[int, str, str]] = []
+    reused = 0
+
+    for index, tile in enumerate(tiles):
+        still_active = []
+        for end_tile, label, key in active:
+            if end_tile < index:
+                free.setdefault(key, []).append(label)
+            else:
+                still_active.append((end_tile, label, key))
+        active = still_active
+
+        for position in range(tile.start, tile.stop):
+            node = dfg.nodes[position]
+            if node.needs_store:
+                continue  # its signal buffer doubles as the spill
+            end_tile = tile_of[last_use[node.name]]
+            if end_tile <= index:
+                continue  # consumed within this tile; register-only
+            key = node.dtype.value
+            pool = free.get(key, [])
+            if pool:
+                label = pool.pop()
+                reused += 1
+            else:
+                counters[key] = counters.get(key, 0) + 1
+                label = f"sched_spill_{key}_{counters[key]}"
+                slots.append(SpillSlot(label, node.dtype, width))
+            spilled[node.name] = label
+            active.append((end_tile, label, key))
+
+    return slots, spilled, reused

@@ -94,25 +94,10 @@ from repro.server.retry import RetryPolicy, is_transient
 from repro.server.tenants import ShedDecision, TenantTable
 
 #: benchmark models the protocol can instantiate at a requested scale
-#: (mirrors repro.bench.trajectory.quick_suite)
 def _scaled_model_builders() -> Dict[str, Callable[[int], Any]]:
-    from repro.bench.models import (
-        conv_model,
-        dct_model,
-        fft_model,
-        fir_model,
-        highpass_model,
-        lowpass_model,
-    )
+    from repro.source import scaled_model_builders
 
-    return {
-        "FFT": fft_model,
-        "DCT": dct_model,
-        "Conv": lambda n: conv_model(n, max(n // 16, 2)),
-        "HighPass": highpass_model,
-        "LowPass": lowpass_model,
-        "FIR": fir_model,
-    }
+    return scaled_model_builders()
 
 
 #: semantic option overrides a request body may carry
@@ -149,7 +134,7 @@ class _BadRequest(Exception):
 class _RequestSpec:
     """One validated generation request, ready for a worker."""
 
-    model: Any                  # name, path, or deferred scaled builder
+    model: Any                  # a repro.source.ModelSource (resolved lazily)
     model_name: str
     scale: Optional[int]
     generator: str
@@ -539,29 +524,66 @@ class CodegenDaemon:
                     tenant: str = DEFAULT_TENANT) -> _RequestSpec:
         from repro.api import GENERATOR_NAMES
 
+        from repro.errors import ReproError
+        from repro.source import ModelSource
+
         known = {
-            "model", "scale", "generator", "arch", "verify", "seed",
-            "steps", "deadline_s", "include_source", "options",
+            "model", "scale", "source", "generator", "arch", "verify",
+            "seed", "steps", "deadline_s", "include_source", "options",
         }
         unknown = set(payload) - known
         if unknown:
             raise _BadRequest(f"unknown request field(s) {sorted(unknown)}")
-        model = payload.get("model")
-        if not isinstance(model, str) or not model:
-            raise _BadRequest("'model' must be a benchmark name or model path")
         generator = payload.get("generator", "hcg")
         if generator not in GENERATOR_NAMES:
             raise _BadRequest(
                 f"unknown generator {generator!r}; choose from {GENERATOR_NAMES}"
             )
-        scale = payload.get("scale")
-        if scale is not None:
-            if not isinstance(scale, int) or not 2 <= scale <= 65536:
+        source_wire = payload.get("source")
+        if source_wire is not None:
+            # The structured spelling: one ModelSource wire object.
+            if payload.get("model") is not None or payload.get("scale") is not None:
+                raise _BadRequest(
+                    "'source' replaces 'model'/'scale'; send one spelling"
+                )
+            try:
+                source = ModelSource.from_wire(source_wire)
+            except ReproError as exc:
+                raise _BadRequest(str(exc))
+            model_name = source.describe()
+        else:
+            # Legacy spelling, mapped to a ModelSource without ceremony.
+            model = payload.get("model")
+            if not isinstance(model, str) or not model:
+                raise _BadRequest(
+                    "'model' must be a benchmark name or model path "
+                    "(or send a structured 'source' object)"
+                )
+            scale = payload.get("scale")
+            if scale is not None and not isinstance(scale, int):
                 raise _BadRequest("'scale' must be an int in [2, 65536]")
-            if model not in _scaled_model_builders():
+            try:
+                source = (ModelSource.builtin(model, scale)
+                          if scale is not None else ModelSource.parse(model))
+            except ReproError as exc:
+                raise _BadRequest(str(exc))
+            model_name = model
+        scale = source.scale
+        if scale is not None:
+            if not 2 <= scale <= 65536:
+                raise _BadRequest("'scale' must be an int in [2, 65536]")
+            if source.kind == "builtin" and source.name not in _scaled_model_builders():
                 raise _BadRequest(
                     f"'scale' only applies to benchmark names "
                     f"{sorted(_scaled_model_builders())}"
+                )
+        if source.kind == "builtin":
+            from repro.bench.models import BENCHMARK_MODELS
+
+            if source.name not in BENCHMARK_MODELS:
+                raise _BadRequest(
+                    f"unknown builtin model {source.name!r}; choose from "
+                    f"{sorted(BENCHMARK_MODELS)}"
                 )
         overrides = payload.get("options", {})
         if not isinstance(overrides, dict):
@@ -596,7 +618,7 @@ class CodegenDaemon:
         except (TypeError, ValueError):
             raise _BadRequest("'seed' and 'steps' must be integers")
         return _RequestSpec(
-            model=model, model_name=model, scale=scale, generator=generator,
+            model=source, model_name=model_name, scale=scale, generator=generator,
             options=options, verify=verify, seed=seed, steps=steps,
             deadline_s=deadline_s,
             include_source=bool(payload.get("include_source", True)),
@@ -836,11 +858,8 @@ class CodegenDaemon:
         """The :class:`GenerateRequest` one spec resolves to."""
         from repro.api import GenerateRequest
 
-        model = spec.model
-        if spec.scale is not None:
-            model = _scaled_model_builders()[spec.model_name](spec.scale)
         return GenerateRequest(
-            model=model, generator=generator, options=spec.options,
+            model=spec.model, generator=generator, options=spec.options,
             verify=spec.verify, seed=spec.seed, steps=spec.steps,
         )
 

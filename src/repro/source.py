@@ -1,0 +1,345 @@
+"""``ModelSource`` — the one way to say *which model* a request means.
+
+Historically the facade accepted three ad-hoc spellings of a model: a
+builtin benchmark name (``"FIR"``), a model file path (``models/fir.xml``
+or ``*.mdl``), or the bench CLI's ``--synthetic N`` flag.  Each entry
+point re-implemented the dispatch and none of them could express a
+scaled builtin or a seeded synthetic model.  :class:`ModelSource`
+collapses all of them into one frozen value type that is
+
+* **parseable** — :meth:`ModelSource.parse` understands the CLI
+  grammar (``FIR``, ``FIR@256``, ``models/fir.xml``, ``synthetic:300``,
+  ``synthetic:mixed:64:seed=3``);
+* **resolvable** — :meth:`ModelSource.resolve` builds the actual
+  :class:`~repro.model.graph.Model`;
+* **wire-safe** — :meth:`ModelSource.to_wire` /
+  :meth:`ModelSource.from_wire` round-trip through the daemon's JSON
+  protocol (inline models excepted, by construction).
+
+:class:`~repro.api.GenerateRequest` normalizes its ``model`` field to a
+``ModelSource`` on construction; raw strings still work but warn with a
+``DeprecationWarning`` exactly once per process, and raw ``Model``
+objects are silently wrapped as ``kind="inline"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: recognised source kinds
+SOURCE_KINDS = ("builtin", "file", "synthetic", "inline")
+
+#: synthetic topologies bench/synthetic.py can build
+SYNTHETIC_TOPOLOGIES = ("cascade", "multirate", "mixed")
+
+#: deprecation shims that already warned this process (keyed by call path)
+_WARNED: set = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    """Emit one ``DeprecationWarning`` per distinct legacy call path."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _reset_deprecation_warnings() -> None:
+    """Test hook: forget which legacy call paths have warned."""
+    _WARNED.clear()
+
+
+def scaled_model_builders() -> Dict[str, Callable[[int], Any]]:
+    """Builtin benchmark models that can be instantiated at a scale.
+
+    Shared by :meth:`ModelSource.resolve` and the daemon wire protocol
+    (which validates ``scale`` against this set before admission).
+    """
+    from repro.bench.models import (
+        conv_model,
+        dct_model,
+        fft_model,
+        fir_model,
+        highpass_model,
+        lowpass_model,
+    )
+
+    return {
+        "FFT": fft_model,
+        "DCT": dct_model,
+        "Conv": lambda n: conv_model(n, max(n // 16, 2)),
+        "HighPass": highpass_model,
+        "LowPass": lowpass_model,
+        "FIR": fir_model,
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSource:
+    """Where one model comes from, as an immutable, hashable value.
+
+    Exactly one of the four kinds:
+
+    * ``builtin`` — ``name`` is a benchmark name; ``scale`` optionally
+      rebuilds it at a different signal width;
+    * ``file`` — ``name`` is a ``.xml``/``.mdl`` path (``width`` is the
+      default inport width for ``.mdl`` files, which don't declare one);
+    * ``synthetic`` — ``name`` is a topology from
+      :data:`SYNTHETIC_TOPOLOGIES`, ``scale`` the actor/stage count;
+    * ``inline`` — ``model`` is an already-built Model object.
+    """
+
+    kind: str
+    name: Optional[str] = None
+    scale: Optional[int] = None
+    width: Optional[int] = None
+    seed: int = 0
+    model: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise ReproError(
+                f"unknown model source kind {self.kind!r}; "
+                f"choose from {SOURCE_KINDS}"
+            )
+        if self.kind == "inline":
+            if self.model is None:
+                raise ReproError("inline model source needs a model object")
+        elif not self.name:
+            raise ReproError(f"{self.kind} model source needs a name")
+        if self.kind == "synthetic" and self.name not in SYNTHETIC_TOPOLOGIES:
+            raise ReproError(
+                f"unknown synthetic topology {self.name!r}; "
+                f"choose from {SYNTHETIC_TOPOLOGIES}"
+            )
+        if self.scale is not None and (
+            not isinstance(self.scale, int) or self.scale < 2
+        ):
+            raise ReproError("model source scale must be an int >= 2")
+        if self.width is not None and (
+            not isinstance(self.width, int) or self.width < 1
+        ):
+            raise ReproError("model source width must be an int >= 1")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def builtin(cls, name: str, scale: Optional[int] = None) -> "ModelSource":
+        return cls(kind="builtin", name=name, scale=scale)
+
+    @classmethod
+    def path(cls, path: str, width: Optional[int] = None) -> "ModelSource":
+        return cls(kind="file", name=str(path), width=width)
+
+    @classmethod
+    def synthetic(cls, scale: int, topology: str = "cascade",
+                  width: Optional[int] = None, seed: int = 0) -> "ModelSource":
+        return cls(kind="synthetic", name=topology, scale=scale,
+                   width=width, seed=seed)
+
+    @classmethod
+    def inline(cls, model: Any) -> "ModelSource":
+        return cls(kind="inline", model=model)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, value: Any) -> "ModelSource":
+        """Coerce any legacy ``model`` spelling to a ``ModelSource``.
+
+        ``ModelSource`` passes through; a ``Model`` object becomes an
+        inline source; a string goes through :meth:`parse` after a
+        once-per-process ``DeprecationWarning``.
+        """
+        if isinstance(value, cls):
+            return value
+        from repro.model.graph import Model
+
+        if isinstance(value, Model):
+            return cls.inline(value)
+        if isinstance(value, str):
+            _warn_once(
+                "request-model-str",
+                "passing a raw string as GenerateRequest.model is "
+                "deprecated; pass repro.api.ModelSource.parse(...) instead",
+            )
+            return cls.parse(value)
+        raise ReproError(
+            f"cannot interpret {type(value).__name__} as a model source; "
+            "pass a ModelSource, a Model, or a string spec"
+        )
+
+    @classmethod
+    def parse(cls, text: str, *, default_width: Optional[int] = None) -> "ModelSource":
+        """Parse the CLI/wire grammar into a source.
+
+        ``FIR`` · ``FIR@256`` · ``models/fir.xml`` · ``path/to/m.mdl`` ·
+        ``synthetic:300`` · ``synthetic:mixed:64`` ·
+        ``synthetic:cascade:300:seed=7:width=48``
+        """
+        if isinstance(text, cls):
+            return text
+        text = str(text).strip()
+        if not text:
+            raise ReproError("empty model spec")
+        if text.startswith("synthetic:") or text == "synthetic":
+            return cls._parse_synthetic(text)
+        if "@" in text and not _looks_like_path(text):
+            name, _, scale_text = text.partition("@")
+            try:
+                scale = int(scale_text)
+            except ValueError:
+                raise ReproError(
+                    f"bad builtin scale {scale_text!r} in {text!r}; "
+                    "expected NAME@INT"
+                )
+            cls._check_builtin(name)
+            return cls.builtin(name, scale)
+        if not _looks_like_path(text):
+            from repro.bench.models import BENCHMARK_MODELS
+
+            if text in BENCHMARK_MODELS:
+                return cls.builtin(text)
+        return cls.path(text, width=default_width)
+
+    @classmethod
+    def _parse_synthetic(cls, text: str) -> "ModelSource":
+        tokens = text.split(":")[1:]
+        topology = "cascade"
+        scale: Optional[int] = None
+        options: Dict[str, int] = {}
+        for token in tokens:
+            if not token:
+                continue
+            if "=" in token:
+                key, _, value = token.partition("=")
+                if key not in ("seed", "width"):
+                    raise ReproError(
+                        f"unknown synthetic option {key!r} in {text!r}; "
+                        "allowed: seed, width"
+                    )
+                try:
+                    options[key] = int(value)
+                except ValueError:
+                    raise ReproError(f"synthetic {key} must be an int")
+            elif token.isdigit():
+                scale = int(token)
+            else:
+                topology = token
+        if scale is None:
+            raise ReproError(
+                f"synthetic model spec {text!r} needs an actor count, "
+                "e.g. synthetic:300 or synthetic:mixed:64"
+            )
+        return cls.synthetic(scale, topology=topology,
+                             width=options.get("width"),
+                             seed=options.get("seed", 0))
+
+    @staticmethod
+    def _check_builtin(name: str) -> None:
+        from repro.bench.models import BENCHMARK_MODELS
+
+        if name not in BENCHMARK_MODELS:
+            raise ReproError(
+                f"unknown builtin model {name!r}; "
+                f"choose from {sorted(BENCHMARK_MODELS)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self) -> Any:
+        """Build the :class:`~repro.model.graph.Model` this source names."""
+        if self.kind == "inline":
+            return self.model
+        if self.kind == "builtin":
+            self._check_builtin(self.name)
+            if self.scale is None:
+                from repro.bench.models import BENCHMARK_MODELS
+
+                return BENCHMARK_MODELS[self.name]()
+            builders = scaled_model_builders()
+            if self.name not in builders:
+                raise ReproError(
+                    f"builtin {self.name!r} cannot be scaled; "
+                    f"scalable: {sorted(builders)}"
+                )
+            return builders[self.name](self.scale)
+        if self.kind == "synthetic":
+            from repro.bench.synthetic import synthetic_model
+
+            return synthetic_model(self.name, self.scale,
+                                   width=self.width, seed=self.seed)
+        # file
+        if str(self.name).endswith(".mdl"):
+            from repro.model.mdl_io import read_mdl
+
+            return read_mdl(self.name, default_width=self.width or 1)
+        from repro.model.xml_io import read_model
+
+        return read_model(self.name)
+
+    # ------------------------------------------------------------------
+    # Wire form (daemon JSON protocol)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON-safe dict the daemon protocol carries."""
+        if self.kind == "inline":
+            raise ReproError(
+                "inline model sources cannot be serialized for the wire; "
+                "write the model to a file and send a file source"
+            )
+        wire: Dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.scale is not None:
+            wire["scale"] = self.scale
+        if self.width is not None:
+            wire["width"] = self.width
+        if self.seed:
+            wire["seed"] = self.seed
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "ModelSource":
+        if not isinstance(wire, dict):
+            raise ReproError("'source' must be a JSON object")
+        unknown = set(wire) - {"kind", "name", "scale", "width", "seed"}
+        if unknown:
+            raise ReproError(f"unknown source field(s) {sorted(unknown)}")
+        kind = wire.get("kind")
+        if kind == "inline":
+            raise ReproError("inline model sources are not wire-safe")
+        return cls(
+            kind=kind,
+            name=wire.get("name"),
+            scale=wire.get("scale"),
+            width=wire.get("width"),
+            seed=int(wire.get("seed", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A short human-readable label (CLI tables, logs)."""
+        if self.kind == "inline":
+            name = getattr(self.model, "name", None)
+            return f"inline:{name}" if name else "inline"
+        if self.kind == "builtin":
+            return self.name if self.scale is None else f"{self.name}@{self.scale}"
+        if self.kind == "synthetic":
+            parts = ["synthetic", self.name, str(self.scale)]
+            if self.seed:
+                parts.append(f"seed={self.seed}")
+            return ":".join(parts)
+        return str(self.name)
+
+
+def _looks_like_path(text: str) -> bool:
+    return (
+        "/" in text
+        or "\\" in text
+        or text.endswith(".xml")
+        or text.endswith(".mdl")
+    )

@@ -34,6 +34,7 @@ from repro.ir.stmt import (
     Stmt,
     Store,
 )
+from repro.ir.types import BufferKind
 from repro.isa.spec import InstructionSet
 from repro.kernels.base import kernel_cycles
 from repro.kernels.library import CodeLibrary, default_library
@@ -47,6 +48,12 @@ class ExecutionResult:
     cost: CostBreakdown
     #: raw modelled cycles (throughput factor applied)
     cycles: float
+    #: peak working-set bytes the step needed: live vector registers
+    #: (loop-scoped — registers defined inside a For die at its exit)
+    #: plus every LOCAL scratch buffer written so far.  Fixed model
+    #: storage (inputs, outputs, state, constants) is excluded; this is
+    #: the quantity ``CodegenOptions.memory_budget`` bounds.
+    peak_live_bytes: int = 0
 
     def seconds(self, arch: Architecture, iterations: int = 1) -> float:
         return arch.cycles_to_seconds(self.cycles, iterations)
@@ -70,11 +77,15 @@ class Machine:
         self.iset = instruction_set if instruction_set is not None else arch.instruction_set
         # persistent storage (STATE buffers keep values across run() calls)
         self.memory: Dict[str, np.ndarray] = {}
+        #: bytes of each LOCAL scratch buffer, for working-set profiling
+        self._local_sizes: Dict[str, int] = {}
         for decl in program.buffers:
             data = np.zeros(decl.length, dtype=decl.dtype.numpy_dtype)
             if decl.init is not None:
                 data[:] = np.asarray(decl.init, dtype=decl.dtype.numpy_dtype)
             self.memory[decl.name] = data
+            if decl.kind is BufferKind.LOCAL:
+                self._local_sizes[decl.name] = decl.length * decl.dtype.byte_width
 
     # ------------------------------------------------------------------
     # Public API
@@ -97,6 +108,13 @@ class Machine:
         scalars: Dict[str, Any] = {}
         vectors: Dict[str, np.ndarray] = {}
         self._vector_written: set = set()
+        # Working-set profiling: live vector-register bytes (with
+        # For-scope death) plus LOCAL buffers written so far.
+        self._vector_live: Dict[str, int] = {}
+        self._live_vector_bytes = 0
+        self._live_local_bytes = 0
+        self._written_locals: set = set()
+        self._peak_live_bytes = 0
         self._exec_block(self.program.body, scalars, vectors, breakdown)
 
         outputs = {
@@ -109,7 +127,30 @@ class Machine:
             outputs=outputs,
             cost=breakdown,
             cycles=self.cost.scaled(breakdown.total),
+            peak_live_bytes=self._peak_live_bytes,
         )
+
+    # ------------------------------------------------------------------
+    # Working-set accounting
+    # ------------------------------------------------------------------
+    def _account_register(self, name: str, dtype, lanes: int) -> None:
+        """A vector register was (re)defined: count its full width."""
+        nbytes = lanes * dtype.byte_width
+        self._live_vector_bytes += nbytes - self._vector_live.get(name, 0)
+        self._vector_live[name] = nbytes
+        self._note_peak()
+
+    def _account_local_write(self, buffer: str) -> None:
+        """First write to a LOCAL buffer brings it into the working set."""
+        if buffer in self._local_sizes and buffer not in self._written_locals:
+            self._written_locals.add(buffer)
+            self._live_local_bytes += self._local_sizes[buffer]
+            self._note_peak()
+
+    def _note_peak(self) -> None:
+        live = self._live_vector_bytes + self._live_local_bytes
+        if live > self._peak_live_bytes:
+            self._peak_live_bytes = live
 
     # ------------------------------------------------------------------
     # Expressions
@@ -189,15 +230,24 @@ class Machine:
             if not 0 <= index < buffer.size:
                 raise VmError(f"store out of bounds: {stmt.buffer}[{index}] (size {buffer.size})")
             buffer[index] = value
+            self._account_local_write(stmt.buffer)
             breakdown.charge("scalar_mem", self.cost.scalar_store, "store")
             return
         if isinstance(stmt, For):
             start = int(self._eval(stmt.start, scalars, breakdown))
             stop = int(self._eval(stmt.stop, scalars, breakdown))
+            live_before = set(self._vector_live)
             for i in range(start, stop, stmt.step):
                 scalars[stmt.var] = np.int32(i)
                 breakdown.charge("loop", self.cost.loop_overhead, "loop_iter")
                 self._exec_block(stmt.body, scalars, vectors, breakdown)
+            # Registers first defined inside the loop are loop-local
+            # temporaries in the emitted C; they die at loop exit (the
+            # register values stay readable in ``vectors`` — only the
+            # working-set accounting is scoped).
+            for name in list(self._vector_live):
+                if name not in live_before:
+                    self._live_vector_bytes -= self._vector_live.pop(name)
             return
         if isinstance(stmt, If):
             cond = self._eval(stmt.cond, scalars, breakdown)
@@ -217,6 +267,7 @@ class Machine:
             # lanes: inactive lanes do not exist, so they can never
             # leak into an op or a store.
             vectors[stmt.dest] = np.array(buffer[index : index + active], copy=True)
+            self._account_register(stmt.dest, stmt.dtype, stmt.lanes)
             cycles = self.cost.simd_load
             if stmt.vl is not None:
                 cycles += self.cost.mask_overhead
@@ -238,6 +289,7 @@ class Machine:
             src = self._vector(vectors, stmt.src, active)
             buffer[index : index + active] = src.astype(buffer.dtype, copy=False)
             self._vector_written.add(stmt.buffer)
+            self._account_local_write(stmt.buffer)
             cycles = self.cost.simd_store
             if stmt.vl is not None:
                 cycles += self.cost.mask_overhead
@@ -246,6 +298,7 @@ class Machine:
         if isinstance(stmt, SimdBroadcast):
             value = self._eval(stmt.scalar, scalars, breakdown)
             vectors[stmt.dest] = np.full(stmt.lanes, value, dtype=stmt.dtype.numpy_dtype)
+            self._account_register(stmt.dest, stmt.dtype, stmt.lanes)
             breakdown.charge("simd_ops", self.cost.simd_broadcast, "vdup")
             return
         if isinstance(stmt, SimdOp):
@@ -264,6 +317,7 @@ class Machine:
             # active-lane prefix is exactly the masked instruction:
             # inactive lanes are never computed (no spurious faults).
             vectors[stmt.dest] = spec.evaluate(named, imm=stmt.imm)
+            self._account_register(stmt.dest, stmt.dtype, stmt.lanes)
             cycles = self.cost.simd_op(spec)
             if stmt.vl is not None:
                 cycles += self.cost.mask_overhead
@@ -280,6 +334,7 @@ class Machine:
             dst[dst_off : dst_off + stmt.count] = src[src_off : src_off + stmt.count].astype(
                 dst.dtype, copy=False
             )
+            self._account_local_write(stmt.dst)
             # memcpy moves cache lines, not scalar elements
             breakdown.charge(
                 "scalar_mem",
@@ -321,6 +376,7 @@ class Machine:
                     f"buffer {name!r} holds only {buffer.size}"
                 )
             buffer[: flat.size] = flat.astype(buffer.dtype, copy=False)
+            self._account_local_write(name)
         lanes = self.iset.lanes_for(decl.dtype) if decl.dtype.bit_width <= self.iset.vector_bits else 1
         cycles = kernel_cycles(
             run.counts, self.cost, kernel.simd, lanes, kernel.vectorizable_fraction

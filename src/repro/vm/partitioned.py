@@ -1,0 +1,182 @@
+"""Per-partition execution of one model split across backends.
+
+The partitioner (``repro.sched.partition``) cuts a model into two (or
+one) sub-models, each generated for its own backend — an ISA preset
+plus a cost table standing in for a CPU or an accelerator.  This module
+runs the resulting programs as one logical step:
+
+1. each partition's :class:`~repro.vm.machine.Machine` runs in schedule
+   order, fed its share of the model inputs plus any *handoff* buffers
+   earlier partitions produced;
+2. handoff outputs are copied to the consuming partition's inputs — the
+   boundary-buffer contract;
+3. every byte entering or leaving a backend's memory (model inputs it
+   consumes, model outputs and handoffs it produces, handoffs it
+   receives) is charged at that backend's ``transfer_cost_per_byte``
+   into the :class:`~repro.arch.cost.CostBreakdown` ``transfer``
+   category.
+
+The merged :class:`~repro.vm.machine.ExecutionResult` reports the
+original model's outputs, the summed per-backend cycles (each scaled by
+its own throughput factor) plus transfer cycles, and the maximum
+per-partition peak working set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.arch import Architecture
+from repro.arch.cost import CostBreakdown, CostTable
+from repro.dtypes import DataType
+from repro.errors import VmError
+from repro.ir.program import Program
+from repro.ir.types import BufferKind
+from repro.vm.machine import ExecutionResult, Machine
+
+
+@dataclasses.dataclass(frozen=True)
+class Handoff:
+    """One boundary buffer of the partition contract."""
+
+    #: wire name — the Outport in the producer, the Inport in the consumer
+    name: str
+    #: the original model's (actor, port) whose value crosses
+    src_actor: str
+    src_port: str
+    #: backend names on either side of the boundary
+    producer: str
+    consumer: str
+    dtype: DataType
+    shape: Tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        width = 1
+        for extent in self.shape:
+            width *= extent
+        return width
+
+    @property
+    def nbytes(self) -> int:
+        return self.width * self.dtype.byte_width
+
+    def contract_entry(self) -> Dict[str, Any]:
+        """One JSON-able row of the handoff contract."""
+        return {
+            "buffer": self.name,
+            "source": f"{self.src_actor}.{self.src_port}",
+            "producer": self.producer,
+            "consumer": self.consumer,
+            "dtype": self.dtype.value,
+            "width": self.width,
+            "bytes": self.nbytes,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionProgram:
+    """One partition's executable: program + backend execution model."""
+
+    backend_name: str
+    arch: Architecture
+    cost: CostTable
+    transfer_cost_per_byte: float
+    program: Program
+
+
+class PartitionedMachine:
+    """Runs a partitioned model as one step-per-call machine.
+
+    State buffers (UnitDelay) persist inside each partition's machine
+    across calls, exactly like the single-machine execution they
+    replace.
+    """
+
+    def __init__(self, parts: Sequence[PartitionProgram],
+                 handoffs: Sequence[Handoff] = ()) -> None:
+        if not parts:
+            raise VmError("partitioned machine needs at least one partition")
+        self.parts = tuple(parts)
+        self.handoffs = tuple(handoffs)
+        self.machines = [
+            Machine(part.program, part.arch, cost=part.cost)
+            for part in parts
+        ]
+        self._handoff_names = {handoff.name for handoff in self.handoffs}
+        #: per partition: INPUT buffer names its program expects
+        self._input_names: List[Tuple[str, ...]] = [
+            tuple(decl.name for decl in part.program.buffers
+                  if decl.kind is BufferKind.INPUT)
+            for part in parts
+        ]
+        self._output_names: List[Tuple[str, ...]] = [
+            tuple(decl.name for decl in part.program.buffers
+                  if decl.kind is BufferKind.OUTPUT)
+            for part in parts
+        ]
+
+    # ------------------------------------------------------------------
+    def transfer_cycles(self) -> float:
+        """Per-step boundary traffic cost, from the contract alone."""
+        total = 0.0
+        for index, part in enumerate(self.parts):
+            if part.transfer_cost_per_byte == 0.0:
+                continue
+            nbytes = 0
+            crossing = 0
+            for name in self._input_names[index]:
+                nbytes += self._buffer_bytes(index, name)
+                crossing += 1
+            for name in self._output_names[index]:
+                nbytes += self._buffer_bytes(index, name)
+                crossing += 1
+            if crossing:
+                total += part.transfer_cost_per_byte * nbytes
+        return total
+
+    def _buffer_bytes(self, index: int, name: str) -> int:
+        decl = self.parts[index].program.buffer(name)
+        return decl.length * decl.dtype.byte_width
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Optional[Mapping[str, Any]] = None) -> ExecutionResult:
+        """Execute one step across every partition, in order."""
+        inputs = dict(inputs or {})
+        values: Dict[str, Any] = dict(inputs)
+        outputs: Dict[str, np.ndarray] = {}
+        merged = CostBreakdown()
+        cycles = 0.0
+        peak = 0
+
+        for index, machine in enumerate(self.machines):
+            part_inputs = {}
+            for name in self._input_names[index]:
+                if name not in values:
+                    raise VmError(
+                        f"partition {self.parts[index].backend_name!r} needs "
+                        f"input {name!r}, which neither the environment nor "
+                        "an earlier partition provides"
+                    )
+                part_inputs[name] = values[name]
+            result = machine.run(part_inputs)
+            merged = merged.merged(result.cost)
+            cycles += result.cycles
+            peak = max(peak, result.peak_live_bytes)
+            for name, value in result.outputs.items():
+                if name in self._handoff_names:
+                    values[name] = value
+                else:
+                    outputs[name] = value
+
+        transfer = self.transfer_cycles()
+        merged.charge("transfer", transfer)
+        return ExecutionResult(
+            outputs=outputs,
+            cost=merged,
+            cycles=cycles + transfer,
+            peak_live_bytes=peak,
+        )

@@ -1,0 +1,180 @@
+"""The redesigned ModelSource / BackendSpec request vocabulary."""
+
+import warnings
+
+import pytest
+
+from repro.api import BackendSpec, GenerateRequest, ModelSource, example_backend_pair
+from repro.bench.models import fir_model
+from repro.errors import ReproError
+from repro.source import _reset_deprecation_warnings
+
+
+class TestParseGrammar:
+    @pytest.mark.parametrize("text,expected", [
+        ("FIR", ModelSource.builtin("FIR")),
+        ("FIR@256", ModelSource.builtin("FIR", 256)),
+        ("models/fir.xml", ModelSource.path("models/fir.xml")),
+        ("design.mdl", ModelSource.path("design.mdl")),
+        ("synthetic:300", ModelSource.synthetic(300)),
+        ("synthetic:mixed:64", ModelSource.synthetic(64, topology="mixed")),
+        (
+            "synthetic:cascade:300:seed=7:width=48",
+            ModelSource.synthetic(300, topology="cascade", width=48, seed=7),
+        ),
+    ])
+    def test_grammar_forms(self, text, expected):
+        assert ModelSource.parse(text) == expected
+
+    def test_parse_passes_sources_through(self):
+        source = ModelSource.builtin("FFT")
+        assert ModelSource.parse(source) is source
+
+    def test_parse_never_warns(self):
+        _reset_deprecation_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ModelSource.parse("FIR@64")
+
+    def test_default_width_reaches_file_sources(self):
+        source = ModelSource.parse("design.mdl", default_width=48)
+        assert source.kind == "file" and source.width == 48
+
+    @pytest.mark.parametrize("text", [
+        "", "NoSuchModel@64", "synthetic", "synthetic:mixed",
+        "synthetic:300:depth=2", "FIR@tiny",
+    ])
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ReproError):
+            ModelSource.parse(text)
+
+    def test_unknown_bare_name_falls_back_to_file(self):
+        # An unrecognized bare word is treated as a path (resolution,
+        # not parsing, reports the missing file).
+        assert ModelSource.parse("NoSuchModel").kind == "file"
+
+
+class TestValidationAndResolve:
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ReproError):
+            ModelSource.synthetic(32, topology="torus")
+
+    def test_scale_must_be_at_least_two(self):
+        with pytest.raises(ReproError):
+            ModelSource.builtin("FIR", scale=1)
+
+    def test_builtin_resolves_at_scale(self):
+        model = ModelSource.builtin("FIR", 128).resolve()
+        assert model.name == "FIR"
+        inport = next(a for a in model.actors if a.actor_type == "Inport")
+        assert inport.output("out").shape == (128,)
+
+    def test_synthetic_resolve_honors_seed_and_width(self):
+        source = ModelSource.parse("synthetic:mixed:24:seed=3:width=32")
+        model = source.resolve()
+        assert "s3" in model.name
+
+    def test_inline_resolves_to_the_same_object(self):
+        model = fir_model(64)
+        assert ModelSource.inline(model).resolve() is model
+
+
+class TestWireForm:
+    @pytest.mark.parametrize("source", [
+        ModelSource.builtin("FIR"),
+        ModelSource.builtin("DCT", 512),
+        ModelSource.path("models/fir.xml", width=32),
+        ModelSource.synthetic(300, topology="multirate", seed=5),
+    ])
+    def test_round_trip(self, source):
+        assert ModelSource.from_wire(source.to_wire()) == source
+
+    def test_inline_is_not_wire_safe(self):
+        source = ModelSource.inline(fir_model(64))
+        with pytest.raises(ReproError):
+            source.to_wire()
+        with pytest.raises(ReproError):
+            ModelSource.from_wire({"kind": "inline"})
+
+    def test_unknown_wire_fields_rejected(self):
+        with pytest.raises(ReproError):
+            ModelSource.from_wire({"kind": "builtin", "name": "FIR", "x": 1})
+
+
+class TestLegacyCoercion:
+    def test_model_object_silently_becomes_inline(self):
+        model = fir_model(64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            source = ModelSource.of(model)
+        assert source.kind == "inline" and source.model is model
+
+    def test_raw_string_warns_exactly_once_per_process(self):
+        _reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            GenerateRequest(model="FIR")
+            GenerateRequest(model="HighPass")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "ModelSource" in str(deprecations[0].message)
+
+    def test_request_normalizes_model_to_source(self):
+        _reset_deprecation_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            request = GenerateRequest(model="FIR@256")
+        assert isinstance(request.model, ModelSource)
+        assert request.source.describe() == "FIR@256"
+        assert request.resolve_model().name == "FIR"
+
+    def test_unsupported_model_type_rejected(self):
+        with pytest.raises(ReproError):
+            ModelSource.of(42)
+
+
+class TestBackendSpec:
+    def test_parse_bare_arch_names_itself(self):
+        spec = BackendSpec.parse("arm_a72")
+        assert spec.name == "arm_a72" and spec.arch == "arm_a72"
+
+    def test_parse_full_grammar(self):
+        spec = BackendSpec.parse("accel=arm_a72:simd_scale=0.25:transfer=0.5")
+        assert spec.name == "accel"
+        assert dict(spec.cost_overrides) == {"simd_scale": 0.25}
+        assert spec.transfer_cost_per_byte == 0.5
+
+    def test_overrides_reach_the_cost_table(self):
+        spec = BackendSpec.parse("accel=arm_a72:scalar_scale=4")
+        assert spec.cost_table().scalar_scale == 4.0
+        base = BackendSpec.parse("arm_a72").cost_table().scalar_scale
+        assert base != 4.0
+
+    def test_parse_list_rejects_duplicates(self):
+        with pytest.raises(ReproError):
+            BackendSpec.parse_list("cpu=arm_a72,cpu=riscv_u74")
+
+    @pytest.mark.parametrize("text", [
+        "", "cpu=not_an_arch", "cpu=arm_a72:bogus_field=1",
+        "cpu=arm_a72:transfer=fast", "cpu=arm_a72:simd_scale",
+    ])
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ReproError):
+            BackendSpec.parse(text)
+
+    def test_describe_round_trips_through_parse(self):
+        spec = BackendSpec.parse("accel=riscv_u74:simd_scale=0.5:transfer=0.25")
+        assert BackendSpec.parse(spec.describe()) == spec
+
+    def test_wire_round_trip(self):
+        spec = BackendSpec.parse("accel=arm_a72:simd_scale=0.25:transfer=0.5")
+        assert BackendSpec.from_wire(spec.to_wire()) == spec
+
+    def test_example_pair_shape(self):
+        cpu, accel = example_backend_pair("riscv_u74")
+        assert cpu.name == "cpu" and accel.name == "accel"
+        assert cpu.arch == accel.arch == "riscv_u74"
+        assert accel.transfer_cost_per_byte > 0
+        assert cpu.transfer_cost_per_byte == 0

@@ -1,0 +1,125 @@
+"""Register-liveness analysis over batch-group dataflow graphs."""
+
+from repro.dtypes import DataType
+from repro.sched import Dfg, DfgNode, ExtInput, NodeInput
+from repro.sched.liveness import (
+    group_register_peak,
+    last_internal_uses,
+    range_inputs,
+    register_peak,
+    value_positions,
+)
+
+F32 = DataType.F32
+
+
+def _ext(name: str) -> ExtInput:
+    return ExtInput((name, "out"), F32)
+
+
+def chain_dfg(n: int) -> Dfg:
+    """n0 -> n1 -> ... with one shared external constant."""
+    nodes = []
+    for index in range(n):
+        first = _ext("x") if index == 0 else NodeInput(f"n{index - 1}")
+        nodes.append(DfgNode(
+            name=f"n{index}", op="Add", dtype=F32, inputs=(first, _ext("c")),
+        ))
+    for index in range(n - 1):
+        nodes[index].internal_consumers = (f"n{index + 1}",)
+    nodes[-1].needs_store = True
+    return Dfg(nodes)
+
+
+def fan_dfg(k: int) -> Dfg:
+    """k parallel products reduced by an add chain — linear pressure."""
+    nodes = [
+        DfgNode(name=f"m{index}", op="Mul", dtype=F32,
+                inputs=(_ext("x"), _ext("c")))
+        for index in range(k)
+    ]
+    previous = "m0"
+    for index in range(1, k):
+        name = f"a{index}"
+        nodes.append(DfgNode(
+            name=name, op="Add", dtype=F32,
+            inputs=(NodeInput(previous), NodeInput(f"m{index}")),
+        ))
+        previous = name
+    consumers = {node.name: [] for node in nodes}
+    for node in nodes:
+        for ref in node.inputs:
+            if isinstance(ref, NodeInput):
+                consumers[ref.node].append(node.name)
+    for node in nodes:
+        node.internal_consumers = tuple(consumers[node.name])
+    nodes[-1].needs_store = True
+    return Dfg(nodes)
+
+
+class TestPositionsAndUses:
+    def test_value_positions_follow_schedule_order(self):
+        dfg = chain_dfg(4)
+        assert value_positions(dfg) == {"n0": 0, "n1": 1, "n2": 2, "n3": 3}
+
+    def test_last_internal_use_is_consumer_position(self):
+        dfg = chain_dfg(3)
+        last = last_internal_uses(dfg)
+        assert last["n0"] == 1
+        assert last["n1"] == 2
+        # Nothing inside the group reads the stored tail value.
+        assert last["n2"] == 2
+
+    def test_fan_products_live_until_their_reduction_step(self):
+        dfg = fan_dfg(4)
+        last = last_internal_uses(dfg)
+        positions = value_positions(dfg)
+        assert last["m3"] == positions["a3"]
+        assert last["m1"] == positions["a1"]
+
+
+class TestRangeInputs:
+    def test_whole_range_inputs_are_external_only(self):
+        dfg = chain_dfg(3)
+        refs = range_inputs(dfg, 0, 3)
+        assert refs == (_ext("x"), _ext("c"))
+
+    def test_mid_range_sees_earlier_values_as_node_inputs(self):
+        dfg = chain_dfg(4)
+        refs = range_inputs(dfg, 2, 4)
+        assert NodeInput("n1") in refs
+        assert _ext("c") in refs
+        assert _ext("x") not in refs
+
+
+class TestRegisterPeak:
+    def test_chain_peak_is_constant_in_depth(self):
+        # One live chain value + one shared constant + the new result.
+        assert register_peak(chain_dfg(3), 0, 3) == register_peak(
+            chain_dfg(30), 0, 30
+        )
+
+    def test_fan_peak_grows_with_fan_width(self):
+        small = group_register_peak(fan_dfg(4))
+        large = group_register_peak(fan_dfg(12))
+        assert large > small
+        assert large >= 12  # all products live at the first reduction
+
+    def test_empty_range_has_zero_peak(self):
+        assert register_peak(chain_dfg(3), 2, 2) == 0
+
+    def test_single_node_range(self):
+        # x + c inputs plus the result register.
+        assert register_peak(chain_dfg(3), 0, 1) == 3
+
+    def test_group_peak_matches_full_range(self):
+        dfg = fan_dfg(6)
+        assert group_register_peak(dfg) == register_peak(dfg, 0, len(dfg.nodes))
+
+    def test_subranges_never_exceed_whole(self):
+        dfg = fan_dfg(8)
+        n = len(dfg.nodes)
+        whole = register_peak(dfg, 0, n)
+        for start in range(n):
+            for stop in range(start + 1, n + 1):
+                assert register_peak(dfg, start, stop) <= whole

@@ -1,0 +1,133 @@
+"""Heterogeneous multi-backend partitioning of one model."""
+
+import json
+
+import pytest
+
+from repro.arch.backend import BackendSpec, example_backend_pair
+from repro.arch.presets import preset_names
+from repro.bench.models import highpass_model, lowpass_model
+from repro.api import CodegenOptions
+from repro.errors import ReproError
+from repro.sched.partition import partition_model
+
+
+def _identical_pair(arch="arm_a72"):
+    return (
+        BackendSpec(name="left", arch=arch),
+        BackendSpec(name="right", arch=arch),
+    )
+
+
+class TestSearch:
+    def test_identical_backends_stay_on_one(self):
+        """With no cost asymmetry and zero transfer cost, no cut can
+        beat all-on-one-backend: the partitioner keeps a single
+        partition, emits no handoffs, and says so via HCG231."""
+        result = partition_model(highpass_model(128), _identical_pair())
+        assert not result.split
+        assert result.handoffs == ()
+        assert {d.code for d in result.diagnostics} == {"HCG231"}
+        assert result.predicted_cycles == result.best_single_backend_cycles()
+        assert result.transfer_cycles == 0.0
+
+    def test_example_pair_splits_highpass_profitably(self):
+        """The acceptance criterion: a 2-backend partition of a paper
+        model beats the best single-backend predicted cost."""
+        result = partition_model(highpass_model(256), example_backend_pair())
+        assert result.split
+        assert len(result.partitions) == 2
+        assert result.handoffs
+        assert result.predicted_cycles < result.best_single_backend_cycles()
+        assert result.verified
+        assert result.transfer_cycles > 0.0
+
+    def test_partitions_cover_all_computed_actors(self):
+        model = highpass_model(128)
+        result = partition_model(model, example_backend_pair())
+        placed = set()
+        for part in result.partitions:
+            placed.update(part.actors)
+        model_actors = {a.name for a in model.actors}
+        # Every original actor lands somewhere; handoff ports are extra.
+        assert model_actors <= placed | {
+            name for name in placed if name.startswith("xfer")
+        }
+        assert model_actors <= placed
+
+    def test_single_backend_cycles_has_every_backend(self):
+        backends = example_backend_pair()
+        result = partition_model(lowpass_model(128), backends)
+        assert set(result.single_backend_cycles) == {b.name for b in backends}
+        assert result.candidates_evaluated >= len(backends)
+
+    def test_duplicate_backend_names_rejected(self):
+        spec = BackendSpec(name="cpu", arch="arm_a72")
+        with pytest.raises(ReproError):
+            partition_model(highpass_model(64), [spec, spec])
+
+    def test_no_backends_rejected(self):
+        with pytest.raises(ReproError):
+            partition_model(highpass_model(64), [])
+
+
+class TestVerification:
+    @pytest.mark.parametrize("arch_name", preset_names())
+    def test_chosen_plan_verifies_on_every_isa(self, arch_name):
+        result = partition_model(
+            highpass_model(64), example_backend_pair(arch=arch_name)
+        )
+        assert result.verified
+
+    def test_verify_false_skips_verification(self):
+        result = partition_model(
+            highpass_model(64), example_backend_pair(), verify=False
+        )
+        assert not result.verified
+
+    def test_partitioning_composes_with_memory_budget(self):
+        options = CodegenOptions(policy="permissive", memory_budget=256)
+        result = partition_model(
+            highpass_model(128), example_backend_pair(), options=options
+        )
+        assert result.verified
+        assert result.peak_live_bytes > 0
+
+
+class TestContract:
+    def test_contract_is_json_serializable(self):
+        result = partition_model(highpass_model(128), example_backend_pair())
+        contract = json.loads(json.dumps(result.contract()))
+        assert contract["model"] == result.model
+        assert len(contract["partitions"]) == len(result.partitions)
+        assert len(contract["handoffs"]) == len(result.handoffs)
+        for entry in contract["handoffs"]:
+            assert {"buffer", "producer", "consumer"} <= set(entry)
+
+    def test_handoffs_name_producer_and_consumer_backends(self):
+        backends = example_backend_pair()
+        names = {b.name for b in backends}
+        result = partition_model(highpass_model(256), backends)
+        assert result.handoffs
+        for handoff in result.handoffs:
+            assert handoff.producer in names
+            assert handoff.consumer in names
+            assert handoff.producer != handoff.consumer
+
+
+class TestApiEntryPoint:
+    def test_api_partition_accepts_strings(self):
+        from repro import api
+
+        result = api.partition(
+            "HighPass",
+            backends=["cpu=arm_a72", "accel=arm_a72:simd_scale=0.05:transfer=0.01"],
+        )
+        assert result.verified
+
+    def test_api_partition_defaults_to_example_pair(self):
+        from repro import api
+
+        result = api.partition("LowPass")
+        backend_names = {b.name for b in result.backends}
+        assert backend_names == {"cpu", "accel"}

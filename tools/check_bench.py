@@ -12,11 +12,15 @@ committed baseline at the repo root, cell by cell (one cell = one
    baseline.  Wall clock is noisy on shared runners, so cells faster
    than ``WALL_FLOOR_S`` in the baseline are exempt (doubling a
    millisecond is noise, doubling a second is a regression).
-3. **ISA coverage** — the baseline's benchmark rows must span every
+3. **Working set** — ``peak_live_bytes`` (schema-2 records) may not
+   grow by more than ``PEAK_TOLERANCE`` (10%).  The VM's working-set
+   profile is deterministic too; cells lacking the field (schema-1
+   baselines) are skipped rather than failed.
+4. **ISA coverage** — the baseline's benchmark rows must span every
    ISA in ``EXPECTED_ISAS``; a bench run that silently drops an
    architecture (e.g. a preset renamed without updating the matrix)
    fails the gate instead of shrinking the record.
-4. **Matcher speedup** — the record's ``Synthetic<N>`` rows must show
+5. **Matcher speedup** — the record's ``Synthetic<N>`` rows must show
    the indexed matcher at least ``MIN_MATCHER_SPEEDUP`` times faster
    than the naive baseline (``alg2.match.wall_s``), with modelled cost
    no worse.  The committed snapshot records the honest measured ratio
@@ -41,6 +45,11 @@ COST_TOLERANCE = 0.10
 
 #: allowed relative growth of codegen_wall_s per cell
 WALL_TOLERANCE = 2.0
+
+#: allowed relative growth of peak_live_bytes per cell (schema >= 2);
+#: the VM profile is deterministic, so growth is a real working-set
+#: regression — cells lacking the field (schema-1 records) are skipped
+PEAK_TOLERANCE = 0.10
 
 #: baseline cells faster than this are exempt from the wall check
 WALL_FLOOR_S = 0.05
@@ -92,6 +101,14 @@ def check_against_baseline(current: dict, baseline: dict) -> list:
             problems.append(
                 f"{label}: codegen_wall_s regressed "
                 f"{wall_then} -> {wall_now} (> {WALL_TOLERANCE}x)"
+            )
+        peak_now = now.get("peak_live_bytes", 0)
+        peak_then = then.get("peak_live_bytes", 0)
+        if peak_then > 0 and peak_now > peak_then * (1 + PEAK_TOLERANCE):
+            problems.append(
+                f"{label}: peak_live_bytes regressed "
+                f"{peak_then} -> {peak_now} "
+                f"(> {PEAK_TOLERANCE:.0%} tolerance)"
             )
     return problems
 
